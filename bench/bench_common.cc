@@ -1,0 +1,97 @@
+#include "bench_common.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "common/status.h"
+#include "common/strutil.h"
+#include "swiftsim/simulator.h"
+
+namespace swiftsim::bench {
+
+BenchOptions ParseOptions(int argc, char** argv, double default_scale) {
+  BenchOptions opt;
+  opt.scale = default_scale;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (StartsWith(arg, "--scale=")) {
+      opt.scale = ParseDouble(arg.substr(8), "--scale");
+      SS_CHECK(opt.scale > 0, "--scale must be positive");
+    } else if (StartsWith(arg, "--apps=")) {
+      opt.apps = Split(arg.substr(7), ',');
+    } else if (StartsWith(arg, "--threads=")) {
+      opt.threads =
+          static_cast<unsigned>(ParseUint(arg.substr(10), "--threads"));
+    } else if (StartsWith(arg, "--seed=")) {
+      opt.seed = ParseUint(arg.substr(7), "--seed");
+    } else {
+      throw SimError("unknown flag '" + arg +
+                     "' (expected --scale=, --apps=, --threads=, --seed=)");
+    }
+  }
+  if (opt.threads == 0) {
+    opt.threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  return opt;
+}
+
+std::vector<Application> BuildApps(const BenchOptions& opt) {
+  std::vector<std::string> names = opt.apps;
+  if (names.empty()) {
+    for (const auto& spec : AllWorkloads()) names.push_back(spec.name);
+  }
+  WorkloadScale scale;
+  scale.scale = opt.scale;
+  scale.seed = opt.seed;
+  std::vector<Application> apps;
+  apps.reserve(names.size());
+  for (const auto& name : names) {
+    apps.push_back(BuildWorkload(name, scale));
+  }
+  return apps;
+}
+
+AppRun RunOne(const Application& app, const GpuConfig& cfg, SimLevel level) {
+  const ModelSelection sel = SelectionFor(level);
+  // Reservation-failure counts need model internals; run through a
+  // GpuModel directly for levels with a cycle-accurate memory path.
+  AppRun run;
+  run.app = app.name;
+  if (sel.mem == MemModelKind::kCycleAccurate) {
+    GpuModel model(cfg, sel);
+    const auto t0 = std::chrono::steady_clock::now();
+    SimResult r = model.RunApplication(app);
+    const auto t1 = std::chrono::steady_clock::now();
+    run.cycles = r.total_cycles;
+    run.instructions = r.instructions;
+    run.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    run.reservation_fails = model.TotalReservationFails();
+  } else {
+    const SimResult r = Simulator(app, cfg, level).Run();
+    run.cycles = r.total_cycles;
+    run.instructions = r.instructions;
+    run.wall_seconds = r.wall_seconds;
+  }
+  return run;
+}
+
+double ErrPct(Cycle predicted, Cycle actual) {
+  return std::abs(SignedErrPct(predicted, actual));
+}
+
+double SignedErrPct(Cycle predicted, Cycle actual) {
+  SS_CHECK(actual > 0, "ErrPct: zero actual cycles");
+  return 100.0 *
+         (static_cast<double>(predicted) - static_cast<double>(actual)) /
+         static_cast<double>(actual);
+}
+
+void PrintHeader(const std::string& experiment, const BenchOptions& opt) {
+  std::printf("==== %s ====\n", experiment.c_str());
+  std::printf("scale=%.2f threads=%u apps=%zu\n", opt.scale, opt.threads,
+              opt.apps.empty() ? AllWorkloads().size() : opt.apps.size());
+}
+
+}  // namespace swiftsim::bench

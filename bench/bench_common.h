@@ -1,0 +1,55 @@
+// Shared experiment harness for the table/figure reproduction benches.
+//
+// Every bench accepts:
+//   --scale=<f>     workload scale (default per bench)
+//   --apps=A,B,C    subset of workloads (default: all 18)
+//   --threads=<n>   worker threads for parallel measurements
+// and prints the rows/series of the corresponding paper table or figure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/gpu_config.h"
+#include "sim/gpu_model.h"
+#include "sim/model_select.h"
+#include "trace/kernel.h"
+#include "workloads/workload.h"
+
+namespace swiftsim::bench {
+
+struct BenchOptions {
+  double scale = 0.35;
+  std::vector<std::string> apps;  // empty = all registered workloads
+  unsigned threads = 0;           // 0 = hardware concurrency
+  std::uint64_t seed = 0x5eed5eedULL;
+};
+
+/// Parses --scale/--apps/--threads/--seed; throws SimError on bad flags.
+BenchOptions ParseOptions(int argc, char** argv, double default_scale);
+
+/// The measured outcome of one (app, simulator-level) run.
+struct AppRun {
+  std::string app;
+  Cycle cycles = 0;
+  double wall_seconds = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t reservation_fails = 0;
+};
+
+/// Runs one app at one level (serial).
+AppRun RunOne(const Application& app, const GpuConfig& cfg, SimLevel level);
+
+/// Builds every requested workload once (they are reused across levels).
+std::vector<Application> BuildApps(const BenchOptions& opt);
+
+/// |predicted/actual - 1| as a percentage.
+double ErrPct(Cycle predicted, Cycle actual);
+
+/// (predicted/actual - 1) as a signed percentage.
+double SignedErrPct(Cycle predicted, Cycle actual);
+
+/// Prints a standard header naming the experiment.
+void PrintHeader(const std::string& experiment, const BenchOptions& opt);
+
+}  // namespace swiftsim::bench

@@ -1,0 +1,93 @@
+// Component microbenchmarks (google-benchmark): throughput of the hot
+// simulator primitives. Useful when optimizing the framework itself.
+#include <benchmark/benchmark.h>
+
+#include "analytical/reuse_distance.h"
+#include "common/rng.h"
+#include "config/presets.h"
+#include "core/scheduler.h"
+#include "mem/cache.h"
+#include "mem/coalescer.h"
+#include "mem/tag_array.h"
+
+namespace swiftsim {
+namespace {
+
+void BM_Coalesce_Coalesced(benchmark::State& state) {
+  std::vector<Addr> addrs;
+  for (unsigned i = 0; i < kWarpSize; ++i) addrs.push_back(0x1000 + i * 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Coalesce(addrs, 4, 128, 32));
+  }
+}
+BENCHMARK(BM_Coalesce_Coalesced);
+
+void BM_Coalesce_Scattered(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<Addr> addrs;
+  for (unsigned i = 0; i < kWarpSize; ++i) {
+    addrs.push_back(rng.Below(1 << 24) * 4);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Coalesce(addrs, 4, 128, 32));
+  }
+}
+BENCHMARK(BM_Coalesce_Scattered);
+
+void BM_TagArrayProbe(benchmark::State& state) {
+  TagArray tags(Rtx2080TiConfig().l1, 1);
+  Rng rng(3);
+  Cycle now = 0;
+  for (auto _ : state) {
+    Eviction ev;
+    benchmark::DoNotOptimize(
+        tags.Probe(rng.Below(1 << 16) * 128, 0xF, ++now, &ev));
+  }
+}
+BENCHMARK(BM_TagArrayProbe);
+
+void BM_CacheAccessHit(benchmark::State& state) {
+  SectorCache cache("bm", Rtx2080TiConfig().l1, 1);
+  MemRequest req;
+  req.line_addr = 0x1000;
+  req.sector_mask = 0xF;
+  req.id = 1;
+  Cycle now = 0;
+  cache.BeginCycle(now);
+  cache.Access(req, now);  // install via miss
+  cache.Fill(MemResponse{1, 0x1000, 0xF, 0}, now);
+  for (auto _ : state) {
+    ++now;
+    cache.BeginCycle(now);
+    cache.responses().clear();
+    req.id = now;
+    benchmark::DoNotOptimize(cache.Access(req, now));
+  }
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void BM_SchedulerPickGto(benchmark::State& state) {
+  WarpScheduler sched(SchedPolicy::kGto, 8);
+  unsigned i = 0;
+  auto ready = [&](unsigned slot) { return (slot + i) % 3 == 0; };
+  auto age = [](unsigned slot) { return std::uint64_t{slot}; };
+  for (auto _ : state) {
+    ++i;
+    benchmark::DoNotOptimize(sched.Pick(ready, age));
+  }
+}
+BENCHMARK(BM_SchedulerPickGto);
+
+void BM_ReuseDistanceAccess(benchmark::State& state) {
+  ReuseDistanceProfiler prof;
+  Rng rng(11);
+  for (auto _ : state) {
+    prof.Access(rng.Below(1 << 14) * 128);
+  }
+}
+BENCHMARK(BM_ReuseDistanceAccess);
+
+}  // namespace
+}  // namespace swiftsim
+
+BENCHMARK_MAIN();

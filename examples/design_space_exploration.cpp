@@ -1,0 +1,54 @@
+// Design-space exploration — the paper's motivating use case (§III-D):
+// "Assuming we need to explore a new warp scheduling algorithm, Warp
+// Scheduler & Dispatch needs cycle-accurate simulation ... other modules
+// can be simplified."
+//
+// This example keeps the scheduler module cycle-accurate, simplifies the
+// ALU pipeline with the hybrid analytical model (Swift-Sim-Basic), and
+// sweeps the three scheduler policies and two L1 sizes over a workload —
+// the kind of experiment that would be painfully slow on the detailed
+// baseline.
+//
+//   ./design_space_exploration [workload] [scale]
+#include <cstdio>
+#include <string>
+
+#include "config/presets.h"
+#include "swiftsim/simulator.h"
+#include "workloads/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace swiftsim;
+  const std::string name = argc > 1 ? argv[1] : "BFS";
+  WorkloadScale scale;
+  scale.scale = argc > 2 ? std::stod(argv[2]) : 0.15;
+  const Application app = BuildWorkload(name, scale);
+
+  std::printf("DSE on %s with Swift-Sim-Basic (scheduler & caches stay "
+              "cycle-accurate)\n\n",
+              name.c_str());
+
+  std::printf("%-28s %14s %14s\n", "configuration", "cycles", "ipc(x1000)");
+  for (SchedPolicy pol :
+       {SchedPolicy::kGto, SchedPolicy::kLrr, SchedPolicy::kTwoLevel}) {
+    for (std::uint64_t l1_kb : {64, 128}) {
+      GpuConfig gpu = Rtx2080TiConfig();
+      gpu.sched_policy = pol;
+      gpu.l1.size_bytes = l1_kb * 1024;
+      gpu.Validate();
+      const SimResult r = RunSimulation(app, gpu, SimLevel::kSwiftSimBasic);
+      const double ipc =
+          static_cast<double>(r.instructions) / r.total_cycles;
+      char label[64];
+      std::snprintf(label, sizeof label, "%s + %lluKB L1",
+                    ToString(pol).c_str(),
+                    static_cast<unsigned long long>(l1_kb));
+      std::printf("%-28s %14llu %14.0f\n", label,
+                  static_cast<unsigned long long>(r.total_cycles),
+                  ipc * 1000);
+    }
+  }
+  std::printf("\nEach configuration ran at hybrid speed while the module "
+              "under study\n(the scheduler) stayed cycle-accurate.\n");
+  return 0;
+}

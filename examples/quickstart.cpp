@@ -1,0 +1,58 @@
+// Quickstart: synthesize a workload, run it through the four simulator
+// configurations on an RTX 2080 Ti, and compare cycles and speed.
+//
+//   ./quickstart [workload] [scale]
+//
+// Defaults: GEMM at scale 0.15 (a few seconds end to end).
+#include <cstdio>
+#include <string>
+
+#include "config/presets.h"
+#include "sim/report.h"
+#include "swiftsim/simulator.h"
+#include "trace/trace_stats.h"
+#include "workloads/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace swiftsim;
+  const std::string name = argc > 1 ? argv[1] : "GEMM";
+  WorkloadScale scale;
+  scale.scale = argc > 2 ? std::stod(argv[2]) : 0.15;
+
+  const GpuConfig gpu = Rtx2080TiConfig();
+  const Application app = BuildWorkload(name, scale);
+  const TraceStats stats = ComputeTraceStats(*app.kernels[0]);
+  std::printf("workload %s on %s\n", name.c_str(), gpu.name.c_str());
+  std::printf("  first kernel: %s\n", stats.ToString().c_str());
+
+  const SimLevel levels[] = {SimLevel::kSilicon, SimLevel::kDetailed,
+                             SimLevel::kSwiftSimBasic,
+                             SimLevel::kSwiftSimMemory};
+  double baseline_wall = 0;
+  Cycle silicon_cycles = 0;
+  std::printf("%-22s %12s %10s %9s %8s\n", "simulator", "cycles", "err_vs_hw",
+              "wall_s", "speedup");
+  PerfReport basic_report;
+  for (SimLevel level : levels) {
+    const SimResult r = RunSimulation(app, gpu, level);
+    if (level == SimLevel::kSilicon) silicon_cycles = r.total_cycles;
+    if (level == SimLevel::kDetailed) baseline_wall = r.wall_seconds;
+    if (level == SimLevel::kSwiftSimBasic) basic_report = BuildReport(r);
+    const double err =
+        silicon_cycles
+            ? 100.0 * (static_cast<double>(r.total_cycles) - silicon_cycles) /
+                  static_cast<double>(silicon_cycles)
+            : 0.0;
+    const double speedup =
+        baseline_wall > 0 && level != SimLevel::kSilicon
+            ? baseline_wall / r.wall_seconds
+            : 1.0;
+    std::printf("%-22s %12llu %9.1f%% %9.3f %7.1fx\n",
+                r.simulator.c_str(),
+                static_cast<unsigned long long>(r.total_cycles), err,
+                r.wall_seconds, speedup);
+  }
+  std::printf("\nswift-sim-basic bottleneck report (Metrics Gatherer):\n%s\n",
+              basic_report.ToString().c_str());
+  return 0;
+}

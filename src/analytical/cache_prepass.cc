@@ -1,0 +1,154 @@
+#include "analytical/cache_prepass.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "core/cta_allocator.h"
+#include "mem/coalescer.h"
+
+namespace swiftsim {
+
+const PcHitRates& MemProfile::Lookup(KernelId kernel, Pc pc) const {
+  auto it = per_pc_.find(Key(kernel, pc));
+  if (it != per_pc_.end() && it->second.accesses > 0) return it->second;
+  auto kit = per_kernel_.find(kernel);
+  if (kit != per_kernel_.end() && kit->second.accesses > 0) {
+    return kit->second;
+  }
+  return all_dram_;
+}
+
+PcHitRates& MemProfile::Mutable(KernelId kernel, Pc pc) {
+  return per_pc_[Key(kernel, pc)];
+}
+
+void MemProfile::FinalizeKernel(KernelId kernel) {
+  PcHitRates& agg = per_kernel_[kernel];
+  agg = PcHitRates{};
+  for (const auto& [key, rates] : per_pc_) {
+    if ((key >> 48) != kernel) continue;
+    agg.accesses += rates.accesses;
+    agg.l1_hits += rates.l1_hits;
+    agg.l2_hits += rates.l2_hits;
+  }
+}
+
+namespace {
+// Aggregate L2: one functional cache with the full chip capacity.
+CacheParams AggregateL2(const GpuConfig& cfg) {
+  CacheParams l2 = cfg.l2;
+  l2.size_bytes = cfg.total_l2_bytes();
+  return l2;
+}
+}  // namespace
+
+CachePrepass::CachePrepass(const GpuConfig& cfg)
+    : cfg_(cfg), l2_(AggregateL2(cfg)) {
+  l1s_.reserve(cfg.num_sms);
+  for (unsigned s = 0; s < cfg.num_sms; ++s) l1s_.emplace_back(cfg.l1);
+}
+
+void CachePrepass::ProcessKernel(const KernelTrace& kernel,
+                                 MemProfile* profile) {
+  SS_CHECK(profile != nullptr, "CachePrepass needs an output profile");
+  const KernelInfo& info = kernel.info();
+  const CtaAllocator occupancy_probe(cfg_);
+  const unsigned per_sm = std::max(1u, occupancy_probe.MaxConcurrent(info));
+  const unsigned wave = per_sm * cfg_.num_sms;
+
+  struct Cursor {
+    const WarpTrace* trace;
+    std::size_t next = 0;
+    unsigned sm;
+  };
+
+  // Timing-aware correction: an access whose line missed "recently" (still
+  // in flight in the timing model) does not hit in the L1 — it merges into
+  // the outstanding MSHR entry and observes the original miss's latency.
+  // "Recently" is measured in interleaved accesses: one fill latency spans
+  // roughly a few rounds of the warp interleave.
+  enum class MissLevel : std::uint8_t { kL2, kDram };
+  struct RecentMiss {
+    std::uint64_t when = 0;
+    MissLevel level = MissLevel::kL2;
+  };
+  std::unordered_map<Addr, RecentMiss> recent_miss;
+  std::uint64_t access_counter = 0;
+
+  for (CtaId wave_start = 0; wave_start < info.num_ctas;
+       wave_start += wave) {
+    const CtaId wave_end =
+        std::min<CtaId>(wave_start + wave, info.num_ctas);
+    std::vector<Cursor> cursors;
+    for (CtaId c = wave_start; c < wave_end; ++c) {
+      const CtaTrace& cta = kernel.cta(c);
+      const unsigned sm = (c - wave_start) % cfg_.num_sms;
+      for (const WarpTrace& w : cta.warps) {
+        cursors.push_back(Cursor{&w, 0, sm});
+      }
+    }
+    // One fill latency covers roughly a few rounds of the interleave.
+    const std::uint64_t merge_window =
+        std::max<std::uint64_t>(cursors.size() * 8, 64);
+    // Round-robin interleave at instruction granularity.
+    bool any = true;
+    while (any) {
+      any = false;
+      for (Cursor& cur : cursors) {
+        if (cur.next >= cur.trace->size()) continue;
+        const TraceInstr& ins = (*cur.trace)[cur.next++];
+        any = true;
+        if (!IsGlobalMem(ins.op)) continue;
+        const auto accesses =
+            Coalesce(ins.addrs, 4, cfg_.l1.line_bytes, cfg_.l1.sector_bytes);
+        if (IsStore(ins.op)) {
+          for (const auto& acc : accesses) {
+            // Write-through: update both levels, no hit accounting.
+            l1s_[cur.sm].AccessStore(acc.line_addr, acc.sector_mask);
+            l2_.AccessStore(acc.line_addr, acc.sector_mask);
+          }
+          continue;
+        }
+        PcHitRates& rates = profile->Mutable(info.id, ins.pc);
+        for (const auto& acc : accesses) {
+          ++rates.accesses;
+          ++access_counter;
+          auto rm = recent_miss.find(acc.line_addr);
+          const bool merges =
+              rm != recent_miss.end() &&
+              access_counter - rm->second.when < merge_window;
+          const bool l1_hit =
+              l1s_[cur.sm].AccessLoad(acc.line_addr, acc.sector_mask);
+          if (merges) {
+            // Piggybacks on the in-flight fill: pays that miss's latency.
+            if (rm->second.level == MissLevel::kL2) ++rates.l2_hits;
+            continue;  // (DRAM-level merges count as DRAM accesses)
+          }
+          if (l1_hit) {
+            ++rates.l1_hits;
+            continue;
+          }
+          const bool l2_hit =
+              l2_.AccessLoad(acc.line_addr, acc.sector_mask);
+          if (l2_hit) ++rates.l2_hits;
+          recent_miss[acc.line_addr] =
+              RecentMiss{access_counter,
+                         l2_hit ? MissLevel::kL2 : MissLevel::kDram};
+        }
+      }
+    }
+    recent_miss.clear();
+  }
+  profile->FinalizeKernel(info.id);
+}
+
+MemProfile BuildMemProfile(const Application& app, const GpuConfig& cfg) {
+  MemProfile profile;
+  CachePrepass prepass(cfg);
+  for (const auto& kernel : app.kernels) {
+    prepass.ProcessKernel(*kernel, &profile);
+  }
+  return profile;
+}
+
+}  // namespace swiftsim

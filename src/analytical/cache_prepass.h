@@ -1,0 +1,77 @@
+// The memory-access pre-pass behind Swift-Sim-Memory (paper §III-D2): a
+// fast functional simulation of the cache hierarchy over the whole trace
+// that extracts, for every static Load/Store PC, the hit-rate triple
+// (R_L1, R_L2, R_DRAM) consumed by Eq. 1.
+//
+// Concurrency is approximated by replaying CTAs in occupancy-sized waves
+// with round-robin warp interleaving — the same order a loaded GPU
+// approximately executes them in.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "analytical/functional_cache.h"
+#include "config/gpu_config.h"
+#include "trace/kernel.h"
+
+namespace swiftsim {
+
+struct PcHitRates {
+  std::uint64_t accesses = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;
+
+  double r_l1() const {
+    return accesses ? static_cast<double>(l1_hits) / accesses : 0.0;
+  }
+  double r_l2() const {
+    return accesses ? static_cast<double>(l2_hits) / accesses : 0.0;
+  }
+  double r_dram() const { return 1.0 - r_l1() - r_l2(); }
+};
+
+class MemProfile {
+ public:
+  /// Rates for a static load; falls back to the kernel-wide average when
+  /// the PC was never profiled, and to an all-DRAM default when nothing
+  /// was profiled for the kernel at all.
+  const PcHitRates& Lookup(KernelId kernel, Pc pc) const;
+
+  PcHitRates& Mutable(KernelId kernel, Pc pc);
+
+  /// Accumulates the kernel-wide fallback entry from the per-PC entries.
+  void FinalizeKernel(KernelId kernel);
+
+  std::size_t num_pcs() const { return per_pc_.size(); }
+
+ private:
+  static std::uint64_t Key(KernelId kernel, Pc pc) {
+    return (static_cast<std::uint64_t>(kernel) << 48) | pc;
+  }
+
+  std::unordered_map<std::uint64_t, PcHitRates> per_pc_;
+  std::unordered_map<KernelId, PcHitRates> per_kernel_;
+  PcHitRates all_dram_;  // accesses == 0 -> rates degenerate to DRAM
+};
+
+/// Functional replay engine. Caches stay warm across kernels of one
+/// application (matching the persistent L2 of the timing model).
+class CachePrepass {
+ public:
+  explicit CachePrepass(const GpuConfig& cfg);
+
+  /// Replays one kernel, accumulating per-PC hit counts into `profile`.
+  void ProcessKernel(const KernelTrace& kernel, MemProfile* profile);
+
+ private:
+  GpuConfig cfg_;
+  std::vector<FunctionalCache> l1s_;  // one per SM
+  FunctionalCache l2_;                // aggregate of all partition slices
+};
+
+/// Convenience: full pre-pass over every kernel of the application.
+MemProfile BuildMemProfile(const Application& app, const GpuConfig& cfg);
+
+}  // namespace swiftsim

@@ -1,0 +1,52 @@
+#include "analytical/functional_cache.h"
+
+namespace swiftsim {
+
+FunctionalCache::FunctionalCache(const CacheParams& params)
+    : params_(params), sets_(params.num_sets()),
+      lines_(static_cast<std::size_t>(sets_) * params.assoc) {}
+
+FunctionalCache::Line* FunctionalCache::Touch(Addr line_addr,
+                                              std::uint32_t sector_mask) {
+  // Plain modulo: aggregate caches (e.g. whole-chip L2) can have
+  // non-power-of-two set counts.
+  const unsigned set = static_cast<unsigned>(
+      (line_addr / params_.line_bytes) % sets_);
+  Line* base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+  Line* lru = base;
+  for (unsigned w = 0; w < params_.assoc; ++w) {
+    Line& l = base[w];
+    if (l.valid && l.tag == line_addr) {
+      l.lru = ++tick_;
+      return &l;
+    }
+    if (!l.valid) {
+      lru = &l;
+    } else if (lru->valid && l.lru < lru->lru) {
+      lru = &l;
+    }
+  }
+  // Miss: install in the LRU (or first invalid) way.
+  lru->tag = line_addr;
+  lru->valid = true;
+  lru->sectors = sector_mask;
+  lru->lru = ++tick_;
+  return nullptr;
+}
+
+bool FunctionalCache::AccessLoad(Addr line_addr, std::uint32_t sector_mask) {
+  ++accesses_;
+  Line* l = Touch(line_addr, sector_mask);
+  if (l == nullptr) return false;  // line miss (now installed)
+  const bool hit = (sector_mask & ~l->sectors) == 0;
+  l->sectors |= sector_mask;
+  if (hit) ++hits_;
+  return hit;
+}
+
+void FunctionalCache::AccessStore(Addr line_addr, std::uint32_t sector_mask) {
+  Line* l = Touch(line_addr, sector_mask);
+  if (l != nullptr) l->sectors |= sector_mask;
+}
+
+}  // namespace swiftsim

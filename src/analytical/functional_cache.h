@@ -1,0 +1,50 @@
+// Timing-free sectored set-associative cache used by the pre-pass that
+// extracts Eq. 1's per-PC hit rates. Same geometry as the cycle-accurate
+// SectorCache but no banks/MSHRs/latency — one hash-probe per access.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "config/gpu_config.h"
+
+namespace swiftsim {
+
+class FunctionalCache {
+ public:
+  explicit FunctionalCache(const CacheParams& params);
+
+  /// Probes and updates: returns true iff every requested sector was
+  /// resident (LRU updated; on miss the line is installed with the
+  /// requested sectors valid).
+  bool AccessLoad(Addr line_addr, std::uint32_t sector_mask);
+
+  /// Stores install/validate sectors without affecting hit statistics.
+  void AccessStore(Addr line_addr, std::uint32_t sector_mask);
+
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t hits() const { return hits_; }
+  double hit_rate() const {
+    return accesses_ ? static_cast<double>(hits_) / accesses_ : 0.0;
+  }
+
+ private:
+  struct Line {
+    Addr tag = 0;
+    bool valid = false;
+    std::uint32_t sectors = 0;
+    std::uint64_t lru = 0;
+  };
+
+  Line* Touch(Addr line_addr, std::uint32_t sector_mask);
+
+  CacheParams params_;
+  unsigned sets_;
+  std::vector<Line> lines_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace swiftsim

@@ -1,0 +1,141 @@
+#include "analytical/interval_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analytical/mem_model.h"
+#include "common/bitutil.h"
+#include "common/status.h"
+#include "core/cta_allocator.h"
+#include "mem/coalescer.h"
+
+namespace swiftsim {
+
+namespace {
+
+unsigned IssueIntervalOf(const GpuConfig& cfg, const TraceInstr& ins) {
+  switch (ClassOf(ins.op)) {
+    case UnitClass::kInt:
+      return cfg.int_unit.issue_interval();
+    case UnitClass::kSp:
+      return cfg.sp_unit.issue_interval();
+    case UnitClass::kDp:
+      return cfg.dp_unit.issue_interval();
+    case UnitClass::kSfu:
+      return cfg.sfu_unit.issue_interval();
+    case UnitClass::kTensor:
+      return cfg.tensor_unit.issue_interval();
+    case UnitClass::kLdSt:
+      return std::max(1u, kWarpSize / cfg.ldst_units_per_sub_core);
+    case UnitClass::kControl:
+      return 1;
+  }
+  return 1;
+}
+
+/// How soon (in dynamic instructions) register `reg` is consumed after
+/// position `from`; returns distance or `horizon` if unused within it.
+std::size_t ConsumerDistance(const WarpTrace& warp, std::size_t from,
+                             std::uint8_t reg, std::size_t horizon) {
+  for (std::size_t d = 1; d <= horizon && from + d < warp.size(); ++d) {
+    const TraceInstr& ins = warp[from + d];
+    for (std::uint8_t r : ins.src) {
+      if (r == reg) return d;
+    }
+    if (ins.dst == reg) return horizon;  // overwritten before use
+  }
+  return horizon;
+}
+
+}  // namespace
+
+IntervalEstimate EstimateKernelCycles(const KernelTrace& kernel,
+                                      const GpuConfig& cfg,
+                                      const MemProfile& profile) {
+  const KernelInfo& info = kernel.info();
+  const AnalyticalMemModel mem(cfg, &profile);
+
+  // Interval-analyze one representative warp per CTA variant and average.
+  double issue_b = 0;       // issue cycles per warp
+  double stall_m = 0;       // exposed memory stalls per warp
+  double dram_bytes = 0;    // DRAM traffic per warp
+  const std::size_t horizon = 16;  // MLP window the scheduler can exploit
+  for (std::size_t v = 0; v < kernel.num_variants(); ++v) {
+    const WarpTrace& warp = kernel.variant(v).warps.front();
+    double b = 0, m = 0, bytes = 0;
+    for (std::size_t i = 0; i < warp.size(); ++i) {
+      const TraceInstr& ins = warp[i];
+      b += IssueIntervalOf(cfg, ins);
+      if (ins.op == Opcode::kLdGlobal) {
+        const Cycle lat = mem.LoadLatency(info.id, ins.pc);
+        // The stall is exposed only if a consumer appears before the
+        // latency is hidden by in-warp work (classic interval analysis).
+        const std::size_t d = ConsumerDistance(warp, i, ins.dst, horizon);
+        if (d < horizon) {
+          const double hidden = static_cast<double>(d) * 4.0;
+          m += std::max(0.0, static_cast<double>(lat) - hidden);
+        }
+        const auto accesses = Coalesce(ins.addrs, 4, cfg.l1.line_bytes,
+                                       cfg.l1.sector_bytes);
+        unsigned sectors = 0;
+        for (const auto& a : accesses) sectors += PopCount(a.sector_mask);
+        bytes += static_cast<double>(sectors) * cfg.l1.sector_bytes *
+                 mem.DramFraction(info.id, ins.pc);
+      }
+    }
+    issue_b += b;
+    stall_m += m;
+    dram_bytes += bytes;
+  }
+  const double nv = static_cast<double>(kernel.num_variants());
+  issue_b /= nv;
+  stall_m /= nv;
+  dram_bytes /= nv;
+
+  // Multi-warp interval scaling per scheduler.
+  const CtaAllocator occupancy_probe(cfg);
+  const unsigned ctas_per_sm = std::max(1u, occupancy_probe.MaxConcurrent(info));
+  const unsigned warps_per_sm = ctas_per_sm * info.warps_per_cta;
+  const unsigned schedulers = cfg.sub_cores_per_sm * cfg.schedulers_per_sub_core;
+  const double warps_per_sched =
+      std::max(1.0, static_cast<double>(warps_per_sm) / schedulers);
+  const double t_sched =
+      std::max(warps_per_sched * issue_b, issue_b + stall_m);
+
+  // Chip-level DRAM bandwidth roofline over one wave.
+  const unsigned active_sms = std::min<unsigned>(cfg.num_sms, info.num_ctas);
+  const double wave_dram_bytes =
+      dram_bytes * info.warps_per_cta * ctas_per_sm * active_sms;
+  const double chip_bw =
+      static_cast<double>(cfg.dram.bytes_per_cycle) * cfg.num_mem_partitions;
+  const double t_bw = wave_dram_bytes / chip_bw;
+
+  const std::uint64_t waves = CeilDiv(
+      info.num_ctas, static_cast<std::uint64_t>(ctas_per_sm) * cfg.num_sms);
+
+  IntervalEstimate est;
+  est.issue_cycles = issue_b;
+  est.stall_cycles = stall_m;
+  est.bandwidth_cycles = t_bw;
+  est.waves = waves;
+  est.total_cycles = static_cast<Cycle>(
+      std::llround(static_cast<double>(waves) * std::max(t_sched, t_bw)));
+  est.total_cycles = std::max<Cycle>(est.total_cycles, 1);
+  return est;
+}
+
+IntervalEstimate EstimateCycles(const Application& app, const GpuConfig& cfg,
+                                const MemProfile& profile) {
+  IntervalEstimate total;
+  for (const auto& kernel : app.kernels) {
+    const IntervalEstimate k = EstimateKernelCycles(*kernel, cfg, profile);
+    total.total_cycles += k.total_cycles;
+    total.issue_cycles += k.issue_cycles;
+    total.stall_cycles += k.stall_cycles;
+    total.bandwidth_cycles += k.bandwidth_cycles;
+    total.waves += k.waves;
+  }
+  return total;
+}
+
+}  // namespace swiftsim

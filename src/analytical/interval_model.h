@@ -1,0 +1,51 @@
+// A GPUMech-style pure-analytical GPU performance model (interval
+// analysis; Huang et al., MICRO 2014) — the class of related work the
+// paper contrasts Swift-Sim against (§II-B): fast, but it supports few
+// architectural parameters and cannot express module-level design changes
+// (scheduler policies, replacement policies, ...).
+//
+// Included as a comparator: the ablation benches show where hybrid
+// simulation buys accuracy/flexibility over a pure mathematical model.
+//
+// Model summary (per kernel):
+//  * One representative warp per CTA variant is interval-analyzed:
+//    issue cycles B (unit issue intervals) and exposed memory stall
+//    cycles M (Eq. 1 latency of each load consumed by a dependent
+//    instruction before enough independent work hides it).
+//  * A scheduler with W resident warps overlaps stalls with other warps'
+//    issue cycles: T_sched = max(W * B, B + M)   (latency- vs
+//    throughput-bound interval scaling).
+//  * A chip-level DRAM bandwidth roofline bounds the whole kernel.
+//  * Kernel time = waves * T_sched, waves = ceil(CTAs / chip capacity).
+#pragma once
+
+#include <cstdint>
+
+#include "analytical/cache_prepass.h"
+#include "common/types.h"
+#include "config/gpu_config.h"
+#include "trace/kernel.h"
+
+namespace swiftsim {
+
+struct IntervalEstimate {
+  Cycle total_cycles = 0;
+  // Per-kernel decomposition (diagnostics; summed over kernels).
+  double issue_cycles = 0;       // B, per representative scheduler
+  double stall_cycles = 0;       // M, exposed memory latency
+  double bandwidth_cycles = 0;   // DRAM roofline bound
+  std::uint64_t waves = 0;
+};
+
+/// Pure-analytical estimate of an application's execution cycles.
+/// `profile` supplies Eq. 1 hit rates (from the cache pre-pass).
+IntervalEstimate EstimateCycles(const Application& app,
+                                const GpuConfig& cfg,
+                                const MemProfile& profile);
+
+/// Single-kernel version (exposed for tests).
+IntervalEstimate EstimateKernelCycles(const KernelTrace& kernel,
+                                      const GpuConfig& cfg,
+                                      const MemProfile& profile);
+
+}  // namespace swiftsim

@@ -1,0 +1,112 @@
+#include "analytical/mem_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace swiftsim {
+
+AnalyticalMemModel::AnalyticalMemModel(const GpuConfig& cfg,
+                                       const MemProfile* profile)
+    : profile_(profile) {
+  SS_CHECK(profile != nullptr, "AnalyticalMemModel needs a MemProfile");
+  // Level latencies as seen by the warp: the L2 path adds two NoC
+  // traversals on top of the L1 pipeline; DRAM adds the controller
+  // round-trip on top of the L2 path.
+  l1_lat_ = cfg.l1.latency;
+  l2_lat_ = cfg.l1.latency + 2ull * cfg.noc.latency + cfg.l2.latency;
+  dram_lat_ = l2_lat_ + cfg.dram.latency;
+  store_latency_ = 4;  // address/egress occupancy only: fire-and-forget
+}
+
+Cycle AnalyticalMemModel::LoadLatency(KernelId kernel, Pc pc) const {
+  const PcHitRates& r = profile_->Lookup(kernel, pc);
+  const double expected = static_cast<double>(l1_lat_) * r.r_l1() +
+                          static_cast<double>(l2_lat_) * r.r_l2() +
+                          static_cast<double>(dram_lat_) * r.r_dram();
+  return static_cast<Cycle>(std::llround(std::max(expected, 1.0)));
+}
+
+double AnalyticalMemModel::DramFraction(KernelId kernel, Pc pc) const {
+  return profile_->Lookup(kernel, pc).r_dram();
+}
+
+double AnalyticalMemModel::L1MissFraction(KernelId kernel, Pc pc) const {
+  return 1.0 - profile_->Lookup(kernel, pc).r_l1();
+}
+
+namespace {
+// Peak bandwidth is never sustained; how far below peak the memory system
+// runs depends on spatial locality. Full-line (4-sector) accesses stream
+// efficiently (row hits, full bursts); single-sector scatters waste most
+// of each DRAM burst and suffer bank head-of-line blocking. These anchors
+// are the analytical model's calibration constants (GPUMech-class models
+// fold the same physics into their queueing terms).
+constexpr double kDramEffLow = 0.30;   // 1 sector per line access
+constexpr double kDramEffHigh = 0.80;  // full-line accesses
+constexpr double kL2EffLow = 0.25;
+constexpr double kL2EffHigh = 1.00;
+
+double Lerp(double lo, double hi, double t) { return lo + (hi - lo) * t; }
+}  // namespace
+
+MemContentionModel::MemContentionModel(const GpuConfig& cfg)
+    : sector_bytes_(cfg.l1.sector_bytes) {
+  chip_dram_bw_ = static_cast<double>(cfg.dram.bytes_per_cycle) *
+                  cfg.num_mem_partitions;
+  chip_l2_rate_ = static_cast<double>(cfg.num_mem_partitions) * cfg.l2.banks;
+  noc_port_bw_ = std::max<double>(cfg.noc.bytes_per_cycle, 1.0);
+  l1_banks_ = std::max<double>(cfg.l1.banks, 1.0);
+  active_sms_ = cfg.num_sms;
+}
+
+void MemContentionModel::SetActiveSms(unsigned active) {
+  active_sms_ = std::max(1u, active);
+}
+
+Cycle MemContentionModel::Issue(unsigned line_accesses, unsigned sectors,
+                                double l1_miss_fraction,
+                                double dram_fraction, Cycle now) {
+  SS_DCHECK(line_accesses > 0);
+  const double bytes = static_cast<double>(sectors) * sector_bytes_;
+  const double spa =
+      static_cast<double>(sectors) / static_cast<double>(line_accesses);
+  const double locality = std::clamp((spa - 1.0) / 3.0, 0.0, 1.0);
+
+  const double dram_share =
+      chip_dram_bw_ * Lerp(kDramEffLow, kDramEffHigh, locality) / active_sms_;
+  const double l2_share =
+      chip_l2_rate_ * Lerp(kL2EffLow, kL2EffHigh, locality) / active_sms_;
+
+  const double l1_occ = static_cast<double>(line_accesses) / l1_banks_;
+  const double l2_occ =
+      static_cast<double>(line_accesses) * l1_miss_fraction / l2_share;
+  const double noc_occ = bytes * l1_miss_fraction / noc_port_bw_;
+  const double dram_occ = bytes * dram_fraction / dram_share;
+
+  const double dnow = static_cast<double>(now);
+  const double l1_start = std::max(l1_busy_until_, dnow);
+  const double l2_start = std::max(l2_busy_until_, dnow);
+  const double noc_start = std::max(noc_busy_until_, dnow);
+  const double dram_start = std::max(dram_busy_until_, dnow);
+  l1_busy_until_ = l1_start + l1_occ;
+  l2_busy_until_ = l2_start + l2_occ;
+  noc_busy_until_ = noc_start + noc_occ;
+  dram_busy_until_ = dram_start + dram_occ;
+
+  // A load's fill arrives only after its own bytes cross the latency-
+  // relevant downstream pipes (L2 banks, NoC port), so those charge the
+  // position *after* this instruction's transfer. The L1 pipe's own
+  // service time is already inside the L1 hit latency, and the DRAM pipe
+  // is a pure throughput bound: both charge only the queue wait ahead of
+  // the instruction.
+  const double ready = std::max(
+      std::max(l1_start, l2_busy_until_),
+      std::max(noc_busy_until_, dram_start));
+  const Cycle delay = static_cast<Cycle>(std::llround(ready - dnow));
+  queue_cycles_ += delay;
+  return delay;
+}
+
+}  // namespace swiftsim

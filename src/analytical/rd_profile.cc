@@ -1,0 +1,91 @@
+#include "analytical/rd_profile.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "analytical/reuse_distance.h"
+#include "common/status.h"
+#include "core/cta_allocator.h"
+#include "mem/coalescer.h"
+
+namespace swiftsim {
+
+MemProfile BuildMemProfileReuseDistance(const Application& app,
+                                        const GpuConfig& cfg) {
+  MemProfile profile;
+  const std::uint64_t l1_lines = cfg.l1.size_bytes / cfg.l1.line_bytes;
+  const std::uint64_t l2_lines = cfg.total_l2_bytes() / cfg.l2.line_bytes;
+
+  // Profilers persist across kernels (warm L2, like the timing model).
+  std::vector<std::unique_ptr<ReuseDistanceProfiler>> l1_prof;
+  l1_prof.reserve(cfg.num_sms);
+  for (unsigned s = 0; s < cfg.num_sms; ++s) {
+    l1_prof.push_back(std::make_unique<ReuseDistanceProfiler>());
+  }
+  ReuseDistanceProfiler l2_prof;
+
+  for (const auto& kernel : app.kernels) {
+    const KernelInfo& info = kernel->info();
+    const CtaAllocator occupancy_probe(cfg);
+    const unsigned per_sm =
+        std::max(1u, occupancy_probe.MaxConcurrent(info));
+    const unsigned wave = per_sm * cfg.num_sms;
+
+    struct Cursor {
+      const WarpTrace* trace;
+      std::size_t next = 0;
+      unsigned sm;
+    };
+    for (CtaId wave_start = 0; wave_start < info.num_ctas;
+         wave_start += wave) {
+      const CtaId wave_end =
+          std::min<CtaId>(wave_start + wave, info.num_ctas);
+      std::vector<Cursor> cursors;
+      for (CtaId c = wave_start; c < wave_end; ++c) {
+        const CtaTrace& cta = kernel->cta(c);
+        const unsigned sm = (c - wave_start) % cfg.num_sms;
+        for (const WarpTrace& w : cta.warps) {
+          cursors.push_back(Cursor{&w, 0, sm});
+        }
+      }
+      bool any = true;
+      while (any) {
+        any = false;
+        for (Cursor& cur : cursors) {
+          if (cur.next >= cur.trace->size()) continue;
+          const TraceInstr& ins = (*cur.trace)[cur.next++];
+          any = true;
+          if (!IsGlobalMem(ins.op)) continue;
+          const auto accesses = Coalesce(ins.addrs, 4, cfg.l1.line_bytes,
+                                         cfg.l1.sector_bytes);
+          if (IsStore(ins.op)) {
+            // Stores only warm the stacks (write-through traffic).
+            for (const auto& acc : accesses) {
+              l1_prof[cur.sm]->Access(acc.line_addr);
+              l2_prof.Access(acc.line_addr);
+            }
+            continue;
+          }
+          PcHitRates& rates = profile.Mutable(info.id, ins.pc);
+          for (const auto& acc : accesses) {
+            ++rates.accesses;
+            const std::uint64_t d_l1 =
+                l1_prof[cur.sm]->Access(acc.line_addr);
+            if (d_l1 < l1_lines) {
+              ++rates.l1_hits;
+              continue;
+            }
+            // The L2 sees the L1 miss stream.
+            const std::uint64_t d_l2 = l2_prof.Access(acc.line_addr);
+            if (d_l2 < l2_lines) ++rates.l2_hits;
+          }
+        }
+      }
+    }
+    profile.FinalizeKernel(info.id);
+  }
+  return profile;
+}
+
+}  // namespace swiftsim

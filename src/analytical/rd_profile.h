@@ -1,0 +1,27 @@
+// Reuse-distance-based hit-rate extraction — the paper's other named
+// source for Eq. 1's rates ("hit rates obtained using a reuse distance
+// tool or cache simulator", §III-D2).
+//
+// Per-SM L1 streams and the chip-wide L1-miss stream are profiled with
+// Mattson stack distances; the LRU stack property converts distances into
+// hit/miss decisions at each level's capacity.
+//
+// Deliberate limitations (they ARE the paper's §II-B argument for hybrid
+// simulation over pure analytical cache models):
+//  * assumes fully-associative LRU — FIFO/Random policies, associativity
+//    conflicts and sector effects are invisible;
+//  * no MSHR-merge/timing correction (unlike the functional pre-pass).
+#pragma once
+
+#include "analytical/cache_prepass.h"
+#include "config/gpu_config.h"
+#include "trace/kernel.h"
+
+namespace swiftsim {
+
+/// Builds a MemProfile from reuse-distance theory instead of the
+/// functional cache simulation of BuildMemProfile.
+MemProfile BuildMemProfileReuseDistance(const Application& app,
+                                        const GpuConfig& cfg);
+
+}  // namespace swiftsim

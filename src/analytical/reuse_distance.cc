@@ -1,0 +1,83 @@
+#include "analytical/reuse_distance.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace swiftsim {
+
+ReuseDistanceProfiler::ReuseDistanceProfiler(std::size_t max_tracked_distance)
+    : max_distance_(max_tracked_distance),
+      histogram_(max_tracked_distance, 0) {}
+
+void ReuseDistanceProfiler::EnsureCapacity(std::size_t i) {
+  if (i <= cap_) return;
+  std::size_t cap = std::max<std::size_t>(cap_ * 2, 1024);
+  while (cap < i) cap *= 2;
+  // A Fenwick tree cannot grow in place (high cells summarize low ranges
+  // that were added before they existed): rebuild from the live marks.
+  bit_.assign(cap + 1, 0);
+  cap_ = cap;
+  for (const auto& [addr, t] : last_time_) BitAdd(t, +1);
+}
+
+void ReuseDistanceProfiler::BitAdd(std::size_t i, int delta) {
+  SS_DCHECK(i >= 1 && i <= cap_);
+  for (; i <= cap_; i += i & (~i + 1)) {
+    bit_[i] = static_cast<std::int32_t>(bit_[i] + delta);
+  }
+}
+
+std::uint64_t ReuseDistanceProfiler::BitSum(std::size_t i) const {
+  std::uint64_t s = 0;
+  i = std::min(i, cap_);
+  for (; i >= 1; i -= i & (~i + 1)) {
+    s += static_cast<std::uint64_t>(bit_[i]);
+  }
+  return s;
+}
+
+std::uint64_t ReuseDistanceProfiler::Access(Addr line) {
+  ++accesses_;
+  const std::size_t now = static_cast<std::size_t>(accesses_);  // 1-based
+  EnsureCapacity(now);
+  std::uint64_t result = kColdDistance;
+  auto it = last_time_.find(line);
+  if (it == last_time_.end()) {
+    ++cold_misses_;
+  } else {
+    const std::size_t prev = it->second;
+    // Marks strictly after prev == distinct lines touched since. The
+    // total mark count equals the number of distinct lines seen so far.
+    const std::uint64_t total = last_time_.size();
+    const std::uint64_t upto_prev = BitSum(prev);
+    const std::uint64_t distance = total - upto_prev;
+    result = distance;
+    if (distance < max_distance_) {
+      ++histogram_[static_cast<std::size_t>(distance)];
+    } else {
+      ++overflow_;
+    }
+    BitAdd(prev, -1);
+  }
+  BitAdd(now, +1);
+  last_time_[line] = now;
+  return result;
+}
+
+std::uint64_t ReuseDistanceProfiler::DistanceCount(std::size_t d) const {
+  SS_CHECK(d < histogram_.size(), "reuse distance out of tracked range");
+  return histogram_[d];
+}
+
+double ReuseDistanceProfiler::HitRateForCapacity(
+    std::uint64_t capacity_lines) const {
+  if (accesses_ == 0) return 0.0;
+  std::uint64_t hits = 0;
+  const std::size_t cap = static_cast<std::size_t>(
+      std::min<std::uint64_t>(capacity_lines, histogram_.size()));
+  for (std::size_t d = 0; d < cap; ++d) hits += histogram_[d];
+  return static_cast<double>(hits) / static_cast<double>(accesses_);
+}
+
+}  // namespace swiftsim

@@ -1,0 +1,45 @@
+// Bit-manipulation helpers used by caches, coalescers and address mappers.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace swiftsim {
+
+/// True iff v is a power of two (0 is not).
+constexpr bool IsPow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr unsigned Log2(std::uint64_t v) {
+  return static_cast<unsigned>(std::bit_width(v) - 1);
+}
+
+/// Rounds v up to the next multiple of `align` (align must be pow2).
+constexpr std::uint64_t AlignUp(std::uint64_t v, std::uint64_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// Rounds v down to a multiple of `align` (align must be pow2).
+constexpr std::uint64_t AlignDown(std::uint64_t v, std::uint64_t align) {
+  return v & ~(align - 1);
+}
+
+/// Number of set bits.
+constexpr unsigned PopCount(std::uint64_t v) {
+  return static_cast<unsigned>(std::popcount(v));
+}
+
+/// Ceiling division for unsigned integers.
+constexpr std::uint64_t CeilDiv(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Mixes the bits of a 64-bit value (finalizer of splitmix64). Used for
+/// deterministic pseudo-random decisions keyed on addresses/PCs.
+constexpr std::uint64_t HashMix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace swiftsim

@@ -1,0 +1,45 @@
+// Minimal leveled logger. Thread-safe; default level Warning so simulation
+// hot loops stay silent unless the user opts in.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace swiftsim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one line to stderr, prefixed with the level tag. Thread-safe.
+void LogLine(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, os_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace swiftsim
+
+#define SS_LOG(level)                                       \
+  if (static_cast<int>(::swiftsim::LogLevel::level) <       \
+      static_cast<int>(::swiftsim::GetLogLevel())) {        \
+  } else                                                    \
+    ::swiftsim::detail::LogMessage(::swiftsim::LogLevel::level)

@@ -1,0 +1,73 @@
+// Deterministic, fast PRNG (xoshiro256**) used by workload generators and
+// the Random cache-replacement policy. std::mt19937 is avoided because its
+// state is large and its distributions are not reproducible across standard
+// library implementations; everything here is bit-exact everywhere.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace swiftsim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { Seed(seed); }
+
+  /// Re-seeds via splitmix64 so that nearby seeds give unrelated streams.
+  void Seed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t Below(std::uint64_t bound) {
+    SS_DCHECK(bound > 0);
+    // Lemire's multiply-shift rejection-free-enough reduction; bias is
+    // negligible for the bounds used in workload generation (< 2^40).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t Range(std::int64_t lo, std::int64_t hi) {
+    SS_DCHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    Below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace swiftsim

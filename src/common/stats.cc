@@ -1,0 +1,129 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/status.h"
+
+namespace swiftsim {
+
+void Summary::Add(double v) {
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  sum_sq_ += v * v;
+}
+
+double Summary::min() const {
+  SS_CHECK(count_ > 0, "min() of empty Summary");
+  return min_;
+}
+
+double Summary::max() const {
+  SS_CHECK(count_ > 0, "max() of empty Summary");
+  return max_;
+}
+
+double Summary::mean() const {
+  SS_CHECK(count_ > 0, "mean() of empty Summary");
+  return sum_ / static_cast<double>(count_);
+}
+
+double Summary::variance() const {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+  return std::max(var, 0.0);  // guard FP cancellation
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double GeoMean(const std::vector<double>& values) {
+  SS_CHECK(!values.empty(), "GeoMean of empty vector");
+  double log_sum = 0;
+  for (double v : values) {
+    SS_CHECK(v > 0, "GeoMean requires strictly positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double Mean(const std::vector<double>& values) {
+  SS_CHECK(!values.empty(), "Mean of empty vector");
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double RelError(double predicted, double actual) {
+  SS_CHECK(actual != 0, "RelError with zero actual value");
+  return std::abs(predicted - actual) / std::abs(actual);
+}
+
+double MeanAbsRelError(const std::vector<double>& predicted,
+                       const std::vector<double>& actual) {
+  SS_CHECK(predicted.size() == actual.size(),
+           "MeanAbsRelError: size mismatch");
+  SS_CHECK(!predicted.empty(), "MeanAbsRelError: empty input");
+  double sum = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    sum += RelError(predicted[i], actual[i]);
+  }
+  return sum / static_cast<double>(predicted.size());
+}
+
+double Quantile(std::vector<double> values, double q) {
+  SS_CHECK(!values.empty(), "Quantile of empty vector");
+  SS_CHECK(q >= 0.0 && q <= 1.0, "Quantile q out of [0,1]");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  SS_CHECK(hi > lo, "Histogram: hi must exceed lo");
+  SS_CHECK(bins > 0, "Histogram: need at least one bin");
+}
+
+void Histogram::Add(double v) {
+  ++total_;
+  if (v < lo_) {
+    ++underflow_;
+  } else if (v >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((v - lo_) / width_);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;  // FP edge
+    ++counts_[idx];
+  }
+}
+
+std::uint64_t Histogram::bin_count(std::size_t i) const {
+  SS_CHECK(i < counts_.size(), "Histogram bin index out of range");
+  return counts_[i];
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "hist[" << lo_ << "," << hi_ << ") total=" << total_
+     << " under=" << underflow_ << " over=" << overflow_ << " bins=";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (i) os << ",";
+    os << counts_[i];
+  }
+  return os.str();
+}
+
+}  // namespace swiftsim

@@ -1,0 +1,75 @@
+// Small statistics toolkit: running summaries, relative-error metrics and
+// the geometric means used throughout the paper's evaluation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace swiftsim {
+
+/// Streaming summary of a sequence of doubles.
+class Summary {
+ public:
+  void Add(double v);
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Geometric mean of strictly positive values. Throws SimError on empty
+/// input or non-positive entries.
+double GeoMean(const std::vector<double>& values);
+
+/// Arithmetic mean. Throws SimError on empty input.
+double Mean(const std::vector<double>& values);
+
+/// |predicted - actual| / actual, as used for the paper's cycle-prediction
+/// error. Throws SimError if actual == 0.
+double RelError(double predicted, double actual);
+
+/// Mean absolute relative error over paired vectors (same length, nonempty).
+double MeanAbsRelError(const std::vector<double>& predicted,
+                       const std::vector<double>& actual);
+
+/// Quantile via linear interpolation on a copy of `values`; q in [0,1].
+double Quantile(std::vector<double> values, double q);
+
+/// Histogram with fixed-width bins, used by the reuse-distance profiler
+/// and metric reports.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double v);
+  std::uint64_t bin_count(std::size_t i) const;
+  std::size_t num_bins() const { return counts_.size(); }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace swiftsim

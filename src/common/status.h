@@ -1,0 +1,54 @@
+// Error handling used across Swift-Sim.
+//
+// Configuration / input errors (bad config file, malformed trace) throw
+// SimError with a descriptive message; internal invariant violations use
+// SS_ASSERT which also throws so tests can observe them. Hot simulation
+// paths use plain asserts via SS_DCHECK (compiled out in release).
+#pragma once
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace swiftsim {
+
+/// Exception type for all user-visible Swift-Sim failures.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void ThrowSimError(const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << msg;
+  throw SimError(os.str());
+}
+}  // namespace detail
+
+}  // namespace swiftsim
+
+/// Throws SimError with message `msg` if `cond` is false. Always evaluated.
+#define SS_CHECK(cond, msg)                                        \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::swiftsim::detail::ThrowSimError(__FILE__, __LINE__,        \
+                                        std::string("check failed: " #cond \
+                                                    " — ") +       \
+                                            (msg));                \
+    }                                                              \
+  } while (0)
+
+/// Internal invariant; throws so unit tests can exercise failure paths.
+#define SS_ASSERT(cond)                                            \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::swiftsim::detail::ThrowSimError(__FILE__, __LINE__,        \
+                                        "invariant violated: " #cond); \
+    }                                                              \
+  } while (0)
+
+/// Debug-only check for hot paths.
+#define SS_DCHECK(cond) assert(cond)

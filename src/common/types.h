@@ -1,0 +1,33 @@
+// Fundamental scalar types shared across the Swift-Sim libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace swiftsim {
+
+/// Simulation time in core clock cycles.
+using Cycle = std::uint64_t;
+
+/// Byte address in the simulated GPU's global address space.
+using Addr = std::uint64_t;
+
+/// Program counter of a (virtual) SASS instruction, in bytes.
+using Pc = std::uint64_t;
+
+/// Identifier types. Plain integers; strong typing is provided by context
+/// (ids never cross component boundaries without their owning object).
+using SmId = std::uint32_t;
+using SubCoreId = std::uint32_t;
+using WarpId = std::uint32_t;   // hardware warp slot within an SM
+using CtaId = std::uint32_t;    // linearized CTA index within a grid
+using KernelId = std::uint32_t;
+
+/// Number of threads in a warp. Fixed for all modeled NVIDIA parts.
+inline constexpr unsigned kWarpSize = 32;
+
+/// Active-thread mask of a warp (bit i == lane i active).
+using LaneMask = std::uint32_t;
+
+inline constexpr LaneMask kFullMask = 0xffffffffu;
+
+}  // namespace swiftsim

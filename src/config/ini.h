@@ -1,0 +1,60 @@
+// INI-style configuration file support for the Hardware Configuration
+// Collector (paper §III-A). Syntax:
+//
+//   # comment, ; comment
+//   [section]
+//   key = value        # keys are looked up as "section.key"
+//   top_level_key = v  # before any section header: looked up as "key"
+//
+// Duplicate keys: the last assignment wins (so users can layer overrides on
+// top of a preset dump).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swiftsim {
+
+class IniFile {
+ public:
+  IniFile() = default;
+
+  /// Parses INI text. Throws SimError with a line number on syntax errors.
+  static IniFile ParseString(std::string_view text);
+
+  /// Reads and parses a file. Throws SimError if unreadable.
+  static IniFile ParseFile(const std::string& path);
+
+  bool Has(const std::string& key) const;
+
+  /// Typed getters; throw SimError naming the key when missing or malformed.
+  std::string GetString(const std::string& key) const;
+  std::int64_t GetInt(const std::string& key) const;
+  std::uint64_t GetUint(const std::string& key) const;
+  double GetDouble(const std::string& key) const;
+  bool GetBool(const std::string& key) const;
+
+  /// Getters with defaults; only throw on malformed values.
+  std::string GetString(const std::string& key, const std::string& dflt) const;
+  std::int64_t GetInt(const std::string& key, std::int64_t dflt) const;
+  std::uint64_t GetUint(const std::string& key, std::uint64_t dflt) const;
+  double GetDouble(const std::string& key, double dflt) const;
+  bool GetBool(const std::string& key, bool dflt) const;
+
+  /// Sets/overrides a key programmatically.
+  void Set(const std::string& key, const std::string& value);
+
+  /// All keys in sorted order (for dumping/round-tripping).
+  std::vector<std::string> Keys() const;
+
+  /// Serializes to a flat "key = value" listing (sections inlined in keys).
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace swiftsim

@@ -1,0 +1,128 @@
+#include "config/presets.h"
+
+#include "common/status.h"
+#include "common/strutil.h"
+
+namespace swiftsim {
+
+GpuConfig Rtx2080TiConfig() {
+  GpuConfig c;
+  c.name = "rtx2080ti";
+  // Table I / Table II: TU102, 68 SMs, 4352 CUDA cores (68*4*16), 5.5MB L2.
+  c.num_sms = 68;
+  c.sub_cores_per_sm = 4;
+  c.max_warps_per_sm = 32;        // 1024 threads/SM on Turing
+  c.max_ctas_per_sm = 16;
+  c.max_threads_per_sm = 1024;
+  c.registers_per_sm = 65536;
+  c.shared_mem_per_sm = 64 * 1024;
+
+  c.sched_policy = SchedPolicy::kGto;  // Table II: "Warp Scheduler: 1x, GTO"
+  c.schedulers_per_sub_core = 1;
+  c.int_unit = {16, 4, 0};             // INT:16x
+  c.sp_unit = {16, 4, 0};              // SP:16x
+  c.dp_unit = {1, 8, 64};              // DP:0.5x -> one warp per 64 cycles
+  c.sfu_unit = {4, 21, 0};             // SFU:4x
+  c.tensor_unit = {8, 16, 0};
+  c.ldst_units_per_sub_core = 4;       // LD/ST Units: 4x
+  c.ldst_queue_depth = 8;
+
+  // Table II L1: sectored, streaming, write-through, 4 banks, 128B line,
+  // 32B sector, 256 MSHR entries, 8 max merge, LRU, 32 cycles.
+  c.l1.size_bytes = 64 * 1024;
+  c.l1.assoc = 4;
+  c.l1.line_bytes = 128;
+  c.l1.sector_bytes = 32;
+  c.l1.banks = 4;
+  c.l1.mshr_entries = 256;
+  c.l1.mshr_max_merge = 8;
+  c.l1.replacement = ReplacementPolicy::kLru;
+  c.l1.write_policy = WritePolicy::kWriteThrough;
+  c.l1.latency = 32;
+
+  // Table II L2: sectored, write-back, 128B line, 32B sector, 192 MSHR,
+  // 4 max merge, LRU, 188 cycles. 5.5MB total over 22 partitions = 256KB
+  // per slice.
+  c.l2.size_bytes = 256 * 1024;
+  c.l2.assoc = 16;
+  c.l2.line_bytes = 128;
+  c.l2.sector_bytes = 32;
+  c.l2.banks = 2;
+  c.l2.mshr_entries = 192;
+  c.l2.mshr_max_merge = 4;
+  c.l2.replacement = ReplacementPolicy::kLru;
+  c.l2.write_policy = WritePolicy::kWriteBack;
+  c.l2.streaming = false;
+  c.l2.latency = 188 - 32;  // Table II 188 is load-to-use; L1 part is 32
+
+  c.shared_mem_latency = 24;
+  c.shared_mem_banks = 32;
+
+  // Table II: 22 memory partitions, 227 cycles.
+  c.num_mem_partitions = 22;
+  c.noc.latency = 8;
+  c.noc.bytes_per_cycle = 32;
+  c.dram.latency = 227;  // Table II "Memory: 227 cycles" (controller round-trip)
+  c.dram.row_hit_latency = 115;
+  c.dram.row_bytes = 2048;
+  c.dram.bytes_per_cycle = 32;
+  c.dram.queue_depth = 32;
+  c.Validate();
+  return c;
+}
+
+GpuConfig Rtx3060Config() {
+  GpuConfig c = Rtx2080TiConfig();
+  c.name = "rtx3060";
+  // Table I: GA106, 28 SMs, 3584 CUDA cores, 3MB L2.
+  c.num_sms = 28;
+  // Ampere doubles FP32 throughput per sub-core (128 cores/SM = 28*4*32).
+  c.sp_unit = {32, 4, 0};
+  c.max_warps_per_sm = 48;       // 1536 threads/SM on Ampere
+  c.max_threads_per_sm = 1536;
+  c.shared_mem_per_sm = 100 * 1024;
+  c.l1.size_bytes = 128 * 1024;  // 128KB combined L1/shared on GA10x
+  // 3MB L2 across 12 partitions (192-bit GDDR6 bus) = 256KB per slice.
+  c.num_mem_partitions = 12;
+  c.l2.size_bytes = 256 * 1024;
+  c.l2.latency = 170 - 32;
+  c.dram.latency = 210;
+  c.dram.row_hit_latency = 105;
+  c.Validate();
+  return c;
+}
+
+GpuConfig Rtx3090Config() {
+  GpuConfig c = Rtx2080TiConfig();
+  c.name = "rtx3090";
+  // Table I: GA102, 82 SMs, 10496 CUDA cores, 6MB L2.
+  c.num_sms = 82;
+  c.sp_unit = {32, 4, 0};
+  c.max_warps_per_sm = 48;
+  c.max_threads_per_sm = 1536;
+  c.shared_mem_per_sm = 100 * 1024;
+  c.l1.size_bytes = 128 * 1024;
+  // 6MB L2 across 24 partitions (384-bit GDDR6X bus) = 256KB per slice.
+  c.num_mem_partitions = 24;
+  c.l2.size_bytes = 256 * 1024;
+  c.l2.latency = 180 - 32;
+  c.dram.latency = 220;
+  c.dram.row_hit_latency = 110;
+  c.Validate();
+  return c;
+}
+
+GpuConfig PresetByName(const std::string& name) {
+  const std::string t = ToLower(name);
+  if (t == "rtx2080ti") return Rtx2080TiConfig();
+  if (t == "rtx3060") return Rtx3060Config();
+  if (t == "rtx3090") return Rtx3090Config();
+  throw SimError("unknown GPU preset '" + name +
+                 "' (expected rtx2080ti, rtx3060 or rtx3090)");
+}
+
+std::vector<std::string> PresetNames() {
+  return {"rtx2080ti", "rtx3060", "rtx3090"};
+}
+
+}  // namespace swiftsim

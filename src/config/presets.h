@@ -1,0 +1,28 @@
+// Real-GPU configuration presets used in the paper's evaluation
+// (Table I: RTX 2080 Ti / RTX 3060 / RTX 3090; Table II: 2080 Ti detail).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/gpu_config.h"
+
+namespace swiftsim {
+
+/// NVIDIA RTX 2080 Ti (Turing TU102) — Table II of the paper.
+GpuConfig Rtx2080TiConfig();
+
+/// NVIDIA RTX 3060 (Ampere GA106) — Table I column 2.
+GpuConfig Rtx3060Config();
+
+/// NVIDIA RTX 3090 (Ampere GA102) — Table I column 3.
+GpuConfig Rtx3090Config();
+
+/// Lookup by name ("rtx2080ti", "rtx3060", "rtx3090"); throws SimError on
+/// unknown names.
+GpuConfig PresetByName(const std::string& name);
+
+/// All preset names, in Table I order.
+std::vector<std::string> PresetNames();
+
+}  // namespace swiftsim

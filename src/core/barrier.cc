@@ -1,0 +1,44 @@
+#include "core/barrier.h"
+
+#include "common/status.h"
+
+namespace swiftsim {
+
+BarrierManager::BarrierManager(unsigned max_cta_slots)
+    : ctas_(max_cta_slots) {}
+
+void BarrierManager::InitCta(unsigned cta_slot, unsigned num_warps) {
+  SS_DCHECK(cta_slot < ctas_.size());
+  ctas_[cta_slot] = CtaBarrier{num_warps, 0};
+}
+
+bool BarrierManager::Arrive(unsigned cta_slot) {
+  SS_DCHECK(cta_slot < ctas_.size());
+  CtaBarrier& b = ctas_[cta_slot];
+  SS_DCHECK(b.live_warps > 0);
+  ++b.arrived;
+  if (b.arrived >= b.live_warps) {
+    b.arrived = 0;
+    return true;
+  }
+  return false;
+}
+
+bool BarrierManager::OnWarpExit(unsigned cta_slot) {
+  SS_DCHECK(cta_slot < ctas_.size());
+  CtaBarrier& b = ctas_[cta_slot];
+  SS_DCHECK(b.live_warps > 0);
+  --b.live_warps;
+  if (b.live_warps > 0 && b.arrived >= b.live_warps) {
+    b.arrived = 0;
+    return true;
+  }
+  return false;
+}
+
+unsigned BarrierManager::waiting(unsigned cta_slot) const {
+  SS_DCHECK(cta_slot < ctas_.size());
+  return ctas_[cta_slot].arrived;
+}
+
+}  // namespace swiftsim

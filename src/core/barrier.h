@@ -1,0 +1,39 @@
+// CTA barrier bookkeeping: warps arriving at BAR.SYNC block until every
+// live warp of the CTA has arrived, then all release together.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace swiftsim {
+
+class BarrierManager {
+ public:
+  explicit BarrierManager(unsigned max_cta_slots);
+
+  /// Initializes a CTA slot with its warp count.
+  void InitCta(unsigned cta_slot, unsigned num_warps);
+
+  /// Warp arrives at a barrier. Returns true when this arrival releases
+  /// the barrier (the caller wakes all the CTA's warps, including this
+  /// one). Returns false when the warp must block.
+  bool Arrive(unsigned cta_slot);
+
+  /// A warp exited; exited warps no longer participate in barriers.
+  /// Returns true if the exit releases a barrier the remaining warps were
+  /// waiting on.
+  bool OnWarpExit(unsigned cta_slot);
+
+  unsigned waiting(unsigned cta_slot) const;
+
+ private:
+  struct CtaBarrier {
+    unsigned live_warps = 0;
+    unsigned arrived = 0;
+  };
+  std::vector<CtaBarrier> ctas_;
+};
+
+}  // namespace swiftsim

@@ -1,0 +1,76 @@
+#include "core/cta_allocator.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace swiftsim {
+
+CtaAllocator::CtaAllocator(const GpuConfig& cfg)
+    : cfg_(cfg), in_use_(cfg.max_ctas_per_sm, 0) {}
+
+namespace {
+std::uint64_t RegsOf(const KernelInfo& k) {
+  return static_cast<std::uint64_t>(k.threads_per_cta) * k.regs_per_thread;
+}
+}  // namespace
+
+bool CtaAllocator::Feasible(const KernelInfo& k) const {
+  return k.warps_per_cta <= cfg_.max_warps_per_sm &&
+         k.threads_per_cta <= cfg_.max_threads_per_sm &&
+         RegsOf(k) <= cfg_.registers_per_sm &&
+         k.smem_bytes_per_cta <= cfg_.shared_mem_per_sm;
+}
+
+bool CtaAllocator::CanAllocate(const KernelInfo& k) const {
+  return resident_ < in_use_.size() &&
+         used_warps_ + k.warps_per_cta <= cfg_.max_warps_per_sm &&
+         used_threads_ + k.threads_per_cta <= cfg_.max_threads_per_sm &&
+         used_regs_ + RegsOf(k) <= cfg_.registers_per_sm &&
+         used_smem_ + k.smem_bytes_per_cta <= cfg_.shared_mem_per_sm;
+}
+
+unsigned CtaAllocator::Allocate(const KernelInfo& k) {
+  SS_DCHECK(CanAllocate(k));
+  for (unsigned slot = 0; slot < in_use_.size(); ++slot) {
+    if (!in_use_[slot]) {
+      in_use_[slot] = 1;
+      ++resident_;
+      used_warps_ += k.warps_per_cta;
+      used_threads_ += k.threads_per_cta;
+      used_regs_ += RegsOf(k);
+      used_smem_ += k.smem_bytes_per_cta;
+      return slot;
+    }
+  }
+  throw SimError("CtaAllocator: no free CTA slot despite CanAllocate");
+}
+
+void CtaAllocator::Release(unsigned cta_slot, const KernelInfo& k) {
+  SS_DCHECK(cta_slot < in_use_.size() && in_use_[cta_slot]);
+  in_use_[cta_slot] = 0;
+  SS_DCHECK(resident_ > 0);
+  --resident_;
+  used_warps_ -= k.warps_per_cta;
+  used_threads_ -= k.threads_per_cta;
+  used_regs_ -= RegsOf(k);
+  used_smem_ -= k.smem_bytes_per_cta;
+}
+
+unsigned CtaAllocator::MaxConcurrent(const KernelInfo& k) const {
+  if (!Feasible(k)) return 0;
+  unsigned lim = static_cast<unsigned>(in_use_.size());
+  lim = std::min(lim, cfg_.max_warps_per_sm / k.warps_per_cta);
+  lim = std::min(lim, cfg_.max_threads_per_sm / k.threads_per_cta);
+  if (RegsOf(k) > 0) {
+    lim = std::min(lim,
+                   static_cast<unsigned>(cfg_.registers_per_sm / RegsOf(k)));
+  }
+  if (k.smem_bytes_per_cta > 0) {
+    lim = std::min(lim, static_cast<unsigned>(cfg_.shared_mem_per_sm /
+                                              k.smem_bytes_per_cta));
+  }
+  return lim;
+}
+
+}  // namespace swiftsim

@@ -1,0 +1,48 @@
+// Per-SM CTA resource accounting: warp slots, threads, registers, shared
+// memory and CTA slots all gate how many blocks an SM can host at once.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "config/gpu_config.h"
+#include "trace/kernel.h"
+
+namespace swiftsim {
+
+class CtaAllocator {
+ public:
+  explicit CtaAllocator(const GpuConfig& cfg);
+
+  /// Could a CTA of this kernel ever fit on an empty SM? (Launch-time
+  /// feasibility check; throws via caller when a kernel is unrunnable.)
+  bool Feasible(const KernelInfo& k) const;
+
+  /// True iff the SM currently has resources for one more CTA of `k`.
+  bool CanAllocate(const KernelInfo& k) const;
+
+  /// Reserves resources; returns the CTA slot index. Requires CanAllocate.
+  unsigned Allocate(const KernelInfo& k);
+
+  /// Releases the slot's resources.
+  void Release(unsigned cta_slot, const KernelInfo& k);
+
+  unsigned resident_ctas() const { return resident_; }
+  unsigned used_warps() const { return used_warps_; }
+  unsigned max_ctas() const { return static_cast<unsigned>(in_use_.size()); }
+
+  /// Static occupancy: how many CTAs of `k` fit on an empty SM.
+  unsigned MaxConcurrent(const KernelInfo& k) const;
+
+ private:
+  GpuConfig cfg_;
+  std::vector<std::uint8_t> in_use_;  // per CTA slot
+  unsigned resident_ = 0;
+  unsigned used_warps_ = 0;
+  unsigned used_threads_ = 0;
+  std::uint64_t used_regs_ = 0;
+  std::uint64_t used_smem_ = 0;
+};
+
+}  // namespace swiftsim

@@ -1,0 +1,97 @@
+#include "core/exec_unit.h"
+
+#include "common/status.h"
+
+namespace swiftsim {
+
+ExecPipeline::ExecPipeline(UnitClass cls, const ExecUnitConfig& cfg)
+    : cls_(cls), cfg_(cfg),
+      stages_(cfg.latency + cfg.issue_interval() - 1) {
+  SS_CHECK(!stages_.empty(), "exec pipeline needs at least one stage");
+}
+
+void ExecPipeline::Issue(unsigned slot, std::uint8_t dst, Cycle now) {
+  SS_DCHECK(CanIssue(now));
+  SS_DCHECK(!stages_[0].valid);
+  stages_[0] = Stage{true, slot, dst};
+  next_issue_ = now + cfg_.issue_interval();
+  ++in_flight_;
+  ++issued_;
+}
+
+void ExecPipeline::Tick(Cycle) {
+  // Writeback stage retires.
+  Stage& wb = stages_.back();
+  if (wb.valid) {
+    done_.push_back(Completion{wb.slot, wb.dst});
+    wb.valid = false;
+    --in_flight_;
+  }
+  // Shift every earlier stage forward by one.
+  for (std::size_t i = stages_.size() - 1; i > 0; --i) {
+    if (stages_[i - 1].valid) {
+      SS_DCHECK(!stages_[i].valid);
+      stages_[i] = stages_[i - 1];
+      stages_[i - 1].valid = false;
+    }
+  }
+}
+
+HybridAluModel::HybridAluModel(const GpuConfig& cfg) {
+  units_[0].cfg = cfg.int_unit;
+  units_[1].cfg = cfg.sp_unit;
+  units_[2].cfg = cfg.dp_unit;
+  units_[3].cfg = cfg.sfu_unit;
+  units_[4].cfg = cfg.tensor_unit;
+}
+
+const HybridAluModel::UnitState& HybridAluModel::StateOf(
+    UnitClass cls) const {
+  switch (cls) {
+    case UnitClass::kInt:
+      return units_[0];
+    case UnitClass::kSp:
+      return units_[1];
+    case UnitClass::kDp:
+      return units_[2];
+    case UnitClass::kSfu:
+      return units_[3];
+    case UnitClass::kTensor:
+      return units_[4];
+    default:
+      break;
+  }
+  throw SimError("HybridAluModel: not an ALU unit class");
+}
+
+HybridAluModel::UnitState& HybridAluModel::StateOf(UnitClass cls) {
+  return const_cast<UnitState&>(
+      static_cast<const HybridAluModel*>(this)->StateOf(cls));
+}
+
+bool HybridAluModel::CanIssue(UnitClass cls, Cycle now) const {
+  return now >= StateOf(cls).next_free;
+}
+
+Cycle HybridAluModel::NextFree(UnitClass cls) const {
+  return StateOf(cls).next_free;
+}
+
+HybridAluModel::Issued HybridAluModel::Issue(UnitClass cls, Cycle now) {
+  UnitState& u = StateOf(cls);
+  SS_DCHECK(now >= u.next_free);
+  const unsigned ii = u.cfg.issue_interval();
+  u.next_free = now + ii;
+  ++u.issued;
+  // Fixed latency (blue block of Fig. 3) on top of the cycle-accurately
+  // tracked occupancy (orange block). The +1 folds in the average operand
+  // -collection stage the detailed pipeline models explicitly; the
+  // residual (bank-conflict jitter) is the hybrid model's accuracy cost.
+  return Issued{now + u.cfg.latency + ii, 0};
+}
+
+std::uint64_t HybridAluModel::issued(UnitClass cls) const {
+  return StateOf(cls).issued;
+}
+
+}  // namespace swiftsim

@@ -1,0 +1,104 @@
+// Execution-unit models (paper §III-D1, Fig. 3).
+//
+// Two interchangeable implementations of the same module interface
+// (instructions in, completion acknowledgements out):
+//
+//  * ExecPipeline — cycle-accurate: explicit stage registers shifted every
+//    cycle, the way Accel-Sim updates per-stage component state. This is
+//    the per-cycle work the hybrid model eliminates.
+//  * HybridAluModel — the paper's improved analytical model: resource
+//    contention (issue-interval occupancy) is tracked cycle-accurately,
+//    and the remaining execution time is the fixed instruction latency;
+//    completion is delivered as a scheduled event instead of being
+//    marched through pipeline registers.
+//
+// Both models produce identical completion cycles for identical issue
+// sequences: complete = issue + latency + issue_interval - 1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+#include "config/gpu_config.h"
+#include "trace/isa.h"
+
+namespace swiftsim {
+
+/// A finished instruction: which warp slot to wake and which destination
+/// register to release.
+struct Completion {
+  unsigned slot = 0;
+  std::uint8_t dst = 0;
+};
+
+class ExecPipeline {
+ public:
+  ExecPipeline(UnitClass cls, const ExecUnitConfig& cfg);
+
+  /// Structural hazard check: the unit accepts a new warp instruction
+  /// every issue_interval cycles.
+  bool CanIssue(Cycle now) const { return now >= next_issue_; }
+
+  void Issue(unsigned slot, std::uint8_t dst, Cycle now);
+
+  /// Shifts the pipeline one stage; completions land in completions().
+  void Tick(Cycle now);
+
+  std::deque<Completion>& completions() { return done_; }
+
+  bool busy() const { return in_flight_ != 0; }
+  Cycle next_issue() const { return next_issue_; }
+  std::uint64_t issued() const { return issued_; }
+  UnitClass unit_class() const { return cls_; }
+  unsigned depth() const { return static_cast<unsigned>(stages_.size()); }
+
+ private:
+  struct Stage {
+    bool valid = false;
+    unsigned slot = 0;
+    std::uint8_t dst = 0;
+  };
+
+  UnitClass cls_;
+  ExecUnitConfig cfg_;
+  std::vector<Stage> stages_;  // stages_.back() is the writeback stage
+  std::deque<Completion> done_;
+  Cycle next_issue_ = 0;
+  unsigned in_flight_ = 0;
+  std::uint64_t issued_ = 0;
+};
+
+class HybridAluModel {
+ public:
+  explicit HybridAluModel(const GpuConfig& cfg);
+
+  struct Issued {
+    Cycle complete;          // when the completion ack fires
+    Cycle contention_delay;  // extra cycles attributable to contention
+  };
+
+  bool CanIssue(UnitClass cls, Cycle now) const;
+  Cycle NextFree(UnitClass cls) const;
+  Issued Issue(UnitClass cls, Cycle now);
+
+  std::uint64_t issued(UnitClass cls) const;
+  std::uint64_t total_contention_cycles() const { return contention_; }
+
+ private:
+  struct UnitState {
+    ExecUnitConfig cfg;
+    Cycle next_free = 0;
+    std::uint64_t issued = 0;
+  };
+
+  const UnitState& StateOf(UnitClass cls) const;
+  UnitState& StateOf(UnitClass cls);
+
+  std::array<UnitState, 5> units_;  // kInt, kSp, kDp, kSfu, kTensor
+  std::uint64_t contention_ = 0;
+};
+
+}  // namespace swiftsim

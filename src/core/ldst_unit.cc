@@ -1,0 +1,139 @@
+#include "core/ldst_unit.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace swiftsim {
+
+LdstUnit::LdstUnit(const LdstUnitConfig& cfg, SmId sm, std::uint64_t instance,
+                   SectorCache* l1, WritebackFn writeback)
+    : cfg_(cfg), sm_(sm), instance_tag_(instance + 1), l1_(l1),
+      writeback_(std::move(writeback)) {
+  SS_CHECK(writeback_ != nullptr, "LdstUnit needs a writeback callback");
+}
+
+bool LdstUnit::CanAccept(Cycle now) const {
+  if (now < next_issue_) return false;
+  return live_.size() + fixed_completions_.size() < cfg_.queue_depth;
+}
+
+unsigned LdstUnit::SmemConflicts(const TraceInstr& ins) const {
+  // Count distinct words per shared-memory bank; the worst bank serializes.
+  unsigned worst = 1;
+  std::vector<std::vector<Addr>> per_bank(cfg_.smem_banks);
+  for (Addr a : ins.addrs) {
+    const Addr word = a / 4;
+    auto& v = per_bank[word % cfg_.smem_banks];
+    if (std::find(v.begin(), v.end(), word) == v.end()) v.push_back(word);
+  }
+  for (const auto& v : per_bank) {
+    worst = std::max<unsigned>(worst,
+                               std::max<std::size_t>(v.size(), 1));
+  }
+  return worst;
+}
+
+void LdstUnit::PushFixed(Cycle ready, unsigned slot, std::uint8_t dst) {
+  FixedCompletion fc{ready, slot, dst};
+  auto it = fixed_completions_.end();
+  while (it != fixed_completions_.begin() && (it - 1)->ready > ready) --it;
+  fixed_completions_.insert(it, fc);
+}
+
+void LdstUnit::Issue(unsigned slot, const TraceInstr& ins, Cycle now) {
+  SS_DCHECK(CanAccept(now));
+  SS_DCHECK(IsMemory(ins.op));
+  next_issue_ = now + cfg_.issue_interval;
+  ++stats_.mem_instrs;
+
+  if (IsSharedMem(ins.op)) {
+    ++stats_.smem_instrs;
+    const unsigned conflicts = SmemConflicts(ins);
+    stats_.smem_bank_conflicts += conflicts - 1;
+    const std::uint8_t dst = IsLoad(ins.op) ? ins.dst : kNoReg;
+    PushFixed(now + cfg_.smem_latency + conflicts - 1, slot, dst);
+    return;
+  }
+  if (ins.op == Opcode::kLdConst) {
+    PushFixed(now + cfg_.const_latency, slot, ins.dst);
+    return;
+  }
+
+  // Global memory.
+  MemInstr mi;
+  mi.slot = slot;
+  mi.dst = IsLoad(ins.op) ? ins.dst : kNoReg;
+  mi.is_store = IsStore(ins.op);
+  mi.todo = Coalesce(ins.addrs, cfg_.access_bytes, cfg_.line_bytes,
+                     cfg_.sector_bytes);
+  SS_DCHECK(!mi.todo.empty());
+  live_.push_back(std::move(mi));
+}
+
+void LdstUnit::Complete(const MemInstr& mi) { writeback_(mi.slot, mi.dst); }
+
+void LdstUnit::Tick(Cycle now) {
+  // Retire fixed-latency (shared/const) completions.
+  while (!fixed_completions_.empty() &&
+         fixed_completions_.front().ready <= now) {
+    const FixedCompletion fc = fixed_completions_.front();
+    fixed_completions_.pop_front();
+    writeback_(fc.slot, fc.dst);
+  }
+
+  // Find the front instruction that still has accesses to inject (skip
+  // loads that are merely waiting for responses).
+  auto front = live_.begin();
+  while (front != live_.end() && front->todo.empty()) ++front;
+  if (front == live_.end()) return;
+
+  unsigned budget = cfg_.accesses_per_cycle;
+  while (budget > 0 && !front->todo.empty()) {
+    const CoalescedAccess& acc = front->todo.back();
+    MemRequest req;
+    req.line_addr = acc.line_addr;
+    req.sector_mask = acc.sector_mask;
+    req.type = front->is_store ? MemAccessType::kStore : MemAccessType::kLoad;
+    req.sm = sm_;
+    if (!front->is_store) {
+      req.id = (instance_tag_ << 20) | (++next_id_ & 0xfffff);
+    }
+    if (!l1_->Access(req, now)) {
+      ++stats_.l1_rejections;
+      break;  // bank/MSHR/queue pressure: retry next cycle
+    }
+    ++stats_.global_accesses;
+    if (!front->is_store) {
+      ++front->outstanding;
+      by_id_[req.id] = front;
+    }
+    front->todo.pop_back();
+    --budget;
+  }
+
+  if (front->todo.empty()) {
+    if (front->is_store) {
+      // Stores are fire-and-forget once fully accepted by the L1.
+      Complete(*front);
+      live_.erase(front);
+    }
+    // Loads stay in live_ until their last response arrives.
+  }
+}
+
+void LdstUnit::OnL1Response(const MemResponse& resp, Cycle) {
+  auto it = by_id_.find(resp.id);
+  SS_CHECK(it != by_id_.end(),
+           "LdstUnit: response for unknown request id");
+  auto mi = it->second;
+  by_id_.erase(it);
+  SS_DCHECK(mi->outstanding > 0);
+  --mi->outstanding;
+  if (mi->outstanding == 0 && mi->todo.empty()) {
+    Complete(*mi);
+    live_.erase(mi);
+  }
+}
+
+}  // namespace swiftsim

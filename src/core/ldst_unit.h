@@ -1,0 +1,131 @@
+// Cycle-accurate LD/ST unit (one per sub-core). Receives warp memory
+// instructions from the scheduler, coalesces global accesses into sector
+// requests, injects them into the shared L1 (competing for banks with the
+// other sub-cores), tracks outstanding loads, and delivers completion
+// acknowledgements back to the scheduler/scoreboard — the fixed module
+// interface of paper §III-B2.
+//
+// Shared-memory and constant accesses never leave the SM: they complete
+// after a fixed latency plus serialized bank conflicts.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "config/gpu_config.h"
+#include "mem/cache.h"
+#include "mem/coalescer.h"
+#include "trace/instr.h"
+
+namespace swiftsim {
+
+struct LdstUnitConfig {
+  unsigned issue_interval = 8;   // warp_size / ldst units
+  unsigned queue_depth = 8;      // outstanding memory instructions
+  unsigned accesses_per_cycle = 4;
+  unsigned line_bytes = 128;
+  unsigned sector_bytes = 32;
+  unsigned access_bytes = 4;     // per-lane access width (virtual ISA)
+  unsigned smem_latency = 24;
+  unsigned smem_banks = 32;
+  unsigned const_latency = 10;
+};
+
+struct LdstStats {
+  std::uint64_t mem_instrs = 0;
+  std::uint64_t global_accesses = 0;   // coalesced sector requests issued
+  std::uint64_t l1_rejections = 0;     // retried Access calls
+  std::uint64_t smem_instrs = 0;
+  std::uint64_t smem_bank_conflicts = 0;  // extra serialization cycles
+  std::uint64_t queue_full_stalls = 0;
+};
+
+class LdstUnit {
+ public:
+  /// `writeback(slot, dst)` is invoked exactly once per memory instruction
+  /// when it fully completes (dst == kNoReg for stores).
+  using WritebackFn = std::function<void(unsigned, std::uint8_t)>;
+
+  LdstUnit(const LdstUnitConfig& cfg, SmId sm, std::uint64_t instance,
+           SectorCache* l1, WritebackFn writeback);
+
+  /// Structural check used by the scheduler's ready predicate.
+  bool CanAccept(Cycle now) const;
+
+  /// Accepts one warp memory instruction. Requires CanAccept.
+  void Issue(unsigned slot, const TraceInstr& ins, Cycle now);
+
+  /// Per-cycle work: retire due shared/const completions, push the
+  /// front instruction's remaining sector accesses into the L1.
+  void Tick(Cycle now);
+
+  /// L1 load response routed here by the SM (matched by request id).
+  void OnL1Response(const MemResponse& resp, Cycle now);
+
+  /// True when this unit minted request id `id`.
+  bool OwnsRequest(std::uint64_t id) const {
+    return (id >> 20) == instance_tag_;
+  }
+
+  bool quiescent() const {
+    return live_.empty() && fixed_completions_.empty();
+  }
+
+  Cycle next_issue() const { return next_issue_; }
+
+  /// Earliest pending fixed-latency (shared/const) completion, or kNever.
+  Cycle NextFixedCompletion() const {
+    return fixed_completions_.empty() ? ~Cycle{0}
+                                      : fixed_completions_.front().ready;
+  }
+
+  /// True while some instruction still has sector accesses to inject into
+  /// the L1 (the unit must be ticked every cycle to retry).
+  bool HasPendingInjections() const {
+    for (const MemInstr& mi : live_) {
+      if (!mi.todo.empty()) return true;
+    }
+    return false;
+  }
+
+  const LdstStats& stats() const { return stats_; }
+
+ private:
+  struct MemInstr {
+    unsigned slot = 0;
+    std::uint8_t dst = kNoReg;
+    bool is_store = false;
+    std::vector<CoalescedAccess> todo;  // not yet accepted by the L1
+    unsigned outstanding = 0;           // accepted loads awaiting response
+  };
+
+  struct FixedCompletion {
+    Cycle ready;
+    unsigned slot;
+    std::uint8_t dst;
+  };
+
+  void Complete(const MemInstr& mi);
+  unsigned SmemConflicts(const TraceInstr& ins) const;
+  void PushFixed(Cycle ready, unsigned slot, std::uint8_t dst);
+
+  LdstUnitConfig cfg_;
+  SmId sm_;
+  std::uint64_t instance_tag_;
+  std::uint64_t next_id_ = 0;
+  SectorCache* l1_;
+  WritebackFn writeback_;
+
+  Cycle next_issue_ = 0;
+  std::list<MemInstr> live_;  // front instruction injects accesses first
+  std::unordered_map<std::uint64_t, std::list<MemInstr>::iterator> by_id_;
+  std::deque<FixedCompletion> fixed_completions_;  // sorted by ready
+  LdstStats stats_;
+};
+
+}  // namespace swiftsim

@@ -1,0 +1,59 @@
+#include "core/operand_collector.h"
+
+#include "common/status.h"
+
+namespace swiftsim {
+
+OperandCollector::OperandCollector(const OperandCollectorConfig& cfg)
+    : cfg_(cfg), units_(cfg.units), free_units_(cfg.units) {
+  SS_CHECK(cfg.units > 0, "operand collector needs at least one unit");
+  SS_CHECK(cfg.banks > 0, "register file needs at least one bank");
+}
+
+void OperandCollector::Accept(unsigned slot, const TraceInstr& ins,
+                              UnitClass cls) {
+  SS_DCHECK(CanAccept());
+  for (Unit& u : units_) {
+    if (u.valid) continue;
+    u.valid = true;
+    u.op = CollectedOp{slot, ins.dst, cls};
+    u.pending_reads.clear();
+    for (std::uint8_t r : ins.src) {
+      if (r != kNoReg) u.pending_reads.push_back(r);
+    }
+    --free_units_;
+    // Zero-operand instructions are ready after the mandatory read stage
+    // (one Tick), like single-operand ones — pending_reads empty is fine.
+    return;
+  }
+  throw SimError("OperandCollector: no free unit despite CanAccept");
+}
+
+void OperandCollector::Tick(Cycle) {
+  // Per-bank port budget this cycle.
+  std::vector<std::uint8_t> bank_used(cfg_.banks, 0);
+  bool any_blocked = false;
+  for (Unit& u : units_) {
+    if (!u.valid) continue;
+    // Try to service this unit's outstanding reads.
+    auto it = u.pending_reads.begin();
+    while (it != u.pending_reads.end()) {
+      const unsigned bank = *it % cfg_.banks;
+      if (bank_used[bank] < cfg_.ports_per_bank) {
+        ++bank_used[bank];
+        it = u.pending_reads.erase(it);
+      } else {
+        any_blocked = true;
+        ++it;
+      }
+    }
+    if (u.pending_reads.empty()) {
+      ready_.push_back(u.op);
+      u.valid = false;
+      ++free_units_;
+    }
+  }
+  if (any_blocked) ++conflict_cycles_;
+}
+
+}  // namespace swiftsim

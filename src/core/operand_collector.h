@@ -1,0 +1,71 @@
+// Operand collector + register-file bank model (detailed/cycle-accurate
+// mode only). Issued ALU instructions occupy a collector unit while their
+// source operands are read from the banked register file — one read per
+// bank per cycle, arbitrated across collector units — then dispatch to
+// their execution pipeline. This per-cycle arbitration is exactly the kind
+// of detailed component state Accel-Sim updates every cycle and the hybrid
+// analytical ALU model (paper Fig. 3) eliminates.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/instr.h"
+#include "trace/isa.h"
+
+namespace swiftsim {
+
+struct OperandCollectorConfig {
+  unsigned units = 4;           // collector units per sub-core
+  unsigned banks = 8;           // register-file banks per sub-core
+  unsigned ports_per_bank = 1;  // reads serviced per bank per cycle
+};
+
+/// An instruction whose operands are all collected, ready for dispatch.
+struct CollectedOp {
+  unsigned slot = 0;
+  std::uint8_t dst = kNoReg;
+  UnitClass cls = UnitClass::kInt;
+};
+
+class OperandCollector {
+ public:
+  explicit OperandCollector(const OperandCollectorConfig& cfg);
+
+  bool CanAccept() const { return free_units_ > 0; }
+
+  /// Parks the instruction in a collector unit; its source registers
+  /// become outstanding bank reads. Requires CanAccept.
+  void Accept(unsigned slot, const TraceInstr& ins, UnitClass cls);
+
+  /// One cycle of bank arbitration: each bank services up to
+  /// ports_per_bank pending reads; units whose reads all completed move to
+  /// ready().
+  void Tick(Cycle now);
+
+  std::deque<CollectedOp>& ready() { return ready_; }
+
+  bool busy() const {
+    return free_units_ < static_cast<unsigned>(units_.size()) ||
+           !ready_.empty();
+  }
+
+  std::uint64_t bank_conflict_cycles() const { return conflict_cycles_; }
+
+ private:
+  struct Unit {
+    bool valid = false;
+    CollectedOp op;
+    std::vector<std::uint8_t> pending_reads;  // source registers left
+  };
+
+  OperandCollectorConfig cfg_;
+  std::vector<Unit> units_;
+  unsigned free_units_;
+  std::deque<CollectedOp> ready_;
+  std::uint64_t conflict_cycles_ = 0;
+};
+
+}  // namespace swiftsim

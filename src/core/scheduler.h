@@ -1,0 +1,55 @@
+// Warp scheduler policies (paper's DSE example module — this is the
+// component an architect would keep cycle-accurate while simplifying the
+// rest). Three policies: GTO (greedy-then-oldest), LRR (loose round-robin)
+// and a two-level active/pending scheduler.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "config/gpu_config.h"
+#include "core/warp.h"
+
+namespace swiftsim {
+
+class WarpScheduler {
+ public:
+  /// `slots` is the number of warp slots this scheduler arbitrates over
+  /// (one sub-core's worth). For kTwoLevel, `active_size` bounds the inner
+  /// active set.
+  WarpScheduler(SchedPolicy policy, unsigned slots, unsigned active_size = 8);
+
+  /// Picks the next warp slot to issue from. `ready(slot)` must be a pure
+  /// predicate ("could slot issue this cycle?"); `age(slot)` returns the
+  /// warp's launch sequence number (lower == older). Returns kNoSlot when
+  /// nothing is ready.
+  unsigned Pick(const std::function<bool(unsigned)>& ready,
+                const std::function<std::uint64_t(unsigned)>& age);
+
+  /// Informs the policy that `slot` issued (GTO greediness, LRR rotation,
+  /// two-level activity bookkeeping).
+  void OnIssue(unsigned slot);
+
+  /// Informs the policy that the warp in `slot` finished or was replaced.
+  void OnSlotDrained(unsigned slot);
+
+  SchedPolicy policy() const { return policy_; }
+
+ private:
+  unsigned PickGto(const std::function<bool(unsigned)>& ready,
+                   const std::function<std::uint64_t(unsigned)>& age) const;
+  unsigned PickLrr(const std::function<bool(unsigned)>& ready) const;
+  unsigned PickTwoLevel(const std::function<bool(unsigned)>& ready,
+                        const std::function<std::uint64_t(unsigned)>& age);
+
+  SchedPolicy policy_;
+  unsigned slots_;
+  unsigned active_size_;
+  unsigned last_issued_ = kNoSlot;  // GTO greedy target / LRR rotor
+  std::vector<unsigned> active_;    // two-level active set (slot ids)
+  std::vector<unsigned> stall_count_;  // two-level demotion counter
+};
+
+}  // namespace swiftsim

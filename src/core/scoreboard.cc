@@ -1,0 +1,39 @@
+#include "core/scoreboard.h"
+
+#include "common/status.h"
+
+namespace swiftsim {
+
+Scoreboard::Scoreboard(unsigned num_warp_slots) : pending_(num_warp_slots) {}
+
+bool Scoreboard::CanIssue(unsigned slot, const TraceInstr& ins) const {
+  SS_DCHECK(slot < pending_.size());
+  const auto& p = pending_[slot];
+  if (ins.has_dst() && p.test(ins.dst)) return false;  // WAW
+  for (std::uint8_t r : ins.src) {
+    if (r != kNoReg && p.test(r)) return false;  // RAW
+  }
+  return true;
+}
+
+void Scoreboard::OnIssue(unsigned slot, const TraceInstr& ins) {
+  SS_DCHECK(slot < pending_.size());
+  if (ins.has_dst()) pending_[slot].set(ins.dst);
+}
+
+void Scoreboard::OnWriteback(unsigned slot, std::uint8_t reg) {
+  SS_DCHECK(slot < pending_.size());
+  if (reg != kNoReg) pending_[slot].reset(reg);
+}
+
+void Scoreboard::Reset(unsigned slot) {
+  SS_DCHECK(slot < pending_.size());
+  pending_[slot].reset();
+}
+
+unsigned Scoreboard::PendingCount(unsigned slot) const {
+  SS_DCHECK(slot < pending_.size());
+  return static_cast<unsigned>(pending_[slot].count());
+}
+
+}  // namespace swiftsim

@@ -1,0 +1,39 @@
+// Per-warp register scoreboard: a register is "pending" from issue of the
+// producing instruction until its writeback. Issue of any instruction
+// reading or writing a pending register is blocked (RAW and WAW).
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/instr.h"
+
+namespace swiftsim {
+
+class Scoreboard {
+ public:
+  explicit Scoreboard(unsigned num_warp_slots);
+
+  /// True iff none of the instruction's source or destination registers is
+  /// pending for warp slot `slot`.
+  bool CanIssue(unsigned slot, const TraceInstr& ins) const;
+
+  /// Marks the destination register pending (no-op for instructions
+  /// without a destination).
+  void OnIssue(unsigned slot, const TraceInstr& ins);
+
+  /// Clears a pending destination at writeback.
+  void OnWriteback(unsigned slot, std::uint8_t reg);
+
+  /// Drops all pending state for a slot (warp slot reuse).
+  void Reset(unsigned slot);
+
+  unsigned PendingCount(unsigned slot) const;
+
+ private:
+  std::vector<std::bitset<256>> pending_;
+};
+
+}  // namespace swiftsim

@@ -1,0 +1,33 @@
+// Runtime state of one hardware warp slot inside an SM.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "trace/instr.h"
+
+namespace swiftsim {
+
+/// Sentinel for "no warp slot".
+inline constexpr unsigned kNoSlot = ~0u;
+
+struct WarpContext {
+  bool valid = false;          // slot holds a live warp
+  unsigned cta_slot = 0;       // resident-CTA table index within the SM
+  const WarpTrace* trace = nullptr;
+  std::size_t next_instr = 0;  // next trace instruction to issue
+  bool at_barrier = false;
+  bool done = false;           // EXIT has been issued
+  std::uint64_t launch_seq = 0;  // global age for GTO "oldest" ordering
+
+  // Detailed-frontend state: instructions sitting in the i-buffer and the
+  // cycle the next fetch completes (models i-cache stalls in the oracle).
+  unsigned ibuffer = 0;
+  Cycle fetch_ready = 0;
+  std::uint64_t fetch_count = 0;
+
+  bool exhausted() const { return trace == nullptr || next_instr >= trace->size(); }
+  const TraceInstr& current() const { return (*trace)[next_instr]; }
+};
+
+}  // namespace swiftsim

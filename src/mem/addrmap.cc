@@ -1,0 +1,19 @@
+#include "mem/addrmap.h"
+
+#include "common/bitutil.h"
+#include "common/status.h"
+
+namespace swiftsim {
+
+AddrMap::AddrMap(unsigned num_partitions, unsigned line_bytes)
+    : num_partitions_(num_partitions), line_shift_(Log2(line_bytes)) {
+  SS_CHECK(num_partitions > 0, "AddrMap: need at least one partition");
+  SS_CHECK(IsPow2(line_bytes), "AddrMap: line size must be a power of two");
+}
+
+unsigned AddrMap::PartitionOf(Addr line_addr) const {
+  return static_cast<unsigned>(HashMix(line_addr >> line_shift_) %
+                               num_partitions_);
+}
+
+}  // namespace swiftsim

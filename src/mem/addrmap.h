@@ -1,0 +1,24 @@
+// Address-to-memory-partition mapping. A mixed hash decorrelates partition
+// choice from power-of-two strides (as Accel-Sim's xor hashes do), so
+// strided workloads don't camp on one partition.
+#pragma once
+
+#include "common/types.h"
+
+namespace swiftsim {
+
+class AddrMap {
+ public:
+  AddrMap(unsigned num_partitions, unsigned line_bytes);
+
+  /// Memory partition that owns this cache line.
+  unsigned PartitionOf(Addr line_addr) const;
+
+  unsigned num_partitions() const { return num_partitions_; }
+
+ private:
+  unsigned num_partitions_;
+  unsigned line_shift_;
+};
+
+}  // namespace swiftsim

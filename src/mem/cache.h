@@ -1,0 +1,116 @@
+// Clocked sectored cache model used for both the per-SM L1 and the
+// per-partition L2 slice. Models banks (per-cycle access budget), MSHRs
+// with merge limits, line reservation with reservation failures, LRU/FIFO/
+// Random replacement, write-through (L1, streaming) and write-back with
+// write-validate sectors (L2).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/types.h"
+#include "config/gpu_config.h"
+#include "mem/mshr.h"
+#include "mem/request.h"
+#include "mem/tag_array.h"
+
+namespace swiftsim {
+
+struct CacheStats {
+  std::uint64_t accesses = 0;        // accepted accesses (loads + stores)
+  std::uint64_t load_accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t sector_misses = 0;   // line resident, sectors missing
+  std::uint64_t misses = 0;          // full line misses
+  std::uint64_t mshr_merges = 0;     // misses merged into an existing entry
+  std::uint64_t reservation_fails = 0;
+  std::uint64_t mshr_stalls = 0;
+  std::uint64_t bank_conflicts = 0;
+  std::uint64_t out_stalls = 0;      // miss-queue backpressure rejections
+  std::uint64_t writebacks = 0;      // dirty evictions forwarded down
+  std::uint64_t write_through = 0;   // stores forwarded down (WT)
+  std::uint64_t fills = 0;
+
+  /// Load miss rate (full + sector misses over accepted loads).
+  double load_miss_rate() const {
+    return load_accesses
+               ? static_cast<double>(misses + sector_misses) / load_accesses
+               : 0.0;
+  }
+};
+
+class SectorCache {
+ public:
+  /// `instance` disambiguates minted miss-request ids across cache
+  /// instances; `out_capacity` bounds the queue toward the next level.
+  SectorCache(std::string name, const CacheParams& params,
+              std::uint64_t instance, unsigned out_capacity = 16);
+
+  /// Must be called once per cycle before Access/Fill: resets the per-bank
+  /// budget and releases latency-pipe responses that are due.
+  void BeginCycle(Cycle now);
+
+  /// Attempts one access. Returns false (with NO state change) if the
+  /// access cannot be accepted this cycle: bank busy, MSHR full/merge
+  /// limit, reservation failure, or output backpressure. The caller
+  /// retries on a later cycle.
+  bool Access(const MemRequest& req, Cycle now);
+
+  /// Fill from the next level (response to a minted miss request).
+  void Fill(const MemResponse& resp, Cycle now);
+
+  /// Ready load responses for the cache's requester side.
+  std::deque<MemResponse>& responses() { return ready_responses_; }
+
+  /// Requests toward the next level: misses, write-throughs, writebacks.
+  std::deque<MemRequest>& miss_queue() { return miss_out_; }
+
+  bool miss_queue_full() const { return miss_out_.size() >= out_capacity_; }
+
+  /// True when no latency-pipe entries or MSHR entries remain.
+  bool quiescent() const {
+    return pending_responses_.empty() && mshr_.size() == 0 &&
+           miss_out_.empty() && ready_responses_.empty();
+  }
+
+  /// Earliest cycle a latency-pipe response becomes ready (~0ull if none).
+  /// Lets an event-driven owner sleep until this cache needs service.
+  Cycle NextResponseReady() const {
+    if (!ready_responses_.empty()) return 0;
+    return pending_responses_.empty() ? ~Cycle{0}
+                                      : pending_responses_.front().ready;
+  }
+
+  const CacheStats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+  const CacheParams& params() const { return params_; }
+
+ private:
+  bool AccessLoad(const MemRequest& req, Cycle now);
+  bool AccessStore(const MemRequest& req, Cycle now);
+  bool TakeBank(Addr line_addr);
+  void PushResponse(const MemResponse& resp, Cycle ready);
+  void EmitEviction(const Eviction& ev);
+
+  struct TimedResponse {
+    Cycle ready;
+    MemResponse resp;
+  };
+
+  std::string name_;
+  CacheParams params_;
+  TagArray tags_;
+  Mshr mshr_;
+  unsigned out_capacity_;
+  std::uint64_t next_req_id_;
+
+  Cycle cycle_ = 0;
+  std::vector<std::uint8_t> bank_used_;
+  std::deque<TimedResponse> pending_responses_;  // latency pipe (FIFO)
+  std::deque<MemResponse> ready_responses_;
+  std::deque<MemRequest> miss_out_;
+  CacheStats stats_;
+};
+
+}  // namespace swiftsim

@@ -1,0 +1,37 @@
+#include "mem/coalescer.h"
+
+#include "common/bitutil.h"
+#include "common/status.h"
+
+namespace swiftsim {
+
+std::vector<CoalescedAccess> Coalesce(const std::vector<Addr>& lane_addrs,
+                                      unsigned access_bytes,
+                                      unsigned line_bytes,
+                                      unsigned sector_bytes) {
+  SS_DCHECK(IsPow2(line_bytes) && IsPow2(sector_bytes));
+  SS_DCHECK(access_bytes >= 1);
+  std::vector<CoalescedAccess> out;
+  auto add = [&](Addr byte_addr) {
+    const Addr line = AlignDown(byte_addr, line_bytes);
+    const unsigned sector =
+        static_cast<unsigned>((byte_addr - line) / sector_bytes);
+    for (auto& acc : out) {
+      if (acc.line_addr == line) {
+        acc.sector_mask |= 1u << sector;
+        return;
+      }
+    }
+    out.push_back({line, 1u << sector});
+  };
+  for (Addr a : lane_addrs) {
+    // Cover [a, a+access_bytes): typically one sector, possibly two.
+    for (Addr b = AlignDown(a, sector_bytes); b < a + access_bytes;
+         b += sector_bytes) {
+      add(b);
+    }
+  }
+  return out;
+}
+
+}  // namespace swiftsim

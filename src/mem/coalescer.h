@@ -1,0 +1,26 @@
+// The memory coalescer: collapses the per-lane addresses of one warp
+// memory instruction into the minimal set of line+sector requests.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "mem/request.h"
+
+namespace swiftsim {
+
+struct CoalescedAccess {
+  Addr line_addr = 0;
+  std::uint32_t sector_mask = 0;
+};
+
+/// Coalesces per-active-lane addresses (compact form, `access_bytes` read or
+/// written per lane) into unique (line, sector-mask) accesses, ordered by
+/// first-touching lane. A lane access spanning a sector boundary sets both
+/// sector bits; spanning a line boundary produces entries for both lines.
+std::vector<CoalescedAccess> Coalesce(const std::vector<Addr>& lane_addrs,
+                                      unsigned access_bytes,
+                                      unsigned line_bytes,
+                                      unsigned sector_bytes);
+
+}  // namespace swiftsim

@@ -1,0 +1,87 @@
+#include "mem/dram.h"
+
+#include "common/bitutil.h"
+
+namespace swiftsim {
+
+DramChannel::DramChannel(const DramConfig& cfg, unsigned sector_bytes,
+                         const SiliconEffects& effects)
+    : cfg_(cfg), sector_bytes_(sector_bytes), effects_(effects),
+      next_refresh_(effects.enabled ? effects.dram_refresh_interval
+                                    : ~Cycle{0}) {}
+
+bool DramChannel::Enqueue(const MemRequest& req) {
+  if (queue_.size() >= cfg_.queue_depth) {
+    ++stats_.enqueue_stalls;
+    return false;
+  }
+  queue_.push_back(req);
+  return true;
+}
+
+void DramChannel::Tick(Cycle now) {
+  // Periodic refresh blocks the channel (silicon oracle only).
+  if (now >= next_refresh_) {
+    busy_until_ = std::max(busy_until_, now) + effects_.dram_refresh_penalty;
+    next_refresh_ += effects_.dram_refresh_interval;
+    ++stats_.refreshes;
+  }
+
+  // Retire completed services.
+  while (!in_service_.empty() && in_service_.front().ready <= now) {
+    if (in_service_.front().is_load) {
+      ready_.push_back(in_service_.front().resp);
+    }
+    in_service_.pop_front();
+  }
+
+  if (busy_until_ > now || queue_.empty()) return;
+
+  // FR-FCFS within a small window: prefer the oldest row-buffer hit.
+  std::size_t pick = 0;
+  bool hit = false;
+  const std::size_t window = std::min<std::size_t>(kFrfcfsWindow,
+                                                   queue_.size());
+  for (std::size_t i = 0; i < window; ++i) {
+    if (queue_[i].line_addr / cfg_.row_bytes == open_row_) {
+      pick = i;
+      hit = true;
+      break;
+    }
+  }
+  const MemRequest req = queue_[pick];
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+
+  const Addr row = req.line_addr / cfg_.row_bytes;
+  if (hit) {
+    ++stats_.row_hits;
+  } else {
+    ++stats_.row_misses;
+  }
+  open_row_ = row;
+
+  const unsigned bytes = req.bytes(sector_bytes_);
+  const Cycle transfer = CeilDiv(bytes, cfg_.bytes_per_cycle);
+  const Cycle access = hit ? cfg_.row_hit_latency : cfg_.latency;
+  busy_until_ = now + transfer;
+  stats_.bytes += bytes;
+
+  if (req.is_store()) {
+    ++stats_.writes;
+    // Stores complete silently once transferred.
+    InService svc{now + transfer, MemResponse{}, false};
+    auto it = in_service_.end();
+    while (it != in_service_.begin() && (it - 1)->ready > svc.ready) --it;
+    in_service_.insert(it, svc);
+  } else {
+    ++stats_.reads;
+    InService svc{now + access + transfer,
+                  MemResponse{req.id, req.line_addr, req.sector_mask, req.sm},
+                  true};
+    auto it = in_service_.end();
+    while (it != in_service_.begin() && (it - 1)->ready > svc.ready) --it;
+    in_service_.insert(it, svc);
+  }
+}
+
+}  // namespace swiftsim

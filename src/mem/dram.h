@@ -1,0 +1,72 @@
+// DRAM channel model behind one memory partition: bounded controller
+// queue, FR-FCFS-style scheduling (row hits first within a lookahead
+// window), row-buffer latency, per-channel bandwidth serialization, and an
+// optional periodic-refresh effect (silicon oracle only).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.h"
+#include "config/gpu_config.h"
+#include "mem/request.h"
+
+namespace swiftsim {
+
+struct DramStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t enqueue_stalls = 0;
+
+  double row_hit_rate() const {
+    const std::uint64_t total = row_hits + row_misses;
+    return total ? static_cast<double>(row_hits) / total : 0.0;
+  }
+};
+
+class DramChannel {
+ public:
+  DramChannel(const DramConfig& cfg, unsigned sector_bytes,
+              const SiliconEffects& effects);
+
+  /// Returns false (no state change) when the controller queue is full.
+  bool Enqueue(const MemRequest& req);
+
+  void Tick(Cycle now);
+
+  /// Completed load responses, ready for the L2 fill path.
+  std::deque<MemResponse>& responses() { return ready_; }
+
+  bool quiescent() const {
+    return queue_.empty() && in_service_.empty() && ready_.empty();
+  }
+
+  const DramStats& stats() const { return stats_; }
+
+ private:
+  struct InService {
+    Cycle ready;
+    MemResponse resp;
+    bool is_load;
+  };
+
+  static constexpr unsigned kFrfcfsWindow = 8;
+
+  DramConfig cfg_;
+  unsigned sector_bytes_;
+  SiliconEffects effects_;
+
+  std::deque<MemRequest> queue_;
+  std::deque<InService> in_service_;  // sorted by ready
+  std::deque<MemResponse> ready_;
+  Cycle busy_until_ = 0;
+  Cycle next_refresh_;
+  Addr open_row_ = ~Addr{0};
+  DramStats stats_;
+};
+
+}  // namespace swiftsim

@@ -1,0 +1,60 @@
+#include "mem/mshr.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace swiftsim {
+
+bool Mshr::CanAllocate(Addr line_addr) const {
+  auto it = entries_.find(line_addr);
+  if (it == entries_.end()) return entries_.size() < max_entries_;
+  return it->second.merged < max_merge_;
+}
+
+void Mshr::Allocate(Addr line_addr, const MemRequest& requester) {
+  SS_DCHECK(CanAllocate(line_addr));
+  Entry& e = entries_[line_addr];
+  ++e.merged;
+  e.requested_sectors |= requester.sector_mask;
+  if (requester.id != 0) e.waiters.push_back(requester);
+}
+
+bool Mshr::HasEntry(Addr line_addr) const {
+  return entries_.count(line_addr) != 0;
+}
+
+std::uint32_t Mshr::RequestedSectors(Addr line_addr) const {
+  auto it = entries_.find(line_addr);
+  return it == entries_.end() ? 0u : it->second.requested_sectors;
+}
+
+void Mshr::AddRequestedSectors(Addr line_addr, std::uint32_t sector_mask) {
+  auto it = entries_.find(line_addr);
+  SS_DCHECK(it != entries_.end());
+  it->second.requested_sectors |= sector_mask;
+}
+
+std::vector<MemRequest> Mshr::Fill(Addr line_addr,
+                                   std::uint32_t sector_mask) {
+  auto it = entries_.find(line_addr);
+  if (it == entries_.end()) return {};
+  Entry& e = it->second;
+  e.arrived_sectors |= sector_mask;
+  std::vector<MemRequest> satisfied;
+  auto& w = e.waiters;
+  auto mid = std::stable_partition(w.begin(), w.end(),
+                                   [&](const MemRequest& r) {
+                                     return (r.sector_mask &
+                                             ~e.arrived_sectors) != 0;
+                                   });
+  satisfied.assign(std::make_move_iterator(mid),
+                   std::make_move_iterator(w.end()));
+  w.erase(mid, w.end());
+  if (w.empty() && (e.requested_sectors & ~e.arrived_sectors) == 0) {
+    entries_.erase(it);
+  }
+  return satisfied;
+}
+
+}  // namespace swiftsim

@@ -1,0 +1,62 @@
+// Miss-status holding registers: track outstanding line fills and merge
+// subsequent misses to the same line, up to a per-entry merge limit.
+// Fills may arrive in several sector batches; waiters are woken as soon as
+// the sectors they asked for have all arrived.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/request.h"
+
+namespace swiftsim {
+
+class Mshr {
+ public:
+  Mshr(unsigned entries, unsigned max_merge)
+      : max_entries_(entries), max_merge_(max_merge) {}
+
+  /// Can a new miss to `line_addr` be tracked this cycle? (Entry available,
+  /// or an existing entry with merge headroom.)
+  bool CanAllocate(Addr line_addr) const;
+
+  /// Records a miss. `requester` waits for its sector mask (stores pass
+  /// id==0 and are counted against the merge limit but never woken).
+  /// Requires CanAllocate(line_addr).
+  void Allocate(Addr line_addr, const MemRequest& requester);
+
+  /// True iff a fill for this line is already outstanding.
+  bool HasEntry(Addr line_addr) const;
+
+  /// Sectors already requested from the next level for this line (union
+  /// over merged requests); 0 if no entry.
+  std::uint32_t RequestedSectors(Addr line_addr) const;
+
+  /// Extends the requested set (a sector miss piggybacking an additional
+  /// next-level request onto the existing entry).
+  void AddRequestedSectors(Addr line_addr, std::uint32_t sector_mask);
+
+  /// Registers arrival of `sector_mask` for the line and returns every
+  /// waiter whose full sector set has now arrived. The entry is removed
+  /// once all requested sectors arrived and no waiters remain.
+  std::vector<MemRequest> Fill(Addr line_addr, std::uint32_t sector_mask);
+
+  std::size_t size() const { return entries_.size(); }
+  bool full() const { return entries_.size() >= max_entries_; }
+
+ private:
+  struct Entry {
+    std::vector<MemRequest> waiters;
+    std::uint32_t requested_sectors = 0;
+    std::uint32_t arrived_sectors = 0;
+    unsigned merged = 0;
+  };
+
+  unsigned max_entries_;
+  unsigned max_merge_;
+  std::unordered_map<Addr, Entry> entries_;
+};
+
+}  // namespace swiftsim

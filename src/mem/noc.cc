@@ -1,0 +1,27 @@
+#include "mem/noc.h"
+
+namespace swiftsim {
+
+namespace {
+// Wire sizes: requests carry a header plus store payload; responses carry
+// the filled sectors. Header flits are 8 bytes.
+unsigned RequestBytes(const MemRequest& req, unsigned sector_bytes) {
+  return 8 + (req.is_store() ? req.bytes(sector_bytes) : 0);
+}
+unsigned ResponseBytes(const MemResponse& resp, unsigned sector_bytes) {
+  return 8 + PopCount(resp.sector_mask) * sector_bytes;
+}
+}  // namespace
+
+Interconnect::Interconnect(unsigned num_sms, unsigned num_partitions,
+                           const NocConfig& cfg, unsigned sector_bytes)
+    : req_net_(num_sms, num_partitions, cfg,
+               [sector_bytes](const MemRequest& r) {
+                 return RequestBytes(r, sector_bytes);
+               }),
+      resp_net_(num_partitions, num_sms, cfg,
+                [sector_bytes](const MemResponse& r) {
+                  return ResponseBytes(r, sector_bytes);
+                }) {}
+
+}  // namespace swiftsim

@@ -1,0 +1,183 @@
+// On-chip interconnect between the SMs and the L2/memory partitions,
+// modeled as two crossbar channels (request and response direction). Each
+// channel has bounded per-input injection queues, per-output serialization
+// (a packet occupies its output port for ceil(bytes / bytes_per_cycle)
+// cycles), a fixed traversal latency, and bounded ejection queues with
+// backpressure. Arbitration across inputs is rotating round-robin.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "config/gpu_config.h"
+#include "mem/request.h"
+
+namespace swiftsim {
+
+struct NocStats {
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t inject_stalls = 0;   // rejected injections (queue full)
+  std::uint64_t output_stalls = 0;   // head blocked on busy port / full queue
+};
+
+/// One direction of the crossbar, carrying packets of type T.
+template <typename T>
+class XbarChannel {
+ public:
+  /// `bytes_of` gives the wire size of a packet for serialization.
+  XbarChannel(unsigned num_inputs, unsigned num_outputs,
+              const NocConfig& cfg, std::function<unsigned(const T&)> bytes_of)
+      : cfg_(cfg), bytes_of_(std::move(bytes_of)), inputs_(num_inputs),
+        outputs_(num_outputs), eject_(num_outputs), rr_start_(0) {
+    SS_CHECK(num_inputs > 0 && num_outputs > 0,
+             "XbarChannel needs ports on both sides");
+  }
+
+  /// Queues a packet at input port `in` destined for output `out`.
+  /// Returns false (no state change) when the injection queue is full.
+  bool Inject(unsigned in, unsigned out, const T& pkt) {
+    SS_DCHECK(in < inputs_.size() && out < outputs_.size());
+    if (inputs_[in].q.size() >= cfg_.input_queue_depth) {
+      ++stats_.inject_stalls;
+      return false;
+    }
+    inputs_[in].q.push_back(Flit{pkt, out});
+    ++stats_.injected;
+    return true;
+  }
+
+  /// Advances arbitration, serialization and delivery by one cycle.
+  void Tick(Cycle now) {
+    // Deliver in-flight packets whose traversal completed.
+    for (unsigned o = 0; o < outputs_.size(); ++o) {
+      Output& out = outputs_[o];
+      while (!out.in_flight.empty() &&
+             out.in_flight.front().ready <= now &&
+             eject_[o].size() < cfg_.output_queue_depth) {
+        eject_[o].push_back(out.in_flight.front().pkt);
+        out.in_flight.pop_front();
+        ++stats_.delivered;
+      }
+    }
+    // Arbitrate: rotating priority over inputs; each output accepts one
+    // packet per cycle and serializes it on the port.
+    const unsigned n = static_cast<unsigned>(inputs_.size());
+    for (unsigned k = 0; k < n; ++k) {
+      Input& in = inputs_[(rr_start_ + k) % n];
+      if (in.q.empty()) continue;
+      Flit& head = in.q.front();
+      Output& out = outputs_[head.out];
+      if (out.busy_until > now || out.granted_this_cycle) {
+        ++stats_.output_stalls;
+        continue;
+      }
+      // Do not overrun the ejection side: bound total queued+in-flight.
+      if (out.in_flight.size() + eject_[head.out].size() >=
+          cfg_.output_queue_depth) {
+        ++stats_.output_stalls;
+        continue;
+      }
+      const unsigned bytes = bytes_of_(head.pkt);
+      const Cycle ser = CeilDiv(bytes, cfg_.bytes_per_cycle);
+      out.busy_until = now + ser;
+      out.granted_this_cycle = true;
+      out.in_flight.push_back(
+          InFlight{head.pkt, now + ser + cfg_.latency});
+      stats_.bytes += bytes;
+      in.q.pop_front();
+    }
+    for (Output& out : outputs_) out.granted_this_cycle = false;
+    rr_start_ = (rr_start_ + 1) % n;
+  }
+
+  /// Delivered packets at output `out`; consumer pops from the front.
+  std::deque<T>& ejected(unsigned out) { return eject_[out]; }
+
+  bool quiescent() const {
+    for (const Input& in : inputs_) {
+      if (!in.q.empty()) return false;
+    }
+    for (const Output& out : outputs_) {
+      if (!out.in_flight.empty()) return false;
+    }
+    for (const auto& e : eject_) {
+      if (!e.empty()) return false;
+    }
+    return true;
+  }
+
+  const NocStats& stats() const { return stats_; }
+
+ private:
+  struct Flit {
+    T pkt;
+    unsigned out;
+  };
+  struct InFlight {
+    T pkt;
+    Cycle ready;
+  };
+  struct Input {
+    std::deque<Flit> q;
+  };
+  struct Output {
+    std::deque<InFlight> in_flight;
+    Cycle busy_until = 0;
+    bool granted_this_cycle = false;
+  };
+
+  NocConfig cfg_;
+  std::function<unsigned(const T&)> bytes_of_;
+  std::vector<Input> inputs_;
+  std::vector<Output> outputs_;
+  std::vector<std::deque<T>> eject_;
+  unsigned rr_start_;
+  NocStats stats_;
+};
+
+/// The full interconnect: SMs -> partitions (requests) and partitions ->
+/// SMs (responses).
+class Interconnect {
+ public:
+  Interconnect(unsigned num_sms, unsigned num_partitions,
+               const NocConfig& cfg, unsigned sector_bytes);
+
+  bool InjectRequest(SmId sm, unsigned partition, const MemRequest& req) {
+    return req_net_.Inject(sm, partition, req);
+  }
+  bool InjectResponse(unsigned partition, const MemResponse& resp) {
+    return resp_net_.Inject(partition, resp.sm, resp);
+  }
+
+  void Tick(Cycle now) {
+    req_net_.Tick(now);
+    resp_net_.Tick(now);
+  }
+
+  std::deque<MemRequest>& requests_at(unsigned partition) {
+    return req_net_.ejected(partition);
+  }
+  std::deque<MemResponse>& responses_at(SmId sm) {
+    return resp_net_.ejected(sm);
+  }
+
+  bool quiescent() const {
+    return req_net_.quiescent() && resp_net_.quiescent();
+  }
+
+  const NocStats& request_stats() const { return req_net_.stats(); }
+  const NocStats& response_stats() const { return resp_net_.stats(); }
+
+ private:
+  XbarChannel<MemRequest> req_net_;
+  XbarChannel<MemResponse> resp_net_;
+};
+
+}  // namespace swiftsim

@@ -1,0 +1,40 @@
+// Memory request/response packets exchanged between the LD/ST units, the
+// two cache levels, the interconnect and DRAM. All global-memory traffic is
+// carried at sector granularity within 128B lines (Accel-Sim's protocol).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitutil.h"
+#include "common/types.h"
+
+namespace swiftsim {
+
+enum class MemAccessType : std::uint8_t { kLoad, kStore };
+
+/// One line-granular request with a sector mask. `id` is unique per load
+/// request within a simulation; stores are fire-and-forget (id == 0 means
+/// "no response expected").
+struct MemRequest {
+  Addr line_addr = 0;            // aligned to the cache line size
+  std::uint32_t sector_mask = 0; // bit i == sector i of the line requested
+  MemAccessType type = MemAccessType::kLoad;
+  SmId sm = 0;                   // originating SM (NoC return routing)
+  std::uint64_t id = 0;          // load-response matching token
+
+  unsigned num_sectors() const { return PopCount(sector_mask); }
+  unsigned bytes(unsigned sector_bytes) const {
+    return num_sectors() * sector_bytes;
+  }
+  bool is_store() const { return type == MemAccessType::kStore; }
+};
+
+/// Response to a load request (stores produce none).
+struct MemResponse {
+  std::uint64_t id = 0;
+  Addr line_addr = 0;
+  std::uint32_t sector_mask = 0;
+  SmId sm = 0;
+};
+
+}  // namespace swiftsim

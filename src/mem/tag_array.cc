@@ -1,0 +1,184 @@
+#include "mem/tag_array.h"
+
+#include "common/bitutil.h"
+#include "common/status.h"
+
+namespace swiftsim {
+
+TagArray::TagArray(const CacheParams& params, std::uint64_t rng_seed)
+    : params_(params), sets_(params.num_sets()),
+      lines_(static_cast<std::size_t>(sets_) * params.assoc),
+      rng_(rng_seed) {}
+
+unsigned TagArray::SetOf(Addr line_addr) const {
+  return static_cast<unsigned>((line_addr / params_.line_bytes) &
+                               (sets_ - 1));
+}
+
+TagArray::Line* TagArray::FindLine(Addr line_addr) {
+  const unsigned set = SetOf(line_addr);
+  Line* base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+  for (unsigned w = 0; w < params_.assoc; ++w) {
+    if (base[w].allocated && base[w].tag == line_addr) return &base[w];
+  }
+  return nullptr;
+}
+
+const TagArray::Line* TagArray::FindLine(Addr line_addr) const {
+  return const_cast<TagArray*>(this)->FindLine(line_addr);
+}
+
+TagArray::Line* TagArray::PickVictim(unsigned set) {
+  Line* base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+  // Prefer an unallocated way.
+  for (unsigned w = 0; w < params_.assoc; ++w) {
+    if (!base[w].allocated) return &base[w];
+  }
+  // Otherwise evict per policy among non-reserved ways.
+  Line* victim = nullptr;
+  switch (params_.replacement) {
+    case ReplacementPolicy::kLru:
+      for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line& l = base[w];
+        if (l.reserved()) continue;
+        if (victim == nullptr || l.last_use < victim->last_use) victim = &l;
+      }
+      break;
+    case ReplacementPolicy::kFifo:
+      for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line& l = base[w];
+        if (l.reserved()) continue;
+        if (victim == nullptr || l.alloc_time < victim->alloc_time) {
+          victim = &l;
+        }
+      }
+      break;
+    case ReplacementPolicy::kRandom: {
+      // Scan from a random start to find the first evictable way.
+      const unsigned start = static_cast<unsigned>(rng_.Below(params_.assoc));
+      for (unsigned i = 0; i < params_.assoc; ++i) {
+        Line& l = base[(start + i) % params_.assoc];
+        if (!l.reserved()) {
+          victim = &l;
+          break;
+        }
+      }
+      break;
+    }
+  }
+  return victim;  // nullptr => every way reserved => reservation failure
+}
+
+TagOutcome TagArray::Probe(Addr line_addr, std::uint32_t sector_mask,
+                           Cycle now, Eviction* ev) {
+  SS_DCHECK(ev != nullptr);
+  *ev = Eviction{};
+  if (Line* l = FindLine(line_addr)) {
+    l->last_use = now;
+    const std::uint32_t missing =
+        sector_mask & ~(l->valid_sectors | l->pending_sectors);
+    if ((sector_mask & ~l->valid_sectors) == 0) return TagOutcome::kHit;
+    l->pending_sectors |= missing;
+    return TagOutcome::kSectorMiss;
+  }
+  const unsigned set = SetOf(line_addr);
+  Line* victim = PickVictim(set);
+  if (victim == nullptr) return TagOutcome::kReservationFail;
+  if (victim->allocated) {
+    ev->valid = true;
+    ev->dirty = victim->dirty_sectors != 0;
+    ev->line_addr = victim->tag;
+    ev->dirty_sectors = victim->dirty_sectors;
+  }
+  victim->tag = line_addr;
+  victim->allocated = true;
+  victim->valid_sectors = 0;
+  victim->pending_sectors = sector_mask;
+  victim->dirty_sectors = 0;
+  victim->last_use = now;
+  victim->alloc_time = now;
+  return TagOutcome::kMiss;
+}
+
+bool TagArray::IsHit(Addr line_addr, std::uint32_t sector_mask) const {
+  const Line* l = FindLine(line_addr);
+  return l != nullptr && (sector_mask & ~l->valid_sectors) == 0;
+}
+
+void TagArray::Fill(Addr line_addr, std::uint32_t sector_mask, Cycle now) {
+  if (Line* l = FindLine(line_addr)) {
+    l->valid_sectors |= sector_mask;
+    l->pending_sectors &= ~sector_mask;
+    l->last_use = now;
+  }
+}
+
+bool TagArray::MarkDirty(Addr line_addr, std::uint32_t sector_mask,
+                         Cycle now) {
+  if (Line* l = FindLine(line_addr)) {
+    l->dirty_sectors |= sector_mask;
+    l->valid_sectors |= sector_mask;  // full-sector writes validate
+    l->last_use = now;
+    return true;
+  }
+  return false;
+}
+
+void TagArray::FillAllocate(Addr line_addr, std::uint32_t sector_mask,
+                            Cycle now, Eviction* ev) {
+  SS_DCHECK(ev != nullptr);
+  *ev = Eviction{};
+  if (Line* l = FindLine(line_addr)) {
+    l->valid_sectors |= sector_mask;
+    l->pending_sectors &= ~sector_mask;
+    l->last_use = now;
+    return;
+  }
+  const unsigned set = SetOf(line_addr);
+  Line* victim = PickVictim(set);
+  SS_ASSERT(victim != nullptr);  // streaming caches never reserve ways
+  if (victim->allocated) {
+    ev->valid = true;
+    ev->dirty = victim->dirty_sectors != 0;
+    ev->line_addr = victim->tag;
+    ev->dirty_sectors = victim->dirty_sectors;
+  }
+  victim->tag = line_addr;
+  victim->allocated = true;
+  victim->valid_sectors = sector_mask;
+  victim->pending_sectors = 0;
+  victim->dirty_sectors = 0;
+  victim->last_use = now;
+  victim->alloc_time = now;
+}
+
+TagOutcome TagArray::WriteValidate(Addr line_addr, std::uint32_t sector_mask,
+                                   Cycle now, Eviction* ev) {
+  SS_DCHECK(ev != nullptr);
+  *ev = Eviction{};
+  if (Line* l = FindLine(line_addr)) {
+    l->valid_sectors |= sector_mask;
+    l->dirty_sectors |= sector_mask;
+    l->last_use = now;
+    return TagOutcome::kHit;
+  }
+  const unsigned set = SetOf(line_addr);
+  Line* victim = PickVictim(set);
+  if (victim == nullptr) return TagOutcome::kReservationFail;
+  if (victim->allocated) {
+    ev->valid = true;
+    ev->dirty = victim->dirty_sectors != 0;
+    ev->line_addr = victim->tag;
+    ev->dirty_sectors = victim->dirty_sectors;
+  }
+  victim->tag = line_addr;
+  victim->allocated = true;
+  victim->valid_sectors = sector_mask;
+  victim->pending_sectors = 0;
+  victim->dirty_sectors = sector_mask;
+  victim->last_use = now;
+  victim->alloc_time = now;
+  return TagOutcome::kMiss;
+}
+
+}  // namespace swiftsim

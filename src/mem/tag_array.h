@@ -1,0 +1,94 @@
+// Sectored set-associative tag array with pluggable replacement policy and
+// line reservation (Accel-Sim-style: a miss reserves a way until its fill
+// arrives; if every way of a set is reserved the access fails with a
+// "reservation failure" — the pathology the paper observes in Accel-Sim's
+// RTX 3090 results).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "config/gpu_config.h"
+
+namespace swiftsim {
+
+enum class TagOutcome {
+  kHit,             // line present, all requested sectors valid
+  kSectorMiss,      // line present but some requested sectors not yet valid
+  kMiss,            // line absent; a way was reserved for it
+  kReservationFail, // line absent and no way can be victimized right now
+};
+
+/// Information about a line evicted by ReserveOnMiss (for dirty writeback).
+struct Eviction {
+  bool valid = false;       // an allocated line was displaced
+  bool dirty = false;
+  Addr line_addr = 0;
+  std::uint32_t dirty_sectors = 0;
+};
+
+class TagArray {
+ public:
+  TagArray(const CacheParams& params, std::uint64_t rng_seed);
+
+  /// Probes for `line_addr`. On kMiss, reserves a victim way (recording the
+  /// eviction in *ev) and marks the requested sectors as pending-fill. On
+  /// kSectorMiss, marks the missing sectors pending (line stays allocated).
+  /// On kReservationFail nothing changes. `now` drives LRU/FIFO ordering.
+  TagOutcome Probe(Addr line_addr, std::uint32_t sector_mask, Cycle now,
+                   Eviction* ev);
+
+  /// Read-only lookup: true iff all requested sectors are valid now.
+  bool IsHit(Addr line_addr, std::uint32_t sector_mask) const;
+
+  /// Installs fill data for a previously reserved/pending line. Unknown
+  /// lines are ignored (the line may have been victimized meanwhile —
+  /// possible for sector fills racing with evictions).
+  void Fill(Addr line_addr, std::uint32_t sector_mask, Cycle now);
+
+  /// Marks sectors dirty (write-back caches); the line must be present.
+  /// Returns false if the line is not resident (caller decides policy).
+  bool MarkDirty(Addr line_addr, std::uint32_t sector_mask, Cycle now);
+
+  /// Installs a complete, valid, dirty line for write-validate stores
+  /// (no fetch). Returns eviction info like Probe.
+  TagOutcome WriteValidate(Addr line_addr, std::uint32_t sector_mask,
+                           Cycle now, Eviction* ev);
+
+  /// Streaming-cache fill: allocates (or extends) the line at fill time —
+  /// misses never reserved a way, so this always succeeds (reserved ways
+  /// cannot exist in a streaming cache). Used by "sectored, streaming" L1s.
+  void FillAllocate(Addr line_addr, std::uint32_t sector_mask, Cycle now,
+                    Eviction* ev);
+
+  unsigned num_sets() const { return sets_; }
+
+ private:
+  struct Line {
+    Addr tag = 0;                    // full line address
+    bool allocated = false;          // way holds/reserves a line
+    std::uint32_t valid_sectors = 0; // filled sectors
+    std::uint32_t pending_sectors = 0;  // requested from next level
+    std::uint32_t dirty_sectors = 0;
+    Cycle last_use = 0;
+    Cycle alloc_time = 0;
+
+    bool reserved() const { return pending_sectors != 0; }
+  };
+
+  Line* FindLine(Addr line_addr);
+  const Line* FindLine(Addr line_addr) const;
+  /// Chooses a victim way in `set`; returns nullptr if all ways reserved.
+  Line* PickVictim(unsigned set);
+
+  unsigned SetOf(Addr line_addr) const;
+
+  CacheParams params_;
+  unsigned sets_;
+  std::vector<Line> lines_;  // sets_ x assoc, row-major
+  Rng rng_;
+};
+
+}  // namespace swiftsim

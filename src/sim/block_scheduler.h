@@ -1,0 +1,46 @@
+// The Block Scheduler module (paper Fig. 2): dispatches the grid's CTAs
+// onto SMs greedily — whenever an SM has capacity it receives the next
+// pending CTA — and tracks grid completion.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/sm.h"
+#include "trace/kernel.h"
+
+namespace swiftsim {
+
+class BlockScheduler {
+ public:
+  BlockScheduler() = default;
+
+  void StartKernel(const KernelTrace* kernel);
+
+  /// Launches as many pending CTAs as fit right now, rotating over SMs for
+  /// load balance. Returns the number launched.
+  unsigned AssignPending(std::vector<std::unique_ptr<SmCore>>& sms);
+
+  /// Called (via the SMs' completion hook) when a CTA finishes.
+  void OnCtaComplete() { ++completed_; }
+
+  bool AllLaunched() const {
+    return kernel_ == nullptr || next_cta_ >= kernel_->info().num_ctas;
+  }
+  bool Done() const {
+    return kernel_ == nullptr || completed_ >= kernel_->info().num_ctas;
+  }
+
+  CtaId launched() const { return next_cta_; }
+  std::uint32_t completed() const { return completed_; }
+
+ private:
+  const KernelTrace* kernel_ = nullptr;
+  CtaId next_cta_ = 0;
+  std::uint32_t completed_ = 0;
+  unsigned rr_ = 0;
+};
+
+}  // namespace swiftsim

@@ -1,0 +1,262 @@
+#include "sim/gpu_model.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/status.h"
+
+namespace swiftsim {
+
+GpuModel::GpuModel(const GpuConfig& cfg, const ModelSelection& selection,
+                   const MemProfile* profile)
+    : cfg_(cfg), sel_(selection) {
+  cfg_.Validate();
+  if (sel_.mem == MemModelKind::kAnalytical) {
+    SS_CHECK(profile != nullptr,
+             "analytical memory mode requires a MemProfile (run the cache "
+             "pre-pass first)");
+    mem_model_ = std::make_unique<AnalyticalMemModel>(cfg_, profile);
+  } else {
+    addrmap_ = std::make_unique<AddrMap>(cfg_.num_mem_partitions,
+                                         cfg_.l2.line_bytes);
+    noc_ = std::make_unique<Interconnect>(cfg_.num_sms,
+                                          cfg_.num_mem_partitions, cfg_.noc,
+                                          cfg_.l2.sector_bytes);
+    CacheParams l2_params = cfg_.l2;
+    DramConfig dram_params = cfg_.dram;
+    if (sel_.silicon_effects) {
+      l2_params.latency += cfg_.effects.l2_latency_extra;
+      dram_params.latency += cfg_.effects.dram_latency_extra;
+      dram_params.row_hit_latency += cfg_.effects.dram_latency_extra / 2;
+    }
+    for (unsigned p = 0; p < cfg_.num_mem_partitions; ++p) {
+      l2_.push_back(std::make_unique<SectorCache>(
+          "l2." + std::to_string(p), l2_params, 1000 + p));
+      SiliconEffects effects = cfg_.effects;
+      effects.enabled = sel_.silicon_effects;
+      dram_.push_back(std::make_unique<DramChannel>(
+          dram_params, cfg_.l2.sector_bytes, effects));
+    }
+  }
+  sms_.reserve(cfg_.num_sms);
+  for (unsigned s = 0; s < cfg_.num_sms; ++s) {
+    sms_.push_back(std::make_unique<SmCore>(
+        cfg_, sel_, s, mem_model_.get(),
+        [this](SmId) { scheduler_.OnCtaComplete(); }));
+  }
+  RegisterMetrics();
+}
+
+void GpuModel::RegisterMetrics() {
+  for (const auto& sm : sms_) {
+    const std::string mod = "sm" + std::to_string(sm->id());
+    const SmStats* st = &sm->stats();
+    gatherer_.Register(mod, "issued_instrs", &st->issued_instrs);
+    gatherer_.Register(mod, "issued_mem", &st->issued_mem);
+    gatherer_.Register(mod, "active_cycles", &st->active_cycles);
+    gatherer_.Register(mod, "stall_cycles", &st->stall_cycles);
+    gatherer_.Register(mod, "completed_ctas", &st->completed_ctas);
+    if (const CacheStats* l1 = sm->l1_stats()) {
+      gatherer_.Register(mod + ".l1", "accesses", &l1->accesses);
+      gatherer_.Register(mod + ".l1", "hits", &l1->hits);
+      gatherer_.Register(mod + ".l1", "misses", &l1->misses);
+      gatherer_.Register(mod + ".l1", "sector_misses", &l1->sector_misses);
+      gatherer_.Register(mod + ".l1", "reservation_fails",
+                         &l1->reservation_fails);
+      gatherer_.Register(mod + ".l1", "bank_conflicts", &l1->bank_conflicts);
+    }
+  }
+  for (std::size_t p = 0; p < l2_.size(); ++p) {
+    const std::string mod = "l2." + std::to_string(p);
+    const CacheStats* st = &l2_[p]->stats();
+    gatherer_.Register(mod, "accesses", &st->accesses);
+    gatherer_.Register(mod, "hits", &st->hits);
+    gatherer_.Register(mod, "misses", &st->misses);
+    gatherer_.Register(mod, "sector_misses", &st->sector_misses);
+    gatherer_.Register(mod, "reservation_fails", &st->reservation_fails);
+    gatherer_.Register(mod, "mshr_stalls", &st->mshr_stalls);
+    gatherer_.Register(mod, "writebacks", &st->writebacks);
+  }
+  for (std::size_t p = 0; p < dram_.size(); ++p) {
+    const std::string mod = "dram." + std::to_string(p);
+    const DramStats* st = &dram_[p]->stats();
+    gatherer_.Register(mod, "reads", &st->reads);
+    gatherer_.Register(mod, "writes", &st->writes);
+    gatherer_.Register(mod, "row_hits", &st->row_hits);
+    gatherer_.Register(mod, "bytes", &st->bytes);
+  }
+  if (noc_) {
+    gatherer_.Register("noc.req", "injected",
+                       &noc_->request_stats().injected);
+    gatherer_.Register("noc.req", "bytes", &noc_->request_stats().bytes);
+    gatherer_.Register("noc.req", "inject_stalls",
+                       &noc_->request_stats().inject_stalls);
+    gatherer_.Register("noc.resp", "injected",
+                       &noc_->response_stats().injected);
+    gatherer_.Register("noc.resp", "bytes", &noc_->response_stats().bytes);
+  }
+}
+
+bool GpuModel::MemQuiescent() const {
+  if (noc_ && !noc_->quiescent()) return false;
+  for (const auto& l2 : l2_) {
+    if (!l2->quiescent()) return false;
+  }
+  for (const auto& d : dram_) {
+    if (!d->quiescent()) return false;
+  }
+  return true;
+}
+
+bool GpuModel::AllQuiescent() const {
+  for (const auto& sm : sms_) {
+    if (!sm->Quiescent()) return false;
+  }
+  return MemQuiescent();
+}
+
+void GpuModel::TickMemorySystem() {
+  // SM L1 miss queues drain into the request network.
+  for (auto& sm : sms_) {
+    auto& mq = sm->l1()->miss_queue();
+    while (!mq.empty()) {
+      const MemRequest& req = mq.front();
+      const unsigned p = addrmap_->PartitionOf(req.line_addr);
+      if (!noc_->InjectRequest(sm->id(), p, req)) break;
+      mq.pop_front();
+    }
+  }
+  noc_->Tick(now_);
+  for (unsigned p = 0; p < cfg_.num_mem_partitions; ++p) {
+    SectorCache& l2 = *l2_[p];
+    l2.BeginCycle(now_);
+    // Ejected requests into the L2 slice (its banks limit throughput).
+    auto& rq = noc_->requests_at(p);
+    unsigned attempts = cfg_.l2.banks;
+    while (!rq.empty() && attempts-- > 0) {
+      if (!l2.Access(rq.front(), now_)) break;
+      rq.pop_front();
+    }
+    // L2 load responses ride the response network back.
+    auto& resp = l2.responses();
+    while (!resp.empty()) {
+      if (!noc_->InjectResponse(p, resp.front())) break;
+      resp.pop_front();
+    }
+    // L2 misses and writebacks go to this partition's DRAM channel.
+    auto& mq = l2.miss_queue();
+    while (!mq.empty()) {
+      if (!dram_[p]->Enqueue(mq.front())) break;
+      mq.pop_front();
+    }
+    dram_[p]->Tick(now_);
+    auto& dresp = dram_[p]->responses();
+    while (!dresp.empty()) {
+      l2.Fill(dresp.front(), now_);
+      dresp.pop_front();
+    }
+  }
+}
+
+Cycle GpuModel::RunKernel(const KernelTrace& kernel) {
+  const Cycle start = now_;
+  const KernelInfo& info = kernel.info();
+  SS_CHECK(sms_[0]->allocator().Feasible(info),
+           "kernel '" + info.name + "' cannot fit on an SM of " + cfg_.name);
+  if (sel_.silicon_effects) now_ += cfg_.effects.kernel_launch_overhead;
+  const unsigned active_sms =
+      std::min<unsigned>(cfg_.num_sms, info.num_ctas);
+  for (auto& sm : sms_) sm->OnKernelStart(active_sms);
+  scheduler_.StartKernel(&kernel);
+
+  const bool mem_ca = sel_.mem == MemModelKind::kCycleAccurate;
+  const bool never_jump = sel_.alu == AluModelKind::kCycleAccurate;
+
+  while (!scheduler_.Done() || !AllQuiescent()) {
+    scheduler_.AssignPending(sms_);
+    bool progressed = false;
+    for (auto& sm : sms_) {
+      if (mem_ca) {
+        auto& resps = noc_->responses_at(sm->id());
+        while (!resps.empty()) {
+          sm->DeliverResponse(resps.front(), now_);
+          resps.pop_front();
+          progressed = true;
+        }
+      }
+      if (!sm->Active()) continue;
+      // Event-driven fast path (hybrid modes): a sleeping SM is skipped
+      // until its next wake cycle; this is exact, not an approximation,
+      // because nothing it owns can change state before then.
+      if (!never_jump && sm->NextWake() > now_) continue;
+      progressed |= sm->Tick(now_);
+    }
+    bool mem_busy = false;
+    if (mem_ca) {
+      TickMemorySystem();
+      mem_busy = !MemQuiescent();
+    }
+    if (never_jump || progressed || mem_busy) {
+      ++now_;
+      continue;
+    }
+    // Hybrid fast-forward: nothing can change until the earliest future
+    // event, so jumping there is exact, not an approximation.
+    Cycle wake = kNever;
+    for (const auto& sm : sms_) {
+      if (sm->Active()) wake = std::min(wake, sm->NextWake());
+    }
+    if (wake == kNever) {
+      SS_CHECK(scheduler_.Done() && AllQuiescent(),
+               "simulation wedged: no progress and no future events");
+      break;
+    }
+    now_ = std::max(now_ + 1, wake);
+  }
+  return now_ - start;
+}
+
+SimResult GpuModel::RunApplication(const Application& app) {
+  SimResult result;
+  result.app = app.name;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& kernel : app.kernels) {
+    const std::uint64_t instrs_before = TotalIssuedInstrs();
+    const Cycle cycles = RunKernel(*kernel);
+    KernelResult kr;
+    kr.name = kernel->info().name;
+    kr.cycles = cycles;
+    kr.instructions = TotalIssuedInstrs() - instrs_before;
+    result.kernels.push_back(kr);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.total_cycles = now_;
+  result.instructions = TotalIssuedInstrs();
+  result.wall_seconds =
+      std::chrono::duration<double>(t1 - t0).count();
+  result.metrics = gatherer_.Snapshot();
+  return result;
+}
+
+std::uint64_t GpuModel::TotalIssuedInstrs() const {
+  std::uint64_t sum = 0;
+  for (const auto& sm : sms_) sum += sm->stats().issued_instrs;
+  return sum;
+}
+
+std::uint64_t GpuModel::TotalReservationFails() const {
+  // Accel-Sim's RESERVATION_FAIL umbrella covers line-allocation failures
+  // AND MSHR entry/merge failures; count both, at both levels.
+  std::uint64_t sum = 0;
+  for (const auto& sm : sms_) {
+    if (const CacheStats* l1 = sm->l1_stats()) {
+      sum += l1->reservation_fails + l1->mshr_stalls;
+    }
+  }
+  for (const auto& l2 : l2_) {
+    sum += l2->stats().reservation_fails + l2->stats().mshr_stalls;
+  }
+  return sum;
+}
+
+}  // namespace swiftsim

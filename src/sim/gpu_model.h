@@ -1,0 +1,87 @@
+// The assembled GPU performance model: SMs + interconnect + L2 partitions
+// + DRAM channels + block scheduler, with per-module modeling approaches
+// chosen by ModelSelection (paper Fig. 2, "Modular and Hybrid GPU
+// Modeling").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analytical/mem_model.h"
+#include "common/types.h"
+#include "config/gpu_config.h"
+#include "mem/addrmap.h"
+#include "mem/cache.h"
+#include "mem/dram.h"
+#include "mem/noc.h"
+#include "sim/block_scheduler.h"
+#include "sim/metrics.h"
+#include "sim/model_select.h"
+#include "sim/sm.h"
+#include "trace/kernel.h"
+
+namespace swiftsim {
+
+struct KernelResult {
+  std::string name;
+  Cycle cycles = 0;           // this kernel's contribution
+  std::uint64_t instructions = 0;
+};
+
+struct SimResult {
+  std::string app;
+  std::string simulator;
+  Cycle total_cycles = 0;
+  std::uint64_t instructions = 0;
+  double wall_seconds = 0;
+  std::vector<KernelResult> kernels;
+  std::map<std::string, std::uint64_t> metrics;
+};
+
+class GpuModel {
+ public:
+  /// `profile` must be non-null iff selection.mem == kAnalytical; it must
+  /// outlive the model.
+  GpuModel(const GpuConfig& cfg, const ModelSelection& selection,
+           const MemProfile* profile = nullptr);
+
+  /// Runs one kernel to completion (including memory drain); returns the
+  /// cycles it consumed. State (caches, clock) persists across kernels.
+  Cycle RunKernel(const KernelTrace& kernel);
+
+  /// Runs all kernels of an application in launch order.
+  SimResult RunApplication(const Application& app);
+
+  Cycle now() const { return now_; }
+  const MetricsGatherer& metrics() const { return gatherer_; }
+  const std::vector<std::unique_ptr<SmCore>>& sms() const { return sms_; }
+
+  /// Aggregated convenience stats (summed over components).
+  std::uint64_t TotalIssuedInstrs() const;
+  std::uint64_t TotalReservationFails() const;
+
+ private:
+  void TickMemorySystem();
+  bool MemQuiescent() const;
+  bool AllQuiescent() const;
+  void RegisterMetrics();
+
+  GpuConfig cfg_;
+  ModelSelection sel_;
+  std::unique_ptr<AnalyticalMemModel> mem_model_;
+
+  std::vector<std::unique_ptr<SmCore>> sms_;
+  std::unique_ptr<Interconnect> noc_;
+  std::vector<std::unique_ptr<SectorCache>> l2_;
+  std::vector<std::unique_ptr<DramChannel>> dram_;
+  std::unique_ptr<AddrMap> addrmap_;
+  BlockScheduler scheduler_;
+  MetricsGatherer gatherer_;
+
+  Cycle now_ = 0;
+};
+
+}  // namespace swiftsim

@@ -1,0 +1,47 @@
+#include "sim/metrics.h"
+
+#include "common/status.h"
+#include "common/strutil.h"
+
+namespace swiftsim {
+
+void MetricsGatherer::Register(const std::string& module,
+                               const std::string& counter, Source source) {
+  const std::string key = module + "." + counter;
+  SS_CHECK(sources_.count(key) == 0, "duplicate metric '" + key + "'");
+  sources_[key] = std::move(source);
+}
+
+void MetricsGatherer::Register(const std::string& module,
+                               const std::string& counter,
+                               const std::uint64_t* var) {
+  Register(module, counter, [var] { return *var; });
+}
+
+std::map<std::string, std::uint64_t> MetricsGatherer::Snapshot() const {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [key, source] : sources_) out[key] = source();
+  return out;
+}
+
+std::uint64_t MetricsGatherer::Read(const std::string& full_name) const {
+  auto it = sources_.find(full_name);
+  SS_CHECK(it != sources_.end(), "unknown metric '" + full_name + "'");
+  return it->second();
+}
+
+std::uint64_t MetricsGatherer::SumAcross(const std::string& module_prefix,
+                                         const std::string& counter) const {
+  std::uint64_t sum = 0;
+  const std::string suffix = "." + counter;
+  for (const auto& [key, source] : sources_) {
+    if (!StartsWith(key, module_prefix)) continue;
+    if (key.size() >= suffix.size() &&
+        key.compare(key.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      sum += source();
+    }
+  }
+  return sum;
+}
+
+}  // namespace swiftsim

@@ -1,0 +1,77 @@
+// Per-module modeling-approach selection — the core idea of the paper
+// (§III-B3): every module is simulated either cycle-accurately or with an
+// analytical model, chosen independently behind fixed interfaces.
+#pragma once
+
+#include <string>
+
+namespace swiftsim {
+
+/// Execution-unit module implementation.
+enum class AluModelKind {
+  kCycleAccurate,      // explicit pipeline stages ticked every cycle
+  kHybridAnalytical,   // fixed latency + cycle-accurate contention (Fig. 3)
+};
+
+/// Memory-access module implementation.
+enum class MemModelKind {
+  kCycleAccurate,  // full L1/NoC/L2/DRAM timing model
+  kAnalytical,     // Eq. 1 expected latency + contention pipe (§III-D2)
+};
+
+/// Front-end (fetch/i-buffer, instruction & constant caches) detail.
+enum class FrontendKind {
+  kDetailed,    // per-warp i-buffers refilled at fetch bandwidth
+  kSimplified,  // next trace instruction always available
+};
+
+struct ModelSelection {
+  AluModelKind alu = AluModelKind::kCycleAccurate;
+  MemModelKind mem = MemModelKind::kCycleAccurate;
+  FrontendKind frontend = FrontendKind::kDetailed;
+  /// Enables the second-order SiliconEffects of the GpuConfig — used only
+  /// by the "silicon oracle" standing in for real-hardware cycle counts.
+  bool silicon_effects = false;
+};
+
+/// The simulator configurations evaluated in the paper plus the oracle.
+enum class SimLevel {
+  kSilicon,         // detailed + silicon effects: the real-GPU stand-in
+  kDetailed,        // Accel-Sim-class cycle-accurate baseline
+  kSwiftSimBasic,   // hybrid ALU + simplified frontend, CA memory
+  kSwiftSimMemory,  // Swift-Sim-Basic + analytical memory model
+};
+
+inline ModelSelection SelectionFor(SimLevel level) {
+  switch (level) {
+    case SimLevel::kSilicon:
+      return {AluModelKind::kCycleAccurate, MemModelKind::kCycleAccurate,
+              FrontendKind::kDetailed, true};
+    case SimLevel::kDetailed:
+      return {AluModelKind::kCycleAccurate, MemModelKind::kCycleAccurate,
+              FrontendKind::kDetailed, false};
+    case SimLevel::kSwiftSimBasic:
+      return {AluModelKind::kHybridAnalytical, MemModelKind::kCycleAccurate,
+              FrontendKind::kSimplified, false};
+    case SimLevel::kSwiftSimMemory:
+      return {AluModelKind::kHybridAnalytical, MemModelKind::kAnalytical,
+              FrontendKind::kSimplified, false};
+  }
+  return {};
+}
+
+inline std::string ToString(SimLevel level) {
+  switch (level) {
+    case SimLevel::kSilicon:
+      return "silicon";
+    case SimLevel::kDetailed:
+      return "accel-sim-baseline";
+    case SimLevel::kSwiftSimBasic:
+      return "swift-sim-basic";
+    case SimLevel::kSwiftSimMemory:
+      return "swift-sim-memory";
+  }
+  return "?";
+}
+
+}  // namespace swiftsim

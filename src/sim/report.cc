@@ -1,0 +1,74 @@
+#include "sim/report.h"
+
+#include <sstream>
+
+#include "common/strutil.h"
+
+namespace swiftsim {
+
+namespace {
+
+/// Sums metrics named "<prefix>*<suffix>" (module wildcards).
+std::uint64_t SumMetric(const std::map<std::string, std::uint64_t>& m,
+                        const std::string& prefix,
+                        const std::string& suffix) {
+  std::uint64_t sum = 0;
+  for (const auto& [key, value] : m) {
+    if (!StartsWith(key, prefix)) continue;
+    if (key.size() >= suffix.size() &&
+        key.compare(key.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      sum += value;
+    }
+  }
+  return sum;
+}
+
+double Ratio(std::uint64_t num, std::uint64_t den) {
+  return den ? static_cast<double>(num) / static_cast<double>(den) : 0.0;
+}
+
+}  // namespace
+
+PerfReport BuildReport(const SimResult& result) {
+  const auto& m = result.metrics;
+  PerfReport r;
+  r.ipc = Ratio(result.instructions, result.total_cycles);
+  const std::uint64_t active = SumMetric(m, "sm", ".active_cycles");
+  const std::uint64_t stall = SumMetric(m, "sm", ".stall_cycles");
+  r.sm_busy_fraction = Ratio(active, active + stall);
+  r.completed_ctas = SumMetric(m, "sm", ".completed_ctas");
+
+  r.l1_accesses = SumMetric(m, "sm", ".l1.accesses");
+  r.l1_hit_rate = Ratio(SumMetric(m, "sm", ".l1.hits"), r.l1_accesses);
+  r.l2_accesses = SumMetric(m, "l2.", ".accesses");
+  r.l2_hit_rate = Ratio(SumMetric(m, "l2.", ".hits"), r.l2_accesses);
+
+  r.dram_reads = SumMetric(m, "dram.", ".reads");
+  r.dram_writes = SumMetric(m, "dram.", ".writes");
+  r.dram_bytes = SumMetric(m, "dram.", ".bytes");
+  const std::uint64_t row_hits = SumMetric(m, "dram.", ".row_hits");
+  r.dram_row_hit_rate = Ratio(row_hits, r.dram_reads + r.dram_writes);
+
+  r.noc_bytes = SumMetric(m, "noc.", ".bytes");
+  r.reservation_fails = SumMetric(m, "sm", ".l1.reservation_fails") +
+                        SumMetric(m, "l2.", ".reservation_fails");
+  return r;
+}
+
+std::string PerfReport::ToString() const {
+  std::ostringstream os;
+  os << "ipc=" << ipc << " sm_busy=" << sm_busy_fraction
+     << " ctas=" << completed_ctas << "\n"
+     << "l1: accesses=" << l1_accesses << " hit_rate=" << l1_hit_rate
+     << "\n"
+     << "l2: accesses=" << l2_accesses << " hit_rate=" << l2_hit_rate
+     << "\n"
+     << "dram: reads=" << dram_reads << " writes=" << dram_writes
+     << " bytes=" << dram_bytes << " row_hit=" << dram_row_hit_rate << "\n"
+     << "noc bytes=" << noc_bytes
+     << " reservation_fails=" << reservation_fails;
+  return os.str();
+}
+
+}  // namespace swiftsim

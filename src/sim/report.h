@@ -1,0 +1,37 @@
+// Performance-report builder on top of the Metrics Gatherer: aggregates
+// the per-module counters of a SimResult into the headline quantities an
+// architect reads first (paper §III-C: "evaluate overall performance and
+// analyze performance bottlenecks").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/gpu_model.h"
+
+namespace swiftsim {
+
+struct PerfReport {
+  double ipc = 0;                 // instructions per cycle, whole chip
+  double sm_busy_fraction = 0;    // active / (active + stall) cycles
+  double l1_hit_rate = 0;         // aggregated over SMs (0 if no L1 model)
+  double l2_hit_rate = 0;         // aggregated over partitions
+  double dram_row_hit_rate = 0;
+  std::uint64_t l1_accesses = 0;
+  std::uint64_t l2_accesses = 0;
+  std::uint64_t dram_reads = 0;
+  std::uint64_t dram_writes = 0;
+  std::uint64_t dram_bytes = 0;
+  std::uint64_t noc_bytes = 0;
+  std::uint64_t reservation_fails = 0;  // L1 + L2 (Fig. 6 discussion)
+  std::uint64_t completed_ctas = 0;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Aggregates a finished run's metrics. Works for every simulator level;
+/// memory-system fields are zero when the run used the analytical path.
+PerfReport BuildReport(const SimResult& result);
+
+}  // namespace swiftsim

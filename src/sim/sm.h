@@ -1,0 +1,170 @@
+// One streaming multiprocessor assembled from the core-substrate modules
+// (paper Fig. 1 / §III-B): sub-cores with warp schedulers, execution units
+// (cycle-accurate or hybrid-analytical), LD/ST units (cycle-accurate L1
+// path or Eq. 1 analytical path), barrier manager and CTA allocator. The
+// modeling approach of each module is a constructor-time choice
+// (ModelSelection) behind fixed interfaces — the framework's core idea.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "analytical/mem_model.h"
+#include "common/types.h"
+#include "config/gpu_config.h"
+#include "core/barrier.h"
+#include "core/cta_allocator.h"
+#include "core/exec_unit.h"
+#include "core/ldst_unit.h"
+#include "core/operand_collector.h"
+#include "core/scheduler.h"
+#include "core/scoreboard.h"
+#include "core/warp.h"
+#include "mem/cache.h"
+#include "sim/model_select.h"
+
+namespace swiftsim {
+
+inline constexpr Cycle kNever = ~Cycle{0};
+
+struct SmStats {
+  std::uint64_t issued_instrs = 0;
+  std::uint64_t issued_alu = 0;
+  std::uint64_t issued_mem = 0;
+  std::uint64_t issued_control = 0;
+  std::uint64_t active_cycles = 0;     // cycles with >=1 issue
+  std::uint64_t stall_cycles = 0;      // resident warps but nothing issued
+  std::uint64_t completed_ctas = 0;
+  std::uint64_t icache_stall_cycles = 0;
+  std::uint64_t regbank_conflicts = 0;
+  std::uint64_t barrier_waits = 0;
+};
+
+class SmCore {
+ public:
+  using CtaCompleteFn = std::function<void(SmId)>;
+
+  /// `mem_model` must be non-null iff selection.mem == kAnalytical and must
+  /// outlive the SM.
+  SmCore(const GpuConfig& cfg, const ModelSelection& selection, SmId id,
+         const AnalyticalMemModel* mem_model, CtaCompleteFn on_cta_complete);
+
+  // --- Block-scheduler interface -----------------------------------------
+  bool CanTakeCta(const KernelInfo& info) const;
+  void LaunchCta(const KernelTrace& kernel, CtaId cta_id);
+
+  /// Called once per kernel launch: how many SMs will share chip-level
+  /// bandwidth (analytical contention pipes only; no-op otherwise).
+  void OnKernelStart(unsigned active_sms);
+
+  // --- Clock interface -----------------------------------------------------
+  /// Advances one cycle; returns true if any instruction issued or any
+  /// completion retired (progress).
+  bool Tick(Cycle now);
+
+  /// Earliest future cycle at which this SM can make progress again
+  /// (completion events, structural-hazard releases, latency-pipe
+  /// deliveries); kNever when nothing is scheduled. Updated by Tick; the
+  /// GPU model may skip ticking this SM until the returned cycle — the
+  /// event-driven fast path that gives the hybrid simulators their speed.
+  Cycle NextWake() const { return next_wake_; }
+
+  /// Invalidates the cached wake time (new CTA, delivered response, …).
+  void ForceWake() { next_wake_ = 0; }
+
+  /// True when the SM holds no resident CTAs and all machinery drained.
+  bool Idle() const;
+
+  /// Anything resident or in flight (cheap check for the GPU model's
+  /// active-SM filter).
+  bool Active() const { return resident_warps_ > 0 || !Quiescent(); }
+
+  /// All LD/ST units, the L1 and the event queue drained.
+  bool Quiescent() const;
+
+  // --- Memory-side interface (cycle-accurate memory mode only) ------------
+  SectorCache* l1() { return l1_.get(); }
+  void DeliverResponse(const MemResponse& resp, Cycle now);
+
+  const SmStats& stats() const { return stats_; }
+  const CacheStats* l1_stats() const {
+    return l1_ ? &l1_->stats() : nullptr;
+  }
+  const CtaAllocator& allocator() const { return allocator_; }
+  SmId id() const { return id_; }
+
+ private:
+  struct ResidentCta {
+    bool valid = false;
+    const KernelTrace* kernel = nullptr;
+    KernelId kernel_id = 0;
+    CtaId cta_id = 0;
+    unsigned live_warps = 0;
+  };
+
+  struct Event {
+    Cycle cycle;
+    unsigned slot;
+    std::uint8_t dst;
+    std::uint8_t subcore;
+    bool is_mem;
+    bool operator>(const Event& o) const { return cycle > o.cycle; }
+  };
+
+  struct SubCore {
+    std::unique_ptr<WarpScheduler> scheduler;
+    std::vector<ExecPipeline> pipelines;        // cycle-accurate ALU mode
+    std::unique_ptr<OperandCollector> collector;  // cycle-accurate ALU mode
+    std::unique_ptr<HybridAluModel> hybrid_alu; // hybrid ALU mode
+    std::unique_ptr<LdstUnit> ldst;             // cycle-accurate mem mode
+    // Analytical memory mode state (paper §III-D2).
+    Cycle ana_ldst_next_issue = 0;
+    unsigned ana_ldst_inflight = 0;
+    unsigned fetch_rr = 0;  // detailed-frontend fetch rotor
+  };
+
+  void Writeback(unsigned slot, std::uint8_t dst);
+  bool WarpReady(unsigned slot, Cycle now);
+  void IssueInstr(unsigned slot, Cycle now);
+  void IssueControl(unsigned slot, const TraceInstr& ins);
+  void IssueAlu(unsigned slot, const TraceInstr& ins, Cycle now);
+  void IssueMem(unsigned slot, const TraceInstr& ins, Cycle now);
+  void FinishCta(unsigned cta_slot);
+  void WakeCtaWarps(unsigned cta_slot);
+  void FrontendTick(SubCore& sc, unsigned sc_idx, Cycle now);
+  ExecPipeline& PipelineFor(SubCore& sc, UnitClass cls);
+  void NoteWake(Cycle when);
+  unsigned SmemConflicts(const TraceInstr& ins) const;
+
+  GpuConfig cfg_;
+  ModelSelection sel_;
+  SmId id_;
+  const AnalyticalMemModel* mem_model_;
+  CtaCompleteFn on_cta_complete_;
+
+  std::vector<WarpContext> warps_;
+  std::vector<std::uint8_t> conflict_paid_;  // silicon regbank effect
+  std::vector<ResidentCta> ctas_;
+  unsigned resident_warps_ = 0;
+  std::uint64_t launch_seq_ = 0;
+
+  Scoreboard scoreboard_;
+  BarrierManager barriers_;
+  CtaAllocator allocator_;
+  std::vector<SubCore> subcores_;
+  std::unique_ptr<SectorCache> l1_;  // cycle-accurate memory mode only
+  std::unique_ptr<MemContentionModel> contention_;  // analytical mode
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+      events_;
+  Cycle next_struct_wake_ = kNever;
+  Cycle next_wake_ = 0;
+
+  SmStats stats_;
+};
+
+}  // namespace swiftsim

@@ -1,0 +1,135 @@
+#include "swiftsim/parallel.h"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <thread>
+
+#include "analytical/cache_prepass.h"
+#include "common/status.h"
+#include "swiftsim/simulator.h"
+
+namespace swiftsim {
+
+ParallelBatchResult RunAppsParallel(const std::vector<Application>& apps,
+                                    const GpuConfig& cfg, SimLevel level,
+                                    unsigned num_threads) {
+  SS_CHECK(num_threads > 0, "need at least one worker thread");
+  ParallelBatchResult batch;
+  batch.results.resize(apps.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= apps.size()) return;
+      batch.results[i] = RunSimulation(apps[i], cfg, level);
+    }
+  };
+  std::vector<std::thread> pool;
+  const unsigned n = std::min<unsigned>(num_threads,
+                                        std::max<std::size_t>(apps.size(), 1));
+  pool.reserve(n);
+  for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  batch.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return batch;
+}
+
+namespace {
+
+/// Simulates one SM's statically assigned share of a kernel to completion,
+/// starting at `start`; returns the SM's local finish time.
+Cycle RunSmShare(SmCore& sm, const KernelTrace& kernel,
+                 std::deque<CtaId>& pending, Cycle start) {
+  const KernelInfo& info = kernel.info();
+  Cycle now = start;
+  while (!pending.empty() || !sm.Idle()) {
+    while (!pending.empty() && sm.CanTakeCta(info)) {
+      sm.LaunchCta(kernel, pending.front());
+      pending.pop_front();
+    }
+    const bool progressed = sm.Tick(now);
+    if (progressed) {
+      ++now;
+      continue;
+    }
+    const Cycle wake = sm.NextWake();
+    if (wake == kNever) {
+      SS_CHECK(pending.empty() && sm.Idle(),
+               "SM-parallel simulation wedged on kernel '" + info.name + "'");
+      break;
+    }
+    now = std::max(now + 1, wake);
+  }
+  return now;
+}
+
+}  // namespace
+
+SimResult RunSmParallelMemory(const Application& app, const GpuConfig& cfg,
+                              unsigned num_threads) {
+  SS_CHECK(num_threads > 0, "need at least one worker thread");
+  const auto t0 = std::chrono::steady_clock::now();
+  const MemProfile profile = BuildMemProfile(app, cfg);
+  const ModelSelection sel = SelectionFor(SimLevel::kSwiftSimMemory);
+  AnalyticalMemModel mem_model(cfg, &profile);
+
+  // Independent SMs: the analytical memory path shares no mutable state.
+  std::vector<std::unique_ptr<SmCore>> sms;
+  sms.reserve(cfg.num_sms);
+  for (unsigned s = 0; s < cfg.num_sms; ++s) {
+    sms.push_back(
+        std::make_unique<SmCore>(cfg, sel, s, &mem_model, [](SmId) {}));
+  }
+
+  SimResult result;
+  result.app = app.name;
+  result.simulator = ToString(SimLevel::kSwiftSimMemory) + "+sm-parallel";
+  Cycle clock = 0;
+  for (const auto& kernel : app.kernels) {
+    const KernelInfo& info = kernel->info();
+    // Static round-robin pre-assignment (documented approximation of the
+    // greedy dispatcher; required for SM independence).
+    std::vector<std::deque<CtaId>> assignment(cfg.num_sms);
+    for (CtaId c = 0; c < info.num_ctas; ++c) {
+      assignment[c % cfg.num_sms].push_back(c);
+    }
+    const unsigned active_sms =
+        std::min<unsigned>(cfg.num_sms, info.num_ctas);
+    for (auto& sm : sms) sm->OnKernelStart(active_sms);
+    std::vector<Cycle> finish(cfg.num_sms, clock);
+    std::atomic<unsigned> next{0};
+    auto worker = [&] {
+      for (;;) {
+        const unsigned s = next.fetch_add(1);
+        if (s >= cfg.num_sms) return;
+        if (assignment[s].empty()) continue;
+        finish[s] = RunSmShare(*sms[s], *kernel, assignment[s], clock);
+      }
+    };
+    std::vector<std::thread> pool;
+    const unsigned n = std::min(num_threads, cfg.num_sms);
+    pool.reserve(n);
+    for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+
+    Cycle kernel_end = clock;
+    for (Cycle f : finish) kernel_end = std::max(kernel_end, f);
+    KernelResult kr;
+    kr.name = info.name;
+    kr.cycles = kernel_end - clock;
+    result.kernels.push_back(kr);
+    clock = kernel_end;  // kernel boundary = global barrier
+  }
+  result.total_cycles = clock;
+  for (const auto& sm : sms) {
+    result.instructions += sm->stats().issued_instrs;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return result;
+}
+
+}  // namespace swiftsim

@@ -1,0 +1,37 @@
+// Parallel simulation (paper §III-B2 / §IV-B2): the modular design makes
+// two levels of parallelism available:
+//
+//  * application-level — independent GpuModels for different applications
+//    run on a thread pool (any simulator level);
+//  * SM-level — in Swift-Sim-Memory the analytical memory path removes all
+//    shared mutable state between SMs, so one application's SMs can be
+//    simulated concurrently. CTAs are pre-assigned round-robin (a
+//    documented approximation of the greedy dispatcher; see DESIGN.md).
+#pragma once
+
+#include <vector>
+
+#include "config/gpu_config.h"
+#include "sim/gpu_model.h"
+#include "sim/model_select.h"
+#include "trace/kernel.h"
+
+namespace swiftsim {
+
+struct ParallelBatchResult {
+  std::vector<SimResult> results;  // same order as the input apps
+  double wall_seconds = 0;         // whole-batch wall time
+};
+
+/// Runs each application through its own simulator concurrently.
+ParallelBatchResult RunAppsParallel(const std::vector<Application>& apps,
+                                    const GpuConfig& cfg, SimLevel level,
+                                    unsigned num_threads);
+
+/// SM-parallel Swift-Sim-Memory run of one application. Deterministic for
+/// any thread count (SMs are independent). Kernel boundaries are global
+/// barriers; a kernel's cycle count is the slowest SM's local clock.
+SimResult RunSmParallelMemory(const Application& app, const GpuConfig& cfg,
+                              unsigned num_threads);
+
+}  // namespace swiftsim

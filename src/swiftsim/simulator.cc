@@ -1,0 +1,34 @@
+#include "swiftsim/simulator.h"
+
+#include <chrono>
+
+#include "analytical/cache_prepass.h"
+
+namespace swiftsim {
+
+Simulator::Simulator(const Application& app, const GpuConfig& cfg,
+                     SimLevel level)
+    : app_(app), cfg_(cfg), level_(level) {
+  if (SelectionFor(level).mem == MemModelKind::kAnalytical) {
+    const auto t0 = std::chrono::steady_clock::now();
+    profile_ = std::make_unique<MemProfile>(BuildMemProfile(app, cfg_));
+    const auto t1 = std::chrono::steady_clock::now();
+    prepass_seconds_ = std::chrono::duration<double>(t1 - t0).count();
+  }
+}
+
+SimResult Simulator::Run() {
+  GpuModel model(cfg_, SelectionFor(level_), profile_.get());
+  SimResult result = model.RunApplication(app_);
+  result.simulator = ToString(level_);
+  // The pre-pass is part of Swift-Sim-Memory's cost; charge it to the run.
+  result.wall_seconds += prepass_seconds_;
+  return result;
+}
+
+SimResult RunSimulation(const Application& app, const GpuConfig& cfg,
+                        SimLevel level) {
+  return Simulator(app, cfg, level).Run();
+}
+
+}  // namespace swiftsim

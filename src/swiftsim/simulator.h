@@ -1,0 +1,46 @@
+// Top-level entry points: run an application through any of the four
+// simulator configurations (paper §IV-A3 plus the silicon oracle).
+//
+//   kSilicon         — detailed model + second-order effects; stands in
+//                      for real-hardware cycles (DESIGN.md §2)
+//   kDetailed        — the Accel-Sim-class cycle-accurate baseline
+//   kSwiftSimBasic   — hybrid ALU model, simplified front-end
+//   kSwiftSimMemory  — Basic + analytical memory model (runs the cache
+//                      pre-pass automatically; its cost is included in the
+//                      reported wall time)
+#pragma once
+
+#include <memory>
+
+#include "config/gpu_config.h"
+#include "sim/gpu_model.h"
+#include "sim/model_select.h"
+#include "trace/kernel.h"
+
+namespace swiftsim {
+
+/// One-shot simulation of an application. Deterministic for fixed inputs.
+SimResult RunSimulation(const Application& app, const GpuConfig& cfg,
+                        SimLevel level);
+
+/// Reusable simulator handle (keeps the pre-pass profile so repeated runs
+/// of the same application don't re-profile).
+class Simulator {
+ public:
+  Simulator(const Application& app, const GpuConfig& cfg, SimLevel level);
+
+  /// Runs a fresh GpuModel over the application.
+  SimResult Run();
+
+  SimLevel level() const { return level_; }
+  const MemProfile* profile() const { return profile_.get(); }
+
+ private:
+  const Application& app_;
+  GpuConfig cfg_;
+  SimLevel level_;
+  std::unique_ptr<MemProfile> profile_;  // analytical memory mode only
+  double prepass_seconds_ = 0;
+};
+
+}  // namespace swiftsim

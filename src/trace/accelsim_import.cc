@@ -1,0 +1,293 @@
+#include "trace/accelsim_import.h"
+
+#include <fstream>
+#include <istream>
+#include <map>
+#include <set>
+
+#include "common/bitutil.h"
+#include "common/log.h"
+#include "common/status.h"
+#include "common/strutil.h"
+
+namespace swiftsim {
+
+Opcode MapSassOpcode(const std::string& mnemonic) {
+  static const std::map<std::string, Opcode> kMap = {
+      // Integer pipe.
+      {"IADD", Opcode::kIAdd},   {"IADD3", Opcode::kIAdd},
+      {"IMUL", Opcode::kIMul},   {"IMAD", Opcode::kIMad},
+      {"ISETP", Opcode::kISetp}, {"LOP", Opcode::kIAdd},
+      {"LOP3", Opcode::kIAdd},   {"SHF", Opcode::kIAdd},
+      {"SHL", Opcode::kIAdd},    {"SHR", Opcode::kIAdd},
+      {"MOV", Opcode::kIAdd},    {"SEL", Opcode::kIAdd},
+      {"BRA", Opcode::kBra},     {"BRX", Opcode::kBra},
+      {"S2R", Opcode::kIAdd},    {"CS2R", Opcode::kIAdd},
+      // FP32 pipe.
+      {"FADD", Opcode::kFAdd},   {"FMUL", Opcode::kFMul},
+      {"FFMA", Opcode::kFFma},   {"FSETP", Opcode::kFAdd},
+      {"FSEL", Opcode::kFAdd},   {"FMNMX", Opcode::kFAdd},
+      // FP64 pipe.
+      {"DADD", Opcode::kDAdd},   {"DMUL", Opcode::kDFma},
+      {"DFMA", Opcode::kDFma},   {"DSETP", Opcode::kDAdd},
+      // SFU.
+      {"MUFU", Opcode::kRsqrt},  {"RCP", Opcode::kRcp},
+      {"RSQRT", Opcode::kRsqrt}, {"SIN", Opcode::kSin},
+      {"EX2", Opcode::kExp},     {"LG2", Opcode::kExp},
+      // Tensor.
+      {"HMMA", Opcode::kHmma},   {"IMMA", Opcode::kHmma},
+      {"BMMA", Opcode::kHmma},
+      // Memory.
+      {"LDG", Opcode::kLdGlobal}, {"LD", Opcode::kLdGlobal},
+      {"STG", Opcode::kStGlobal}, {"ST", Opcode::kStGlobal},
+      {"LDS", Opcode::kLdShared}, {"STS", Opcode::kStShared},
+      {"LDC", Opcode::kLdConst},  {"LDL", Opcode::kLdGlobal},
+      {"STL", Opcode::kStGlobal},
+      // Control.
+      {"BAR", Opcode::kBarSync},  {"EXIT", Opcode::kExit},
+      {"RET", Opcode::kExit},
+  };
+  auto it = kMap.find(mnemonic);
+  if (it != kMap.end()) return it->second;
+  static std::set<std::string> warned;
+  if (warned.insert(mnemonic).second) {
+    SS_LOG(kWarning) << "accelsim import: unknown SASS mnemonic '"
+                     << mnemonic << "', mapping to the INT pipeline";
+  }
+  return Opcode::kIAdd;
+}
+
+namespace {
+
+class Reader {
+ public:
+  explicit Reader(std::istream& is) : is_(is) {}
+
+  bool Next(std::string* out) {
+    std::string line;
+    while (std::getline(is_, line)) {
+      ++line_no_;
+      const std::string_view t = Trim(line);
+      if (t.empty()) continue;
+      *out = std::string(t);
+      return true;
+    }
+    return false;
+  }
+
+  [[noreturn]] void Fail(const std::string& msg) const {
+    throw SimError("accelsim trace parse error at line " +
+                   std::to_string(line_no_) + ": " + msg);
+  }
+
+ private:
+  std::istream& is_;
+  std::size_t line_no_ = 0;
+};
+
+std::uint64_t ParseHexField(const std::string& s, Reader& r) {
+  std::string_view t = s;
+  if (StartsWith(t, "0x") || StartsWith(t, "0X")) t.remove_prefix(2);
+  if (t.empty()) r.Fail("empty hex field");
+  std::uint64_t v = 0;
+  for (char c : t) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      r.Fail("bad hex digit in '" + s + "'");
+    }
+  }
+  return v;
+}
+
+std::uint8_t ParseReg(const std::string& s, Reader& r) {
+  if (s.size() < 2 || (s[0] != 'R' && s[0] != 'P')) {
+    r.Fail("expected register, got '" + s + "'");
+  }
+  // Predicate registers fold onto high numbers; "RZ" is the zero register
+  // (no dependency).
+  if (s == "RZ" || s == "PT") return kNoReg;
+  const std::uint64_t n = ParseUint(s.substr(1), "register number");
+  if (n > 254) r.Fail("register number out of range in '" + s + "'");
+  return static_cast<std::uint8_t>(s[0] == 'P' ? 200 + n : n);
+}
+
+/// "(x,y,z)" or "x,y,z" -> product.
+std::uint64_t ParseDim3(std::string s, Reader& r) {
+  std::string_view t = Trim(s);
+  if (!t.empty() && t.front() == '(') t.remove_prefix(1);
+  if (!t.empty() && t.back() == ')') t.remove_suffix(1);
+  const auto parts = Split(t, ',');
+  if (parts.empty() || parts.size() > 3) r.Fail("malformed dim3 '" + s + "'");
+  std::uint64_t prod = 1;
+  for (const auto& p : parts) prod *= ParseUint(p, "dim3 component");
+  if (prod == 0) r.Fail("zero-sized dim3 '" + s + "'");
+  return prod;
+}
+
+TraceInstr ParseInstrLine(const std::vector<std::string>& tok, Reader& r) {
+  // <pc> <mask> <ndest> {Rn} <OPCODE> <nsrc> {Rn} <mem_width> [mode addrs]
+  std::size_t i = 0;
+  auto need = [&](const char* what) -> const std::string& {
+    if (i >= tok.size()) r.Fail(std::string("missing field: ") + what);
+    return tok[i++];
+  };
+  TraceInstr ins;
+  ins.pc = ParseHexField(need("pc"), r);
+  ins.active = static_cast<LaneMask>(ParseHexField(need("mask"), r));
+  if (ins.active == 0) r.Fail("instruction with empty active mask");
+  const auto ndest = ParseUint(need("ndest"), "dest count");
+  if (ndest > 1 + 3) r.Fail("too many destination registers");
+  for (std::uint64_t d = 0; d < ndest; ++d) {
+    const std::uint8_t reg = ParseReg(need("dest reg"), r);
+    if (d == 0) ins.dst = reg;  // extra dests (wide loads) are dropped
+  }
+  std::string opcode = need("opcode");
+  const std::size_t dot = opcode.find('.');
+  if (dot != std::string::npos) opcode.resize(dot);
+  ins.op = MapSassOpcode(opcode);
+  const auto nsrc = ParseUint(need("nsrc"), "src count");
+  for (std::uint64_t s = 0; s < nsrc; ++s) {
+    const std::uint8_t reg = ParseReg(need("src reg"), r);
+    if (s < ins.src.size()) ins.src[s] = reg;
+  }
+  const auto mem_width = ParseUint(need("mem width"), "mem width");
+  if (IsMemory(ins.op)) {
+    if (mem_width == 0) r.Fail("memory opcode with zero mem width");
+    const unsigned lanes = ins.num_active();
+    const auto mode = ParseUint(need("address mode"), "address mode");
+    ins.addrs.reserve(lanes);
+    if (mode == 0) {
+      for (unsigned l = 0; l < lanes; ++l) {
+        ins.addrs.push_back(ParseHexField(need("address"), r));
+      }
+    } else if (mode == 1) {
+      const Addr base = ParseHexField(need("base address"), r);
+      const auto stride = ParseInt(need("stride"), "address stride");
+      for (unsigned l = 0; l < lanes; ++l) {
+        ins.addrs.push_back(base + static_cast<Addr>(stride) * l);
+      }
+    } else if (mode == 2) {
+      Addr prev = ParseHexField(need("base address"), r);
+      ins.addrs.push_back(prev);
+      for (unsigned l = 1; l < lanes; ++l) {
+        const auto delta = ParseInt(need("address delta"), "address delta");
+        prev = static_cast<Addr>(static_cast<std::int64_t>(prev) + delta);
+        ins.addrs.push_back(prev);
+      }
+    } else {
+      r.Fail("unknown address mode " + std::to_string(mode));
+    }
+  } else if (mem_width != 0) {
+    // Tolerated: some tracers tag prefetches; drop the address fields.
+    ins.addrs.clear();
+  }
+  if (IsExit(ins.op) || IsBarrier(ins.op)) ins.dst = kNoReg;
+  return ins;
+}
+
+}  // namespace
+
+std::shared_ptr<KernelTrace> ImportAccelSimKernel(std::istream& is) {
+  Reader r(is);
+  KernelInfo info;
+  std::uint64_t grid = 0, block_threads = 0;
+
+  std::string line;
+  // Header: "-key tokens = value" lines until the first #BEGIN_TB.
+  for (;;) {
+    if (!r.Next(&line)) r.Fail("unexpected EOF before #BEGIN_TB");
+    if (line == "#BEGIN_TB") break;
+    if (!StartsWith(line, "-")) continue;  // ignore unknown directives
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = ToLower(std::string(Trim(line.substr(1, eq - 1))));
+    const std::string value(Trim(line.substr(eq + 1)));
+    if (key == "kernel name") {
+      info.name = value;
+    } else if (key == "kernel id") {
+      info.id = static_cast<KernelId>(ParseUint(value, "kernel id"));
+    } else if (key == "grid dim") {
+      grid = ParseDim3(value, r);
+    } else if (key == "block dim") {
+      block_threads = ParseDim3(value, r);
+    } else if (key == "shmem") {
+      info.smem_bytes_per_cta =
+          static_cast<std::uint32_t>(ParseUint(value, "shmem"));
+    } else if (key == "nregs") {
+      info.regs_per_thread =
+          static_cast<std::uint32_t>(ParseUint(value, "nregs"));
+    }
+  }
+  if (grid == 0) r.Fail("missing '-grid dim' header");
+  if (block_threads == 0) r.Fail("missing '-block dim' header");
+  info.num_ctas = static_cast<std::uint32_t>(grid);
+  info.threads_per_cta = static_cast<std::uint32_t>(block_threads);
+  info.warps_per_cta =
+      static_cast<std::uint32_t>(CeilDiv(block_threads, kWarpSize));
+
+  // Thread blocks. The first #BEGIN_TB was already consumed.
+  std::vector<CtaTrace> ctas;
+  for (;;) {
+    CtaTrace cta;
+    cta.warps.resize(info.warps_per_cta);
+    if (!r.Next(&line) || !StartsWith(line, "thread block")) {
+      r.Fail("expected 'thread block = x,y,z'");
+    }
+    for (;;) {
+      if (!r.Next(&line)) r.Fail("unexpected EOF inside thread block");
+      if (line == "#END_TB") break;
+      if (!StartsWith(line, "warp")) r.Fail("expected 'warp = <n>'");
+      const std::size_t eq = line.find('=');
+      if (eq == std::string::npos) r.Fail("malformed warp header");
+      const auto warp_id = ParseUint(Trim(line.substr(eq + 1)), "warp id");
+      if (warp_id >= info.warps_per_cta) r.Fail("warp id out of range");
+      if (!r.Next(&line) || !StartsWith(line, "insts")) {
+        r.Fail("expected 'insts = <n>'");
+      }
+      const std::size_t ieq = line.find('=');
+      const auto n = ParseUint(Trim(line.substr(ieq + 1)), "inst count");
+      WarpTrace& warp = cta.warps[warp_id];
+      warp.reserve(n);
+      for (std::uint64_t k = 0; k < n; ++k) {
+        if (!r.Next(&line)) r.Fail("unexpected EOF inside warp");
+        warp.push_back(ParseInstrLine(SplitWs(line), r));
+      }
+    }
+    // Ensure every warp retires even if the tracer dropped EXITs.
+    for (WarpTrace& warp : cta.warps) {
+      if (warp.empty() || !IsExit(warp.back().op)) {
+        TraceInstr exit;
+        exit.op = Opcode::kExit;
+        exit.dst = kNoReg;
+        exit.pc = warp.empty() ? 0 : warp.back().pc + 8;
+        warp.push_back(exit);
+      }
+    }
+    ctas.push_back(std::move(cta));
+    if (!r.Next(&line)) break;           // EOF: done
+    if (line != "#BEGIN_TB") break;      // trailing junk tolerated
+  }
+  SS_CHECK(!ctas.empty(), "accelsim trace contains no thread blocks");
+
+  // The file carries one trace per CTA; they become the variants and the
+  // grid cycles through them (exact when the file covers the whole grid).
+  auto trace = std::make_shared<KernelTrace>(std::move(info),
+                                             std::move(ctas));
+  trace->ValidateTrace();
+  return trace;
+}
+
+std::shared_ptr<KernelTrace> ImportAccelSimKernelFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  SS_CHECK(in.good(), "cannot open accelsim trace '" + path + "'");
+  return ImportAccelSimKernel(in);
+}
+
+}  // namespace swiftsim

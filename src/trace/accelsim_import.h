@@ -1,0 +1,52 @@
+// Importer for Accel-Sim-style kernel trace files (the format produced by
+// the NVBit tracer the paper's Trace Parser consumes, §III-A). Supports
+// the common subset of the format:
+//
+//   -kernel name = vecadd
+//   -kernel id = 1
+//   -grid dim = (16,1,1)
+//   -block dim = (128,1,1)
+//   -shmem = 0
+//   -nregs = 16
+//
+//   #BEGIN_TB
+//   thread block = 0,0,0
+//   warp = 0
+//   insts = 3
+//   0008 ffffffff 1 R4 IMAD 2 R2 R3 0
+//   0010 ffffffff 1 R5 LDG.E 1 R4 4 1 0x7f4300000000 4
+//   0120 ffffffff 0 EXIT 0 0
+//   #END_TB
+//
+// Instruction line grammar:
+//   <pc-hex> <mask-hex> <ndest> {Rn} <OPCODE[.mods]> <nsrc> {Rn}
+//   <mem_width> [<addr-mode> <addr fields...>]
+// Address modes (Accel-Sim's compressed encodings):
+//   0  explicit list: one hex address per active lane
+//   1  base+stride:   <base-hex> <stride-dec>
+//   2  base+deltas:   <base-hex> then one signed delta per remaining lane
+//
+// SASS opcodes are mapped onto the virtual trace ISA by their leading
+// mnemonic; unknown arithmetic opcodes conservatively map to the INT
+// pipeline (a warning is logged once per mnemonic).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "trace/kernel.h"
+
+namespace swiftsim {
+
+/// Parses one Accel-Sim-style kernel trace; throws SimError (with line
+/// numbers) on malformed input.
+std::shared_ptr<KernelTrace> ImportAccelSimKernel(std::istream& is);
+std::shared_ptr<KernelTrace> ImportAccelSimKernelFile(
+    const std::string& path);
+
+/// Maps a SASS mnemonic (leading token, mods stripped) to the virtual
+/// ISA; exposed for tests. Unknown mnemonics map to Opcode::kIAdd.
+Opcode MapSassOpcode(const std::string& mnemonic);
+
+}  // namespace swiftsim

@@ -1,0 +1,40 @@
+// One dynamic warp instruction as recorded in a trace.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "common/types.h"
+#include "trace/isa.h"
+
+namespace swiftsim {
+
+/// Register number sentinel for "no register".
+inline constexpr std::uint8_t kNoReg = 0xff;
+
+/// A dynamic instruction executed by one warp. Memory instructions carry
+/// one address per *active* lane, in ascending lane order (compact form —
+/// inactive lanes have no entry).
+struct TraceInstr {
+  Pc pc = 0;
+  Opcode op = Opcode::kIAdd;
+  std::uint8_t dst = kNoReg;              // destination register or kNoReg
+  std::array<std::uint8_t, 3> src = {kNoReg, kNoReg, kNoReg};
+  LaneMask active = kFullMask;
+  std::vector<Addr> addrs;                // memory ops only; |addrs| == popcount(active)
+
+  unsigned num_active() const { return PopCount(active); }
+  bool has_dst() const { return dst != kNoReg; }
+
+  bool operator==(const TraceInstr& o) const {
+    return pc == o.pc && op == o.op && dst == o.dst && src == o.src &&
+           active == o.active && addrs == o.addrs;
+  }
+};
+
+/// The dynamic instruction stream of one warp.
+using WarpTrace = std::vector<TraceInstr>;
+
+}  // namespace swiftsim

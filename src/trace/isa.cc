@@ -1,0 +1,69 @@
+#include "trace/isa.h"
+
+#include <array>
+#include <string>
+
+#include "common/status.h"
+
+namespace swiftsim {
+
+namespace {
+struct OpInfo {
+  std::string_view name;
+  UnitClass unit;
+};
+
+constexpr std::array<OpInfo, kNumOpcodes> kOpTable = {{
+    {"IADD", UnitClass::kInt},    {"IMUL", UnitClass::kInt},
+    {"IMAD", UnitClass::kInt},    {"ISETP", UnitClass::kInt},
+    {"BRA", UnitClass::kInt},     {"FADD", UnitClass::kSp},
+    {"FMUL", UnitClass::kSp},     {"FFMA", UnitClass::kSp},
+    {"DADD", UnitClass::kDp},     {"DFMA", UnitClass::kDp},
+    {"RCP", UnitClass::kSfu},     {"RSQRT", UnitClass::kSfu},
+    {"SIN", UnitClass::kSfu},     {"EXP", UnitClass::kSfu},
+    {"HMMA", UnitClass::kTensor}, {"LDG", UnitClass::kLdSt},
+    {"STG", UnitClass::kLdSt},    {"LDS", UnitClass::kLdSt},
+    {"STS", UnitClass::kLdSt},    {"LDC", UnitClass::kLdSt},
+    {"BAR", UnitClass::kControl}, {"EXIT", UnitClass::kControl},
+}};
+}  // namespace
+
+UnitClass ClassOf(Opcode op) {
+  return kOpTable[static_cast<std::uint8_t>(op)].unit;
+}
+
+bool IsMemory(Opcode op) { return ClassOf(op) == UnitClass::kLdSt; }
+
+bool IsLoad(Opcode op) {
+  return op == Opcode::kLdGlobal || op == Opcode::kLdShared ||
+         op == Opcode::kLdConst;
+}
+
+bool IsStore(Opcode op) {
+  return op == Opcode::kStGlobal || op == Opcode::kStShared;
+}
+
+bool IsGlobalMem(Opcode op) {
+  return op == Opcode::kLdGlobal || op == Opcode::kStGlobal;
+}
+
+bool IsSharedMem(Opcode op) {
+  return op == Opcode::kLdShared || op == Opcode::kStShared;
+}
+
+bool IsBarrier(Opcode op) { return op == Opcode::kBarSync; }
+
+bool IsExit(Opcode op) { return op == Opcode::kExit; }
+
+std::string_view Name(Opcode op) {
+  return kOpTable[static_cast<std::uint8_t>(op)].name;
+}
+
+Opcode OpcodeFromName(std::string_view name) {
+  for (std::uint8_t i = 0; i < kNumOpcodes; ++i) {
+    if (kOpTable[i].name == name) return static_cast<Opcode>(i);
+  }
+  throw SimError("unknown opcode mnemonic '" + std::string(name) + "'");
+}
+
+}  // namespace swiftsim

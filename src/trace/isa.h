@@ -1,0 +1,76 @@
+// The virtual trace ISA.
+//
+// Traces are architecture-independent (paper §III-A): they record *what* a
+// kernel did (opcode class, register dataflow, active mask, memory
+// addresses), not how any particular GPU executed it. This small virtual
+// ISA captures exactly the information the performance model consumes.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace swiftsim {
+
+enum class Opcode : std::uint8_t {
+  // Integer pipeline.
+  kIAdd,
+  kIMul,
+  kIMad,
+  kISetp,   // predicate-setting compare
+  kBra,     // branch; executes on the INT pipe, no destination register
+  // FP32 pipeline.
+  kFAdd,
+  kFMul,
+  kFFma,
+  // FP64 pipeline.
+  kDAdd,
+  kDFma,
+  // Special-function unit.
+  kRcp,
+  kRsqrt,
+  kSin,
+  kExp,
+  // Tensor core.
+  kHmma,
+  // Memory.
+  kLdGlobal,
+  kStGlobal,
+  kLdShared,
+  kStShared,
+  kLdConst,
+  // Control.
+  kBarSync,
+  kExit,
+};
+
+inline constexpr std::uint8_t kNumOpcodes =
+    static_cast<std::uint8_t>(Opcode::kExit) + 1;
+
+/// The execution-unit class an opcode dispatches to.
+enum class UnitClass : std::uint8_t {
+  kInt,
+  kSp,
+  kDp,
+  kSfu,
+  kTensor,
+  kLdSt,
+  kControl,  // BAR.SYNC / EXIT: handled by the scheduler, no unit
+};
+
+UnitClass ClassOf(Opcode op);
+
+bool IsMemory(Opcode op);       // any LD/ST/const
+bool IsLoad(Opcode op);
+bool IsStore(Opcode op);
+bool IsGlobalMem(Opcode op);    // LDG/STG (goes through L1/L2/DRAM)
+bool IsSharedMem(Opcode op);
+bool IsBarrier(Opcode op);
+bool IsExit(Opcode op);
+
+/// Stable mnemonic, e.g. "FFMA", "LDG". Round-trips with OpcodeFromName.
+std::string_view Name(Opcode op);
+
+/// Parses a mnemonic; throws SimError on unknown names.
+Opcode OpcodeFromName(std::string_view name);
+
+}  // namespace swiftsim

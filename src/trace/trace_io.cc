@@ -1,0 +1,300 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/status.h"
+#include "common/strutil.h"
+
+namespace swiftsim {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+void WriteInstr(const TraceInstr& ins, std::ostream& os) {
+  os << "i " << std::hex << ins.pc << std::dec << " " << Name(ins.op);
+  os << " d=";
+  if (ins.has_dst()) {
+    os << static_cast<unsigned>(ins.dst);
+  } else {
+    os << "-";
+  }
+  os << " s=";
+  bool any = false;
+  for (std::uint8_t r : ins.src) {
+    if (r == kNoReg) continue;
+    if (any) os << ",";
+    os << static_cast<unsigned>(r);
+    any = true;
+  }
+  if (!any) os << "-";
+  os << " m=" << std::hex << ins.active << std::dec;
+  if (!ins.addrs.empty()) {
+    os << " a=" << std::hex;
+    for (std::size_t i = 0; i < ins.addrs.size(); ++i) {
+      if (i) os << ",";
+      os << ins.addrs[i];
+    }
+    os << std::dec;
+  }
+  os << "\n";
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(is) {}
+
+  /// Next non-empty line; returns false at EOF.
+  bool Next(std::string* out) {
+    std::string line;
+    while (std::getline(is_, line)) {
+      ++line_no_;
+      std::string_view t = Trim(line);
+      if (t.empty() || t.front() == '#') continue;
+      *out = std::string(t);
+      return true;
+    }
+    return false;
+  }
+
+  [[noreturn]] void Fail(const std::string& msg) const {
+    throw SimError("trace parse error at line " + std::to_string(line_no_) +
+                   ": " + msg);
+  }
+
+  std::size_t line_no() const { return line_no_; }
+
+ private:
+  std::istream& is_;
+  std::size_t line_no_ = 0;
+};
+
+/// Parses "key=value" tokens from a header line into a map-like lookup.
+struct KvList {
+  std::vector<std::pair<std::string, std::string>> kvs;
+
+  std::string Get(const std::string& key, const LineReader& r) const {
+    for (const auto& [k, v] : kvs) {
+      if (k == key) return v;
+    }
+    throw SimError("trace parse error at line " + std::to_string(r.line_no()) +
+                   ": missing header field '" + key + "'");
+  }
+};
+
+KvList ParseKvs(const std::vector<std::string>& tokens, std::size_t first) {
+  KvList out;
+  for (std::size_t i = first; i < tokens.size(); ++i) {
+    const std::size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos) continue;
+    out.kvs.emplace_back(tokens[i].substr(0, eq), tokens[i].substr(eq + 1));
+  }
+  return out;
+}
+
+std::uint64_t ParseHex(std::string_view s, LineReader& r) {
+  std::uint64_t v = 0;
+  if (s.empty()) r.Fail("empty hex field");
+  for (char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      r.Fail("bad hex digit in '" + std::string(s) + "'");
+    }
+  }
+  return v;
+}
+
+TraceInstr ParseInstr(const std::vector<std::string>& tok, LineReader& r) {
+  // i <pc> <OP> d=.. s=.. m=.. [a=..]
+  if (tok.size() < 6) r.Fail("instruction line has too few fields");
+  TraceInstr ins;
+  ins.pc = ParseHex(tok[1], r);
+  ins.op = OpcodeFromName(tok[2]);
+  for (std::size_t i = 3; i < tok.size(); ++i) {
+    const std::string& t = tok[i];
+    if (StartsWith(t, "d=")) {
+      const std::string v = t.substr(2);
+      ins.dst = (v == "-") ? kNoReg
+                           : static_cast<std::uint8_t>(ParseUint(v, "dst reg"));
+    } else if (StartsWith(t, "s=")) {
+      const std::string v = t.substr(2);
+      if (v != "-") {
+        const auto regs = Split(v, ',');
+        if (regs.size() > ins.src.size()) r.Fail("too many source registers");
+        for (std::size_t j = 0; j < regs.size(); ++j) {
+          ins.src[j] = static_cast<std::uint8_t>(ParseUint(regs[j], "src reg"));
+        }
+      }
+    } else if (StartsWith(t, "m=")) {
+      ins.active = static_cast<LaneMask>(ParseHex(t.substr(2), r));
+    } else if (StartsWith(t, "a=")) {
+      for (const auto& a : Split(t.substr(2), ',')) {
+        ins.addrs.push_back(ParseHex(a, r));
+      }
+    } else {
+      r.Fail("unknown instruction field '" + t + "'");
+    }
+  }
+  if (ins.active == 0) r.Fail("instruction with empty active mask");
+  if (IsMemory(ins.op)) {
+    if (ins.addrs.size() != ins.num_active()) {
+      r.Fail("memory instruction address count does not match active lanes");
+    }
+  } else if (!ins.addrs.empty()) {
+    r.Fail("non-memory instruction carries addresses");
+  }
+  return ins;
+}
+
+std::shared_ptr<KernelTrace> ReadKernelBody(LineReader& r,
+                                            const std::string& header) {
+  const auto tok = SplitWs(header);
+  if (tok.size() < 2 || tok[0] != "kernel") r.Fail("expected kernel header");
+  KernelInfo info;
+  info.name = tok[1];
+  const KvList kv = ParseKvs(tok, 2);
+  info.id = static_cast<KernelId>(ParseUint(kv.Get("id", r), "kernel id"));
+  info.num_ctas =
+      static_cast<std::uint32_t>(ParseUint(kv.Get("ctas", r), "ctas"));
+  info.warps_per_cta = static_cast<std::uint32_t>(
+      ParseUint(kv.Get("warps_per_cta", r), "warps_per_cta"));
+  info.threads_per_cta = static_cast<std::uint32_t>(
+      ParseUint(kv.Get("threads_per_cta", r), "threads_per_cta"));
+  info.smem_bytes_per_cta =
+      static_cast<std::uint32_t>(ParseUint(kv.Get("smem", r), "smem"));
+  info.regs_per_thread =
+      static_cast<std::uint32_t>(ParseUint(kv.Get("regs", r), "regs"));
+  const auto num_variants = ParseUint(kv.Get("variants", r), "variants");
+
+  std::vector<CtaTrace> variants;
+  std::string line;
+  for (std::uint64_t v = 0; v < num_variants; ++v) {
+    if (!r.Next(&line)) r.Fail("unexpected EOF before variant");
+    auto vt = SplitWs(line);
+    if (vt.size() != 2 || vt[0] != "variant") r.Fail("expected variant header");
+    CtaTrace cta;
+    for (std::uint32_t w = 0; w < info.warps_per_cta; ++w) {
+      if (!r.Next(&line)) r.Fail("unexpected EOF before warp");
+      auto wt = SplitWs(line);
+      if (wt.size() < 2 || wt[0] != "warp") r.Fail("expected warp header");
+      const KvList wkv = ParseKvs(wt, 2);
+      const auto n = ParseUint(wkv.Get("n", r), "warp instr count");
+      WarpTrace warp;
+      warp.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        if (!r.Next(&line)) r.Fail("unexpected EOF inside warp");
+        auto it = SplitWs(line);
+        if (it.empty() || it[0] != "i") r.Fail("expected instruction line");
+        warp.push_back(ParseInstr(it, r));
+      }
+      if (!r.Next(&line) || line != "end_warp") r.Fail("expected end_warp");
+      cta.warps.push_back(std::move(warp));
+    }
+    if (!r.Next(&line) || line != "end_variant") {
+      r.Fail("expected end_variant");
+    }
+    variants.push_back(std::move(cta));
+  }
+  if (!r.Next(&line) || line != "end_kernel") r.Fail("expected end_kernel");
+  auto trace = std::make_shared<KernelTrace>(std::move(info),
+                                             std::move(variants));
+  trace->ValidateTrace();
+  return trace;
+}
+
+}  // namespace
+
+void WriteKernelTrace(const KernelTrace& trace, std::ostream& os) {
+  const KernelInfo& k = trace.info();
+  os << "kernel " << k.name << " id=" << k.id << " ctas=" << k.num_ctas
+     << " warps_per_cta=" << k.warps_per_cta
+     << " threads_per_cta=" << k.threads_per_cta
+     << " smem=" << k.smem_bytes_per_cta << " regs=" << k.regs_per_thread
+     << " variants=" << trace.num_variants() << "\n";
+  for (std::size_t v = 0; v < trace.num_variants(); ++v) {
+    os << "variant " << v << "\n";
+    const CtaTrace& cta = trace.variant(v);
+    for (std::size_t w = 0; w < cta.warps.size(); ++w) {
+      os << "warp " << w << " n=" << cta.warps[w].size() << "\n";
+      for (const TraceInstr& ins : cta.warps[w]) WriteInstr(ins, os);
+      os << "end_warp\n";
+    }
+    os << "end_variant\n";
+  }
+  os << "end_kernel\n";
+}
+
+void WriteKernelTraceFile(const KernelTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  SS_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  WriteKernelTrace(trace, out);
+  SS_CHECK(out.good(), "write to '" + path + "' failed");
+}
+
+std::shared_ptr<KernelTrace> ReadKernelTrace(std::istream& is) {
+  LineReader r(is);
+  std::string header;
+  SS_CHECK(r.Next(&header), "empty trace input");
+  return ReadKernelBody(r, header);
+}
+
+std::shared_ptr<KernelTrace> ReadKernelTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  SS_CHECK(in.good(), "cannot open trace file '" + path + "'");
+  return ReadKernelTrace(in);
+}
+
+void WriteApplication(const Application& app, std::ostream& os) {
+  os << "application " << app.name << " kernels=" << app.kernels.size()
+     << "\n";
+  for (const auto& k : app.kernels) WriteKernelTrace(*k, os);
+}
+
+void WriteApplicationFile(const Application& app, const std::string& path) {
+  std::ofstream out(path);
+  SS_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  WriteApplication(app, out);
+  SS_CHECK(out.good(), "write to '" + path + "' failed");
+}
+
+Application ReadApplication(std::istream& is) {
+  LineReader r(is);
+  std::string line;
+  SS_CHECK(r.Next(&line), "empty application input");
+  const auto tok = SplitWs(line);
+  SS_CHECK(tok.size() >= 2 && tok[0] == "application",
+           "expected application header");
+  Application app;
+  app.name = tok[1];
+  const KvList kv = ParseKvs(tok, 2);
+  const auto n = ParseUint(kv.Get("kernels", r), "kernel count");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string header;
+    if (!r.Next(&header)) r.Fail("unexpected EOF before kernel");
+    app.kernels.push_back(ReadKernelBody(r, header));
+  }
+  return app;
+}
+
+Application ReadApplicationFile(const std::string& path) {
+  std::ifstream in(path);
+  SS_CHECK(in.good(), "cannot open application file '" + path + "'");
+  return ReadApplication(in);
+}
+
+}  // namespace swiftsim

@@ -1,0 +1,40 @@
+// Text serialization of kernel traces (the ".sstrace" format).
+//
+// The format is deliberately line-oriented and human-inspectable, in the
+// spirit of Accel-Sim's trace files:
+//
+//   kernel <name> id=<k> ctas=<n> warps_per_cta=<w> threads_per_cta=<t>
+//          smem=<b> regs=<r> variants=<v>          (one physical line)
+//   variant <v>
+//   warp <w> n=<count>
+//   i <pc-hex> <OP> d=<reg|-> s=<r0,r1,...|-> m=<mask-hex> [a=<hex,hex,...>]
+//   end_warp
+//   end_variant
+//   end_kernel
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "trace/kernel.h"
+
+namespace swiftsim {
+
+/// Writes one kernel trace.
+void WriteKernelTrace(const KernelTrace& trace, std::ostream& os);
+void WriteKernelTraceFile(const KernelTrace& trace, const std::string& path);
+
+/// Parses one kernel trace; throws SimError with a line number on malformed
+/// input. The stream must be positioned at a "kernel" header line.
+std::shared_ptr<KernelTrace> ReadKernelTrace(std::istream& is);
+std::shared_ptr<KernelTrace> ReadKernelTraceFile(const std::string& path);
+
+/// Writes/reads a whole application (concatenated kernels, preceded by an
+/// "application <name> kernels=<n>" header).
+void WriteApplication(const Application& app, std::ostream& os);
+void WriteApplicationFile(const Application& app, const std::string& path);
+Application ReadApplication(std::istream& is);
+Application ReadApplicationFile(const std::string& path);
+
+}  // namespace swiftsim

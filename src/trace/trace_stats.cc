@@ -1,0 +1,58 @@
+#include "trace/trace_stats.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/bitutil.h"
+
+namespace swiftsim {
+
+TraceStats ComputeTraceStats(const TraceSource& src) {
+  TraceStats st;
+  std::unordered_set<Addr> lines;
+  std::unordered_set<Pc> pcs;
+  const unsigned line_bytes = 128;
+  for (CtaId c = 0; c < src.info().num_ctas; ++c) {
+    const CtaTrace& cta = src.cta(c);
+    st.warps += cta.warps.size();
+    for (const WarpTrace& warp : cta.warps) {
+      for (const TraceInstr& ins : warp) {
+        ++st.dynamic_instrs;
+        ++st.per_opcode[static_cast<std::uint8_t>(ins.op)];
+        pcs.insert(ins.pc);
+        const unsigned lanes = ins.num_active();
+        st.total_active_lanes += lanes;
+        if (lanes == kWarpSize) {
+          ++st.fully_active_instrs;
+        } else {
+          ++st.divergent_instrs;
+        }
+        if (IsMemory(ins.op)) {
+          ++st.mem_instrs;
+          if (IsGlobalMem(ins.op)) {
+            ++st.global_mem_instrs;
+            for (Addr a : ins.addrs) lines.insert(AlignDown(a, line_bytes));
+          }
+          if (IsSharedMem(ins.op)) ++st.shared_mem_instrs;
+        }
+        if (IsBarrier(ins.op)) ++st.barriers;
+      }
+    }
+  }
+  st.distinct_lines_touched = lines.size();
+  st.distinct_pcs = pcs.size();
+  return st;
+}
+
+std::string TraceStats::ToString() const {
+  std::ostringstream os;
+  os << "instrs=" << dynamic_instrs << " warps=" << warps
+     << " mem=" << mem_instrs << " (global=" << global_mem_instrs
+     << " shared=" << shared_mem_instrs << ")"
+     << " barriers=" << barriers << " divergent=" << divergent_instrs
+     << " avg_lanes=" << avg_active_lanes()
+     << " lines=" << distinct_lines_touched << " pcs=" << distinct_pcs;
+  return os.str();
+}
+
+}  // namespace swiftsim

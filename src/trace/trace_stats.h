@@ -1,0 +1,43 @@
+// Static/dynamic trace statistics: opcode mix, divergence, memory footprint.
+// Used by the trace_tool example and by workload-generator tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "trace/kernel.h"
+
+namespace swiftsim {
+
+struct TraceStats {
+  std::uint64_t dynamic_instrs = 0;
+  std::uint64_t warps = 0;
+  std::array<std::uint64_t, kNumOpcodes> per_opcode{};
+  std::uint64_t mem_instrs = 0;
+  std::uint64_t global_mem_instrs = 0;
+  std::uint64_t shared_mem_instrs = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t fully_active_instrs = 0;    // all 32 lanes on
+  std::uint64_t divergent_instrs = 0;       // < 32 lanes on
+  std::uint64_t total_active_lanes = 0;
+  std::uint64_t distinct_lines_touched = 0; // 128B-line footprint
+  std::uint64_t distinct_pcs = 0;
+
+  double mem_fraction() const {
+    return dynamic_instrs ? static_cast<double>(mem_instrs) / dynamic_instrs
+                          : 0.0;
+  }
+  double avg_active_lanes() const {
+    return dynamic_instrs
+               ? static_cast<double>(total_active_lanes) / dynamic_instrs
+               : 0.0;
+  }
+
+  std::string ToString() const;
+};
+
+/// Walks the entire grid of `src` (variant sharing makes this cheap).
+TraceStats ComputeTraceStats(const TraceSource& src);
+
+}  // namespace swiftsim

@@ -1,0 +1,105 @@
+// Mars (MapReduce-on-GPU) synthetic generators: SM (StringMatch) and
+// II (InvertedIndex).
+#include "workloads/gen_util.h"
+#include "workloads/workload_suites.h"
+
+namespace swiftsim::workloads {
+
+namespace {
+constexpr std::uint8_t kRA = 2, kRB = 3;
+constexpr std::uint8_t kRd0 = 8, kRd1 = 9;
+constexpr std::uint8_t kAcc0 = 16;
+constexpr std::uint8_t kTmp = 24;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SM (StringMatch): the map phase scans the input corpus once — a pure
+// streaming-read workload with two integer compares per chunk and very rare
+// divergent match emission. One of the paper's >1000x Swift-Sim-Memory
+// applications: almost every cycle of the cycle-accurate run is DRAM wait.
+// ---------------------------------------------------------------------------
+Application BuildStringMatch(const WorkloadScale& s) {
+  Application app;
+  app.name = "SM";
+  KernelShape shape;
+  shape.name = "string_match_map";
+  shape.ctas = Scaled(s.scale, 144, 2);
+  shape.warps_per_cta = 8;
+  shape.regs_per_thread = 18;
+  shape.variants = 32;  // stream far more data than L2 holds
+  const std::uint32_t chunks = 36;
+  app.kernels.push_back(MakeKernel(
+      shape, s.seed, [&](CtaTrace* cta, std::size_t variant, Rng& rng) {
+        for (std::uint32_t w = 0; w < shape.warps_per_cta; ++w) {
+          WarpEmitter e(&cta->warps[w]);
+          PcAlloc pa(0x1000);
+          const Pc pc_ld = pa.Next(), pc_c0 = pa.Next(), pc_c1 = pa.Next(),
+                   pc_emit = pa.Next(), pc_exit = pa.Next();
+          const std::uint64_t span = chunks * 256ull;  // 8B per lane
+          const Addr corpus = VariantSlice(0, variant,
+                                           shape.warps_per_cta * span) +
+                              w * span;
+          const Addr matches = VariantSlice(1, variant, 1 << 16) + w * 2048;
+          for (std::uint32_t c = 0; c < chunks; ++c) {
+            e.Mem(pc_ld, Opcode::kLdGlobal, kRd0, {kRA}, kFullMask,
+                  CoalescedAddrs(corpus + c * 256, 8));
+            e.Alu(pc_c0, Opcode::kISetp, kTmp, {kRd0, kRB});
+            e.Alu(pc_c1, Opcode::kISetp, kAcc0, {kRd0, kTmp});
+            if (c % 12 == 11) {
+              const LaneMask hit = RandomMask(rng, 0.08);
+              e.Mem(pc_emit, Opcode::kStGlobal, kNoReg, {kAcc0}, hit,
+                    CoalescedAddrs(matches + (c / 12) * 128, 4, hit));
+            }
+          }
+          e.Exit(pc_exit);
+        }
+      }));
+  return app;
+}
+
+// ---------------------------------------------------------------------------
+// II (InvertedIndex): streaming reads of the document corpus, an integer
+// hash per word, and scattered writes into the index buckets.
+// ---------------------------------------------------------------------------
+Application BuildInvertedIndex(const WorkloadScale& s) {
+  Application app;
+  app.name = "II";
+  KernelShape shape;
+  shape.name = "inverted_index_map";
+  shape.ctas = Scaled(s.scale, 120, 2);
+  shape.warps_per_cta = 8;
+  shape.regs_per_thread = 24;
+  shape.variants = 16;
+  const std::uint32_t words = 22;
+  const std::uint64_t index_bytes = 16ull << 20;
+  app.kernels.push_back(MakeKernel(
+      shape, s.seed, [&](CtaTrace* cta, std::size_t variant, Rng& rng) {
+        for (std::uint32_t w = 0; w < shape.warps_per_cta; ++w) {
+          WarpEmitter e(&cta->warps[w]);
+          PcAlloc pa(0x1000);
+          const Pc pc_ld = pa.Next(), pc_h0 = pa.Next(), pc_h1 = pa.Next(),
+                   pc_h2 = pa.Next(), pc_bucket = pa.Next(),
+                   pc_st = pa.Next(), pc_exit = pa.Next();
+          const std::uint64_t span = words * 128ull;
+          const Addr docs = VariantSlice(0, variant,
+                                         shape.warps_per_cta * span) +
+                            w * span;
+          for (std::uint32_t i = 0; i < words; ++i) {
+            e.Mem(pc_ld, Opcode::kLdGlobal, kRd0, {kRA}, kFullMask,
+                  CoalescedAddrs(docs + i * 128, 4));
+            e.Alu(pc_h0, Opcode::kIMad, kTmp, {kRd0, kRB});
+            e.Alu(pc_h1, Opcode::kIMul, kTmp, {kTmp});
+            e.Alu(pc_h2, Opcode::kIAdd, kAcc0, {kTmp, kRd0});
+            // Bucket head read-modify-write: random gather + scatter.
+            e.Mem(pc_bucket, Opcode::kLdGlobal, kRd1, {kAcc0}, kFullMask,
+                  RandomAddrs(rng, Region(2), index_bytes, 8));
+            e.Mem(pc_st, Opcode::kStGlobal, kNoReg, {kRd1}, kFullMask,
+                  RandomAddrs(rng, Region(2), index_bytes, 8));
+          }
+          e.Exit(pc_exit);
+        }
+      }));
+  return app;
+}
+
+}  // namespace swiftsim::workloads

@@ -1,0 +1,132 @@
+// Pannotia (irregular graph) synthetic generators: PAGERANK and SSSP.
+#include "workloads/gen_util.h"
+#include "workloads/workload_suites.h"
+
+namespace swiftsim::workloads {
+
+namespace {
+constexpr std::uint8_t kRA = 2, kRB = 3;
+constexpr std::uint8_t kRd0 = 8, kRd1 = 9, kRd2 = 10;
+constexpr std::uint8_t kAcc0 = 16, kAcc1 = 17;
+constexpr std::uint8_t kTmp = 24;
+
+/// Power-law-ish degree: most warps see small degrees, a few see large.
+std::uint32_t DrawDegree(Rng& rng, std::uint32_t max_deg) {
+  const double u = rng.NextDouble();
+  const auto d = static_cast<std::uint32_t>(1.0 + (max_deg - 1) * u * u * u);
+  return d;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PAGERANK: CSR traversal; per-vertex degree drawn from a heavy-tailed
+// distribution (divergence), random gathers of neighbour ranks.
+// ---------------------------------------------------------------------------
+Application BuildPagerank(const WorkloadScale& s) {
+  Application app;
+  app.name = "PAGERANK";
+  const std::uint64_t rank_bytes = 12ull << 20;
+  for (std::uint32_t k = 0; k < 2; ++k) {  // push phase + normalize phase
+    const bool push = k == 0;
+    KernelShape shape;
+    shape.name = push ? "pagerank_push" : "pagerank_norm";
+    shape.id = k;
+    shape.ctas = Scaled(s.scale, push ? 112 : 48, 2);
+    shape.warps_per_cta = 8;
+    shape.regs_per_thread = 28;
+    shape.variants = 8;
+    const std::uint32_t vertices = push ? 10 : 24;
+    app.kernels.push_back(MakeKernel(
+        shape, s.seed, [&, push](CtaTrace* cta, std::size_t variant,
+                                 Rng& rng) {
+          for (std::uint32_t w = 0; w < shape.warps_per_cta; ++w) {
+            WarpEmitter e(&cta->warps[w]);
+            PcAlloc pa(0x1000 + k * 0x10000);
+            const Pc pc_row = pa.Next(), pc_col = pa.Next(),
+                     pc_rank = pa.Next(), pc_fma = pa.Next(),
+                     pc_div = pa.Next(), pc_st = pa.Next(),
+                     pc_exit = pa.Next();
+            const Addr rows = VariantSlice(0, variant, 1 << 16) + w * 4096;
+            const Addr cols = VariantSlice(1, variant, 1 << 18) + w * 16384;
+            for (std::uint32_t v = 0; v < vertices; ++v) {
+              e.Mem(pc_row, Opcode::kLdGlobal, kRd0, {kRA}, kFullMask,
+                    CoalescedAddrs(rows + v * 128, 4));
+              if (push) {
+                const std::uint32_t deg = DrawDegree(rng, 6);
+                for (std::uint32_t d = 0; d < deg; ++d) {
+                  const LaneMask m = RandomMask(rng, 0.7);
+                  e.Mem(pc_col, Opcode::kLdGlobal, kRd1, {kRd0}, m,
+                        CoalescedAddrs(cols + (v * 6 + d) * 128, 4, m));
+                  e.Mem(pc_rank, Opcode::kLdGlobal, kRd2, {kRd1}, m,
+                        RandomAddrs(rng, Region(2), rank_bytes, 4, m));
+                  e.Alu(pc_fma, Opcode::kFFma, kAcc0, {kRd2, kRB, kAcc0}, m);
+                }
+                e.Mem(pc_st, Opcode::kStGlobal, kNoReg, {kAcc0}, kFullMask,
+                      RandomAddrs(rng, Region(3), rank_bytes, 4));
+              } else {
+                e.Alu(pc_div, Opcode::kRcp, kAcc1, {kRd0});
+                e.Alu(pc_fma, Opcode::kFMul, kAcc0, {kAcc1, kRd0});
+                e.Mem(pc_st, Opcode::kStGlobal, kNoReg, {kAcc0}, kFullMask,
+                      CoalescedAddrs(Region(3) + (variant * 24 + v) * 128 +
+                                         w * 4096,
+                                     4));
+              }
+            }
+            e.Exit(pc_exit);
+          }
+        }));
+  }
+  return app;
+}
+
+// ---------------------------------------------------------------------------
+// SSSP: Bellman-Ford relaxations; divergent compare-and-update pattern on
+// random tentative-distance reads.
+// ---------------------------------------------------------------------------
+Application BuildSssp(const WorkloadScale& s) {
+  Application app;
+  app.name = "SSSP";
+  const std::uint64_t dist_bytes = 12ull << 20;
+  KernelShape shape;
+  shape.name = "sssp_relax";
+  shape.ctas = Scaled(s.scale, 120, 2);
+  shape.warps_per_cta = 8;
+  shape.regs_per_thread = 26;
+  shape.variants = 8;
+  const std::uint32_t edges_per_warp = 26;
+  app.kernels.push_back(MakeKernel(
+      shape, s.seed, [&](CtaTrace* cta, std::size_t variant, Rng& rng) {
+        for (std::uint32_t w = 0; w < shape.warps_per_cta; ++w) {
+          WarpEmitter e(&cta->warps[w]);
+          PcAlloc pa(0x1000);
+          const Pc pc_edge = pa.Next(), pc_wt = pa.Next(),
+                   pc_src = pa.Next(), pc_add = pa.Next(),
+                   pc_dst = pa.Next(), pc_cmp = pa.Next(),
+                   pc_upd = pa.Next(), pc_exit = pa.Next();
+          const std::uint64_t span = edges_per_warp * 256ull;
+          const Addr edges = VariantSlice(0, variant,
+                                          shape.warps_per_cta * span) +
+                             w * span;
+          for (std::uint32_t i = 0; i < edges_per_warp; ++i) {
+            e.Mem(pc_edge, Opcode::kLdGlobal, kRd0, {kRA}, kFullMask,
+                  CoalescedAddrs(edges + i * 256, 8));
+            e.Mem(pc_wt, Opcode::kLdGlobal, kRd1, {kRA}, kFullMask,
+                  CoalescedAddrs(edges + i * 256 + 128, 4));
+            e.Mem(pc_src, Opcode::kLdGlobal, kRd2, {kRd0}, kFullMask,
+                  RandomAddrs(rng, Region(1), dist_bytes, 4));
+            e.Alu(pc_add, Opcode::kIAdd, kAcc0, {kRd2, kRd1});
+            e.Mem(pc_dst, Opcode::kLdGlobal, kAcc1, {kRd0}, kFullMask,
+                  RandomAddrs(rng, Region(1), dist_bytes, 4));
+            e.Alu(pc_cmp, Opcode::kISetp, kTmp, {kAcc0, kAcc1});
+            // Only lanes whose relaxation improved write back (~35%).
+            const LaneMask upd = RandomMask(rng, 0.35);
+            e.Mem(pc_upd, Opcode::kStGlobal, kNoReg, {kAcc0}, upd,
+                  RandomAddrs(rng, Region(1), dist_bytes, 4, upd));
+          }
+          e.Exit(pc_exit);
+        }
+      }));
+  return app;
+}
+
+}  // namespace swiftsim::workloads

@@ -1,0 +1,132 @@
+#include "workloads/patterns.h"
+
+#include "common/bitutil.h"
+#include "common/status.h"
+
+namespace swiftsim {
+
+namespace {
+template <typename Fn>
+std::vector<Addr> PerActiveLane(LaneMask mask, Fn&& addr_of_lane) {
+  std::vector<Addr> out;
+  out.reserve(PopCount(mask));
+  for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+    if (mask & (LaneMask{1} << lane)) out.push_back(addr_of_lane(lane));
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<Addr> CoalescedAddrs(Addr base, unsigned elem_bytes,
+                                 LaneMask mask) {
+  return PerActiveLane(mask, [&](unsigned lane) {
+    return base + static_cast<Addr>(lane) * elem_bytes;
+  });
+}
+
+std::vector<Addr> StridedAddrs(Addr base, std::uint64_t stride_bytes,
+                               LaneMask mask) {
+  return PerActiveLane(mask, [&](unsigned lane) {
+    return base + static_cast<Addr>(lane) * stride_bytes;
+  });
+}
+
+std::vector<Addr> BroadcastAddrs(Addr addr, LaneMask mask) {
+  return PerActiveLane(mask, [&](unsigned) { return addr; });
+}
+
+std::vector<Addr> RandomAddrs(Rng& rng, Addr region_base,
+                              std::uint64_t region_bytes, unsigned align,
+                              LaneMask mask) {
+  SS_CHECK(region_bytes >= align, "RandomAddrs: region smaller than align");
+  const std::uint64_t slots = region_bytes / align;
+  return PerActiveLane(mask, [&](unsigned) {
+    return region_base + rng.Below(slots) * align;
+  });
+}
+
+LaneMask LowLanes(unsigned n) {
+  SS_CHECK(n >= 1 && n <= kWarpSize, "LowLanes: n out of [1,32]");
+  return n == kWarpSize ? kFullMask : ((LaneMask{1} << n) - 1);
+}
+
+LaneMask RandomMask(Rng& rng, double density) {
+  LaneMask m = 0;
+  for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+    if (rng.Bernoulli(density)) m |= LaneMask{1} << lane;
+  }
+  if (m == 0) m = 1;
+  return m;
+}
+
+void WarpEmitter::Alu(Pc pc, Opcode op, std::uint8_t dst,
+                      std::initializer_list<std::uint8_t> srcs,
+                      LaneMask mask) {
+  SS_DCHECK(!IsMemory(op) && !IsBarrier(op) && !IsExit(op));
+  TraceInstr ins;
+  ins.pc = pc;
+  ins.op = op;
+  ins.dst = dst;
+  unsigned i = 0;
+  for (std::uint8_t r : srcs) {
+    SS_DCHECK(i < ins.src.size());
+    ins.src[i++] = r;
+  }
+  ins.active = mask;
+  out_->push_back(std::move(ins));
+}
+
+void WarpEmitter::Mem(Pc pc, Opcode op, std::uint8_t dst,
+                      std::initializer_list<std::uint8_t> srcs, LaneMask mask,
+                      std::vector<Addr> addrs) {
+  SS_DCHECK(IsMemory(op));
+  SS_DCHECK(addrs.size() == PopCount(mask));
+  TraceInstr ins;
+  ins.pc = pc;
+  ins.op = op;
+  ins.dst = dst;
+  unsigned i = 0;
+  for (std::uint8_t r : srcs) {
+    SS_DCHECK(i < ins.src.size());
+    ins.src[i++] = r;
+  }
+  ins.active = mask;
+  ins.addrs = std::move(addrs);
+  out_->push_back(std::move(ins));
+}
+
+void WarpEmitter::Bar(Pc pc) {
+  TraceInstr ins;
+  ins.pc = pc;
+  ins.op = Opcode::kBarSync;
+  ins.dst = kNoReg;
+  out_->push_back(std::move(ins));
+}
+
+void WarpEmitter::Exit(Pc pc) {
+  TraceInstr ins;
+  ins.pc = pc;
+  ins.op = Opcode::kExit;
+  ins.dst = kNoReg;
+  out_->push_back(std::move(ins));
+}
+
+void WarpEmitter::FmaChain(Pc base_pc, unsigned n, std::uint8_t dst,
+                           std::uint8_t a, std::uint8_t b, LaneMask mask) {
+  for (unsigned i = 0; i < n; ++i) {
+    Alu(base_pc + 8 * i, Opcode::kFFma, dst, {dst, a, b}, mask);
+  }
+}
+
+void WarpEmitter::IntBlock(Pc base_pc, unsigned n,
+                           std::initializer_list<std::uint8_t> dst_regs,
+                           LaneMask mask) {
+  SS_DCHECK(dst_regs.size() > 0);
+  std::vector<std::uint8_t> regs(dst_regs);
+  for (unsigned i = 0; i < n; ++i) {
+    const std::uint8_t d = regs[i % regs.size()];
+    Alu(base_pc + 8 * i, Opcode::kIAdd, d, {d}, mask);
+  }
+}
+
+}  // namespace swiftsim

@@ -1,0 +1,106 @@
+// Building blocks for the procedural workload generators: lane-address
+// pattern helpers and a small emission DSL over WarpTrace.
+//
+// These generators replace the NVBit-captured hardware traces of the paper
+// (DESIGN.md §2): each benchmark is synthesized with the instruction mix,
+// register dataflow, divergence and memory-locality structure of the real
+// application's dominant kernels.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "trace/instr.h"
+
+namespace swiftsim {
+
+// ---------------------------------------------------------------------------
+// Address patterns. All return one address per ACTIVE lane of `mask`, in
+// ascending lane order (the compact trace form).
+// ---------------------------------------------------------------------------
+
+/// Fully coalesced: lane i reads base + i*elem_bytes.
+std::vector<Addr> CoalescedAddrs(Addr base, unsigned elem_bytes,
+                                 LaneMask mask = kFullMask);
+
+/// Strided: lane i reads base + i*stride_bytes (stride >= line size gives
+/// one sector/line per lane — the uncoalesced worst case).
+std::vector<Addr> StridedAddrs(Addr base, std::uint64_t stride_bytes,
+                               LaneMask mask = kFullMask);
+
+/// Broadcast: all active lanes read the same address.
+std::vector<Addr> BroadcastAddrs(Addr addr, LaneMask mask = kFullMask);
+
+/// Uniform-random addresses inside [region_base, region_base+region_bytes),
+/// aligned to `align` bytes.
+std::vector<Addr> RandomAddrs(Rng& rng, Addr region_base,
+                              std::uint64_t region_bytes, unsigned align,
+                              LaneMask mask = kFullMask);
+
+/// A mask with the lowest `n` lanes active (n in [1, 32]).
+LaneMask LowLanes(unsigned n);
+
+/// A random mask with roughly `density` fraction of lanes active; never
+/// empty (lane 0 forced on if the draw comes up empty).
+LaneMask RandomMask(Rng& rng, double density);
+
+// ---------------------------------------------------------------------------
+// Emission DSL
+// ---------------------------------------------------------------------------
+
+/// Appends instructions to one warp's trace. PCs are supplied by the
+/// caller so that the *same static instruction* carries the same PC in
+/// every warp/CTA — the property the per-PC analytical memory model
+/// (paper Eq. 1) relies on.
+class WarpEmitter {
+ public:
+  explicit WarpEmitter(WarpTrace* out) : out_(out) {}
+
+  /// Arithmetic/control-flow instruction.
+  void Alu(Pc pc, Opcode op, std::uint8_t dst,
+           std::initializer_list<std::uint8_t> srcs,
+           LaneMask mask = kFullMask);
+
+  /// Memory instruction; addrs must be compact over active lanes.
+  void Mem(Pc pc, Opcode op, std::uint8_t dst,
+           std::initializer_list<std::uint8_t> srcs, LaneMask mask,
+           std::vector<Addr> addrs);
+
+  void Bar(Pc pc);
+  void Exit(Pc pc);
+
+  /// Emits `n` dependent FFMA instructions dst = f(dst) — a latency-bound
+  /// compute chain (each depends on the previous).
+  void FmaChain(Pc base_pc, unsigned n, std::uint8_t dst, std::uint8_t a,
+                std::uint8_t b, LaneMask mask = kFullMask);
+
+  /// Emits `n` independent integer ops cycling over `dst_regs` — a
+  /// throughput-bound integer block.
+  void IntBlock(Pc base_pc, unsigned n,
+                std::initializer_list<std::uint8_t> dst_regs,
+                LaneMask mask = kFullMask);
+
+ private:
+  WarpTrace* out_;
+};
+
+/// PC layout helper: gives each generator a distinct PC region per kernel
+/// and hands out consecutive instruction slots (8 bytes apart, mimicking
+/// fixed-width SASS encoding).
+class PcAlloc {
+ public:
+  explicit PcAlloc(Pc base) : next_(base) {}
+  Pc Next() {
+    Pc p = next_;
+    next_ += 8;
+    return p;
+  }
+
+ private:
+  Pc next_;
+};
+
+}  // namespace swiftsim

@@ -1,0 +1,282 @@
+// Polybench-suite synthetic generators: ADI, LU, 2MM, GEMM, ATAX, MVT.
+#include "workloads/gen_util.h"
+#include "workloads/workload_suites.h"
+
+namespace swiftsim::workloads {
+
+namespace {
+constexpr std::uint8_t kRA = 2, kRB = 3;
+constexpr std::uint8_t kRd0 = 8, kRd1 = 9, kRd2 = 10, kRd3 = 11;
+constexpr std::uint8_t kAcc0 = 16, kAcc1 = 17;
+constexpr std::uint8_t kTmp = 24;
+
+/// Emits one tiled-GEMM-style kernel: streaming tile loads into shared
+/// memory, a barrier, then an unrolled FFMA block on shared operands.
+std::shared_ptr<KernelTrace> TiledMatmulKernel(const std::string& name,
+                                               KernelId id,
+                                               const WorkloadScale& s,
+                                               std::uint32_t k_tiles,
+                                               std::uint32_t inner) {
+  KernelShape shape;
+  shape.name = name;
+  shape.id = id;
+  shape.ctas = Scaled(s.scale, 128, 2);
+  shape.warps_per_cta = 8;
+  shape.smem_bytes = 32 * 1024;
+  shape.regs_per_thread = 48;
+  shape.variants = 4;  // tiles are reused heavily -> cache-friendly
+  return MakeKernel(
+      shape, s.seed, [&, k_tiles, inner](CtaTrace* cta, std::size_t variant,
+                                         Rng&) {
+        for (std::uint32_t w = 0; w < shape.warps_per_cta; ++w) {
+          WarpEmitter e(&cta->warps[w]);
+          PcAlloc pa(0x1000 + id * 0x10000);
+          const Pc pc_lda = pa.Next(), pc_ldb = pa.Next(),
+                   pc_stsa = pa.Next(), pc_stsb = pa.Next(),
+                   pc_bar = pa.Next();
+          const Pc pc_ldsa = pa.Next(), pc_ldsb = pa.Next(),
+                   pc_fma0 = pa.Next(), pc_fma1 = pa.Next();
+          const Pc pc_bar2 = pa.Next(), pc_stc = pa.Next(),
+                   pc_exit = pa.Next();
+          const std::uint64_t span = k_tiles * 128;
+          const Addr a = VariantSlice(0, variant,
+                                      shape.warps_per_cta * span) + w * span;
+          const Addr b = VariantSlice(1, variant,
+                                      shape.warps_per_cta * span) + w * span;
+          const Addr c = VariantSlice(2, variant, 1 << 16) + w * 512;
+          for (std::uint32_t t = 0; t < k_tiles; ++t) {
+            e.Mem(pc_lda, Opcode::kLdGlobal, kRd0, {kRA}, kFullMask,
+                  CoalescedAddrs(a + t * 128, 4));
+            e.Mem(pc_ldb, Opcode::kLdGlobal, kRd1, {kRB}, kFullMask,
+                  CoalescedAddrs(b + t * 128, 4));
+            e.Mem(pc_stsa, Opcode::kStShared, kNoReg, {kRd0}, kFullMask,
+                  CoalescedAddrs(w * 512, 4));
+            e.Mem(pc_stsb, Opcode::kStShared, kNoReg, {kRd1}, kFullMask,
+                  CoalescedAddrs(4096 + w * 512, 4));
+            e.Bar(pc_bar);
+            for (std::uint32_t i = 0; i < inner; ++i) {
+              e.Mem(pc_ldsa, Opcode::kLdShared, kRd2, {}, kFullMask,
+                    CoalescedAddrs((i % shape.warps_per_cta) * 512, 4));
+              e.Mem(pc_ldsb, Opcode::kLdShared, kRd3, {}, kFullMask,
+                    CoalescedAddrs(4096 + (i % shape.warps_per_cta) * 512, 4));
+              e.Alu(pc_fma0, Opcode::kFFma, kAcc0, {kRd2, kRd3, kAcc0});
+              e.Alu(pc_fma1, Opcode::kFFma, kAcc1, {kRd2, kRd3, kAcc1});
+            }
+            e.Bar(pc_bar2);
+          }
+          e.Mem(pc_stc, Opcode::kStGlobal, kNoReg, {kAcc0}, kFullMask,
+                CoalescedAddrs(c, 4));
+          e.Exit(pc_exit);
+        }
+      });
+}
+
+/// Emits one GEMV kernel: streaming row loads, an FFMA accumulate, and a
+/// shared-memory tree reduction. `strided` selects transposed (column,
+/// uncoalesced) access for the matrix.
+std::shared_ptr<KernelTrace> GemvKernel(const std::string& name, KernelId id,
+                                        const WorkloadScale& s,
+                                        std::uint32_t rows, bool strided) {
+  KernelShape shape;
+  shape.name = name;
+  shape.id = id;
+  shape.ctas = Scaled(s.scale, 112, 2);
+  shape.warps_per_cta = 8;
+  shape.smem_bytes = 4 * 1024;
+  shape.regs_per_thread = 30;
+  shape.variants = strided ? 12 : 8;
+  return MakeKernel(
+      shape, s.seed, [&, rows, strided](CtaTrace* cta, std::size_t variant,
+                                        Rng&) {
+        for (std::uint32_t w = 0; w < shape.warps_per_cta; ++w) {
+          WarpEmitter e(&cta->warps[w]);
+          PcAlloc pa(0x1000 + id * 0x10000);
+          const Pc pc_lda = pa.Next(), pc_ldx = pa.Next(),
+                   pc_fma = pa.Next();
+          const Pc pc_sts = pa.Next(), pc_bar = pa.Next(),
+                   pc_lds = pa.Next(), pc_red = pa.Next();
+          const Pc pc_st = pa.Next(), pc_exit = pa.Next();
+          const std::uint64_t span =
+              rows * (strided ? 512ull * kWarpSize : 128ull);
+          const Addr a = VariantSlice(0, variant,
+                                      shape.warps_per_cta * span) + w * span;
+          const Addr x = VariantSlice(1, variant, 1 << 14);
+          const Addr y = VariantSlice(2, variant, 1 << 16) + w * 512;
+          for (std::uint32_t r = 0; r < rows; ++r) {
+            if (strided) {
+              e.Mem(pc_lda, Opcode::kLdGlobal, kRd0, {kRA}, kFullMask,
+                    StridedAddrs(a + r * 512ull * kWarpSize, 512));
+            } else {
+              e.Mem(pc_lda, Opcode::kLdGlobal, kRd0, {kRA}, kFullMask,
+                    CoalescedAddrs(a + r * 128, 4));
+            }
+            e.Mem(pc_ldx, Opcode::kLdGlobal, kRd1, {kRB}, kFullMask,
+                  CoalescedAddrs(x + (r % 32) * 128, 4));
+            e.Alu(pc_fma, Opcode::kFFma, kAcc0, {kRd0, kRd1, kAcc0});
+          }
+          // Tree reduction across the CTA.
+          for (unsigned step = 0; step < 3; ++step) {
+            e.Mem(pc_sts, Opcode::kStShared, kNoReg, {kAcc0}, kFullMask,
+                  CoalescedAddrs(w * 128, 4));
+            e.Bar(pc_bar);
+            e.Mem(pc_lds, Opcode::kLdShared, kRd2, {}, kFullMask,
+                  CoalescedAddrs(((w + (1u << step)) % shape.warps_per_cta) *
+                                     128,
+                                 4));
+            e.Alu(pc_red, Opcode::kFAdd, kAcc0, {kAcc0, kRd2});
+          }
+          e.Mem(pc_st, Opcode::kStGlobal, kNoReg, {kAcc0}, kFullMask,
+                CoalescedAddrs(y, 4));
+          e.Exit(pc_exit);
+        }
+      });
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ADI: alternating-direction implicit solver. The column sweep is fully
+// uncoalesced (one cache line per lane per access) which makes the
+// application intensely memory-bound — a headline >1000x Swift-Sim-Memory
+// case in the paper.
+// ---------------------------------------------------------------------------
+Application BuildAdi(const WorkloadScale& s) {
+  Application app;
+  app.name = "ADI";
+  const std::uint32_t iters = 10;
+  for (std::uint32_t k = 0; k < 2; ++k) {
+    const bool column_sweep = k == 1;
+    KernelShape shape;
+    shape.name = column_sweep ? "adi_column_sweep" : "adi_row_sweep";
+    shape.id = k;
+    shape.ctas = Scaled(s.scale, 96, 2);
+    shape.warps_per_cta = 8;
+    shape.regs_per_thread = 32;
+    shape.variants = 16;
+    app.kernels.push_back(MakeKernel(
+        shape, s.seed, [&, column_sweep](CtaTrace* cta, std::size_t variant,
+                                         Rng&) {
+          for (std::uint32_t w = 0; w < shape.warps_per_cta; ++w) {
+            WarpEmitter e(&cta->warps[w]);
+            PcAlloc pa(0x1000 + k * 0x10000);
+            const Pc pc_ld0 = pa.Next(), pc_ld1 = pa.Next(),
+                     pc_f0 = pa.Next(), pc_f1 = pa.Next(), pc_f2 = pa.Next(),
+                     pc_st = pa.Next(), pc_exit = pa.Next();
+            const std::uint64_t stride = 2048;  // matrix row pitch
+            const std::uint64_t span =
+                column_sweep ? iters * stride * kWarpSize : iters * 256ull;
+            const Addr a = VariantSlice(0, variant,
+                                        shape.warps_per_cta * span) +
+                           w * span;
+            const Addr b = VariantSlice(1, variant,
+                                        shape.warps_per_cta * span) +
+                           w * span;
+            for (std::uint32_t i = 0; i < iters; ++i) {
+              if (column_sweep) {
+                e.Mem(pc_ld0, Opcode::kLdGlobal, kRd0, {kRA}, kFullMask,
+                      StridedAddrs(a + i * stride * kWarpSize, stride));
+                e.Mem(pc_ld1, Opcode::kLdGlobal, kRd1, {kRA}, kFullMask,
+                      StridedAddrs(b + i * stride * kWarpSize, stride));
+              } else {
+                e.Mem(pc_ld0, Opcode::kLdGlobal, kRd0, {kRA}, kFullMask,
+                      CoalescedAddrs(a + i * 256, 4));
+                e.Mem(pc_ld1, Opcode::kLdGlobal, kRd1, {kRA}, kFullMask,
+                      CoalescedAddrs(b + i * 256, 4));
+              }
+              e.Alu(pc_f0, Opcode::kFMul, kAcc0, {kRd0, kRd1});
+              e.Alu(pc_f1, Opcode::kFFma, kAcc0, {kAcc0, kRd0, kRd1});
+              e.Alu(pc_f2, Opcode::kFAdd, kAcc1, {kAcc0, kRd1});
+              if (column_sweep) {
+                e.Mem(pc_st, Opcode::kStGlobal, kNoReg, {kAcc1}, kFullMask,
+                      StridedAddrs(a + i * stride * kWarpSize, stride));
+              } else {
+                e.Mem(pc_st, Opcode::kStGlobal, kNoReg, {kAcc1}, kFullMask,
+                      CoalescedAddrs(a + i * 256, 4));
+              }
+            }
+            e.Exit(pc_exit);
+          }
+        }));
+  }
+  return app;
+}
+
+// ---------------------------------------------------------------------------
+// LU: triangular updates; the active mask shrinks with the elimination
+// step, and the pivot region is re-read every iteration (cache-sensitive —
+// the application where the paper observed Accel-Sim cache-reservation
+// pathologies on the RTX 3090).
+// ---------------------------------------------------------------------------
+Application BuildLu(const WorkloadScale& s) {
+  Application app;
+  app.name = "LU";
+  KernelShape shape;
+  shape.name = "lud_perimeter";
+  shape.ctas = Scaled(s.scale, 112, 2);
+  shape.warps_per_cta = 8;
+  shape.smem_bytes = 16 * 1024;
+  shape.regs_per_thread = 34;
+  shape.variants = 6;
+  const std::uint32_t steps = 16;
+  app.kernels.push_back(MakeKernel(
+      shape, s.seed, [&](CtaTrace* cta, std::size_t variant, Rng&) {
+        for (std::uint32_t w = 0; w < shape.warps_per_cta; ++w) {
+          WarpEmitter e(&cta->warps[w]);
+          PcAlloc pa(0x1000);
+          const Pc pc_piv = pa.Next(), pc_row = pa.Next(),
+                   pc_rcp = pa.Next(), pc_mul = pa.Next(),
+                   pc_fma = pa.Next(), pc_st = pa.Next(), pc_exit = pa.Next();
+          const Addr mat = VariantSlice(0, variant, 192 * 1024) + w * 16384;
+          const Addr piv = VariantSlice(1, variant, 8192);
+          for (std::uint32_t i = 0; i < steps; ++i) {
+            // Triangular shrink: later steps touch fewer lanes.
+            const LaneMask m = LowLanes(kWarpSize - (i * 3) / 2
+                                                        % (kWarpSize - 1));
+            e.Mem(pc_piv, Opcode::kLdGlobal, kRd0, {kRA}, m,
+                  BroadcastAddrs(piv + (i % 8) * 64, m));
+            e.Mem(pc_row, Opcode::kLdGlobal, kRd1, {kRA}, m,
+                  CoalescedAddrs(mat + (i % 8) * 128, 4, m));
+            e.Alu(pc_rcp, Opcode::kRcp, kTmp, {kRd0}, m);
+            e.Alu(pc_mul, Opcode::kFMul, kAcc0, {kRd1, kTmp}, m);
+            e.Alu(pc_fma, Opcode::kFFma, kAcc1, {kAcc0, kRd0, kRd1}, m);
+            e.Mem(pc_st, Opcode::kStGlobal, kNoReg, {kAcc1}, m,
+                  CoalescedAddrs(mat + (i % 8) * 128, 4, m));
+          }
+          e.Exit(pc_exit);
+        }
+      }));
+  return app;
+}
+
+Application Build2mm(const WorkloadScale& s) {
+  Application app;
+  app.name = "2MM";
+  app.kernels.push_back(TiledMatmulKernel("mm2_kernel1", 0, s, 8, 6));
+  app.kernels.push_back(TiledMatmulKernel("mm2_kernel2", 1, s, 8, 6));
+  return app;
+}
+
+Application BuildGemm(const WorkloadScale& s) {
+  Application app;
+  app.name = "GEMM";
+  app.kernels.push_back(TiledMatmulKernel("gemm_kernel", 0, s, 12, 6));
+  return app;
+}
+
+Application BuildAtax(const WorkloadScale& s) {
+  Application app;
+  app.name = "ATAX";
+  app.kernels.push_back(GemvKernel("atax_ax", 0, s, 14, /*strided=*/false));
+  app.kernels.push_back(GemvKernel("atax_aty", 1, s, 14, /*strided=*/true));
+  return app;
+}
+
+Application BuildMvt(const WorkloadScale& s) {
+  Application app;
+  app.name = "MVT";
+  app.kernels.push_back(GemvKernel("mvt_x1", 0, s, 12, /*strided=*/false));
+  app.kernels.push_back(GemvKernel("mvt_x2", 1, s, 12, /*strided=*/false));
+  return app;
+}
+
+}  // namespace swiftsim::workloads

@@ -1,0 +1,411 @@
+// Rodinia-suite synthetic generators: BFS, NW, HOTSPOT, PATHFINDER,
+// GAUSSIAN, SRAD. Each reproduces the dominant kernel structure of the real
+// application (instruction mix, divergence, locality); see DESIGN.md §2.
+#include "workloads/gen_util.h"
+#include "workloads/workload_suites.h"
+
+namespace swiftsim::workloads {
+
+namespace {
+// Register conventions used by all generators in this file: r2..r5 address
+// bases, r8..r15 loaded data, r16..r23 accumulators, r24+ scratch.
+constexpr std::uint8_t kRA = 2, kRB = 3, kRC = 4;
+constexpr std::uint8_t kRd0 = 8, kRd1 = 9, kRd2 = 10, kRd3 = 11, kRd4 = 12;
+constexpr std::uint8_t kAcc0 = 16, kAcc1 = 17, kAcc2 = 18;
+constexpr std::uint8_t kTmp = 24;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BFS: level-synchronous traversal. Two kernel launches (two BFS levels).
+// Structure per warp: scan frontier flags (coalesced), divergent node body,
+// per-edge random reads of the distance array and sparse scattered updates.
+// ---------------------------------------------------------------------------
+Application BuildBfs(const WorkloadScale& s) {
+  Application app;
+  app.name = "BFS";
+  const std::uint32_t levels = 2;
+  const std::uint32_t nodes_per_warp = 8;
+  const std::uint32_t degree = 3;
+  const std::uint64_t dist_bytes = 8ull << 20;  // distance array, 8MB
+
+  for (std::uint32_t level = 0; level < levels; ++level) {
+    KernelShape shape;
+    shape.name = "bfs_level" + std::to_string(level);
+    shape.id = level;
+    shape.ctas = Scaled(s.scale, 112, 2);
+    shape.warps_per_cta = 8;
+    shape.regs_per_thread = 32;
+    shape.variants = 8;
+    app.kernels.push_back(MakeKernel(
+        shape, s.seed, [&](CtaTrace* cta, std::size_t variant, Rng& rng) {
+          for (std::uint32_t w = 0; w < shape.warps_per_cta; ++w) {
+            WarpEmitter e(&cta->warps[w]);
+            PcAlloc pa(0x1000 + level * 0x10000);
+            const Pc pc_tid0 = pa.Next(), pc_tid1 = pa.Next();
+            const Pc pc_ldf = pa.Next(), pc_setp = pa.Next(),
+                     pc_bra = pa.Next();
+            const Pc pc_row0 = pa.Next(), pc_row1 = pa.Next(),
+                     pc_deg = pa.Next();
+            const Pc pc_col = pa.Next(), pc_dist = pa.Next(),
+                     pc_add = pa.Next(), pc_cmp = pa.Next(),
+                     pc_upd = pa.Next();
+            const Pc pc_exit = pa.Next();
+
+            e.Alu(pc_tid0, Opcode::kIMad, kRA, {kRA, kRB});
+            e.Alu(pc_tid1, Opcode::kIAdd, kRB, {kRA});
+            const Addr frontier =
+                VariantSlice(0, variant, 1 << 16) + w * 4096;
+            const Addr rows = VariantSlice(1, variant, 1 << 16) + w * 4096;
+            const Addr edges = VariantSlice(2, variant, 1 << 18) + w * 8192;
+            for (std::uint32_t n = 0; n < nodes_per_warp; ++n) {
+              e.Mem(pc_ldf, Opcode::kLdGlobal, kRd0, {kRA}, kFullMask,
+                    CoalescedAddrs(frontier + n * 128, 4));
+              e.Alu(pc_setp, Opcode::kISetp, kTmp, {kRd0});
+              // Divergent frontier: roughly half the lanes take the body.
+              const LaneMask body = RandomMask(rng, 0.5);
+              e.Alu(pc_bra, Opcode::kBra, kNoReg, {kTmp});
+              e.Mem(pc_row0, Opcode::kLdGlobal, kRd1, {kRA}, body,
+                    CoalescedAddrs(rows + n * 128, 4, body));
+              e.Mem(pc_row1, Opcode::kLdGlobal, kRd2, {kRA}, body,
+                    CoalescedAddrs(rows + n * 128 + 4, 4, body));
+              e.Alu(pc_deg, Opcode::kIAdd, kAcc0, {kRd1, kRd2}, body);
+              for (std::uint32_t d = 0; d < degree; ++d) {
+                e.Mem(pc_col, Opcode::kLdGlobal, kRd3, {kAcc0}, body,
+                      CoalescedAddrs(edges + (n * degree + d) * 128, 4, body));
+                e.Mem(pc_dist, Opcode::kLdGlobal, kRd4, {kRd3}, body,
+                      RandomAddrs(rng, Region(3), dist_bytes, 4, body));
+                e.Alu(pc_add, Opcode::kIAdd, kAcc1, {kRd4}, body);
+                e.Alu(pc_cmp, Opcode::kISetp, kTmp, {kAcc1, kRd4}, body);
+                LaneMask upd = RandomMask(rng, 0.25) & body;
+                if (upd == 0) upd = body;  // sparse scattered update
+                e.Mem(pc_upd, Opcode::kStGlobal, kNoReg, {kAcc1}, upd,
+                      RandomAddrs(rng, Region(3), dist_bytes, 4, upd));
+              }
+            }
+            e.Exit(pc_exit);
+          }
+        }));
+  }
+  return app;
+}
+
+// ---------------------------------------------------------------------------
+// NW: Needleman-Wunsch wavefront DP. Memory-bound: two streaming input
+// loads + shared-memory tile per step, four integer max-ops, one store.
+// Two kernels model the upper-left and lower-right diagonal sweeps.
+// ---------------------------------------------------------------------------
+Application BuildNw(const WorkloadScale& s) {
+  Application app;
+  app.name = "NW";
+  const std::uint32_t tiles = 16;
+  for (std::uint32_t k = 0; k < 2; ++k) {
+    KernelShape shape;
+    shape.name = k == 0 ? "nw_sweep_ul" : "nw_sweep_lr";
+    shape.id = k;
+    shape.ctas = Scaled(s.scale, 128, 2);
+    shape.warps_per_cta = 8;
+    shape.smem_bytes = 16 * 1024;
+    shape.regs_per_thread = 28;
+    shape.variants = 24;  // aggregate footprint exceeds L2 -> streaming
+    app.kernels.push_back(MakeKernel(
+        shape, s.seed, [&](CtaTrace* cta, std::size_t variant, Rng&) {
+          for (std::uint32_t w = 0; w < shape.warps_per_cta; ++w) {
+            WarpEmitter e(&cta->warps[w]);
+            PcAlloc pa(0x1000 + k * 0x10000);
+            const Pc pc_setup = pa.Next();
+            const Pc pc_ldr = pa.Next(), pc_ldi = pa.Next(),
+                     pc_sts = pa.Next(), pc_bar = pa.Next(),
+                     pc_lds = pa.Next();
+            const Pc pc_m0 = pa.Next(), pc_m1 = pa.Next(), pc_m2 = pa.Next(),
+                     pc_m3 = pa.Next();
+            const Pc pc_st = pa.Next(), pc_exit = pa.Next();
+
+            e.Alu(pc_setup, Opcode::kIMad, kRA, {kRA, kRB});
+            const std::uint64_t warp_span = tiles * 256;
+            const Addr ref = VariantSlice(0, variant,
+                                          shape.warps_per_cta * warp_span) +
+                             w * warp_span;
+            const Addr in = VariantSlice(1, variant,
+                                         shape.warps_per_cta * warp_span) +
+                            w * warp_span;
+            const Addr out = VariantSlice(2, variant,
+                                          shape.warps_per_cta * warp_span) +
+                             w * warp_span;
+            for (std::uint32_t t = 0; t < tiles; ++t) {
+              e.Mem(pc_ldr, Opcode::kLdGlobal, kRd0, {kRA}, kFullMask,
+                    CoalescedAddrs(ref + t * 256, 4));
+              e.Mem(pc_ldi, Opcode::kLdGlobal, kRd1, {kRA}, kFullMask,
+                    CoalescedAddrs(in + t * 256, 4));
+              e.Mem(pc_sts, Opcode::kStShared, kNoReg, {kRd1}, kFullMask,
+                    CoalescedAddrs(w * 512, 4));
+              e.Bar(pc_bar);
+              e.Mem(pc_lds, Opcode::kLdShared, kRd2, {}, kFullMask,
+                    CoalescedAddrs(((w + 1) % shape.warps_per_cta) * 512, 4));
+              e.Alu(pc_m0, Opcode::kIAdd, kAcc0, {kRd0, kRd2});
+              e.Alu(pc_m1, Opcode::kISetp, kTmp, {kAcc0, kRd1});
+              e.Alu(pc_m2, Opcode::kIAdd, kAcc1, {kAcc0, kTmp});
+              e.Alu(pc_m3, Opcode::kISetp, kAcc2, {kAcc1});
+              e.Mem(pc_st, Opcode::kStGlobal, kNoReg, {kAcc1}, kFullMask,
+                    CoalescedAddrs(out + t * 256, 4));
+            }
+            e.Exit(pc_exit);
+          }
+        }));
+  }
+  return app;
+}
+
+// ---------------------------------------------------------------------------
+// HOTSPOT: 5-point thermal stencil, compute-bound (deep FFMA chains per
+// loaded neighborhood), shared-memory tiling with barriers.
+// ---------------------------------------------------------------------------
+Application BuildHotspot(const WorkloadScale& s) {
+  Application app;
+  app.name = "HOTSPOT";
+  KernelShape shape;
+  shape.name = "hotspot_kernel";
+  shape.ctas = Scaled(s.scale, 120, 2);
+  shape.warps_per_cta = 8;
+  shape.smem_bytes = 24 * 1024;
+  shape.regs_per_thread = 40;
+  shape.variants = 6;
+  const std::uint32_t steps = 10;
+  app.kernels.push_back(MakeKernel(
+      shape, s.seed, [&](CtaTrace* cta, std::size_t variant, Rng&) {
+        for (std::uint32_t w = 0; w < shape.warps_per_cta; ++w) {
+          WarpEmitter e(&cta->warps[w]);
+          PcAlloc pa(0x1000);
+          const Pc pc_setup = pa.Next();
+          const Pc pc_c = pa.Next(), pc_n = pa.Next(), pc_sq = pa.Next(),
+                   pc_e = pa.Next(), pc_w2 = pa.Next(), pc_pow = pa.Next();
+          const Pc pc_fma = pa.Next();  // chain base; occupies 18 slots
+          for (int i = 0; i < 17; ++i) pa.Next();
+          const Pc pc_sts = pa.Next(), pc_bar = pa.Next(),
+                   pc_st = pa.Next(), pc_exit = pa.Next();
+
+          e.Alu(pc_setup, Opcode::kIMad, kRA, {kRA, kRB});
+          const std::uint64_t row = 4096;
+          const Addr temp = VariantSlice(0, variant, 1 << 20) + w * row * 2;
+          const Addr power = VariantSlice(1, variant, 1 << 20) + w * row * 2;
+          const Addr out = VariantSlice(2, variant, 1 << 20) + w * row * 2;
+          for (std::uint32_t t = 0; t < steps; ++t) {
+            const Addr base = temp + t * 128;
+            e.Mem(pc_c, Opcode::kLdGlobal, kRd0, {kRA}, kFullMask,
+                  CoalescedAddrs(base, 4));
+            e.Mem(pc_n, Opcode::kLdGlobal, kRd1, {kRA}, kFullMask,
+                  CoalescedAddrs(base + row, 4));
+            e.Mem(pc_sq, Opcode::kLdGlobal, kRd2, {kRA}, kFullMask,
+                  CoalescedAddrs(base + 2 * row, 4));
+            e.Mem(pc_e, Opcode::kLdGlobal, kRd3, {kRA}, kFullMask,
+                  CoalescedAddrs(base + 4, 4));
+            e.Mem(pc_w2, Opcode::kLdGlobal, kRd4, {kRA}, kFullMask,
+                  CoalescedAddrs(base + 8, 4));
+            e.Mem(pc_pow, Opcode::kLdGlobal, kAcc2, {kRA}, kFullMask,
+                  CoalescedAddrs(power + t * 128, 4));
+            e.FmaChain(pc_fma, 18, kAcc0, kRd1, kRd2);
+            e.Mem(pc_sts, Opcode::kStShared, kNoReg, {kAcc0}, kFullMask,
+                  CoalescedAddrs(w * 256, 4));
+            e.Bar(pc_bar);
+            e.Mem(pc_st, Opcode::kStGlobal, kNoReg, {kAcc0}, kFullMask,
+                  CoalescedAddrs(out + t * 128, 4));
+          }
+          e.Exit(pc_exit);
+        }
+      }));
+  return app;
+}
+
+// ---------------------------------------------------------------------------
+// PATHFINDER: row-wise DP with a barrier per row; small integer compute on
+// shared-memory rows, one coalesced row load per iteration.
+// ---------------------------------------------------------------------------
+Application BuildPathfinder(const WorkloadScale& s) {
+  Application app;
+  app.name = "PATHFINDER";
+  KernelShape shape;
+  shape.name = "dynproc_kernel";
+  shape.ctas = Scaled(s.scale, 128, 2);
+  shape.warps_per_cta = 8;
+  shape.smem_bytes = 8 * 1024;
+  shape.regs_per_thread = 24;
+  shape.variants = 8;
+  const std::uint32_t rows = 20;
+  app.kernels.push_back(MakeKernel(
+      shape, s.seed, [&](CtaTrace* cta, std::size_t variant, Rng&) {
+        for (std::uint32_t w = 0; w < shape.warps_per_cta; ++w) {
+          WarpEmitter e(&cta->warps[w]);
+          PcAlloc pa(0x1000);
+          const Pc pc_setup = pa.Next();
+          const Pc pc_ld = pa.Next(), pc_lds0 = pa.Next(),
+                   pc_lds1 = pa.Next();
+          const Pc pc_min0 = pa.Next(), pc_min1 = pa.Next(),
+                   pc_min2 = pa.Next(), pc_add = pa.Next();
+          const Pc pc_sts = pa.Next(), pc_bar = pa.Next(),
+                   pc_st = pa.Next(), pc_exit = pa.Next();
+
+          e.Alu(pc_setup, Opcode::kIMad, kRA, {kRA, kRB});
+          const std::uint64_t warp_span = rows * 128;
+          const Addr wall = VariantSlice(0, variant,
+                                         shape.warps_per_cta * warp_span) +
+                            w * warp_span;
+          const Addr result = VariantSlice(1, variant, 1 << 16) + w * 1024;
+          for (std::uint32_t r = 0; r < rows; ++r) {
+            e.Mem(pc_ld, Opcode::kLdGlobal, kRd0, {kRA}, kFullMask,
+                  CoalescedAddrs(wall + r * 128, 4));
+            e.Mem(pc_lds0, Opcode::kLdShared, kRd1, {}, kFullMask,
+                  CoalescedAddrs(w * 256, 4));
+            e.Mem(pc_lds1, Opcode::kLdShared, kRd2, {}, kFullMask,
+                  CoalescedAddrs(w * 256 + 4, 4));
+            e.Alu(pc_min0, Opcode::kISetp, kTmp, {kRd1, kRd2});
+            e.Alu(pc_min1, Opcode::kIAdd, kAcc0, {kRd1, kTmp});
+            e.Alu(pc_min2, Opcode::kISetp, kTmp, {kAcc0, kRd0});
+            e.Alu(pc_add, Opcode::kIAdd, kAcc1, {kAcc0, kRd0});
+            e.Mem(pc_sts, Opcode::kStShared, kNoReg, {kAcc1}, kFullMask,
+                  CoalescedAddrs(w * 256, 4));
+            e.Bar(pc_bar);
+            if (r + 1 == rows) {
+              e.Mem(pc_st, Opcode::kStGlobal, kNoReg, {kAcc1}, kFullMask,
+                    CoalescedAddrs(result, 4));
+            }
+          }
+          e.Exit(pc_exit);
+        }
+      }));
+  return app;
+}
+
+// ---------------------------------------------------------------------------
+// GAUSSIAN: elimination with a broadcast pivot row (Fan1 computes
+// multipliers with an SFU reciprocal; Fan2 streams the trailing submatrix).
+// ---------------------------------------------------------------------------
+Application BuildGaussian(const WorkloadScale& s) {
+  Application app;
+  app.name = "GAUSSIAN";
+
+  KernelShape fan1;
+  fan1.name = "fan1";
+  fan1.id = 0;
+  fan1.ctas = Scaled(s.scale, 32, 1);
+  fan1.warps_per_cta = 4;
+  fan1.regs_per_thread = 20;
+  fan1.variants = 4;
+  const std::uint32_t f1_iters = 8;
+  app.kernels.push_back(MakeKernel(
+      fan1, s.seed, [&](CtaTrace* cta, std::size_t variant, Rng&) {
+        for (std::uint32_t w = 0; w < fan1.warps_per_cta; ++w) {
+          WarpEmitter e(&cta->warps[w]);
+          PcAlloc pa(0x1000);
+          const Pc pc_piv = pa.Next(), pc_col = pa.Next(),
+                   pc_rcp = pa.Next(), pc_mul = pa.Next(), pc_st = pa.Next(),
+                   pc_exit = pa.Next();
+          const Addr mat = VariantSlice(0, variant, 1 << 18) + w * 8192;
+          for (std::uint32_t i = 0; i < f1_iters; ++i) {
+            e.Mem(pc_piv, Opcode::kLdGlobal, kRd0, {kRA}, kFullMask,
+                  BroadcastAddrs(mat + i * 2048));
+            e.Mem(pc_col, Opcode::kLdGlobal, kRd1, {kRA}, kFullMask,
+                  CoalescedAddrs(mat + i * 2048 + 128, 4));
+            e.Alu(pc_rcp, Opcode::kRcp, kAcc0, {kRd0});
+            e.Alu(pc_mul, Opcode::kFMul, kAcc1, {kRd1, kAcc0});
+            e.Mem(pc_st, Opcode::kStGlobal, kNoReg, {kAcc1}, kFullMask,
+                  CoalescedAddrs(mat + i * 2048 + 1024, 4));
+          }
+          e.Exit(pc_exit);
+        }
+      }));
+
+  KernelShape fan2;
+  fan2.name = "fan2";
+  fan2.id = 1;
+  fan2.ctas = Scaled(s.scale, 128, 2);
+  fan2.warps_per_cta = 8;
+  fan2.regs_per_thread = 26;
+  fan2.variants = 8;
+  const std::uint32_t f2_iters = 14;
+  app.kernels.push_back(MakeKernel(
+      fan2, s.seed, [&](CtaTrace* cta, std::size_t variant, Rng&) {
+        for (std::uint32_t w = 0; w < fan2.warps_per_cta; ++w) {
+          WarpEmitter e(&cta->warps[w]);
+          PcAlloc pa(0x20000);
+          const Pc pc_m = pa.Next(), pc_row = pa.Next(), pc_idx0 = pa.Next(),
+                   pc_idx1 = pa.Next(), pc_fma = pa.Next(),
+                   pc_st = pa.Next(), pc_exit = pa.Next();
+          const std::uint64_t warp_span = f2_iters * 128;
+          const Addr mul = VariantSlice(1, variant, 1 << 16) + w * 2048;
+          const Addr mat = VariantSlice(2, variant,
+                                        fan2.warps_per_cta * warp_span) +
+                           w * warp_span;
+          for (std::uint32_t i = 0; i < f2_iters; ++i) {
+            e.Mem(pc_m, Opcode::kLdGlobal, kRd0, {kRA}, kFullMask,
+                  BroadcastAddrs(mul + i * 64));
+            e.Mem(pc_row, Opcode::kLdGlobal, kRd1, {kRA}, kFullMask,
+                  CoalescedAddrs(mat + i * 128, 4));
+            e.Alu(pc_idx0, Opcode::kIMad, kTmp, {kRA, kRB});
+            e.Alu(pc_idx1, Opcode::kIAdd, kRC, {kTmp});
+            e.Alu(pc_fma, Opcode::kFFma, kAcc0, {kRd1, kRd0, kAcc0});
+            e.Mem(pc_st, Opcode::kStGlobal, kNoReg, {kAcc0}, kFullMask,
+                  CoalescedAddrs(mat + i * 128, 4));
+          }
+          e.Exit(pc_exit);
+        }
+      }));
+  return app;
+}
+
+// ---------------------------------------------------------------------------
+// SRAD: anisotropic diffusion, two SFU-heavy stencil kernels.
+// ---------------------------------------------------------------------------
+Application BuildSrad(const WorkloadScale& s) {
+  Application app;
+  app.name = "SRAD";
+  const std::uint32_t steps = 9;
+  for (std::uint32_t k = 0; k < 2; ++k) {
+    KernelShape shape;
+    shape.name = k == 0 ? "srad1" : "srad2";
+    shape.id = k;
+    shape.ctas = Scaled(s.scale, 112, 2);
+    shape.warps_per_cta = 8;
+    shape.regs_per_thread = 36;
+    shape.variants = 6;
+    app.kernels.push_back(MakeKernel(
+        shape, s.seed, [&](CtaTrace* cta, std::size_t variant, Rng&) {
+          for (std::uint32_t w = 0; w < shape.warps_per_cta; ++w) {
+            WarpEmitter e(&cta->warps[w]);
+            PcAlloc pa(0x1000 + k * 0x10000);
+            const Pc pc_c = pa.Next(), pc_n = pa.Next(), pc_s = pa.Next(),
+                     pc_e2 = pa.Next(), pc_w2 = pa.Next();
+            const Pc pc_f0 = pa.Next(), pc_f1 = pa.Next(), pc_f2 = pa.Next(),
+                     pc_f3 = pa.Next();
+            const Pc pc_sfu0 = pa.Next(), pc_sfu1 = pa.Next();
+            const Pc pc_st = pa.Next(), pc_exit = pa.Next();
+            const std::uint64_t row = 2048;
+            const Addr img = VariantSlice(0, variant, 1 << 20) + w * row * 2;
+            const Addr out = VariantSlice(1, variant, 1 << 20) + w * row * 2;
+            for (std::uint32_t t = 0; t < steps; ++t) {
+              const Addr base = img + t * 128;
+              e.Mem(pc_c, Opcode::kLdGlobal, kRd0, {kRA}, kFullMask,
+                    CoalescedAddrs(base, 4));
+              e.Mem(pc_n, Opcode::kLdGlobal, kRd1, {kRA}, kFullMask,
+                    CoalescedAddrs(base + row, 4));
+              e.Mem(pc_s, Opcode::kLdGlobal, kRd2, {kRA}, kFullMask,
+                    CoalescedAddrs(base + 2 * row, 4));
+              e.Mem(pc_e2, Opcode::kLdGlobal, kRd3, {kRA}, kFullMask,
+                    CoalescedAddrs(base + 4, 4));
+              e.Mem(pc_w2, Opcode::kLdGlobal, kRd4, {kRA}, kFullMask,
+                    CoalescedAddrs(base + 8, 4));
+              e.Alu(pc_f0, Opcode::kFAdd, kAcc0, {kRd1, kRd2});
+              e.Alu(pc_f1, Opcode::kFAdd, kAcc1, {kRd3, kRd4});
+              e.Alu(pc_f2, Opcode::kFFma, kAcc0, {kAcc0, kAcc1, kRd0});
+              e.Alu(pc_f3, Opcode::kFMul, kAcc1, {kAcc0, kAcc0});
+              e.Alu(pc_sfu0, Opcode::kRsqrt, kAcc2, {kAcc1});
+              e.Alu(pc_sfu1, Opcode::kExp, kAcc2, {kAcc2});
+              e.Mem(pc_st, Opcode::kStGlobal, kNoReg, {kAcc2}, kFullMask,
+                    CoalescedAddrs(out + t * 128, 4));
+            }
+            e.Exit(pc_exit);
+          }
+        }));
+  }
+  return app;
+}
+
+}  // namespace swiftsim::workloads

@@ -1,0 +1,136 @@
+// Tango (DNN benchmark suite) synthetic generators: GRU and LSTM inference.
+#include "workloads/gen_util.h"
+#include "workloads/workload_suites.h"
+
+namespace swiftsim::workloads {
+
+namespace {
+constexpr std::uint8_t kRA = 2, kRB = 3;
+constexpr std::uint8_t kRd0 = 8, kRd1 = 9, kRd2 = 10;
+constexpr std::uint8_t kAcc0 = 16, kAcc1 = 17, kAcc2 = 18;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// GRU: per-timestep gate GEMVs stream the (large, never-reused) weight
+// matrices; each loaded weight line feeds only one FFMA, so the kernel is
+// dominated by DRAM streaming — a >1000x Swift-Sim-Memory case.
+// ---------------------------------------------------------------------------
+Application BuildGru(const WorkloadScale& s) {
+  Application app;
+  app.name = "GRU";
+  KernelShape shape;
+  shape.name = "gru_cell";
+  shape.ctas = Scaled(s.scale, 128, 2);
+  shape.warps_per_cta = 8;
+  shape.smem_bytes = 8 * 1024;
+  shape.regs_per_thread = 36;
+  shape.variants = 24;
+  const std::uint32_t timesteps = 5;
+  const std::uint32_t gates = 3;  // update, reset, candidate
+  const std::uint32_t rows_per_gate = 4;
+  app.kernels.push_back(MakeKernel(
+      shape, s.seed, [&](CtaTrace* cta, std::size_t variant, Rng&) {
+        for (std::uint32_t w = 0; w < shape.warps_per_cta; ++w) {
+          WarpEmitter e(&cta->warps[w]);
+          PcAlloc pa(0x1000);
+          const Pc pc_ldw = pa.Next(), pc_ldu = pa.Next(),
+                   pc_ldh = pa.Next();
+          const Pc pc_f0 = pa.Next(), pc_f1 = pa.Next();
+          const Pc pc_act = pa.Next(), pc_mix = pa.Next();
+          const Pc pc_sth = pa.Next(), pc_bar = pa.Next(),
+                   pc_exit = pa.Next();
+          const std::uint64_t gate_span =
+              timesteps * gates * rows_per_gate * 128ull;
+          const Addr wmat = VariantSlice(0, variant,
+                                         shape.warps_per_cta * gate_span) +
+                            w * gate_span;
+          const Addr umat = VariantSlice(1, variant,
+                                         shape.warps_per_cta * gate_span) +
+                            w * gate_span;
+          const Addr hidden = VariantSlice(2, variant, 1 << 14);
+          std::uint64_t row = 0;
+          for (std::uint32_t t = 0; t < timesteps; ++t) {
+            for (std::uint32_t g = 0; g < gates; ++g) {
+              for (std::uint32_t r = 0; r < rows_per_gate; ++r, ++row) {
+                e.Mem(pc_ldw, Opcode::kLdGlobal, kRd0, {kRA}, kFullMask,
+                      CoalescedAddrs(wmat + row * 128, 4));
+                e.Mem(pc_ldu, Opcode::kLdGlobal, kRd1, {kRA}, kFullMask,
+                      CoalescedAddrs(umat + row * 128, 4));
+                e.Mem(pc_ldh, Opcode::kLdGlobal, kRd2, {kRB}, kFullMask,
+                      CoalescedAddrs(hidden + (row % 16) * 128, 4));
+                e.Alu(pc_f0, Opcode::kFFma, kAcc0, {kRd0, kRd2, kAcc0});
+                e.Alu(pc_f1, Opcode::kFFma, kAcc1, {kRd1, kRd2, kAcc1});
+              }
+              e.Alu(pc_act, Opcode::kExp, kAcc2, {kAcc0});  // sigmoid proxy
+              e.Alu(pc_mix, Opcode::kFFma, kAcc2, {kAcc2, kAcc1, kAcc0});
+            }
+            e.Mem(pc_sth, Opcode::kStGlobal, kNoReg, {kAcc2}, kFullMask,
+                  CoalescedAddrs(hidden + (t % 16) * 128, 4));
+            e.Bar(pc_bar);
+          }
+          e.Exit(pc_exit);
+        }
+      }));
+  return app;
+}
+
+// ---------------------------------------------------------------------------
+// LSTM: four-gate cell with shared-memory-tiled weights — each loaded line
+// feeds a deep FFMA chain, so unlike GRU the kernel is compute-bound.
+// ---------------------------------------------------------------------------
+Application BuildLstm(const WorkloadScale& s) {
+  Application app;
+  app.name = "LSTM";
+  KernelShape shape;
+  shape.name = "lstm_cell";
+  shape.ctas = Scaled(s.scale, 120, 2);
+  shape.warps_per_cta = 8;
+  shape.smem_bytes = 24 * 1024;
+  shape.regs_per_thread = 48;
+  shape.variants = 6;
+  const std::uint32_t timesteps = 4;
+  const std::uint32_t gates = 4;  // input, forget, cell, output
+  app.kernels.push_back(MakeKernel(
+      shape, s.seed, [&](CtaTrace* cta, std::size_t variant, Rng&) {
+        for (std::uint32_t w = 0; w < shape.warps_per_cta; ++w) {
+          WarpEmitter e(&cta->warps[w]);
+          PcAlloc pa(0x1000);
+          const Pc pc_ldw = pa.Next(), pc_sts = pa.Next(),
+                   pc_bar = pa.Next(), pc_lds = pa.Next();
+          const Pc pc_fma = pa.Next();  // chain of 12
+          for (int i = 0; i < 11; ++i) pa.Next();
+          const Pc pc_act0 = pa.Next(), pc_act1 = pa.Next(),
+                   pc_mul = pa.Next();
+          const Pc pc_st = pa.Next(), pc_bar2 = pa.Next(),
+                   pc_exit = pa.Next();
+          const std::uint64_t span = timesteps * gates * 128ull;
+          const Addr wmat = VariantSlice(0, variant,
+                                         shape.warps_per_cta * span) +
+                            w * span;
+          const Addr state = VariantSlice(1, variant, 1 << 14);
+          std::uint64_t row = 0;
+          for (std::uint32_t t = 0; t < timesteps; ++t) {
+            for (std::uint32_t g = 0; g < gates; ++g, ++row) {
+              e.Mem(pc_ldw, Opcode::kLdGlobal, kRd0, {kRA}, kFullMask,
+                    CoalescedAddrs(wmat + row * 128, 4));
+              e.Mem(pc_sts, Opcode::kStShared, kNoReg, {kRd0}, kFullMask,
+                    CoalescedAddrs(w * 512, 4));
+              e.Bar(pc_bar);
+              e.Mem(pc_lds, Opcode::kLdShared, kRd1, {}, kFullMask,
+                    CoalescedAddrs(((w + g) % shape.warps_per_cta) * 512, 4));
+              e.FmaChain(pc_fma, 12, kAcc0, kRd1, kRd0);
+              e.Alu(pc_act0, Opcode::kExp, kAcc1, {kAcc0});
+              e.Alu(pc_act1, Opcode::kRcp, kAcc1, {kAcc1});
+              e.Alu(pc_mul, Opcode::kFMul, kAcc2, {kAcc1, kAcc0});
+            }
+            e.Mem(pc_st, Opcode::kStGlobal, kNoReg, {kAcc2}, kFullMask,
+                  CoalescedAddrs(state + (t % 16) * 128, 4));
+            e.Bar(pc_bar2);
+          }
+          e.Exit(pc_exit);
+        }
+      }));
+  return app;
+}
+
+}  // namespace swiftsim::workloads

@@ -1,0 +1,94 @@
+#include "workloads/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+#include "workloads/workload_suites.h"
+
+namespace swiftsim {
+
+const std::vector<WorkloadSpec>& AllWorkloads() {
+  static const std::vector<WorkloadSpec> kSpecs = {
+      // Rodinia.
+      {"BFS", "rodinia", WorkloadKind::kIrregular,
+       "level-synchronous breadth-first search, divergent frontier"},
+      {"NW", "rodinia", WorkloadKind::kMemoryStreaming,
+       "Needleman-Wunsch wavefront DP, shared-memory tiles, memory-bound"},
+      {"HOTSPOT", "rodinia", WorkloadKind::kComputeBound,
+       "thermal 5-point stencil with deep FP chains"},
+      {"PATHFINDER", "rodinia", WorkloadKind::kMixed,
+       "row-by-row dynamic programming with per-row barriers"},
+      {"GAUSSIAN", "rodinia", WorkloadKind::kMixed,
+       "Gaussian elimination, broadcast pivot row"},
+      {"SRAD", "rodinia", WorkloadKind::kMixed,
+       "speckle-reducing anisotropic diffusion, SFU-heavy stencil"},
+      // Polybench.
+      {"ADI", "polybench", WorkloadKind::kMemoryStreaming,
+       "alternating-direction implicit sweeps, column-strided accesses"},
+      {"LU", "polybench", WorkloadKind::kMixed,
+       "LU decomposition, triangular updates, cache-sensitive"},
+      {"2MM", "polybench", WorkloadKind::kComputeBound,
+       "two chained matrix multiplications, shared-memory tiled"},
+      {"GEMM", "polybench", WorkloadKind::kComputeBound,
+       "single tiled matrix multiplication"},
+      {"ATAX", "polybench", WorkloadKind::kMixed,
+       "A^T*A*x: two GEMV passes with tree reductions"},
+      {"MVT", "polybench", WorkloadKind::kMixed,
+       "matrix-vector product and transposed product"},
+      // Mars.
+      {"SM", "mars", WorkloadKind::kMemoryStreaming,
+       "MapReduce StringMatch: pure streaming scan, minimal compute"},
+      {"II", "mars", WorkloadKind::kIrregular,
+       "MapReduce InvertedIndex: streaming reads, scattered writes"},
+      // Tango.
+      {"GRU", "tango", WorkloadKind::kMemoryStreaming,
+       "GRU inference: weight-streaming GEMV chains, memory-bound"},
+      {"LSTM", "tango", WorkloadKind::kComputeBound,
+       "LSTM inference: four-gate tiled GEMV, compute-heavy"},
+      // Pannotia.
+      {"PAGERANK", "pannotia", WorkloadKind::kIrregular,
+       "push-style PageRank over a power-law graph"},
+      {"SSSP", "pannotia", WorkloadKind::kIrregular,
+       "Bellman-Ford SSSP with divergent relaxations"},
+  };
+  return kSpecs;
+}
+
+const WorkloadSpec& WorkloadByName(const std::string& name) {
+  for (const auto& spec : AllWorkloads()) {
+    if (spec.name == name) return spec;
+  }
+  throw SimError("unknown workload '" + name + "'");
+}
+
+Application BuildWorkload(const std::string& name, const WorkloadScale& s) {
+  SS_CHECK(s.scale > 0, "workload scale must be positive");
+  using namespace workloads;
+  if (name == "BFS") return BuildBfs(s);
+  if (name == "NW") return BuildNw(s);
+  if (name == "HOTSPOT") return BuildHotspot(s);
+  if (name == "PATHFINDER") return BuildPathfinder(s);
+  if (name == "GAUSSIAN") return BuildGaussian(s);
+  if (name == "SRAD") return BuildSrad(s);
+  if (name == "ADI") return BuildAdi(s);
+  if (name == "LU") return BuildLu(s);
+  if (name == "2MM") return Build2mm(s);
+  if (name == "GEMM") return BuildGemm(s);
+  if (name == "ATAX") return BuildAtax(s);
+  if (name == "MVT") return BuildMvt(s);
+  if (name == "SM") return BuildStringMatch(s);
+  if (name == "II") return BuildInvertedIndex(s);
+  if (name == "GRU") return BuildGru(s);
+  if (name == "LSTM") return BuildLstm(s);
+  if (name == "PAGERANK") return BuildPagerank(s);
+  if (name == "SSSP") return BuildSssp(s);
+  throw SimError("unknown workload '" + name + "'");
+}
+
+std::uint32_t Scaled(double scale, std::uint32_t value, std::uint32_t lo) {
+  const double v = std::round(static_cast<double>(value) * scale);
+  return std::max(lo, static_cast<std::uint32_t>(std::max(0.0, v)));
+}
+
+}  // namespace swiftsim

@@ -1,0 +1,50 @@
+// Workload registry: the 18 benchmark applications used in the paper's
+// evaluation (Rodinia, Polybench, Mars, Tango, Pannotia — §IV-A2), each
+// synthesized procedurally (DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/kernel.h"
+
+namespace swiftsim {
+
+/// Scale/seed knobs shared by every generator. `scale` multiplies grid
+/// sizes and loop trip counts (1.0 = bench size; tests use ~0.05).
+struct WorkloadScale {
+  double scale = 1.0;
+  std::uint64_t seed = 0x5eed5eedULL;
+};
+
+/// Broad behavioural category; used by tests and the experiment harness to
+/// sanity-check that the speedup/error structure lands where expected.
+enum class WorkloadKind {
+  kMemoryStreaming,  // NW, ADI, SM, GRU: >1000x Swift-Sim-Memory candidates
+  kComputeBound,     // GEMM-family, LSTM, HOTSPOT
+  kIrregular,        // BFS, PAGERANK, SSSP, II
+  kMixed,            // the rest
+};
+
+struct WorkloadSpec {
+  std::string name;    // e.g. "BFS"
+  std::string suite;   // e.g. "rodinia"
+  WorkloadKind kind;
+  std::string description;
+};
+
+/// All registered workloads in Figure-4 display order.
+const std::vector<WorkloadSpec>& AllWorkloads();
+
+/// Spec lookup; throws SimError on unknown names (case-sensitive).
+const WorkloadSpec& WorkloadByName(const std::string& name);
+
+/// Builds the synthetic application; throws SimError on unknown names.
+/// Deterministic: same (name, scale, seed) -> identical trace.
+Application BuildWorkload(const std::string& name, const WorkloadScale& s);
+
+/// Convenience: scaled integer >= lo.
+std::uint32_t Scaled(double scale, std::uint32_t value, std::uint32_t lo = 1);
+
+}  // namespace swiftsim

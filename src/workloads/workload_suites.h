@@ -1,0 +1,38 @@
+// Internal: per-suite generator entry points (implemented in the
+// corresponding .cc files; dispatched by workload.cc).
+#pragma once
+
+#include "trace/kernel.h"
+#include "workloads/workload.h"
+
+namespace swiftsim::workloads {
+
+// Rodinia.
+Application BuildBfs(const WorkloadScale& s);
+Application BuildNw(const WorkloadScale& s);
+Application BuildHotspot(const WorkloadScale& s);
+Application BuildPathfinder(const WorkloadScale& s);
+Application BuildGaussian(const WorkloadScale& s);
+Application BuildSrad(const WorkloadScale& s);
+
+// Polybench.
+Application BuildAdi(const WorkloadScale& s);
+Application BuildLu(const WorkloadScale& s);
+Application Build2mm(const WorkloadScale& s);
+Application BuildGemm(const WorkloadScale& s);
+Application BuildAtax(const WorkloadScale& s);
+Application BuildMvt(const WorkloadScale& s);
+
+// Mars.
+Application BuildStringMatch(const WorkloadScale& s);  // "SM"
+Application BuildInvertedIndex(const WorkloadScale& s);  // "II"
+
+// Tango.
+Application BuildGru(const WorkloadScale& s);
+Application BuildLstm(const WorkloadScale& s);
+
+// Pannotia.
+Application BuildPagerank(const WorkloadScale& s);
+Application BuildSssp(const WorkloadScale& s);
+
+}  // namespace swiftsim::workloads

@@ -1,0 +1,206 @@
+#include "trace/accelsim_import.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/status.h"
+
+namespace swiftsim {
+namespace {
+
+constexpr const char* kHeader =
+    "-kernel name = vecadd\n"
+    "-kernel id = 3\n"
+    "-grid dim = (4,2,1)\n"
+    "-block dim = (64,1,1)\n"
+    "-shmem = 1024\n"
+    "-nregs = 24\n";
+
+std::shared_ptr<KernelTrace> Parse(const std::string& text) {
+  std::stringstream ss(text);
+  return ImportAccelSimKernel(ss);
+}
+
+TEST(AccelSimImport, HeaderFields) {
+  const auto k = Parse(std::string(kHeader) +
+                       "#BEGIN_TB\n"
+                       "thread block = 0,0,0\n"
+                       "warp = 0\n"
+                       "insts = 1\n"
+                       "0100 ffffffff 0 EXIT 0 0\n"
+                       "warp = 1\n"
+                       "insts = 1\n"
+                       "0100 ffffffff 0 EXIT 0 0\n"
+                       "#END_TB\n");
+  const KernelInfo& info = k->info();
+  EXPECT_EQ(info.name, "vecadd");
+  EXPECT_EQ(info.id, 3u);
+  EXPECT_EQ(info.num_ctas, 8u);         // 4*2*1
+  EXPECT_EQ(info.threads_per_cta, 64u);
+  EXPECT_EQ(info.warps_per_cta, 2u);
+  EXPECT_EQ(info.smem_bytes_per_cta, 1024u);
+  EXPECT_EQ(info.regs_per_thread, 24u);
+}
+
+TEST(AccelSimImport, InstructionFields) {
+  const auto k = Parse(std::string(kHeader) +
+                       "#BEGIN_TB\n"
+                       "thread block = 0,0,0\n"
+                       "warp = 0\n"
+                       "insts = 3\n"
+                       "0008 ffffffff 1 R4 IMAD.WIDE 2 R2 R3 0\n"
+                       "0010 0000ffff 1 R5 FFMA 3 R4 R4 R5 0\n"
+                       "0018 ffffffff 0 EXIT 0 0\n"
+                       "warp = 1\n"
+                       "insts = 1\n"
+                       "0100 ffffffff 0 EXIT 0 0\n"
+                       "#END_TB\n");
+  const WarpTrace& w = k->variant(0).warps[0];
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0].pc, 0x8u);
+  EXPECT_EQ(w[0].op, Opcode::kIMad);  // mods stripped
+  EXPECT_EQ(w[0].dst, 4);
+  EXPECT_EQ(w[0].src[0], 2);
+  EXPECT_EQ(w[0].src[1], 3);
+  EXPECT_EQ(w[1].active, 0x0000ffffu);
+  EXPECT_EQ(w[1].op, Opcode::kFFma);
+  EXPECT_TRUE(IsExit(w[2].op));
+}
+
+TEST(AccelSimImport, AddressModeList) {
+  const auto k = Parse(std::string(kHeader) +
+                       "#BEGIN_TB\n"
+                       "thread block = 0,0,0\n"
+                       "warp = 0\n"
+                       "insts = 2\n"
+                       "0008 00000003 1 R5 LDG.E 1 R4 4 0 0x1000 0x2000\n"
+                       "0010 ffffffff 0 EXIT 0 0\n"
+                       "warp = 1\n"
+                       "insts = 1\n"
+                       "0100 ffffffff 0 EXIT 0 0\n"
+                       "#END_TB\n");
+  const TraceInstr& ld = k->variant(0).warps[0][0];
+  EXPECT_EQ(ld.op, Opcode::kLdGlobal);
+  ASSERT_EQ(ld.addrs.size(), 2u);  // two active lanes
+  EXPECT_EQ(ld.addrs[0], 0x1000u);
+  EXPECT_EQ(ld.addrs[1], 0x2000u);
+}
+
+TEST(AccelSimImport, AddressModeBaseStride) {
+  const auto k = Parse(std::string(kHeader) +
+                       "#BEGIN_TB\n"
+                       "thread block = 0,0,0\n"
+                       "warp = 0\n"
+                       "insts = 2\n"
+                       "0008 ffffffff 1 R5 LDG.E 1 R4 4 1 0x1000 4\n"
+                       "0010 ffffffff 0 EXIT 0 0\n"
+                       "warp = 1\n"
+                       "insts = 1\n"
+                       "0100 ffffffff 0 EXIT 0 0\n"
+                       "#END_TB\n");
+  const TraceInstr& ld = k->variant(0).warps[0][0];
+  ASSERT_EQ(ld.addrs.size(), 32u);
+  EXPECT_EQ(ld.addrs[0], 0x1000u);
+  EXPECT_EQ(ld.addrs[31], 0x1000u + 31 * 4);
+}
+
+TEST(AccelSimImport, AddressModeBaseDeltas) {
+  const auto k = Parse(std::string(kHeader) +
+                       "#BEGIN_TB\n"
+                       "thread block = 0,0,0\n"
+                       "warp = 0\n"
+                       "insts = 2\n"
+                       "0008 00000007 1 R5 LDG.E 1 R4 4 2 0x2000 16 -8\n"
+                       "0010 ffffffff 0 EXIT 0 0\n"
+                       "warp = 1\n"
+                       "insts = 1\n"
+                       "0100 ffffffff 0 EXIT 0 0\n"
+                       "#END_TB\n");
+  const TraceInstr& ld = k->variant(0).warps[0][0];
+  ASSERT_EQ(ld.addrs.size(), 3u);
+  EXPECT_EQ(ld.addrs[0], 0x2000u);
+  EXPECT_EQ(ld.addrs[1], 0x2010u);
+  EXPECT_EQ(ld.addrs[2], 0x2008u);
+}
+
+TEST(AccelSimImport, MissingExitIsAppended) {
+  const auto k = Parse(std::string(kHeader) +
+                       "#BEGIN_TB\n"
+                       "thread block = 0,0,0\n"
+                       "warp = 0\n"
+                       "insts = 1\n"
+                       "0008 ffffffff 1 R4 IADD 1 R2 0\n"
+                       "warp = 1\n"
+                       "insts = 0\n"
+                       "#END_TB\n");
+  EXPECT_TRUE(IsExit(k->variant(0).warps[0].back().op));
+  EXPECT_TRUE(IsExit(k->variant(0).warps[1].back().op));
+  EXPECT_NO_THROW(k->ValidateTrace());
+}
+
+TEST(AccelSimImport, RzMapsToNoDependency) {
+  const auto k = Parse(std::string(kHeader) +
+                       "#BEGIN_TB\n"
+                       "thread block = 0,0,0\n"
+                       "warp = 0\n"
+                       "insts = 2\n"
+                       "0008 ffffffff 1 R4 IADD 2 RZ R2 0\n"
+                       "0010 ffffffff 0 EXIT 0 0\n"
+                       "warp = 1\n"
+                       "insts = 1\n"
+                       "0100 ffffffff 0 EXIT 0 0\n"
+                       "#END_TB\n");
+  EXPECT_EQ(k->variant(0).warps[0][0].src[0], kNoReg);
+  EXPECT_EQ(k->variant(0).warps[0][0].src[1], 2);
+}
+
+TEST(AccelSimImport, SassMapping) {
+  EXPECT_EQ(MapSassOpcode("FFMA"), Opcode::kFFma);
+  EXPECT_EQ(MapSassOpcode("IMAD"), Opcode::kIMad);
+  EXPECT_EQ(MapSassOpcode("MUFU"), Opcode::kRsqrt);
+  EXPECT_EQ(MapSassOpcode("HMMA"), Opcode::kHmma);
+  EXPECT_EQ(MapSassOpcode("LDG"), Opcode::kLdGlobal);
+  EXPECT_EQ(MapSassOpcode("BAR"), Opcode::kBarSync);
+  EXPECT_EQ(MapSassOpcode("TOTALLYNEW"), Opcode::kIAdd);  // conservative
+}
+
+TEST(AccelSimImport, ErrorsCarryLineNumbers) {
+  try {
+    Parse(std::string(kHeader) +
+          "#BEGIN_TB\n"
+          "thread block = 0,0,0\n"
+          "warp = 0\n"
+          "insts = 1\n"
+          "0008 00000000 0 EXIT 0 0\n"  // empty mask
+          "#END_TB\n");
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 11"), std::string::npos);
+  }
+}
+
+TEST(AccelSimImport, RejectsMissingHeaders) {
+  EXPECT_THROW(Parse("-kernel name = x\n#BEGIN_TB\n"), SimError);
+}
+
+TEST(AccelSimImport, MultipleThreadBlocksBecomeVariants) {
+  const auto k = Parse(std::string(kHeader) +
+                       "#BEGIN_TB\n"
+                       "thread block = 0,0,0\n"
+                       "warp = 0\ninsts = 1\n0008 ffffffff 0 EXIT 0 0\n"
+                       "warp = 1\ninsts = 1\n0008 ffffffff 0 EXIT 0 0\n"
+                       "#END_TB\n"
+                       "#BEGIN_TB\n"
+                       "thread block = 1,0,0\n"
+                       "warp = 0\ninsts = 2\n"
+                       "0008 ffffffff 1 R4 IADD 1 R2 0\n"
+                       "0010 ffffffff 0 EXIT 0 0\n"
+                       "warp = 1\ninsts = 1\n0008 ffffffff 0 EXIT 0 0\n"
+                       "#END_TB\n");
+  EXPECT_EQ(k->num_variants(), 2u);
+  EXPECT_EQ(k->variant(1).warps[0].size(), 2u);
+}
+
+}  // namespace
+}  // namespace swiftsim

@@ -1,0 +1,64 @@
+#include "mem/addrmap.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace swiftsim {
+namespace {
+
+TEST(AddrMap, Deterministic) {
+  AddrMap map(22, 128);
+  for (Addr a = 0; a < 100 * 128; a += 128) {
+    EXPECT_EQ(map.PartitionOf(a), map.PartitionOf(a));
+  }
+}
+
+TEST(AddrMap, InRange) {
+  AddrMap map(22, 128);
+  for (Addr a = 0; a < 1000 * 128; a += 128) {
+    EXPECT_LT(map.PartitionOf(a), 22u);
+  }
+}
+
+TEST(AddrMap, SameLineSamePartition) {
+  AddrMap map(22, 128);
+  EXPECT_EQ(map.PartitionOf(0x1000), map.PartitionOf(0x1000));
+  // Addresses within a line (after alignment) map identically.
+  EXPECT_EQ(map.PartitionOf(0x1000), map.PartitionOf(0x1000 + 127 - 127));
+}
+
+TEST(AddrMap, SequentialLinesSpreadEvenly) {
+  AddrMap map(22, 128);
+  std::vector<unsigned> counts(22, 0);
+  const unsigned n = 22000;
+  for (unsigned i = 0; i < n; ++i) {
+    ++counts[map.PartitionOf(static_cast<Addr>(i) * 128)];
+  }
+  for (unsigned c : counts) {
+    EXPECT_GT(c, n / 22 * 8 / 10);
+    EXPECT_LT(c, n / 22 * 12 / 10);
+  }
+}
+
+TEST(AddrMap, PowerOfTwoStridesDoNotCamp) {
+  // The hash must decorrelate 4KB-strided lines (the classic pathology of
+  // modulo-only mapping).
+  AddrMap map(22, 128);
+  std::vector<unsigned> counts(22, 0);
+  const unsigned n = 4400;
+  for (unsigned i = 0; i < n; ++i) {
+    ++counts[map.PartitionOf(static_cast<Addr>(i) * 4096)];
+  }
+  for (unsigned c : counts) {
+    EXPECT_GT(c, n / 22 / 2);
+  }
+}
+
+TEST(AddrMap, RejectsBadConstruction) {
+  EXPECT_THROW(AddrMap(0, 128), SimError);
+  EXPECT_THROW(AddrMap(22, 100), SimError);  // non-pow2 line
+}
+
+}  // namespace
+}  // namespace swiftsim

@@ -1,0 +1,72 @@
+#include "core/barrier.h"
+
+#include <gtest/gtest.h>
+
+namespace swiftsim {
+namespace {
+
+TEST(Barrier, LastArrivalReleases) {
+  BarrierManager bm(4);
+  bm.InitCta(0, 3);
+  EXPECT_FALSE(bm.Arrive(0));
+  EXPECT_EQ(bm.waiting(0), 1u);
+  EXPECT_FALSE(bm.Arrive(0));
+  EXPECT_TRUE(bm.Arrive(0));  // third arrival releases
+  EXPECT_EQ(bm.waiting(0), 0u);
+}
+
+TEST(Barrier, ReusableAcrossGenerations) {
+  BarrierManager bm(2);
+  bm.InitCta(1, 2);
+  EXPECT_FALSE(bm.Arrive(1));
+  EXPECT_TRUE(bm.Arrive(1));
+  // Second barrier round works identically.
+  EXPECT_FALSE(bm.Arrive(1));
+  EXPECT_TRUE(bm.Arrive(1));
+}
+
+TEST(Barrier, SingleWarpCtaReleasesImmediately) {
+  BarrierManager bm(1);
+  bm.InitCta(0, 1);
+  EXPECT_TRUE(bm.Arrive(0));
+}
+
+TEST(Barrier, WarpExitShrinksParticipation) {
+  BarrierManager bm(1);
+  bm.InitCta(0, 3);
+  EXPECT_FALSE(bm.Arrive(0));      // 1 of 3
+  EXPECT_FALSE(bm.OnWarpExit(0));  // 1 of 2 still short
+  EXPECT_TRUE(bm.Arrive(0));       // 2 of 2 releases
+}
+
+TEST(Barrier, ExitOfLastMissingWarpReleases) {
+  BarrierManager bm(1);
+  bm.InitCta(0, 3);
+  EXPECT_FALSE(bm.Arrive(0));
+  EXPECT_FALSE(bm.Arrive(0));      // 2 of 3 waiting
+  EXPECT_TRUE(bm.OnWarpExit(0));   // the third exits: release the two
+}
+
+TEST(Barrier, IndependentCtaSlots) {
+  BarrierManager bm(2);
+  bm.InitCta(0, 2);
+  bm.InitCta(1, 2);
+  EXPECT_FALSE(bm.Arrive(0));
+  EXPECT_FALSE(bm.Arrive(1));
+  EXPECT_TRUE(bm.Arrive(1));
+  EXPECT_EQ(bm.waiting(0), 1u);  // slot 0 untouched by slot 1's release
+}
+
+TEST(Barrier, SlotReuseAfterInit) {
+  BarrierManager bm(1);
+  bm.InitCta(0, 2);
+  EXPECT_FALSE(bm.Arrive(0));
+  bm.InitCta(0, 3);  // new CTA in the same slot
+  EXPECT_EQ(bm.waiting(0), 0u);
+  EXPECT_FALSE(bm.Arrive(0));
+  EXPECT_FALSE(bm.Arrive(0));
+  EXPECT_TRUE(bm.Arrive(0));
+}
+
+}  // namespace
+}  // namespace swiftsim

@@ -1,0 +1,58 @@
+#include "common/bitutil.h"
+
+#include <gtest/gtest.h>
+
+namespace swiftsim {
+namespace {
+
+TEST(BitUtil, IsPow2) {
+  EXPECT_FALSE(IsPow2(0));
+  EXPECT_TRUE(IsPow2(1));
+  EXPECT_TRUE(IsPow2(2));
+  EXPECT_FALSE(IsPow2(3));
+  EXPECT_TRUE(IsPow2(1ull << 63));
+  EXPECT_FALSE(IsPow2((1ull << 63) + 1));
+}
+
+TEST(BitUtil, Log2) {
+  EXPECT_EQ(Log2(1), 0u);
+  EXPECT_EQ(Log2(2), 1u);
+  EXPECT_EQ(Log2(128), 7u);
+  EXPECT_EQ(Log2(1ull << 40), 40u);
+}
+
+TEST(BitUtil, AlignUpDown) {
+  EXPECT_EQ(AlignUp(0, 128), 0u);
+  EXPECT_EQ(AlignUp(1, 128), 128u);
+  EXPECT_EQ(AlignUp(128, 128), 128u);
+  EXPECT_EQ(AlignDown(127, 128), 0u);
+  EXPECT_EQ(AlignDown(128, 128), 128u);
+  EXPECT_EQ(AlignDown(255, 128), 128u);
+}
+
+TEST(BitUtil, PopCount) {
+  EXPECT_EQ(PopCount(0), 0u);
+  EXPECT_EQ(PopCount(0xff), 8u);
+  EXPECT_EQ(PopCount(~0ull), 64u);
+}
+
+TEST(BitUtil, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4), 0u);
+  EXPECT_EQ(CeilDiv(1, 4), 1u);
+  EXPECT_EQ(CeilDiv(4, 4), 1u);
+  EXPECT_EQ(CeilDiv(5, 4), 2u);
+}
+
+TEST(BitUtil, HashMixSpreads) {
+  // Consecutive inputs should differ in many bits.
+  unsigned weak = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const auto d = HashMix(i) ^ HashMix(i + 1);
+    if (PopCount(d) < 16) ++weak;
+  }
+  EXPECT_LT(weak, 5u);
+  EXPECT_EQ(HashMix(12345), HashMix(12345));  // deterministic
+}
+
+}  // namespace
+}  // namespace swiftsim

@@ -1,0 +1,98 @@
+#include "sim/block_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "config/presets.h"
+#include "workloads/workload.h"
+
+namespace swiftsim {
+namespace {
+
+GpuConfig SmallGpu() {
+  GpuConfig cfg = Rtx2080TiConfig();
+  cfg.num_sms = 4;
+  return cfg;
+}
+
+std::vector<std::unique_ptr<SmCore>> MakeSms(const GpuConfig& cfg,
+                                             BlockScheduler* sched) {
+  const ModelSelection sel = SelectionFor(SimLevel::kSwiftSimBasic);
+  std::vector<std::unique_ptr<SmCore>> sms;
+  for (unsigned s = 0; s < cfg.num_sms; ++s) {
+    sms.push_back(std::make_unique<SmCore>(
+        cfg, sel, s, nullptr, [sched](SmId) { sched->OnCtaComplete(); }));
+  }
+  return sms;
+}
+
+std::shared_ptr<KernelTrace> FirstKernel(const std::string& name,
+                                         double scale = 0.05) {
+  WorkloadScale s;
+  s.scale = scale;
+  return BuildWorkload(name, s).kernels[0];
+}
+
+TEST(BlockScheduler, BreadthFirstDistribution) {
+  const GpuConfig cfg = SmallGpu();
+  BlockScheduler sched;
+  auto sms = MakeSms(cfg, &sched);
+  const auto kernel = FirstKernel("GEMM");
+  sched.StartKernel(kernel.get());
+  const unsigned launched = sched.AssignPending(sms);
+  EXPECT_GT(launched, 0u);
+  // Breadth-first: with >= num_sms CTAs, every SM gets at least one.
+  if (kernel->info().num_ctas >= cfg.num_sms) {
+    for (const auto& sm : sms) {
+      EXPECT_GE(sm->allocator().resident_ctas(), 1u) << sm->id();
+    }
+    // And the spread is even (within one CTA).
+    unsigned lo = ~0u, hi = 0;
+    for (const auto& sm : sms) {
+      lo = std::min(lo, sm->allocator().resident_ctas());
+      hi = std::max(hi, sm->allocator().resident_ctas());
+    }
+    EXPECT_LE(hi - lo, 1u);
+  }
+}
+
+TEST(BlockScheduler, TracksLaunchedAndCompleted) {
+  const GpuConfig cfg = SmallGpu();
+  BlockScheduler sched;
+  auto sms = MakeSms(cfg, &sched);
+  const auto kernel = FirstKernel("SM");
+  sched.StartKernel(kernel.get());
+  EXPECT_FALSE(sched.Done());
+  sched.AssignPending(sms);
+  EXPECT_GT(sched.launched(), 0u);
+  EXPECT_EQ(sched.completed(), 0u);
+}
+
+TEST(BlockScheduler, SecondKernelRequiresFirstDone) {
+  BlockScheduler sched;
+  const auto kernel = FirstKernel("SM");
+  sched.StartKernel(kernel.get());
+  EXPECT_THROW(sched.StartKernel(kernel.get()), SimError);
+}
+
+TEST(BlockScheduler, AssignStopsWhenSmsFull) {
+  const GpuConfig cfg = SmallGpu();
+  BlockScheduler sched;
+  auto sms = MakeSms(cfg, &sched);
+  // 4 SMs hold at most 16 of these CTAs at once; launch far more.
+  const auto kernel = FirstKernel("GEMM", 0.5);
+  ASSERT_GT(kernel->info().num_ctas, 16u);
+  sched.StartKernel(kernel.get());
+  sched.AssignPending(sms);
+  // Nothing more fits right now: a second call launches nothing.
+  EXPECT_EQ(sched.AssignPending(sms), 0u);
+  EXPECT_FALSE(sched.AllLaunched());
+}
+
+TEST(BlockScheduler, EmptySchedulerIsDone) {
+  BlockScheduler sched;
+  EXPECT_TRUE(sched.Done());
+  EXPECT_TRUE(sched.AllLaunched());
+}
+
+}  // namespace
+}  // namespace swiftsim

@@ -1,0 +1,239 @@
+#include "mem/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace swiftsim {
+namespace {
+
+CacheParams TinyL1() {
+  CacheParams p;
+  p.size_bytes = 4 * 128 * 2;  // 4 sets x 2 ways
+  p.assoc = 2;
+  p.line_bytes = 128;
+  p.sector_bytes = 32;
+  p.banks = 2;
+  p.mshr_entries = 4;
+  p.mshr_max_merge = 2;
+  p.write_policy = WritePolicy::kWriteThrough;
+  p.streaming = true;
+  p.latency = 4;
+  return p;
+}
+
+CacheParams TinyL2() {
+  CacheParams p = TinyL1();
+  p.write_policy = WritePolicy::kWriteBack;
+  p.streaming = false;
+  return p;
+}
+
+MemRequest Load(Addr line, std::uint32_t sectors, std::uint64_t id) {
+  MemRequest r;
+  r.line_addr = line;
+  r.sector_mask = sectors;
+  r.id = id;
+  return r;
+}
+
+MemRequest Store(Addr line, std::uint32_t sectors) {
+  MemRequest r;
+  r.line_addr = line;
+  r.sector_mask = sectors;
+  r.type = MemAccessType::kStore;
+  return r;
+}
+
+/// Drives the cache `n` cycles forward collecting responses.
+std::vector<MemResponse> Drain(SectorCache& c, Cycle& now, unsigned n) {
+  std::vector<MemResponse> out;
+  for (unsigned i = 0; i < n; ++i) {
+    c.BeginCycle(++now);
+    while (!c.responses().empty()) {
+      out.push_back(c.responses().front());
+      c.responses().pop_front();
+    }
+  }
+  return out;
+}
+
+TEST(SectorCache, MissForwardsThenFillRespondsThenHits) {
+  SectorCache cache("t", TinyL1(), 1);
+  Cycle now = 0;
+  cache.BeginCycle(now);
+  ASSERT_TRUE(cache.Access(Load(0x1000, 0x3, 42), now));
+  EXPECT_EQ(cache.stats().misses, 1u);
+  ASSERT_EQ(cache.miss_queue().size(), 1u);
+  const MemRequest down = cache.miss_queue().front();
+  cache.miss_queue().pop_front();
+  EXPECT_EQ(down.line_addr, 0x1000u);
+  EXPECT_EQ(down.sector_mask, 0x3u);
+  EXPECT_NE(down.id, 42u);  // cache mints its own downstream id
+
+  cache.Fill(MemResponse{down.id, 0x1000, 0x3, 0}, now);
+  const auto resp = Drain(cache, now, 3);
+  ASSERT_EQ(resp.size(), 1u);
+  EXPECT_EQ(resp[0].id, 42u);
+
+  // Subsequent access hits with the configured latency.
+  ASSERT_TRUE(cache.Access(Load(0x1000, 0x3, 43), now));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  auto hit = Drain(cache, now, TinyL1().latency + 1);
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_EQ(hit[0].id, 43u);
+}
+
+TEST(SectorCache, HitLatencyIsExact) {
+  SectorCache cache("t", TinyL1(), 1);
+  Cycle now = 0;
+  cache.BeginCycle(now);
+  cache.Access(Load(0x1000, 0x1, 1), now);
+  cache.Fill(MemResponse{cache.miss_queue().front().id, 0x1000, 0x1, 0},
+             now);
+  cache.miss_queue().clear();
+  Drain(cache, now, 2);
+
+  const Cycle issue = now;
+  cache.Access(Load(0x1000, 0x1, 9), now);
+  // Not ready one cycle early.
+  for (Cycle c = issue + 1; c < issue + TinyL1().latency; ++c) {
+    cache.BeginCycle(c);
+    EXPECT_TRUE(cache.responses().empty()) << c;
+  }
+  cache.BeginCycle(issue + TinyL1().latency);
+  ASSERT_EQ(cache.responses().size(), 1u);
+}
+
+TEST(SectorCache, MshrMergesSecondMissSameLine) {
+  SectorCache cache("t", TinyL1(), 1);
+  Cycle now = 0;
+  cache.BeginCycle(now);
+  ASSERT_TRUE(cache.Access(Load(0x1000, 0x1, 1), now));
+  cache.BeginCycle(++now);
+  ASSERT_TRUE(cache.Access(Load(0x1000, 0x1, 2), now));
+  EXPECT_EQ(cache.stats().mshr_merges, 1u);
+  // Only ONE downstream request (the second merged).
+  EXPECT_EQ(cache.miss_queue().size(), 1u);
+  cache.Fill(MemResponse{cache.miss_queue().front().id, 0x1000, 0x1, 0},
+             now);
+  const auto resp = Drain(cache, now, 3);
+  EXPECT_EQ(resp.size(), 2u);  // both waiters woken
+}
+
+TEST(SectorCache, MergeLimitRejects) {
+  SectorCache cache("t", TinyL1(), 1);  // merge limit 2
+  Cycle now = 0;
+  cache.BeginCycle(now);
+  ASSERT_TRUE(cache.Access(Load(0x1000, 0x1, 1), now));
+  cache.BeginCycle(++now);
+  ASSERT_TRUE(cache.Access(Load(0x1000, 0x1, 2), now));
+  cache.BeginCycle(++now);
+  EXPECT_FALSE(cache.Access(Load(0x1000, 0x1, 3), now));
+  EXPECT_EQ(cache.stats().mshr_stalls, 1u);
+}
+
+TEST(SectorCache, BankConflictLimitsPerCycleAccesses) {
+  SectorCache cache("t", TinyL1(), 1);  // 2 banks
+  Cycle now = 0;
+  cache.BeginCycle(now);
+  // Lines 0x0000 and 0x0100 map to banks 0 and... line/128 % 2.
+  ASSERT_TRUE(cache.Access(Load(0x0000, 0x1, 1), now));
+  EXPECT_FALSE(cache.Access(Load(0x0200, 0x1, 2), now));  // same bank
+  EXPECT_EQ(cache.stats().bank_conflicts, 1u);
+  ASSERT_TRUE(cache.Access(Load(0x0080, 0x1, 3), now));  // other bank
+  // Next cycle the bank is free again.
+  cache.BeginCycle(++now);
+  EXPECT_TRUE(cache.Access(Load(0x0200, 0x1, 2), now));
+}
+
+TEST(SectorCache, WriteThroughForwardsStores) {
+  SectorCache cache("t", TinyL1(), 1);
+  Cycle now = 0;
+  cache.BeginCycle(now);
+  ASSERT_TRUE(cache.Access(Store(0x1000, 0x3), now));
+  EXPECT_EQ(cache.stats().write_through, 1u);
+  ASSERT_EQ(cache.miss_queue().size(), 1u);
+  EXPECT_TRUE(cache.miss_queue().front().is_store());
+  EXPECT_EQ(cache.miss_queue().front().id, 0u);  // fire-and-forget
+}
+
+TEST(SectorCache, WriteBackDirtyEvictionEmitsWriteback) {
+  SectorCache cache("t", TinyL2(), 1);
+  Cycle now = 0;
+  cache.BeginCycle(now);
+  // Three stores to the same 2-way set (set 0): third evicts a dirty line.
+  ASSERT_TRUE(cache.Access(Store(0x0000, 0x1), now));
+  cache.BeginCycle(++now);
+  ASSERT_TRUE(cache.Access(Store(0x0400, 0x1), now));
+  cache.BeginCycle(++now);
+  ASSERT_TRUE(cache.Access(Store(0x0800, 0x1), now));
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+  ASSERT_FALSE(cache.miss_queue().empty());
+  EXPECT_TRUE(cache.miss_queue().front().is_store());
+}
+
+TEST(SectorCache, WriteBackStoreHitNoTraffic) {
+  SectorCache cache("t", TinyL2(), 1);
+  Cycle now = 0;
+  cache.BeginCycle(now);
+  ASSERT_TRUE(cache.Access(Store(0x1000, 0x1), now));
+  cache.BeginCycle(++now);
+  ASSERT_TRUE(cache.Access(Store(0x1000, 0x2), now));
+  EXPECT_TRUE(cache.miss_queue().empty());  // absorbed, dirty in place
+}
+
+TEST(SectorCache, NonStreamingReservationFailure) {
+  CacheParams p = TinyL2();
+  p.mshr_entries = 16;
+  p.mshr_max_merge = 8;
+  SectorCache cache("t", p, 1);
+  Cycle now = 0;
+  // Two outstanding misses reserve both ways of set 0; a third line in the
+  // same set must be rejected with a reservation failure.
+  cache.BeginCycle(now);
+  ASSERT_TRUE(cache.Access(Load(0x0000, 0x1, 1), now));
+  cache.BeginCycle(++now);
+  ASSERT_TRUE(cache.Access(Load(0x0400, 0x1, 2), now));
+  cache.BeginCycle(++now);
+  EXPECT_FALSE(cache.Access(Load(0x0800, 0x1, 3), now));
+  EXPECT_EQ(cache.stats().reservation_fails, 1u);
+}
+
+TEST(SectorCache, StreamingNeverReservationFails) {
+  SectorCache cache("t", TinyL1(), 1);
+  Cycle now = 0;
+  // Three misses to the same 2-way set all accepted (allocate-on-fill).
+  for (Addr line : {0x0000ull, 0x0400ull, 0x0800ull}) {
+    cache.BeginCycle(++now);
+    ASSERT_TRUE(cache.Access(Load(line, 0x1, line + 1), now));
+  }
+  EXPECT_EQ(cache.stats().reservation_fails, 0u);
+  EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST(SectorCache, OutputBackpressureRejects) {
+  CacheParams p = TinyL1();
+  SectorCache cache("t", p, 1, /*out_capacity=*/1);
+  Cycle now = 0;
+  cache.BeginCycle(now);
+  ASSERT_TRUE(cache.Access(Load(0x0000, 0x1, 1), now));
+  cache.BeginCycle(++now);
+  EXPECT_FALSE(cache.Access(Load(0x1000, 0x1, 2), now));
+  EXPECT_EQ(cache.stats().out_stalls, 1u);
+}
+
+TEST(SectorCache, QuiescentLifecycle) {
+  SectorCache cache("t", TinyL1(), 1);
+  Cycle now = 0;
+  cache.BeginCycle(now);
+  EXPECT_TRUE(cache.quiescent());
+  cache.Access(Load(0x1000, 0x1, 1), now);
+  EXPECT_FALSE(cache.quiescent());
+  const auto id = cache.miss_queue().front().id;
+  cache.miss_queue().clear();
+  cache.Fill(MemResponse{id, 0x1000, 0x1, 0}, now);
+  Drain(cache, now, 3);
+  EXPECT_TRUE(cache.quiescent());
+}
+
+}  // namespace
+}  // namespace swiftsim

@@ -1,0 +1,164 @@
+// Property tests relating the timing cache to the functional cache and
+// sweeping cache geometries (parameterized gtest).
+#include <gtest/gtest.h>
+
+#include "analytical/functional_cache.h"
+#include "common/rng.h"
+#include "mem/cache.h"
+
+namespace swiftsim {
+namespace {
+
+CacheParams Geometry(std::uint64_t size, unsigned assoc, bool streaming) {
+  CacheParams p;
+  p.size_bytes = size;
+  p.assoc = assoc;
+  p.line_bytes = 128;
+  p.sector_bytes = 32;
+  p.banks = 4;
+  p.mshr_entries = 64;
+  p.mshr_max_merge = 8;
+  p.write_policy = WritePolicy::kWriteThrough;
+  p.streaming = streaming;
+  p.latency = 4;
+  return p;
+}
+
+/// Drives the timing cache with instantly-served fills so its steady-state
+/// hit behavior is comparable to the functional model.
+class InstantCache {
+ public:
+  explicit InstantCache(const CacheParams& p) : cache_("p", p, 0) {}
+
+  bool AccessLoad(Addr line, std::uint32_t sectors) {
+    cache_.BeginCycle(++now_);
+    MemRequest req;
+    req.line_addr = line;
+    req.sector_mask = sectors;
+    req.id = ++id_;
+    // Retry until accepted (bank budget resets each cycle).
+    while (!cache_.Access(req, now_)) cache_.BeginCycle(++now_);
+    const bool hit = cache_.stats().hits > hits_before_;
+    hits_before_ = cache_.stats().hits;
+    // Serve any miss instantly.
+    auto& mq = cache_.miss_queue();
+    while (!mq.empty()) {
+      const MemRequest& down = mq.front();
+      if (!down.is_store()) {
+        cache_.Fill(MemResponse{down.id, down.line_addr, down.sector_mask,
+                                down.sm},
+                    now_);
+      }
+      mq.pop_front();
+    }
+    // Drain responses so quiescence holds.
+    cache_.BeginCycle(now_ + 5);
+    now_ += 5;
+    cache_.responses().clear();
+    return hit;
+  }
+
+  const CacheStats& stats() const { return cache_.stats(); }
+
+ private:
+  SectorCache cache_;
+  Cycle now_ = 0;
+  std::uint64_t id_ = 0;
+  std::uint64_t hits_before_ = 0;
+};
+
+struct GeomCase {
+  std::uint64_t size;
+  unsigned assoc;
+  bool streaming;
+};
+
+class CacheEquivalence : public ::testing::TestWithParam<GeomCase> {};
+
+TEST_P(CacheEquivalence, TimingCacheMatchesFunctionalWithInstantFills) {
+  // With fills served instantly, every access sequence must produce the
+  // same hit/miss decisions in the timing cache (LRU) and the functional
+  // cache — they implement the same replacement policy.
+  const GeomCase g = GetParam();
+  InstantCache timing(Geometry(g.size, g.assoc, g.streaming));
+  FunctionalCache functional(Geometry(g.size, g.assoc, g.streaming));
+  Rng rng(42);
+  unsigned disagreements = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const Addr line = rng.Below(256) * 128;
+    const std::uint32_t sectors = 1u << rng.Below(4);
+    const bool t = timing.AccessLoad(line, sectors);
+    const bool f = functional.AccessLoad(line, sectors);
+    if (t != f) ++disagreements;
+  }
+  EXPECT_EQ(disagreements, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheEquivalence,
+    ::testing::Values(GeomCase{8 * 1024, 2, true},
+                      GeomCase{8 * 1024, 2, false},
+                      GeomCase{16 * 1024, 4, true},
+                      GeomCase{32 * 1024, 8, false},
+                      GeomCase{64 * 1024, 4, true}),
+    [](const auto& info) {
+      return std::to_string(info.param.size / 1024) + "k_a" +
+             std::to_string(info.param.assoc) +
+             (info.param.streaming ? "_stream" : "_resv");
+    });
+
+class CacheSizeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CacheSizeSweep, HitRateGrowsWithCapacityUnderReuse) {
+  // Cyclic sweep over a 32KB footprint: hit rate must be monotone in
+  // cache size (LRU inclusion property at fixed associativity geometry).
+  InstantCache cache(Geometry(GetParam(), 4, true));
+  for (int round = 0; round < 6; ++round) {
+    for (Addr line = 0; line < 32 * 1024; line += 128) {
+      cache.AccessLoad(line, 0xF);
+    }
+  }
+  const double rate =
+      static_cast<double>(cache.stats().hits) / cache.stats().load_accesses;
+  // Store for cross-param comparison via a static map.
+  static std::map<std::uint64_t, double>* rates =
+      new std::map<std::uint64_t, double>();
+  (*rates)[GetParam()] = rate;
+  for (const auto& [size, r] : *rates) {
+    if (size < GetParam()) {
+      EXPECT_LE(r, rate + 1e-9) << size;
+    }
+    if (size > GetParam()) {
+      EXPECT_GE(r, rate - 1e-9) << size;
+    }
+  }
+  // A cache at least as large as the footprint keeps everything.
+  if (GetParam() >= 32 * 1024) {
+    EXPECT_GT(rate, 0.8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CacheSizeSweep,
+                         ::testing::Values(4 * 1024, 8 * 1024, 16 * 1024,
+                                           32 * 1024, 64 * 1024),
+                         [](const auto& info) {
+                           return std::to_string(info.param / 1024) + "k";
+                         });
+
+TEST(CacheProperties, SectorRequestsNeverExceedLineFootprint) {
+  // Streaming cache, random sector masks: resident sectors never report
+  // hits they were not filled for (no phantom data).
+  InstantCache cache(Geometry(8 * 1024, 2, true));
+  FunctionalCache shadow(Geometry(8 * 1024, 2, true));
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const Addr line = rng.Below(128) * 128;
+    const std::uint32_t sectors = static_cast<std::uint32_t>(
+        1 + rng.Below(15));
+    EXPECT_EQ(cache.AccessLoad(line, sectors),
+              shadow.AccessLoad(line, sectors));
+  }
+}
+
+}  // namespace
+}  // namespace swiftsim

@@ -1,0 +1,88 @@
+#include "mem/coalescer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.h"
+
+namespace swiftsim {
+namespace {
+
+std::vector<Addr> LaneAddrs(Addr base, std::uint64_t stride, unsigned n = 32) {
+  std::vector<Addr> a;
+  for (unsigned i = 0; i < n; ++i) a.push_back(base + i * stride);
+  return a;
+}
+
+TEST(Coalescer, FullyCoalescedIsOneLine) {
+  const auto acc = Coalesce(LaneAddrs(0x1000, 4), 4, 128, 32);
+  ASSERT_EQ(acc.size(), 1u);
+  EXPECT_EQ(acc[0].line_addr, 0x1000u);
+  EXPECT_EQ(acc[0].sector_mask, 0xFu);  // all four sectors
+}
+
+TEST(Coalescer, HalfWarpTouchesTwoSectors) {
+  const auto acc = Coalesce(LaneAddrs(0x1000, 4, 16), 4, 128, 32);
+  ASSERT_EQ(acc.size(), 1u);
+  EXPECT_EQ(acc[0].sector_mask, 0x3u);  // 64 bytes = sectors 0 and 1
+}
+
+TEST(Coalescer, EightByteElementsSpanTwoLines) {
+  const auto acc = Coalesce(LaneAddrs(0x1000, 8), 8, 128, 32);
+  ASSERT_EQ(acc.size(), 2u);
+  EXPECT_EQ(acc[0].line_addr, 0x1000u);
+  EXPECT_EQ(acc[1].line_addr, 0x1080u);
+  EXPECT_EQ(acc[0].sector_mask, 0xFu);
+  EXPECT_EQ(acc[1].sector_mask, 0xFu);
+}
+
+TEST(Coalescer, StridedWorstCaseOneLinePerLane) {
+  const auto acc = Coalesce(LaneAddrs(0, 2048), 4, 128, 32);
+  EXPECT_EQ(acc.size(), 32u);
+  for (const auto& a : acc) EXPECT_EQ(PopCount(a.sector_mask), 1u);
+}
+
+TEST(Coalescer, BroadcastIsOneSector) {
+  std::vector<Addr> same(32, 0x2008);
+  const auto acc = Coalesce(same, 4, 128, 32);
+  ASSERT_EQ(acc.size(), 1u);
+  EXPECT_EQ(acc[0].line_addr, 0x2000u);
+  EXPECT_EQ(acc[0].sector_mask, 0x1u);
+}
+
+TEST(Coalescer, UnalignedAccessSpansSectorBoundary) {
+  // 4-byte access starting 2 bytes before a sector boundary covers both.
+  const auto acc = Coalesce({0x101E}, 4, 128, 32);
+  ASSERT_EQ(acc.size(), 1u);
+  EXPECT_EQ(acc[0].sector_mask, 0x3u);  // sectors 0 and 1
+}
+
+TEST(Coalescer, AccessSpanningLineBoundaryMakesTwoEntries) {
+  const auto acc = Coalesce({0x107E}, 4, 128, 32);
+  ASSERT_EQ(acc.size(), 2u);
+  EXPECT_EQ(acc[0].line_addr, 0x1000u);
+  EXPECT_EQ(acc[0].sector_mask, 0x8u);  // last sector of first line
+  EXPECT_EQ(acc[1].line_addr, 0x1080u);
+  EXPECT_EQ(acc[1].sector_mask, 0x1u);
+}
+
+TEST(Coalescer, OrderFollowsFirstTouchingLane) {
+  // Lane 0 touches the higher line first: output preserves lane order.
+  const auto acc = Coalesce({0x2000, 0x1000}, 4, 128, 32);
+  ASSERT_EQ(acc.size(), 2u);
+  EXPECT_EQ(acc[0].line_addr, 0x2000u);
+  EXPECT_EQ(acc[1].line_addr, 0x1000u);
+}
+
+TEST(Coalescer, EmptyInputGivesNoAccesses) {
+  EXPECT_TRUE(Coalesce({}, 4, 128, 32).empty());
+}
+
+TEST(Coalescer, DuplicateSectorsMergeAcrossLanes) {
+  std::vector<Addr> addrs = {0x1000, 0x1004, 0x1008, 0x1020, 0x1024};
+  const auto acc = Coalesce(addrs, 4, 128, 32);
+  ASSERT_EQ(acc.size(), 1u);
+  EXPECT_EQ(acc[0].sector_mask, 0x3u);
+}
+
+}  // namespace
+}  // namespace swiftsim

@@ -1,0 +1,111 @@
+// Cross-module conservation properties: whole-chip runs must preserve
+// event counts between producer and consumer modules — the invariants the
+// fixed module interfaces of paper §III-B2 are supposed to guarantee.
+#include <gtest/gtest.h>
+
+#include "config/presets.h"
+#include "sim/gpu_model.h"
+#include "trace/trace_stats.h"
+#include "workloads/workload.h"
+
+namespace swiftsim {
+namespace {
+
+GpuConfig SmallGpu() {
+  GpuConfig cfg = Rtx2080TiConfig();
+  cfg.num_sms = 4;
+  cfg.num_mem_partitions = 2;
+  return cfg;
+}
+
+std::map<std::string, std::uint64_t> RunDetailed(const std::string& name) {
+  WorkloadScale s;
+  s.scale = 0.04;
+  const Application app = BuildWorkload(name, s);
+  GpuModel model(SmallGpu(), SelectionFor(SimLevel::kDetailed));
+  return model.RunApplication(app).metrics;
+}
+
+std::uint64_t Sum(const std::map<std::string, std::uint64_t>& m,
+                  const std::string& prefix, const std::string& suffix) {
+  std::uint64_t sum = 0;
+  for (const auto& [key, value] : m) {
+    if (key.rfind(prefix, 0) != 0) continue;
+    if (key.size() >= suffix.size() &&
+        key.compare(key.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      sum += value;
+    }
+  }
+  return sum;
+}
+
+class Conservation : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Conservation, IssuedMemInstrsMatchTheTrace) {
+  WorkloadScale s;
+  s.scale = 0.04;
+  const Application app = BuildWorkload(GetParam(), s);
+  std::uint64_t trace_mem = 0;
+  for (const auto& k : app.kernels) {
+    trace_mem += ComputeTraceStats(*k).mem_instrs;
+  }
+  GpuModel model(SmallGpu(), SelectionFor(SimLevel::kDetailed));
+  const SimResult r = model.RunApplication(app);
+  EXPECT_EQ(Sum(r.metrics, "sm", ".issued_mem"), trace_mem);
+}
+
+TEST_P(Conservation, L2AcceptsEveryInjectedRequest) {
+  // After drain, the L2 slices accepted exactly what the request network
+  // carried (every ejected request is retried until accepted; none lost).
+  const auto m = RunDetailed(GetParam());
+  EXPECT_EQ(Sum(m, "l2.", ".accesses"), m.at("noc.req.injected"));
+}
+
+TEST_P(Conservation, L1AccountingIsClosed) {
+  const auto m = RunDetailed(GetParam());
+  const std::uint64_t accesses = Sum(m, "sm", ".l1.accesses");
+  const std::uint64_t hits = Sum(m, "sm", ".l1.hits");
+  const std::uint64_t misses = Sum(m, "sm", ".l1.misses") +
+                               Sum(m, "sm", ".l1.sector_misses");
+  // Every accepted L1 LOAD is a hit or a (sector) miss; stores are the
+  // remainder of `accesses`.
+  EXPECT_LE(hits + misses, accesses);
+  EXPECT_GT(accesses, 0u);
+}
+
+TEST_P(Conservation, DramReadsOnlyFromL2LoadMisses) {
+  const auto m = RunDetailed(GetParam());
+  // Each full or sector L2 load miss generates at most one downstream
+  // read; reads never appear without a miss.
+  const std::uint64_t l2_load_misses =
+      Sum(m, "l2.", ".misses") + Sum(m, "l2.", ".sector_misses");
+  const std::uint64_t dram_reads = Sum(m, "dram.", ".reads");
+  EXPECT_LE(dram_reads, l2_load_misses);
+  if (l2_load_misses > 0) {
+    EXPECT_GT(dram_reads, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, Conservation,
+                         ::testing::Values("GEMM", "SM", "BFS", "ADI",
+                                           "PAGERANK"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(Conservation, AllWarpsRetireInEveryLevel) {
+  WorkloadScale s;
+  s.scale = 0.04;
+  const Application app = BuildWorkload("NW", s);
+  std::uint64_t total_ctas = 0;
+  for (const auto& k : app.kernels) total_ctas += k->info().num_ctas;
+  for (SimLevel level : {SimLevel::kDetailed, SimLevel::kSwiftSimBasic}) {
+    GpuModel model(SmallGpu(), SelectionFor(level));
+    const SimResult r = model.RunApplication(app);
+    EXPECT_EQ(Sum(r.metrics, "sm", ".completed_ctas"), total_ctas)
+        << ToString(level);
+  }
+}
+
+}  // namespace
+}  // namespace swiftsim

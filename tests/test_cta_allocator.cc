@@ -1,0 +1,96 @@
+#include "core/cta_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include "config/presets.h"
+
+namespace swiftsim {
+namespace {
+
+KernelInfo Kernel(std::uint32_t warps, std::uint32_t smem = 0,
+                  std::uint32_t regs = 32) {
+  KernelInfo info;
+  info.name = "k";
+  info.num_ctas = 100;
+  info.warps_per_cta = warps;
+  info.threads_per_cta = warps * kWarpSize;
+  info.smem_bytes_per_cta = smem;
+  info.regs_per_thread = regs;
+  return info;
+}
+
+TEST(CtaAllocator, WarpSlotsLimitOccupancy) {
+  const GpuConfig gpu = Rtx2080TiConfig();  // 32 warps/SM, 16 CTA slots
+  CtaAllocator alloc(gpu);
+  const KernelInfo k = Kernel(8);
+  EXPECT_EQ(alloc.MaxConcurrent(k), 4u);  // 32 / 8
+  std::vector<unsigned> slots;
+  while (alloc.CanAllocate(k)) slots.push_back(alloc.Allocate(k));
+  EXPECT_EQ(slots.size(), 4u);
+  EXPECT_EQ(alloc.used_warps(), 32u);
+  alloc.Release(slots[0], k);
+  EXPECT_TRUE(alloc.CanAllocate(k));
+}
+
+TEST(CtaAllocator, SharedMemoryLimits) {
+  const GpuConfig gpu = Rtx2080TiConfig();  // 64KB smem
+  CtaAllocator alloc(gpu);
+  const KernelInfo k = Kernel(2, 24 * 1024);
+  EXPECT_EQ(alloc.MaxConcurrent(k), 2u);  // smem-bound: 64/24
+}
+
+TEST(CtaAllocator, RegisterFileLimits) {
+  const GpuConfig gpu = Rtx2080TiConfig();  // 64K regs
+  CtaAllocator alloc(gpu);
+  // 4 warps x 128 threads x 200 regs = 25600 regs per CTA -> 2 fit.
+  const KernelInfo k = Kernel(4, 0, 200);
+  EXPECT_EQ(alloc.MaxConcurrent(k), 2u);
+}
+
+TEST(CtaAllocator, CtaSlotLimit) {
+  const GpuConfig gpu = Rtx2080TiConfig();  // 16 CTA slots
+  CtaAllocator alloc(gpu);
+  const KernelInfo k = Kernel(1);  // tiny CTAs: slot-bound at 16
+  EXPECT_EQ(alloc.MaxConcurrent(k), 16u);
+  unsigned n = 0;
+  while (alloc.CanAllocate(k)) {
+    alloc.Allocate(k);
+    ++n;
+  }
+  EXPECT_EQ(n, 16u);
+}
+
+TEST(CtaAllocator, InfeasibleKernels) {
+  const GpuConfig gpu = Rtx2080TiConfig();
+  CtaAllocator alloc(gpu);
+  EXPECT_FALSE(alloc.Feasible(Kernel(64)));          // too many warps
+  EXPECT_FALSE(alloc.Feasible(Kernel(2, 1 << 20)));  // too much smem
+  EXPECT_EQ(alloc.MaxConcurrent(Kernel(64)), 0u);
+  EXPECT_TRUE(alloc.Feasible(Kernel(32)));
+}
+
+TEST(CtaAllocator, SlotsAreRecycled) {
+  const GpuConfig gpu = Rtx2080TiConfig();
+  CtaAllocator alloc(gpu);
+  const KernelInfo k = Kernel(8);
+  const unsigned a = alloc.Allocate(k);
+  alloc.Release(a, k);
+  const unsigned b = alloc.Allocate(k);
+  EXPECT_EQ(a, b);  // first free slot reused
+  EXPECT_EQ(alloc.resident_ctas(), 1u);
+}
+
+TEST(CtaAllocator, MixedResourceAccounting) {
+  const GpuConfig gpu = Rtx2080TiConfig();
+  CtaAllocator alloc(gpu);
+  const KernelInfo big = Kernel(16);
+  const KernelInfo small = Kernel(8);
+  alloc.Allocate(big);    // 16 warps
+  alloc.Allocate(small);  // 24 warps total
+  EXPECT_EQ(alloc.used_warps(), 24u);
+  EXPECT_TRUE(alloc.CanAllocate(small));   // 32 total fits
+  EXPECT_FALSE(alloc.CanAllocate(big));    // 40 would not
+}
+
+}  // namespace
+}  // namespace swiftsim

@@ -1,0 +1,115 @@
+#include "config/gpu_config.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "config/ini.h"
+#include "config/presets.h"
+
+namespace swiftsim {
+namespace {
+
+TEST(GpuConfig, DefaultIsValid) {
+  GpuConfig cfg;
+  EXPECT_NO_THROW(cfg.Validate());
+}
+
+TEST(GpuConfig, EnumRoundTrips) {
+  for (auto p : {SchedPolicy::kGto, SchedPolicy::kLrr,
+                 SchedPolicy::kTwoLevel}) {
+    EXPECT_EQ(SchedPolicyFromString(ToString(p)), p);
+  }
+  for (auto p : {ReplacementPolicy::kLru, ReplacementPolicy::kFifo,
+                 ReplacementPolicy::kRandom}) {
+    EXPECT_EQ(ReplacementPolicyFromString(ToString(p)), p);
+  }
+  for (auto p : {WritePolicy::kWriteThrough, WritePolicy::kWriteBack}) {
+    EXPECT_EQ(WritePolicyFromString(ToString(p)), p);
+  }
+  EXPECT_THROW(SchedPolicyFromString("bogus"), SimError);
+  EXPECT_THROW(ReplacementPolicyFromString("bogus"), SimError);
+  EXPECT_THROW(WritePolicyFromString("bogus"), SimError);
+}
+
+TEST(GpuConfig, ExecUnitIssueInterval) {
+  ExecUnitConfig full{32, 4, 0};
+  EXPECT_EQ(full.issue_interval(), 1u);
+  ExecUnitConfig half{16, 4, 0};
+  EXPECT_EQ(half.issue_interval(), 2u);
+  ExecUnitConfig sfu{4, 21, 0};
+  EXPECT_EQ(sfu.issue_interval(), 8u);
+  ExecUnitConfig dp{1, 8, 64};  // "0.5x" provisioning via override
+  EXPECT_EQ(dp.issue_interval(), 64u);
+}
+
+TEST(GpuConfig, CacheDerivedGeometry) {
+  CacheParams c;
+  c.size_bytes = 64 * 1024;
+  c.assoc = 4;
+  c.line_bytes = 128;
+  c.sector_bytes = 32;
+  EXPECT_EQ(c.num_sets(), 128u);
+  EXPECT_EQ(c.sectors_per_line(), 4u);
+}
+
+TEST(GpuConfig, ValidateCatchesBadValues) {
+  GpuConfig cfg;
+  cfg.num_sms = 0;
+  EXPECT_THROW(cfg.Validate(), SimError);
+
+  cfg = GpuConfig();
+  cfg.max_warps_per_sm = 31;  // not divisible by 4 sub-cores
+  EXPECT_THROW(cfg.Validate(), SimError);
+
+  cfg = GpuConfig();
+  cfg.l1.line_bytes = 96;  // not a power of two
+  EXPECT_THROW(cfg.Validate(), SimError);
+
+  cfg = GpuConfig();
+  cfg.l1.sector_bytes = 256;  // sector larger than line
+  EXPECT_THROW(cfg.Validate(), SimError);
+
+  cfg = GpuConfig();
+  cfg.l2.line_bytes = 64;  // mismatched with L1 (sector protocol)
+  EXPECT_THROW(cfg.Validate(), SimError);
+
+  cfg = GpuConfig();
+  cfg.dram.row_hit_latency = cfg.dram.latency + 1;
+  EXPECT_THROW(cfg.Validate(), SimError);
+}
+
+TEST(GpuConfig, IniRoundTripPreservesEverything) {
+  const GpuConfig original = Rtx2080TiConfig();
+  const auto ini = IniFile::ParseString(original.ToIniString());
+  const GpuConfig reloaded = GpuConfig::FromIni(ini);
+  EXPECT_EQ(reloaded.ToIniString(), original.ToIniString());
+  EXPECT_EQ(reloaded.name, "rtx2080ti");
+  EXPECT_EQ(reloaded.num_sms, 68u);
+  EXPECT_EQ(reloaded.l1.mshr_entries, 256u);
+  EXPECT_EQ(reloaded.l2.mshr_max_merge, 4u);
+  EXPECT_EQ(reloaded.sched_policy, SchedPolicy::kGto);
+}
+
+TEST(GpuConfig, SparseOverrideOnBase) {
+  const auto ini = IniFile::ParseString("[gpu]\nnum_sms = 10\n");
+  const GpuConfig cfg = GpuConfig::FromIni(ini, Rtx2080TiConfig());
+  EXPECT_EQ(cfg.num_sms, 10u);
+  // Everything else keeps the preset values.
+  EXPECT_EQ(cfg.l1.latency, Rtx2080TiConfig().l1.latency);
+  EXPECT_EQ(cfg.num_mem_partitions, 22u);
+}
+
+TEST(GpuConfig, FromIniValidates) {
+  const auto ini = IniFile::ParseString("[gpu]\nnum_sms = 0\n");
+  EXPECT_THROW(GpuConfig::FromIni(ini), SimError);
+}
+
+TEST(GpuConfig, DerivedQuantities) {
+  const GpuConfig cfg = Rtx2080TiConfig();
+  EXPECT_EQ(cfg.warps_per_sub_core(), 8u);
+  EXPECT_EQ(cfg.cuda_cores(), 4352u);  // Table I
+  EXPECT_EQ(cfg.total_l2_bytes(), 22ull * 256 * 1024);  // 5.5 MB
+}
+
+}  // namespace
+}  // namespace swiftsim

@@ -1,0 +1,168 @@
+// GpuModel integration tests: whole-chip runs across the four simulator
+// configurations on small workloads.
+#include "sim/gpu_model.h"
+
+#include <gtest/gtest.h>
+
+#include "analytical/cache_prepass.h"
+#include "config/presets.h"
+#include "workloads/workload.h"
+
+namespace swiftsim {
+namespace {
+
+GpuConfig SmallGpu(unsigned sms = 4) {
+  GpuConfig cfg = Rtx2080TiConfig();
+  cfg.num_sms = sms;
+  cfg.num_mem_partitions = 2;
+  cfg.Validate();
+  return cfg;
+}
+
+Application SmallApp(const std::string& name) {
+  WorkloadScale s;
+  s.scale = 0.03;
+  return BuildWorkload(name, s);
+}
+
+class GpuModelLevels
+    : public ::testing::TestWithParam<std::tuple<SimLevel, const char*>> {};
+
+TEST_P(GpuModelLevels, RunsToCompletionWithAllInstructionsIssued) {
+  const auto [level, app_name] = GetParam();
+  const GpuConfig cfg = SmallGpu();
+  const Application app = SmallApp(app_name);
+  const ModelSelection sel = SelectionFor(level);
+  std::unique_ptr<MemProfile> profile;
+  if (sel.mem == MemModelKind::kAnalytical) {
+    profile = std::make_unique<MemProfile>(BuildMemProfile(app, cfg));
+  }
+  GpuModel model(cfg, sel, profile.get());
+  const SimResult r = model.RunApplication(app);
+  EXPECT_GT(r.total_cycles, 0u);
+  EXPECT_EQ(r.instructions, app.TotalInstrs());
+  EXPECT_EQ(r.kernels.size(), app.kernels.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LevelsAndApps, GpuModelLevels,
+    ::testing::Combine(::testing::Values(SimLevel::kSilicon,
+                                         SimLevel::kDetailed,
+                                         SimLevel::kSwiftSimBasic,
+                                         SimLevel::kSwiftSimMemory),
+                       ::testing::Values("GEMM", "SM", "BFS", "NW")),
+    [](const auto& info) {
+      std::string name = ToString(std::get<0>(info.param)) + "_" +
+                         std::get<1>(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(GpuModel, DeterministicAcrossRuns) {
+  const GpuConfig cfg = SmallGpu();
+  const Application app = SmallApp("HOTSPOT");
+  for (SimLevel level : {SimLevel::kDetailed, SimLevel::kSwiftSimBasic}) {
+    GpuModel a(cfg, SelectionFor(level));
+    GpuModel b(cfg, SelectionFor(level));
+    EXPECT_EQ(a.RunApplication(app).total_cycles,
+              b.RunApplication(app).total_cycles)
+        << ToString(level);
+  }
+}
+
+TEST(GpuModel, HybridAluBarelyChangesCycles) {
+  // Swapping the ALU module implementation (the paper's §III-D1 example)
+  // must preserve cycle counts closely: contention is still tracked
+  // cycle-accurately.
+  const GpuConfig cfg = SmallGpu();
+  const Application app = SmallApp("HOTSPOT");
+  GpuModel detailed(cfg, SelectionFor(SimLevel::kDetailed));
+  GpuModel basic(cfg, SelectionFor(SimLevel::kSwiftSimBasic));
+  const Cycle cd = detailed.RunApplication(app).total_cycles;
+  const Cycle cb = basic.RunApplication(app).total_cycles;
+  const double rel = std::abs(static_cast<double>(cd) -
+                              static_cast<double>(cb)) /
+                     static_cast<double>(cd);
+  EXPECT_LT(rel, 0.15);
+}
+
+TEST(GpuModel, SiliconEffectsAddCycles) {
+  const GpuConfig cfg = SmallGpu();
+  const Application app = SmallApp("GEMM");
+  GpuModel silicon(cfg, SelectionFor(SimLevel::kSilicon));
+  GpuModel detailed(cfg, SelectionFor(SimLevel::kDetailed));
+  EXPECT_GT(silicon.RunApplication(app).total_cycles,
+            detailed.RunApplication(app).total_cycles);
+}
+
+TEST(GpuModel, MoreSmsRunFaster) {
+  const Application app = SmallApp("SM");
+  GpuModel narrow(SmallGpu(2), SelectionFor(SimLevel::kSwiftSimBasic));
+  GpuModel wide(SmallGpu(8), SelectionFor(SimLevel::kSwiftSimBasic));
+  EXPECT_GT(narrow.RunApplication(app).total_cycles,
+            wide.RunApplication(app).total_cycles);
+}
+
+TEST(GpuModel, MultiKernelAppsAccumulateCycles) {
+  const GpuConfig cfg = SmallGpu();
+  const Application app = SmallApp("ATAX");  // two kernels
+  GpuModel model(cfg, SelectionFor(SimLevel::kSwiftSimBasic));
+  const SimResult r = model.RunApplication(app);
+  ASSERT_EQ(r.kernels.size(), 2u);
+  EXPECT_EQ(r.kernels[0].cycles + r.kernels[1].cycles, r.total_cycles);
+  EXPECT_GT(r.kernels[0].cycles, 0u);
+  EXPECT_GT(r.kernels[1].cycles, 0u);
+}
+
+TEST(GpuModel, MetricsExposePerModuleCounters) {
+  const GpuConfig cfg = SmallGpu();
+  const Application app = SmallApp("GEMM");
+  GpuModel model(cfg, SelectionFor(SimLevel::kDetailed));
+  const SimResult r = model.RunApplication(app);
+  EXPECT_GT(r.metrics.at("sm0.issued_instrs"), 0u);
+  EXPECT_GT(r.metrics.at("sm0.l1.accesses"), 0u);
+  EXPECT_GT(r.metrics.at("noc.req.injected"), 0u);
+  std::uint64_t dram_reads = 0;
+  for (const auto& [key, value] : r.metrics) {
+    if (key.find("dram.") == 0 && key.find(".reads") != std::string::npos) {
+      dram_reads += value;
+    }
+  }
+  EXPECT_GT(dram_reads, 0u);
+}
+
+TEST(GpuModel, AnalyticalModeNeedsProfile) {
+  const GpuConfig cfg = SmallGpu();
+  EXPECT_THROW(GpuModel(cfg, SelectionFor(SimLevel::kSwiftSimMemory)),
+               SimError);
+}
+
+TEST(GpuModel, RejectsInfeasibleKernel) {
+  GpuConfig cfg = SmallGpu();
+  cfg.max_warps_per_sm = 4;  // tiny SM
+  cfg.max_threads_per_sm = 128;
+  cfg.Validate();
+  const Application app = SmallApp("GEMM");  // 8 warps per CTA
+  GpuModel model(cfg, SelectionFor(SimLevel::kSwiftSimBasic));
+  EXPECT_THROW(model.RunApplication(app), SimError);
+}
+
+TEST(GpuModel, StoresDrainBeforeCompletion) {
+  // After RunKernel returns, no write traffic may remain anywhere.
+  const GpuConfig cfg = SmallGpu();
+  const Application app = SmallApp("II");  // store-heavy
+  GpuModel model(cfg, SelectionFor(SimLevel::kDetailed));
+  const SimResult r = model.RunApplication(app);
+  std::uint64_t writes = 0;
+  for (const auto& [key, value] : r.metrics) {
+    if (key.find("dram.") == 0 && key.find(".writes") != std::string::npos) {
+      writes += value;
+    }
+  }
+  EXPECT_GT(writes, 0u);  // stores actually reached DRAM
+}
+
+}  // namespace
+}  // namespace swiftsim

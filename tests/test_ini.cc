@@ -1,0 +1,97 @@
+#include "config/ini.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace swiftsim {
+namespace {
+
+TEST(Ini, ParsesSectionsAndKeys) {
+  const auto ini = IniFile::ParseString(
+      "top = 1\n"
+      "[gpu]\n"
+      "num_sms = 68\n"
+      "name = rtx2080ti\n"
+      "[l1]\n"
+      "size_bytes = 65536\n");
+  EXPECT_EQ(ini.GetInt("top"), 1);
+  EXPECT_EQ(ini.GetInt("gpu.num_sms"), 68);
+  EXPECT_EQ(ini.GetString("gpu.name"), "rtx2080ti");
+  EXPECT_EQ(ini.GetUint("l1.size_bytes"), 65536u);
+}
+
+TEST(Ini, CommentsAndBlankLines) {
+  const auto ini = IniFile::ParseString(
+      "# full line comment\n"
+      "\n"
+      "a = 1   # trailing comment\n"
+      "b = 2   ; semicolon comment\n"
+      "; another\n");
+  EXPECT_EQ(ini.GetInt("a"), 1);
+  EXPECT_EQ(ini.GetInt("b"), 2);
+  EXPECT_EQ(ini.Keys().size(), 2u);
+}
+
+TEST(Ini, LastDuplicateWins) {
+  const auto ini = IniFile::ParseString("a = 1\na = 2\n");
+  EXPECT_EQ(ini.GetInt("a"), 2);
+}
+
+TEST(Ini, TypedGettersValidate) {
+  const auto ini = IniFile::ParseString(
+      "i = -5\nu = 0x20\nd = 2.75\nbt = true\nbf = 0\ns = hello\n");
+  EXPECT_EQ(ini.GetInt("i"), -5);
+  EXPECT_EQ(ini.GetUint("u"), 32u);
+  EXPECT_DOUBLE_EQ(ini.GetDouble("d"), 2.75);
+  EXPECT_TRUE(ini.GetBool("bt"));
+  EXPECT_FALSE(ini.GetBool("bf"));
+  EXPECT_EQ(ini.GetString("s"), "hello");
+  EXPECT_THROW(ini.GetInt("s"), SimError);
+  EXPECT_THROW(ini.GetBool("d"), SimError);
+}
+
+TEST(Ini, MissingKeyThrowsWithName) {
+  const auto ini = IniFile::ParseString("a = 1\n");
+  try {
+    ini.GetInt("gpu.num_sms");
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("gpu.num_sms"), std::string::npos);
+  }
+}
+
+TEST(Ini, DefaultsOnlyUsedWhenMissing) {
+  const auto ini = IniFile::ParseString("a = 7\n");
+  EXPECT_EQ(ini.GetInt("a", 99), 7);
+  EXPECT_EQ(ini.GetInt("b", 99), 99);
+  EXPECT_EQ(ini.GetString("c", "dflt"), "dflt");
+  EXPECT_TRUE(ini.GetBool("d", true));
+}
+
+TEST(Ini, SyntaxErrorsReportLineNumbers) {
+  try {
+    IniFile::ParseString("a = 1\nbroken line\n");
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(IniFile::ParseString("[unterminated\n"), SimError);
+  EXPECT_THROW(IniFile::ParseString("[]\n"), SimError);
+  EXPECT_THROW(IniFile::ParseString("= novalue\n"), SimError);
+}
+
+TEST(Ini, SetAndRoundTrip) {
+  IniFile ini;
+  ini.Set("x.y", "42");
+  EXPECT_TRUE(ini.Has("x.y"));
+  const auto reparsed = IniFile::ParseString(ini.ToString());
+  EXPECT_EQ(reparsed.GetInt("x.y"), 42);
+}
+
+TEST(Ini, MissingFileThrows) {
+  EXPECT_THROW(IniFile::ParseFile("/nonexistent/path/config.ini"), SimError);
+}
+
+}  // namespace
+}  // namespace swiftsim

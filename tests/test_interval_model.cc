@@ -1,0 +1,88 @@
+// Tests for the GPUMech-style pure-analytical comparator.
+#include "analytical/interval_model.h"
+
+#include <gtest/gtest.h>
+
+#include "analytical/cache_prepass.h"
+#include "config/presets.h"
+#include "sim/gpu_model.h"
+#include "workloads/workload.h"
+
+namespace swiftsim {
+namespace {
+
+Application SmallApp(const std::string& name, double scale = 0.05) {
+  WorkloadScale s;
+  s.scale = scale;
+  return BuildWorkload(name, s);
+}
+
+TEST(IntervalModel, ProducesPositiveEstimates) {
+  const GpuConfig cfg = Rtx2080TiConfig();
+  for (const char* name : {"GEMM", "SM", "BFS", "NW"}) {
+    const Application app = SmallApp(name);
+    const MemProfile profile = BuildMemProfile(app, cfg);
+    const IntervalEstimate est = EstimateCycles(app, cfg, profile);
+    EXPECT_GT(est.total_cycles, 0u) << name;
+    EXPECT_GT(est.issue_cycles, 0.0) << name;
+    EXPECT_GE(est.waves, app.kernels.size()) << name;
+  }
+}
+
+TEST(IntervalModel, MoreCtasMoreWavesMoreCycles) {
+  const GpuConfig cfg = Rtx2080TiConfig();
+  // One chip wave holds 272 of these CTAs: the large grid needs more
+  // waves than the small one.
+  const Application small = SmallApp("GEMM", 0.1);
+  const Application large = SmallApp("GEMM", 3.0);
+  const MemProfile ps = BuildMemProfile(small, cfg);
+  const MemProfile pl = BuildMemProfile(large, cfg);
+  EXPECT_LT(EstimateCycles(small, cfg, ps).total_cycles,
+            EstimateCycles(large, cfg, pl).total_cycles);
+}
+
+TEST(IntervalModel, WithinAFactorOfTheDetailedModel) {
+  // A pure-analytical model is rough, but it must land within an order
+  // of magnitude of cycle-accurate simulation.
+  GpuConfig cfg = Rtx2080TiConfig();
+  cfg.num_sms = 4;
+  cfg.num_mem_partitions = 2;
+  cfg.Validate();
+  for (const char* name : {"GEMM", "SM"}) {
+    const Application app = SmallApp(name, 0.03);
+    const MemProfile profile = BuildMemProfile(app, cfg);
+    const IntervalEstimate est = EstimateCycles(app, cfg, profile);
+    GpuModel model(cfg, SelectionFor(SimLevel::kDetailed));
+    const Cycle detailed = model.RunApplication(app).total_cycles;
+    const double ratio = static_cast<double>(est.total_cycles) /
+                         static_cast<double>(detailed);
+    EXPECT_GT(ratio, 0.1) << name;
+    EXPECT_LT(ratio, 10.0) << name;
+  }
+}
+
+TEST(IntervalModel, CannotSeeSchedulerPolicy) {
+  // The paper's §II-B flexibility argument: a mathematical model has no
+  // scheduler-policy parameter at all, so DSE on it is impossible — the
+  // estimate is bit-identical across policies.
+  const Application app = SmallApp("BFS");
+  GpuConfig gto = Rtx2080TiConfig();
+  GpuConfig lrr = Rtx2080TiConfig();
+  gto.sched_policy = SchedPolicy::kGto;
+  lrr.sched_policy = SchedPolicy::kLrr;
+  const MemProfile pg = BuildMemProfile(app, gto);
+  const MemProfile pl = BuildMemProfile(app, lrr);
+  EXPECT_EQ(EstimateCycles(app, gto, pg).total_cycles,
+            EstimateCycles(app, lrr, pl).total_cycles);
+}
+
+TEST(IntervalModel, BandwidthRooflineBindsStreamingApps) {
+  const GpuConfig cfg = Rtx2080TiConfig();
+  const Application app = SmallApp("SM", 0.2);  // streaming scan
+  const MemProfile profile = BuildMemProfile(app, cfg);
+  const IntervalEstimate est = EstimateCycles(app, cfg, profile);
+  EXPECT_GT(est.bandwidth_cycles, 0.0);
+}
+
+}  // namespace
+}  // namespace swiftsim

@@ -1,0 +1,75 @@
+#include "trace/isa.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace swiftsim {
+namespace {
+
+TEST(Isa, NamesRoundTrip) {
+  for (std::uint8_t i = 0; i < kNumOpcodes; ++i) {
+    const Opcode op = static_cast<Opcode>(i);
+    EXPECT_EQ(OpcodeFromName(Name(op)), op) << Name(op);
+  }
+}
+
+TEST(Isa, UnknownNameThrows) {
+  EXPECT_THROW(OpcodeFromName("NOTANOP"), SimError);
+  EXPECT_THROW(OpcodeFromName(""), SimError);
+  EXPECT_THROW(OpcodeFromName("ffma"), SimError);  // case-sensitive
+}
+
+TEST(Isa, UnitClassAssignments) {
+  EXPECT_EQ(ClassOf(Opcode::kIAdd), UnitClass::kInt);
+  EXPECT_EQ(ClassOf(Opcode::kBra), UnitClass::kInt);
+  EXPECT_EQ(ClassOf(Opcode::kFFma), UnitClass::kSp);
+  EXPECT_EQ(ClassOf(Opcode::kDFma), UnitClass::kDp);
+  EXPECT_EQ(ClassOf(Opcode::kRsqrt), UnitClass::kSfu);
+  EXPECT_EQ(ClassOf(Opcode::kHmma), UnitClass::kTensor);
+  EXPECT_EQ(ClassOf(Opcode::kLdGlobal), UnitClass::kLdSt);
+  EXPECT_EQ(ClassOf(Opcode::kBarSync), UnitClass::kControl);
+  EXPECT_EQ(ClassOf(Opcode::kExit), UnitClass::kControl);
+}
+
+TEST(Isa, MemoryPredicates) {
+  EXPECT_TRUE(IsMemory(Opcode::kLdGlobal));
+  EXPECT_TRUE(IsMemory(Opcode::kStShared));
+  EXPECT_TRUE(IsMemory(Opcode::kLdConst));
+  EXPECT_FALSE(IsMemory(Opcode::kFFma));
+
+  EXPECT_TRUE(IsLoad(Opcode::kLdGlobal));
+  EXPECT_TRUE(IsLoad(Opcode::kLdConst));
+  EXPECT_FALSE(IsLoad(Opcode::kStGlobal));
+
+  EXPECT_TRUE(IsStore(Opcode::kStGlobal));
+  EXPECT_TRUE(IsStore(Opcode::kStShared));
+  EXPECT_FALSE(IsStore(Opcode::kLdShared));
+
+  EXPECT_TRUE(IsGlobalMem(Opcode::kLdGlobal));
+  EXPECT_TRUE(IsGlobalMem(Opcode::kStGlobal));
+  EXPECT_FALSE(IsGlobalMem(Opcode::kLdShared));
+  EXPECT_FALSE(IsGlobalMem(Opcode::kLdConst));
+
+  EXPECT_TRUE(IsSharedMem(Opcode::kLdShared));
+  EXPECT_TRUE(IsSharedMem(Opcode::kStShared));
+  EXPECT_FALSE(IsSharedMem(Opcode::kLdGlobal));
+}
+
+TEST(Isa, ControlPredicates) {
+  EXPECT_TRUE(IsBarrier(Opcode::kBarSync));
+  EXPECT_FALSE(IsBarrier(Opcode::kExit));
+  EXPECT_TRUE(IsExit(Opcode::kExit));
+  EXPECT_FALSE(IsExit(Opcode::kBarSync));
+}
+
+TEST(Isa, EveryOpcodeHasDistinctName) {
+  for (std::uint8_t i = 0; i < kNumOpcodes; ++i) {
+    for (std::uint8_t j = i + 1; j < kNumOpcodes; ++j) {
+      EXPECT_NE(Name(static_cast<Opcode>(i)), Name(static_cast<Opcode>(j)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swiftsim

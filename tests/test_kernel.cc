@@ -1,0 +1,131 @@
+#include "trace/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "workloads/patterns.h"
+
+namespace swiftsim {
+namespace {
+
+WarpTrace MakeWarp(bool with_exit = true) {
+  WarpTrace w;
+  WarpEmitter e(&w);
+  e.Alu(0x10, Opcode::kIAdd, 4, {4});
+  e.Mem(0x18, Opcode::kLdGlobal, 5, {4}, kFullMask,
+        CoalescedAddrs(0x1000, 4));
+  if (with_exit) e.Exit(0x20);
+  return w;
+}
+
+KernelInfo MakeInfo(std::uint32_t ctas = 2, std::uint32_t warps = 2) {
+  KernelInfo info;
+  info.name = "k";
+  info.num_ctas = ctas;
+  info.warps_per_cta = warps;
+  info.threads_per_cta = warps * kWarpSize;
+  return info;
+}
+
+TEST(KernelInfo, ValidateChecksFields) {
+  KernelInfo info = MakeInfo();
+  EXPECT_NO_THROW(info.Validate());
+  info.num_ctas = 0;
+  EXPECT_THROW(info.Validate(), SimError);
+  info = MakeInfo();
+  info.threads_per_cta = 1000;  // more than warps * 32
+  EXPECT_THROW(info.Validate(), SimError);
+  info = MakeInfo();
+  info.name.clear();
+  EXPECT_THROW(info.Validate(), SimError);
+}
+
+TEST(KernelTrace, VariantSharing) {
+  CtaTrace v0{{MakeWarp(), MakeWarp()}};
+  CtaTrace v1{{MakeWarp(), MakeWarp()}};
+  v1.warps[0].front().pc = 0x99;  // distinguishable
+  KernelTrace k(MakeInfo(5, 2), {v0, v1});
+  EXPECT_EQ(k.num_variants(), 2u);
+  // CTA i is backed by variant i % 2.
+  EXPECT_EQ(k.cta(0).warps[0].front().pc, k.cta(2).warps[0].front().pc);
+  EXPECT_EQ(k.cta(1).warps[0].front().pc, 0x99u);
+  EXPECT_THROW(k.cta(5), SimError);  // out of range
+}
+
+TEST(KernelTrace, TotalInstrs) {
+  CtaTrace v{{MakeWarp(), MakeWarp()}};
+  KernelTrace k(MakeInfo(3, 2), {v});
+  EXPECT_EQ(k.TotalInstrs(), 3u * 2 * 3);
+}
+
+TEST(ValidateTrace, AcceptsWellFormed) {
+  CtaTrace v{{MakeWarp(), MakeWarp()}};
+  KernelTrace k(MakeInfo(1, 2), {v});
+  EXPECT_NO_THROW(k.ValidateTrace());
+}
+
+TEST(ValidateTrace, RejectsMissingExit) {
+  CtaTrace v{{MakeWarp(/*with_exit=*/false), MakeWarp()}};
+  KernelTrace k(MakeInfo(1, 2), {v});
+  EXPECT_THROW(k.ValidateTrace(), SimError);
+}
+
+TEST(ValidateTrace, RejectsBarrierMismatch) {
+  WarpTrace a, b;
+  WarpEmitter ea(&a), eb(&b);
+  ea.Bar(0x10);
+  ea.Exit(0x18);
+  eb.Exit(0x18);  // no barrier: CTA would deadlock
+  CtaTrace v{{a, b}};
+  KernelTrace k(MakeInfo(1, 2), {v});
+  EXPECT_THROW(k.ValidateTrace(), SimError);
+}
+
+TEST(ValidateTrace, RejectsAddressCountMismatch) {
+  WarpTrace w;
+  WarpEmitter e(&w);
+  e.Alu(0x10, Opcode::kIAdd, 4, {});
+  e.Exit(0x18);
+  // Manually corrupt: memory op with too few addresses.
+  TraceInstr bad;
+  bad.pc = 0x14;
+  bad.op = Opcode::kLdGlobal;
+  bad.active = kFullMask;
+  bad.addrs = {0x1000};  // 1 address for 32 active lanes
+  w.insert(w.begin() + 1, bad);
+  CtaTrace v{{w}};
+  KernelTrace k(MakeInfo(1, 1), {v});
+  EXPECT_THROW(k.ValidateTrace(), SimError);
+}
+
+TEST(ValidateTrace, RejectsWarpCountMismatch) {
+  CtaTrace v{{MakeWarp()}};  // 1 warp but info says 2
+  KernelTrace k(MakeInfo(1, 2), {v});
+  EXPECT_THROW(k.ValidateTrace(), SimError);
+}
+
+TEST(ValidateTrace, RejectsEmptyActiveMask) {
+  WarpTrace w = MakeWarp();
+  w[0].active = 0;
+  CtaTrace v{{w}};
+  KernelTrace k(MakeInfo(1, 1), {v});
+  EXPECT_THROW(k.ValidateTrace(), SimError);
+}
+
+TEST(Application, TotalInstrsSumsKernels) {
+  CtaTrace v{{MakeWarp()}};
+  Application app;
+  app.name = "a";
+  app.kernels.push_back(
+      std::make_shared<KernelTrace>(MakeInfo(2, 1), std::vector<CtaTrace>{v}));
+  app.kernels.push_back(
+      std::make_shared<KernelTrace>(MakeInfo(3, 1), std::vector<CtaTrace>{v}));
+  EXPECT_EQ(app.TotalInstrs(), (2u + 3u) * 3);
+}
+
+TEST(KernelTrace, RejectsEmptyVariantList) {
+  EXPECT_THROW(KernelTrace(MakeInfo(), {}), SimError);
+}
+
+}  // namespace
+}  // namespace swiftsim

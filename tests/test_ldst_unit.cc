@@ -1,0 +1,232 @@
+#include "core/ldst_unit.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/patterns.h"
+
+namespace swiftsim {
+namespace {
+
+CacheParams TestL1() {
+  CacheParams p;
+  p.size_bytes = 64 * 1024;
+  p.assoc = 4;
+  p.line_bytes = 128;
+  p.sector_bytes = 32;
+  p.banks = 4;
+  p.mshr_entries = 32;
+  p.mshr_max_merge = 8;
+  p.write_policy = WritePolicy::kWriteThrough;
+  p.streaming = true;
+  p.latency = 4;
+  return p;
+}
+
+LdstUnitConfig TestCfg() {
+  LdstUnitConfig cfg;
+  cfg.issue_interval = 8;
+  cfg.queue_depth = 4;
+  cfg.accesses_per_cycle = 4;
+  cfg.smem_latency = 10;
+  cfg.smem_banks = 32;
+  cfg.const_latency = 6;
+  return cfg;
+}
+
+struct Harness {
+  SectorCache l1{"l1", TestL1(), 0};
+  std::vector<std::pair<unsigned, std::uint8_t>> writebacks;
+  LdstUnit ldst{TestCfg(), /*sm=*/0, /*instance=*/0, &l1,
+                [this](unsigned slot, std::uint8_t dst) {
+                  writebacks.emplace_back(slot, dst);
+                }};
+  Cycle now = 0;
+
+  void Step() {
+    ++now;
+    l1.BeginCycle(now);
+    auto& resp = l1.responses();
+    while (!resp.empty()) {
+      ldst.OnL1Response(resp.front(), now);
+      resp.pop_front();
+    }
+    ldst.Tick(now);
+  }
+
+  /// Answers every outstanding L1 miss immediately (perfect next level).
+  void ServeMisses() {
+    auto& mq = l1.miss_queue();
+    while (!mq.empty()) {
+      const MemRequest& r = mq.front();
+      if (!r.is_store()) {
+        l1.Fill(MemResponse{r.id, r.line_addr, r.sector_mask, r.sm}, now);
+      }
+      mq.pop_front();
+    }
+  }
+};
+
+TraceInstr GlobalLoad(std::uint8_t dst, std::vector<Addr> addrs,
+                      LaneMask mask = kFullMask) {
+  TraceInstr ins;
+  ins.op = Opcode::kLdGlobal;
+  ins.dst = dst;
+  ins.active = mask;
+  ins.addrs = std::move(addrs);
+  return ins;
+}
+
+TEST(LdstUnit, CoalescedLoadCompletesOnce) {
+  Harness h;
+  ASSERT_TRUE(h.ldst.CanAccept(h.now));
+  h.ldst.Issue(2, GlobalLoad(9, CoalescedAddrs(0x1000, 4)), h.now);
+  for (int i = 0; i < 20 && h.writebacks.empty(); ++i) {
+    h.Step();
+    h.ServeMisses();
+  }
+  ASSERT_EQ(h.writebacks.size(), 1u);
+  EXPECT_EQ(h.writebacks[0].first, 2u);
+  EXPECT_EQ(h.writebacks[0].second, 9);
+  EXPECT_TRUE(h.ldst.quiescent());
+  EXPECT_EQ(h.ldst.stats().global_accesses, 1u);  // one coalesced request
+}
+
+TEST(LdstUnit, ScatteredLoadInjectsManyAccesses) {
+  Harness h;
+  std::vector<Addr> addrs;
+  for (unsigned i = 0; i < 32; ++i) addrs.push_back(i * 0x1000);
+  h.ldst.Issue(0, GlobalLoad(9, addrs), h.now);
+  for (int i = 0; i < 100 && h.writebacks.empty(); ++i) {
+    h.Step();
+    h.ServeMisses();
+  }
+  ASSERT_EQ(h.writebacks.size(), 1u);
+  EXPECT_EQ(h.ldst.stats().global_accesses, 32u);
+}
+
+TEST(LdstUnit, StoreCompletesOnAcceptance) {
+  Harness h;
+  TraceInstr st;
+  st.op = Opcode::kStGlobal;
+  st.dst = kNoReg;
+  st.active = kFullMask;
+  st.addrs = CoalescedAddrs(0x2000, 4);
+  h.ldst.Issue(1, st, h.now);
+  for (int i = 0; i < 10 && h.writebacks.empty(); ++i) h.Step();
+  ASSERT_EQ(h.writebacks.size(), 1u);
+  EXPECT_EQ(h.writebacks[0].second, kNoReg);
+  // The store reached the L1's downstream queue (write-through).
+  EXPECT_FALSE(h.l1.miss_queue().empty());
+  EXPECT_TRUE(h.l1.miss_queue().front().is_store());
+}
+
+TEST(LdstUnit, SharedMemoryFixedLatency) {
+  Harness h;
+  TraceInstr lds;
+  lds.op = Opcode::kLdShared;
+  lds.dst = 5;
+  lds.active = kFullMask;
+  lds.addrs = CoalescedAddrs(0, 4);  // conflict-free across 32 banks
+  h.ldst.Issue(3, lds, h.now);
+  Cycle done = 0;
+  for (int i = 0; i < 30 && h.writebacks.empty(); ++i) {
+    h.Step();
+    if (!h.writebacks.empty()) done = h.now;
+  }
+  EXPECT_EQ(done, TestCfg().smem_latency);  // latency 10, no conflicts
+}
+
+TEST(LdstUnit, SharedMemoryBankConflictsSerialize) {
+  Harness h;
+  TraceInstr lds;
+  lds.op = Opcode::kLdShared;
+  lds.dst = 5;
+  lds.active = kFullMask;
+  // Stride of 128 bytes: every lane hits bank 0 -> 32-way conflict.
+  lds.addrs = StridedAddrs(0, 128);
+  h.ldst.Issue(0, lds, h.now);
+  Cycle done = 0;
+  for (int i = 0; i < 100 && h.writebacks.empty(); ++i) {
+    h.Step();
+    if (!h.writebacks.empty()) done = h.now;
+  }
+  EXPECT_EQ(done, TestCfg().smem_latency + 31);
+  EXPECT_EQ(h.ldst.stats().smem_bank_conflicts, 31u);
+}
+
+TEST(LdstUnit, BroadcastSharedAccessIsConflictFree) {
+  Harness h;
+  TraceInstr lds;
+  lds.op = Opcode::kLdShared;
+  lds.dst = 5;
+  lds.active = kFullMask;
+  lds.addrs = BroadcastAddrs(0x40);  // same word: broadcast, 1 cycle
+  h.ldst.Issue(0, lds, h.now);
+  for (int i = 0; i < 30 && h.writebacks.empty(); ++i) h.Step();
+  EXPECT_EQ(h.ldst.stats().smem_bank_conflicts, 0u);
+}
+
+TEST(LdstUnit, ConstantLoadUsesConstLatency) {
+  Harness h;
+  TraceInstr ldc;
+  ldc.op = Opcode::kLdConst;
+  ldc.dst = 7;
+  ldc.active = kFullMask;
+  ldc.addrs = BroadcastAddrs(0x100);
+  h.ldst.Issue(0, ldc, h.now);
+  Cycle done = 0;
+  for (int i = 0; i < 30 && h.writebacks.empty(); ++i) {
+    h.Step();
+    if (!h.writebacks.empty()) done = h.now;
+  }
+  EXPECT_EQ(done, TestCfg().const_latency);
+}
+
+TEST(LdstUnit, IssueIntervalGatesAcceptance) {
+  Harness h;
+  h.ldst.Issue(0, GlobalLoad(9, CoalescedAddrs(0x1000, 4)), h.now);
+  EXPECT_FALSE(h.ldst.CanAccept(h.now));      // same cycle
+  EXPECT_FALSE(h.ldst.CanAccept(h.now + 7));  // interval 8
+  EXPECT_TRUE(h.ldst.CanAccept(h.now + 8));
+}
+
+TEST(LdstUnit, QueueDepthGatesAcceptance) {
+  Harness h;
+  Cycle t = 0;
+  for (unsigned i = 0; i < TestCfg().queue_depth; ++i) {
+    t += 8;
+    ASSERT_TRUE(h.ldst.CanAccept(t));
+    h.ldst.Issue(i, GlobalLoad(9, CoalescedAddrs(0x1000 + i * 0x1000, 4)),
+                 t);
+  }
+  EXPECT_FALSE(h.ldst.CanAccept(t + 8));  // queue full
+}
+
+TEST(LdstUnit, OwnsRequestDistinguishesInstances) {
+  SectorCache l1("l1", TestL1(), 0);
+  LdstUnit a(TestCfg(), 0, /*instance=*/0, &l1, [](unsigned, std::uint8_t) {});
+  LdstUnit b(TestCfg(), 0, /*instance=*/1, &l1, [](unsigned, std::uint8_t) {});
+  Cycle now = 0;
+  l1.BeginCycle(now);
+  a.Issue(0, GlobalLoad(9, CoalescedAddrs(0x1000, 4)), now);
+  ++now;
+  l1.BeginCycle(now);
+  a.Tick(now);
+  ASSERT_FALSE(l1.miss_queue().empty());
+  // The id the LDST minted is recoverable from the waiting response path:
+  // check ownership through an artificial response id from each unit.
+  // Unit a minted an id with its tag; unit b must not claim it.
+  // (We reconstruct the id via the L1 MSHR waiter -> use Fill.)
+  const MemRequest down = l1.miss_queue().front();
+  l1.miss_queue().pop_front();
+  l1.Fill(MemResponse{down.id, down.line_addr, down.sector_mask, 0}, now);
+  ++now;
+  l1.BeginCycle(now);
+  ASSERT_FALSE(l1.responses().empty());
+  const MemResponse resp = l1.responses().front();
+  EXPECT_TRUE(a.OwnsRequest(resp.id));
+  EXPECT_FALSE(b.OwnsRequest(resp.id));
+}
+
+}  // namespace
+}  // namespace swiftsim

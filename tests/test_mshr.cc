@@ -1,0 +1,99 @@
+#include "mem/mshr.h"
+
+#include <gtest/gtest.h>
+
+namespace swiftsim {
+namespace {
+
+MemRequest Load(Addr line, std::uint32_t sectors, std::uint64_t id) {
+  MemRequest r;
+  r.line_addr = line;
+  r.sector_mask = sectors;
+  r.type = MemAccessType::kLoad;
+  r.id = id;
+  return r;
+}
+
+TEST(Mshr, AllocateAndFillWakesWaiter) {
+  Mshr mshr(4, 2);
+  EXPECT_TRUE(mshr.CanAllocate(0x1000));
+  mshr.Allocate(0x1000, Load(0x1000, 0x3, 1));
+  EXPECT_TRUE(mshr.HasEntry(0x1000));
+  EXPECT_EQ(mshr.RequestedSectors(0x1000), 0x3u);
+  const auto waiters = mshr.Fill(0x1000, 0x3);
+  ASSERT_EQ(waiters.size(), 1u);
+  EXPECT_EQ(waiters[0].id, 1u);
+  EXPECT_FALSE(mshr.HasEntry(0x1000));
+}
+
+TEST(Mshr, EntryLimit) {
+  Mshr mshr(2, 4);
+  mshr.Allocate(0x1000, Load(0x1000, 0x1, 1));
+  mshr.Allocate(0x2000, Load(0x2000, 0x1, 2));
+  EXPECT_TRUE(mshr.full());
+  EXPECT_FALSE(mshr.CanAllocate(0x3000));
+  // Existing lines can still merge.
+  EXPECT_TRUE(mshr.CanAllocate(0x1000));
+}
+
+TEST(Mshr, MergeLimit) {
+  Mshr mshr(4, 2);
+  mshr.Allocate(0x1000, Load(0x1000, 0x1, 1));
+  mshr.Allocate(0x1000, Load(0x1000, 0x2, 2));
+  EXPECT_FALSE(mshr.CanAllocate(0x1000));  // merge limit 2 reached
+  EXPECT_TRUE(mshr.CanAllocate(0x2000));
+}
+
+TEST(Mshr, PartialFillWakesOnlySatisfiedWaiters) {
+  Mshr mshr(4, 4);
+  mshr.Allocate(0x1000, Load(0x1000, 0x1, 1));  // wants sector 0
+  mshr.Allocate(0x1000, Load(0x1000, 0x8, 2));  // wants sector 3
+  mshr.AddRequestedSectors(0x1000, 0x8);
+  auto first = mshr.Fill(0x1000, 0x1);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].id, 1u);
+  EXPECT_TRUE(mshr.HasEntry(0x1000));  // waiter 2 still pending
+  auto second = mshr.Fill(0x1000, 0x8);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].id, 2u);
+  EXPECT_FALSE(mshr.HasEntry(0x1000));
+}
+
+TEST(Mshr, StoresCountAgainstMergeButNeverWake) {
+  Mshr mshr(4, 2);
+  MemRequest store = Load(0x1000, 0x1, 0);
+  store.type = MemAccessType::kStore;
+  mshr.Allocate(0x1000, store);
+  mshr.Allocate(0x1000, Load(0x1000, 0x1, 7));
+  EXPECT_FALSE(mshr.CanAllocate(0x1000));
+  const auto waiters = mshr.Fill(0x1000, 0x1);
+  ASSERT_EQ(waiters.size(), 1u);
+  EXPECT_EQ(waiters[0].id, 7u);
+}
+
+TEST(Mshr, FillOfUnknownLineReturnsEmpty) {
+  Mshr mshr(4, 2);
+  EXPECT_TRUE(mshr.Fill(0xdead00, 0xF).empty());
+}
+
+TEST(Mshr, WaiterNeedingBothSectorBatches) {
+  Mshr mshr(4, 4);
+  mshr.Allocate(0x1000, Load(0x1000, 0x3, 1));  // wants sectors 0 and 1
+  EXPECT_TRUE(mshr.Fill(0x1000, 0x1).empty());  // only sector 0 arrived
+  const auto waiters = mshr.Fill(0x1000, 0x2);
+  ASSERT_EQ(waiters.size(), 1u);
+  EXPECT_EQ(waiters[0].id, 1u);
+  EXPECT_FALSE(mshr.HasEntry(0x1000));
+}
+
+TEST(Mshr, SizeTracksEntries) {
+  Mshr mshr(8, 2);
+  EXPECT_EQ(mshr.size(), 0u);
+  mshr.Allocate(0x1000, Load(0x1000, 0x1, 1));
+  mshr.Allocate(0x2000, Load(0x2000, 0x1, 2));
+  mshr.Allocate(0x1000, Load(0x1000, 0x1, 3));  // merge, same entry
+  EXPECT_EQ(mshr.size(), 2u);
+}
+
+}  // namespace
+}  // namespace swiftsim

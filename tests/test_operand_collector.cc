@@ -1,0 +1,99 @@
+#include "core/operand_collector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace swiftsim {
+namespace {
+
+TraceInstr Instr(std::uint8_t dst, std::initializer_list<std::uint8_t> srcs) {
+  TraceInstr ins;
+  ins.op = Opcode::kFFma;
+  ins.dst = dst;
+  unsigned i = 0;
+  for (std::uint8_t r : srcs) ins.src[i++] = r;
+  return ins;
+}
+
+OperandCollectorConfig Small() {
+  OperandCollectorConfig cfg;
+  cfg.units = 2;
+  cfg.banks = 4;
+  cfg.ports_per_bank = 1;
+  return cfg;
+}
+
+TEST(OperandCollector, CollectsInOneCycleWithoutConflicts) {
+  OperandCollector oc(Small());
+  // Sources 1,2,3 map to distinct banks of 4.
+  oc.Accept(0, Instr(10, {1, 2, 3}), UnitClass::kSp);
+  EXPECT_TRUE(oc.busy());
+  oc.Tick(0);
+  ASSERT_EQ(oc.ready().size(), 1u);
+  EXPECT_EQ(oc.ready().front().slot, 0u);
+  EXPECT_EQ(oc.ready().front().dst, 10);
+  EXPECT_EQ(oc.ready().front().cls, UnitClass::kSp);
+  EXPECT_EQ(oc.bank_conflict_cycles(), 0u);
+}
+
+TEST(OperandCollector, BankConflictSerializesReads) {
+  OperandCollector oc(Small());
+  // r1 and r5 both map to bank 1: two cycles to collect.
+  oc.Accept(0, Instr(10, {1, 5}), UnitClass::kSp);
+  oc.Tick(0);
+  EXPECT_TRUE(oc.ready().empty());
+  EXPECT_EQ(oc.bank_conflict_cycles(), 1u);
+  oc.Tick(1);
+  ASSERT_EQ(oc.ready().size(), 1u);
+}
+
+TEST(OperandCollector, CrossUnitBankContention) {
+  OperandCollector oc(Small());
+  oc.Accept(0, Instr(10, {1}), UnitClass::kSp);
+  oc.Accept(1, Instr(11, {5}), UnitClass::kInt);  // same bank as r1
+  oc.Tick(0);
+  // Only one of the two reads can use bank 1 this cycle.
+  EXPECT_EQ(oc.ready().size(), 1u);
+  oc.Tick(1);
+  EXPECT_EQ(oc.ready().size(), 2u);
+}
+
+TEST(OperandCollector, CapacityGatesAccept) {
+  OperandCollector oc(Small());
+  EXPECT_TRUE(oc.CanAccept());
+  oc.Accept(0, Instr(10, {1, 5}), UnitClass::kSp);  // conflicts: stays
+  oc.Accept(1, Instr(11, {2, 6}), UnitClass::kSp);
+  EXPECT_FALSE(oc.CanAccept());
+  oc.Tick(0);  // partial progress, units still held
+  EXPECT_FALSE(oc.CanAccept());
+  oc.Tick(1);
+  EXPECT_TRUE(oc.CanAccept());  // both ready, units released
+}
+
+TEST(OperandCollector, ZeroOperandInstrReadyNextTick) {
+  OperandCollector oc(Small());
+  oc.Accept(2, Instr(9, {}), UnitClass::kInt);
+  oc.Tick(0);
+  ASSERT_EQ(oc.ready().size(), 1u);
+  EXPECT_EQ(oc.ready().front().slot, 2u);
+}
+
+TEST(OperandCollector, MultiplePortsRemoveConflicts) {
+  OperandCollectorConfig cfg = Small();
+  cfg.ports_per_bank = 2;
+  OperandCollector oc(cfg);
+  oc.Accept(0, Instr(10, {1, 5}), UnitClass::kSp);  // same bank, 2 ports
+  oc.Tick(0);
+  ASSERT_EQ(oc.ready().size(), 1u);
+  EXPECT_EQ(oc.bank_conflict_cycles(), 0u);
+}
+
+TEST(OperandCollector, RejectsBadConfig) {
+  OperandCollectorConfig cfg;
+  cfg.units = 0;
+  EXPECT_THROW(OperandCollector oc(cfg), SimError);
+}
+
+}  // namespace
+}  // namespace swiftsim

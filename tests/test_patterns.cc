@@ -1,0 +1,124 @@
+#include "workloads/patterns.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.h"
+#include "common/status.h"
+
+namespace swiftsim {
+namespace {
+
+TEST(Patterns, CoalescedAddrs) {
+  const auto a = CoalescedAddrs(0x1000, 4);
+  ASSERT_EQ(a.size(), 32u);
+  EXPECT_EQ(a[0], 0x1000u);
+  EXPECT_EQ(a[31], 0x1000u + 31 * 4);
+}
+
+TEST(Patterns, CoalescedRespectsMask) {
+  const LaneMask m = 0b1010;
+  const auto a = CoalescedAddrs(0x1000, 8, m);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0], 0x1000u + 1 * 8);  // lane 1
+  EXPECT_EQ(a[1], 0x1000u + 3 * 8);  // lane 3
+}
+
+TEST(Patterns, StridedAddrs) {
+  const auto a = StridedAddrs(0x0, 2048);
+  ASSERT_EQ(a.size(), 32u);
+  EXPECT_EQ(a[5], 5u * 2048);
+}
+
+TEST(Patterns, BroadcastAddrs) {
+  const auto a = BroadcastAddrs(0x42, LowLanes(7));
+  ASSERT_EQ(a.size(), 7u);
+  for (Addr x : a) EXPECT_EQ(x, 0x42u);
+}
+
+TEST(Patterns, RandomAddrsInRegionAndAligned) {
+  Rng rng(5);
+  const Addr base = 0x10000000;
+  const auto a = RandomAddrs(rng, base, 1 << 20, 8);
+  ASSERT_EQ(a.size(), 32u);
+  for (Addr x : a) {
+    EXPECT_GE(x, base);
+    EXPECT_LT(x, base + (1 << 20));
+    EXPECT_EQ(x % 8, 0u);
+  }
+}
+
+TEST(Patterns, RandomAddrsRejectsTinyRegion) {
+  Rng rng(5);
+  EXPECT_THROW(RandomAddrs(rng, 0, 4, 8), SimError);
+}
+
+TEST(Patterns, LowLanes) {
+  EXPECT_EQ(LowLanes(1), 0x1u);
+  EXPECT_EQ(LowLanes(8), 0xffu);
+  EXPECT_EQ(LowLanes(32), kFullMask);
+  EXPECT_THROW(LowLanes(0), SimError);
+  EXPECT_THROW(LowLanes(33), SimError);
+}
+
+TEST(Patterns, RandomMaskNeverEmptyAndDensity) {
+  Rng rng(9);
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const LaneMask m = RandomMask(rng, 0.5);
+    EXPECT_NE(m, 0u);
+    bits += PopCount(m);
+  }
+  EXPECT_NEAR(bits / (2000.0 * 32.0), 0.5, 0.03);
+  // Degenerate density still yields a nonempty mask (lane 0 forced).
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(RandomMask(rng, 0.0), 1u);
+}
+
+TEST(Patterns, EmitterAluAndMem) {
+  WarpTrace w;
+  WarpEmitter e(&w);
+  e.Alu(0x10, Opcode::kIMad, 7, {2, 3});
+  e.Mem(0x18, Opcode::kLdGlobal, 8, {7}, LowLanes(4),
+        CoalescedAddrs(0x1000, 4, LowLanes(4)));
+  e.Bar(0x20);
+  e.Exit(0x28);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w[0].dst, 7);
+  EXPECT_EQ(w[0].src[0], 2);
+  EXPECT_EQ(w[0].src[1], 3);
+  EXPECT_EQ(w[0].src[2], kNoReg);
+  EXPECT_EQ(w[1].addrs.size(), 4u);
+  EXPECT_TRUE(IsBarrier(w[2].op));
+  EXPECT_TRUE(IsExit(w[3].op));
+}
+
+TEST(Patterns, FmaChainIsDependent) {
+  WarpTrace w;
+  WarpEmitter e(&w);
+  e.FmaChain(0x100, 5, 10, 2, 3);
+  ASSERT_EQ(w.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(w[i].pc, 0x100u + 8 * i);
+    EXPECT_EQ(w[i].dst, 10);
+    EXPECT_EQ(w[i].src[0], 10);  // reads its own previous value
+  }
+}
+
+TEST(Patterns, IntBlockCyclesRegisters) {
+  WarpTrace w;
+  WarpEmitter e(&w);
+  e.IntBlock(0x200, 4, {20, 21});
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w[0].dst, 20);
+  EXPECT_EQ(w[1].dst, 21);
+  EXPECT_EQ(w[2].dst, 20);
+}
+
+TEST(Patterns, PcAllocSequential) {
+  PcAlloc pa(0x1000);
+  EXPECT_EQ(pa.Next(), 0x1000u);
+  EXPECT_EQ(pa.Next(), 0x1008u);
+  EXPECT_EQ(pa.Next(), 0x1010u);
+}
+
+}  // namespace
+}  // namespace swiftsim

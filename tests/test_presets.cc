@@ -1,0 +1,86 @@
+// Table I / Table II conformance tests for the GPU presets.
+#include "config/presets.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace swiftsim {
+namespace {
+
+TEST(Presets, Table1Rtx2080Ti) {
+  const GpuConfig c = Rtx2080TiConfig();
+  EXPECT_EQ(c.num_sms, 68u);          // Table I: 68 SMs
+  EXPECT_EQ(c.cuda_cores(), 4352u);   // Table I: 4352 CUDA cores
+  EXPECT_EQ(c.total_l2_bytes(), 5632u * 1024);  // Table I: 5.5MB L2
+}
+
+TEST(Presets, Table1Rtx3060) {
+  const GpuConfig c = Rtx3060Config();
+  EXPECT_EQ(c.num_sms, 28u);          // Table I: 28 SMs
+  EXPECT_EQ(c.cuda_cores(), 3584u);   // Table I: 3584 CUDA cores
+  EXPECT_EQ(c.total_l2_bytes(), 3u * 1024 * 1024);  // Table I: 3MB L2
+}
+
+TEST(Presets, Table1Rtx3090) {
+  const GpuConfig c = Rtx3090Config();
+  EXPECT_EQ(c.num_sms, 82u);          // Table I: 82 SMs
+  EXPECT_EQ(c.cuda_cores(), 10496u);  // Table I: 10496 CUDA cores
+  EXPECT_EQ(c.total_l2_bytes(), 6u * 1024 * 1024);  // Table I: 6MB L2
+}
+
+TEST(Presets, Table2Rtx2080TiDetail) {
+  const GpuConfig c = Rtx2080TiConfig();
+  // Table II rows.
+  EXPECT_EQ(c.sub_cores_per_sm, 4u);
+  EXPECT_EQ(c.schedulers_per_sub_core, 1u);
+  EXPECT_EQ(c.sched_policy, SchedPolicy::kGto);
+  EXPECT_EQ(c.int_unit.lanes, 16u);
+  EXPECT_EQ(c.sp_unit.lanes, 16u);
+  EXPECT_EQ(c.dp_unit.issue_interval(), 64u);  // DP:0.5x
+  EXPECT_EQ(c.sfu_unit.lanes, 4u);
+  EXPECT_EQ(c.ldst_units_per_sub_core, 4u);
+  // L1: sectored, write-through, 4 banks, 128B/32B, 256 MSHR, merge 8,
+  // LRU, 32 cycles.
+  EXPECT_EQ(c.l1.banks, 4u);
+  EXPECT_EQ(c.l1.line_bytes, 128u);
+  EXPECT_EQ(c.l1.sector_bytes, 32u);
+  EXPECT_EQ(c.l1.mshr_entries, 256u);
+  EXPECT_EQ(c.l1.mshr_max_merge, 8u);
+  EXPECT_EQ(c.l1.replacement, ReplacementPolicy::kLru);
+  EXPECT_EQ(c.l1.write_policy, WritePolicy::kWriteThrough);
+  EXPECT_EQ(c.l1.latency, 32u);
+  // L2: sectored, write-back, 192 MSHR, merge 4, LRU; 188-cycle
+  // load-to-use = 32 (L1 path) + 156 (L2 slice).
+  EXPECT_EQ(c.l2.write_policy, WritePolicy::kWriteBack);
+  EXPECT_EQ(c.l2.mshr_entries, 192u);
+  EXPECT_EQ(c.l2.mshr_max_merge, 4u);
+  EXPECT_EQ(c.l1.latency + c.l2.latency, 188u);
+  // Memory: 22 partitions, 227 cycles.
+  EXPECT_EQ(c.num_mem_partitions, 22u);
+  EXPECT_EQ(c.dram.latency, 227u);
+}
+
+TEST(Presets, AmpereDiffersFromTuring) {
+  const GpuConfig turing = Rtx2080TiConfig();
+  const GpuConfig ampere = Rtx3060Config();
+  EXPECT_GT(ampere.sp_unit.lanes, turing.sp_unit.lanes);  // 2x FP32
+  EXPECT_GT(ampere.max_warps_per_sm, turing.max_warps_per_sm);
+  EXPECT_GT(ampere.l1.size_bytes, turing.l1.size_bytes);
+}
+
+TEST(Presets, LookupByName) {
+  EXPECT_EQ(PresetByName("rtx2080ti").num_sms, 68u);
+  EXPECT_EQ(PresetByName("RTX3090").num_sms, 82u);  // case-insensitive
+  EXPECT_THROW(PresetByName("rtx9999"), SimError);
+  EXPECT_EQ(PresetNames().size(), 3u);
+}
+
+TEST(Presets, AllValidate) {
+  for (const auto& name : PresetNames()) {
+    EXPECT_NO_THROW(PresetByName(name).Validate()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace swiftsim

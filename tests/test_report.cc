@@ -1,0 +1,71 @@
+#include "sim/report.h"
+
+#include <gtest/gtest.h>
+
+#include "config/presets.h"
+#include "workloads/workload.h"
+
+namespace swiftsim {
+namespace {
+
+TEST(PerfReport, AggregatesSyntheticMetrics) {
+  SimResult r;
+  r.total_cycles = 1000;
+  r.instructions = 2500;
+  r.metrics = {
+      {"sm0.active_cycles", 600}, {"sm0.stall_cycles", 200},
+      {"sm1.active_cycles", 300}, {"sm1.stall_cycles", 100},
+      {"sm0.completed_ctas", 3},  {"sm1.completed_ctas", 5},
+      {"sm0.l1.accesses", 100},   {"sm0.l1.hits", 80},
+      {"sm1.l1.accesses", 100},   {"sm1.l1.hits", 40},
+      {"sm0.l1.reservation_fails", 7},
+      {"l2.0.accesses", 50},      {"l2.0.hits", 25},
+      {"l2.0.reservation_fails", 3},
+      {"dram.0.reads", 20},       {"dram.0.writes", 5},
+      {"dram.0.row_hits", 10},    {"dram.0.bytes", 3200},
+      {"noc.req.bytes", 111},     {"noc.resp.bytes", 222},
+  };
+  const PerfReport rep = BuildReport(r);
+  EXPECT_DOUBLE_EQ(rep.ipc, 2.5);
+  EXPECT_DOUBLE_EQ(rep.sm_busy_fraction, 900.0 / 1200.0);
+  EXPECT_EQ(rep.completed_ctas, 8u);
+  EXPECT_EQ(rep.l1_accesses, 200u);
+  EXPECT_DOUBLE_EQ(rep.l1_hit_rate, 120.0 / 200.0);
+  EXPECT_DOUBLE_EQ(rep.l2_hit_rate, 0.5);
+  EXPECT_EQ(rep.dram_reads, 20u);
+  EXPECT_EQ(rep.dram_bytes, 3200u);
+  EXPECT_DOUBLE_EQ(rep.dram_row_hit_rate, 10.0 / 25.0);
+  EXPECT_EQ(rep.noc_bytes, 333u);
+  EXPECT_EQ(rep.reservation_fails, 10u);
+  EXPECT_FALSE(rep.ToString().empty());
+}
+
+TEST(PerfReport, EmptyMetricsGiveZeros) {
+  SimResult r;
+  r.total_cycles = 10;
+  r.instructions = 0;
+  const PerfReport rep = BuildReport(r);
+  EXPECT_DOUBLE_EQ(rep.ipc, 0.0);
+  EXPECT_DOUBLE_EQ(rep.l1_hit_rate, 0.0);
+  EXPECT_EQ(rep.noc_bytes, 0u);
+}
+
+TEST(PerfReport, EndToEndFromRealRun) {
+  GpuConfig cfg = Rtx2080TiConfig();
+  cfg.num_sms = 4;
+  cfg.num_mem_partitions = 2;
+  WorkloadScale s;
+  s.scale = 0.03;
+  const Application app = BuildWorkload("GEMM", s);
+  GpuModel model(cfg, SelectionFor(SimLevel::kDetailed));
+  const PerfReport rep = BuildReport(model.RunApplication(app));
+  EXPECT_GT(rep.ipc, 0.0);
+  EXPECT_GT(rep.l1_accesses, 0u);
+  EXPECT_GT(rep.completed_ctas, 0u);
+  EXPECT_GT(rep.sm_busy_fraction, 0.0);
+  EXPECT_LE(rep.sm_busy_fraction, 1.0);
+  EXPECT_LE(rep.l1_hit_rate, 1.0);
+}
+
+}  // namespace
+}  // namespace swiftsim

@@ -1,0 +1,95 @@
+#include "analytical/reuse_distance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace swiftsim {
+namespace {
+
+TEST(ReuseDistance, ColdMissesCounted) {
+  ReuseDistanceProfiler prof;
+  prof.Access(0);
+  prof.Access(128);
+  prof.Access(256);
+  EXPECT_EQ(prof.accesses(), 3u);
+  EXPECT_EQ(prof.cold_misses(), 3u);
+}
+
+TEST(ReuseDistance, ImmediateReuseIsDistanceZero) {
+  ReuseDistanceProfiler prof;
+  prof.Access(0);
+  prof.Access(0);
+  EXPECT_EQ(prof.DistanceCount(0), 1u);
+}
+
+TEST(ReuseDistance, ClassicSequence) {
+  // a b c b a: reuse(b)=1 (c between), reuse(a)=2 (c and b distinct).
+  ReuseDistanceProfiler prof;
+  prof.Access('a');
+  prof.Access('b');
+  prof.Access('c');
+  prof.Access('b');
+  prof.Access('a');
+  EXPECT_EQ(prof.cold_misses(), 3u);
+  EXPECT_EQ(prof.DistanceCount(1), 1u);
+  EXPECT_EQ(prof.DistanceCount(2), 1u);
+  EXPECT_EQ(prof.DistanceCount(0), 0u);
+}
+
+TEST(ReuseDistance, DuplicatesDoNotInflateDistance) {
+  // a b b b a: only ONE distinct line (b) between the two a's.
+  ReuseDistanceProfiler prof;
+  prof.Access('a');
+  prof.Access('b');
+  prof.Access('b');
+  prof.Access('b');
+  prof.Access('a');
+  EXPECT_EQ(prof.DistanceCount(1), 1u);  // the final a
+  EXPECT_EQ(prof.DistanceCount(0), 2u);  // b->b twice
+}
+
+TEST(ReuseDistance, HitRateMatchesLruStackProperty) {
+  // Cyclic sweep over N lines: cache of >= N lines hits everything after
+  // the cold pass; any smaller LRU cache misses everything.
+  ReuseDistanceProfiler prof;
+  const unsigned kLines = 16;
+  const unsigned kRounds = 10;
+  for (unsigned r = 0; r < kRounds; ++r) {
+    for (unsigned l = 0; l < kLines; ++l) prof.Access(l * 128);
+  }
+  const double total = kLines * kRounds;
+  const double warm = (kRounds - 1.0) * kLines / total;
+  EXPECT_NEAR(prof.HitRateForCapacity(16), warm, 1e-9);
+  EXPECT_NEAR(prof.HitRateForCapacity(15), 0.0, 1e-9);
+  EXPECT_NEAR(prof.HitRateForCapacity(1000), warm, 1e-9);
+}
+
+TEST(ReuseDistance, HitRateMonotoneInCapacity) {
+  ReuseDistanceProfiler prof;
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    prof.Access(rng.Below(512) * 128);
+  }
+  double prev = -1.0;
+  for (std::uint64_t cap : {1u, 4u, 16u, 64u, 256u, 1024u}) {
+    const double rate = prof.HitRateForCapacity(cap);
+    EXPECT_GE(rate, prev);
+    prev = rate;
+  }
+  EXPECT_GT(prof.HitRateForCapacity(1024), 0.9);  // footprint fits
+}
+
+TEST(ReuseDistance, EmptyProfilerIsZero) {
+  ReuseDistanceProfiler prof;
+  EXPECT_DOUBLE_EQ(prof.HitRateForCapacity(100), 0.0);
+}
+
+TEST(ReuseDistance, DistanceOutOfRangeThrows) {
+  ReuseDistanceProfiler prof(16);
+  EXPECT_THROW(prof.DistanceCount(16), SimError);
+}
+
+}  // namespace
+}  // namespace swiftsim

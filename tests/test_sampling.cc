@@ -1,0 +1,98 @@
+#include "swiftsim/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "config/presets.h"
+#include "swiftsim/simulator.h"
+#include "workloads/workload.h"
+
+namespace swiftsim {
+namespace {
+
+GpuConfig SmallGpu() {
+  GpuConfig cfg = Rtx2080TiConfig();
+  cfg.num_sms = 4;
+  cfg.num_mem_partitions = 2;
+  return cfg;
+}
+
+Application App(const std::string& name, double scale) {
+  WorkloadScale s;
+  s.scale = scale;
+  return BuildWorkload(name, s);
+}
+
+TEST(Sampling, FullFractionMatchesFullRun) {
+  const GpuConfig cfg = SmallGpu();
+  const Application app = App("SM", 0.05);
+  const SampledResult sampled =
+      RunSampledSimulation(app, cfg, SimLevel::kSwiftSimBasic, 1.0);
+  const SimResult full = RunSimulation(app, cfg, SimLevel::kSwiftSimBasic);
+  EXPECT_EQ(sampled.sampled_ctas, sampled.total_ctas);
+  EXPECT_EQ(sampled.estimated_cycles, full.total_cycles);
+}
+
+TEST(Sampling, SmallFractionStaysAccurateOnHomogeneousGrids) {
+  // SM's CTAs are statistically identical, the friendly case for CTA
+  // sampling: a one-wave sample must extrapolate within ~20%.
+  const GpuConfig cfg = SmallGpu();
+  const Application app = App("SM", 0.4);
+  const SampledResult sampled =
+      RunSampledSimulation(app, cfg, SimLevel::kSwiftSimBasic, 0.1);
+  const SimResult full = RunSimulation(app, cfg, SimLevel::kSwiftSimBasic);
+  EXPECT_LT(sampled.sampled_ctas, sampled.total_ctas);
+  const double rel =
+      std::abs(static_cast<double>(sampled.estimated_cycles) -
+               static_cast<double>(full.total_cycles)) /
+      static_cast<double>(full.total_cycles);
+  EXPECT_LT(rel, 0.20);
+}
+
+TEST(Sampling, SimulatesLessWork) {
+  const GpuConfig cfg = SmallGpu();
+  const Application app = App("GEMM", 0.5);
+  const SampledResult sampled =
+      RunSampledSimulation(app, cfg, SimLevel::kSwiftSimBasic, 0.05);
+  EXPECT_LT(sampled.simulated_cycles, sampled.estimated_cycles);
+  EXPECT_LT(sampled.sample_fraction(), 0.6);
+}
+
+TEST(Sampling, AlwaysCoversOneFullWave) {
+  // Even an extreme fraction keeps one chip wave (contention realism).
+  // SM's CTAs use no shared memory: 4 SMs x 4 CTAs = a 16-CTA wave.
+  const GpuConfig cfg = SmallGpu();
+  const Application app = App("SM", 0.5);
+  ASSERT_GT(app.kernels[0]->info().num_ctas, 16u);
+  const SampledResult sampled =
+      RunSampledSimulation(app, cfg, SimLevel::kSwiftSimBasic, 0.0001);
+  EXPECT_GE(sampled.sampled_ctas, 16u);
+  EXPECT_LT(sampled.sampled_ctas, app.kernels[0]->info().num_ctas);
+}
+
+TEST(Sampling, ComposesWithAnalyticalMemory) {
+  // The paper's point: sampling is orthogonal — it stacks on either the
+  // cycle-accurate or the analytical memory path.
+  const GpuConfig cfg = SmallGpu();
+  const Application app = App("NW", 0.2);
+  const SampledResult basic =
+      RunSampledSimulation(app, cfg, SimLevel::kSwiftSimBasic, 0.2);
+  const SampledResult memory =
+      RunSampledSimulation(app, cfg, SimLevel::kSwiftSimMemory, 0.2);
+  EXPECT_GT(basic.estimated_cycles, 0u);
+  EXPECT_GT(memory.estimated_cycles, 0u);
+}
+
+TEST(Sampling, RejectsBadFraction) {
+  const GpuConfig cfg = SmallGpu();
+  const Application app = App("SM", 0.05);
+  EXPECT_THROW(
+      RunSampledSimulation(app, cfg, SimLevel::kSwiftSimBasic, 0.0),
+      SimError);
+  EXPECT_THROW(
+      RunSampledSimulation(app, cfg, SimLevel::kSwiftSimBasic, 1.5),
+      SimError);
+}
+
+}  // namespace
+}  // namespace swiftsim

@@ -1,0 +1,87 @@
+#include "core/scoreboard.h"
+
+#include <gtest/gtest.h>
+
+namespace swiftsim {
+namespace {
+
+TraceInstr Instr(std::uint8_t dst, std::initializer_list<std::uint8_t> srcs) {
+  TraceInstr ins;
+  ins.op = Opcode::kIAdd;
+  ins.dst = dst;
+  unsigned i = 0;
+  for (std::uint8_t r : srcs) ins.src[i++] = r;
+  return ins;
+}
+
+TEST(Scoreboard, FreshWarpCanIssue) {
+  Scoreboard sb(4);
+  EXPECT_TRUE(sb.CanIssue(0, Instr(5, {1, 2})));
+  EXPECT_EQ(sb.PendingCount(0), 0u);
+}
+
+TEST(Scoreboard, RawHazardBlocks) {
+  Scoreboard sb(4);
+  sb.OnIssue(0, Instr(5, {1}));
+  EXPECT_FALSE(sb.CanIssue(0, Instr(6, {5})));       // reads pending r5
+  EXPECT_TRUE(sb.CanIssue(0, Instr(6, {7})));        // unrelated
+  sb.OnWriteback(0, 5);
+  EXPECT_TRUE(sb.CanIssue(0, Instr(6, {5})));
+}
+
+TEST(Scoreboard, WawHazardBlocks) {
+  Scoreboard sb(4);
+  sb.OnIssue(0, Instr(5, {1}));
+  EXPECT_FALSE(sb.CanIssue(0, Instr(5, {2})));  // writes pending r5
+  sb.OnWriteback(0, 5);
+  EXPECT_TRUE(sb.CanIssue(0, Instr(5, {2})));
+}
+
+TEST(Scoreboard, WarpsAreIndependent) {
+  Scoreboard sb(4);
+  sb.OnIssue(0, Instr(5, {1}));
+  EXPECT_FALSE(sb.CanIssue(0, Instr(6, {5})));
+  EXPECT_TRUE(sb.CanIssue(1, Instr(6, {5})));
+}
+
+TEST(Scoreboard, NoDestInstrNeverSetsPending) {
+  Scoreboard sb(4);
+  TraceInstr store = Instr(kNoReg, {5});
+  sb.OnIssue(0, store);
+  EXPECT_EQ(sb.PendingCount(0), 0u);
+}
+
+TEST(Scoreboard, SecondSourceChecked) {
+  Scoreboard sb(4);
+  sb.OnIssue(0, Instr(9, {}));
+  EXPECT_FALSE(sb.CanIssue(0, Instr(6, {1, 9})));  // r9 is the 2nd source
+  EXPECT_TRUE(sb.CanIssue(0, Instr(6, {1, 2})));   // unrelated regs
+}
+
+TEST(Scoreboard, ResetClearsSlot) {
+  Scoreboard sb(4);
+  sb.OnIssue(0, Instr(5, {}));
+  sb.OnIssue(0, Instr(6, {}));
+  EXPECT_EQ(sb.PendingCount(0), 2u);
+  sb.Reset(0);
+  EXPECT_EQ(sb.PendingCount(0), 0u);
+  EXPECT_TRUE(sb.CanIssue(0, Instr(7, {5, 6})));
+}
+
+TEST(Scoreboard, WritebackOfNoRegIsNoop) {
+  Scoreboard sb(4);
+  sb.OnIssue(0, Instr(5, {}));
+  sb.OnWriteback(0, kNoReg);
+  EXPECT_EQ(sb.PendingCount(0), 1u);
+}
+
+TEST(Scoreboard, HighRegisterNumbers) {
+  Scoreboard sb(2);
+  sb.OnIssue(1, Instr(254, {}));
+  EXPECT_FALSE(sb.CanIssue(1, Instr(10, {254})));
+  sb.OnWriteback(1, 254);
+  EXPECT_TRUE(sb.CanIssue(1, Instr(10, {254})));
+}
+
+}  // namespace
+}  // namespace swiftsim

@@ -1,0 +1,108 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace swiftsim {
+namespace {
+
+TEST(Summary, EmptyThrowsOnMean) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_THROW(s.mean(), SimError);
+  EXPECT_THROW(s.min(), SimError);
+  EXPECT_THROW(s.max(), SimError);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.Add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, KnownMoments) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Sample variance of the classic example is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Summary, NegativeValues) {
+  Summary s;
+  s.Add(-5.0);
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+}
+
+TEST(GeoMean, KnownValue) {
+  EXPECT_NEAR(GeoMean({1.0, 100.0}), 10.0, 1e-9);
+  EXPECT_NEAR(GeoMean({2.0, 8.0}), 4.0, 1e-9);
+  EXPECT_NEAR(GeoMean({5.0}), 5.0, 1e-9);
+}
+
+TEST(GeoMean, RejectsEmptyAndNonPositive) {
+  EXPECT_THROW(GeoMean({}), SimError);
+  EXPECT_THROW(GeoMean({1.0, 0.0}), SimError);
+  EXPECT_THROW(GeoMean({1.0, -2.0}), SimError);
+}
+
+TEST(Mean, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_THROW(Mean({}), SimError);
+}
+
+TEST(RelError, Basic) {
+  EXPECT_DOUBLE_EQ(RelError(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelError(90.0, 100.0), 0.1);
+  EXPECT_THROW(RelError(1.0, 0.0), SimError);
+}
+
+TEST(MeanAbsRelError, PairedVectors) {
+  EXPECT_NEAR(MeanAbsRelError({110, 80}, {100, 100}), 0.15, 1e-12);
+  EXPECT_THROW(MeanAbsRelError({1.0}, {1.0, 2.0}), SimError);
+  EXPECT_THROW(MeanAbsRelError({}, {}), SimError);
+}
+
+TEST(Quantile, Interpolation) {
+  std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+  EXPECT_THROW(Quantile({}, 0.5), SimError);
+  EXPECT_THROW(Quantile({1.0}, 1.5), SimError);
+}
+
+TEST(Histogram, BinningAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-1.0);   // underflow
+  h.Add(0.0);    // bin 0
+  h.Add(1.99);   // bin 0
+  h.Add(2.0);    // bin 1
+  h.Add(9.99);   // bin 4
+  h.Add(10.0);   // overflow (hi-exclusive)
+  h.Add(100.0);  // overflow
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_THROW(h.bin_count(5), SimError);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), SimError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), SimError);
+}
+
+}  // namespace
+}  // namespace swiftsim

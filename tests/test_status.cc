@@ -1,0 +1,49 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+
+namespace swiftsim {
+namespace {
+
+TEST(Status, CheckPassesOnTrue) {
+  EXPECT_NO_THROW(SS_CHECK(1 + 1 == 2, "arithmetic works"));
+}
+
+TEST(Status, CheckThrowsWithMessage) {
+  try {
+    SS_CHECK(false, "the message");
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the message"), std::string::npos);
+    EXPECT_NE(what.find("test_status.cc"), std::string::npos);
+  }
+}
+
+TEST(Status, AssertThrows) {
+  EXPECT_THROW(SS_ASSERT(false), SimError);
+  EXPECT_NO_THROW(SS_ASSERT(true));
+}
+
+TEST(Status, CheckConditionEvaluatedOnce) {
+  int calls = 0;
+  auto f = [&] {
+    ++calls;
+    return true;
+  };
+  SS_CHECK(f(), "once");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Log, LevelFiltering) {
+  const LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SS_LOG(kInfo) << "this line is filtered out";
+  SetLogLevel(prev);
+}
+
+}  // namespace
+}  // namespace swiftsim

@@ -1,0 +1,87 @@
+#include "common/strutil.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace swiftsim {
+namespace {
+
+TEST(StrUtil, Trim) {
+  EXPECT_EQ(Trim("  abc  "), "abc");
+  EXPECT_EQ(Trim("abc"), "abc");
+  EXPECT_EQ(Trim("\t a b \n"), "a b");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StrUtil, Split) {
+  const auto parts = Split("a, b ,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_EQ(Split("", ',').size(), 1u);        // one empty piece
+  EXPECT_EQ(Split("a,,b", ',').size(), 3u);    // empty middles kept
+}
+
+TEST(StrUtil, SplitWs) {
+  const auto parts = SplitWs("  a \t b\nc ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(SplitWs("   ").empty());
+}
+
+TEST(StrUtil, StartsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(StartsWith("foo", ""));
+}
+
+TEST(StrUtil, ParseIntDecimalAndHex) {
+  EXPECT_EQ(ParseInt("42", "t"), 42);
+  EXPECT_EQ(ParseInt("-17", "t"), -17);
+  EXPECT_EQ(ParseInt("0x10", "t"), 16);
+  EXPECT_EQ(ParseUint("0xFF", "t"), 255u);
+  EXPECT_EQ(ParseInt(" 7 ", "t"), 7);
+}
+
+TEST(StrUtil, ParseIntRejectsGarbage) {
+  EXPECT_THROW(ParseInt("", "t"), SimError);
+  EXPECT_THROW(ParseInt("12x", "t"), SimError);
+  EXPECT_THROW(ParseInt("abc", "t"), SimError);
+  EXPECT_THROW(ParseUint("-5", "t"), SimError);
+}
+
+TEST(StrUtil, ParseIntErrorNamesContext) {
+  try {
+    ParseInt("bogus", "l1.latency");
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("l1.latency"), std::string::npos);
+  }
+}
+
+TEST(StrUtil, ParseDouble) {
+  EXPECT_DOUBLE_EQ(ParseDouble("2.5", "t"), 2.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3", "t"), -1000.0);
+  EXPECT_THROW(ParseDouble("2.5.6", "t"), SimError);
+  EXPECT_THROW(ParseDouble("", "t"), SimError);
+}
+
+TEST(StrUtil, ParseBool) {
+  EXPECT_TRUE(ParseBool("true", "t"));
+  EXPECT_TRUE(ParseBool("1", "t"));
+  EXPECT_TRUE(ParseBool("TRUE", "t"));
+  EXPECT_FALSE(ParseBool("false", "t"));
+  EXPECT_FALSE(ParseBool("0", "t"));
+  EXPECT_THROW(ParseBool("yes", "t"), SimError);
+}
+
+TEST(StrUtil, ToLower) {
+  EXPECT_EQ(ToLower("AbC123"), "abc123");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+}  // namespace
+}  // namespace swiftsim

@@ -1,0 +1,145 @@
+#include "mem/tag_array.h"
+
+#include <gtest/gtest.h>
+
+namespace swiftsim {
+namespace {
+
+CacheParams SmallCache(ReplacementPolicy pol = ReplacementPolicy::kLru) {
+  CacheParams p;
+  p.size_bytes = 2 * 128 * 2;  // 2 sets x 2 ways x 128B lines
+  p.assoc = 2;
+  p.line_bytes = 128;
+  p.sector_bytes = 32;
+  p.banks = 1;
+  p.replacement = pol;
+  return p;
+}
+
+// Addresses mapping to set 0 of the 2-set cache: line index even.
+constexpr Addr kSet0A = 0 * 128;
+constexpr Addr kSet0B = 2 * 128;
+constexpr Addr kSet0C = 4 * 128;
+
+TEST(TagArray, MissReservesThenFillsThenHits) {
+  TagArray tags(SmallCache(), 1);
+  Eviction ev;
+  EXPECT_EQ(tags.Probe(kSet0A, 0x1, 1, &ev), TagOutcome::kMiss);
+  EXPECT_FALSE(ev.valid);
+  EXPECT_FALSE(tags.IsHit(kSet0A, 0x1));  // reserved, not valid yet
+  tags.Fill(kSet0A, 0x1, 2);
+  EXPECT_TRUE(tags.IsHit(kSet0A, 0x1));
+  EXPECT_EQ(tags.Probe(kSet0A, 0x1, 3, &ev), TagOutcome::kHit);
+}
+
+TEST(TagArray, SectorMissOnPartialLine) {
+  TagArray tags(SmallCache(), 1);
+  Eviction ev;
+  tags.Probe(kSet0A, 0x1, 1, &ev);
+  tags.Fill(kSet0A, 0x1, 2);
+  // Sector 2 not resident: line present -> sector miss.
+  EXPECT_EQ(tags.Probe(kSet0A, 0x4, 3, &ev), TagOutcome::kSectorMiss);
+  tags.Fill(kSet0A, 0x4, 4);
+  EXPECT_EQ(tags.Probe(kSet0A, 0x5, 5, &ev), TagOutcome::kHit);
+}
+
+TEST(TagArray, ReservationFailWhenAllWaysPending) {
+  TagArray tags(SmallCache(), 1);
+  Eviction ev;
+  EXPECT_EQ(tags.Probe(kSet0A, 0x1, 1, &ev), TagOutcome::kMiss);
+  EXPECT_EQ(tags.Probe(kSet0B, 0x1, 2, &ev), TagOutcome::kMiss);
+  // Both ways of set 0 reserved; a third line cannot be victimized.
+  EXPECT_EQ(tags.Probe(kSet0C, 0x1, 3, &ev), TagOutcome::kReservationFail);
+  tags.Fill(kSet0A, 0x1, 4);
+  // Now A is evictable.
+  EXPECT_EQ(tags.Probe(kSet0C, 0x1, 5, &ev), TagOutcome::kMiss);
+  EXPECT_TRUE(ev.valid);
+  EXPECT_EQ(ev.line_addr, kSet0A);
+}
+
+TEST(TagArray, LruEvictsLeastRecentlyUsed) {
+  TagArray tags(SmallCache(ReplacementPolicy::kLru), 1);
+  Eviction ev;
+  tags.Probe(kSet0A, 0x1, 1, &ev);
+  tags.Fill(kSet0A, 0x1, 1);
+  tags.Probe(kSet0B, 0x1, 2, &ev);
+  tags.Fill(kSet0B, 0x1, 2);
+  tags.Probe(kSet0A, 0x1, 3, &ev);  // touch A -> B is LRU
+  EXPECT_EQ(tags.Probe(kSet0C, 0x1, 4, &ev), TagOutcome::kMiss);
+  EXPECT_TRUE(ev.valid);
+  EXPECT_EQ(ev.line_addr, kSet0B);
+}
+
+TEST(TagArray, FifoIgnoresRecency) {
+  TagArray tags(SmallCache(ReplacementPolicy::kFifo), 1);
+  Eviction ev;
+  tags.Probe(kSet0A, 0x1, 1, &ev);
+  tags.Fill(kSet0A, 0x1, 1);
+  tags.Probe(kSet0B, 0x1, 2, &ev);
+  tags.Fill(kSet0B, 0x1, 2);
+  tags.Probe(kSet0A, 0x1, 3, &ev);  // touching A does NOT protect it
+  EXPECT_EQ(tags.Probe(kSet0C, 0x1, 4, &ev), TagOutcome::kMiss);
+  EXPECT_TRUE(ev.valid);
+  EXPECT_EQ(ev.line_addr, kSet0A);  // oldest allocation evicted
+}
+
+TEST(TagArray, RandomPolicyEvictsSomething) {
+  TagArray tags(SmallCache(ReplacementPolicy::kRandom), 7);
+  Eviction ev;
+  tags.Probe(kSet0A, 0x1, 1, &ev);
+  tags.Fill(kSet0A, 0x1, 1);
+  tags.Probe(kSet0B, 0x1, 2, &ev);
+  tags.Fill(kSet0B, 0x1, 2);
+  EXPECT_EQ(tags.Probe(kSet0C, 0x1, 3, &ev), TagOutcome::kMiss);
+  EXPECT_TRUE(ev.valid);
+  EXPECT_TRUE(ev.line_addr == kSet0A || ev.line_addr == kSet0B);
+}
+
+TEST(TagArray, MarkDirtyValidatesSectors) {
+  TagArray tags(SmallCache(), 1);
+  Eviction ev;
+  tags.Probe(kSet0A, 0x1, 1, &ev);
+  tags.Fill(kSet0A, 0x1, 1);
+  EXPECT_TRUE(tags.MarkDirty(kSet0A, 0x2, 2));
+  EXPECT_TRUE(tags.IsHit(kSet0A, 0x2));  // full-sector write validates
+  EXPECT_FALSE(tags.MarkDirty(kSet0B, 0x1, 3));  // absent line
+}
+
+TEST(TagArray, WriteValidateInstallsDirtyLine) {
+  TagArray tags(SmallCache(), 1);
+  Eviction ev;
+  EXPECT_EQ(tags.WriteValidate(kSet0A, 0x3, 1, &ev), TagOutcome::kMiss);
+  EXPECT_TRUE(tags.IsHit(kSet0A, 0x3));
+  EXPECT_EQ(tags.WriteValidate(kSet0A, 0x4, 2, &ev), TagOutcome::kHit);
+  // Evicting the dirty line reports its dirty sectors.
+  tags.WriteValidate(kSet0B, 0x1, 3, &ev);
+  EXPECT_EQ(tags.WriteValidate(kSet0C, 0x1, 4, &ev), TagOutcome::kMiss);
+  EXPECT_TRUE(ev.valid);
+  EXPECT_TRUE(ev.dirty);
+  EXPECT_EQ(ev.dirty_sectors & 0x7u, ev.dirty_sectors);
+}
+
+TEST(TagArray, FillAllocateInstallsWithoutReservation) {
+  TagArray tags(SmallCache(), 1);
+  Eviction ev;
+  tags.FillAllocate(kSet0A, 0x3, 1, &ev);
+  EXPECT_FALSE(ev.valid);
+  EXPECT_TRUE(tags.IsHit(kSet0A, 0x3));
+  // Extending an existing line adds sectors, no eviction.
+  tags.FillAllocate(kSet0A, 0x4, 2, &ev);
+  EXPECT_FALSE(ev.valid);
+  EXPECT_TRUE(tags.IsHit(kSet0A, 0x7));
+  // Filling a third line into the 2-way set evicts.
+  tags.FillAllocate(kSet0B, 0x1, 3, &ev);
+  tags.FillAllocate(kSet0C, 0x1, 4, &ev);
+  EXPECT_TRUE(ev.valid);
+}
+
+TEST(TagArray, FillOfUnknownLineIsIgnored) {
+  TagArray tags(SmallCache(), 1);
+  tags.Fill(kSet0A, 0xF, 1);  // never probed/reserved
+  EXPECT_FALSE(tags.IsHit(kSet0A, 0x1));
+}
+
+}  // namespace
+}  // namespace swiftsim

@@ -1,0 +1,113 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/status.h"
+#include "workloads/workload.h"
+
+namespace swiftsim {
+namespace {
+
+bool TracesEqual(const KernelTrace& a, const KernelTrace& b) {
+  if (a.info().name != b.info().name ||
+      a.info().num_ctas != b.info().num_ctas ||
+      a.num_variants() != b.num_variants()) {
+    return false;
+  }
+  for (std::size_t v = 0; v < a.num_variants(); ++v) {
+    if (a.variant(v).warps != b.variant(v).warps) return false;
+  }
+  return true;
+}
+
+class TraceIoRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TraceIoRoundTrip, KernelSurvivesWriteRead) {
+  WorkloadScale s;
+  s.scale = 0.05;
+  const Application app = BuildWorkload(GetParam(), s);
+  for (const auto& kernel : app.kernels) {
+    std::stringstream buf;
+    WriteKernelTrace(*kernel, buf);
+    const auto reloaded = ReadKernelTrace(buf);
+    EXPECT_TRUE(TracesEqual(*kernel, *reloaded)) << kernel->info().name;
+  }
+}
+
+// A representative subset keeps the suite fast; the workload-generator
+// tests cover all 18 apps structurally.
+INSTANTIATE_TEST_SUITE_P(Workloads, TraceIoRoundTrip,
+                         ::testing::Values("BFS", "NW", "GEMM", "SM", "GRU",
+                                           "PAGERANK"));
+
+TEST(TraceIo, ApplicationRoundTrip) {
+  WorkloadScale s;
+  s.scale = 0.05;
+  const Application app = BuildWorkload("ATAX", s);  // two kernels
+  std::stringstream buf;
+  WriteApplication(app, buf);
+  const Application reloaded = ReadApplication(buf);
+  EXPECT_EQ(reloaded.name, app.name);
+  ASSERT_EQ(reloaded.kernels.size(), app.kernels.size());
+  for (std::size_t i = 0; i < app.kernels.size(); ++i) {
+    EXPECT_TRUE(TracesEqual(*app.kernels[i], *reloaded.kernels[i]));
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  WorkloadScale s;
+  s.scale = 0.05;
+  const Application app = BuildWorkload("LU", s);
+  const std::string path = ::testing::TempDir() + "/lu.sstrace";
+  WriteKernelTraceFile(*app.kernels[0], path);
+  const auto reloaded = ReadKernelTraceFile(path);
+  EXPECT_TRUE(TracesEqual(*app.kernels[0], *reloaded));
+}
+
+TEST(TraceIo, ParseErrorsNameTheLine) {
+  std::stringstream buf("kernel k id=0 ctas=1 warps_per_cta=1 "
+                        "threads_per_cta=32 smem=0 regs=16 variants=1\n"
+                        "variant 0\n"
+                        "warp 0 n=1\n"
+                        "this is not an instruction\n");
+  try {
+    ReadKernelTrace(buf);
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+  }
+}
+
+TEST(TraceIo, RejectsTruncatedInput) {
+  std::stringstream buf("kernel k id=0 ctas=1 warps_per_cta=1 "
+                        "threads_per_cta=32 smem=0 regs=16 variants=1\n"
+                        "variant 0\n");
+  EXPECT_THROW(ReadKernelTrace(buf), SimError);
+}
+
+TEST(TraceIo, RejectsMissingHeaderField) {
+  std::stringstream buf("kernel k id=0 ctas=1\n");
+  EXPECT_THROW(ReadKernelTrace(buf), SimError);
+}
+
+TEST(TraceIo, RejectsBadMemoryAddressCount) {
+  std::stringstream buf(
+      "kernel k id=0 ctas=1 warps_per_cta=1 threads_per_cta=32 smem=0 "
+      "regs=16 variants=1\n"
+      "variant 0\n"
+      "warp 0 n=2\n"
+      "i 10 LDG d=5 s=4 m=ffffffff a=1000\n"  // 1 addr, 32 lanes
+      "i 18 EXIT d=- s=- m=ffffffff\n"
+      "end_warp\nend_variant\nend_kernel\n");
+  EXPECT_THROW(ReadKernelTrace(buf), SimError);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(ReadKernelTraceFile("/no/such/file.sstrace"), SimError);
+  EXPECT_THROW(ReadApplicationFile("/no/such/app.sstrace"), SimError);
+}
+
+}  // namespace
+}  // namespace swiftsim

@@ -1,0 +1,71 @@
+#include "trace/trace_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/patterns.h"
+#include "workloads/workload.h"
+
+namespace swiftsim {
+namespace {
+
+TEST(TraceStats, CountsHandBuiltKernel) {
+  WarpTrace w;
+  WarpEmitter e(&w);
+  e.Alu(0x10, Opcode::kIAdd, 4, {4});
+  e.Alu(0x18, Opcode::kFFma, 5, {4, 4, 5}, LowLanes(16));  // divergent
+  e.Mem(0x20, Opcode::kLdGlobal, 6, {4}, kFullMask,
+        CoalescedAddrs(0x1000, 4));
+  e.Mem(0x28, Opcode::kStShared, kNoReg, {6}, kFullMask,
+        CoalescedAddrs(0, 4));
+  e.Bar(0x30);
+  e.Exit(0x38);
+
+  KernelInfo info;
+  info.name = "k";
+  info.num_ctas = 2;
+  info.warps_per_cta = 1;
+  info.threads_per_cta = 32;
+  KernelTrace k(info, {CtaTrace{{w}}});
+
+  const TraceStats st = ComputeTraceStats(k);
+  EXPECT_EQ(st.dynamic_instrs, 12u);  // 6 instrs x 2 CTAs
+  EXPECT_EQ(st.warps, 2u);
+  EXPECT_EQ(st.mem_instrs, 4u);
+  EXPECT_EQ(st.global_mem_instrs, 2u);
+  EXPECT_EQ(st.shared_mem_instrs, 2u);
+  EXPECT_EQ(st.barriers, 2u);
+  EXPECT_EQ(st.divergent_instrs, 2u);
+  EXPECT_EQ(st.fully_active_instrs, 10u);
+  // Coalesced 32 x 4B starting at 0x1000 touches exactly one 128B line.
+  EXPECT_EQ(st.distinct_lines_touched, 1u);
+  EXPECT_EQ(st.distinct_pcs, 6u);
+  EXPECT_NEAR(st.mem_fraction(), 4.0 / 12.0, 1e-9);
+}
+
+TEST(TraceStats, AvgActiveLanes) {
+  WarpTrace w;
+  WarpEmitter e(&w);
+  e.Alu(0x10, Opcode::kIAdd, 4, {}, LowLanes(8));
+  e.Exit(0x18);
+  KernelInfo info;
+  info.name = "k";
+  info.num_ctas = 1;
+  info.warps_per_cta = 1;
+  info.threads_per_cta = 32;
+  KernelTrace k(info, {CtaTrace{{w}}});
+  const TraceStats st = ComputeTraceStats(k);
+  EXPECT_DOUBLE_EQ(st.avg_active_lanes(), (8.0 + 32.0) / 2.0);
+}
+
+TEST(TraceStats, WorkloadSmokeToString) {
+  WorkloadScale s;
+  s.scale = 0.05;
+  const Application app = BuildWorkload("SM", s);
+  const TraceStats st = ComputeTraceStats(*app.kernels[0]);
+  EXPECT_GT(st.dynamic_instrs, 0u);
+  EXPECT_GT(st.mem_instrs, 0u);
+  EXPECT_FALSE(st.ToString().empty());
+}
+
+}  // namespace
+}  // namespace swiftsim

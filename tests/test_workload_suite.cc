@@ -1,0 +1,135 @@
+// Property tests over all 18 registered workloads: structural validity,
+// determinism, scale behavior, and per-kind characteristics.
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "trace/trace_stats.h"
+#include "workloads/workload.h"
+
+namespace swiftsim {
+namespace {
+
+WorkloadScale TestScale() {
+  WorkloadScale s;
+  s.scale = 0.05;
+  return s;
+}
+
+TEST(WorkloadRegistry, Has18PaperApps) {
+  EXPECT_EQ(AllWorkloads().size(), 18u);
+  EXPECT_EQ(WorkloadByName("BFS").suite, "rodinia");
+  EXPECT_EQ(WorkloadByName("ADI").suite, "polybench");
+  EXPECT_EQ(WorkloadByName("SM").suite, "mars");
+  EXPECT_EQ(WorkloadByName("GRU").suite, "tango");
+  EXPECT_EQ(WorkloadByName("SSSP").suite, "pannotia");
+  EXPECT_THROW(WorkloadByName("NOPE"), SimError);
+  EXPECT_THROW(BuildWorkload("NOPE", TestScale()), SimError);
+}
+
+TEST(WorkloadRegistry, PaperHeadlineAppsAreMemoryStreaming) {
+  // NW, ADI, SM, GRU: the >1000x Swift-Sim-Memory applications of Fig. 4.
+  for (const char* name : {"NW", "ADI", "SM", "GRU"}) {
+    EXPECT_EQ(WorkloadByName(name).kind, WorkloadKind::kMemoryStreaming)
+        << name;
+  }
+}
+
+class WorkloadSuite : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadSuite, TraceIsStructurallyValid) {
+  const Application app = BuildWorkload(GetParam(), TestScale());
+  EXPECT_EQ(app.name, GetParam());
+  ASSERT_FALSE(app.kernels.empty());
+  for (const auto& kernel : app.kernels) {
+    EXPECT_NO_THROW(kernel->ValidateTrace());
+  }
+}
+
+TEST_P(WorkloadSuite, DeterministicForSeed) {
+  const Application a = BuildWorkload(GetParam(), TestScale());
+  const Application b = BuildWorkload(GetParam(), TestScale());
+  ASSERT_EQ(a.kernels.size(), b.kernels.size());
+  for (std::size_t k = 0; k < a.kernels.size(); ++k) {
+    ASSERT_EQ(a.kernels[k]->num_variants(), b.kernels[k]->num_variants());
+    for (std::size_t v = 0; v < a.kernels[k]->num_variants(); ++v) {
+      EXPECT_EQ(a.kernels[k]->variant(v).warps,
+                b.kernels[k]->variant(v).warps);
+    }
+  }
+}
+
+TEST_P(WorkloadSuite, DifferentSeedDiffersIfRandomized) {
+  WorkloadScale s1 = TestScale();
+  WorkloadScale s2 = TestScale();
+  s2.seed = 0x0ddba11u;
+  const Application a = BuildWorkload(GetParam(), s1);
+  const Application b = BuildWorkload(GetParam(), s2);
+  // Structure must be identical even if addresses differ.
+  ASSERT_EQ(a.kernels.size(), b.kernels.size());
+  EXPECT_EQ(a.kernels[0]->info().num_ctas, b.kernels[0]->info().num_ctas);
+}
+
+TEST_P(WorkloadSuite, ScaleGrowsGrid) {
+  WorkloadScale small = TestScale();
+  WorkloadScale large = TestScale();
+  large.scale = 0.5;
+  const Application a = BuildWorkload(GetParam(), small);
+  const Application b = BuildWorkload(GetParam(), large);
+  EXPECT_GT(b.kernels[0]->info().num_ctas, a.kernels[0]->info().num_ctas);
+  EXPECT_GT(b.TotalInstrs(), a.TotalInstrs());
+}
+
+TEST_P(WorkloadSuite, HasGlobalMemoryTraffic) {
+  const Application app = BuildWorkload(GetParam(), TestScale());
+  const TraceStats st = ComputeTraceStats(*app.kernels[0]);
+  EXPECT_GT(st.global_mem_instrs, 0u);
+  EXPECT_GT(st.mem_fraction(), 0.02);
+  EXPECT_LT(st.mem_fraction(), 0.95);
+}
+
+TEST_P(WorkloadSuite, KernelFitsOnModeledGpus) {
+  const Application app = BuildWorkload(GetParam(), TestScale());
+  for (const auto& kernel : app.kernels) {
+    const KernelInfo& info = kernel->info();
+    EXPECT_LE(info.warps_per_cta * kWarpSize, 1024u);  // Turing CTA limit
+    EXPECT_LE(info.smem_bytes_per_cta, 64u * 1024);
+    EXPECT_LE(info.regs_per_thread, 255u);
+  }
+}
+
+TEST_P(WorkloadSuite, IrregularAppsDiverge) {
+  // II is irregular by access pattern (scatter), not by control flow.
+  const WorkloadSpec& spec = WorkloadByName(GetParam());
+  if (spec.kind != WorkloadKind::kIrregular || spec.name == "II") {
+    GTEST_SKIP();
+  }
+  const Application app = BuildWorkload(GetParam(), TestScale());
+  const TraceStats st = ComputeTraceStats(*app.kernels[0]);
+  EXPECT_GT(st.divergent_instrs, 0u);
+  EXPECT_LT(st.avg_active_lanes(), 31.9);
+}
+
+std::vector<std::string> AllNames() {
+  std::vector<std::string> names;
+  for (const auto& spec : AllWorkloads()) names.push_back(spec.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadSuite, ::testing::ValuesIn(AllNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(WorkloadScaleHelper, ScaledClamps) {
+  EXPECT_EQ(Scaled(1.0, 100), 100u);
+  EXPECT_EQ(Scaled(0.5, 100), 50u);
+  EXPECT_EQ(Scaled(0.001, 100, 2), 2u);  // floor
+  EXPECT_EQ(Scaled(2.0, 100), 200u);
+}
+
+TEST(Workloads, RejectsNonPositiveScale) {
+  WorkloadScale s;
+  s.scale = 0.0;
+  EXPECT_THROW(BuildWorkload("BFS", s), SimError);
+}
+
+}  // namespace
+}  // namespace swiftsim
