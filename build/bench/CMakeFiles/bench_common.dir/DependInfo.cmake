@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cc" "bench/CMakeFiles/bench_common.dir/bench_common.cc.o" "gcc" "bench/CMakeFiles/bench_common.dir/bench_common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/swiftsim/CMakeFiles/swiftsim_swiftsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swiftsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytical/CMakeFiles/swiftsim_analytical.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swiftsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/swiftsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/swiftsim_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/swiftsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/swiftsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swiftsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_speedup_contribution.dir/bench_fig5_speedup_contribution.cpp.o"
+  "CMakeFiles/bench_fig5_speedup_contribution.dir/bench_fig5_speedup_contribution.cpp.o.d"
+  "bench_fig5_speedup_contribution"
+  "bench_fig5_speedup_contribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_speedup_contribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

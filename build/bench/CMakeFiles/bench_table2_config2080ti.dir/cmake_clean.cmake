@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_config2080ti.dir/bench_table2_config2080ti.cpp.o"
+  "CMakeFiles/bench_table2_config2080ti.dir/bench_table2_config2080ti.cpp.o.d"
+  "bench_table2_config2080ti"
+  "bench_table2_config2080ti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_config2080ti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_hybrid_simulator.dir/custom_hybrid_simulator.cpp.o"
+  "CMakeFiles/custom_hybrid_simulator.dir/custom_hybrid_simulator.cpp.o.d"
+  "custom_hybrid_simulator"
+  "custom_hybrid_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_hybrid_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

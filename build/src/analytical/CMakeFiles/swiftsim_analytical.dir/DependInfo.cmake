@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytical/cache_prepass.cc" "src/analytical/CMakeFiles/swiftsim_analytical.dir/cache_prepass.cc.o" "gcc" "src/analytical/CMakeFiles/swiftsim_analytical.dir/cache_prepass.cc.o.d"
+  "/root/repo/src/analytical/functional_cache.cc" "src/analytical/CMakeFiles/swiftsim_analytical.dir/functional_cache.cc.o" "gcc" "src/analytical/CMakeFiles/swiftsim_analytical.dir/functional_cache.cc.o.d"
+  "/root/repo/src/analytical/interval_model.cc" "src/analytical/CMakeFiles/swiftsim_analytical.dir/interval_model.cc.o" "gcc" "src/analytical/CMakeFiles/swiftsim_analytical.dir/interval_model.cc.o.d"
+  "/root/repo/src/analytical/mem_model.cc" "src/analytical/CMakeFiles/swiftsim_analytical.dir/mem_model.cc.o" "gcc" "src/analytical/CMakeFiles/swiftsim_analytical.dir/mem_model.cc.o.d"
+  "/root/repo/src/analytical/rd_profile.cc" "src/analytical/CMakeFiles/swiftsim_analytical.dir/rd_profile.cc.o" "gcc" "src/analytical/CMakeFiles/swiftsim_analytical.dir/rd_profile.cc.o.d"
+  "/root/repo/src/analytical/reuse_distance.cc" "src/analytical/CMakeFiles/swiftsim_analytical.dir/reuse_distance.cc.o" "gcc" "src/analytical/CMakeFiles/swiftsim_analytical.dir/reuse_distance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/swiftsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/swiftsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/swiftsim_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/swiftsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swiftsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

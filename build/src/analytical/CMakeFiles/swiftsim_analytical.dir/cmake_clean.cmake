@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftsim_analytical.dir/cache_prepass.cc.o"
+  "CMakeFiles/swiftsim_analytical.dir/cache_prepass.cc.o.d"
+  "CMakeFiles/swiftsim_analytical.dir/functional_cache.cc.o"
+  "CMakeFiles/swiftsim_analytical.dir/functional_cache.cc.o.d"
+  "CMakeFiles/swiftsim_analytical.dir/interval_model.cc.o"
+  "CMakeFiles/swiftsim_analytical.dir/interval_model.cc.o.d"
+  "CMakeFiles/swiftsim_analytical.dir/mem_model.cc.o"
+  "CMakeFiles/swiftsim_analytical.dir/mem_model.cc.o.d"
+  "CMakeFiles/swiftsim_analytical.dir/rd_profile.cc.o"
+  "CMakeFiles/swiftsim_analytical.dir/rd_profile.cc.o.d"
+  "CMakeFiles/swiftsim_analytical.dir/reuse_distance.cc.o"
+  "CMakeFiles/swiftsim_analytical.dir/reuse_distance.cc.o.d"
+  "libswiftsim_analytical.a"
+  "libswiftsim_analytical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftsim_analytical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

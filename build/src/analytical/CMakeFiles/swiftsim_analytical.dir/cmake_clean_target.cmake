@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswiftsim_analytical.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftsim_common.dir/log.cc.o"
+  "CMakeFiles/swiftsim_common.dir/log.cc.o.d"
+  "CMakeFiles/swiftsim_common.dir/stats.cc.o"
+  "CMakeFiles/swiftsim_common.dir/stats.cc.o.d"
+  "CMakeFiles/swiftsim_common.dir/strutil.cc.o"
+  "CMakeFiles/swiftsim_common.dir/strutil.cc.o.d"
+  "libswiftsim_common.a"
+  "libswiftsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftsim_config.dir/gpu_config.cc.o"
+  "CMakeFiles/swiftsim_config.dir/gpu_config.cc.o.d"
+  "CMakeFiles/swiftsim_config.dir/ini.cc.o"
+  "CMakeFiles/swiftsim_config.dir/ini.cc.o.d"
+  "CMakeFiles/swiftsim_config.dir/presets.cc.o"
+  "CMakeFiles/swiftsim_config.dir/presets.cc.o.d"
+  "libswiftsim_config.a"
+  "libswiftsim_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftsim_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/barrier.cc" "src/core/CMakeFiles/swiftsim_core.dir/barrier.cc.o" "gcc" "src/core/CMakeFiles/swiftsim_core.dir/barrier.cc.o.d"
+  "/root/repo/src/core/cta_allocator.cc" "src/core/CMakeFiles/swiftsim_core.dir/cta_allocator.cc.o" "gcc" "src/core/CMakeFiles/swiftsim_core.dir/cta_allocator.cc.o.d"
+  "/root/repo/src/core/exec_unit.cc" "src/core/CMakeFiles/swiftsim_core.dir/exec_unit.cc.o" "gcc" "src/core/CMakeFiles/swiftsim_core.dir/exec_unit.cc.o.d"
+  "/root/repo/src/core/ldst_unit.cc" "src/core/CMakeFiles/swiftsim_core.dir/ldst_unit.cc.o" "gcc" "src/core/CMakeFiles/swiftsim_core.dir/ldst_unit.cc.o.d"
+  "/root/repo/src/core/operand_collector.cc" "src/core/CMakeFiles/swiftsim_core.dir/operand_collector.cc.o" "gcc" "src/core/CMakeFiles/swiftsim_core.dir/operand_collector.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/swiftsim_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/swiftsim_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/scoreboard.cc" "src/core/CMakeFiles/swiftsim_core.dir/scoreboard.cc.o" "gcc" "src/core/CMakeFiles/swiftsim_core.dir/scoreboard.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/swiftsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/swiftsim_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/swiftsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swiftsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

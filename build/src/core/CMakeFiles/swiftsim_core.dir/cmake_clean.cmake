@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftsim_core.dir/barrier.cc.o"
+  "CMakeFiles/swiftsim_core.dir/barrier.cc.o.d"
+  "CMakeFiles/swiftsim_core.dir/cta_allocator.cc.o"
+  "CMakeFiles/swiftsim_core.dir/cta_allocator.cc.o.d"
+  "CMakeFiles/swiftsim_core.dir/exec_unit.cc.o"
+  "CMakeFiles/swiftsim_core.dir/exec_unit.cc.o.d"
+  "CMakeFiles/swiftsim_core.dir/ldst_unit.cc.o"
+  "CMakeFiles/swiftsim_core.dir/ldst_unit.cc.o.d"
+  "CMakeFiles/swiftsim_core.dir/operand_collector.cc.o"
+  "CMakeFiles/swiftsim_core.dir/operand_collector.cc.o.d"
+  "CMakeFiles/swiftsim_core.dir/scheduler.cc.o"
+  "CMakeFiles/swiftsim_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/swiftsim_core.dir/scoreboard.cc.o"
+  "CMakeFiles/swiftsim_core.dir/scoreboard.cc.o.d"
+  "libswiftsim_core.a"
+  "libswiftsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

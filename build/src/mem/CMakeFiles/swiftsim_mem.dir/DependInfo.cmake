@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/addrmap.cc" "src/mem/CMakeFiles/swiftsim_mem.dir/addrmap.cc.o" "gcc" "src/mem/CMakeFiles/swiftsim_mem.dir/addrmap.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/swiftsim_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/swiftsim_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/coalescer.cc" "src/mem/CMakeFiles/swiftsim_mem.dir/coalescer.cc.o" "gcc" "src/mem/CMakeFiles/swiftsim_mem.dir/coalescer.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/mem/CMakeFiles/swiftsim_mem.dir/dram.cc.o" "gcc" "src/mem/CMakeFiles/swiftsim_mem.dir/dram.cc.o.d"
+  "/root/repo/src/mem/mshr.cc" "src/mem/CMakeFiles/swiftsim_mem.dir/mshr.cc.o" "gcc" "src/mem/CMakeFiles/swiftsim_mem.dir/mshr.cc.o.d"
+  "/root/repo/src/mem/noc.cc" "src/mem/CMakeFiles/swiftsim_mem.dir/noc.cc.o" "gcc" "src/mem/CMakeFiles/swiftsim_mem.dir/noc.cc.o.d"
+  "/root/repo/src/mem/tag_array.cc" "src/mem/CMakeFiles/swiftsim_mem.dir/tag_array.cc.o" "gcc" "src/mem/CMakeFiles/swiftsim_mem.dir/tag_array.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/swiftsim_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/swiftsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swiftsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

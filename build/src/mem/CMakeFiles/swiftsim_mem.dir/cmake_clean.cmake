@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftsim_mem.dir/addrmap.cc.o"
+  "CMakeFiles/swiftsim_mem.dir/addrmap.cc.o.d"
+  "CMakeFiles/swiftsim_mem.dir/cache.cc.o"
+  "CMakeFiles/swiftsim_mem.dir/cache.cc.o.d"
+  "CMakeFiles/swiftsim_mem.dir/coalescer.cc.o"
+  "CMakeFiles/swiftsim_mem.dir/coalescer.cc.o.d"
+  "CMakeFiles/swiftsim_mem.dir/dram.cc.o"
+  "CMakeFiles/swiftsim_mem.dir/dram.cc.o.d"
+  "CMakeFiles/swiftsim_mem.dir/mshr.cc.o"
+  "CMakeFiles/swiftsim_mem.dir/mshr.cc.o.d"
+  "CMakeFiles/swiftsim_mem.dir/noc.cc.o"
+  "CMakeFiles/swiftsim_mem.dir/noc.cc.o.d"
+  "CMakeFiles/swiftsim_mem.dir/tag_array.cc.o"
+  "CMakeFiles/swiftsim_mem.dir/tag_array.cc.o.d"
+  "libswiftsim_mem.a"
+  "libswiftsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

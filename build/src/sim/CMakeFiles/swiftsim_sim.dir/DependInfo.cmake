@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/block_scheduler.cc" "src/sim/CMakeFiles/swiftsim_sim.dir/block_scheduler.cc.o" "gcc" "src/sim/CMakeFiles/swiftsim_sim.dir/block_scheduler.cc.o.d"
+  "/root/repo/src/sim/gpu_model.cc" "src/sim/CMakeFiles/swiftsim_sim.dir/gpu_model.cc.o" "gcc" "src/sim/CMakeFiles/swiftsim_sim.dir/gpu_model.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/sim/CMakeFiles/swiftsim_sim.dir/metrics.cc.o" "gcc" "src/sim/CMakeFiles/swiftsim_sim.dir/metrics.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/sim/CMakeFiles/swiftsim_sim.dir/report.cc.o" "gcc" "src/sim/CMakeFiles/swiftsim_sim.dir/report.cc.o.d"
+  "/root/repo/src/sim/sm.cc" "src/sim/CMakeFiles/swiftsim_sim.dir/sm.cc.o" "gcc" "src/sim/CMakeFiles/swiftsim_sim.dir/sm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analytical/CMakeFiles/swiftsim_analytical.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swiftsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/swiftsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/swiftsim_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/swiftsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swiftsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

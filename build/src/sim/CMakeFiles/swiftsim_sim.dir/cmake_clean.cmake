@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftsim_sim.dir/block_scheduler.cc.o"
+  "CMakeFiles/swiftsim_sim.dir/block_scheduler.cc.o.d"
+  "CMakeFiles/swiftsim_sim.dir/gpu_model.cc.o"
+  "CMakeFiles/swiftsim_sim.dir/gpu_model.cc.o.d"
+  "CMakeFiles/swiftsim_sim.dir/metrics.cc.o"
+  "CMakeFiles/swiftsim_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/swiftsim_sim.dir/report.cc.o"
+  "CMakeFiles/swiftsim_sim.dir/report.cc.o.d"
+  "CMakeFiles/swiftsim_sim.dir/sm.cc.o"
+  "CMakeFiles/swiftsim_sim.dir/sm.cc.o.d"
+  "libswiftsim_sim.a"
+  "libswiftsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

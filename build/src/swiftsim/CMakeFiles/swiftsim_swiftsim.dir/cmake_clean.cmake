@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftsim_swiftsim.dir/parallel.cc.o"
+  "CMakeFiles/swiftsim_swiftsim.dir/parallel.cc.o.d"
+  "CMakeFiles/swiftsim_swiftsim.dir/sampling.cc.o"
+  "CMakeFiles/swiftsim_swiftsim.dir/sampling.cc.o.d"
+  "CMakeFiles/swiftsim_swiftsim.dir/simulator.cc.o"
+  "CMakeFiles/swiftsim_swiftsim.dir/simulator.cc.o.d"
+  "libswiftsim_swiftsim.a"
+  "libswiftsim_swiftsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftsim_swiftsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

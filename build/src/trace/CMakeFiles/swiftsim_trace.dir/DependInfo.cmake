@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/accelsim_import.cc" "src/trace/CMakeFiles/swiftsim_trace.dir/accelsim_import.cc.o" "gcc" "src/trace/CMakeFiles/swiftsim_trace.dir/accelsim_import.cc.o.d"
+  "/root/repo/src/trace/isa.cc" "src/trace/CMakeFiles/swiftsim_trace.dir/isa.cc.o" "gcc" "src/trace/CMakeFiles/swiftsim_trace.dir/isa.cc.o.d"
+  "/root/repo/src/trace/kernel.cc" "src/trace/CMakeFiles/swiftsim_trace.dir/kernel.cc.o" "gcc" "src/trace/CMakeFiles/swiftsim_trace.dir/kernel.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/swiftsim_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/swiftsim_trace.dir/trace_io.cc.o.d"
+  "/root/repo/src/trace/trace_stats.cc" "src/trace/CMakeFiles/swiftsim_trace.dir/trace_stats.cc.o" "gcc" "src/trace/CMakeFiles/swiftsim_trace.dir/trace_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/swiftsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

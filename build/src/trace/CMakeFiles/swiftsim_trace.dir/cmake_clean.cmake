@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftsim_trace.dir/accelsim_import.cc.o"
+  "CMakeFiles/swiftsim_trace.dir/accelsim_import.cc.o.d"
+  "CMakeFiles/swiftsim_trace.dir/isa.cc.o"
+  "CMakeFiles/swiftsim_trace.dir/isa.cc.o.d"
+  "CMakeFiles/swiftsim_trace.dir/kernel.cc.o"
+  "CMakeFiles/swiftsim_trace.dir/kernel.cc.o.d"
+  "CMakeFiles/swiftsim_trace.dir/trace_io.cc.o"
+  "CMakeFiles/swiftsim_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/swiftsim_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/swiftsim_trace.dir/trace_stats.cc.o.d"
+  "libswiftsim_trace.a"
+  "libswiftsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/gen_util.cc" "src/workloads/CMakeFiles/swiftsim_workloads.dir/gen_util.cc.o" "gcc" "src/workloads/CMakeFiles/swiftsim_workloads.dir/gen_util.cc.o.d"
+  "/root/repo/src/workloads/mars.cc" "src/workloads/CMakeFiles/swiftsim_workloads.dir/mars.cc.o" "gcc" "src/workloads/CMakeFiles/swiftsim_workloads.dir/mars.cc.o.d"
+  "/root/repo/src/workloads/pannotia.cc" "src/workloads/CMakeFiles/swiftsim_workloads.dir/pannotia.cc.o" "gcc" "src/workloads/CMakeFiles/swiftsim_workloads.dir/pannotia.cc.o.d"
+  "/root/repo/src/workloads/patterns.cc" "src/workloads/CMakeFiles/swiftsim_workloads.dir/patterns.cc.o" "gcc" "src/workloads/CMakeFiles/swiftsim_workloads.dir/patterns.cc.o.d"
+  "/root/repo/src/workloads/polybench.cc" "src/workloads/CMakeFiles/swiftsim_workloads.dir/polybench.cc.o" "gcc" "src/workloads/CMakeFiles/swiftsim_workloads.dir/polybench.cc.o.d"
+  "/root/repo/src/workloads/rodinia.cc" "src/workloads/CMakeFiles/swiftsim_workloads.dir/rodinia.cc.o" "gcc" "src/workloads/CMakeFiles/swiftsim_workloads.dir/rodinia.cc.o.d"
+  "/root/repo/src/workloads/tango.cc" "src/workloads/CMakeFiles/swiftsim_workloads.dir/tango.cc.o" "gcc" "src/workloads/CMakeFiles/swiftsim_workloads.dir/tango.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/swiftsim_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/swiftsim_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/swiftsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swiftsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftsim_workloads.dir/gen_util.cc.o"
+  "CMakeFiles/swiftsim_workloads.dir/gen_util.cc.o.d"
+  "CMakeFiles/swiftsim_workloads.dir/mars.cc.o"
+  "CMakeFiles/swiftsim_workloads.dir/mars.cc.o.d"
+  "CMakeFiles/swiftsim_workloads.dir/pannotia.cc.o"
+  "CMakeFiles/swiftsim_workloads.dir/pannotia.cc.o.d"
+  "CMakeFiles/swiftsim_workloads.dir/patterns.cc.o"
+  "CMakeFiles/swiftsim_workloads.dir/patterns.cc.o.d"
+  "CMakeFiles/swiftsim_workloads.dir/polybench.cc.o"
+  "CMakeFiles/swiftsim_workloads.dir/polybench.cc.o.d"
+  "CMakeFiles/swiftsim_workloads.dir/rodinia.cc.o"
+  "CMakeFiles/swiftsim_workloads.dir/rodinia.cc.o.d"
+  "CMakeFiles/swiftsim_workloads.dir/tango.cc.o"
+  "CMakeFiles/swiftsim_workloads.dir/tango.cc.o.d"
+  "CMakeFiles/swiftsim_workloads.dir/workload.cc.o"
+  "CMakeFiles/swiftsim_workloads.dir/workload.cc.o.d"
+  "libswiftsim_workloads.a"
+  "libswiftsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

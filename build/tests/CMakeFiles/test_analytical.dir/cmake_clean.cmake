@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analytical.dir/test_functional_cache.cc.o"
+  "CMakeFiles/test_analytical.dir/test_functional_cache.cc.o.d"
+  "CMakeFiles/test_analytical.dir/test_interval_model.cc.o"
+  "CMakeFiles/test_analytical.dir/test_interval_model.cc.o.d"
+  "CMakeFiles/test_analytical.dir/test_mem_model.cc.o"
+  "CMakeFiles/test_analytical.dir/test_mem_model.cc.o.d"
+  "CMakeFiles/test_analytical.dir/test_prepass.cc.o"
+  "CMakeFiles/test_analytical.dir/test_prepass.cc.o.d"
+  "CMakeFiles/test_analytical.dir/test_rd_profile.cc.o"
+  "CMakeFiles/test_analytical.dir/test_rd_profile.cc.o.d"
+  "CMakeFiles/test_analytical.dir/test_reuse_distance.cc.o"
+  "CMakeFiles/test_analytical.dir/test_reuse_distance.cc.o.d"
+  "test_analytical"
+  "test_analytical.pdb"
+  "test_analytical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analytical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

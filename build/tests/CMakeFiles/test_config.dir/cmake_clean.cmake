@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config.dir/test_config_files.cc.o"
+  "CMakeFiles/test_config.dir/test_config_files.cc.o.d"
+  "CMakeFiles/test_config.dir/test_gpu_config.cc.o"
+  "CMakeFiles/test_config.dir/test_gpu_config.cc.o.d"
+  "CMakeFiles/test_config.dir/test_ini.cc.o"
+  "CMakeFiles/test_config.dir/test_ini.cc.o.d"
+  "CMakeFiles/test_config.dir/test_presets.cc.o"
+  "CMakeFiles/test_config.dir/test_presets.cc.o.d"
+  "test_config"
+  "test_config.pdb"
+  "test_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_barrier.cc.o"
+  "CMakeFiles/test_core.dir/test_barrier.cc.o.d"
+  "CMakeFiles/test_core.dir/test_cta_allocator.cc.o"
+  "CMakeFiles/test_core.dir/test_cta_allocator.cc.o.d"
+  "CMakeFiles/test_core.dir/test_exec_unit.cc.o"
+  "CMakeFiles/test_core.dir/test_exec_unit.cc.o.d"
+  "CMakeFiles/test_core.dir/test_ldst_unit.cc.o"
+  "CMakeFiles/test_core.dir/test_ldst_unit.cc.o.d"
+  "CMakeFiles/test_core.dir/test_operand_collector.cc.o"
+  "CMakeFiles/test_core.dir/test_operand_collector.cc.o.d"
+  "CMakeFiles/test_core.dir/test_scheduler.cc.o"
+  "CMakeFiles/test_core.dir/test_scheduler.cc.o.d"
+  "CMakeFiles/test_core.dir/test_scoreboard.cc.o"
+  "CMakeFiles/test_core.dir/test_scoreboard.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_addrmap.cc" "tests/CMakeFiles/test_mem.dir/test_addrmap.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/test_addrmap.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/test_mem.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_cache_properties.cc" "tests/CMakeFiles/test_mem.dir/test_cache_properties.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/test_cache_properties.cc.o.d"
+  "/root/repo/tests/test_coalescer.cc" "tests/CMakeFiles/test_mem.dir/test_coalescer.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/test_coalescer.cc.o.d"
+  "/root/repo/tests/test_dram.cc" "tests/CMakeFiles/test_mem.dir/test_dram.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/test_dram.cc.o.d"
+  "/root/repo/tests/test_mshr.cc" "tests/CMakeFiles/test_mem.dir/test_mshr.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/test_mshr.cc.o.d"
+  "/root/repo/tests/test_noc.cc" "tests/CMakeFiles/test_mem.dir/test_noc.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/test_noc.cc.o.d"
+  "/root/repo/tests/test_tag_array.cc" "tests/CMakeFiles/test_mem.dir/test_tag_array.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/test_tag_array.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/swiftsim/CMakeFiles/swiftsim_swiftsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swiftsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytical/CMakeFiles/swiftsim_analytical.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swiftsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/swiftsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/swiftsim_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/swiftsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/swiftsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swiftsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/test_addrmap.cc.o"
+  "CMakeFiles/test_mem.dir/test_addrmap.cc.o.d"
+  "CMakeFiles/test_mem.dir/test_cache.cc.o"
+  "CMakeFiles/test_mem.dir/test_cache.cc.o.d"
+  "CMakeFiles/test_mem.dir/test_cache_properties.cc.o"
+  "CMakeFiles/test_mem.dir/test_cache_properties.cc.o.d"
+  "CMakeFiles/test_mem.dir/test_coalescer.cc.o"
+  "CMakeFiles/test_mem.dir/test_coalescer.cc.o.d"
+  "CMakeFiles/test_mem.dir/test_dram.cc.o"
+  "CMakeFiles/test_mem.dir/test_dram.cc.o.d"
+  "CMakeFiles/test_mem.dir/test_mshr.cc.o"
+  "CMakeFiles/test_mem.dir/test_mshr.cc.o.d"
+  "CMakeFiles/test_mem.dir/test_noc.cc.o"
+  "CMakeFiles/test_mem.dir/test_noc.cc.o.d"
+  "CMakeFiles/test_mem.dir/test_tag_array.cc.o"
+  "CMakeFiles/test_mem.dir/test_tag_array.cc.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_block_scheduler.cc" "tests/CMakeFiles/test_sim.dir/test_block_scheduler.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_block_scheduler.cc.o.d"
+  "/root/repo/tests/test_conservation.cc" "tests/CMakeFiles/test_sim.dir/test_conservation.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_conservation.cc.o.d"
+  "/root/repo/tests/test_gpu_model.cc" "tests/CMakeFiles/test_sim.dir/test_gpu_model.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_gpu_model.cc.o.d"
+  "/root/repo/tests/test_metrics.cc" "tests/CMakeFiles/test_sim.dir/test_metrics.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_metrics.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/test_sim.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_sampling.cc" "tests/CMakeFiles/test_sim.dir/test_sampling.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_sampling.cc.o.d"
+  "/root/repo/tests/test_simulator.cc" "tests/CMakeFiles/test_sim.dir/test_simulator.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_simulator.cc.o.d"
+  "/root/repo/tests/test_sm.cc" "tests/CMakeFiles/test_sim.dir/test_sm.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_sm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/swiftsim/CMakeFiles/swiftsim_swiftsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swiftsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytical/CMakeFiles/swiftsim_analytical.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swiftsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/swiftsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/swiftsim_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/swiftsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/swiftsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swiftsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/test_block_scheduler.cc.o"
+  "CMakeFiles/test_sim.dir/test_block_scheduler.cc.o.d"
+  "CMakeFiles/test_sim.dir/test_conservation.cc.o"
+  "CMakeFiles/test_sim.dir/test_conservation.cc.o.d"
+  "CMakeFiles/test_sim.dir/test_gpu_model.cc.o"
+  "CMakeFiles/test_sim.dir/test_gpu_model.cc.o.d"
+  "CMakeFiles/test_sim.dir/test_metrics.cc.o"
+  "CMakeFiles/test_sim.dir/test_metrics.cc.o.d"
+  "CMakeFiles/test_sim.dir/test_report.cc.o"
+  "CMakeFiles/test_sim.dir/test_report.cc.o.d"
+  "CMakeFiles/test_sim.dir/test_sampling.cc.o"
+  "CMakeFiles/test_sim.dir/test_sampling.cc.o.d"
+  "CMakeFiles/test_sim.dir/test_simulator.cc.o"
+  "CMakeFiles/test_sim.dir/test_simulator.cc.o.d"
+  "CMakeFiles/test_sim.dir/test_sm.cc.o"
+  "CMakeFiles/test_sim.dir/test_sm.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_accelsim_import.cc" "tests/CMakeFiles/test_trace.dir/test_accelsim_import.cc.o" "gcc" "tests/CMakeFiles/test_trace.dir/test_accelsim_import.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/test_trace.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/test_trace.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_kernel.cc" "tests/CMakeFiles/test_trace.dir/test_kernel.cc.o" "gcc" "tests/CMakeFiles/test_trace.dir/test_kernel.cc.o.d"
+  "/root/repo/tests/test_trace_io.cc" "tests/CMakeFiles/test_trace.dir/test_trace_io.cc.o" "gcc" "tests/CMakeFiles/test_trace.dir/test_trace_io.cc.o.d"
+  "/root/repo/tests/test_trace_stats.cc" "tests/CMakeFiles/test_trace.dir/test_trace_stats.cc.o" "gcc" "tests/CMakeFiles/test_trace.dir/test_trace_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/swiftsim/CMakeFiles/swiftsim_swiftsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swiftsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytical/CMakeFiles/swiftsim_analytical.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swiftsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/swiftsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/swiftsim_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/swiftsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/swiftsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swiftsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/test_accelsim_import.cc.o"
+  "CMakeFiles/test_trace.dir/test_accelsim_import.cc.o.d"
+  "CMakeFiles/test_trace.dir/test_isa.cc.o"
+  "CMakeFiles/test_trace.dir/test_isa.cc.o.d"
+  "CMakeFiles/test_trace.dir/test_kernel.cc.o"
+  "CMakeFiles/test_trace.dir/test_kernel.cc.o.d"
+  "CMakeFiles/test_trace.dir/test_trace_io.cc.o"
+  "CMakeFiles/test_trace.dir/test_trace_io.cc.o.d"
+  "CMakeFiles/test_trace.dir/test_trace_stats.cc.o"
+  "CMakeFiles/test_trace.dir/test_trace_stats.cc.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
