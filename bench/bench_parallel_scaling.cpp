@@ -1,0 +1,70 @@
+// Strong-scaling study of the bounded-slack parallel detailed simulator
+// (DESIGN.md §7): one Swift-Sim-Basic app simulated serially, then with
+// SMs sharded over 1/2/4/8 threads at slack=1 (exact) and slack=32
+// (bounded approximation), plus the SM-parallel analytical-memory runner
+// for reference. Reports wall time, speedup over serial, and cycle drift;
+// slack=1 rows are verified cycle-identical to the serial run.
+//
+// Speedups are only meaningful on a machine with spare cores — the header
+// prints what the host actually offers.
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "bench_common.h"
+#include "config/presets.h"
+#include "swiftsim/parallel.h"
+#include "swiftsim/parallel_detailed.h"
+#include "swiftsim/simulator.h"
+
+int main(int argc, char** argv) {
+  using namespace swiftsim;
+  using namespace swiftsim::bench;
+  BenchOptions opt = ParseOptions(argc, argv, /*default_scale=*/0.35);
+  if (opt.apps.empty()) opt.apps = {"SM", "GEMM"};
+  PrintHeader("Parallel detailed simulation: strong scaling", opt);
+  std::printf("host hardware threads: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  const GpuConfig gpu = Rtx2080TiConfig();
+  const SimLevel level = SimLevel::kSwiftSimBasic;
+  bool exact_everywhere = true;
+
+  for (const Application& app : BuildApps(opt)) {
+    const SimResult serial = RunSimulation(app, gpu, level);
+    std::printf("%-8s serial: %llu cycles, %.3fs\n", app.name.c_str(),
+                static_cast<unsigned long long>(serial.total_cycles),
+                serial.wall_seconds);
+    std::printf("  %-22s %10s %9s %9s\n", "configuration", "wall[s]",
+                "speedup", "drift");
+    for (const Cycle slack : {Cycle{1}, Cycle{32}}) {
+      for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+        ParallelDetailedOptions popt;
+        popt.num_threads = threads;
+        popt.slack = slack;
+        const SimResult par = RunParallelDetailed(app, gpu, level, popt);
+        const double drift = SignedErrPct(par.total_cycles,
+                                          serial.total_cycles);
+        if (slack == 1 && par.total_cycles != serial.total_cycles) {
+          std::printf("  ERROR: slack=1 t=%u diverged from serial\n",
+                      threads);
+          exact_everywhere = false;
+        }
+        std::printf("  %2u threads, slack=%-4llu %10.3f %8.2fx %8.2f%%\n",
+                    threads, static_cast<unsigned long long>(slack),
+                    par.wall_seconds, serial.wall_seconds / par.wall_seconds,
+                    drift);
+      }
+    }
+    const SimResult mem = RunSmParallelMemory(app, gpu, opt.threads
+                                                            ? opt.threads
+                                                            : 8);
+    std::printf("  %-22s %10.3f %8.2fx   (approx level)\n",
+                "sm-parallel-memory", mem.wall_seconds,
+                serial.wall_seconds / mem.wall_seconds);
+    std::printf("\n");
+  }
+  if (!exact_everywhere) return EXIT_FAILURE;
+  std::printf("all slack=1 runs cycle-identical to serial\n");
+  return EXIT_SUCCESS;
+}

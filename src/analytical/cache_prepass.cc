@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/cta_allocator.h"
 #include "mem/coalescer.h"
 
@@ -30,6 +31,21 @@ void MemProfile::FinalizeKernel(KernelId kernel) {
     agg.accesses += rates.accesses;
     agg.l1_hits += rates.l1_hits;
     agg.l2_hits += rates.l2_hits;
+  }
+}
+
+void MemProfile::Merge(const MemProfile& other) {
+  for (const auto& [key, rates] : other.per_pc_) {
+    PcHitRates& dst = per_pc_[key];
+    dst.accesses += rates.accesses;
+    dst.l1_hits += rates.l1_hits;
+    dst.l2_hits += rates.l2_hits;
+  }
+  for (const auto& [kernel, rates] : other.per_kernel_) {
+    PcHitRates& dst = per_kernel_[kernel];
+    dst.accesses += rates.accesses;
+    dst.l1_hits += rates.l1_hits;
+    dst.l2_hits += rates.l2_hits;
   }
 }
 
@@ -148,6 +164,27 @@ MemProfile BuildMemProfile(const Application& app, const GpuConfig& cfg) {
   for (const auto& kernel : app.kernels) {
     prepass.ProcessKernel(*kernel, &profile);
   }
+  return profile;
+}
+
+MemProfile BuildMemProfileParallel(const Application& app,
+                                   const GpuConfig& cfg,
+                                   unsigned num_threads) {
+  SS_CHECK(num_threads > 0, "need at least one worker thread");
+  if (app.kernels.size() <= 1) {
+    // Nothing to shard; the serial pass is already cold per kernel.
+    return BuildMemProfile(app, cfg);
+  }
+  // One cold prepass per kernel, independent of scheduling, so the merged
+  // profile is bit-identical for any num_threads.
+  std::vector<MemProfile> shards(app.kernels.size());
+  ThreadPool::Shared().ParallelFor(
+      app.kernels.size(), num_threads, [&](std::size_t k) {
+        CachePrepass prepass(cfg);
+        prepass.ProcessKernel(*app.kernels[k], &shards[k]);
+      });
+  MemProfile profile;
+  for (const MemProfile& shard : shards) profile.Merge(shard);
   return profile;
 }
 

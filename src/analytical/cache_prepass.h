@@ -44,6 +44,10 @@ class MemProfile {
   /// Accumulates the kernel-wide fallback entry from the per-PC entries.
   void FinalizeKernel(KernelId kernel);
 
+  /// Adds `other`'s counts into this profile (per-PC and per-kernel).
+  /// Used to combine independently-built per-kernel shards.
+  void Merge(const MemProfile& other);
+
   std::size_t num_pcs() const { return per_pc_.size(); }
 
  private:
@@ -73,5 +77,14 @@ class CachePrepass {
 
 /// Convenience: full pre-pass over every kernel of the application.
 MemProfile BuildMemProfile(const Application& app, const GpuConfig& cfg);
+
+/// Pre-pass sharded across kernels on the shared thread pool: every kernel
+/// is replayed against its own cold cache hierarchy and the per-kernel
+/// profiles are merged. The cold-start is a documented approximation of
+/// the serial pass's warm inter-kernel L2 — applied for EVERY thread count
+/// (including 1), so the result never depends on `num_threads`.
+MemProfile BuildMemProfileParallel(const Application& app,
+                                   const GpuConfig& cfg,
+                                   unsigned num_threads);
 
 }  // namespace swiftsim

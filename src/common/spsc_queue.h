@@ -1,0 +1,63 @@
+// Bounded single-producer/single-consumer ring buffer used to hand
+// simulation traffic between shard threads (e.g. SM→memory requests in the
+// bounded-slack parallel simulator, DESIGN.md §7). One thread may push,
+// one thread may pop; the two sides never block each other. Capacity is
+// fixed at construction: Push fails (returns false) when the ring is full,
+// which callers use as backpressure.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace swiftsim {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity) : buf_(capacity + 1) {}
+
+  std::size_t capacity() const { return buf_.size() - 1; }
+
+  // --- Producer side -------------------------------------------------------
+  bool Push(const T& v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t next = Advance(tail);
+    if (next == head_.load(std::memory_order_acquire)) return false;  // full
+    buf_[tail] = v;
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  // --- Consumer side -------------------------------------------------------
+  /// Oldest element, or nullptr when empty. Valid until the next Pop.
+  const T* Front() const {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return nullptr;
+    return &buf_[head];
+  }
+
+  void Pop() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    head_.store(Advance(head), std::memory_order_release);
+  }
+
+  // --- Either side (conservative snapshot) ---------------------------------
+  std::size_t size() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : tail + buf_.size() - head;
+  }
+  bool empty() const { return size() == 0; }
+
+ private:
+  std::size_t Advance(std::size_t i) const {
+    return i + 1 == buf_.size() ? 0 : i + 1;
+  }
+
+  std::vector<T> buf_;
+  std::atomic<std::size_t> head_{0};  // consumer-owned
+  std::atomic<std::size_t> tail_{0};  // producer-owned
+};
+
+}  // namespace swiftsim

@@ -1,0 +1,173 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace swiftsim {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  queues_.reserve(kMaxWorkers);
+  threads_.reserve(kMaxWorkers);
+  std::lock_guard<std::mutex> lk(grow_mu_);
+  SpawnLocked(std::min(num_threads, kMaxWorkers));
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    shutdown_.store(true, std::memory_order_release);
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::SpawnLocked(unsigned count) {
+  SS_CHECK(num_workers_.load() + count <= kMaxWorkers,
+           "ThreadPool cannot grow beyond " + std::to_string(kMaxWorkers) +
+               " workers");
+  for (unsigned i = 0; i < count; ++i) {
+    const unsigned id = num_workers_.load(std::memory_order_relaxed);
+    queues_.push_back(std::make_unique<WorkerQueue>());
+    // Publish the queue before the worker count so TryRunOne never indexes
+    // past the constructed range.
+    num_workers_.store(id + 1, std::memory_order_release);
+    threads_.emplace_back([this, id] { WorkerLoop(id); });
+  }
+}
+
+void ThreadPool::EnsureWorkers(unsigned n) {
+  std::lock_guard<std::mutex> lk(grow_mu_);
+  const unsigned have = num_workers_.load(std::memory_order_relaxed);
+  if (n > have) SpawnLocked(std::min(n, kMaxWorkers) - have);
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  const unsigned n = size();
+  const unsigned w = rr_.fetch_add(1, std::memory_order_relaxed) % n;
+  {
+    std::lock_guard<std::mutex> lk(queues_[w]->mu);
+    queues_[w]->q.push_back(std::move(fn));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+  }
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::TryRunOne(unsigned home) {
+  const unsigned n = size();
+  for (unsigned k = 0; k < n; ++k) {
+    WorkerQueue& wq = *queues_[(home + k) % n];
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lk(wq.mu);
+      if (wq.q.empty()) continue;
+      if (k == 0) {
+        // Own queue: FIFO.
+        task = std::move(wq.q.front());
+        wq.q.pop_front();
+      } else {
+        // Steal from the opposite end of a victim's queue.
+        task = std::move(wq.q.back());
+        wq.q.pop_back();
+      }
+    }
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    task();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(unsigned me) {
+  for (;;) {
+    if (TryRunOne(me)) continue;
+    std::unique_lock<std::mutex> lk(sleep_mu_);
+    sleep_cv_.wait(lk, [this] {
+      return shutdown_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (shutdown_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+ThreadPool::TaskGroup::~TaskGroup() {
+  // Tasks reference the group; never destroy it while any are in flight.
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [this] { return outstanding_ == 0; });
+}
+
+void ThreadPool::TaskGroup::Capture() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!error_) error_ = std::current_exception();
+}
+
+void ThreadPool::TaskGroup::Run(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++outstanding_;
+  }
+  pool_.Submit([this, task = std::move(fn)] {
+    try {
+      task();
+    } catch (...) {
+      Capture();
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    if (--outstanding_ == 0) cv_.notify_all();
+  });
+}
+
+void ThreadPool::TaskGroup::RunInline(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (...) {
+    Capture();
+  }
+}
+
+void ThreadPool::TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [this] { return outstanding_ == 0; });
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n, unsigned max_workers,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::size_t workers = max_workers == 0 ? size() + 1 : max_workers;
+  workers = std::min<std::size_t>(workers, n);
+  std::atomic<std::size_t> next{0};
+  auto body = [&next, n, &fn] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  TaskGroup group(*this);
+  for (std::size_t t = 1; t < workers; ++t) group.Run(body);
+  group.RunInline(body);
+  group.Wait();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked intentionally: parallel runs may still be draining during
+  // static destruction in odd embeddings; a leak is safer than a join.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+}  // namespace swiftsim

@@ -5,6 +5,7 @@
 // write-validate sectors (L2).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -66,7 +67,21 @@ class SectorCache {
   /// Requests toward the next level: misses, write-throughs, writebacks.
   std::deque<MemRequest>& miss_queue() { return miss_out_; }
 
-  bool miss_queue_full() const { return miss_out_.size() >= out_capacity_; }
+  bool miss_queue_full() const {
+    const std::size_t ext =
+        port_occupancy_ == nullptr
+            ? 0
+            : port_occupancy_->load(std::memory_order_relaxed);
+    return miss_out_.size() + ext >= out_capacity_;
+  }
+
+  /// Parallel shard drivers drain miss_queue() into a cross-thread port
+  /// (see GpuModel); requests drained but not yet injected downstream must
+  /// still occupy this cache's output budget so backpressure timing matches
+  /// the serial drain exactly. `occupancy` must outlive the cache.
+  void BindPortOccupancy(const std::atomic<std::size_t>* occupancy) {
+    port_occupancy_ = occupancy;
+  }
 
   /// True when no latency-pipe entries or MSHR entries remain.
   bool quiescent() const {
@@ -103,6 +118,7 @@ class SectorCache {
   TagArray tags_;
   Mshr mshr_;
   unsigned out_capacity_;
+  const std::atomic<std::size_t>* port_occupancy_ = nullptr;
   std::uint64_t next_req_id_;
 
   Cycle cycle_ = 0;

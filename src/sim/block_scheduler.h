@@ -3,6 +3,7 @@
 // pending CTA — and tracks grid completion.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -23,23 +24,28 @@ class BlockScheduler {
   /// load balance. Returns the number launched.
   unsigned AssignPending(std::vector<std::unique_ptr<SmCore>>& sms);
 
-  /// Called (via the SMs' completion hook) when a CTA finishes.
-  void OnCtaComplete() { ++completed_; }
+  /// Called (via the SMs' completion hook) when a CTA finishes. Safe to
+  /// call concurrently from shard worker threads.
+  void OnCtaComplete() {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   bool AllLaunched() const {
     return kernel_ == nullptr || next_cta_ >= kernel_->info().num_ctas;
   }
   bool Done() const {
-    return kernel_ == nullptr || completed_ >= kernel_->info().num_ctas;
+    return kernel_ == nullptr || completed() >= kernel_->info().num_ctas;
   }
 
   CtaId launched() const { return next_cta_; }
-  std::uint32_t completed() const { return completed_; }
+  std::uint32_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
 
  private:
   const KernelTrace* kernel_ = nullptr;
   CtaId next_cta_ = 0;
-  std::uint32_t completed_ = 0;
+  std::atomic<std::uint32_t> completed_{0};
   unsigned rr_ = 0;
 };
 

@@ -44,28 +44,24 @@ GpuModel::GpuModel(const GpuConfig& cfg, const ModelSelection& selection,
         cfg_, sel_, s, mem_model_.get(),
         [this](SmId) { scheduler_.OnCtaComplete(); }));
   }
+  if (sel_.mem == MemModelKind::kCycleAccurate) {
+    // Port rings must hold more than the L1's output budget: evictions are
+    // pushed past the budget (EmitEviction has no capacity check), so the
+    // occupancy can transiently exceed out_capacity.
+    constexpr std::size_t kPortCapacity = 64;
+    sm_ports_.reserve(cfg_.num_sms);
+    for (unsigned s = 0; s < cfg_.num_sms; ++s) {
+      sm_ports_.push_back(std::make_unique<SmMemPort>(kPortCapacity));
+      if (SectorCache* l1 = sms_[s]->l1()) {
+        l1->BindPortOccupancy(&sm_ports_[s]->pending);
+      }
+    }
+  }
   RegisterMetrics();
 }
 
 void GpuModel::RegisterMetrics() {
-  for (const auto& sm : sms_) {
-    const std::string mod = "sm" + std::to_string(sm->id());
-    const SmStats* st = &sm->stats();
-    gatherer_.Register(mod, "issued_instrs", &st->issued_instrs);
-    gatherer_.Register(mod, "issued_mem", &st->issued_mem);
-    gatherer_.Register(mod, "active_cycles", &st->active_cycles);
-    gatherer_.Register(mod, "stall_cycles", &st->stall_cycles);
-    gatherer_.Register(mod, "completed_ctas", &st->completed_ctas);
-    if (const CacheStats* l1 = sm->l1_stats()) {
-      gatherer_.Register(mod + ".l1", "accesses", &l1->accesses);
-      gatherer_.Register(mod + ".l1", "hits", &l1->hits);
-      gatherer_.Register(mod + ".l1", "misses", &l1->misses);
-      gatherer_.Register(mod + ".l1", "sector_misses", &l1->sector_misses);
-      gatherer_.Register(mod + ".l1", "reservation_fails",
-                         &l1->reservation_fails);
-      gatherer_.Register(mod + ".l1", "bank_conflicts", &l1->bank_conflicts);
-    }
-  }
+  for (const auto& sm : sms_) RegisterSmMetrics(gatherer_, *sm);
   for (std::size_t p = 0; p < l2_.size(); ++p) {
     const std::string mod = "l2." + std::to_string(p);
     const CacheStats* st = &l2_[p]->stats();
@@ -105,6 +101,12 @@ bool GpuModel::MemQuiescent() const {
   for (const auto& d : dram_) {
     if (!d->quiescent()) return false;
   }
+  // Drained-but-uninjected requests (e.g. stores, which mint no MSHR
+  // entry) live only in the ports; without this the model could report
+  // quiescence while traffic is still in flight.
+  for (const auto& port : sm_ports_) {
+    if (port->pending.load(std::memory_order_acquire) != 0) return false;
+  }
   return true;
 }
 
@@ -115,26 +117,65 @@ bool GpuModel::AllQuiescent() const {
   return MemQuiescent();
 }
 
-void GpuModel::TickMemorySystem() {
-  // SM L1 miss queues drain into the request network.
-  for (auto& sm : sms_) {
-    auto& mq = sm->l1()->miss_queue();
-    while (!mq.empty()) {
-      const MemRequest& req = mq.front();
-      const unsigned p = addrmap_->PartitionOf(req.line_addr);
-      if (!noc_->InjectRequest(sm->id(), p, req)) break;
-      mq.pop_front();
+bool GpuModel::TickSmRange(unsigned first, unsigned last, Cycle now) {
+  const bool mem_ca = sel_.mem == MemModelKind::kCycleAccurate;
+  const bool never_jump = sel_.alu == AluModelKind::kCycleAccurate;
+  bool progressed = false;
+  for (unsigned i = first; i < last; ++i) {
+    SmCore& sm = *sms_[i];
+    if (mem_ca) {
+      auto& resps = noc_->responses_at(sm.id());
+      while (!resps.empty()) {
+        sm.DeliverResponse(resps.front(), now);
+        resps.pop_front();
+        progressed = true;
+      }
+    }
+    // Event-driven fast path (hybrid modes): a sleeping SM is skipped
+    // until its next wake cycle; this is exact, not an approximation,
+    // because nothing it owns can change state before then.
+    if (sm.Active() && (never_jump || sm.NextWake() <= now)) {
+      progressed |= sm.Tick(now);
+    }
+    if (mem_ca) {
+      // Drain the L1 miss queue into this SM's port. At slack=1 the port
+      // is consumed the same cycle, so the request reaches the NoC exactly
+      // when the serial loop's direct drain would have delivered it.
+      SmMemPort& port = *sm_ports_[i];
+      auto& mq = sm.l1()->miss_queue();
+      while (!mq.empty()) {
+        if (!port.q.Push({now, mq.front()})) break;
+        port.pending.fetch_add(1, std::memory_order_release);
+        mq.pop_front();
+      }
     }
   }
-  noc_->Tick(now_);
+  return progressed;
+}
+
+void GpuModel::TickSharedMemory(Cycle now) {
+  // SM ports drain into the request network in SM order, stopping per SM
+  // on the first rejection — identical arbitration to the serial drain.
+  // Entries stamped in the future (slack > 1) wait for their cycle.
+  for (unsigned s = 0; s < sm_ports_.size(); ++s) {
+    SpscQueue<SmMemPort::Stamped>& q = sm_ports_[s]->q;
+    while (const SmMemPort::Stamped* e = q.Front()) {
+      if (e->cycle > now) break;
+      const unsigned p = addrmap_->PartitionOf(e->req.line_addr);
+      if (!noc_->InjectRequest(s, p, e->req)) break;
+      q.Pop();
+      sm_ports_[s]->pending.fetch_sub(1, std::memory_order_release);
+    }
+  }
+  noc_->Tick(now);
   for (unsigned p = 0; p < cfg_.num_mem_partitions; ++p) {
     SectorCache& l2 = *l2_[p];
-    l2.BeginCycle(now_);
+    l2.BeginCycle(now);
     // Ejected requests into the L2 slice (its banks limit throughput).
     auto& rq = noc_->requests_at(p);
     unsigned attempts = cfg_.l2.banks;
     while (!rq.empty() && attempts-- > 0) {
-      if (!l2.Access(rq.front(), now_)) break;
+      if (!l2.Access(rq.front(), now)) break;
       rq.pop_front();
     }
     // L2 load responses ride the response network back.
@@ -149,17 +190,16 @@ void GpuModel::TickMemorySystem() {
       if (!dram_[p]->Enqueue(mq.front())) break;
       mq.pop_front();
     }
-    dram_[p]->Tick(now_);
+    dram_[p]->Tick(now);
     auto& dresp = dram_[p]->responses();
     while (!dresp.empty()) {
-      l2.Fill(dresp.front(), now_);
+      l2.Fill(dresp.front(), now);
       dresp.pop_front();
     }
   }
 }
 
-Cycle GpuModel::RunKernel(const KernelTrace& kernel) {
-  const Cycle start = now_;
+void GpuModel::BeginKernel(const KernelTrace& kernel) {
   const KernelInfo& info = kernel.info();
   SS_CHECK(sms_[0]->allocator().Feasible(info),
            "kernel '" + info.name + "' cannot fit on an SM of " + cfg_.name);
@@ -168,32 +208,29 @@ Cycle GpuModel::RunKernel(const KernelTrace& kernel) {
       std::min<unsigned>(cfg_.num_sms, info.num_ctas);
   for (auto& sm : sms_) sm->OnKernelStart(active_sms);
   scheduler_.StartKernel(&kernel);
+}
+
+Cycle GpuModel::MinNextWake() const {
+  Cycle wake = kNever;
+  for (const auto& sm : sms_) {
+    if (sm->Active()) wake = std::min(wake, sm->NextWake());
+  }
+  return wake;
+}
+
+Cycle GpuModel::RunKernel(const KernelTrace& kernel) {
+  const Cycle start = now_;
+  BeginKernel(kernel);
 
   const bool mem_ca = sel_.mem == MemModelKind::kCycleAccurate;
   const bool never_jump = sel_.alu == AluModelKind::kCycleAccurate;
 
-  while (!scheduler_.Done() || !AllQuiescent()) {
-    scheduler_.AssignPending(sms_);
-    bool progressed = false;
-    for (auto& sm : sms_) {
-      if (mem_ca) {
-        auto& resps = noc_->responses_at(sm->id());
-        while (!resps.empty()) {
-          sm->DeliverResponse(resps.front(), now_);
-          resps.pop_front();
-          progressed = true;
-        }
-      }
-      if (!sm->Active()) continue;
-      // Event-driven fast path (hybrid modes): a sleeping SM is skipped
-      // until its next wake cycle; this is exact, not an approximation,
-      // because nothing it owns can change state before then.
-      if (!never_jump && sm->NextWake() > now_) continue;
-      progressed |= sm->Tick(now_);
-    }
+  while (!KernelDone()) {
+    AssignPendingCtas();
+    const bool progressed = TickSmRange(0, cfg_.num_sms, now_);
     bool mem_busy = false;
     if (mem_ca) {
-      TickMemorySystem();
+      TickSharedMemory(now_);
       mem_busy = !MemQuiescent();
     }
     if (never_jump || progressed || mem_busy) {
@@ -202,12 +239,9 @@ Cycle GpuModel::RunKernel(const KernelTrace& kernel) {
     }
     // Hybrid fast-forward: nothing can change until the earliest future
     // event, so jumping there is exact, not an approximation.
-    Cycle wake = kNever;
-    for (const auto& sm : sms_) {
-      if (sm->Active()) wake = std::min(wake, sm->NextWake());
-    }
+    const Cycle wake = MinNextWake();
     if (wake == kNever) {
-      SS_CHECK(scheduler_.Done() && AllQuiescent(),
+      SS_CHECK(KernelDone(),
                "simulation wedged: no progress and no future events");
       break;
     }

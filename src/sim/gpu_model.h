@@ -4,6 +4,7 @@
 // Modeling").
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "analytical/mem_model.h"
+#include "common/spsc_queue.h"
 #include "common/types.h"
 #include "config/gpu_config.h"
 #include "mem/addrmap.h"
@@ -63,9 +65,62 @@ class GpuModel {
   std::uint64_t TotalIssuedInstrs() const;
   std::uint64_t TotalReservationFails() const;
 
- private:
-  void TickMemorySystem();
+  // --- Shard-driver interface (bounded-slack parallel simulation) ---------
+  // RunKernel is built on these primitives; a parallel driver (see
+  // swiftsim/parallel_detailed.cc) may instead advance disjoint SM ranges
+  // concurrently between barriers and tick the shared L2/NoC/DRAM from a
+  // single coordinator thread. SM→memory traffic crosses threads through
+  // the per-SM bounded SPSC ports below, so slack=1 parallel runs are
+  // cycle-identical to the serial loop.
+
+  /// Feasibility check, launch overhead, per-SM kernel-start hooks and
+  /// block-scheduler arming — everything RunKernel does before its loop.
+  void BeginKernel(const KernelTrace& kernel);
+
+  /// True once the grid completed and every component drained.
+  bool KernelDone() const {
+    return scheduler_.Done() && AllQuiescent();
+  }
+
+  /// Greedy CTA dispatch over all SMs; single-threaded (coordinator only).
+  unsigned AssignPendingCtas() { return scheduler_.AssignPending(sms_); }
+
+  /// Advances SMs [first, last) by one cycle: delivers pending NoC
+  /// responses, ticks each active SM, and drains its L1 miss queue into
+  /// the SM's memory port (stamped with `now`). Returns true if any SM
+  /// progressed. Disjoint ranges are safe to run concurrently.
+  bool TickSmRange(unsigned first, unsigned last, Cycle now);
+
+  /// Ticks the shared memory system one cycle: injects port requests with
+  /// stamp <= now into the request network (SM order, backpressure-exact),
+  /// then ticks NoC, L2 slices and DRAM channels. Coordinator only.
+  void TickSharedMemory(Cycle now);
+
+  /// NoC + L2 + DRAM + all SM memory ports drained.
   bool MemQuiescent() const;
+
+  /// Earliest future wake cycle over all active SMs; kNever when none.
+  Cycle MinNextWake() const;
+
+  /// Parallel drivers own the clock between kernels; resync the model so
+  /// state that persists across kernels (launch overhead, totals) agrees.
+  void SyncClock(Cycle now) { now_ = now; }
+
+ private:
+  /// One SM's outbound memory port: requests stamped with their issue
+  /// cycle, produced by the SM's shard thread and consumed by the memory
+  /// coordinator. `pending` mirrors the queue size so the L1's output
+  /// backpressure still sees drained-but-uninjected requests.
+  struct SmMemPort {
+    struct Stamped {
+      Cycle cycle = 0;
+      MemRequest req;
+    };
+    explicit SmMemPort(std::size_t capacity) : q(capacity) {}
+    SpscQueue<Stamped> q;
+    std::atomic<std::size_t> pending{0};
+  };
+
   bool AllQuiescent() const;
   void RegisterMetrics();
 
@@ -78,6 +133,7 @@ class GpuModel {
   std::vector<std::unique_ptr<SectorCache>> l2_;
   std::vector<std::unique_ptr<DramChannel>> dram_;
   std::unique_ptr<AddrMap> addrmap_;
+  std::vector<std::unique_ptr<SmMemPort>> sm_ports_;
   BlockScheduler scheduler_;
   MetricsGatherer gatherer_;
 

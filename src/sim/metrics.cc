@@ -2,6 +2,7 @@
 
 #include "common/status.h"
 #include "common/strutil.h"
+#include "sim/sm.h"
 
 namespace swiftsim {
 
@@ -42,6 +43,25 @@ std::uint64_t MetricsGatherer::SumAcross(const std::string& module_prefix,
     }
   }
   return sum;
+}
+
+void RegisterSmMetrics(MetricsGatherer& gatherer, const SmCore& sm) {
+  const std::string mod = "sm" + std::to_string(sm.id());
+  const SmStats* st = &sm.stats();
+  gatherer.Register(mod, "issued_instrs", &st->issued_instrs);
+  gatherer.Register(mod, "issued_mem", &st->issued_mem);
+  gatherer.Register(mod, "active_cycles", &st->active_cycles);
+  gatherer.Register(mod, "stall_cycles", &st->stall_cycles);
+  gatherer.Register(mod, "completed_ctas", &st->completed_ctas);
+  if (const CacheStats* l1 = sm.l1_stats()) {
+    gatherer.Register(mod + ".l1", "accesses", &l1->accesses);
+    gatherer.Register(mod + ".l1", "hits", &l1->hits);
+    gatherer.Register(mod + ".l1", "misses", &l1->misses);
+    gatherer.Register(mod + ".l1", "sector_misses", &l1->sector_misses);
+    gatherer.Register(mod + ".l1", "reservation_fails",
+                      &l1->reservation_fails);
+    gatherer.Register(mod + ".l1", "bank_conflicts", &l1->bank_conflicts);
+  }
 }
 
 }  // namespace swiftsim

@@ -39,4 +39,11 @@ class MetricsGatherer {
   std::map<std::string, Source> sources_;
 };
 
+class SmCore;
+
+/// Registers one SM's standard counters (and its L1's, when the SM owns a
+/// cycle-accurate L1) under "sm<id>[.l1]". Shared by the serial GpuModel
+/// and the SM-parallel runners so both report comparable snapshots.
+void RegisterSmMetrics(MetricsGatherer& gatherer, const SmCore& sm);
+
 }  // namespace swiftsim

@@ -1,12 +1,13 @@
 #include "swiftsim/parallel.h"
 
-#include <atomic>
+#include <algorithm>
 #include <chrono>
 #include <deque>
-#include <thread>
 
 #include "analytical/cache_prepass.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
+#include "sim/metrics.h"
 #include "swiftsim/simulator.h"
 
 namespace swiftsim {
@@ -18,20 +19,10 @@ ParallelBatchResult RunAppsParallel(const std::vector<Application>& apps,
   ParallelBatchResult batch;
   batch.results.resize(apps.size());
   const auto t0 = std::chrono::steady_clock::now();
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= apps.size()) return;
-      batch.results[i] = RunSimulation(apps[i], cfg, level);
-    }
-  };
-  std::vector<std::thread> pool;
-  const unsigned n = std::min<unsigned>(num_threads,
-                                        std::max<std::size_t>(apps.size(), 1));
-  pool.reserve(n);
-  for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
+  ThreadPool::Shared().ParallelFor(
+      apps.size(), num_threads, [&](std::size_t i) {
+        batch.results[i] = RunSimulation(apps[i], cfg, level);
+      });
   const auto t1 = std::chrono::steady_clock::now();
   batch.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   return batch;
@@ -72,7 +63,7 @@ SimResult RunSmParallelMemory(const Application& app, const GpuConfig& cfg,
                               unsigned num_threads) {
   SS_CHECK(num_threads > 0, "need at least one worker thread");
   const auto t0 = std::chrono::steady_clock::now();
-  const MemProfile profile = BuildMemProfile(app, cfg);
+  const MemProfile profile = BuildMemProfileParallel(app, cfg, num_threads);
   const ModelSelection sel = SelectionFor(SimLevel::kSwiftSimMemory);
   AnalyticalMemModel mem_model(cfg, &profile);
 
@@ -83,11 +74,14 @@ SimResult RunSmParallelMemory(const Application& app, const GpuConfig& cfg,
     sms.push_back(
         std::make_unique<SmCore>(cfg, sel, s, &mem_model, [](SmId) {}));
   }
+  MetricsGatherer gatherer;
+  for (const auto& sm : sms) RegisterSmMetrics(gatherer, *sm);
 
   SimResult result;
   result.app = app.name;
   result.simulator = ToString(SimLevel::kSwiftSimMemory) + "+sm-parallel";
   Cycle clock = 0;
+  ThreadPool& pool = ThreadPool::Shared();
   for (const auto& kernel : app.kernels) {
     const KernelInfo& info = kernel->info();
     // Static round-robin pre-assignment (documented approximation of the
@@ -99,27 +93,21 @@ SimResult RunSmParallelMemory(const Application& app, const GpuConfig& cfg,
     const unsigned active_sms =
         std::min<unsigned>(cfg.num_sms, info.num_ctas);
     for (auto& sm : sms) sm->OnKernelStart(active_sms);
+    std::uint64_t instrs_before = 0;
+    for (const auto& sm : sms) instrs_before += sm->stats().issued_instrs;
     std::vector<Cycle> finish(cfg.num_sms, clock);
-    std::atomic<unsigned> next{0};
-    auto worker = [&] {
-      for (;;) {
-        const unsigned s = next.fetch_add(1);
-        if (s >= cfg.num_sms) return;
-        if (assignment[s].empty()) continue;
-        finish[s] = RunSmShare(*sms[s], *kernel, assignment[s], clock);
-      }
-    };
-    std::vector<std::thread> pool;
-    const unsigned n = std::min(num_threads, cfg.num_sms);
-    pool.reserve(n);
-    for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
+    pool.ParallelFor(cfg.num_sms, num_threads, [&](std::size_t s) {
+      if (assignment[s].empty()) return;
+      finish[s] = RunSmShare(*sms[s], *kernel, assignment[s], clock);
+    });
 
     Cycle kernel_end = clock;
     for (Cycle f : finish) kernel_end = std::max(kernel_end, f);
     KernelResult kr;
     kr.name = info.name;
     kr.cycles = kernel_end - clock;
+    for (const auto& sm : sms) kr.instructions += sm->stats().issued_instrs;
+    kr.instructions -= instrs_before;
     result.kernels.push_back(kr);
     clock = kernel_end;  // kernel boundary = global barrier
   }
@@ -127,6 +115,7 @@ SimResult RunSmParallelMemory(const Application& app, const GpuConfig& cfg,
   for (const auto& sm : sms) {
     result.instructions += sm->stats().issued_instrs;
   }
+  result.metrics = gatherer.Snapshot();
   const auto t1 = std::chrono::steady_clock::now();
   result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   return result;

@@ -1,0 +1,175 @@
+#include "swiftsim/parallel_detailed.h"
+
+#include <algorithm>
+#include <barrier>
+#include <chrono>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace swiftsim {
+
+SimResult RunParallelDetailed(const Application& app, const GpuConfig& cfg,
+                              SimLevel level,
+                              const ParallelDetailedOptions& opt) {
+  const ModelSelection sel = SelectionFor(level);
+  SS_CHECK(sel.mem == MemModelKind::kCycleAccurate,
+           "parallel detailed mode shards the cycle-accurate memory path; "
+           "use RunSmParallelMemory for analytical-memory levels");
+  SS_CHECK(opt.slack >= 1, "slack window must be at least one cycle");
+  const bool never_jump = sel.alu == AluModelKind::kCycleAccurate;
+  const Cycle slack = opt.slack;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  GpuModel model(cfg, sel);
+
+  SimResult result;
+  result.app = app.name;
+  result.simulator = ToString(level) + "+sm-shards";
+
+  unsigned threads = opt.num_threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, cfg.num_sms);
+
+  // Shared driver state. All of it is either written only by the barrier
+  // completion step (which runs while every shard is blocked) or by
+  // exactly one shard between barriers; the barrier's synchronization
+  // orders every access.
+  Cycle now = 0;
+  Cycle kernel_start = 0;
+  std::uint64_t instrs_before = 0;
+  std::size_t kidx = 0;
+  bool done = false;
+  std::vector<unsigned char> shard_progress(threads, 0);
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  std::atomic<bool> failed{false};
+  auto capture = [&](std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (!first_error) first_error = e;
+    failed.store(true, std::memory_order_release);
+  };
+
+  // Begins kernels starting at kidx until one has work to simulate.
+  // Degenerate kernels (e.g. zero CTAs) complete instantly and are
+  // recorded without running a window. Launch overhead lands inside the
+  // kernel's own cycle count, as in the serial driver.
+  auto begin_kernels_until_work = [&] {
+    while (kidx < app.kernels.size()) {
+      model.SyncClock(now);
+      kernel_start = now;
+      instrs_before = model.TotalIssuedInstrs();
+      model.BeginKernel(*app.kernels[kidx]);
+      now = model.now();
+      model.AssignPendingCtas();
+      if (!model.KernelDone()) return;
+      KernelResult kr;
+      kr.name = app.kernels[kidx]->info().name;
+      kr.cycles = now - kernel_start;
+      result.kernels.push_back(kr);
+      ++kidx;
+    }
+    done = true;
+  };
+  begin_kernels_until_work();
+
+  // Runs once per window while every shard is parked at the barrier: the
+  // memory system advances through the window's cycles, then the clock
+  // moves and kernel transitions happen. Must not throw (std::barrier
+  // requires a nothrow completion), so errors are captured instead.
+  auto on_window = [&]() noexcept {
+    try {
+      if (failed.load(std::memory_order_acquire)) {
+        done = true;
+        return;
+      }
+      bool progressed = false;
+      for (unsigned char p : shard_progress) progressed |= p != 0;
+      for (Cycle w = 0; w < slack; ++w) model.TickSharedMemory(now + w);
+      const bool mem_busy = !model.MemQuiescent();
+      if (never_jump || progressed || mem_busy) {
+        now += slack;
+      } else {
+        // Hybrid fast-forward, exactly as in the serial loop: nothing can
+        // change before the earliest future SM event.
+        const Cycle wake = model.MinNextWake();
+        if (wake == kNever) {
+          SS_CHECK(model.KernelDone(),
+                   "simulation wedged: no progress and no future events");
+        } else {
+          now = std::max(now + slack, wake);
+        }
+      }
+      if (model.KernelDone()) {
+        KernelResult kr;
+        kr.name = app.kernels[kidx]->info().name;
+        kr.cycles = now - kernel_start;
+        kr.instructions = model.TotalIssuedInstrs() - instrs_before;
+        result.kernels.push_back(kr);
+        ++kidx;
+        begin_kernels_until_work();
+        return;
+      }
+      model.AssignPendingCtas();
+    } catch (...) {
+      capture(std::current_exception());
+      done = true;
+    }
+  };
+  std::barrier<decltype(on_window)> window_sync(
+      static_cast<std::ptrdiff_t>(threads), on_window);
+
+  // Contiguous, balanced SM ranges — one per shard.
+  auto shard_loop = [&](unsigned t) {
+    const unsigned base = cfg.num_sms / threads;
+    const unsigned extra = cfg.num_sms % threads;
+    const unsigned first = t * base + std::min(t, extra);
+    const unsigned last = first + base + (t < extra ? 1 : 0);
+    while (!done) {
+      bool progressed = false;
+      if (!failed.load(std::memory_order_acquire)) {
+        try {
+          for (Cycle w = 0; w < slack; ++w) {
+            progressed |= model.TickSmRange(first, last, now + w);
+          }
+        } catch (...) {
+          capture(std::current_exception());
+        }
+      }
+      shard_progress[t] = progressed ? 1 : 0;
+      window_sync.arrive_and_wait();
+    }
+  };
+
+  if (!done) {
+    ThreadPool& pool = ThreadPool::Shared();
+    // Every shard blocks on the window barrier, so the whole team must be
+    // able to run concurrently: grow the pool before submitting.
+    if (threads > 1) pool.EnsureWorkers(threads - 1);
+    ThreadPool::TaskGroup group(pool);
+    for (unsigned t = 1; t < threads; ++t) {
+      group.Run([&shard_loop, t] { shard_loop(t); });
+    }
+    group.RunInline([&shard_loop] { shard_loop(0); });
+    group.Wait();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  model.SyncClock(now);
+  result.total_cycles = now;
+  result.instructions = model.TotalIssuedInstrs();
+  result.metrics = model.metrics().Snapshot();
+  const auto t1 = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return result;
+}
+
+}  // namespace swiftsim

@@ -1,0 +1,34 @@
+// Bounded-slack parallel cycle-accurate simulation (DESIGN.md §7): the SMs
+// of one GpuModel are partitioned across shard threads that advance their
+// local clocks up to `slack` cycles between barriers, while the shared
+// L2/NoC/DRAM is ticked by a single coordinator (the barrier's completion
+// step). SM→memory traffic crosses threads through bounded per-SM SPSC
+// ports stamped with the issue cycle.
+//
+// At slack == 1 (the default) every window is one cycle and the schedule
+// is exactly the serial loop's: results are bit-identical to RunSimulation
+// for any thread count. At slack > 1 memory responses are delivered up to
+// slack-1 cycles late and CTA dispatch happens only at window boundaries —
+// a bounded, documented approximation bought for fewer barriers.
+#pragma once
+
+#include "config/gpu_config.h"
+#include "sim/gpu_model.h"
+#include "sim/model_select.h"
+#include "trace/kernel.h"
+
+namespace swiftsim {
+
+struct ParallelDetailedOptions {
+  unsigned num_threads = 0;  // 0 = hardware concurrency
+  Cycle slack = 1;           // window length in cycles; 1 = exact
+};
+
+/// Runs `app` through a cycle-accurate-memory level (kSilicon, kDetailed
+/// or kSwiftSimBasic) with SMs sharded across the shared thread pool.
+/// Rejects analytical-memory levels and slack == 0.
+SimResult RunParallelDetailed(const Application& app, const GpuConfig& cfg,
+                              SimLevel level,
+                              const ParallelDetailedOptions& opt = {});
+
+}  // namespace swiftsim

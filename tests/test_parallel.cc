@@ -1,0 +1,164 @@
+// Determinism and exactness tests for the parallel runners: the
+// bounded-slack parallel detailed simulator must be bit-identical to the
+// serial loop at slack=1 for every thread count, and the SM-parallel
+// analytical-memory runner must not depend on its thread count.
+#include "swiftsim/parallel_detailed.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "config/presets.h"
+#include "swiftsim/parallel.h"
+#include "swiftsim/simulator.h"
+#include "workloads/workload.h"
+
+namespace swiftsim {
+namespace {
+
+GpuConfig SmallGpu() {
+  GpuConfig cfg = Rtx2080TiConfig();
+  cfg.num_sms = 4;
+  cfg.num_mem_partitions = 2;
+  return cfg;
+}
+
+Application SmallApp(const std::string& name) {
+  WorkloadScale s;
+  s.scale = 0.03;
+  return BuildWorkload(name, s);
+}
+
+void ExpectIdentical(const SimResult& serial, const SimResult& parallel,
+                     const std::string& what) {
+  EXPECT_EQ(serial.total_cycles, parallel.total_cycles) << what;
+  EXPECT_EQ(serial.instructions, parallel.instructions) << what;
+  ASSERT_EQ(serial.kernels.size(), parallel.kernels.size()) << what;
+  for (std::size_t k = 0; k < serial.kernels.size(); ++k) {
+    EXPECT_EQ(serial.kernels[k].cycles, parallel.kernels[k].cycles)
+        << what << " kernel " << serial.kernels[k].name;
+    EXPECT_EQ(serial.kernels[k].instructions,
+              parallel.kernels[k].instructions)
+        << what << " kernel " << serial.kernels[k].name;
+  }
+}
+
+TEST(ParallelDetailed, SlackOneBitIdenticalToSerialAcrossThreadCounts) {
+  const GpuConfig cfg = SmallGpu();
+  for (const char* name : {"SM", "BFS"}) {
+    const Application app = SmallApp(name);
+    for (SimLevel level : {SimLevel::kSwiftSimBasic, SimLevel::kDetailed}) {
+      const SimResult serial = RunSimulation(app, cfg, level);
+      for (unsigned threads : {1u, 2u, 8u}) {
+        ParallelDetailedOptions opt;
+        opt.num_threads = threads;
+        opt.slack = 1;
+        const SimResult par = RunParallelDetailed(app, cfg, level, opt);
+        ExpectIdentical(serial, par,
+                        std::string(name) + "/" + ToString(level) + "/t" +
+                            std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(ParallelDetailed, SiliconLevelWithLaunchOverheadStaysExact) {
+  const GpuConfig cfg = SmallGpu();
+  const Application app = SmallApp("GEMM");
+  const SimResult serial = RunSimulation(app, cfg, SimLevel::kSilicon);
+  ParallelDetailedOptions opt;
+  opt.num_threads = 4;
+  const SimResult par =
+      RunParallelDetailed(app, cfg, SimLevel::kSilicon, opt);
+  ExpectIdentical(serial, par, "GEMM/silicon");
+}
+
+TEST(ParallelDetailed, SlackWindowIsThreadCountInvariant) {
+  // The slack approximation depends only on the window length, never on
+  // how many shards the SMs were split into.
+  const GpuConfig cfg = SmallGpu();
+  const Application app = SmallApp("SM");
+  ParallelDetailedOptions a;
+  a.num_threads = 1;
+  a.slack = 8;
+  ParallelDetailedOptions b = a;
+  b.num_threads = 4;
+  const SimResult ra =
+      RunParallelDetailed(app, cfg, SimLevel::kSwiftSimBasic, a);
+  const SimResult rb =
+      RunParallelDetailed(app, cfg, SimLevel::kSwiftSimBasic, b);
+  ExpectIdentical(ra, rb, "SM/slack8");
+}
+
+TEST(ParallelDetailed, SlackBeyondOneStaysNearSerial) {
+  const GpuConfig cfg = SmallGpu();
+  const Application app = SmallApp("SM");
+  const SimResult serial =
+      RunSimulation(app, cfg, SimLevel::kSwiftSimBasic);
+  ParallelDetailedOptions opt;
+  opt.num_threads = 2;
+  opt.slack = 16;
+  const SimResult par =
+      RunParallelDetailed(app, cfg, SimLevel::kSwiftSimBasic, opt);
+  EXPECT_EQ(serial.instructions, par.instructions);
+  const double rel =
+      std::abs(static_cast<double>(par.total_cycles) -
+               static_cast<double>(serial.total_cycles)) /
+      static_cast<double>(serial.total_cycles);
+  EXPECT_LT(rel, 0.15) << "slack=16 drifted " << rel << " from serial";
+}
+
+TEST(ParallelDetailed, ReportsMetricsAndLabel) {
+  const GpuConfig cfg = SmallGpu();
+  const Application app = SmallApp("SM");
+  ParallelDetailedOptions opt;
+  opt.num_threads = 2;
+  const SimResult r =
+      RunParallelDetailed(app, cfg, SimLevel::kSwiftSimBasic, opt);
+  EXPECT_EQ(r.simulator, ToString(SimLevel::kSwiftSimBasic) + "+sm-shards");
+  EXPECT_FALSE(r.metrics.empty());
+  EXPECT_GT(r.metrics.at("sm0.issued_instrs"), 0u);
+  EXPECT_GT(r.wall_seconds, 0.0);
+}
+
+TEST(ParallelDetailed, RejectsBadOptionsAndAnalyticalLevels) {
+  const GpuConfig cfg = SmallGpu();
+  const Application app = SmallApp("SM");
+  ParallelDetailedOptions zero_slack;
+  zero_slack.slack = 0;
+  EXPECT_THROW(RunParallelDetailed(app, cfg, SimLevel::kSwiftSimBasic,
+                                   zero_slack),
+               SimError);
+  EXPECT_THROW(
+      RunParallelDetailed(app, cfg, SimLevel::kSwiftSimMemory, {}),
+      SimError);
+}
+
+TEST(ParallelMemory, DeterministicAcrossThreadCounts) {
+  const GpuConfig cfg = SmallGpu();
+  for (const char* name : {"SM", "GEMM"}) {
+    const Application app = SmallApp(name);
+    const SimResult one = RunSmParallelMemory(app, cfg, 1);
+    for (unsigned threads : {2u, 8u}) {
+      const SimResult many = RunSmParallelMemory(app, cfg, threads);
+      ExpectIdentical(one, many,
+                      std::string(name) + "/t" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(ParallelMemory, PopulatesPerSmMetrics) {
+  const GpuConfig cfg = SmallGpu();
+  const Application app = SmallApp("SM");
+  const SimResult r = RunSmParallelMemory(app, cfg, 2);
+  EXPECT_FALSE(r.metrics.empty());
+  EXPECT_GT(r.metrics.at("sm0.issued_instrs"), 0u);
+  std::uint64_t issued = 0;
+  for (const auto& [key, value] : r.metrics) {
+    if (key.find("issued_instrs") != std::string::npos) issued += value;
+  }
+  EXPECT_EQ(issued, r.instructions);
+}
+
+}  // namespace
+}  // namespace swiftsim

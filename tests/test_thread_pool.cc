@@ -1,0 +1,100 @@
+// Unit tests for the shared persistent thread pool: completion, ordering,
+// exception propagation and reuse across submissions.
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/status.h"
+
+namespace swiftsim {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), 0,
+                   [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForSingleWorkerRunsInlineInOrder) {
+  ThreadPool pool(2);
+  std::vector<std::size_t> order;
+  pool.ParallelFor(64, 1, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 64u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ParallelForZeroItemsIsANoOp) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, 0, [&](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, TaskGroupWaitsForAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  ThreadPool::TaskGroup group(pool);
+  for (int t = 0; t < 20; ++t) {
+    group.Run([&] { done.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, WorkerExceptionRethrownOnJoiningThread) {
+  // An SS_CHECK failure inside a worker must surface as a SimError from
+  // Wait(), not std::terminate the process.
+  ThreadPool pool(2);
+  {
+    ThreadPool::TaskGroup group(pool);
+    group.Run([] { SS_CHECK(false, "boom in worker"); });
+    EXPECT_THROW(group.Wait(), SimError);
+  }
+  // The pool survives and keeps executing work afterwards.
+  std::atomic<int> done{0};
+  pool.ParallelFor(8, 0, [&](std::size_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(100, 0,
+                                [&](std::size_t i) {
+                                  SS_CHECK(i != 37, "index 37 rejected");
+                                }),
+               SimError);
+}
+
+TEST(ThreadPool, ReusableAcrossManySubmissions) {
+  ThreadPool pool(2);
+  std::uint64_t total = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::uint64_t> out(16, 0);
+    pool.ParallelFor(out.size(), 0, [&](std::size_t i) { out[i] = i; });
+    total += std::accumulate(out.begin(), out.end(), std::uint64_t{0});
+  }
+  EXPECT_EQ(total, 50u * (15u * 16u / 2));
+}
+
+TEST(ThreadPool, EnsureWorkersGrowsButNeverShrinks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  pool.EnsureWorkers(4);
+  EXPECT_EQ(pool.size(), 4u);
+  pool.EnsureWorkers(2);
+  EXPECT_EQ(pool.size(), 4u);
+}
+
+TEST(ThreadPool, SharedPoolIsAProcessSingleton) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+}
+
+}  // namespace
+}  // namespace swiftsim
