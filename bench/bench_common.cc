@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <thread>
 
 #include "common/status.h"
@@ -26,9 +27,13 @@ BenchOptions ParseOptions(int argc, char** argv, double default_scale) {
           static_cast<unsigned>(ParseUint(arg.substr(10), "--threads"));
     } else if (StartsWith(arg, "--seed=")) {
       opt.seed = ParseUint(arg.substr(7), "--seed");
+    } else if (StartsWith(arg, "--json=")) {
+      opt.json_path = arg.substr(7);
+      SS_CHECK(!opt.json_path.empty(), "--json needs a path");
     } else {
-      throw SimError("unknown flag '" + arg +
-                     "' (expected --scale=, --apps=, --threads=, --seed=)");
+      throw SimError(
+          "unknown flag '" + arg +
+          "' (expected --scale=, --apps=, --threads=, --seed=, --json=)");
     }
   }
   if (opt.threads == 0) {
@@ -92,6 +97,69 @@ void PrintHeader(const std::string& experiment, const BenchOptions& opt) {
   std::printf("==== %s ====\n", experiment.c_str());
   std::printf("scale=%.2f threads=%u apps=%zu\n", opt.scale, opt.threads,
               opt.apps.empty() ? AllWorkloads().size() : opt.apps.size());
+}
+
+namespace {
+
+std::string GitDescribe() {
+  std::string out = "unknown";
+  if (FILE* p = ::popen("git describe --always --dirty 2>/dev/null", "r")) {
+    char buf[128];
+    if (std::fgets(buf, sizeof buf, p)) {
+      out.assign(buf);
+      while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+        out.pop_back();
+      }
+    }
+    ::pclose(p);
+    if (out.empty()) out = "unknown";
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonRun ToJsonRun(const AppRun& run, const std::string& level,
+                  unsigned threads) {
+  JsonRun j;
+  j.app = run.app;
+  j.level = level;
+  j.cycles = run.cycles;
+  j.wall_seconds = run.wall_seconds;
+  j.instrs_per_sec = run.wall_seconds > 0
+                         ? static_cast<double>(run.instructions) /
+                               run.wall_seconds
+                         : 0.0;
+  j.threads = threads;
+  return j;
+}
+
+void WriteRunsJson(const std::string& path, const std::string& bench,
+                   const BenchOptions& opt, const std::vector<JsonRun>& runs) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  FILE* f = std::fopen(path.c_str(), "w");
+  SS_CHECK(f != nullptr, "cannot open --json path '" + path + "'");
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"git\": \"%s\",\n",
+               bench.c_str(), GitDescribe().c_str());
+  std::fprintf(f, "  \"scale\": %.4f,\n  \"runs\": [\n", opt.scale);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const JsonRun& r = runs[i];
+    std::fprintf(f,
+                 "    {\"app\": \"%s\", \"level\": \"%s\", \"cycles\": %llu, "
+                 "\"wall_seconds\": %.6f, \"instrs_per_sec\": %.1f, "
+                 "\"threads\": %u, \"scale\": %.4f}%s\n",
+                 r.app.c_str(), r.level.c_str(),
+                 static_cast<unsigned long long>(r.cycles), r.wall_seconds,
+                 r.instrs_per_sec, r.threads, opt.scale,
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu runs)\n", path.c_str(), runs.size());
 }
 
 }  // namespace swiftsim::bench

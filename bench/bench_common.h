@@ -23,9 +23,11 @@ struct BenchOptions {
   std::vector<std::string> apps;  // empty = all registered workloads
   unsigned threads = 0;           // 0 = hardware concurrency
   std::uint64_t seed = 0x5eed5eedULL;
+  std::string json_path;          // --json=<path>: machine-readable records
 };
 
-/// Parses --scale/--apps/--threads/--seed; throws SimError on bad flags.
+/// Parses --scale/--apps/--threads/--seed/--json; throws SimError on bad
+/// flags.
 BenchOptions ParseOptions(int argc, char** argv, double default_scale);
 
 /// The measured outcome of one (app, simulator-level) run.
@@ -51,5 +53,26 @@ double SignedErrPct(Cycle predicted, Cycle actual);
 
 /// Prints a standard header naming the experiment.
 void PrintHeader(const std::string& experiment, const BenchOptions& opt);
+
+/// One machine-readable record for --json output (BENCH_*.json files track
+/// the perf trajectory across PRs).
+struct JsonRun {
+  std::string app;
+  std::string level;       // simulator level or configuration label
+  Cycle cycles = 0;
+  double wall_seconds = 0;
+  double instrs_per_sec = 0;
+  unsigned threads = 1;
+};
+
+/// Converts an AppRun measured at `level` into a JsonRun.
+JsonRun ToJsonRun(const AppRun& run, const std::string& level,
+                  unsigned threads);
+
+/// Writes `{"bench":..., "git":..., "scale":..., "runs":[...]}` to `path`,
+/// creating parent directories as needed. `git` is `git describe
+/// --always --dirty` ("unknown" outside a repo).
+void WriteRunsJson(const std::string& path, const std::string& bench,
+                   const BenchOptions& opt, const std::vector<JsonRun>& runs);
 
 }  // namespace swiftsim::bench

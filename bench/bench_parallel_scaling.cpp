@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   using namespace swiftsim::bench;
   BenchOptions opt = ParseOptions(argc, argv, /*default_scale=*/0.35);
   if (opt.apps.empty()) opt.apps = {"SM", "GEMM"};
+  if (opt.json_path.empty()) opt.json_path = "results/BENCH_parallel.json";
   PrintHeader("Parallel detailed simulation: strong scaling", opt);
   std::printf("host hardware threads: %u\n\n",
               std::thread::hardware_concurrency());
@@ -29,9 +30,25 @@ int main(int argc, char** argv) {
   const GpuConfig gpu = Rtx2080TiConfig();
   const SimLevel level = SimLevel::kSwiftSimBasic;
   bool exact_everywhere = true;
+  std::vector<JsonRun> records;
+  const auto record = [&](const std::string& app, const std::string& label,
+                          const SimResult& r, unsigned threads) {
+    JsonRun j;
+    j.app = app;
+    j.level = label;
+    j.cycles = r.total_cycles;
+    j.wall_seconds = r.wall_seconds;
+    j.instrs_per_sec = r.wall_seconds > 0
+                           ? static_cast<double>(r.instructions) /
+                                 r.wall_seconds
+                           : 0.0;
+    j.threads = threads;
+    records.push_back(j);
+  };
 
   for (const Application& app : BuildApps(opt)) {
     const SimResult serial = RunSimulation(app, gpu, level);
+    record(app.name, "serial", serial, 1);
     std::printf("%-8s serial: %llu cycles, %.3fs\n", app.name.c_str(),
                 static_cast<unsigned long long>(serial.total_cycles),
                 serial.wall_seconds);
@@ -43,6 +60,10 @@ int main(int argc, char** argv) {
         popt.num_threads = threads;
         popt.slack = slack;
         const SimResult par = RunParallelDetailed(app, gpu, level, popt);
+        record(app.name,
+               "slack=" + std::to_string(static_cast<unsigned long long>(
+                              slack)),
+               par, threads);
         const double drift = SignedErrPct(par.total_cycles,
                                           serial.total_cycles);
         if (slack == 1 && par.total_cycles != serial.total_cycles) {
@@ -59,11 +80,13 @@ int main(int argc, char** argv) {
     const SimResult mem = RunSmParallelMemory(app, gpu, opt.threads
                                                             ? opt.threads
                                                             : 8);
+    record(app.name, "sm-parallel-memory", mem, opt.threads ? opt.threads : 8);
     std::printf("  %-22s %10.3f %8.2fx   (approx level)\n",
                 "sm-parallel-memory", mem.wall_seconds,
                 serial.wall_seconds / mem.wall_seconds);
     std::printf("\n");
   }
+  WriteRunsJson(opt.json_path, "bench_parallel_scaling", opt, records);
   if (!exact_everywhere) return EXIT_FAILURE;
   std::printf("all slack=1 runs cycle-identical to serial\n");
   return EXIT_SUCCESS;

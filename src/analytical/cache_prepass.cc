@@ -10,12 +10,10 @@
 namespace swiftsim {
 
 const PcHitRates& MemProfile::Lookup(KernelId kernel, Pc pc) const {
-  auto it = per_pc_.find(Key(kernel, pc));
-  if (it != per_pc_.end() && it->second.accesses > 0) return it->second;
-  auto kit = per_kernel_.find(kernel);
-  if (kit != per_kernel_.end() && kit->second.accesses > 0) {
-    return kit->second;
-  }
+  const PcHitRates* it = per_pc_.Find(Key(kernel, pc));
+  if (it != nullptr && it->accesses > 0) return *it;
+  const PcHitRates* kit = per_kernel_.Find(kernel);
+  if (kit != nullptr && kit->accesses > 0) return *kit;
   return all_dram_;
 }
 
@@ -88,7 +86,8 @@ void CachePrepass::ProcessKernel(const KernelTrace& kernel,
     std::uint64_t when = 0;
     MissLevel level = MissLevel::kL2;
   };
-  std::unordered_map<Addr, RecentMiss> recent_miss;
+  FlatMap<Addr, RecentMiss> recent_miss;
+  recent_miss.Reserve(4096);
   std::uint64_t access_counter = 0;
 
   for (CtaId wave_start = 0; wave_start < info.num_ctas;
@@ -129,15 +128,14 @@ void CachePrepass::ProcessKernel(const KernelTrace& kernel,
         for (const auto& acc : accesses) {
           ++rates.accesses;
           ++access_counter;
-          auto rm = recent_miss.find(acc.line_addr);
+          const RecentMiss* rm = recent_miss.Find(acc.line_addr);
           const bool merges =
-              rm != recent_miss.end() &&
-              access_counter - rm->second.when < merge_window;
+              rm != nullptr && access_counter - rm->when < merge_window;
           const bool l1_hit =
               l1s_[cur.sm].AccessLoad(acc.line_addr, acc.sector_mask);
           if (merges) {
             // Piggybacks on the in-flight fill: pays that miss's latency.
-            if (rm->second.level == MissLevel::kL2) ++rates.l2_hits;
+            if (rm->level == MissLevel::kL2) ++rates.l2_hits;
             continue;  // (DRAM-level merges count as DRAM accesses)
           }
           if (l1_hit) {

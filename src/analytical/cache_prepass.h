@@ -9,10 +9,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "analytical/functional_cache.h"
+#include "common/flat_map.h"
 #include "config/gpu_config.h"
 #include "trace/kernel.h"
 
@@ -55,8 +55,8 @@ class MemProfile {
     return (static_cast<std::uint64_t>(kernel) << 48) | pc;
   }
 
-  std::unordered_map<std::uint64_t, PcHitRates> per_pc_;
-  std::unordered_map<KernelId, PcHitRates> per_kernel_;
+  FlatMap<std::uint64_t, PcHitRates> per_pc_;
+  FlatMap<KernelId, PcHitRates> per_kernel_;
   PcHitRates all_dram_;  // accesses == 0 -> rates degenerate to DRAM
 };
 

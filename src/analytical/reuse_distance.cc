@@ -8,7 +8,9 @@ namespace swiftsim {
 
 ReuseDistanceProfiler::ReuseDistanceProfiler(std::size_t max_tracked_distance)
     : max_distance_(max_tracked_distance),
-      histogram_(max_tracked_distance, 0) {}
+      histogram_(max_tracked_distance, 0) {
+  last_time_.Reserve(1 << 12);
+}
 
 void ReuseDistanceProfiler::EnsureCapacity(std::size_t i) {
   if (i <= cap_) return;
@@ -42,11 +44,11 @@ std::uint64_t ReuseDistanceProfiler::Access(Addr line) {
   const std::size_t now = static_cast<std::size_t>(accesses_);  // 1-based
   EnsureCapacity(now);
   std::uint64_t result = kColdDistance;
-  auto it = last_time_.find(line);
-  if (it == last_time_.end()) {
+  const std::size_t* it = last_time_.Find(line);
+  if (it == nullptr) {
     ++cold_misses_;
   } else {
-    const std::size_t prev = it->second;
+    const std::size_t prev = *it;
     // Marks strictly after prev == distinct lines touched since. The
     // total mark count equals the number of distinct lines seen so far.
     const std::uint64_t total = last_time_.size();

@@ -9,9 +9,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/types.h"
 
 namespace swiftsim {
@@ -53,7 +53,7 @@ class ReuseDistanceProfiler {
   std::size_t max_distance_;
   std::vector<std::int32_t> bit_;           // 1-based Fenwick array
   std::size_t cap_ = 0;                     // highest usable index
-  std::unordered_map<Addr, std::size_t> last_time_;
+  FlatMap<Addr, std::size_t> last_time_;
   std::vector<std::uint64_t> histogram_;    // distance -> count
   std::uint64_t accesses_ = 0;
   std::uint64_t cold_misses_ = 0;

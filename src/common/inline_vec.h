@@ -1,0 +1,195 @@
+// Small vector with inline storage: the first N elements live inside the
+// object; pushing past N spills to a single heap block. clear() keeps the
+// current capacity, so a reused InlineVec is allocation-free in steady
+// state. Hot-path containers size N at a hard architectural bound
+// (e.g. kWarpSize lanes) so the heap path never triggers (DESIGN.md §8).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace swiftsim {
+
+template <typename T, std::size_t N>
+class InlineVec {
+  static_assert(N > 0, "InlineVec needs inline capacity");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  InlineVec() noexcept : data_(InlineData()) {}
+  InlineVec(std::initializer_list<T> init) : InlineVec() { Assign(init); }
+  InlineVec(const InlineVec& o) : InlineVec() {
+    reserve(o.size_);
+    for (std::uint32_t i = 0; i < o.size_; ++i) new (data_ + i) T(o.data_[i]);
+    size_ = o.size_;
+  }
+  InlineVec(InlineVec&& o) noexcept : InlineVec() { StealOrMove(o); }
+
+  InlineVec& operator=(const InlineVec& o) {
+    if (this == &o) return *this;
+    clear();
+    reserve(o.size_);
+    for (std::uint32_t i = 0; i < o.size_; ++i) new (data_ + i) T(o.data_[i]);
+    size_ = o.size_;
+    return *this;
+  }
+  InlineVec& operator=(InlineVec&& o) noexcept {
+    if (this == &o) return *this;
+    clear();
+    StealOrMove(o);
+    return *this;
+  }
+  InlineVec& operator=(std::initializer_list<T> init) {
+    Assign(init);
+    return *this;
+  }
+
+  ~InlineVec() {
+    clear();
+    ReleaseHeap();
+  }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return cap_; }
+  bool on_heap() const { return data_ != InlineData(); }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  /// Destroys all elements; keeps the current (possibly heap) capacity.
+  void clear() {
+    for (std::uint32_t i = 0; i < size_; ++i) data_[i].~T();
+    size_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) Grow(n);
+  }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) Grow(cap_ * 2);
+    new (data_ + size_) T(v);
+    ++size_;
+  }
+  void push_back(T&& v) {
+    if (size_ == cap_) Grow(cap_ * 2);
+    new (data_ + size_) T(std::move(v));
+    ++size_;
+  }
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) Grow(cap_ * 2);
+    T* p = new (data_ + size_) T(std::forward<Args>(args)...);
+    ++size_;
+    return *p;
+  }
+
+  void pop_back() {
+    data_[--size_].~T();
+  }
+
+  /// Order-preserving erase; returns an iterator to the next element.
+  iterator erase(iterator pos) {
+    for (T* p = pos; p + 1 != end(); ++p) *p = std::move(p[1]);
+    pop_back();
+    return pos;
+  }
+
+  void resize(std::size_t n) {
+    reserve(n);
+    while (size_ > n) pop_back();
+    while (size_ < n) new (data_ + size_++) T();
+  }
+
+  friend bool operator==(const InlineVec& a, const InlineVec& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::uint32_t i = 0; i < a.size_; ++i) {
+      if (!(a.data_[i] == b.data_[i])) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const InlineVec& a, const InlineVec& b) {
+    return !(a == b);
+  }
+
+ private:
+  T* InlineData() noexcept { return reinterpret_cast<T*>(inline_); }
+  const T* InlineData() const noexcept {
+    return reinterpret_cast<const T*>(inline_);
+  }
+
+  void Assign(std::initializer_list<T> init) {
+    clear();
+    reserve(init.size());
+    for (const T& v : init) new (data_ + size_++) T(v);
+  }
+
+  /// Move-assign helper: steal the heap block when there is one, otherwise
+  /// move the inline elements. `o` is left empty (capacity reset to inline).
+  void StealOrMove(InlineVec& o) noexcept {
+    if (o.on_heap()) {
+      ReleaseHeap();
+      data_ = o.data_;
+      cap_ = o.cap_;
+      size_ = o.size_;
+      o.data_ = o.InlineData();
+      o.cap_ = N;
+      o.size_ = 0;
+    } else {
+      reserve(o.size_);
+      for (std::uint32_t i = 0; i < o.size_; ++i) {
+        new (data_ + i) T(std::move(o.data_[i]));
+      }
+      size_ = o.size_;
+      o.clear();
+    }
+  }
+
+  void Grow(std::size_t want) {
+    std::size_t new_cap = cap_;
+    while (new_cap < want) new_cap *= 2;
+    T* heap = static_cast<T*>(::operator new(
+        new_cap * sizeof(T), std::align_val_t(alignof(T))));
+    for (std::uint32_t i = 0; i < size_; ++i) {
+      new (heap + i) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    ReleaseHeap();
+    data_ = heap;
+    cap_ = static_cast<std::uint32_t>(new_cap);
+  }
+
+  void ReleaseHeap() noexcept {
+    if (on_heap()) {
+      ::operator delete(data_, std::align_val_t(alignof(T)));
+      data_ = InlineData();
+      cap_ = N;
+    }
+  }
+
+  T* data_;
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = N;
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+};
+
+}  // namespace swiftsim

@@ -1,0 +1,119 @@
+// Growable circular FIFO with a deque-like interface, backing every
+// hot-path queue (cache pending/ready/miss, DRAM, NoC, pipelines). One
+// contiguous power-of-two array; push/pop never allocate once the queue
+// has reached its high-water capacity — unlike std::deque, whose block map
+// churns allocations as elements cross block boundaries (DESIGN.md §8).
+//
+// Positional insert/erase are order-preserving and shift the cheaper side,
+// matching the two hot uses: sorted insert near the back (latency pipes)
+// and FR-FCFS picks near the front (DRAM scheduler).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace swiftsim {
+
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+
+  /// Pre-sizes capacity to at least `n` elements (rounded to a power of
+  /// two) so steady-state traffic below that bound never allocates.
+  void Reserve(std::size_t n) {
+    if (n > buf_.size()) Regrow(CapacityFor(n));
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return buf_.size(); }
+
+  /// Drops all elements; keeps capacity.
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  T& front() { return buf_[head_]; }
+  const T& front() const { return buf_[head_]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+  T& operator[](std::size_t i) { return buf_[(head_ + i) & mask()]; }
+  const T& operator[](std::size_t i) const {
+    return buf_[(head_ + i) & mask()];
+  }
+
+  void push_back(const T& v) {
+    if (size_ == buf_.size()) Regrow(CapacityFor(size_ + 1));
+    buf_[(head_ + size_) & mask()] = v;
+    ++size_;
+  }
+  void push_back(T&& v) {
+    if (size_ == buf_.size()) Regrow(CapacityFor(size_ + 1));
+    buf_[(head_ + size_) & mask()] = std::move(v);
+    ++size_;
+  }
+
+  void pop_front() {
+    SS_DCHECK(size_ > 0);
+    head_ = (head_ + 1) & mask();
+    --size_;
+  }
+  void pop_back() {
+    SS_DCHECK(size_ > 0);
+    --size_;
+  }
+
+  /// Order-preserving insert before position `pos` (0 = front).
+  void insert(std::size_t pos, const T& v) {
+    SS_DCHECK(pos <= size_);
+    push_back(v);  // grows if needed; value parked at the new back slot
+    for (std::size_t i = size_ - 1; i > pos; --i) {
+      (*this)[i] = std::move((*this)[i - 1]);
+    }
+    (*this)[pos] = v;
+  }
+
+  /// Order-preserving erase of position `pos`, shifting whichever side is
+  /// shorter.
+  void erase(std::size_t pos) {
+    SS_DCHECK(pos < size_);
+    if (pos < size_ - pos) {
+      for (std::size_t i = pos; i > 0; --i) (*this)[i] = std::move((*this)[i - 1]);
+      pop_front();
+    } else {
+      for (std::size_t i = pos; i + 1 < size_; ++i) {
+        (*this)[i] = std::move((*this)[i + 1]);
+      }
+      pop_back();
+    }
+  }
+
+ private:
+  std::size_t mask() const { return buf_.size() - 1; }
+
+  static std::size_t CapacityFor(std::size_t n) {
+    std::size_t cap = 16;
+    while (cap < n) cap *= 2;
+    return cap;
+  }
+
+  /// Re-lays the live window out from index 0 of a fresh power-of-two
+  /// array (FIFO order preserved).
+  void Regrow(std::size_t new_cap) {
+    std::vector<T> fresh(new_cap);
+    for (std::size_t i = 0; i < size_; ++i) fresh[i] = std::move((*this)[i]);
+    buf_ = std::move(fresh);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;  // size() is the power-of-two capacity
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace swiftsim

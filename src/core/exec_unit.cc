@@ -8,6 +8,7 @@ ExecPipeline::ExecPipeline(UnitClass cls, const ExecUnitConfig& cfg)
     : cls_(cls), cfg_(cfg),
       stages_(cfg.latency + cfg.issue_interval() - 1) {
   SS_CHECK(!stages_.empty(), "exec pipeline needs at least one stage");
+  done_.Reserve(16);
 }
 
 void ExecPipeline::Issue(unsigned slot, std::uint8_t dst, Cycle now) {
@@ -20,6 +21,10 @@ void ExecPipeline::Issue(unsigned slot, std::uint8_t dst, Cycle now) {
 }
 
 void ExecPipeline::Tick(Cycle) {
+  // Empty pipeline: every stage register is invalid, so shifting is a
+  // no-op. Most pipes are idle most cycles; skipping them here is the
+  // single largest detailed-mode hot-path win.
+  if (in_flight_ == 0) return;
   // Writeback stage retires.
   Stage& wb = stages_.back();
   if (wb.valid) {

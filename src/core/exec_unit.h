@@ -18,9 +18,9 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "common/ring_buffer.h"
 #include "common/types.h"
 #include "config/gpu_config.h"
 #include "trace/isa.h"
@@ -47,7 +47,7 @@ class ExecPipeline {
   /// Shifts the pipeline one stage; completions land in completions().
   void Tick(Cycle now);
 
-  std::deque<Completion>& completions() { return done_; }
+  RingBuffer<Completion>& completions() { return done_; }
 
   bool busy() const { return in_flight_ != 0; }
   Cycle next_issue() const { return next_issue_; }
@@ -65,7 +65,7 @@ class ExecPipeline {
   UnitClass cls_;
   ExecUnitConfig cfg_;
   std::vector<Stage> stages_;  // stages_.back() is the writeback stage
-  std::deque<Completion> done_;
+  RingBuffer<Completion> done_;
   Cycle next_issue_ = 0;
   unsigned in_flight_ = 0;
   std::uint64_t issued_ = 0;

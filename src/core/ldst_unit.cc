@@ -1,7 +1,5 @@
 #include "core/ldst_unit.h"
 
-#include <algorithm>
-
 #include "common/status.h"
 
 namespace swiftsim {
@@ -9,36 +7,56 @@ namespace swiftsim {
 LdstUnit::LdstUnit(const LdstUnitConfig& cfg, SmId sm, std::uint64_t instance,
                    SectorCache* l1, WritebackFn writeback)
     : cfg_(cfg), sm_(sm), instance_tag_(instance + 1), l1_(l1),
-      writeback_(std::move(writeback)) {
+      writeback_(std::move(writeback)), smem_conflicts_(cfg.smem_banks),
+      pool_(cfg.queue_depth) {
   SS_CHECK(writeback_ != nullptr, "LdstUnit needs a writeback callback");
+  SS_CHECK(cfg_.queue_depth > 0, "LdstUnit needs at least one queue slot");
+  for (unsigned i = 0; i < cfg_.queue_depth; ++i) {
+    pool_[i].next = i + 1 < cfg_.queue_depth ? static_cast<int>(i + 1) : kNil;
+  }
+  free_ = 0;
+  // Worst case per live load: every coalesced access outstanding at once.
+  by_id_.Reserve(static_cast<std::size_t>(cfg_.queue_depth) * 2 * kWarpSize);
+  fixed_completions_.Reserve(cfg_.queue_depth);
+}
+
+int LdstUnit::AllocSlot() {
+  SS_DCHECK(free_ != kNil);
+  const int idx = free_;
+  MemInstr& mi = pool_[idx];
+  free_ = mi.next;
+  mi.prev = tail_;
+  mi.next = kNil;
+  if (tail_ != kNil) pool_[tail_].next = idx;
+  tail_ = idx;
+  if (head_ == kNil) head_ = idx;
+  ++live_count_;
+  return idx;
+}
+
+void LdstUnit::FreeSlot(int idx) {
+  MemInstr& mi = pool_[idx];
+  if (mi.prev != kNil) pool_[mi.prev].next = mi.next;
+  if (mi.next != kNil) pool_[mi.next].prev = mi.prev;
+  if (head_ == idx) head_ = mi.next;
+  if (tail_ == idx) tail_ = mi.prev;
+  mi.todo.clear();  // keeps capacity
+  mi.outstanding = 0;
+  mi.prev = kNil;
+  mi.next = free_;
+  free_ = idx;
+  --live_count_;
 }
 
 bool LdstUnit::CanAccept(Cycle now) const {
   if (now < next_issue_) return false;
-  return live_.size() + fixed_completions_.size() < cfg_.queue_depth;
-}
-
-unsigned LdstUnit::SmemConflicts(const TraceInstr& ins) const {
-  // Count distinct words per shared-memory bank; the worst bank serializes.
-  unsigned worst = 1;
-  std::vector<std::vector<Addr>> per_bank(cfg_.smem_banks);
-  for (Addr a : ins.addrs) {
-    const Addr word = a / 4;
-    auto& v = per_bank[word % cfg_.smem_banks];
-    if (std::find(v.begin(), v.end(), word) == v.end()) v.push_back(word);
-  }
-  for (const auto& v : per_bank) {
-    worst = std::max<unsigned>(worst,
-                               std::max<std::size_t>(v.size(), 1));
-  }
-  return worst;
+  return live_count_ + fixed_completions_.size() < cfg_.queue_depth;
 }
 
 void LdstUnit::PushFixed(Cycle ready, unsigned slot, std::uint8_t dst) {
-  FixedCompletion fc{ready, slot, dst};
-  auto it = fixed_completions_.end();
-  while (it != fixed_completions_.begin() && (it - 1)->ready > ready) --it;
-  fixed_completions_.insert(it, fc);
+  std::size_t pos = fixed_completions_.size();
+  while (pos > 0 && fixed_completions_[pos - 1].ready > ready) --pos;
+  fixed_completions_.insert(pos, FixedCompletion{ready, slot, dst});
 }
 
 void LdstUnit::Issue(unsigned slot, const TraceInstr& ins, Cycle now) {
@@ -49,7 +67,7 @@ void LdstUnit::Issue(unsigned slot, const TraceInstr& ins, Cycle now) {
 
   if (IsSharedMem(ins.op)) {
     ++stats_.smem_instrs;
-    const unsigned conflicts = SmemConflicts(ins);
+    const unsigned conflicts = smem_conflicts_.Conflicts(ins.addrs);
     stats_.smem_bank_conflicts += conflicts - 1;
     const std::uint8_t dst = IsLoad(ins.op) ? ins.dst : kNoReg;
     PushFixed(now + cfg_.smem_latency + conflicts - 1, slot, dst);
@@ -61,14 +79,14 @@ void LdstUnit::Issue(unsigned slot, const TraceInstr& ins, Cycle now) {
   }
 
   // Global memory.
-  MemInstr mi;
+  MemInstr& mi = pool_[AllocSlot()];
   mi.slot = slot;
   mi.dst = IsLoad(ins.op) ? ins.dst : kNoReg;
   mi.is_store = IsStore(ins.op);
-  mi.todo = Coalesce(ins.addrs, cfg_.access_bytes, cfg_.line_bytes,
-                     cfg_.sector_bytes);
+  Coalesce(ins.addrs.data(), ins.addrs.size(), cfg_.access_bytes,
+           cfg_.line_bytes, cfg_.sector_bytes, &mi.todo);
   SS_DCHECK(!mi.todo.empty());
-  live_.push_back(std::move(mi));
+  ++pending_inject_;
 }
 
 void LdstUnit::Complete(const MemInstr& mi) { writeback_(mi.slot, mi.dst); }
@@ -83,20 +101,23 @@ void LdstUnit::Tick(Cycle now) {
   }
 
   // Find the front instruction that still has accesses to inject (skip
-  // loads that are merely waiting for responses).
-  auto front = live_.begin();
-  while (front != live_.end() && front->todo.empty()) ++front;
-  if (front == live_.end()) return;
+  // loads that are merely waiting for responses). The counter makes the
+  // common nothing-to-inject cycle O(1).
+  if (pending_inject_ == 0) return;
+  int front = head_;
+  while (front != kNil && pool_[front].todo.empty()) front = pool_[front].next;
+  SS_DCHECK(front != kNil);
 
+  MemInstr& fi = pool_[front];
   unsigned budget = cfg_.accesses_per_cycle;
-  while (budget > 0 && !front->todo.empty()) {
-    const CoalescedAccess& acc = front->todo.back();
+  while (budget > 0 && !fi.todo.empty()) {
+    const CoalescedAccess& acc = fi.todo.back();
     MemRequest req;
     req.line_addr = acc.line_addr;
     req.sector_mask = acc.sector_mask;
-    req.type = front->is_store ? MemAccessType::kStore : MemAccessType::kLoad;
+    req.type = fi.is_store ? MemAccessType::kStore : MemAccessType::kLoad;
     req.sm = sm_;
-    if (!front->is_store) {
+    if (!fi.is_store) {
       req.id = (instance_tag_ << 20) | (++next_id_ & 0xfffff);
     }
     if (!l1_->Access(req, now)) {
@@ -104,35 +125,34 @@ void LdstUnit::Tick(Cycle now) {
       break;  // bank/MSHR/queue pressure: retry next cycle
     }
     ++stats_.global_accesses;
-    if (!front->is_store) {
-      ++front->outstanding;
-      by_id_[req.id] = front;
+    if (!fi.is_store) {
+      ++fi.outstanding;
+      by_id_[req.id] = static_cast<std::uint32_t>(front);
     }
-    front->todo.pop_back();
+    fi.todo.pop_back();
+    if (fi.todo.empty()) --pending_inject_;
     --budget;
   }
 
-  if (front->todo.empty()) {
-    if (front->is_store) {
-      // Stores are fire-and-forget once fully accepted by the L1.
-      Complete(*front);
-      live_.erase(front);
-    }
-    // Loads stay in live_ until their last response arrives.
+  if (fi.todo.empty() && fi.is_store) {
+    // Stores are fire-and-forget once fully accepted by the L1.
+    Complete(fi);
+    FreeSlot(front);
   }
+  // Loads stay pooled until their last response arrives.
 }
 
 void LdstUnit::OnL1Response(const MemResponse& resp, Cycle) {
-  auto it = by_id_.find(resp.id);
-  SS_CHECK(it != by_id_.end(),
-           "LdstUnit: response for unknown request id");
-  auto mi = it->second;
-  by_id_.erase(it);
-  SS_DCHECK(mi->outstanding > 0);
-  --mi->outstanding;
-  if (mi->outstanding == 0 && mi->todo.empty()) {
-    Complete(*mi);
-    live_.erase(mi);
+  const std::uint32_t* found = by_id_.Find(resp.id);
+  SS_CHECK(found != nullptr, "LdstUnit: response for unknown request id");
+  const int idx = static_cast<int>(*found);
+  by_id_.erase(resp.id);
+  MemInstr& mi = pool_[idx];
+  SS_DCHECK(mi.outstanding > 0);
+  --mi.outstanding;
+  if (mi.outstanding == 0 && mi.todo.empty()) {
+    Complete(mi);
+    FreeSlot(idx);
   }
 }
 

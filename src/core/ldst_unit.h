@@ -7,15 +7,18 @@
 //
 // Shared-memory and constant accesses never leave the SM: they complete
 // after a fixed latency plus serialized bank conflicts.
+//
+// In-flight instructions live in a fixed pool of `queue_depth` slots
+// threaded onto an intrusive FIFO list (stable indices, no per-instruction
+// heap allocation); request-id lookup goes through a pre-sized FlatMap.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <list>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
+#include "common/ring_buffer.h"
 #include "common/types.h"
 #include "config/gpu_config.h"
 #include "mem/cache.h"
@@ -73,7 +76,7 @@ class LdstUnit {
   }
 
   bool quiescent() const {
-    return live_.empty() && fixed_completions_.empty();
+    return live_count_ == 0 && fixed_completions_.empty();
   }
 
   Cycle next_issue() const { return next_issue_; }
@@ -86,22 +89,21 @@ class LdstUnit {
 
   /// True while some instruction still has sector accesses to inject into
   /// the L1 (the unit must be ticked every cycle to retry).
-  bool HasPendingInjections() const {
-    for (const MemInstr& mi : live_) {
-      if (!mi.todo.empty()) return true;
-    }
-    return false;
-  }
+  bool HasPendingInjections() const { return pending_inject_ > 0; }
 
   const LdstStats& stats() const { return stats_; }
 
  private:
+  static constexpr int kNil = -1;
+
   struct MemInstr {
     unsigned slot = 0;
     std::uint8_t dst = kNoReg;
     bool is_store = false;
-    std::vector<CoalescedAccess> todo;  // not yet accepted by the L1
-    unsigned outstanding = 0;           // accepted loads awaiting response
+    CoalescedVec todo;         // not yet accepted by the L1
+    unsigned outstanding = 0;  // accepted loads awaiting response
+    int prev = kNil;           // intrusive FIFO links (indices into pool_)
+    int next = kNil;
   };
 
   struct FixedCompletion {
@@ -111,8 +113,9 @@ class LdstUnit {
   };
 
   void Complete(const MemInstr& mi);
-  unsigned SmemConflicts(const TraceInstr& ins) const;
   void PushFixed(Cycle ready, unsigned slot, std::uint8_t dst);
+  int AllocSlot();
+  void FreeSlot(int idx);
 
   LdstUnitConfig cfg_;
   SmId sm_;
@@ -120,11 +123,17 @@ class LdstUnit {
   std::uint64_t next_id_ = 0;
   SectorCache* l1_;
   WritebackFn writeback_;
+  SmemConflictCounter smem_conflicts_;
 
   Cycle next_issue_ = 0;
-  std::list<MemInstr> live_;  // front instruction injects accesses first
-  std::unordered_map<std::uint64_t, std::list<MemInstr>::iterator> by_id_;
-  std::deque<FixedCompletion> fixed_completions_;  // sorted by ready
+  std::vector<MemInstr> pool_;  // queue_depth slots, allocated once
+  int head_ = kNil;             // FIFO front: injects accesses first
+  int tail_ = kNil;
+  int free_ = kNil;             // singly linked free list via `next`
+  std::size_t live_count_ = 0;
+  std::size_t pending_inject_ = 0;  // live instrs with a non-empty todo
+  FlatMap<std::uint64_t, std::uint32_t> by_id_;  // request id -> pool slot
+  RingBuffer<FixedCompletion> fixed_completions_;  // sorted by ready
   LdstStats stats_;
 };
 

@@ -1,13 +1,17 @@
 #include "core/operand_collector.h"
 
+#include <algorithm>
+
 #include "common/status.h"
 
 namespace swiftsim {
 
 OperandCollector::OperandCollector(const OperandCollectorConfig& cfg)
-    : cfg_(cfg), units_(cfg.units), free_units_(cfg.units) {
+    : cfg_(cfg), units_(cfg.units), free_units_(cfg.units),
+      bank_used_(cfg.banks, 0) {
   SS_CHECK(cfg.units > 0, "operand collector needs at least one unit");
   SS_CHECK(cfg.banks > 0, "register file needs at least one bank");
+  ready_.Reserve(cfg.units);
 }
 
 void OperandCollector::Accept(unsigned slot, const TraceInstr& ins,
@@ -30,8 +34,9 @@ void OperandCollector::Accept(unsigned slot, const TraceInstr& ins,
 }
 
 void OperandCollector::Tick(Cycle) {
-  // Per-bank port budget this cycle.
-  std::vector<std::uint8_t> bank_used(cfg_.banks, 0);
+  // Per-bank port budget this cycle (member scratch: no per-cycle alloc).
+  std::fill(bank_used_.begin(), bank_used_.end(), 0);
+  auto& bank_used = bank_used_;
   bool any_blocked = false;
   for (Unit& u : units_) {
     if (!u.valid) continue;

@@ -8,9 +8,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "common/inline_vec.h"
+#include "common/ring_buffer.h"
 #include "common/types.h"
 #include "trace/instr.h"
 #include "trace/isa.h"
@@ -45,7 +46,7 @@ class OperandCollector {
   /// ready().
   void Tick(Cycle now);
 
-  std::deque<CollectedOp>& ready() { return ready_; }
+  RingBuffer<CollectedOp>& ready() { return ready_; }
 
   bool busy() const {
     return free_units_ < static_cast<unsigned>(units_.size()) ||
@@ -58,13 +59,17 @@ class OperandCollector {
   struct Unit {
     bool valid = false;
     CollectedOp op;
-    std::vector<std::uint8_t> pending_reads;  // source registers left
+    // Source registers left; an instruction has at most 3 sources, so the
+    // storage is always inline. Erase order is load-bearing for bank
+    // arbitration — keep it ordered.
+    InlineVec<std::uint8_t, 3> pending_reads;
   };
 
   OperandCollectorConfig cfg_;
   std::vector<Unit> units_;
   unsigned free_units_;
-  std::deque<CollectedOp> ready_;
+  RingBuffer<CollectedOp> ready_;
+  std::vector<std::uint8_t> bank_used_;  // per-cycle port budget scratch
   std::uint64_t conflict_cycles_ = 0;
 };
 

@@ -12,96 +12,9 @@ WarpScheduler::WarpScheduler(SchedPolicy policy, unsigned slots,
       active_size_(std::min(active_size, slots)), stall_count_(slots, 0) {
   SS_CHECK(slots > 0, "scheduler needs at least one warp slot");
   if (policy_ == SchedPolicy::kTwoLevel) {
+    active_.reserve(slots);
     for (unsigned s = 0; s < active_size_; ++s) active_.push_back(s);
   }
-}
-
-unsigned WarpScheduler::Pick(
-    const std::function<bool(unsigned)>& ready,
-    const std::function<std::uint64_t(unsigned)>& age) {
-  switch (policy_) {
-    case SchedPolicy::kGto:
-      return PickGto(ready, age);
-    case SchedPolicy::kLrr:
-      return PickLrr(ready);
-    case SchedPolicy::kTwoLevel:
-      return PickTwoLevel(ready, age);
-  }
-  return kNoSlot;
-}
-
-unsigned WarpScheduler::PickGto(
-    const std::function<bool(unsigned)>& ready,
-    const std::function<std::uint64_t(unsigned)>& age) const {
-  // Greedy: stick with the last issued warp while it stays ready.
-  if (last_issued_ != kNoSlot && ready(last_issued_)) return last_issued_;
-  // Then oldest ready warp.
-  unsigned best = kNoSlot;
-  std::uint64_t best_age = ~std::uint64_t{0};
-  for (unsigned s = 0; s < slots_; ++s) {
-    if (!ready(s)) continue;
-    const std::uint64_t a = age(s);
-    if (a < best_age) {
-      best_age = a;
-      best = s;
-    }
-  }
-  return best;
-}
-
-unsigned WarpScheduler::PickLrr(
-    const std::function<bool(unsigned)>& ready) const {
-  const unsigned start = last_issued_ == kNoSlot ? 0 : last_issued_ + 1;
-  for (unsigned i = 0; i < slots_; ++i) {
-    const unsigned s = (start + i) % slots_;
-    if (ready(s)) return s;
-  }
-  return kNoSlot;
-}
-
-unsigned WarpScheduler::PickTwoLevel(
-    const std::function<bool(unsigned)>& ready,
-    const std::function<std::uint64_t(unsigned)>& age) {
-  // Inner level: LRR over the active set.
-  unsigned found = kNoSlot;
-  for (std::size_t i = 0; i < active_.size(); ++i) {
-    const unsigned s = active_[i];
-    if (ready(s)) {
-      found = s;
-      stall_count_[s] = 0;
-      break;
-    }
-    // Demote a warp stalled for too long; promote the oldest READY
-    // pending warp (falling back to the oldest pending one) so progress
-    // does not cycle among equally stalled warps.
-    if (++stall_count_[s] > 32) {
-      stall_count_[s] = 0;
-      unsigned promote = kNoSlot;
-      bool promote_ready = false;
-      std::uint64_t best_age = ~std::uint64_t{0};
-      for (unsigned cand = 0; cand < slots_; ++cand) {
-        if (std::find(active_.begin(), active_.end(), cand) != active_.end()) {
-          continue;
-        }
-        const bool cand_ready = ready(cand);
-        if (promote_ready && !cand_ready) continue;
-        const std::uint64_t a = age(cand);
-        if ((cand_ready && !promote_ready) || a < best_age) {
-          best_age = a;
-          promote = cand;
-          promote_ready = cand_ready;
-        }
-      }
-      if (promote != kNoSlot) active_[i] = promote;
-    }
-  }
-  if (found != kNoSlot) {
-    // Rotate the active set for fairness.
-    std::rotate(active_.begin(),
-                std::find(active_.begin(), active_.end(), found) + 1,
-                active_.end());
-  }
-  return found;
 }
 
 void WarpScheduler::OnIssue(unsigned slot) { last_issued_ = slot; }

@@ -4,8 +4,8 @@
 // and a two-level active/pending scheduler.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "common/types.h"
@@ -24,9 +24,21 @@ class WarpScheduler {
   /// Picks the next warp slot to issue from. `ready(slot)` must be a pure
   /// predicate ("could slot issue this cycle?"); `age(slot)` returns the
   /// warp's launch sequence number (lower == older). Returns kNoSlot when
-  /// nothing is ready.
-  unsigned Pick(const std::function<bool(unsigned)>& ready,
-                const std::function<std::uint64_t(unsigned)>& age);
+  /// nothing is ready. Templated over the callables so the per-pick call
+  /// in SmCore::Tick never materializes a std::function (heap-allocating
+  /// capture) on the hot path.
+  template <typename ReadyFn, typename AgeFn>
+  unsigned Pick(const ReadyFn& ready, const AgeFn& age) {
+    switch (policy_) {
+      case SchedPolicy::kGto:
+        return PickGto(ready, age);
+      case SchedPolicy::kLrr:
+        return PickLrr(ready);
+      case SchedPolicy::kTwoLevel:
+        return PickTwoLevel(ready, age);
+    }
+    return kNoSlot;
+  }
 
   /// Informs the policy that `slot` issued (GTO greediness, LRR rotation,
   /// two-level activity bookkeeping).
@@ -38,11 +50,78 @@ class WarpScheduler {
   SchedPolicy policy() const { return policy_; }
 
  private:
-  unsigned PickGto(const std::function<bool(unsigned)>& ready,
-                   const std::function<std::uint64_t(unsigned)>& age) const;
-  unsigned PickLrr(const std::function<bool(unsigned)>& ready) const;
-  unsigned PickTwoLevel(const std::function<bool(unsigned)>& ready,
-                        const std::function<std::uint64_t(unsigned)>& age);
+  template <typename ReadyFn, typename AgeFn>
+  unsigned PickGto(const ReadyFn& ready, const AgeFn& age) const {
+    // Greedy: stick with the last issued warp while it stays ready.
+    if (last_issued_ != kNoSlot && ready(last_issued_)) return last_issued_;
+    // Then oldest ready warp.
+    unsigned best = kNoSlot;
+    std::uint64_t best_age = ~std::uint64_t{0};
+    for (unsigned s = 0; s < slots_; ++s) {
+      if (!ready(s)) continue;
+      const std::uint64_t a = age(s);
+      if (a < best_age) {
+        best_age = a;
+        best = s;
+      }
+    }
+    return best;
+  }
+
+  template <typename ReadyFn>
+  unsigned PickLrr(const ReadyFn& ready) const {
+    const unsigned start = last_issued_ == kNoSlot ? 0 : last_issued_ + 1;
+    for (unsigned i = 0; i < slots_; ++i) {
+      const unsigned s = (start + i) % slots_;
+      if (ready(s)) return s;
+    }
+    return kNoSlot;
+  }
+
+  template <typename ReadyFn, typename AgeFn>
+  unsigned PickTwoLevel(const ReadyFn& ready, const AgeFn& age) {
+    // Inner level: LRR over the active set.
+    unsigned found = kNoSlot;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      const unsigned s = active_[i];
+      if (ready(s)) {
+        found = s;
+        stall_count_[s] = 0;
+        break;
+      }
+      // Demote a warp stalled for too long; promote the oldest READY
+      // pending warp (falling back to the oldest pending one) so progress
+      // does not cycle among equally stalled warps.
+      if (++stall_count_[s] > 32) {
+        stall_count_[s] = 0;
+        unsigned promote = kNoSlot;
+        bool promote_ready = false;
+        std::uint64_t best_age = ~std::uint64_t{0};
+        for (unsigned cand = 0; cand < slots_; ++cand) {
+          if (std::find(active_.begin(), active_.end(), cand) !=
+              active_.end()) {
+            continue;
+          }
+          const bool cand_ready = ready(cand);
+          if (promote_ready && !cand_ready) continue;
+          const std::uint64_t a = age(cand);
+          if ((cand_ready && !promote_ready) || a < best_age) {
+            best_age = a;
+            promote = cand;
+            promote_ready = cand_ready;
+          }
+        }
+        if (promote != kNoSlot) active_[i] = promote;
+      }
+    }
+    if (found != kNoSlot) {
+      // Rotate the active set for fairness.
+      std::rotate(active_.begin(),
+                  std::find(active_.begin(), active_.end(), found) + 1,
+                  active_.end());
+    }
+    return found;
+  }
 
   SchedPolicy policy_;
   unsigned slots_;

@@ -12,11 +12,22 @@ SectorCache::SectorCache(std::string name, const CacheParams& params,
       mshr_(params.mshr_entries, params.mshr_max_merge),
       out_capacity_(out_capacity),
       next_req_id_((instance + 1) << 40),
-      bank_used_(params.banks, 0) {}
+      bank_used_(params.banks, 0) {
+  // Steady-state bounds: the latency pipe holds at most `banks` pushes per
+  // cycle for `latency` cycles (plus fill wakeups); the miss queue is
+  // capped at out_capacity for misses, with eviction writebacks on top.
+  pending_responses_.Reserve(static_cast<std::size_t>(params.banks) *
+                             (params.latency + 2));
+  ready_responses_.Reserve(64);
+  miss_out_.Reserve(static_cast<std::size_t>(out_capacity) * 2);
+}
 
 void SectorCache::BeginCycle(Cycle now) {
   cycle_ = now;
-  std::fill(bank_used_.begin(), bank_used_.end(), 0);
+  if (banks_dirty_) {
+    std::fill(bank_used_.begin(), bank_used_.end(), 0);
+    banks_dirty_ = false;
+  }
   while (!pending_responses_.empty() &&
          pending_responses_.front().ready <= now) {
     ready_responses_.push_back(pending_responses_.front().resp);
@@ -33,6 +44,7 @@ bool SectorCache::TakeBank(Addr line_addr) {
     return false;
   }
   bank_used_[bank] = 1;
+  banks_dirty_ = true;
   return true;
 }
 
@@ -40,10 +52,9 @@ void SectorCache::PushResponse(const MemResponse& resp, Cycle ready) {
   // The latency pipe is FIFO; constant latency keeps it sorted except for
   // fill-driven responses, which use ready=now+1 and thus must be placed
   // at the position keeping order. Cheap scan from the back suffices.
-  TimedResponse tr{ready, resp};
-  auto it = pending_responses_.end();
-  while (it != pending_responses_.begin() && (it - 1)->ready > ready) --it;
-  pending_responses_.insert(it, tr);
+  std::size_t pos = pending_responses_.size();
+  while (pos > 0 && pending_responses_[pos - 1].ready > ready) --pos;
+  pending_responses_.insert(pos, TimedResponse{ready, resp});
 }
 
 void SectorCache::EmitEviction(const Eviction& ev) {
@@ -174,8 +185,8 @@ void SectorCache::Fill(const MemResponse& resp, Cycle now) {
   } else {
     tags_.Fill(resp.line_addr, resp.sector_mask, now);
   }
-  for (const MemRequest& waiter : mshr_.Fill(resp.line_addr,
-                                             resp.sector_mask)) {
+  mshr_.Fill(resp.line_addr, resp.sector_mask, &fill_scratch_);
+  for (const MemRequest& waiter : fill_scratch_) {
     MemResponse r{waiter.id, waiter.line_addr, waiter.sector_mask, waiter.sm};
     PushResponse(r, now + 1);
   }

@@ -7,9 +7,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <string>
 
+#include "common/ring_buffer.h"
 #include "common/types.h"
 #include "config/gpu_config.h"
 #include "mem/mshr.h"
@@ -62,10 +62,10 @@ class SectorCache {
   void Fill(const MemResponse& resp, Cycle now);
 
   /// Ready load responses for the cache's requester side.
-  std::deque<MemResponse>& responses() { return ready_responses_; }
+  RingBuffer<MemResponse>& responses() { return ready_responses_; }
 
   /// Requests toward the next level: misses, write-throughs, writebacks.
-  std::deque<MemRequest>& miss_queue() { return miss_out_; }
+  RingBuffer<MemRequest>& miss_queue() { return miss_out_; }
 
   bool miss_queue_full() const {
     const std::size_t ext =
@@ -109,7 +109,7 @@ class SectorCache {
   void EmitEviction(const Eviction& ev);
 
   struct TimedResponse {
-    Cycle ready;
+    Cycle ready = 0;
     MemResponse resp;
   };
 
@@ -123,9 +123,11 @@ class SectorCache {
 
   Cycle cycle_ = 0;
   std::vector<std::uint8_t> bank_used_;
-  std::deque<TimedResponse> pending_responses_;  // latency pipe (FIFO)
-  std::deque<MemResponse> ready_responses_;
-  std::deque<MemRequest> miss_out_;
+  bool banks_dirty_ = false;  // any bank_used_ bit set since last reset
+  RingBuffer<TimedResponse> pending_responses_;  // latency pipe (FIFO)
+  RingBuffer<MemResponse> ready_responses_;
+  RingBuffer<MemRequest> miss_out_;
+  MshrWaiters fill_scratch_;  // reused by Fill: woken waiters
   CacheStats stats_;
 };
 

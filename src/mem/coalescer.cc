@@ -5,33 +5,69 @@
 
 namespace swiftsim {
 
-std::vector<CoalescedAccess> Coalesce(const std::vector<Addr>& lane_addrs,
-                                      unsigned access_bytes,
-                                      unsigned line_bytes,
-                                      unsigned sector_bytes) {
+void Coalesce(const Addr* lane_addrs, std::size_t n, unsigned access_bytes,
+              unsigned line_bytes, unsigned sector_bytes, CoalescedVec* out) {
   SS_DCHECK(IsPow2(line_bytes) && IsPow2(sector_bytes));
   SS_DCHECK(access_bytes >= 1);
-  std::vector<CoalescedAccess> out;
+  out->clear();
   auto add = [&](Addr byte_addr) {
     const Addr line = AlignDown(byte_addr, line_bytes);
     const unsigned sector =
         static_cast<unsigned>((byte_addr - line) / sector_bytes);
-    for (auto& acc : out) {
+    for (auto& acc : *out) {
       if (acc.line_addr == line) {
         acc.sector_mask |= 1u << sector;
         return;
       }
     }
-    out.push_back({line, 1u << sector});
+    out->push_back({line, 1u << sector});
   };
-  for (Addr a : lane_addrs) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Addr a = lane_addrs[i];
     // Cover [a, a+access_bytes): typically one sector, possibly two.
     for (Addr b = AlignDown(a, sector_bytes); b < a + access_bytes;
          b += sector_bytes) {
       add(b);
     }
   }
-  return out;
+}
+
+SmemConflictCounter::SmemConflictCounter(unsigned banks)
+    : banks_(banks), bank_count_(banks, 0) {
+  SS_CHECK(banks > 0, "shared memory needs at least one bank");
+}
+
+unsigned SmemConflictCounter::Conflicts(const Addr* addrs, std::size_t n) {
+  SS_DCHECK(n <= kWarpSize);
+  // A duplicate word can only hide behind a bank that already has a word,
+  // so a touched-bank bitmask skips the dedup scan entirely on the common
+  // conflict-free pattern (each lane on its own bank).
+  const bool bitmask_ok = banks_ <= 64;
+  std::uint64_t touched = 0;
+  unsigned worst = 1;
+  std::size_t nw = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Addr word = addrs[i] / 4;
+    const unsigned bank = static_cast<unsigned>(word % banks_);
+    if (!bitmask_ok || (touched >> bank) & 1) {
+      bool dup = false;
+      for (std::size_t j = 0; j < nw; ++j) {
+        if (words_[j] == word) {
+          dup = true;
+          break;
+        }
+      }
+      if (dup) continue;
+    }
+    if (bitmask_ok) touched |= std::uint64_t{1} << bank;
+    words_[nw++] = word;
+    const std::uint8_t c = ++bank_count_[bank];
+    if (c > worst) worst = c;
+  }
+  for (std::size_t j = 0; j < nw; ++j) {
+    bank_count_[words_[j] % banks_] = 0;
+  }
+  return worst;
 }
 
 }  // namespace swiftsim

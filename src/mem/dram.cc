@@ -8,7 +8,11 @@ DramChannel::DramChannel(const DramConfig& cfg, unsigned sector_bytes,
                          const SiliconEffects& effects)
     : cfg_(cfg), sector_bytes_(sector_bytes), effects_(effects),
       next_refresh_(effects.enabled ? effects.dram_refresh_interval
-                                    : ~Cycle{0}) {}
+                                    : ~Cycle{0}) {
+  queue_.Reserve(cfg.queue_depth);
+  in_service_.Reserve(cfg.queue_depth);
+  ready_.Reserve(cfg.queue_depth);
+}
 
 bool DramChannel::Enqueue(const MemRequest& req) {
   if (queue_.size() >= cfg_.queue_depth) {
@@ -50,7 +54,7 @@ void DramChannel::Tick(Cycle now) {
     }
   }
   const MemRequest req = queue_[pick];
-  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+  queue_.erase(pick);
 
   const Addr row = req.line_addr / cfg_.row_bytes;
   if (hit) {
@@ -66,21 +70,20 @@ void DramChannel::Tick(Cycle now) {
   busy_until_ = now + transfer;
   stats_.bytes += bytes;
 
+  const auto push_sorted = [this](const InService& svc) {
+    std::size_t pos = in_service_.size();
+    while (pos > 0 && in_service_[pos - 1].ready > svc.ready) --pos;
+    in_service_.insert(pos, svc);
+  };
   if (req.is_store()) {
     ++stats_.writes;
     // Stores complete silently once transferred.
-    InService svc{now + transfer, MemResponse{}, false};
-    auto it = in_service_.end();
-    while (it != in_service_.begin() && (it - 1)->ready > svc.ready) --it;
-    in_service_.insert(it, svc);
+    push_sorted(InService{now + transfer, MemResponse{}, false});
   } else {
     ++stats_.reads;
-    InService svc{now + access + transfer,
-                  MemResponse{req.id, req.line_addr, req.sector_mask, req.sm},
-                  true};
-    auto it = in_service_.end();
-    while (it != in_service_.begin() && (it - 1)->ready > svc.ready) --it;
-    in_service_.insert(it, svc);
+    push_sorted(InService{
+        now + access + transfer,
+        MemResponse{req.id, req.line_addr, req.sector_mask, req.sm}, true});
   }
 }
 

@@ -5,8 +5,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
+#include "common/ring_buffer.h"
 #include "common/types.h"
 #include "config/gpu_config.h"
 #include "mem/request.h"
@@ -39,7 +39,7 @@ class DramChannel {
   void Tick(Cycle now);
 
   /// Completed load responses, ready for the L2 fill path.
-  std::deque<MemResponse>& responses() { return ready_; }
+  RingBuffer<MemResponse>& responses() { return ready_; }
 
   bool quiescent() const {
     return queue_.empty() && in_service_.empty() && ready_.empty();
@@ -49,9 +49,9 @@ class DramChannel {
 
  private:
   struct InService {
-    Cycle ready;
+    Cycle ready = 0;
     MemResponse resp;
-    bool is_load;
+    bool is_load = false;
   };
 
   static constexpr unsigned kFrfcfsWindow = 8;
@@ -60,9 +60,9 @@ class DramChannel {
   unsigned sector_bytes_;
   SiliconEffects effects_;
 
-  std::deque<MemRequest> queue_;
-  std::deque<InService> in_service_;  // sorted by ready
-  std::deque<MemResponse> ready_;
+  RingBuffer<MemRequest> queue_;
+  RingBuffer<InService> in_service_;  // sorted by ready
+  RingBuffer<MemResponse> ready_;
   Cycle busy_until_ = 0;
   Cycle next_refresh_;
   Addr open_row_ = ~Addr{0};

@@ -7,9 +7,9 @@
 namespace swiftsim {
 
 bool Mshr::CanAllocate(Addr line_addr) const {
-  auto it = entries_.find(line_addr);
-  if (it == entries_.end()) return entries_.size() < max_entries_;
-  return it->second.merged < max_merge_;
+  const Entry* e = entries_.Find(line_addr);
+  if (e == nullptr) return entries_.size() < max_entries_;
+  return e->merged < max_merge_;
 }
 
 void Mshr::Allocate(Addr line_addr, const MemRequest& requester) {
@@ -21,40 +21,45 @@ void Mshr::Allocate(Addr line_addr, const MemRequest& requester) {
 }
 
 bool Mshr::HasEntry(Addr line_addr) const {
-  return entries_.count(line_addr) != 0;
+  return entries_.contains(line_addr);
 }
 
 std::uint32_t Mshr::RequestedSectors(Addr line_addr) const {
-  auto it = entries_.find(line_addr);
-  return it == entries_.end() ? 0u : it->second.requested_sectors;
+  const Entry* e = entries_.Find(line_addr);
+  return e == nullptr ? 0u : e->requested_sectors;
 }
 
 void Mshr::AddRequestedSectors(Addr line_addr, std::uint32_t sector_mask) {
-  auto it = entries_.find(line_addr);
-  SS_DCHECK(it != entries_.end());
-  it->second.requested_sectors |= sector_mask;
+  Entry* e = entries_.Find(line_addr);
+  SS_DCHECK(e != nullptr);
+  e->requested_sectors |= sector_mask;
 }
 
-std::vector<MemRequest> Mshr::Fill(Addr line_addr,
-                                   std::uint32_t sector_mask) {
-  auto it = entries_.find(line_addr);
-  if (it == entries_.end()) return {};
-  Entry& e = it->second;
+void Mshr::Fill(Addr line_addr, std::uint32_t sector_mask,
+                MshrWaiters* satisfied) {
+  satisfied->clear();
+  Entry* found = entries_.Find(line_addr);
+  if (found == nullptr) return;
+  Entry& e = *found;
   e.arrived_sectors |= sector_mask;
-  std::vector<MemRequest> satisfied;
+  // Stable in-place partition: waiters still missing sectors keep their
+  // relative order at the front, satisfied ones move to `satisfied` in
+  // order. (std::stable_partition allocates a temporary buffer, which
+  // would put a heap allocation on every fill.)
   auto& w = e.waiters;
-  auto mid = std::stable_partition(w.begin(), w.end(),
-                                   [&](const MemRequest& r) {
-                                     return (r.sector_mask &
-                                             ~e.arrived_sectors) != 0;
-                                   });
-  satisfied.assign(std::make_move_iterator(mid),
-                   std::make_move_iterator(w.end()));
-  w.erase(mid, w.end());
-  if (w.empty() && (e.requested_sectors & ~e.arrived_sectors) == 0) {
-    entries_.erase(it);
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if ((w[i].sector_mask & ~e.arrived_sectors) != 0) {
+      if (keep != i) w[keep] = std::move(w[i]);
+      ++keep;
+    } else {
+      satisfied->push_back(std::move(w[i]));
+    }
   }
-  return satisfied;
+  w.resize(keep);
+  if (w.empty() && (e.requested_sectors & ~e.arrived_sectors) == 0) {
+    entries_.erase(line_addr);
+  }
 }
 
 }  // namespace swiftsim

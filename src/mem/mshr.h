@@ -2,21 +2,32 @@
 // subsequent misses to the same line, up to a per-entry merge limit.
 // Fills may arrive in several sector batches; waiters are woken as soon as
 // the sectors they asked for have all arrived.
+//
+// Entries live in a flat open-addressing map pre-sized to the entry limit
+// (no rehash, no per-entry node allocation); waiter lists are inline up to
+// the default merge limit.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
-#include <vector>
 
+#include "common/flat_map.h"
+#include "common/inline_vec.h"
 #include "common/types.h"
 #include "mem/request.h"
 
 namespace swiftsim {
 
+/// Waiters woken by one fill. Inline capacity covers the default
+/// mshr_max_merge (8); larger configured merge limits spill once and the
+/// scratch buffer then keeps its capacity.
+using MshrWaiters = InlineVec<MemRequest, 8>;
+
 class Mshr {
  public:
   Mshr(unsigned entries, unsigned max_merge)
-      : max_entries_(entries), max_merge_(max_merge) {}
+      : max_entries_(entries), max_merge_(max_merge) {
+    entries_.Reserve(entries);
+  }
 
   /// Can a new miss to `line_addr` be tracked this cycle? (Entry available,
   /// or an existing entry with merge headroom.)
@@ -38,17 +49,27 @@ class Mshr {
   /// next-level request onto the existing entry).
   void AddRequestedSectors(Addr line_addr, std::uint32_t sector_mask);
 
-  /// Registers arrival of `sector_mask` for the line and returns every
-  /// waiter whose full sector set has now arrived. The entry is removed
-  /// once all requested sectors arrived and no waiters remain.
-  std::vector<MemRequest> Fill(Addr line_addr, std::uint32_t sector_mask);
+  /// Registers arrival of `sector_mask` for the line and writes every
+  /// waiter whose full sector set has now arrived into `*satisfied`
+  /// (cleared first; caller owns the scratch so steady-state fills do not
+  /// allocate). The entry is removed once all requested sectors arrived
+  /// and no waiters remain.
+  void Fill(Addr line_addr, std::uint32_t sector_mask,
+            MshrWaiters* satisfied);
+
+  /// Convenience wrapper (tests).
+  MshrWaiters Fill(Addr line_addr, std::uint32_t sector_mask) {
+    MshrWaiters satisfied;
+    Fill(line_addr, sector_mask, &satisfied);
+    return satisfied;
+  }
 
   std::size_t size() const { return entries_.size(); }
   bool full() const { return entries_.size() >= max_entries_; }
 
  private:
   struct Entry {
-    std::vector<MemRequest> waiters;
+    MshrWaiters waiters;
     std::uint32_t requested_sectors = 0;
     std::uint32_t arrived_sectors = 0;
     unsigned merged = 0;
@@ -56,7 +77,7 @@ class Mshr {
 
   unsigned max_entries_;
   unsigned max_merge_;
-  std::unordered_map<Addr, Entry> entries_;
+  FlatMap<Addr, Entry> entries_;
 };
 
 }  // namespace swiftsim

@@ -7,11 +7,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
 #include "common/bitutil.h"
+#include "common/ring_buffer.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "config/gpu_config.h"
@@ -38,6 +38,11 @@ class XbarChannel {
         outputs_(num_outputs), eject_(num_outputs), rr_start_(0) {
     SS_CHECK(num_inputs > 0 && num_outputs > 0,
              "XbarChannel needs ports on both sides");
+    // Queue depths are config bounds; reserving them up front keeps the
+    // per-cycle path allocation-free.
+    for (Input& in : inputs_) in.q.Reserve(cfg_.input_queue_depth);
+    for (Output& out : outputs_) out.in_flight.Reserve(cfg_.output_queue_depth);
+    for (auto& e : eject_) e.Reserve(cfg_.output_queue_depth);
   }
 
   /// Queues a packet at input port `in` destined for output `out`.
@@ -49,56 +54,70 @@ class XbarChannel {
       return false;
     }
     inputs_[in].q.push_back(Flit{pkt, out});
+    ++queued_;
     ++stats_.injected;
     return true;
   }
 
   /// Advances arbitration, serialization and delivery by one cycle.
   void Tick(Cycle now) {
-    // Deliver in-flight packets whose traversal completed.
-    for (unsigned o = 0; o < outputs_.size(); ++o) {
-      Output& out = outputs_[o];
-      while (!out.in_flight.empty() &&
-             out.in_flight.front().ready <= now &&
-             eject_[o].size() < cfg_.output_queue_depth) {
-        eject_[o].push_back(out.in_flight.front().pkt);
-        out.in_flight.pop_front();
-        ++stats_.delivered;
+    // Deliver in-flight packets whose traversal completed. Skipped
+    // entirely when nothing is on the wire (occupancy counter) — the
+    // common idle-channel cycle does no per-output work.
+    if (in_flight_total_ > 0) {
+      for (unsigned o = 0; o < outputs_.size(); ++o) {
+        Output& out = outputs_[o];
+        while (!out.in_flight.empty() &&
+               out.in_flight.front().ready <= now &&
+               eject_[o].size() < cfg_.output_queue_depth) {
+          eject_[o].push_back(out.in_flight.front().pkt);
+          out.in_flight.pop_front();
+          --in_flight_total_;
+          ++stats_.delivered;
+        }
       }
     }
     // Arbitrate: rotating priority over inputs; each output accepts one
-    // packet per cycle and serializes it on the port.
+    // packet per cycle and serializes it on the port. Skipped when every
+    // injection queue is empty; no grants would be made and no stats
+    // would change, and the rotor below advances either way.
     const unsigned n = static_cast<unsigned>(inputs_.size());
-    for (unsigned k = 0; k < n; ++k) {
-      Input& in = inputs_[(rr_start_ + k) % n];
-      if (in.q.empty()) continue;
-      Flit& head = in.q.front();
-      Output& out = outputs_[head.out];
-      if (out.busy_until > now || out.granted_this_cycle) {
-        ++stats_.output_stalls;
-        continue;
+    if (queued_ > 0) {
+      unsigned idx = rr_start_;
+      for (unsigned k = 0; k < n;
+           ++k, idx = idx + 1 == n ? 0 : idx + 1) {
+        Input& in = inputs_[idx];
+        if (in.q.empty()) continue;
+        Flit& head = in.q.front();
+        Output& out = outputs_[head.out];
+        if (out.busy_until > now || out.granted_this_cycle) {
+          ++stats_.output_stalls;
+          continue;
+        }
+        // Do not overrun the ejection side: bound total queued+in-flight.
+        if (out.in_flight.size() + eject_[head.out].size() >=
+            cfg_.output_queue_depth) {
+          ++stats_.output_stalls;
+          continue;
+        }
+        const unsigned bytes = bytes_of_(head.pkt);
+        const Cycle ser = CeilDiv(bytes, cfg_.bytes_per_cycle);
+        out.busy_until = now + ser;
+        out.granted_this_cycle = true;
+        out.in_flight.push_back(
+            InFlight{head.pkt, now + ser + cfg_.latency});
+        ++in_flight_total_;
+        stats_.bytes += bytes;
+        in.q.pop_front();
+        --queued_;
       }
-      // Do not overrun the ejection side: bound total queued+in-flight.
-      if (out.in_flight.size() + eject_[head.out].size() >=
-          cfg_.output_queue_depth) {
-        ++stats_.output_stalls;
-        continue;
-      }
-      const unsigned bytes = bytes_of_(head.pkt);
-      const Cycle ser = CeilDiv(bytes, cfg_.bytes_per_cycle);
-      out.busy_until = now + ser;
-      out.granted_this_cycle = true;
-      out.in_flight.push_back(
-          InFlight{head.pkt, now + ser + cfg_.latency});
-      stats_.bytes += bytes;
-      in.q.pop_front();
+      for (Output& out : outputs_) out.granted_this_cycle = false;
     }
-    for (Output& out : outputs_) out.granted_this_cycle = false;
     rr_start_ = (rr_start_ + 1) % n;
   }
 
   /// Delivered packets at output `out`; consumer pops from the front.
-  std::deque<T>& ejected(unsigned out) { return eject_[out]; }
+  RingBuffer<T>& ejected(unsigned out) { return eject_[out]; }
 
   bool quiescent() const {
     for (const Input& in : inputs_) {
@@ -117,18 +136,18 @@ class XbarChannel {
 
  private:
   struct Flit {
-    T pkt;
-    unsigned out;
+    T pkt{};
+    unsigned out = 0;
   };
   struct InFlight {
-    T pkt;
-    Cycle ready;
+    T pkt{};
+    Cycle ready = 0;
   };
   struct Input {
-    std::deque<Flit> q;
+    RingBuffer<Flit> q;
   };
   struct Output {
-    std::deque<InFlight> in_flight;
+    RingBuffer<InFlight> in_flight;
     Cycle busy_until = 0;
     bool granted_this_cycle = false;
   };
@@ -137,8 +156,10 @@ class XbarChannel {
   std::function<unsigned(const T&)> bytes_of_;
   std::vector<Input> inputs_;
   std::vector<Output> outputs_;
-  std::vector<std::deque<T>> eject_;
+  std::vector<RingBuffer<T>> eject_;
   unsigned rr_start_;
+  std::size_t queued_ = 0;           // total flits across input queues
+  std::size_t in_flight_total_ = 0;  // total packets on output wires
   NocStats stats_;
 };
 
@@ -161,10 +182,10 @@ class Interconnect {
     resp_net_.Tick(now);
   }
 
-  std::deque<MemRequest>& requests_at(unsigned partition) {
+  RingBuffer<MemRequest>& requests_at(unsigned partition) {
     return req_net_.ejected(partition);
   }
-  std::deque<MemResponse>& responses_at(SmId sm) {
+  RingBuffer<MemResponse>& responses_at(SmId sm) {
     return resp_net_.ejected(sm);
   }
 

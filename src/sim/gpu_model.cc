@@ -29,6 +29,8 @@ GpuModel::GpuModel(const GpuConfig& cfg, const ModelSelection& selection,
       dram_params.latency += cfg_.effects.dram_latency_extra;
       dram_params.row_hit_latency += cfg_.effects.dram_latency_extra / 2;
     }
+    l2_.reserve(cfg_.num_mem_partitions);
+    dram_.reserve(cfg_.num_mem_partitions);
     for (unsigned p = 0; p < cfg_.num_mem_partitions; ++p) {
       l2_.push_back(std::make_unique<SectorCache>(
           "l2." + std::to_string(p), l2_params, 1000 + p));
@@ -253,6 +255,7 @@ Cycle GpuModel::RunKernel(const KernelTrace& kernel) {
 SimResult GpuModel::RunApplication(const Application& app) {
   SimResult result;
   result.app = app.name;
+  result.kernels.reserve(app.kernels.size());
   const auto t0 = std::chrono::steady_clock::now();
   for (const auto& kernel : app.kernels) {
     const std::uint64_t instrs_before = TotalIssuedInstrs();

@@ -26,7 +26,15 @@ SmCore::SmCore(const GpuConfig& cfg, const ModelSelection& selection, SmId id,
       ctas_(cfg.max_ctas_per_sm),
       scoreboard_(cfg.max_warps_per_sm),
       barriers_(cfg.max_ctas_per_sm),
-      allocator_(cfg) {
+      allocator_(cfg),
+      smem_conflicts_(cfg.shared_mem_banks),
+      events_(std::greater<Event>(), [&cfg] {
+        // One-time reservation: completion events are bounded by in-flight
+        // instructions (a few per resident warp).
+        std::vector<Event> v;
+        v.reserve(static_cast<std::size_t>(cfg.max_warps_per_sm) * 4);
+        return v;
+      }()) {
   SS_CHECK(on_cta_complete_ != nullptr, "SmCore needs a CTA-complete hook");
   if (sel_.mem == MemModelKind::kAnalytical) {
     SS_CHECK(mem_model_ != nullptr,
@@ -143,20 +151,6 @@ void SmCore::OnKernelStart(unsigned active_sms) {
 
 void SmCore::Writeback(unsigned slot, std::uint8_t dst) {
   scoreboard_.OnWriteback(slot, dst);
-}
-
-unsigned SmCore::SmemConflicts(const TraceInstr& ins) const {
-  std::vector<std::vector<Addr>> per_bank(cfg_.shared_mem_banks);
-  unsigned worst = 1;
-  for (Addr a : ins.addrs) {
-    const Addr word = a / 4;
-    auto& v = per_bank[word % cfg_.shared_mem_banks];
-    if (std::find(v.begin(), v.end(), word) == v.end()) v.push_back(word);
-  }
-  for (const auto& v : per_bank) {
-    worst = std::max<unsigned>(worst, std::max<std::size_t>(v.size(), 1));
-  }
-  return worst;
 }
 
 bool SmCore::WarpReady(unsigned slot, Cycle now) {
@@ -280,7 +274,7 @@ void SmCore::IssueMem(unsigned slot, const TraceInstr& ins, Cycle now) {
       now + std::max(1u, kWarpSize / cfg_.ldst_units_per_sub_core);
   const std::uint8_t dst = IsLoad(ins.op) ? ins.dst : kNoReg;
   if (IsSharedMem(ins.op)) {
-    const unsigned conflicts = SmemConflicts(ins);
+    const unsigned conflicts = smem_conflicts_.Conflicts(ins.addrs);
     ++sc.ana_ldst_inflight;
     events_.push(Event{now + cfg_.shared_mem_latency + conflicts - 1, slot,
                        dst, sc_idx, true});
@@ -338,10 +332,11 @@ void SmCore::IssueInstr(unsigned slot, Cycle now) {
 
 void SmCore::FrontendTick(SubCore& sc, unsigned sc_idx, Cycle now) {
   const unsigned warps_per_sc = cfg_.warps_per_sub_core();
-  for (unsigned i = 0; i < warps_per_sc; ++i) {
-    const unsigned local = (sc.fetch_rr + i) % warps_per_sc;
-    const unsigned slot =
-        local * static_cast<unsigned>(subcores_.size()) + sc_idx;
+  const unsigned n_sc = static_cast<unsigned>(subcores_.size());
+  unsigned local = sc.fetch_rr;
+  for (unsigned i = 0; i < warps_per_sc;
+       ++i, local = local + 1 == warps_per_sc ? 0 : local + 1) {
+    const unsigned slot = local * n_sc + sc_idx;
     WarpContext& w = warps_[slot];
     if (!w.valid || w.done || w.exhausted() || w.ibuffer >= 2) continue;
     if (now < w.fetch_ready) {
@@ -410,7 +405,7 @@ bool SmCore::Tick(Cycle now) {
       unsigned bus = sel_.silicon_effects ? cfg_.effects.writeback_bus_width
                                           : ~0u;
       for (ExecPipeline& pipe : sc.pipelines) {
-        pipe.Tick(now);
+        if (pipe.busy()) pipe.Tick(now);  // empty pipes have nothing to shift
         while (bus > 0 && !pipe.completions().empty()) {
           const Completion c = pipe.completions().front();
           pipe.completions().pop_front();
@@ -423,13 +418,13 @@ bool SmCore::Tick(Cycle now) {
       // into their (free) execution pipelines.
       sc.collector->Tick(now);
       auto& ready = sc.collector->ready();
-      for (auto it = ready.begin(); it != ready.end();) {
-        ExecPipeline& pipe = PipelineFor(sc, it->cls);
+      for (std::size_t i = 0; i < ready.size();) {
+        ExecPipeline& pipe = PipelineFor(sc, ready[i].cls);
         if (pipe.CanIssue(now)) {
-          pipe.Issue(it->slot, it->dst, now);
-          it = ready.erase(it);
+          pipe.Issue(ready[i].slot, ready[i].dst, now);
+          ready.erase(i);  // order-preserving
         } else {
-          ++it;
+          ++i;
         }
       }
     }

@@ -25,6 +25,7 @@
 #include "core/scoreboard.h"
 #include "core/warp.h"
 #include "mem/cache.h"
+#include "mem/coalescer.h"
 #include "sim/model_select.h"
 
 namespace swiftsim {
@@ -138,7 +139,6 @@ class SmCore {
   void FrontendTick(SubCore& sc, unsigned sc_idx, Cycle now);
   ExecPipeline& PipelineFor(SubCore& sc, UnitClass cls);
   void NoteWake(Cycle when);
-  unsigned SmemConflicts(const TraceInstr& ins) const;
 
   GpuConfig cfg_;
   ModelSelection sel_;
@@ -155,6 +155,7 @@ class SmCore {
   Scoreboard scoreboard_;
   BarrierManager barriers_;
   CtaAllocator allocator_;
+  SmemConflictCounter smem_conflicts_;  // analytical-path bank conflicts
   std::vector<SubCore> subcores_;
   std::unique_ptr<SectorCache> l1_;  // cycle-accurate memory mode only
   std::unique_ptr<MemContentionModel> contention_;  // analytical mode

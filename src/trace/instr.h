@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/bitutil.h"
+#include "common/inline_vec.h"
 #include "common/types.h"
 #include "trace/isa.h"
 
@@ -13,6 +14,11 @@ namespace swiftsim {
 
 /// Register number sentinel for "no register".
 inline constexpr std::uint8_t kNoReg = 0xff;
+
+/// Per-active-lane addresses of one warp memory instruction. Bounded by
+/// kWarpSize, so the storage is always inline — building one never heap
+/// allocates.
+using LaneAddrs = InlineVec<Addr, kWarpSize>;
 
 /// A dynamic instruction executed by one warp. Memory instructions carry
 /// one address per *active* lane, in ascending lane order (compact form —
@@ -23,7 +29,7 @@ struct TraceInstr {
   std::uint8_t dst = kNoReg;              // destination register or kNoReg
   std::array<std::uint8_t, 3> src = {kNoReg, kNoReg, kNoReg};
   LaneMask active = kFullMask;
-  std::vector<Addr> addrs;                // memory ops only; |addrs| == popcount(active)
+  LaneAddrs addrs;                // memory ops only; |addrs| == popcount(active)
 
   unsigned num_active() const { return PopCount(active); }
   bool has_dst() const { return dst != kNoReg; }

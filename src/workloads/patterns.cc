@@ -7,9 +7,8 @@ namespace swiftsim {
 
 namespace {
 template <typename Fn>
-std::vector<Addr> PerActiveLane(LaneMask mask, Fn&& addr_of_lane) {
-  std::vector<Addr> out;
-  out.reserve(PopCount(mask));
+LaneAddrs PerActiveLane(LaneMask mask, Fn&& addr_of_lane) {
+  LaneAddrs out;
   for (unsigned lane = 0; lane < kWarpSize; ++lane) {
     if (mask & (LaneMask{1} << lane)) out.push_back(addr_of_lane(lane));
   }
@@ -17,25 +16,25 @@ std::vector<Addr> PerActiveLane(LaneMask mask, Fn&& addr_of_lane) {
 }
 }  // namespace
 
-std::vector<Addr> CoalescedAddrs(Addr base, unsigned elem_bytes,
+LaneAddrs CoalescedAddrs(Addr base, unsigned elem_bytes,
                                  LaneMask mask) {
   return PerActiveLane(mask, [&](unsigned lane) {
     return base + static_cast<Addr>(lane) * elem_bytes;
   });
 }
 
-std::vector<Addr> StridedAddrs(Addr base, std::uint64_t stride_bytes,
+LaneAddrs StridedAddrs(Addr base, std::uint64_t stride_bytes,
                                LaneMask mask) {
   return PerActiveLane(mask, [&](unsigned lane) {
     return base + static_cast<Addr>(lane) * stride_bytes;
   });
 }
 
-std::vector<Addr> BroadcastAddrs(Addr addr, LaneMask mask) {
+LaneAddrs BroadcastAddrs(Addr addr, LaneMask mask) {
   return PerActiveLane(mask, [&](unsigned) { return addr; });
 }
 
-std::vector<Addr> RandomAddrs(Rng& rng, Addr region_base,
+LaneAddrs RandomAddrs(Rng& rng, Addr region_base,
                               std::uint64_t region_bytes, unsigned align,
                               LaneMask mask) {
   SS_CHECK(region_bytes >= align, "RandomAddrs: region smaller than align");
@@ -78,7 +77,7 @@ void WarpEmitter::Alu(Pc pc, Opcode op, std::uint8_t dst,
 
 void WarpEmitter::Mem(Pc pc, Opcode op, std::uint8_t dst,
                       std::initializer_list<std::uint8_t> srcs, LaneMask mask,
-                      std::vector<Addr> addrs) {
+                      LaneAddrs addrs) {
   SS_DCHECK(IsMemory(op));
   SS_DCHECK(addrs.size() == PopCount(mask));
   TraceInstr ins;

@@ -23,20 +23,20 @@ namespace swiftsim {
 // ---------------------------------------------------------------------------
 
 /// Fully coalesced: lane i reads base + i*elem_bytes.
-std::vector<Addr> CoalescedAddrs(Addr base, unsigned elem_bytes,
+LaneAddrs CoalescedAddrs(Addr base, unsigned elem_bytes,
                                  LaneMask mask = kFullMask);
 
 /// Strided: lane i reads base + i*stride_bytes (stride >= line size gives
 /// one sector/line per lane — the uncoalesced worst case).
-std::vector<Addr> StridedAddrs(Addr base, std::uint64_t stride_bytes,
+LaneAddrs StridedAddrs(Addr base, std::uint64_t stride_bytes,
                                LaneMask mask = kFullMask);
 
 /// Broadcast: all active lanes read the same address.
-std::vector<Addr> BroadcastAddrs(Addr addr, LaneMask mask = kFullMask);
+LaneAddrs BroadcastAddrs(Addr addr, LaneMask mask = kFullMask);
 
 /// Uniform-random addresses inside [region_base, region_base+region_bytes),
 /// aligned to `align` bytes.
-std::vector<Addr> RandomAddrs(Rng& rng, Addr region_base,
+LaneAddrs RandomAddrs(Rng& rng, Addr region_base,
                               std::uint64_t region_bytes, unsigned align,
                               LaneMask mask = kFullMask);
 
@@ -67,7 +67,7 @@ class WarpEmitter {
   /// Memory instruction; addrs must be compact over active lanes.
   void Mem(Pc pc, Opcode op, std::uint8_t dst,
            std::initializer_list<std::uint8_t> srcs, LaneMask mask,
-           std::vector<Addr> addrs);
+           LaneAddrs addrs);
 
   void Bar(Pc pc);
   void Exit(Pc pc);

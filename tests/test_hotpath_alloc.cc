@@ -1,0 +1,106 @@
+// Zero-allocation regression gate for the cycle-accurate hot path
+// (DESIGN.md §8): after a warm-up kernel has grown every pool, ring
+// buffer and flat map to its high-water capacity, N mid-kernel cycles of
+// an identical second kernel must perform ZERO heap allocations. Counting
+// global operator new/delete overrides make any regression (a stray
+// std::function capture, a std::deque block, an unreserved vector) an
+// immediate test failure rather than a silent throughput loss.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "config/presets.h"
+#include "sim/gpu_model.h"
+#include "sim/model_select.h"
+#include "workloads/workload.h"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::size_t> g_allocations{0};
+
+void* CountedAlloc(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, std::align_val_t) {
+  return CountedAlloc(size);
+}
+void* operator new[](std::size_t size, std::align_val_t) {
+  return CountedAlloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace swiftsim {
+namespace {
+
+TEST(HotPathAlloc, WarmDetailedModelCyclesAreAllocationFree) {
+  const GpuConfig gpu = Rtx2080TiConfig();
+  const ModelSelection sel = SelectionFor(SimLevel::kDetailed);
+  const WorkloadScale scale{0.35, 0x5eed5eedULL};
+
+  // Two independently built but bit-identical traces: one to warm every
+  // pool/ring/map to its high-water mark, one to measure.
+  const Application warm_app = BuildWorkload("GEMM", scale);
+  const Application meas_app = BuildWorkload("GEMM", scale);
+  ASSERT_FALSE(warm_app.kernels.empty());
+
+  GpuModel model(gpu, sel);
+  model.RunKernel(*warm_app.kernels[0]);  // warm-up: allocations expected
+
+  // Drive the identical second kernel cycle by cycle (the same loop
+  // RunKernel uses for the detailed model, which never fast-forwards).
+  const KernelTrace& kernel = *meas_app.kernels[0];
+  model.BeginKernel(kernel);
+  Cycle now = model.now();
+  auto tick = [&] {
+    model.AssignPendingCtas();
+    model.TickSmRange(0, gpu.num_sms, now);
+    model.TickSharedMemory(now);
+    ++now;
+  };
+
+  // Settle: let the second kernel ramp up to steady state.
+  constexpr int kSettleCycles = 500;
+  constexpr int kCountedCycles = 2000;
+  for (int i = 0; i < kSettleCycles && !model.KernelDone(); ++i) tick();
+  ASSERT_FALSE(model.KernelDone()) << "workload too small to measure";
+
+  g_allocations.store(0);
+  g_counting.store(true);
+  int counted = 0;
+  for (; counted < kCountedCycles && !model.KernelDone(); ++counted) tick();
+  g_counting.store(false);
+
+  EXPECT_EQ(g_allocations.load(), 0u)
+      << "heap allocations on the warmed-up detailed hot path";
+  EXPECT_GE(counted, 1000) << "measurement window too short to be meaningful";
+
+  // Drain so the model is consistent if more checks are added later.
+  while (!model.KernelDone()) tick();
+  model.SyncClock(now);
+}
+
+}  // namespace
+}  // namespace swiftsim

@@ -1,0 +1,124 @@
+#include "common/inline_vec.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace swiftsim {
+namespace {
+
+TEST(InlineVec, StaysInlineUpToN) {
+  InlineVec<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_FALSE(v.on_heap());
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(InlineVec, SpillsToHeapPastN) {
+  InlineVec<int, 4> v;
+  for (int i = 0; i < 9; ++i) v.push_back(i);
+  EXPECT_TRUE(v.on_heap());
+  EXPECT_GE(v.capacity(), 9u);
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(InlineVec, ClearKeepsHeapCapacity) {
+  InlineVec<int, 2> v;
+  for (int i = 0; i < 20; ++i) v.push_back(i);
+  const std::size_t cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);
+  EXPECT_TRUE(v.on_heap());
+}
+
+TEST(InlineVec, EraseIsOrderPreserving) {
+  InlineVec<int, 8> v{0, 1, 2, 3, 4};
+  auto* it = v.erase(v.begin() + 1);
+  EXPECT_EQ(*it, 2);
+  const int expect[] = {0, 2, 3, 4};
+  ASSERT_EQ(v.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], expect[i]);
+}
+
+TEST(InlineVec, CopyAndAssign) {
+  InlineVec<std::string, 2> a{"x", "y", "z"};  // spilled
+  InlineVec<std::string, 2> b(a);
+  EXPECT_EQ(a, b);
+  InlineVec<std::string, 2> c;
+  c = a;
+  EXPECT_EQ(a, c);
+  a.clear();
+  EXPECT_EQ(b.size(), 3u);  // deep copies unaffected
+  EXPECT_EQ(b[2], "z");
+}
+
+TEST(InlineVec, MoveStealsHeapBlock) {
+  InlineVec<int, 2> a;
+  for (int i = 0; i < 10; ++i) a.push_back(i);
+  const int* block = a.data();
+  InlineVec<int, 2> b(std::move(a));
+  EXPECT_EQ(b.data(), block);  // heap block stolen, not copied
+  EXPECT_TRUE(a.empty());
+  ASSERT_EQ(b.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(b[static_cast<std::size_t>(i)], i);
+}
+
+TEST(InlineVec, MoveOfInlineElementsMoves) {
+  InlineVec<std::unique_ptr<int>, 4> a;
+  a.emplace_back(std::make_unique<int>(7));
+  InlineVec<std::unique_ptr<int>, 4> b(std::move(a));
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(*b[0], 7);
+}
+
+TEST(InlineVec, InitializerListAssignment) {
+  InlineVec<int, 4> v;
+  v = {5, 6};
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 5);
+  EXPECT_EQ(v[1], 6);
+}
+
+TEST(InlineVec, ResizeGrowsAndShrinks) {
+  InlineVec<int, 4> v{1, 2, 3};
+  v.resize(5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[3], 0);  // value-initialized
+  v.resize(1);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 1);
+}
+
+TEST(InlineVec, DestructorsRunOnClear) {
+  auto counter = std::make_shared<int>(0);
+  struct Probe {
+    std::shared_ptr<int> c;
+    ~Probe() {
+      if (c) ++*c;
+    }
+  };
+  {
+    InlineVec<Probe, 2> v;
+    for (int i = 0; i < 5; ++i) v.push_back(Probe{counter});
+    const int before = *counter;  // temporaries already destroyed
+    v.clear();
+    EXPECT_EQ(*counter, before + 5);
+  }
+}
+
+TEST(InlineVec, EqualityComparesElements) {
+  InlineVec<int, 4> a{1, 2};
+  InlineVec<int, 4> b{1, 2};
+  InlineVec<int, 4> c{1, 3};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace swiftsim

@@ -66,7 +66,7 @@ struct Harness {
   }
 };
 
-TraceInstr GlobalLoad(std::uint8_t dst, std::vector<Addr> addrs,
+TraceInstr GlobalLoad(std::uint8_t dst, LaneAddrs addrs,
                       LaneMask mask = kFullMask) {
   TraceInstr ins;
   ins.op = Opcode::kLdGlobal;
@@ -93,7 +93,7 @@ TEST(LdstUnit, CoalescedLoadCompletesOnce) {
 
 TEST(LdstUnit, ScatteredLoadInjectsManyAccesses) {
   Harness h;
-  std::vector<Addr> addrs;
+  LaneAddrs addrs;
   for (unsigned i = 0; i < 32; ++i) addrs.push_back(i * 0x1000);
   h.ldst.Issue(0, GlobalLoad(9, addrs), h.now);
   for (int i = 0; i < 100 && h.writebacks.empty(); ++i) {

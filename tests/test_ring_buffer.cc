@@ -1,0 +1,136 @@
+#include "common/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <string>
+
+#include "common/rng.h"
+
+namespace swiftsim {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer<int> q;
+  for (int i = 0; i < 5; ++i) q.push_back(i);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(q.front(), i);
+    q.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RingBuffer, WrapsAroundWithoutGrowing) {
+  RingBuffer<int> q;
+  q.Reserve(16);
+  const std::size_t cap = q.capacity();
+  // Pump many elements through a mostly-empty queue: head walks around the
+  // ring repeatedly and capacity never changes.
+  for (int i = 0; i < 1000; ++i) {
+    q.push_back(i);
+    EXPECT_EQ(q.front(), i);
+    q.pop_front();
+  }
+  EXPECT_EQ(q.capacity(), cap);
+}
+
+TEST(RingBuffer, GrowsPreservingOrderAcrossWrap) {
+  RingBuffer<int> q;
+  q.Reserve(16);
+  // Wrap the head first, then force a regrow while wrapped.
+  for (int i = 0; i < 12; ++i) q.push_back(i);
+  for (int i = 0; i < 12; ++i) q.pop_front();
+  for (int i = 0; i < 40; ++i) q.push_back(i);
+  ASSERT_EQ(q.size(), 40u);
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(q[i], i);
+}
+
+TEST(RingBuffer, ClearKeepsCapacity) {
+  RingBuffer<int> q;
+  for (int i = 0; i < 100; ++i) q.push_back(i);
+  const std::size_t cap = q.capacity();
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.capacity(), cap);
+}
+
+TEST(RingBuffer, InsertAtPositionPreservesOrder) {
+  RingBuffer<int> q;
+  q.push_back(1);
+  q.push_back(3);
+  q.insert(1, 2);   // middle
+  q.insert(0, 0);   // front
+  q.insert(4, 4);   // back
+  ASSERT_EQ(q.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q[i], i);
+}
+
+TEST(RingBuffer, EraseEitherSideKeepsOrder) {
+  RingBuffer<int> q;
+  for (int i = 0; i < 8; ++i) q.push_back(i);
+  q.erase(1);  // near front: shifts the front side
+  q.erase(5);  // near back (element 6 now): shifts the back side
+  ASSERT_EQ(q.size(), 6u);
+  const int expect[] = {0, 2, 3, 4, 5, 7};
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(q[i], expect[i]);
+}
+
+TEST(RingBuffer, HoldsNonTrivialTypes) {
+  RingBuffer<std::string> q;
+  q.push_back("alpha");
+  q.push_back(std::string(100, 'x'));
+  EXPECT_EQ(q.front(), "alpha");
+  q.pop_front();
+  EXPECT_EQ(q.front(), std::string(100, 'x'));
+}
+
+TEST(RingBuffer, RandomChurnMatchesDeque) {
+  RingBuffer<std::uint64_t> q;
+  std::deque<std::uint64_t> ref;
+  Rng rng(99);
+  for (int step = 0; step < 20000; ++step) {
+    switch (rng.Next() % 5) {
+      case 0:
+      case 1: {  // bias toward growth so the queue exercises wrap + regrow
+        const std::uint64_t v = rng.Next();
+        q.push_back(v);
+        ref.push_back(v);
+        break;
+      }
+      case 2:
+        if (!ref.empty()) {
+          q.pop_front();
+          ref.pop_front();
+        }
+        break;
+      case 3: {
+        const std::uint64_t v = rng.Next();
+        const std::size_t pos = ref.empty() ? 0 : rng.Next() % (ref.size() + 1);
+        q.insert(pos, v);
+        ref.insert(ref.begin() + static_cast<std::ptrdiff_t>(pos), v);
+        break;
+      }
+      default:
+        if (!ref.empty()) {
+          const std::size_t pos = rng.Next() % ref.size();
+          q.erase(pos);
+          ref.erase(ref.begin() + static_cast<std::ptrdiff_t>(pos));
+        }
+    }
+    ASSERT_EQ(q.size(), ref.size());
+    if (!ref.empty()) {
+      ASSERT_EQ(q.front(), ref.front());
+      ASSERT_EQ(q.back(), ref.back());
+    }
+  }
+  for (std::size_t i = 0; i < ref.size(); ++i) ASSERT_EQ(q[i], ref[i]);
+}
+
+}  // namespace
+}  // namespace swiftsim
