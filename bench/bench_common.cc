@@ -30,10 +30,13 @@ BenchOptions ParseOptions(int argc, char** argv, double default_scale) {
     } else if (StartsWith(arg, "--json=")) {
       opt.json_path = arg.substr(7);
       SS_CHECK(!opt.json_path.empty(), "--json needs a path");
+    } else if (arg == "--no-skip") {
+      opt.cycle_skip = false;
     } else {
       throw SimError(
           "unknown flag '" + arg +
-          "' (expected --scale=, --apps=, --threads=, --seed=, --json=)");
+          "' (expected --scale=, --apps=, --threads=, --seed=, --json=, "
+          "--no-skip)");
     }
   }
   if (opt.threads == 0) {
@@ -73,6 +76,8 @@ AppRun RunOne(const Application& app, const GpuConfig& cfg, SimLevel level) {
     run.instructions = r.instructions;
     run.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
     run.reservation_fails = model.TotalReservationFails();
+    run.cycles_skipped = model.metrics().Read("driver.cycles_skipped");
+    run.skip_jumps = model.metrics().Read("driver.skip_jumps");
   } else {
     const SimResult r = Simulator(app, cfg, level).Run();
     run.cycles = r.total_cycles;
@@ -131,6 +136,8 @@ JsonRun ToJsonRun(const AppRun& run, const std::string& level,
                                run.wall_seconds
                          : 0.0;
   j.threads = threads;
+  j.cycles_skipped = run.cycles_skipped;
+  j.skip_jumps = run.skip_jumps;
   return j;
 }
 
@@ -151,10 +158,13 @@ void WriteRunsJson(const std::string& path, const std::string& bench,
     std::fprintf(f,
                  "    {\"app\": \"%s\", \"level\": \"%s\", \"cycles\": %llu, "
                  "\"wall_seconds\": %.6f, \"instrs_per_sec\": %.1f, "
-                 "\"threads\": %u, \"scale\": %.4f}%s\n",
+                 "\"threads\": %u, \"scale\": %.4f, "
+                 "\"cycles_skipped\": %llu, \"skip_jumps\": %llu}%s\n",
                  r.app.c_str(), r.level.c_str(),
                  static_cast<unsigned long long>(r.cycles), r.wall_seconds,
                  r.instrs_per_sec, r.threads, opt.scale,
+                 static_cast<unsigned long long>(r.cycles_skipped),
+                 static_cast<unsigned long long>(r.skip_jumps),
                  i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

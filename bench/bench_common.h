@@ -24,10 +24,11 @@ struct BenchOptions {
   unsigned threads = 0;           // 0 = hardware concurrency
   std::uint64_t seed = 0x5eed5eedULL;
   std::string json_path;          // --json=<path>: machine-readable records
+  bool cycle_skip = true;         // --no-skip: disable event-calendar jumps
 };
 
-/// Parses --scale/--apps/--threads/--seed/--json; throws SimError on bad
-/// flags.
+/// Parses --scale/--apps/--threads/--seed/--json/--no-skip; throws SimError
+/// on bad flags.
 BenchOptions ParseOptions(int argc, char** argv, double default_scale);
 
 /// The measured outcome of one (app, simulator-level) run.
@@ -37,6 +38,8 @@ struct AppRun {
   double wall_seconds = 0;
   std::uint64_t instructions = 0;
   std::uint64_t reservation_fails = 0;
+  std::uint64_t cycles_skipped = 0;  // driver cycles elided by the calendar
+  std::uint64_t skip_jumps = 0;      // wake events dispatched via jumps
 };
 
 /// Runs one app at one level (serial).
@@ -63,6 +66,8 @@ struct JsonRun {
   double wall_seconds = 0;
   double instrs_per_sec = 0;
   unsigned threads = 1;
+  std::uint64_t cycles_skipped = 0;
+  std::uint64_t skip_jumps = 0;
 };
 
 /// Converts an AppRun measured at `level` into a JsonRun.

@@ -19,16 +19,21 @@ int main(int argc, char** argv) {
   using namespace swiftsim::bench;
   BenchOptions opt = ParseOptions(argc, argv, /*default_scale=*/0.35);
   // Mixed suite: compute-bound, streaming, and irregular so the bench
-  // stresses both the core pipeline and the memory system.
-  if (opt.apps.empty()) opt.apps = {"GEMM", "SM", "BFS", "HOTSPOT"};
+  // stresses both the core pipeline and the memory system. BFS/PAGERANK
+  // are the memory-bound apps with long idle spans where the event
+  // calendar (DESIGN.md §9) earns its keep.
+  if (opt.apps.empty()) {
+    opt.apps = {"GEMM", "SM", "BFS", "PAGERANK", "HOTSPOT"};
+  }
   if (opt.json_path.empty()) opt.json_path = "results/BENCH_hotpath.json";
   PrintHeader("Hot-path throughput: serial kDetailed", opt);
 
-  const GpuConfig gpu = Rtx2080TiConfig();
+  GpuConfig gpu = Rtx2080TiConfig();
+  gpu.cycle_skip = opt.cycle_skip;
   std::vector<JsonRun> records;
   double total_instrs = 0, total_wall = 0;
-  std::printf("%-10s %12s %10s %14s\n", "app", "cycles", "wall[s]",
-              "instrs/sec");
+  std::printf("%-10s %12s %10s %14s %12s %8s\n", "app", "cycles", "wall[s]",
+              "instrs/sec", "skipped", "jumps");
   for (const Application& app : BuildApps(opt)) {
     AppRun best = RunOne(app, gpu, SimLevel::kDetailed);
     const AppRun again = RunOne(app, gpu, SimLevel::kDetailed);
@@ -37,9 +42,11 @@ int main(int argc, char** argv) {
                            ? static_cast<double>(best.instructions) /
                                  best.wall_seconds
                            : 0.0;
-    std::printf("%-10s %12llu %10.3f %14.0f\n", best.app.c_str(),
+    std::printf("%-10s %12llu %10.3f %14.0f %12llu %8llu\n", best.app.c_str(),
                 static_cast<unsigned long long>(best.cycles),
-                best.wall_seconds, ips);
+                best.wall_seconds, ips,
+                static_cast<unsigned long long>(best.cycles_skipped),
+                static_cast<unsigned long long>(best.skip_jumps));
     if (!(ips > 0)) {
       std::printf("ERROR: zero throughput for %s\n", best.app.c_str());
       return EXIT_FAILURE;

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Continuous-integration driver. Mirrors .github/workflows/ci.yml so the
+# full gate runs locally with one command:
+#
+#   scripts/ci.sh            # all stages
+#   scripts/ci.sh build      # tier-1 build + full ctest
+#   scripts/ci.sh tsan       # ThreadSanitizer build + tsan-labelled suites
+#   scripts/ci.sh perf       # <10 s hot-path bench smoke (perf label)
+#
+# Build trees: build/ (tier-1 + perf) and build-tsan/ (ThreadSanitizer).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+configure() { # <build-dir> [extra cmake args...]
+  local dir="$1"; shift
+  if [ ! -f "$dir/CMakeCache.txt" ]; then
+    cmake -B "$dir" -DCMAKE_BUILD_TYPE=Release "$@"
+  fi
+}
+
+stage_build() {
+  echo "==> tier-1: build + full test suite"
+  configure build
+  cmake --build build -j "$JOBS"
+  # Everything except the perf smoke (run separately so a loaded CI
+  # machine failing the timing gate does not mask a correctness failure).
+  ctest --test-dir build -LE perf --output-on-failure
+}
+
+stage_tsan() {
+  echo "==> tsan: ThreadSanitizer build + tsan-labelled suites"
+  configure build-tsan -DSWIFTSIM_TSAN=ON
+  cmake --build build-tsan -j "$JOBS"
+  ctest --test-dir build-tsan -L tsan --output-on-failure
+}
+
+stage_perf() {
+  echo "==> perf: hot-path bench smoke (<10 s)"
+  configure build
+  cmake --build build -j "$JOBS" --target bench_hotpath
+  ctest --test-dir build -L perf --output-on-failure
+}
+
+case "${1:-all}" in
+  build) stage_build ;;
+  tsan)  stage_tsan ;;
+  perf)  stage_perf ;;
+  all)   stage_build; stage_tsan; stage_perf ;;
+  *) echo "usage: $0 [build|tsan|perf|all]" >&2; exit 2 ;;
+esac

@@ -246,6 +246,8 @@ GpuConfig GpuConfig::FromIni(const IniFile& ini, GpuConfig base) {
       ini.GetUint("core.shared_mem_banks", c.shared_mem_banks));
   c.num_mem_partitions = static_cast<unsigned>(
       ini.GetUint("mem.num_partitions", c.num_mem_partitions));
+  c.l2_drain_attempts = static_cast<unsigned>(
+      ini.GetUint("mem.l2_drain_attempts", c.l2_drain_attempts));
   c.noc.latency =
       static_cast<unsigned>(ini.GetUint("noc.latency", c.noc.latency));
   c.noc.bytes_per_cycle = static_cast<unsigned>(
@@ -283,6 +285,7 @@ GpuConfig GpuConfig::FromIni(const IniFile& ini, GpuConfig base) {
       "effects.l2_latency_extra", c.effects.l2_latency_extra));
   c.effects.dram_latency_extra = static_cast<unsigned>(ini.GetUint(
       "effects.dram_latency_extra", c.effects.dram_latency_extra));
+  c.cycle_skip = ini.GetBool("sim.cycle_skip", c.cycle_skip);
   c.Validate();
   return c;
 }
@@ -313,7 +316,8 @@ std::string GpuConfig::ToIniString() const {
   DumpCache(os, "l1", l1);
   DumpCache(os, "l2", l2);
   os << "[mem]\n"
-     << "num_partitions = " << num_mem_partitions << "\n";
+     << "num_partitions = " << num_mem_partitions << "\n"
+     << "l2_drain_attempts = " << l2_drain_attempts << "\n";
   os << "[noc]\n"
      << "latency = " << noc.latency << "\n"
      << "bytes_per_cycle = " << noc.bytes_per_cycle << "\n"
@@ -336,6 +340,8 @@ std::string GpuConfig::ToIniString() const {
      << "kernel_launch_overhead = " << effects.kernel_launch_overhead << "\n"
      << "l2_latency_extra = " << effects.l2_latency_extra << "\n"
      << "dram_latency_extra = " << effects.dram_latency_extra << "\n";
+  os << "[sim]\n"
+     << "cycle_skip = " << (cycle_skip ? "true" : "false") << "\n";
   return os.str();
 }
 

@@ -154,8 +154,19 @@ struct GpuConfig {
   NocConfig noc;
   DramConfig dram;
 
+  /// L2 request-drain budget: how many NoC-ejected requests each L2 slice
+  /// attempts to accept per cycle. 0 (default) derives the budget from
+  /// l2.banks, the slice's natural per-cycle throughput.
+  unsigned l2_drain_attempts = 0;
+
   // --- Oracle-only second-order effects -------------------------------------
   SiliconEffects effects;
+
+  // --- Simulation-driver knobs ----------------------------------------------
+  /// Event-calendar cycle skipping (DESIGN.md §9): lets the cycle-accurate
+  /// driver fast-forward over spans it proves are no-op ticks. Cycle counts
+  /// are bit-identical either way; disable only for A/B validation runs.
+  bool cycle_skip = true;
 
   // Derived -------------------------------------------------------------
   unsigned warps_per_sub_core() const {

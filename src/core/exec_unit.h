@@ -50,6 +50,12 @@ class ExecPipeline {
   RingBuffer<Completion>& completions() { return done_; }
 
   bool busy() const { return in_flight_ != 0; }
+
+  /// NextWakeCycle contract: a non-drained pipe (stages in flight OR
+  /// retired completions still awaiting the writeback bus) must be ticked
+  /// every cycle; a drained pipe contributes no wake event.
+  bool drained() const { return in_flight_ == 0 && done_.empty(); }
+
   Cycle next_issue() const { return next_issue_; }
   std::uint64_t issued() const { return issued_; }
   UnitClass unit_class() const { return cls_; }

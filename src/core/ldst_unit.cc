@@ -103,6 +103,7 @@ void LdstUnit::Tick(Cycle now) {
   // Find the front instruction that still has accesses to inject (skip
   // loads that are merely waiting for responses). The counter makes the
   // common nothing-to-inject cycle O(1).
+  blocked_ = CacheReject::kNone;
   if (pending_inject_ == 0) return;
   int front = head_;
   while (front != kNil && pool_[front].todo.empty()) front = pool_[front].next;
@@ -120,7 +121,7 @@ void LdstUnit::Tick(Cycle now) {
     if (!fi.is_store) {
       req.id = (instance_tag_ << 20) | (++next_id_ & 0xfffff);
     }
-    if (!l1_->Access(req, now)) {
+    if (!l1_->Access(req, now, &blocked_)) {
       ++stats_.l1_rejections;
       break;  // bank/MSHR/queue pressure: retry next cycle
     }

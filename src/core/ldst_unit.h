@@ -91,6 +91,31 @@ class LdstUnit {
   /// the L1 (the unit must be ticked every cycle to retry).
   bool HasPendingInjections() const { return pending_inject_ > 0; }
 
+  /// True when the last injection attempt failed on L1 capacity (MSHRs or
+  /// miss-queue backpressure). Unlike bank conflicts, these rejections are
+  /// stable until an external event (a fill, or a downstream drain of the
+  /// miss queue), so the owning SM may sleep instead of retrying — every
+  /// elided retry is provably the same failing probe.
+  bool CapacityBlocked() const {
+    return blocked_ == CacheReject::kMshrFull ||
+           blocked_ == CacheReject::kOutFull;
+  }
+
+  /// True when the capacity block is specifically miss-queue backpressure;
+  /// the SM driver re-checks the queue's fullness each cycle to wake.
+  bool BlockedOnMissQueue() const {
+    return blocked_ == CacheReject::kOutFull;
+  }
+
+  /// Stats catch-up for `n` elided retry cycles while capacity-blocked:
+  /// the per-cycle reference would have re-attempted the head access and
+  /// failed identically each cycle (cycle skipping, DESIGN.md §9).
+  void AccountElidedRetries(Cycle n) {
+    if (!CapacityBlocked()) return;
+    stats_.l1_rejections += n;
+    l1_->AccountElidedStalls(blocked_, n);
+  }
+
   const LdstStats& stats() const { return stats_; }
 
  private:
@@ -134,6 +159,7 @@ class LdstUnit {
   std::size_t pending_inject_ = 0;  // live instrs with a non-empty todo
   FlatMap<std::uint64_t, std::uint32_t> by_id_;  // request id -> pool slot
   RingBuffer<FixedCompletion> fixed_completions_;  // sorted by ready
+  CacheReject blocked_ = CacheReject::kNone;  // last injection rejection
   LdstStats stats_;
 };
 

@@ -34,6 +34,9 @@ void OperandCollector::Accept(unsigned slot, const TraceInstr& ins,
 }
 
 void OperandCollector::Tick(Cycle) {
+  // An empty collector's tick is a pure no-op; skip the bank-scratch reset
+  // so idle sub-cores pay nothing (and elided ticks are provably inert).
+  if (free_units_ == static_cast<unsigned>(units_.size())) return;
   // Per-bank port budget this cycle (member scratch: no per-cycle alloc).
   std::fill(bank_used_.begin(), bank_used_.end(), 0);
   auto& bank_used = bank_used_;

@@ -48,6 +48,9 @@ class OperandCollector {
 
   RingBuffer<CollectedOp>& ready() { return ready_; }
 
+  /// NextWakeCycle contract: a busy collector arbitrates banks every
+  /// cycle and must be ticked per-cycle; an idle one contributes no wake
+  /// event (its Tick is a no-op).
   bool busy() const {
     return free_units_ < static_cast<unsigned>(units_.size()) ||
            !ready_.empty();

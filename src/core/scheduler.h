@@ -47,6 +47,12 @@ class WarpScheduler {
   /// Informs the policy that the warp in `slot` finished or was replaced.
   void OnSlotDrained(unsigned slot);
 
+  /// True when Pick mutates policy state even on a failed probe (the
+  /// two-level scheduler advances stall counters and demotes warps every
+  /// call). An SM driving such a policy can never be put to sleep by the
+  /// wake calendar: eliding a Pick would diverge from per-cycle ticking.
+  bool StatefulProbe() const { return policy_ == SchedPolicy::kTwoLevel; }
+
   SchedPolicy policy() const { return policy_; }
 
  private:

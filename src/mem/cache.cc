@@ -68,15 +68,23 @@ void SectorCache::EmitEviction(const Eviction& ev) {
   ++stats_.writebacks;
 }
 
-bool SectorCache::Access(const MemRequest& req, Cycle now) {
+bool SectorCache::Access(const MemRequest& req, Cycle now, CacheReject* why) {
   SS_DCHECK(req.sector_mask != 0);
   SS_DCHECK(AlignDown(req.line_addr, params_.line_bytes) == req.line_addr);
-  return req.is_store() ? AccessStore(req, now) : AccessLoad(req, now);
+  CacheReject local = CacheReject::kNone;
+  CacheReject& reason = why != nullptr ? *why : local;
+  reason = CacheReject::kNone;
+  return req.is_store() ? AccessStore(req, now, reason)
+                        : AccessLoad(req, now, reason);
 }
 
-bool SectorCache::AccessLoad(const MemRequest& req, Cycle now) {
+bool SectorCache::AccessLoad(const MemRequest& req, Cycle now,
+                             CacheReject& why) {
   if (tags_.IsHit(req.line_addr, req.sector_mask)) {
-    if (!TakeBank(req.line_addr)) return false;
+    if (!TakeBank(req.line_addr)) {
+      why = CacheReject::kBank;
+      return false;
+    }
     Eviction ev;
     const TagOutcome out = tags_.Probe(req.line_addr, req.sector_mask, now,
                                        &ev);
@@ -93,13 +101,18 @@ bool SectorCache::AccessLoad(const MemRequest& req, Cycle now) {
   // Miss path: check every resource before mutating anything.
   if (!mshr_.CanAllocate(req.line_addr)) {
     ++stats_.mshr_stalls;
+    why = CacheReject::kMshrFull;
     return false;
   }
   if (miss_queue_full()) {
     ++stats_.out_stalls;
+    why = CacheReject::kOutFull;
     return false;
   }
-  if (!TakeBank(req.line_addr)) return false;
+  if (!TakeBank(req.line_addr)) {
+    why = CacheReject::kBank;
+    return false;
+  }
 
   bool line_was_present;
   if (params_.streaming) {
@@ -113,6 +126,7 @@ bool SectorCache::AccessLoad(const MemRequest& req, Cycle now) {
                                        &ev);
     if (out == TagOutcome::kReservationFail) {
       ++stats_.reservation_fails;
+      why = CacheReject::kResFail;
       return false;
     }
     EmitEviction(ev);
@@ -144,13 +158,18 @@ bool SectorCache::AccessLoad(const MemRequest& req, Cycle now) {
   return true;
 }
 
-bool SectorCache::AccessStore(const MemRequest& req, Cycle now) {
+bool SectorCache::AccessStore(const MemRequest& req, Cycle now,
+                              CacheReject& why) {
   if (params_.write_policy == WritePolicy::kWriteThrough) {
     if (miss_queue_full()) {
       ++stats_.out_stalls;
+      why = CacheReject::kOutFull;
       return false;
     }
-    if (!TakeBank(req.line_addr)) return false;
+    if (!TakeBank(req.line_addr)) {
+      why = CacheReject::kBank;
+      return false;
+    }
     ++stats_.accesses;
     // Update resident sectors in place (write-through, write-no-allocate).
     tags_.MarkDirty(req.line_addr, 0u, now);  // touch recency only if resident
@@ -162,12 +181,16 @@ bool SectorCache::AccessStore(const MemRequest& req, Cycle now) {
   }
 
   // Write-back with write-validate sectors: no fetch on store miss.
-  if (!TakeBank(req.line_addr)) return false;
+  if (!TakeBank(req.line_addr)) {
+    why = CacheReject::kBank;
+    return false;
+  }
   Eviction ev;
   const TagOutcome out = tags_.WriteValidate(req.line_addr, req.sector_mask,
                                              now, &ev);
   if (out == TagOutcome::kReservationFail) {
     ++stats_.reservation_fails;
+    why = CacheReject::kResFail;
     // The bank slot is consumed (the probe happened); the caller retries.
     return false;
   }

@@ -41,6 +41,18 @@ struct CacheStats {
   }
 };
 
+/// Why an Access was rejected. Capacity rejections (kMshrFull, kOutFull)
+/// are stable until a fill or a downstream drain clears them, which lets
+/// an event-driven owner sleep instead of retrying every cycle; bank and
+/// reservation rejections can clear on the very next cycle.
+enum class CacheReject : std::uint8_t {
+  kNone,
+  kBank,      // per-cycle bank budget exhausted
+  kResFail,   // no line reservation available
+  kMshrFull,  // MSHR entries or merge budget exhausted
+  kOutFull,   // miss-queue backpressure
+};
+
 class SectorCache {
  public:
   /// `instance` disambiguates minted miss-request ids across cache
@@ -55,8 +67,19 @@ class SectorCache {
   /// Attempts one access. Returns false (with NO state change) if the
   /// access cannot be accepted this cycle: bank busy, MSHR full/merge
   /// limit, reservation failure, or output backpressure. The caller
-  /// retries on a later cycle.
-  bool Access(const MemRequest& req, Cycle now);
+  /// retries on a later cycle; `why` (optional) reports the first check
+  /// that failed, letting the caller sleep through stable rejections.
+  bool Access(const MemRequest& req, Cycle now, CacheReject* why = nullptr);
+
+  /// Stats catch-up for retries the owner proved would have failed with
+  /// `why` on each of `n` elided cycles (cycle skipping, DESIGN.md §9).
+  void AccountElidedStalls(CacheReject why, Cycle n) {
+    if (why == CacheReject::kMshrFull) {
+      stats_.mshr_stalls += n;
+    } else if (why == CacheReject::kOutFull) {
+      stats_.out_stalls += n;
+    }
+  }
 
   /// Fill from the next level (response to a minted miss request).
   void Fill(const MemResponse& resp, Cycle now);
@@ -97,13 +120,26 @@ class SectorCache {
                                       : pending_responses_.front().ready;
   }
 
+  /// NextWakeCycle contract: the earliest cycle > `now` at which this
+  /// cache needs its owner's per-cycle service loop. Ready responses and
+  /// queued miss-requests need forwarding every cycle; otherwise the only
+  /// future event is the head of the latency pipe. MSHR entries carry no
+  /// event of their own — their fills arrive from downstream (DRAM/NoC),
+  /// whose calendars bound the wake. Returns ~Cycle{0} when drained.
+  Cycle NextEventAfter(Cycle now) const {
+    if (!ready_responses_.empty() || !miss_out_.empty()) return now + 1;
+    if (pending_responses_.empty()) return ~Cycle{0};
+    const Cycle ready = pending_responses_.front().ready;
+    return ready > now ? ready : now + 1;
+  }
+
   const CacheStats& stats() const { return stats_; }
   const std::string& name() const { return name_; }
   const CacheParams& params() const { return params_; }
 
  private:
-  bool AccessLoad(const MemRequest& req, Cycle now);
-  bool AccessStore(const MemRequest& req, Cycle now);
+  bool AccessLoad(const MemRequest& req, Cycle now, CacheReject& why);
+  bool AccessStore(const MemRequest& req, Cycle now, CacheReject& why);
   bool TakeBank(Addr line_addr);
   void PushResponse(const MemResponse& resp, Cycle ready);
   void EmitEviction(const Eviction& ev);

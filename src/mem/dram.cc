@@ -1,5 +1,7 @@
 #include "mem/dram.h"
 
+#include <algorithm>
+
 #include "common/bitutil.h"
 
 namespace swiftsim {
@@ -21,6 +23,25 @@ bool DramChannel::Enqueue(const MemRequest& req) {
   }
   queue_.push_back(req);
   return true;
+}
+
+Cycle DramChannel::NextEventAfter(Cycle now) const {
+  if (!ready_.empty()) return now + 1;
+  Cycle ev = ~Cycle{0};
+  if (!in_service_.empty()) {
+    ev = std::min(ev, std::max(in_service_.front().ready, now + 1));
+  }
+  if (!queue_.empty()) {
+    // The controller services one request per cycle once the channel is
+    // free; busy_until_ is the next service opportunity.
+    ev = std::min(ev, std::max(busy_until_, now + 1));
+  }
+  if (effects_.enabled) {
+    // Refresh edges mutate channel state even when no traffic is queued;
+    // the skip driver must land on each edge to stay bit-identical.
+    ev = std::min(ev, std::max(next_refresh_, now + 1));
+  }
+  return ev;
 }
 
 void DramChannel::Tick(Cycle now) {

@@ -45,6 +45,13 @@ class DramChannel {
     return queue_.empty() && in_service_.empty() && ready_.empty();
   }
 
+  /// NextWakeCycle contract: the earliest cycle > `now` at which a Tick
+  /// can change observable state — the head in-service burst maturing
+  /// (in_service_ is ready-sorted), the channel freeing up for a queued
+  /// request, the next refresh edge (silicon oracle only), or a completed
+  /// response awaiting its consumer. Returns ~Cycle{0} when idle.
+  Cycle NextEventAfter(Cycle now) const;
+
   const DramStats& stats() const { return stats_; }
 
  private:

@@ -1,46 +1,67 @@
 #include "mem/mshr.h"
 
-#include <algorithm>
-
 #include "common/status.h"
 
 namespace swiftsim {
 
+Mshr::Mshr(unsigned entries, unsigned max_merge)
+    : max_entries_(entries), max_merge_(max_merge), pool_(entries) {
+  for (unsigned i = 0; i < entries; ++i) {
+    pool_[i].next_free = i + 1 < entries ? i + 1 : kNil;
+  }
+  free_head_ = entries > 0 ? 0 : kNil;
+  index_.Reserve(entries);
+}
+
 bool Mshr::CanAllocate(Addr line_addr) const {
-  const Entry* e = entries_.Find(line_addr);
-  if (e == nullptr) return entries_.size() < max_entries_;
-  return e->merged < max_merge_;
+  const std::uint32_t* slot = index_.Find(line_addr);
+  if (slot == nullptr) return size_ < max_entries_;
+  return pool_[*slot].merged < max_merge_;
 }
 
 void Mshr::Allocate(Addr line_addr, const MemRequest& requester) {
   SS_DCHECK(CanAllocate(line_addr));
-  Entry& e = entries_[line_addr];
+  std::uint32_t slot;
+  if (const std::uint32_t* found = index_.Find(line_addr)) {
+    slot = *found;
+  } else {
+    SS_DCHECK(free_head_ != kNil);
+    slot = free_head_;
+    free_head_ = pool_[slot].next_free;
+    pool_[slot].requested_sectors = 0;
+    pool_[slot].arrived_sectors = 0;
+    pool_[slot].merged = 0;
+    index_[line_addr] = slot;
+    ++size_;
+  }
+  Entry& e = pool_[slot];
   ++e.merged;
   e.requested_sectors |= requester.sector_mask;
   if (requester.id != 0) e.waiters.push_back(requester);
 }
 
 bool Mshr::HasEntry(Addr line_addr) const {
-  return entries_.contains(line_addr);
+  return index_.contains(line_addr);
 }
 
 std::uint32_t Mshr::RequestedSectors(Addr line_addr) const {
-  const Entry* e = entries_.Find(line_addr);
-  return e == nullptr ? 0u : e->requested_sectors;
+  const std::uint32_t* slot = index_.Find(line_addr);
+  return slot == nullptr ? 0u : pool_[*slot].requested_sectors;
 }
 
 void Mshr::AddRequestedSectors(Addr line_addr, std::uint32_t sector_mask) {
-  Entry* e = entries_.Find(line_addr);
-  SS_DCHECK(e != nullptr);
-  e->requested_sectors |= sector_mask;
+  std::uint32_t* slot = index_.Find(line_addr);
+  SS_DCHECK(slot != nullptr);
+  pool_[*slot].requested_sectors |= sector_mask;
 }
 
 void Mshr::Fill(Addr line_addr, std::uint32_t sector_mask,
                 MshrWaiters* satisfied) {
   satisfied->clear();
-  Entry* found = entries_.Find(line_addr);
+  std::uint32_t* found = index_.Find(line_addr);
   if (found == nullptr) return;
-  Entry& e = *found;
+  const std::uint32_t slot = *found;
+  Entry& e = pool_[slot];
   e.arrived_sectors |= sector_mask;
   // Stable in-place partition: waiters still missing sectors keep their
   // relative order at the front, satisfied ones move to `satisfied` in
@@ -58,7 +79,11 @@ void Mshr::Fill(Addr line_addr, std::uint32_t sector_mask,
   }
   w.resize(keep);
   if (w.empty() && (e.requested_sectors & ~e.arrived_sectors) == 0) {
-    entries_.erase(line_addr);
+    index_.erase(line_addr);
+    e.waiters.clear();
+    e.next_free = free_head_;
+    free_head_ = slot;
+    --size_;
   }
 }
 

@@ -3,9 +3,16 @@
 // Fills may arrive in several sector batches; waiters are woken as soon as
 // the sectors they asked for have all arrived.
 //
-// Entries live in a flat open-addressing map pre-sized to the entry limit
-// (no rehash, no per-entry node allocation); waiter lists are inline up to
-// the default merge limit.
+// MSHRs are passive under the wake-calendar contract (DESIGN.md §9): an
+// outstanding entry matures only when its fill arrives from downstream, so
+// its wake time is whatever the NoC/DRAM calendars report — the MSHR never
+// contributes an event of its own.
+//
+// Entries live in a fixed pool sized to the entry limit and are looked up
+// through a slim line->index map. Keeping the fat waiter lists out of the
+// hash slots matters on the hot path: probes stride over 16-byte items
+// instead of multi-hundred-byte entries, and the map's backward-shift
+// deletion moves indices, never waiter vectors.
 #pragma once
 
 #include <cstdint>
@@ -24,10 +31,7 @@ using MshrWaiters = InlineVec<MemRequest, 8>;
 
 class Mshr {
  public:
-  Mshr(unsigned entries, unsigned max_merge)
-      : max_entries_(entries), max_merge_(max_merge) {
-    entries_.Reserve(entries);
-  }
+  Mshr(unsigned entries, unsigned max_merge);
 
   /// Can a new miss to `line_addr` be tracked this cycle? (Entry available,
   /// or an existing entry with merge headroom.)
@@ -64,20 +68,26 @@ class Mshr {
     return satisfied;
   }
 
-  std::size_t size() const { return entries_.size(); }
-  bool full() const { return entries_.size() >= max_entries_; }
+  std::size_t size() const { return size_; }
+  bool full() const { return size_ >= max_entries_; }
 
  private:
+  static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
   struct Entry {
     MshrWaiters waiters;
     std::uint32_t requested_sectors = 0;
     std::uint32_t arrived_sectors = 0;
     unsigned merged = 0;
+    std::uint32_t next_free = kNil;  // free-list link while unallocated
   };
 
   unsigned max_entries_;
   unsigned max_merge_;
-  FlatMap<Addr, Entry> entries_;
+  std::vector<Entry> pool_;                   // max_entries slots, fixed
+  std::uint32_t free_head_ = kNil;            // LIFO free list
+  std::size_t size_ = 0;                      // live entries
+  FlatMap<Addr, std::uint32_t> index_;        // line addr -> pool slot
 };
 
 }  // namespace swiftsim

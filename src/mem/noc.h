@@ -6,6 +6,7 @@
 // backpressure. Arbitration across inputs is rotating round-robin.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -119,6 +120,37 @@ class XbarChannel {
   /// Delivered packets at output `out`; consumer pops from the front.
   RingBuffer<T>& ejected(unsigned out) { return eject_[out]; }
 
+  /// NextWakeCycle contract: the earliest cycle > `now` at which a Tick
+  /// can change observable state. Queued flits arbitrate and ejected
+  /// packets await their consumer every cycle (now + 1); otherwise the
+  /// only future event is the head in-flight packet per output (the
+  /// in-flight ring is ready-ordered per output, so heads suffice).
+  /// Returns kNever (~Cycle{0}) when the channel is fully drained.
+  Cycle NextEventAfter(Cycle now) const {
+    if (queued_ > 0) return now + 1;
+    for (const auto& e : eject_) {
+      if (!e.empty()) return now + 1;
+    }
+    Cycle ev = ~Cycle{0};
+    if (in_flight_total_ > 0) {
+      for (const Output& out : outputs_) {
+        if (!out.in_flight.empty()) {
+          ev = std::min(ev, std::max(out.in_flight.front().ready, now + 1));
+        }
+      }
+    }
+    return ev;
+  }
+
+  /// Replays the rotor advancement of `cycles` elided Tick calls. Only
+  /// valid while NextEventAfter proves those Ticks would have been pure
+  /// rotor rotations (no queued flits, no deliverable in-flight packets),
+  /// which keeps skip-mode arbitration bit-identical to per-cycle ticking.
+  void FastForward(Cycle cycles) {
+    const unsigned n = static_cast<unsigned>(inputs_.size());
+    rr_start_ = static_cast<unsigned>((rr_start_ + cycles % n) % n);
+  }
+
   bool quiescent() const {
     for (const Input& in : inputs_) {
       if (!in.q.empty()) return false;
@@ -191,6 +223,18 @@ class Interconnect {
 
   bool quiescent() const {
     return req_net_.quiescent() && resp_net_.quiescent();
+  }
+
+  /// Earliest cycle > `now` at which either direction has work.
+  Cycle NextEventAfter(Cycle now) const {
+    return std::min(req_net_.NextEventAfter(now),
+                    resp_net_.NextEventAfter(now));
+  }
+
+  /// Replays the arbitration rotors of `cycles` elided Tick calls.
+  void FastForward(Cycle cycles) {
+    req_net_.FastForward(cycles);
+    resp_net_.FastForward(cycles);
   }
 
   const NocStats& request_stats() const { return req_net_.stats(); }

@@ -30,6 +30,16 @@ class BlockScheduler {
     completed_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Replays the rotor advancement of `skipped` elided AssignPending calls
+  /// (cycle skipping, DESIGN.md §9). The per-cycle loop advances the
+  /// starting-SM rotor once per call while CTAs are pending; capacity
+  /// cannot appear during a skipped span (frees require progress), so the
+  /// elided calls would have launched nothing and only rotated.
+  void OnCyclesSkipped(Cycle skipped, unsigned num_sms) {
+    if (kernel_ == nullptr || AllLaunched()) return;
+    rr_ = static_cast<unsigned>((rr_ + skipped % num_sms) % num_sms);
+  }
+
   bool AllLaunched() const {
     return kernel_ == nullptr || next_cta_ >= kernel_->info().num_ctas;
   }

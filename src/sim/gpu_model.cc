@@ -11,6 +11,8 @@ GpuModel::GpuModel(const GpuConfig& cfg, const ModelSelection& selection,
                    const MemProfile* profile)
     : cfg_(cfg), sel_(selection) {
   cfg_.Validate();
+  l2_drain_attempts_ =
+      cfg_.l2_drain_attempts != 0 ? cfg_.l2_drain_attempts : cfg_.l2.banks;
   if (sel_.mem == MemModelKind::kAnalytical) {
     SS_CHECK(profile != nullptr,
              "analytical memory mode requires a MemProfile (run the cache "
@@ -83,6 +85,14 @@ void GpuModel::RegisterMetrics() {
     gatherer_.Register(mod, "row_hits", &st->row_hits);
     gatherer_.Register(mod, "bytes", &st->bytes);
   }
+  gatherer_.Register("driver", "cycles_skipped", &skip_.cycles_skipped);
+  gatherer_.Register("driver", "skip_jumps", &skip_.jumps);
+  gatherer_.Register("driver", "sm_ticks_saved", &skip_.sm_ticks_saved);
+  for (unsigned k = 0; k < SkipStats::kHistBuckets; ++k) {
+    gatherer_.Register("driver",
+                       "skip_span_ge_" + std::to_string(1u << k),
+                       &skip_.span_hist[k]);
+  }
   if (noc_) {
     gatherer_.Register("noc.req", "injected",
                        &noc_->request_stats().injected);
@@ -122,6 +132,12 @@ bool GpuModel::AllQuiescent() const {
 bool GpuModel::TickSmRange(unsigned first, unsigned last, Cycle now) {
   const bool mem_ca = sel_.mem == MemModelKind::kCycleAccurate;
   const bool never_jump = sel_.alu == AluModelKind::kCycleAccurate;
+  // With cycle skipping enabled the wake gate applies in every mode: a
+  // sleeping SM's tick would be a no-op, so eliding it is exact. With it
+  // disabled, cycle-accurate ALU modes keep the per-cycle reference
+  // behavior (tick every active SM) — the --no-skip A/B baseline.
+  const bool tick_all = never_jump && !cfg_.cycle_skip;
+  const bool account_skips = never_jump && cfg_.cycle_skip;
   bool progressed = false;
   for (unsigned i = first; i < last; ++i) {
     SmCore& sm = *sms_[i];
@@ -133,11 +149,23 @@ bool GpuModel::TickSmRange(unsigned first, unsigned last, Cycle now) {
         progressed = true;
       }
     }
-    // Event-driven fast path (hybrid modes): a sleeping SM is skipped
-    // until its next wake cycle; this is exact, not an approximation,
-    // because nothing it owns can change state before then.
-    if (sm.Active() && (never_jump || sm.NextWake() <= now)) {
-      progressed |= sm.Tick(now);
+    // Event-driven fast path: a sleeping SM is skipped until its next
+    // wake cycle; this is exact, not an approximation, because nothing it
+    // owns can change state before then. An SM sleeping through L1
+    // miss-queue backpressure wakes as soon as the queue drains below
+    // capacity (CapacityWakeDue) — the fullness it sees here is exactly
+    // what its retry would have seen, since only TickSharedMemory of the
+    // previous cycle changes the queue-plus-port occupancy.
+    if (sm.Active()) {
+      if (tick_all || sm.NextWake() <= now ||
+          (account_skips && sm.CapacityWakeDue())) {
+        progressed |= sm.Tick(now);
+      } else if (account_skips) {
+        // The per-cycle reference would have ticked this SM, counted a
+        // stall, and re-failed any capacity-blocked injection; keep the
+        // metrics bit-identical.
+        sm.AccountSkippedCycles(1);
+      }
     }
     if (mem_ca) {
       // Drain the L1 miss queue into this SM's port. At slack=1 the port
@@ -175,7 +203,7 @@ void GpuModel::TickSharedMemory(Cycle now) {
     l2.BeginCycle(now);
     // Ejected requests into the L2 slice (its banks limit throughput).
     auto& rq = noc_->requests_at(p);
-    unsigned attempts = cfg_.l2.banks;
+    unsigned attempts = l2_drain_attempts_;
     while (!rq.empty() && attempts-- > 0) {
       if (!l2.Access(rq.front(), now)) break;
       rq.pop_front();
@@ -220,12 +248,58 @@ Cycle GpuModel::MinNextWake() const {
   return wake;
 }
 
+Cycle GpuModel::MemNextEventAfter(Cycle now) const {
+  if (!noc_) return kNever;
+  // Port entries retry injection every cycle. Entries stamped in the
+  // future (slack > 1 windows) make this conservative — waking early is
+  // always exact, only waking late could diverge.
+  for (const auto& port : sm_ports_) {
+    if (port->pending.load(std::memory_order_acquire) != 0) return now + 1;
+  }
+  Cycle ev = noc_->NextEventAfter(now);
+  for (const auto& l2 : l2_) {
+    if (ev <= now + 1) return now + 1;
+    ev = std::min(ev, l2->NextEventAfter(now));
+  }
+  for (const auto& d : dram_) {
+    if (ev <= now + 1) return now + 1;
+    ev = std::min(ev, d->NextEventAfter(now));
+  }
+  return ev;
+}
+
+void GpuModel::FastForward(Cycle skipped) {
+  if (skipped == 0) return;
+  // Replay exactly what the per-cycle reference loop would have done over
+  // the elided span. The calendar proved every component tick is a no-op,
+  // so the only state to advance is per-call (not per-event) bookkeeping:
+  // the NoC arbitration rotors, the block scheduler's starting-SM rotor,
+  // and per-SM stall accounting.
+  if (noc_) noc_->FastForward(skipped);
+  scheduler_.OnCyclesSkipped(skipped, cfg_.num_sms);
+  for (const auto& sm : sms_) {
+    if (sm->Active()) {
+      sm->AccountSkippedCycles(skipped);
+      skip_.sm_ticks_saved += skipped;
+    }
+  }
+  skip_.cycles_skipped += skipped;
+  ++skip_.jumps;
+  unsigned bucket = 0;
+  for (Cycle span = skipped;
+       span > 1 && bucket + 1 < SkipStats::kHistBuckets; span >>= 1) {
+    ++bucket;
+  }
+  ++skip_.span_hist[bucket];
+}
+
 Cycle GpuModel::RunKernel(const KernelTrace& kernel) {
   const Cycle start = now_;
   BeginKernel(kernel);
 
   const bool mem_ca = sel_.mem == MemModelKind::kCycleAccurate;
   const bool never_jump = sel_.alu == AluModelKind::kCycleAccurate;
+  const bool skip = never_jump && cfg_.cycle_skip;
 
   while (!KernelDone()) {
     AssignPendingCtas();
@@ -234,6 +308,33 @@ Cycle GpuModel::RunKernel(const KernelTrace& kernel) {
     if (mem_ca) {
       TickSharedMemory(now_);
       mem_busy = !MemQuiescent();
+    }
+    if (skip) {
+      // Event-calendar cycle skipping (DESIGN.md §9): on a no-progress
+      // cycle, jump straight to the earliest SM or memory-system event.
+      // Bit-identical to per-cycle ticking because every elided tick is
+      // provably a no-op (and FastForward replays per-call rotors).
+      if (!progressed) {
+        if (KernelDone()) {
+          // This tick reached quiescence; the per-cycle reference loop
+          // still advances the clock past it before exiting. Without this
+          // check a standing calendar entry (e.g. the silicon DRAM
+          // refresh edge) would draw a phantom jump after completion.
+          ++now_;
+          break;
+        }
+        Cycle wake = MinNextWake();
+        if (mem_ca) wake = std::min(wake, MemNextEventAfter(now_));
+        SS_CHECK(wake != kNever,
+                 "simulation wedged: no progress and no future events");
+        if (wake > now_ + 1) {
+          FastForward(wake - now_ - 1);
+          now_ = wake;
+          continue;
+        }
+      }
+      ++now_;
+      continue;
     }
     if (never_jump || progressed || mem_busy) {
       ++now_;

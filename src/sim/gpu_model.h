@@ -102,6 +102,19 @@ class GpuModel {
   /// Earliest future wake cycle over all active SMs; kNever when none.
   Cycle MinNextWake() const;
 
+  /// The shared memory system's side of the wake calendar: the earliest
+  /// cycle > `now` at which the NoC, any L2 slice, any DRAM channel, or a
+  /// pending SM port entry can change state. kNever when drained (or in
+  /// analytical-memory mode, which has no shared memory system).
+  Cycle MemNextEventAfter(Cycle now) const;
+
+  /// Fast-forwards over `skipped` cycles the calendar proved are no-op
+  /// ticks: replays per-call rotors (NoC arbitration, block-scheduler
+  /// starting SM), catches up per-SM stall accounting, and records skip
+  /// statistics. Call only from the driver thread (serial loop or the
+  /// parallel window completion step).
+  void FastForward(Cycle skipped);
+
   /// Parallel drivers own the clock between kernels; resync the model so
   /// state that persists across kernels (launch overhead, totals) agrees.
   void SyncClock(Cycle now) { now_ = now; }
@@ -121,6 +134,17 @@ class GpuModel {
     std::atomic<std::size_t> pending{0};
   };
 
+  /// Skip statistics (registered under "driver.*"). span_hist[k] counts
+  /// jumps whose span lies in [2^k, 2^(k+1)) cycles; the last bucket is
+  /// open-ended.
+  struct SkipStats {
+    static constexpr unsigned kHistBuckets = 8;
+    std::uint64_t cycles_skipped = 0;  // driver cycles elided by jumps
+    std::uint64_t jumps = 0;           // wake events dispatched via jumps
+    std::uint64_t sm_ticks_saved = 0;  // active-SM ticks elided by jumps
+    std::uint64_t span_hist[kHistBuckets] = {};
+  };
+
   bool AllQuiescent() const;
   void RegisterMetrics();
 
@@ -136,6 +160,8 @@ class GpuModel {
   std::vector<std::unique_ptr<SmMemPort>> sm_ports_;
   BlockScheduler scheduler_;
   MetricsGatherer gatherer_;
+  SkipStats skip_;
+  unsigned l2_drain_attempts_ = 0;  // resolved from cfg (0 = l2.banks)
 
   Cycle now_ = 0;
 };

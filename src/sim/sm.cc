@@ -23,6 +23,7 @@ SmCore::SmCore(const GpuConfig& cfg, const ModelSelection& selection, SmId id,
       on_cta_complete_(std::move(on_cta_complete)),
       warps_(cfg.max_warps_per_sm),
       conflict_paid_(cfg.max_warps_per_sm, 0),
+      sb_blocked_(cfg.max_warps_per_sm, 0),
       ctas_(cfg.max_ctas_per_sm),
       scoreboard_(cfg.max_warps_per_sm),
       barriers_(cfg.max_ctas_per_sm),
@@ -138,10 +139,15 @@ void SmCore::LaunchCta(const KernelTrace& kernel, CtaId cta_id) {
     w.launch_seq = ++launch_seq_;
     scoreboard_.Reset(slot);
     conflict_paid_[slot] = 0;
+    sb_blocked_[slot] = 0;
+    if (sel_.frontend == FrontendKind::kDetailed && !w.exhausted()) {
+      ++fetchable_;  // fresh warp: empty i-buffer
+    }
     ++assigned;
     ++resident_warps_;
   }
   SS_ASSERT(assigned == info.warps_per_cta);
+  idle_cached_ = false;
   ForceWake();
 }
 
@@ -151,6 +157,9 @@ void SmCore::OnKernelStart(unsigned active_sms) {
 
 void SmCore::Writeback(unsigned slot, std::uint8_t dst) {
   scoreboard_.OnWriteback(slot, dst);
+  // The slot's pending set shrank: a cached scoreboard block may no
+  // longer hold, so the next readiness scan must re-evaluate it.
+  sb_blocked_[slot] = 0;
 }
 
 bool SmCore::WarpReady(unsigned slot, Cycle now) {
@@ -158,13 +167,29 @@ bool SmCore::WarpReady(unsigned slot, Cycle now) {
   if (!w.valid || w.done || w.at_barrier || w.exhausted()) return false;
   if (sel_.frontend == FrontendKind::kDetailed) {
     if (w.ibuffer == 0) return false;
-    if (now < w.fetch_ready) return false;
+    if (now < w.fetch_ready) {
+      // I-cache miss in flight; nothing else can unblock this warp sooner.
+      NoteWake(w.fetch_ready);
+      return false;
+    }
   }
   const TraceInstr& ins = w.current();
-  if (!scoreboard_.CanIssue(slot, ins)) return false;
+  // A warp blocked on the scoreboard stays blocked until a writeback to
+  // its slot (nothing else shrinks its pending set, and its current
+  // instruction cannot advance while unissuable), so the cached verdict
+  // short-circuits re-evaluation; Writeback clears it.
+  if (sb_blocked_[slot]) return false;
+  if (!scoreboard_.CanIssue(slot, ins)) {
+    sb_blocked_[slot] = 1;
+    return false;
+  }
   if (IsExit(ins.op)) {
     // A warp only retires once all its loads wrote back.
-    return scoreboard_.PendingCount(slot) == 0;
+    if (scoreboard_.PendingCount(slot) != 0) {
+      sb_blocked_[slot] = 1;
+      return false;
+    }
+    return true;
   }
   SubCore& sc = subcores_[slot % subcores_.size()];
   const UnitClass cls = ClassOf(ins.op);
@@ -313,7 +338,11 @@ void SmCore::IssueInstr(unsigned slot, Cycle now) {
   WarpContext& w = warps_[slot];
   const TraceInstr& ins = w.current();
   scoreboard_.OnIssue(slot, ins);
-  if (sel_.frontend == FrontendKind::kDetailed) {
+  const bool detailed_fe = sel_.frontend == FrontendKind::kDetailed;
+  // An issuing warp is valid, unfinished and unexhausted; whether it
+  // occupies the fetchable set depends only on its i-buffer fill.
+  const bool was_fetchable = detailed_fe && w.ibuffer < 2;
+  if (detailed_fe) {
     SS_DCHECK(w.ibuffer > 0);
     --w.ibuffer;
   }
@@ -328,6 +357,12 @@ void SmCore::IssueInstr(unsigned slot, Cycle now) {
     IssueAlu(slot, ins, now);
   }
   ++w.next_instr;
+  if (detailed_fe) {
+    const bool now_fetchable =
+        w.valid && !w.done && !w.exhausted() && w.ibuffer < 2;
+    if (now_fetchable && !was_fetchable) ++fetchable_;
+    if (!now_fetchable && was_fetchable) --fetchable_;
+  }
 }
 
 void SmCore::FrontendTick(SubCore& sc, unsigned sc_idx, Cycle now) {
@@ -344,6 +379,10 @@ void SmCore::FrontendTick(SubCore& sc, unsigned sc_idx, Cycle now) {
     }
     w.ibuffer++;
     w.fetch_count++;
+    if (w.ibuffer >= 2) {
+      SS_DCHECK(fetchable_ > 0);
+      --fetchable_;  // i-buffer now full; refetchable after an issue
+    }
     if (sel_.silicon_effects &&
         HashBernoulli(w.current().pc ^ (slot * 0x9e3779b97f4a7c15ull) ^
                           w.fetch_count,
@@ -354,6 +393,22 @@ void SmCore::FrontendTick(SubCore& sc, unsigned sc_idx, Cycle now) {
     sc.fetch_rr = (local + 1) % warps_per_sc;
     break;  // one fetch per sub-core per cycle
   }
+}
+
+Cycle SmCore::FrontendNextWake(Cycle now) const {
+  // Earliest cycle any sub-core can fetch: the gating mirrors FrontendTick
+  // exactly — a warp is fetchable once valid, unfinished, with i-buffer
+  // room, and past its i-cache stall. Until then FrontendTick is a no-op
+  // (the fetch rotor only advances on an actual fetch), so the SM may
+  // sleep through it without diverging from per-cycle ticking.
+  if (fetchable_ == 0) return kNever;
+  Cycle wake = kNever;
+  for (const WarpContext& w : warps_) {
+    if (!w.valid || w.done || w.exhausted() || w.ibuffer >= 2) continue;
+    wake = std::min(wake, std::max(w.fetch_ready, now + 1));
+    if (wake == now + 1) break;
+  }
+  return wake;
 }
 
 bool SmCore::Tick(Cycle now) {
@@ -430,8 +485,10 @@ bool SmCore::Tick(Cycle now) {
     }
   }
 
-  // 4. Front-end fetch (detailed mode).
-  if (sel_.frontend == FrontendKind::kDetailed) {
+  // 4. Front-end fetch (detailed mode). With every live warp's i-buffer
+  // full the scan cannot fetch anything — the fetchable counter makes
+  // that common stalled-SM case free.
+  if (sel_.frontend == FrontendKind::kDetailed && fetchable_ > 0) {
     for (unsigned sc = 0; sc < subcores_.size(); ++sc) {
       FrontendTick(subcores_[sc], sc, now);
     }
@@ -477,26 +534,64 @@ bool SmCore::Tick(Cycle now) {
     ++stats_.stall_cycles;
   }
 
-  // Compute when this SM next needs a Tick. Any progress this cycle means
-  // state changed, so the very next cycle may allow an issue. The detailed
-  // front-end fetches every cycle, so detailed mode never sleeps.
-  if (progressed || sel_.frontend == FrontendKind::kDetailed) {
+  // Compute when this SM next needs a Tick (the NextWakeCycle contract,
+  // DESIGN.md §9). An issue pins the next cycle: the issued warp's
+  // successor instruction may be ready immediately, and warps behind the
+  // pick in rotor order were never evaluated, so their wake hints are
+  // missing. Progress WITHOUT an issue (responses routed, writebacks
+  // retired) is different: every scheduler's Pick scanned every warp to
+  // conclude nothing was issuable — after all state changes of this tick
+  // had already landed — so the hint set is complete and the computed
+  // wake below is exact, letting the SM sleep right after servicing.
+  if (issued_any) {
     next_wake_ = now + 1;
-  } else {
-    Cycle wake = next_struct_wake_;
-    if (!events_.empty()) wake = std::min(wake, events_.top().cycle);
-    if (l1_) {
-      wake = std::min(wake, std::max(l1_->NextResponseReady(), now + 1));
+    return true;
+  }
+  Cycle wake = next_struct_wake_;
+  if (!events_.empty()) wake = std::min(wake, events_.top().cycle);
+  // Capacity-blocked LD/ST retries are provably the same failing probe
+  // until a fill or a miss-queue drain; in skip mode the driver re-checks
+  // CapacityWakeDue each cycle and fills force a wake, so the per-cycle
+  // retry pin is unnecessary and the SM may sleep through backpressure.
+  // Hybrid-ALU drivers never run those checks, so they keep the pin.
+  const bool capacity_sleep =
+      sel_.alu == AluModelKind::kCycleAccurate && cfg_.cycle_skip;
+  if (l1_) {
+    wake = std::min(wake, std::max(l1_->NextResponseReady(), now + 1));
+    for (SubCore& sc : subcores_) {
+      if (sc.ldst->HasPendingInjections() &&
+          !(capacity_sleep && sc.ldst->CapacityBlocked())) {
+        wake = now + 1;  // must retry L1 accesses every cycle
+        break;
+      }
+      wake = std::min(wake, sc.ldst->NextFixedCompletion());
+    }
+  }
+  if (sel_.alu == AluModelKind::kCycleAccurate && wake > now + 1) {
+    if (subcores_[0].scheduler->StatefulProbe()) {
+      // Two-level scheduling mutates stall counters on every probe; an
+      // elided Pick would diverge from the per-cycle reference loop.
+      wake = now + 1;
+    } else {
+      // In-flight ALU work marches through pipeline registers and the
+      // operand collector's bank arbitration every cycle.
       for (SubCore& sc : subcores_) {
-        if (sc.ldst->HasPendingInjections()) {
-          wake = now + 1;  // must retry L1 accesses every cycle
+        bool alu_busy = sc.collector->busy();
+        for (const ExecPipeline& pipe : sc.pipelines) {
+          if (alu_busy) break;
+          alu_busy = !pipe.drained();
+        }
+        if (alu_busy) {
+          wake = now + 1;
           break;
         }
-        wake = std::min(wake, sc.ldst->NextFixedCompletion());
       }
     }
-    next_wake_ = std::max(wake, now + 1);
   }
+  if (sel_.frontend == FrontendKind::kDetailed && wake > now + 1) {
+    wake = std::min(wake, FrontendNextWake(now));
+  }
+  next_wake_ = std::max(wake, now + 1);
   return progressed;
 }
 
@@ -516,9 +611,11 @@ void SmCore::DeliverResponse(const MemResponse& resp, Cycle now) {
   SS_CHECK(l1_ != nullptr,
            "DeliverResponse in analytical memory mode");
   l1_->Fill(resp, now);
-  // The fill's responses ride the L1 latency pipe; wake when they land.
-  next_wake_ = std::min(next_wake_, std::max(l1_->NextResponseReady(),
-                                             now + 1));
+  // The fill frees MSHR entries and updates tags, which can change the
+  // outcome of a capacity-blocked LD/ST retry on THIS cycle — the
+  // per-cycle reference delivers before ticking, so wake immediately
+  // rather than when the fill's latency-pipe responses land.
+  ForceWake();
 }
 
 }  // namespace swiftsim

@@ -77,12 +77,46 @@ class SmCore {
   /// Invalidates the cached wake time (new CTA, delivered response, …).
   void ForceWake() { next_wake_ = 0; }
 
+  /// Stats catch-up for cycles the driver proved would be no-op ticks and
+  /// elided (cycle skipping, DESIGN.md §9). The per-cycle reference loop
+  /// would have counted each of them as a stall cycle whenever warps are
+  /// resident, and capacity-blocked LD/ST units would have re-attempted
+  /// (and re-failed) their head access, so skip-mode runs report identical
+  /// stall and rejection metrics.
+  void AccountSkippedCycles(Cycle n) {
+    if (resident_warps_ > 0) stats_.stall_cycles += n;
+    for (SubCore& sc : subcores_) {
+      if (sc.ldst) sc.ldst->AccountElidedRetries(n);
+    }
+  }
+
+  /// True when a capacity-blocked LD/ST unit could make progress this
+  /// cycle even though the cached wake lies in the future: the L1 miss
+  /// queue it was blocked on has drained below capacity. MSHR blocks wake
+  /// through DeliverResponse (the freeing fill) instead. The driver checks
+  /// this each ticked cycle before eliding a sleeping SM.
+  bool CapacityWakeDue() const {
+    if (l1_ == nullptr || l1_->miss_queue_full()) return false;
+    for (const SubCore& sc : subcores_) {
+      if (sc.ldst->BlockedOnMissQueue()) return true;
+    }
+    return false;
+  }
+
   /// True when the SM holds no resident CTAs and all machinery drained.
   bool Idle() const;
 
   /// Anything resident or in flight (cheap check for the GPU model's
-  /// active-SM filter).
-  bool Active() const { return resident_warps_ > 0 || !Quiescent(); }
+  /// active-SM filter). A drained SM stays drained until the next
+  /// LaunchCta — nothing else can make it active — so the full Quiescent
+  /// walk runs once per drain instead of once per cycle.
+  bool Active() const {
+    if (resident_warps_ > 0) return true;
+    if (idle_cached_) return false;
+    if (!Quiescent()) return true;
+    idle_cached_ = true;
+    return false;
+  }
 
   /// All LD/ST units, the L1 and the event queue drained.
   bool Quiescent() const;
@@ -137,6 +171,7 @@ class SmCore {
   void FinishCta(unsigned cta_slot);
   void WakeCtaWarps(unsigned cta_slot);
   void FrontendTick(SubCore& sc, unsigned sc_idx, Cycle now);
+  Cycle FrontendNextWake(Cycle now) const;
   ExecPipeline& PipelineFor(SubCore& sc, UnitClass cls);
   void NoteWake(Cycle when);
 
@@ -148,6 +183,11 @@ class SmCore {
 
   std::vector<WarpContext> warps_;
   std::vector<std::uint8_t> conflict_paid_;  // silicon regbank effect
+  // Scan-avoidance caches, maintained incrementally and invalidated at
+  // the exact events that can change the cached answer:
+  mutable bool idle_cached_ = false;    // cleared by LaunchCta
+  unsigned fetchable_ = 0;              // warps with i-buffer room (detailed)
+  std::vector<std::uint8_t> sb_blocked_;  // cleared per slot by Writeback
   std::vector<ResidentCta> ctas_;
   unsigned resident_warps_ = 0;
   std::uint64_t launch_seq_ = 0;

@@ -23,6 +23,7 @@ SimResult RunParallelDetailed(const Application& app, const GpuConfig& cfg,
            "use RunSmParallelMemory for analytical-memory levels");
   SS_CHECK(opt.slack >= 1, "slack window must be at least one cycle");
   const bool never_jump = sel.alu == AluModelKind::kCycleAccurate;
+  const bool skip = never_jump && cfg.cycle_skip;
   const Cycle slack = opt.slack;
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -95,7 +96,30 @@ SimResult RunParallelDetailed(const Application& app, const GpuConfig& cfg,
       for (unsigned char p : shard_progress) progressed |= p != 0;
       for (Cycle w = 0; w < slack; ++w) model.TickSharedMemory(now + w);
       const bool mem_busy = !model.MemQuiescent();
-      if (never_jump || progressed || mem_busy) {
+      if (skip && !progressed) {
+        // Event-calendar cycle skipping, exactly as in the serial loop:
+        // jump over the no-op span beyond this window. The last ticked
+        // memory cycle is now + slack - 1, so the calendar starts there;
+        // at slack=1 the jump condition and span match the serial driver
+        // cycle-for-cycle, preserving bit-identity. A completed kernel
+        // must not draw a jump from a standing calendar entry (e.g. the
+        // silicon DRAM refresh edge) — the window that reached
+        // quiescence just advances past itself, as serially.
+        if (model.KernelDone()) {
+          now += slack;
+        } else {
+          Cycle wake = model.MinNextWake();
+          wake = std::min(wake, model.MemNextEventAfter(now + slack - 1));
+          SS_CHECK(wake != kNever,
+                   "simulation wedged: no progress and no future events");
+          if (wake > now + slack) {
+            model.FastForward(wake - (now + slack));
+            now = wake;
+          } else {
+            now += slack;
+          }
+        }
+      } else if (never_jump || progressed || mem_busy) {
         now += slack;
       } else {
         // Hybrid fast-forward, exactly as in the serial loop: nothing can
