@@ -32,11 +32,13 @@ BenchOptions ParseOptions(int argc, char** argv, double default_scale) {
       SS_CHECK(!opt.json_path.empty(), "--json needs a path");
     } else if (arg == "--no-skip") {
       opt.cycle_skip = false;
+    } else if (arg == "--no-memo") {
+      opt.memo = false;
     } else {
       throw SimError(
           "unknown flag '" + arg +
           "' (expected --scale=, --apps=, --threads=, --seed=, --json=, "
-          "--no-skip)");
+          "--no-skip, --no-memo)");
     }
   }
   if (opt.threads == 0) {
@@ -64,10 +66,13 @@ std::vector<Application> BuildApps(const BenchOptions& opt) {
 AppRun RunOne(const Application& app, const GpuConfig& cfg, SimLevel level) {
   const ModelSelection sel = SelectionFor(level);
   // Reservation-failure counts need model internals; run through a
-  // GpuModel directly for levels with a cycle-accurate memory path.
+  // GpuModel directly for levels with a cycle-accurate memory path —
+  // unless convergence-mode memoization is on, which lives in the
+  // Simulator driver.
   AppRun run;
   run.app = app.name;
-  if (sel.mem == MemModelKind::kCycleAccurate) {
+  const bool memo_detailed = cfg.memo.enabled && cfg.memo.detailed_convergence;
+  if (sel.mem == MemModelKind::kCycleAccurate && !memo_detailed) {
     GpuModel model(cfg, sel);
     const auto t0 = std::chrono::steady_clock::now();
     SimResult r = model.RunApplication(app);
@@ -83,6 +88,15 @@ AppRun RunOne(const Application& app, const GpuConfig& cfg, SimLevel level) {
     run.cycles = r.total_cycles;
     run.instructions = r.instructions;
     run.wall_seconds = r.wall_seconds;
+    const auto metric = [&r](const char* name) -> std::uint64_t {
+      const auto it = r.metrics.find(name);
+      return it != r.metrics.end() ? it->second : 0;
+    };
+    run.memo_hits = metric("memo.hits");
+    run.memo_misses = metric("memo.misses");
+    run.memo_cycles_avoided = metric("memo.replayed_cycles");
+    run.cycles_skipped = metric("driver.cycles_skipped");
+    run.skip_jumps = metric("driver.skip_jumps");
   }
   return run;
 }
@@ -138,6 +152,9 @@ JsonRun ToJsonRun(const AppRun& run, const std::string& level,
   j.threads = threads;
   j.cycles_skipped = run.cycles_skipped;
   j.skip_jumps = run.skip_jumps;
+  j.memo_hits = run.memo_hits;
+  j.memo_misses = run.memo_misses;
+  j.memo_cycles_avoided = run.memo_cycles_avoided;
   return j;
 }
 
@@ -159,12 +176,17 @@ void WriteRunsJson(const std::string& path, const std::string& bench,
                  "    {\"app\": \"%s\", \"level\": \"%s\", \"cycles\": %llu, "
                  "\"wall_seconds\": %.6f, \"instrs_per_sec\": %.1f, "
                  "\"threads\": %u, \"scale\": %.4f, "
-                 "\"cycles_skipped\": %llu, \"skip_jumps\": %llu}%s\n",
+                 "\"cycles_skipped\": %llu, \"skip_jumps\": %llu, "
+                 "\"memo_hits\": %llu, \"memo_misses\": %llu, "
+                 "\"memo_cycles_avoided\": %llu}%s\n",
                  r.app.c_str(), r.level.c_str(),
                  static_cast<unsigned long long>(r.cycles), r.wall_seconds,
                  r.instrs_per_sec, r.threads, opt.scale,
                  static_cast<unsigned long long>(r.cycles_skipped),
                  static_cast<unsigned long long>(r.skip_jumps),
+                 static_cast<unsigned long long>(r.memo_hits),
+                 static_cast<unsigned long long>(r.memo_misses),
+                 static_cast<unsigned long long>(r.memo_cycles_avoided),
                  i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -25,10 +25,11 @@ struct BenchOptions {
   std::uint64_t seed = 0x5eed5eedULL;
   std::string json_path;          // --json=<path>: machine-readable records
   bool cycle_skip = true;         // --no-skip: disable event-calendar jumps
+  bool memo = true;               // --no-memo: disable cross-launch caches
 };
 
-/// Parses --scale/--apps/--threads/--seed/--json/--no-skip; throws SimError
-/// on bad flags.
+/// Parses --scale/--apps/--threads/--seed/--json/--no-skip/--no-memo;
+/// throws SimError on bad flags.
 BenchOptions ParseOptions(int argc, char** argv, double default_scale);
 
 /// The measured outcome of one (app, simulator-level) run.
@@ -40,6 +41,9 @@ struct AppRun {
   std::uint64_t reservation_fails = 0;
   std::uint64_t cycles_skipped = 0;  // driver cycles elided by the calendar
   std::uint64_t skip_jumps = 0;      // wake events dispatched via jumps
+  std::uint64_t memo_hits = 0;       // launches replayed from the MemoCache
+  std::uint64_t memo_misses = 0;     // launches simulated (and recorded)
+  std::uint64_t memo_cycles_avoided = 0;  // simulated cycles replay elided
 };
 
 /// Runs one app at one level (serial).
@@ -68,6 +72,9 @@ struct JsonRun {
   unsigned threads = 1;
   std::uint64_t cycles_skipped = 0;
   std::uint64_t skip_jumps = 0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+  std::uint64_t memo_cycles_avoided = 0;
 };
 
 /// Converts an AppRun measured at `level` into a JsonRun.

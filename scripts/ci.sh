@@ -16,7 +16,14 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 configure() { # <build-dir> [extra cmake args...]
   local dir="$1"; shift
   if [ ! -f "$dir/CMakeCache.txt" ]; then
-    cmake -B "$dir" -DCMAKE_BUILD_TYPE=Release "$@"
+    # ccache (when present) makes warm CI rebuilds near-instant; the
+    # workflow persists its directory across runs via actions/cache.
+    local launcher=()
+    if command -v ccache >/dev/null 2>&1; then
+      launcher=(-DCMAKE_C_COMPILER_LAUNCHER=ccache
+                -DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+    fi
+    cmake -B "$dir" -DCMAKE_BUILD_TYPE=Release "${launcher[@]}" "$@"
   fi
 }
 
@@ -37,9 +44,9 @@ stage_tsan() {
 }
 
 stage_perf() {
-  echo "==> perf: hot-path bench smoke (<10 s)"
+  echo "==> perf: bench smoke (hot-path throughput + memo exactness)"
   configure build
-  cmake --build build -j "$JOBS" --target bench_hotpath
+  cmake --build build -j "$JOBS" --target bench_hotpath bench_memo
   ctest --test-dir build -L perf --output-on-failure
 }
 

@@ -56,14 +56,65 @@ CacheParams AggregateL2(const GpuConfig& cfg) {
 }
 }  // namespace
 
-CachePrepass::CachePrepass(const GpuConfig& cfg)
-    : cfg_(cfg), l2_(AggregateL2(cfg)) {
+CachePrepass::CachePrepass(const GpuConfig& cfg, bool memoize)
+    : cfg_(cfg), memoize_(memoize), l2_(AggregateL2(cfg)) {
   l1s_.reserve(cfg.num_sms);
   for (unsigned s = 0; s < cfg.num_sms; ++s) l1s_.emplace_back(cfg.l1);
 }
 
+Fingerprint CachePrepass::StateSignature() const {
+  FpHasher h;
+  for (const FunctionalCache& l1 : l1s_) l1.HashStateInto(h);
+  l2_.HashStateInto(h);
+  return h.Digest();
+}
+
+void CachePrepass::SaveState(
+    std::vector<FunctionalCache::Snapshot>* out) const {
+  out->resize(l1s_.size() + 1);
+  for (std::size_t s = 0; s < l1s_.size(); ++s) {
+    l1s_[s].SaveState(&(*out)[s]);
+  }
+  l2_.SaveState(&out->back());
+}
+
+void CachePrepass::RestoreState(
+    const std::vector<FunctionalCache::Snapshot>& s) {
+  for (std::size_t i = 0; i < l1s_.size(); ++i) l1s_[i].RestoreState(s[i]);
+  l2_.RestoreState(s.back());
+}
+
 void CachePrepass::ProcessKernel(const KernelTrace& kernel,
                                  MemProfile* profile) {
+  if (!memoize_) {
+    ProcessKernelImpl(kernel, profile);
+    return;
+  }
+  const Fingerprint fp = FingerprintKernel(kernel);
+  const Fingerprint before = StateSignature();
+  const auto it = memo_.find(fp);
+  if (it != memo_.end() && it->second.sig_before == before) {
+    // Same kernel, behaviorally identical pre-launch state: the replay is
+    // fully determined, so merging the recorded delta and restoring the
+    // recorded after-state is exactly what a fresh replay would produce.
+    profile->Merge(it->second.delta);
+    RestoreState(it->second.state_after);
+    ++replayed_launches_;
+    return;
+  }
+  // Replay into a scratch delta so the launch contribution is separable.
+  // Merging the finalized delta equals finalizing the accumulated per-PC
+  // counts directly: both per-kernel aggregates are plain sums.
+  LaunchMemo entry;
+  entry.sig_before = before;
+  ProcessKernelImpl(kernel, &entry.delta);
+  SaveState(&entry.state_after);
+  profile->Merge(entry.delta);
+  memo_[fp] = std::move(entry);
+}
+
+void CachePrepass::ProcessKernelImpl(const KernelTrace& kernel,
+                                     MemProfile* profile) {
   SS_CHECK(profile != nullptr, "CachePrepass needs an output profile");
   const KernelInfo& info = kernel.info();
   const CtaAllocator occupancy_probe(cfg_);
@@ -158,11 +209,30 @@ void CachePrepass::ProcessKernel(const KernelTrace& kernel,
 
 MemProfile BuildMemProfile(const Application& app, const GpuConfig& cfg) {
   MemProfile profile;
-  CachePrepass prepass(cfg);
+  CachePrepass prepass(cfg, cfg.memo.enabled);
   for (const auto& kernel : app.kernels) {
     prepass.ProcessKernel(*kernel, &profile);
   }
   return profile;
+}
+
+std::uint64_t MemProfileGeometryHash(const GpuConfig& cfg) {
+  FpHasher h;
+  for (const CacheParams* c : {&cfg.l1, &cfg.l2}) {
+    h.Mix(c->size_bytes);
+    h.Mix(c->assoc);
+    h.Mix(c->line_bytes);
+    h.Mix(c->sector_bytes);
+  }
+  h.Mix(cfg.num_sms);
+  h.Mix(cfg.num_mem_partitions);  // scales the aggregate L2
+  // Occupancy limits set the replay wave size (and the merge window).
+  h.Mix(cfg.max_ctas_per_sm);
+  h.Mix(cfg.max_warps_per_sm);
+  h.Mix(cfg.max_threads_per_sm);
+  h.Mix(cfg.registers_per_sm);
+  h.Mix(cfg.shared_mem_per_sm);
+  return h.Digest().Fold();
 }
 
 MemProfile BuildMemProfileParallel(const Application& app,
@@ -174,15 +244,36 @@ MemProfile BuildMemProfileParallel(const Application& app,
     return BuildMemProfile(app, cfg);
   }
   // One cold prepass per kernel, independent of scheduling, so the merged
-  // profile is bit-identical for any num_threads.
-  std::vector<MemProfile> shards(app.kernels.size());
+  // profile is bit-identical for any num_threads. Because every shard is
+  // cold, repeated launches of one kernel produce identical shards —
+  // compute each distinct fingerprint once and merge it per occurrence
+  // (exact dedup, gated on cfg.memo.enabled only for --no-memo A/B runs).
+  std::vector<std::size_t> shard_of(app.kernels.size());
+  std::vector<std::size_t> reps;  // representative kernel index per shard
+  if (cfg.memo.enabled) {
+    std::map<Fingerprint, std::size_t> seen;
+    for (std::size_t k = 0; k < app.kernels.size(); ++k) {
+      const Fingerprint fp = FingerprintKernel(*app.kernels[k]);
+      const auto [it, inserted] = seen.emplace(fp, reps.size());
+      if (inserted) reps.push_back(k);
+      shard_of[k] = it->second;
+    }
+  } else {
+    for (std::size_t k = 0; k < app.kernels.size(); ++k) {
+      shard_of[k] = k;
+      reps.push_back(k);
+    }
+  }
+  std::vector<MemProfile> shards(reps.size());
   ThreadPool::Shared().ParallelFor(
-      app.kernels.size(), num_threads, [&](std::size_t k) {
+      reps.size(), num_threads, [&](std::size_t s) {
         CachePrepass prepass(cfg);
-        prepass.ProcessKernel(*app.kernels[k], &shards[k]);
+        prepass.ProcessKernel(*app.kernels[reps[s]], &shards[s]);
       });
   MemProfile profile;
-  for (const MemProfile& shard : shards) profile.Merge(shard);
+  for (std::size_t k = 0; k < app.kernels.size(); ++k) {
+    profile.Merge(shards[shard_of[k]]);
+  }
   return profile;
 }
 

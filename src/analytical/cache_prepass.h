@@ -9,11 +9,13 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "analytical/functional_cache.h"
 #include "common/flat_map.h"
 #include "config/gpu_config.h"
+#include "trace/fingerprint.h"
 #include "trace/kernel.h"
 
 namespace swiftsim {
@@ -29,7 +31,13 @@ struct PcHitRates {
   double r_l2() const {
     return accesses ? static_cast<double>(l2_hits) / accesses : 0.0;
   }
-  double r_dram() const { return 1.0 - r_l1() - r_l2(); }
+  double r_dram() const {
+    // r_l1 + r_l2 can exceed 1.0 by an ulp when the two divisions round
+    // up (l1_hits + l2_hits == accesses); a negative remainder would feed
+    // a negative DRAM term into Eq. 1, so clamp to [0, 1].
+    const double r = 1.0 - r_l1() - r_l2();
+    return r < 0.0 ? 0.0 : (r > 1.0 ? 1.0 : r);
+  }
 };
 
 class MemProfile {
@@ -64,19 +72,62 @@ class MemProfile {
 /// application (matching the persistent L2 of the timing model).
 class CachePrepass {
  public:
-  explicit CachePrepass(const GpuConfig& cfg);
+  /// With `memoize` set, a repeated launch whose pre-launch state
+  /// signature matches a recorded launch of the same kernel is replayed
+  /// from the record: its profile delta is merged and the caches are
+  /// restored to the recorded after-state. Same state + same access
+  /// stream is fully deterministic, so the skip is bit-identical by
+  /// construction; iterative apps reach a periodic cache state within a
+  /// couple of iterations — LRU contents are determined by the access-
+  /// stream suffix (overflowing sets) or settle into the re-touch order
+  /// (resident sets) — after which every launch replays (DESIGN.md §10).
+  explicit CachePrepass(const GpuConfig& cfg, bool memoize = false);
 
   /// Replays one kernel, accumulating per-PC hit counts into `profile`.
   void ProcessKernel(const KernelTrace& kernel, MemProfile* profile);
 
+  std::uint64_t replayed_launches() const { return replayed_launches_; }
+
  private:
+  struct LaunchMemo {
+    Fingerprint sig_before;
+    MemProfile delta;
+    // Hierarchy state right after the recorded launch (l1s..., then l2);
+    // restored on replay so subsequent kernels see the exact same caches
+    // a fresh replay would have left.
+    std::vector<FunctionalCache::Snapshot> state_after;
+  };
+
+  void ProcessKernelImpl(const KernelTrace& kernel, MemProfile* profile);
+
+  void SaveState(std::vector<FunctionalCache::Snapshot>* out) const;
+  void RestoreState(const std::vector<FunctionalCache::Snapshot>& s);
+
+  /// Canonical signature of the warm hierarchy: per set, the valid lines'
+  /// (tag, sectors) in LRU-rank order. Independent of absolute LRU ticks,
+  /// so two states that behave identically signature-match.
+  Fingerprint StateSignature() const;
+
   GpuConfig cfg_;
+  bool memoize_ = false;
   std::vector<FunctionalCache> l1s_;  // one per SM
   FunctionalCache l2_;                // aggregate of all partition slices
+  std::map<Fingerprint, LaunchMemo> memo_;
+  std::uint64_t replayed_launches_ = 0;
 };
 
 /// Convenience: full pre-pass over every kernel of the application.
+/// Launch-level memoization follows cfg.memo.enabled; the result is
+/// bit-identical either way.
 MemProfile BuildMemProfile(const Application& app, const GpuConfig& cfg);
+
+/// Hash of exactly the configuration fields the pre-pass result depends
+/// on: cache geometry (size/assoc/line/sector of both levels), chip shape
+/// and the occupancy limits that set the replay wave size. Two configs
+/// with equal geometry hashes produce bit-identical profiles for the same
+/// application, so DSE sweeps over latencies/bandwidths/policies reuse
+/// one cached profile across config points.
+std::uint64_t MemProfileGeometryHash(const GpuConfig& cfg);
 
 /// Pre-pass sharded across kernels on the shared thread pool: every kernel
 /// is replayed against its own cold cache hierarchy and the per-kernel

@@ -1,5 +1,8 @@
 #include "analytical/functional_cache.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace swiftsim {
 
 FunctionalCache::FunctionalCache(const CacheParams& params)
@@ -47,6 +50,40 @@ bool FunctionalCache::AccessLoad(Addr line_addr, std::uint32_t sector_mask) {
 void FunctionalCache::AccessStore(Addr line_addr, std::uint32_t sector_mask) {
   Line* l = Touch(line_addr, sector_mask);
   if (l != nullptr) l->sectors |= sector_mask;
+}
+
+void FunctionalCache::SaveState(Snapshot* out) const {
+  out->lines = lines_;
+  out->tick = tick_;
+}
+
+void FunctionalCache::RestoreState(const Snapshot& s) {
+  // Assigning into the existing vector reuses its allocation (snapshots
+  // always have the same geometry as the cache they came from).
+  lines_ = s.lines;
+  tick_ = s.tick;
+}
+
+void FunctionalCache::HashStateInto(FpHasher& h) const {
+  h.Mix(sets_);
+  h.Mix(params_.assoc);
+  std::vector<const Line*> order;
+  order.reserve(params_.assoc);
+  for (unsigned set = 0; set < sets_; ++set) {
+    const Line* base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+    order.clear();
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+      if (base[w].valid) order.push_back(&base[w]);
+    }
+    // LRU ticks are unique, so the rank order is total and canonical.
+    std::sort(order.begin(), order.end(),
+              [](const Line* a, const Line* b) { return a->lru < b->lru; });
+    h.Mix(order.size());
+    for (const Line* l : order) {
+      h.Mix(l->tag);
+      h.Mix(l->sectors);
+    }
+  }
 }
 
 }  // namespace swiftsim

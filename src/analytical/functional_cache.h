@@ -8,6 +8,7 @@
 
 #include "common/types.h"
 #include "config/gpu_config.h"
+#include "trace/fingerprint.h"
 
 namespace swiftsim {
 
@@ -23,6 +24,13 @@ class FunctionalCache {
   /// Stores install/validate sectors without affecting hit statistics.
   void AccessStore(Addr line_addr, std::uint32_t sector_mask);
 
+  /// Mixes a canonical signature of the resident state into `h`: per set,
+  /// the valid lines' (tag, sectors) in LRU-rank order. Absolute LRU tick
+  /// values are excluded, so two caches that would behave identically on
+  /// any future access stream signature-match (cross-launch memoization's
+  /// fixed-point test, DESIGN.md §10).
+  void HashStateInto(FpHasher& h) const;
+
   std::uint64_t accesses() const { return accesses_; }
   std::uint64_t hits() const { return hits_; }
   double hit_rate() const {
@@ -37,6 +45,20 @@ class FunctionalCache {
     std::uint64_t lru = 0;
   };
 
+ public:
+  /// Resident-state snapshot for cross-launch memoization: restoring the
+  /// state a recorded launch left behind makes skipping its replay exact
+  /// for every subsequent access. Statistics counters are not part of the
+  /// snapshot (replayed launches contribute their recorded deltas
+  /// instead). Opaque outside this class — hold and pass back only.
+  struct Snapshot {
+    std::vector<Line> lines;
+    std::uint64_t tick = 0;
+  };
+  void SaveState(Snapshot* out) const;
+  void RestoreState(const Snapshot& s);
+
+ private:
   Line* Touch(Addr line_addr, std::uint32_t sector_mask);
 
   CacheParams params_;

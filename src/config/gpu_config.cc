@@ -144,6 +144,11 @@ void GpuConfig::Validate() const {
            "dram closed-row latency must be >= row-hit latency");
   SS_CHECK(dram.queue_depth > 0, "dram queue depth must be positive");
   SS_CHECK(shared_mem_banks > 0, "shared_mem_banks must be positive");
+  SS_CHECK(memo.convergence_min_repeats >= 2,
+           "memo.convergence_min_repeats must be at least 2 (convergence "
+           "compares consecutive launches)");
+  SS_CHECK(memo.convergence_epsilon >= 0,
+           "memo.convergence_epsilon must be non-negative");
 }
 
 namespace {
@@ -286,6 +291,13 @@ GpuConfig GpuConfig::FromIni(const IniFile& ini, GpuConfig base) {
   c.effects.dram_latency_extra = static_cast<unsigned>(ini.GetUint(
       "effects.dram_latency_extra", c.effects.dram_latency_extra));
   c.cycle_skip = ini.GetBool("sim.cycle_skip", c.cycle_skip);
+  c.memo.enabled = ini.GetBool("memo.enabled", c.memo.enabled);
+  c.memo.detailed_convergence =
+      ini.GetBool("memo.detailed_convergence", c.memo.detailed_convergence);
+  c.memo.convergence_min_repeats = static_cast<unsigned>(ini.GetUint(
+      "memo.convergence_min_repeats", c.memo.convergence_min_repeats));
+  c.memo.convergence_epsilon =
+      ini.GetDouble("memo.convergence_epsilon", c.memo.convergence_epsilon);
   c.Validate();
   return c;
 }
@@ -342,7 +354,34 @@ std::string GpuConfig::ToIniString() const {
      << "dram_latency_extra = " << effects.dram_latency_extra << "\n";
   os << "[sim]\n"
      << "cycle_skip = " << (cycle_skip ? "true" : "false") << "\n";
+  os << "[memo]\n"
+     << "enabled = " << (memo.enabled ? "true" : "false") << "\n"
+     << "detailed_convergence = "
+     << (memo.detailed_convergence ? "true" : "false") << "\n"
+     << "convergence_min_repeats = " << memo.convergence_min_repeats << "\n"
+     << "convergence_epsilon = " << memo.convergence_epsilon << "\n";
   return os.str();
+}
+
+std::uint64_t GpuConfig::CanonicalHash() const {
+  const std::string ini = ToIniString();
+  // Chained splitmix over length-prefixed 8-byte chunks; byte-order
+  // independent, so the hash is stable across platforms.
+  std::uint64_t h = HashMix(ini.size() + 0x636f6e666968ull);
+  std::uint64_t word = 0;
+  unsigned shift = 0;
+  for (const char c : ini) {
+    word |= static_cast<std::uint64_t>(static_cast<unsigned char>(c))
+            << shift;
+    shift += 8;
+    if (shift == 64) {
+      h = HashMix(h ^ word);
+      word = 0;
+      shift = 0;
+    }
+  }
+  if (shift != 0) h = HashMix(h ^ word);
+  return h;
 }
 
 }  // namespace swiftsim

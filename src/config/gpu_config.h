@@ -119,6 +119,22 @@ struct SiliconEffects {
   unsigned dram_latency_extra = 45;      // cycles added to each channel
 };
 
+/// Cross-launch memoization knobs (DESIGN.md §10). `enabled` gates only
+/// the exact reuse layers: launch replay at the analytical-memory level
+/// and the pre-pass profile caches, both of which reproduce fresh results
+/// bit-identically. Replay at the cycle-accurate-memory levels is an
+/// approximation (the persistent L2 makes repeated launches genuinely
+/// differ) and therefore needs the separate `detailed_convergence` opt-in:
+/// the first `convergence_min_repeats` launches of a kernel are simulated,
+/// and replay starts only once consecutive launches agree within
+/// `convergence_epsilon` relative cycles.
+struct MemoConfig {
+  bool enabled = true;
+  bool detailed_convergence = false;
+  unsigned convergence_min_repeats = 3;
+  double convergence_epsilon = 0.01;
+};
+
 /// Complete GPU description.
 struct GpuConfig {
   GpuConfig();  // sets L2-appropriate defaults on the l2 member
@@ -168,6 +184,9 @@ struct GpuConfig {
   /// are bit-identical either way; disable only for A/B validation runs.
   bool cycle_skip = true;
 
+  /// Cross-launch memoization (DESIGN.md §10).
+  MemoConfig memo;
+
   // Derived -------------------------------------------------------------
   unsigned warps_per_sub_core() const {
     return max_warps_per_sm / sub_cores_per_sm;
@@ -189,6 +208,12 @@ struct GpuConfig {
 
   /// Serializes every field to INI text that FromIni round-trips.
   std::string ToIniString() const;
+
+  /// Stable hash of the canonical INI serialization — the config lane of
+  /// the memoization cache key. Equal configurations hash equal; any field
+  /// change (including future fields, which must be serialized to
+  /// round-trip) changes the hash.
+  std::uint64_t CanonicalHash() const;
 };
 
 }  // namespace swiftsim

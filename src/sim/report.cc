@@ -53,6 +53,12 @@ PerfReport BuildReport(const SimResult& result) {
   r.noc_bytes = SumMetric(m, "noc.", ".bytes");
   r.reservation_fails = SumMetric(m, "sm", ".l1.reservation_fails") +
                         SumMetric(m, "l2.", ".reservation_fails");
+
+  r.cycles_skipped = SumMetric(m, "driver.", "cycles_skipped");
+  r.skip_jumps = SumMetric(m, "driver.", "skip_jumps");
+  r.memo_hits = SumMetric(m, "memo.", "hits");
+  r.memo_misses = SumMetric(m, "memo.", "misses");
+  r.memo_cycles_avoided = SumMetric(m, "memo.", "replayed_cycles");
   return r;
 }
 
@@ -67,7 +73,11 @@ std::string PerfReport::ToString() const {
      << "dram: reads=" << dram_reads << " writes=" << dram_writes
      << " bytes=" << dram_bytes << " row_hit=" << dram_row_hit_rate << "\n"
      << "noc bytes=" << noc_bytes
-     << " reservation_fails=" << reservation_fails;
+     << " reservation_fails=" << reservation_fails << "\n"
+     << "driver: cycles_skipped=" << cycles_skipped
+     << " jumps=" << skip_jumps << " | memo: hits=" << memo_hits
+     << " misses=" << memo_misses
+     << " cycles_avoided=" << memo_cycles_avoided;
   return os.str();
 }
 

@@ -26,6 +26,14 @@ struct PerfReport {
   std::uint64_t reservation_fails = 0;  // L1 + L2 (Fig. 6 discussion)
   std::uint64_t completed_ctas = 0;
 
+  // Driver telemetry: cycle skipping and cross-launch memoization
+  // (DESIGN.md §10). Zero when the feature was off or never fired.
+  std::uint64_t cycles_skipped = 0;
+  std::uint64_t skip_jumps = 0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+  std::uint64_t memo_cycles_avoided = 0;
+
   /// Multi-line human-readable rendering.
   std::string ToString() const;
 };

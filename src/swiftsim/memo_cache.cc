@@ -1,0 +1,272 @@
+#include "swiftsim/memo_cache.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/status.h"
+
+namespace swiftsim {
+
+std::optional<LaunchRecord> MemoCache::TryReplay(const MemoKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end() || !it->second.ready) return std::nullopt;
+  return it->second.rec;
+}
+
+void MemoCache::RecordLaunch(const MemoKey& key, LaunchRecord rec,
+                             bool exact, unsigned min_repeats,
+                             double epsilon) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[key];
+  if (e.ready) return;  // already promoted (e.g. a racing driver)
+  ++e.simulated;
+  if (exact) {
+    e.rec = std::move(rec);
+    e.ready = true;
+    return;
+  }
+  // Convergence mode: promote once the last two simulated launches agree
+  // within epsilon relative cycles (and at least min_repeats ran). The
+  // promoted record is the latest launch — the converged steady state.
+  const bool converged =
+      e.simulated >= min_repeats && e.prev_cycles > 0 &&
+      std::fabs(static_cast<double>(rec.cycles) -
+                static_cast<double>(e.prev_cycles)) <=
+          epsilon * static_cast<double>(e.prev_cycles);
+  e.prev_cycles = rec.cycles;
+  if (converged) {
+    e.rec = std::move(rec);
+    e.ready = true;
+  }
+}
+
+std::size_t MemoCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void MemoCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+namespace {
+constexpr char kMemoFileMagic[] = "swiftsim-memo-v1";
+}  // namespace
+
+void MemoCache::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  SS_CHECK(out.good(), "cannot open memo cache file '" + path + "'");
+  out << kMemoFileMagic << "\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, entry] : entries_) {
+    if (!entry.ready) continue;
+    out << key.kernel_fp.hi << " " << key.kernel_fp.lo << " "
+        << key.cfg_hash << " " << key.context << " "
+        << static_cast<unsigned>(key.level) << " " << entry.rec.cycles
+        << " " << entry.rec.instructions << " "
+        << entry.rec.metric_deltas.size() << "\n";
+    for (const auto& [name, value] : entry.rec.metric_deltas) {
+      out << name << " " << value << "\n";
+    }
+  }
+  SS_CHECK(out.good(), "error writing memo cache file '" + path + "'");
+}
+
+void MemoCache::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  SS_CHECK(in.good(), "cannot read memo cache file '" + path + "'");
+  std::string magic;
+  std::getline(in, magic);
+  SS_CHECK(magic == kMemoFileMagic,
+           "memo cache file '" + path + "' has unknown format '" + magic +
+               "'");
+  std::lock_guard<std::mutex> lock(mu_);
+  MemoKey key;
+  unsigned level = 0;
+  std::size_t ndeltas = 0;
+  while (in >> key.kernel_fp.hi >> key.kernel_fp.lo >> key.cfg_hash >>
+         key.context >> level) {
+    Entry entry;
+    entry.ready = true;
+    SS_CHECK(in >> entry.rec.cycles >> entry.rec.instructions >> ndeltas,
+             "truncated memo cache file '" + path + "'");
+    key.level = static_cast<std::uint8_t>(level);
+    entry.rec.metric_deltas.reserve(ndeltas);
+    for (std::size_t i = 0; i < ndeltas; ++i) {
+      std::string name;
+      std::uint64_t value = 0;
+      SS_CHECK(in >> name >> value,
+               "truncated memo cache file '" + path + "'");
+      entry.rec.metric_deltas.emplace_back(std::move(name), value);
+    }
+    entries_.emplace(key, std::move(entry));  // existing entries win
+  }
+}
+
+MemoCache& MemoCache::Global() {
+  static MemoCache* cache = new MemoCache();
+  return *cache;
+}
+
+ProfileCache::Fetch ProfileCache::GetOrBuild(const Application& app,
+                                             const GpuConfig& cfg,
+                                             bool parallel_builder,
+                                             unsigned num_threads) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Key key;
+  key.app_fp = FingerprintApplication(app);
+  key.geometry = MemProfileGeometryHash(cfg);
+  key.parallel = parallel_builder;
+  Fetch fetch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      fetch.profile = it->second;
+      fetch.hit = true;
+    }
+  }
+  if (!fetch.profile) {
+    // Build outside the lock: concurrent batch drivers (RunAppsParallel)
+    // must not serialize distinct apps' pre-passes. Racing builders of
+    // the same key waste work but stay correct — first insert wins.
+    auto built = std::make_shared<const MemProfile>(
+        parallel_builder ? BuildMemProfileParallel(app, cfg, num_threads)
+                         : BuildMemProfile(app, cfg));
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto [it, inserted] = entries_.emplace(key, std::move(built));
+    ++misses_;
+    fetch.profile = it->second;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  fetch.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return fetch;
+}
+
+std::size_t ProfileCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::uint64_t ProfileCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t ProfileCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+void ProfileCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+ProfileCache& ProfileCache::Global() {
+  static ProfileCache* cache = new ProfileCache();
+  return *cache;
+}
+
+bool MemoReplayApplicable(const GpuConfig& cfg, SimLevel level) {
+  if (SelectionFor(level).mem == MemModelKind::kAnalytical) return true;
+  return cfg.memo.detailed_convergence;
+}
+
+SimResult RunApplicationMemo(const Application& app, const GpuConfig& cfg,
+                             SimLevel level, const MemProfile* profile,
+                             MemoCache& cache) {
+  GpuModel model(cfg, SelectionFor(level), profile);
+
+  struct {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t replayed_cycles = 0;
+    std::uint64_t replayed_instrs = 0;
+  } stats;
+  model.metrics().Register("memo", "hits", &stats.hits);
+  model.metrics().Register("memo", "misses", &stats.misses);
+  model.metrics().Register("memo", "replayed_cycles",
+                           &stats.replayed_cycles);
+  model.metrics().Register("memo", "replayed_instrs",
+                           &stats.replayed_instrs);
+
+  const bool exact = SelectionFor(level).mem == MemModelKind::kAnalytical;
+  MemoKey key;
+  key.cfg_hash = cfg.CanonicalHash();
+  key.context = FingerprintApplication(app).Fold();
+  key.level = static_cast<std::uint8_t>(level);
+
+  // Repeated launches share the KernelTrace object; fingerprint each
+  // distinct object once.
+  std::map<const KernelTrace*, Fingerprint> fp_of;
+
+  SimResult result;
+  result.app = app.name;
+  result.kernels.reserve(app.kernels.size());
+  std::map<std::string, std::uint64_t> replayed_deltas;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& kernel : app.kernels) {
+    const auto [fit, inserted] = fp_of.emplace(kernel.get(), Fingerprint{});
+    if (inserted) fit->second = FingerprintKernel(*kernel);
+    key.kernel_fp = fit->second;
+
+    if (auto rec = cache.TryReplay(key)) {
+      model.SyncClock(model.now() + rec->cycles);
+      KernelResult kr;
+      kr.name = kernel->info().name;
+      kr.cycles = rec->cycles;
+      kr.instructions = rec->instructions;
+      result.kernels.push_back(kr);
+      for (const auto& [name, value] : rec->metric_deltas) {
+        replayed_deltas[name] += value;
+      }
+      ++stats.hits;
+      stats.replayed_cycles += rec->cycles;
+      stats.replayed_instrs += rec->instructions;
+      continue;
+    }
+    ++stats.misses;
+    const auto before = model.metrics().Snapshot();
+    const std::uint64_t instrs_before = model.TotalIssuedInstrs();
+    const Cycle cycles = model.RunKernel(*kernel);
+    KernelResult kr;
+    kr.name = kernel->info().name;
+    kr.cycles = cycles;
+    kr.instructions = model.TotalIssuedInstrs() - instrs_before;
+    result.kernels.push_back(kr);
+
+    LaunchRecord rec;
+    rec.cycles = cycles;
+    rec.instructions = kr.instructions;
+    const auto after = model.metrics().Snapshot();
+    for (const auto& [name, value] : after) {
+      if (name.rfind("memo.", 0) == 0) continue;  // driver, not launch
+      const auto bit = before.find(name);
+      const std::uint64_t delta =
+          value - (bit != before.end() ? bit->second : 0);
+      if (delta != 0) rec.metric_deltas.emplace_back(name, delta);
+    }
+    cache.RecordLaunch(key, std::move(rec), exact,
+                       cfg.memo.convergence_min_repeats,
+                       cfg.memo.convergence_epsilon);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.total_cycles = model.now();
+  result.instructions = model.TotalIssuedInstrs() + stats.replayed_instrs;
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.metrics = model.metrics().Snapshot();
+  for (const auto& [name, value] : replayed_deltas) {
+    result.metrics[name] += value;
+  }
+  return result;
+}
+
+}  // namespace swiftsim

@@ -1,0 +1,165 @@
+// Cross-launch and cross-run memoization (DESIGN.md §10).
+//
+// Iterative applications launch the same static kernel dozens of times,
+// and DSE sweeps re-simulate identical traces across config points. Two
+// caches remove that redundancy:
+//
+//   MemoCache    — per-launch simulation results keyed by (kernel
+//                  fingerprint, canonical config hash, application
+//                  context, SimLevel). At the analytical-memory level a
+//                  launch's cycles depend only on that key (the
+//                  contention pipes drain by kernel end and the block
+//                  scheduler's rotor only permutes homogeneous SMs), so
+//                  replay is exact: bit-identical totals, per-kernel
+//                  results and aggregated metrics. At cycle-accurate-
+//                  memory levels the persistent L2 makes launches
+//                  genuinely differ, so replay needs the opt-in
+//                  convergence mode: simulate the first K repeats, replay
+//                  once consecutive launches agree within epsilon.
+//   ProfileCache — pre-pass MemProfiles keyed by (application
+//                  fingerprint, cache-geometry hash), shared across
+//                  repeated Simulator constructions and across config
+//                  points that differ only in timing parameters.
+//
+// Both caches are process-global, mutex-protected and exact-by-default;
+// cfg.memo.enabled = false (--no-memo) bypasses every layer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analytical/cache_prepass.h"
+#include "config/gpu_config.h"
+#include "sim/gpu_model.h"
+#include "sim/model_select.h"
+#include "trace/fingerprint.h"
+#include "trace/kernel.h"
+
+namespace swiftsim {
+
+struct MemoKey {
+  Fingerprint kernel_fp;
+  std::uint64_t cfg_hash = 0;  // GpuConfig::CanonicalHash
+  std::uint64_t context = 0;   // application fingerprint fold (profile scope)
+  std::uint8_t level = 0;      // SimLevel
+
+  bool operator<(const MemoKey& o) const {
+    if (kernel_fp != o.kernel_fp) return kernel_fp < o.kernel_fp;
+    if (cfg_hash != o.cfg_hash) return cfg_hash < o.cfg_hash;
+    if (context != o.context) return context < o.context;
+    return level < o.level;
+  }
+};
+
+/// Everything one launch contributes to a SimResult: its cycles, issued
+/// instructions, and the per-counter metric deltas it produced (the
+/// "memo.*" telemetry counters excluded — they describe the driver, not
+/// the launch). Replayed per-SM deltas are the first simulated launch's;
+/// fresh repeats rotate CTA placement across homogeneous SMs, so replayed
+/// per-SM maps are SM-permutation-equivalent and all aggregates match.
+struct LaunchRecord {
+  Cycle cycles = 0;
+  std::uint64_t instructions = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> metric_deltas;
+};
+
+class MemoCache {
+ public:
+  /// Returns the recorded launch if the entry is replay-ready.
+  std::optional<LaunchRecord> TryReplay(const MemoKey& key) const;
+
+  /// Records one simulated launch. `exact` entries become replayable
+  /// immediately; otherwise convergence bookkeeping promotes the entry
+  /// after at least `min_repeats` simulated launches whose last two cycle
+  /// counts agree within `epsilon` relative.
+  void RecordLaunch(const MemoKey& key, LaunchRecord rec, bool exact,
+                    unsigned min_repeats, double epsilon);
+
+  std::size_t size() const;
+  void Clear();
+
+  /// Versioned plain-text persistence for cross-run reuse (DSE sweeps
+  /// spanning processes). Save writes replay-ready entries; Load merges
+  /// them in (existing entries win). Load throws SimError on unreadable
+  /// files or format mismatches.
+  void SaveToFile(const std::string& path) const;
+  void LoadFromFile(const std::string& path);
+
+  /// The process-wide cache every driver consults by default.
+  static MemoCache& Global();
+
+ private:
+  struct Entry {
+    LaunchRecord rec;
+    std::uint64_t simulated = 0;
+    Cycle prev_cycles = 0;
+    bool ready = false;
+  };
+
+  mutable std::mutex mu_;
+  std::map<MemoKey, Entry> entries_;
+};
+
+class ProfileCache {
+ public:
+  struct Fetch {
+    std::shared_ptr<const MemProfile> profile;
+    bool hit = false;
+    double seconds = 0;  // wall time spent (fingerprinting + build)
+  };
+
+  /// Returns the cached profile for (app fingerprint, geometry hash) or
+  /// builds and caches it. `parallel_builder` selects the cold-sharded
+  /// BuildMemProfileParallel semantics, cached under a separate key (its
+  /// result differs from the serial warm pass by construction).
+  Fetch GetOrBuild(const Application& app, const GpuConfig& cfg,
+                   bool parallel_builder = false, unsigned num_threads = 1);
+
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  void Clear();
+
+  static ProfileCache& Global();
+
+ private:
+  struct Key {
+    Fingerprint app_fp;
+    std::uint64_t geometry = 0;
+    bool parallel = false;
+
+    bool operator<(const Key& o) const {
+      if (app_fp != o.app_fp) return app_fp < o.app_fp;
+      if (geometry != o.geometry) return geometry < o.geometry;
+      return parallel < o.parallel;
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::map<Key, std::shared_ptr<const MemProfile>> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// True when launch replay may be consulted at `level` under `cfg`:
+/// always exact at the analytical-memory level; cycle-accurate-memory
+/// levels additionally require the convergence-mode opt-in.
+bool MemoReplayApplicable(const GpuConfig& cfg, SimLevel level);
+
+/// Serial memoizing application driver: GpuModel::RunApplication with a
+/// per-launch cache consultation. Cache hits advance the model clock by
+/// the recorded cycles instead of simulating; misses simulate and record.
+/// Registers replay telemetry under "memo.*" in the model's gatherer:
+/// hits, misses, replayed_cycles (cycles of simulation avoided) and
+/// replayed_instrs. `profile` as in GpuModel's constructor.
+SimResult RunApplicationMemo(const Application& app, const GpuConfig& cfg,
+                             SimLevel level, const MemProfile* profile,
+                             MemoCache& cache);
+
+}  // namespace swiftsim

@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "sim/metrics.h"
+#include "swiftsim/memo_cache.h"
 #include "swiftsim/simulator.h"
 
 namespace swiftsim {
@@ -63,9 +64,17 @@ SimResult RunSmParallelMemory(const Application& app, const GpuConfig& cfg,
                               unsigned num_threads) {
   SS_CHECK(num_threads > 0, "need at least one worker thread");
   const auto t0 = std::chrono::steady_clock::now();
-  const MemProfile profile = BuildMemProfileParallel(app, cfg, num_threads);
+  // The cold-sharded profile is thread-count independent, so caching it is
+  // exact; memo-off runs rebuild from scratch for honest A/B timing.
+  std::shared_ptr<const MemProfile> profile =
+      cfg.memo.enabled
+          ? ProfileCache::Global()
+                .GetOrBuild(app, cfg, /*parallel_builder=*/true, num_threads)
+                .profile
+          : std::make_shared<const MemProfile>(
+                BuildMemProfileParallel(app, cfg, num_threads));
   const ModelSelection sel = SelectionFor(SimLevel::kSwiftSimMemory);
-  AnalyticalMemModel mem_model(cfg, &profile);
+  AnalyticalMemModel mem_model(cfg, profile.get());
 
   // Independent SMs: the analytical memory path shares no mutable state.
   std::vector<std::unique_ptr<SmCore>> sms;

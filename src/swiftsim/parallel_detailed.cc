@@ -9,8 +9,15 @@
 #include <thread>
 #include <vector>
 
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "swiftsim/memo_cache.h"
+#include "trace/fingerprint.h"
 
 namespace swiftsim {
 
@@ -29,9 +36,56 @@ SimResult RunParallelDetailed(const Application& app, const GpuConfig& cfg,
   const auto t0 = std::chrono::steady_clock::now();
   GpuModel model(cfg, sel);
 
+  // Cross-launch memoization (DESIGN.md §10). This driver is cycle-
+  // accurate, so replay is only ever approximate and requires the
+  // convergence-mode opt-in on top of memo.enabled.
+  const bool memo_on = cfg.memo.enabled && cfg.memo.detailed_convergence;
+  MemoCache& memo_cache = MemoCache::Global();
+  struct {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t replayed_cycles = 0;
+    std::uint64_t replayed_instrs = 0;
+  } memo_stats;
+  if (memo_on) {
+    model.metrics().Register("memo", "hits", &memo_stats.hits);
+    model.metrics().Register("memo", "misses", &memo_stats.misses);
+    model.metrics().Register("memo", "replayed_cycles",
+                             &memo_stats.replayed_cycles);
+    model.metrics().Register("memo", "replayed_instrs",
+                             &memo_stats.replayed_instrs);
+  }
+  MemoKey memo_key;
+  memo_key.cfg_hash = cfg.CanonicalHash();
+  memo_key.context = FingerprintApplication(app).Fold();
+  memo_key.level = static_cast<std::uint8_t>(level);
+  std::map<const KernelTrace*, Fingerprint> fp_of;
+  std::map<std::string, std::uint64_t> launch_before;
+  std::map<std::string, std::uint64_t> replayed_deltas;
+
   SimResult result;
   result.app = app.name;
   result.simulator = ToString(level) + "+sm-shards";
+
+  // Builds and stores the launch record for the kernel that just
+  // completed, from the metric snapshot taken when it began.
+  auto record_launch = [&](Cycle cycles, std::uint64_t instrs) {
+    ++memo_stats.misses;
+    LaunchRecord rec;
+    rec.cycles = cycles;
+    rec.instructions = instrs;
+    const auto after = model.metrics().Snapshot();
+    for (const auto& [name, value] : after) {
+      if (name.rfind("memo.", 0) == 0) continue;  // driver, not launch
+      const auto bit = launch_before.find(name);
+      const std::uint64_t delta =
+          value - (bit != launch_before.end() ? bit->second : 0);
+      if (delta != 0) rec.metric_deltas.emplace_back(name, delta);
+    }
+    memo_cache.RecordLaunch(memo_key, std::move(rec), /*exact=*/false,
+                            cfg.memo.convergence_min_repeats,
+                            cfg.memo.convergence_epsilon);
+  };
 
   unsigned threads = opt.num_threads;
   if (threads == 0) {
@@ -65,17 +119,46 @@ SimResult RunParallelDetailed(const Application& app, const GpuConfig& cfg,
   // kernel's own cycle count, as in the serial driver.
   auto begin_kernels_until_work = [&] {
     while (kidx < app.kernels.size()) {
+      const KernelTrace& kernel = *app.kernels[kidx];
+      if (memo_on) {
+        const auto [fit, inserted] =
+            fp_of.emplace(&kernel, Fingerprint{});
+        if (inserted) fit->second = FingerprintKernel(kernel);
+        memo_key.kernel_fp = fit->second;
+        if (auto rec = memo_cache.TryReplay(memo_key)) {
+          // Converged launch: advance the clock past it without touching
+          // the model, exactly as the serial memo driver does.
+          now += rec->cycles;
+          KernelResult kr;
+          kr.name = kernel.info().name;
+          kr.cycles = rec->cycles;
+          kr.instructions = rec->instructions;
+          result.kernels.push_back(kr);
+          for (const auto& [name, value] : rec->metric_deltas) {
+            replayed_deltas[name] += value;
+          }
+          ++memo_stats.hits;
+          memo_stats.replayed_cycles += rec->cycles;
+          memo_stats.replayed_instrs += rec->instructions;
+          ++kidx;
+          continue;
+        }
+        launch_before = model.metrics().Snapshot();
+      }
       model.SyncClock(now);
       kernel_start = now;
       instrs_before = model.TotalIssuedInstrs();
-      model.BeginKernel(*app.kernels[kidx]);
+      model.BeginKernel(kernel);
       now = model.now();
       model.AssignPendingCtas();
       if (!model.KernelDone()) return;
       KernelResult kr;
-      kr.name = app.kernels[kidx]->info().name;
+      kr.name = kernel.info().name;
       kr.cycles = now - kernel_start;
       result.kernels.push_back(kr);
+      if (memo_on) {
+        record_launch(kr.cycles, model.TotalIssuedInstrs() - instrs_before);
+      }
       ++kidx;
     }
     done = true;
@@ -138,6 +221,7 @@ SimResult RunParallelDetailed(const Application& app, const GpuConfig& cfg,
         kr.cycles = now - kernel_start;
         kr.instructions = model.TotalIssuedInstrs() - instrs_before;
         result.kernels.push_back(kr);
+        if (memo_on) record_launch(kr.cycles, kr.instructions);
         ++kidx;
         begin_kernels_until_work();
         return;
@@ -189,8 +273,12 @@ SimResult RunParallelDetailed(const Application& app, const GpuConfig& cfg,
 
   model.SyncClock(now);
   result.total_cycles = now;
-  result.instructions = model.TotalIssuedInstrs();
+  result.instructions = model.TotalIssuedInstrs() +
+                        memo_stats.replayed_instrs;
   result.metrics = model.metrics().Snapshot();
+  for (const auto& [name, value] : replayed_deltas) {
+    result.metrics[name] += value;
+  }
   const auto t1 = std::chrono::steady_clock::now();
   result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   return result;

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "core/cta_allocator.h"
 #include "sim/gpu_model.h"
+#include "swiftsim/memo_cache.h"
 
 namespace swiftsim {
 
@@ -61,9 +62,14 @@ SampledResult RunSampledSimulation(const Application& app,
     result.sampled_ctas += take;
   }
 
-  std::unique_ptr<MemProfile> profile;
+  std::shared_ptr<const MemProfile> profile;
   if (sel.mem == MemModelKind::kAnalytical) {
-    profile = std::make_unique<MemProfile>(BuildMemProfile(sampled, cfg));
+    // The sampled prefix is itself a stable application: sweeps that
+    // re-sample the same workload reuse its pre-pass profile.
+    profile = cfg.memo.enabled
+                  ? ProfileCache::Global().GetOrBuild(sampled, cfg).profile
+                  : std::make_shared<const MemProfile>(
+                        BuildMemProfile(sampled, cfg));
   }
   GpuModel model(cfg, sel, profile.get());
   Cycle estimated = 0;

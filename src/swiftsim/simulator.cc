@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "analytical/cache_prepass.h"
+#include "swiftsim/memo_cache.h"
 
 namespace swiftsim {
 
@@ -10,16 +11,32 @@ Simulator::Simulator(const Application& app, const GpuConfig& cfg,
                      SimLevel level)
     : app_(app), cfg_(cfg), level_(level) {
   if (SelectionFor(level).mem == MemModelKind::kAnalytical) {
-    const auto t0 = std::chrono::steady_clock::now();
-    profile_ = std::make_unique<MemProfile>(BuildMemProfile(app, cfg_));
-    const auto t1 = std::chrono::steady_clock::now();
-    prepass_seconds_ = std::chrono::duration<double>(t1 - t0).count();
+    if (cfg_.memo.enabled) {
+      // Cache-geometry-equal configs and repeated constructions share one
+      // profile; the fetch time (hit or build) is the run's pre-pass cost.
+      const ProfileCache::Fetch fetch =
+          ProfileCache::Global().GetOrBuild(app, cfg_);
+      profile_ = fetch.profile;
+      prepass_seconds_ = fetch.seconds;
+    } else {
+      const auto t0 = std::chrono::steady_clock::now();
+      profile_ =
+          std::make_shared<const MemProfile>(BuildMemProfile(app, cfg_));
+      const auto t1 = std::chrono::steady_clock::now();
+      prepass_seconds_ = std::chrono::duration<double>(t1 - t0).count();
+    }
   }
 }
 
 SimResult Simulator::Run() {
-  GpuModel model(cfg_, SelectionFor(level_), profile_.get());
-  SimResult result = model.RunApplication(app_);
+  SimResult result;
+  if (cfg_.memo.enabled && MemoReplayApplicable(cfg_, level_)) {
+    result = RunApplicationMemo(app_, cfg_, level_, profile_.get(),
+                                MemoCache::Global());
+  } else {
+    GpuModel model(cfg_, SelectionFor(level_), profile_.get());
+    result = model.RunApplication(app_);
+  }
   result.simulator = ToString(level_);
   // The pre-pass is part of Swift-Sim-Memory's cost; charge it to the run.
   result.wall_seconds += prepass_seconds_;

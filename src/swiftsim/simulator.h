@@ -24,7 +24,9 @@ SimResult RunSimulation(const Application& app, const GpuConfig& cfg,
                         SimLevel level);
 
 /// Reusable simulator handle (keeps the pre-pass profile so repeated runs
-/// of the same application don't re-profile).
+/// of the same application don't re-profile). With cfg.memo.enabled the
+/// profile comes from the global ProfileCache and launches are replayed
+/// from the global MemoCache where exact (DESIGN.md §10).
 class Simulator {
  public:
   Simulator(const Application& app, const GpuConfig& cfg, SimLevel level);
@@ -39,7 +41,8 @@ class Simulator {
   const Application& app_;
   GpuConfig cfg_;
   SimLevel level_;
-  std::unique_ptr<MemProfile> profile_;  // analytical memory mode only
+  // Analytical memory mode only; shared when the ProfileCache served it.
+  std::shared_ptr<const MemProfile> profile_;
   double prepass_seconds_ = 0;
 };
 

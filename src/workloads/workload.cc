@@ -91,4 +91,15 @@ std::uint32_t Scaled(double scale, std::uint32_t value, std::uint32_t lo) {
   return std::max(lo, static_cast<std::uint32_t>(std::max(0.0, v)));
 }
 
+Application RepeatLaunches(const Application& app, unsigned iterations) {
+  SS_CHECK(iterations >= 1, "need at least one iteration");
+  Application out;
+  out.name = app.name + "x" + std::to_string(iterations);
+  out.kernels.reserve(app.kernels.size() * iterations);
+  for (unsigned i = 0; i < iterations; ++i) {
+    for (const auto& kernel : app.kernels) out.kernels.push_back(kernel);
+  }
+  return out;
+}
+
 }  // namespace swiftsim

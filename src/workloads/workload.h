@@ -47,4 +47,10 @@ Application BuildWorkload(const std::string& name, const WorkloadScale& s);
 /// Convenience: scaled integer >= lo.
 std::uint32_t Scaled(double scale, std::uint32_t value, std::uint32_t lo = 1);
 
+/// Iterative-solver launch pattern: the application's kernel sequence
+/// repeated `iterations` times (kernels are shared, not copied). This is
+/// the memoization stress shape — every repeat after the first replays
+/// from the MemoCache at the analytical levels (DESIGN.md §10).
+Application RepeatLaunches(const Application& app, unsigned iterations);
+
 }  // namespace swiftsim

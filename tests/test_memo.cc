@@ -1,0 +1,326 @@
+// Cross-launch memoization gates (DESIGN.md §10): fingerprint stability
+// and sensitivity, bit-identical replay at the analytical-memory level,
+// bounded-error convergence replay at kDetailed (serial and under the
+// bounded-slack parallel driver), the --no-memo escape hatch, and the
+// on-disk cache round trip.
+//
+// Per-SM counters are compared in aggregate: fresh repeats rotate CTA
+// placement across homogeneous SMs while replay reports the recorded
+// launch's deltas, so raw per-SM maps are SM-permutation-equivalent
+// rather than equal (documented in memo_cache.h).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "config/presets.h"
+#include "swiftsim/memo_cache.h"
+#include "swiftsim/parallel_detailed.h"
+#include "swiftsim/simulator.h"
+#include "trace/fingerprint.h"
+#include "workloads/workload.h"
+
+namespace swiftsim {
+namespace {
+
+GpuConfig SmallGpu() {
+  GpuConfig cfg = Rtx2080TiConfig();
+  cfg.num_sms = 4;
+  cfg.num_mem_partitions = 2;
+  return cfg;
+}
+
+Application SmallApp(const std::string& name, double scale = 0.02) {
+  WorkloadScale s;
+  s.scale = scale;
+  return BuildWorkload(name, s);
+}
+
+void ClearGlobalCaches() {
+  MemoCache::Global().Clear();
+  ProfileCache::Global().Clear();
+}
+
+/// Collapses "sm<id>[.l1].counter" keys to "sm[.l1].counter" sums and
+/// drops the "memo.*" driver telemetry, yielding the SM-permutation-
+/// invariant view two exact runs must agree on.
+std::map<std::string, std::uint64_t> AggregatedMetrics(
+    const std::map<std::string, std::uint64_t>& metrics) {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [key, value] : metrics) {
+    if (key.rfind("memo.", 0) == 0) continue;
+    std::string name = key;
+    if (name.rfind("sm", 0) == 0) {
+      std::size_t d = 2;
+      while (d < name.size() && std::isdigit(static_cast<unsigned char>(
+                                    name[d]))) {
+        ++d;
+      }
+      if (d > 2) name = "sm" + name.substr(d);
+    }
+    out[name] += value;
+  }
+  return out;
+}
+
+void ExpectIdentical(const SimResult& fresh, const SimResult& memo,
+                     const std::string& what) {
+  EXPECT_EQ(fresh.total_cycles, memo.total_cycles) << what;
+  EXPECT_EQ(fresh.instructions, memo.instructions) << what;
+  ASSERT_EQ(fresh.kernels.size(), memo.kernels.size()) << what;
+  for (std::size_t k = 0; k < fresh.kernels.size(); ++k) {
+    EXPECT_EQ(fresh.kernels[k].cycles, memo.kernels[k].cycles)
+        << what << " kernel " << k;
+    EXPECT_EQ(fresh.kernels[k].instructions, memo.kernels[k].instructions)
+        << what << " kernel " << k;
+  }
+  EXPECT_EQ(AggregatedMetrics(fresh.metrics), AggregatedMetrics(memo.metrics))
+      << what;
+}
+
+std::uint64_t Metric(const SimResult& r, const std::string& name) {
+  const auto it = r.metrics.find(name);
+  return it != r.metrics.end() ? it->second : 0;
+}
+
+TEST(Fingerprint, StableAcrossRebuilds) {
+  const Application a = SmallApp("BFS");
+  const Application b = SmallApp("BFS");
+  ASSERT_EQ(a.kernels.size(), b.kernels.size());
+  for (std::size_t k = 0; k < a.kernels.size(); ++k) {
+    EXPECT_EQ(FingerprintKernel(*a.kernels[k]),
+              FingerprintKernel(*b.kernels[k]));
+  }
+  EXPECT_EQ(FingerprintApplication(a), FingerprintApplication(b));
+}
+
+TEST(Fingerprint, DistinguishesKernelsAndApps) {
+  const Application bfs = SmallApp("BFS");
+  const Application pr = SmallApp("PAGERANK");
+  EXPECT_NE(FingerprintApplication(bfs), FingerprintApplication(pr));
+  EXPECT_NE(FingerprintKernel(*bfs.kernels.front()),
+            FingerprintKernel(*pr.kernels.front()));
+}
+
+/// Two-instruction probe kernel; `addr_perturb` shifts one lane address,
+/// `regs` varies a KernelInfo field.
+KernelTrace ProbeKernel(std::uint64_t addr_perturb, std::uint32_t regs) {
+  KernelInfo info;
+  info.name = "fp_probe";
+  info.id = 7;
+  info.num_ctas = 2;
+  info.warps_per_cta = 1;
+  info.threads_per_cta = 32;
+  info.regs_per_thread = regs;
+  WarpTrace w;
+  TraceInstr ld;
+  ld.pc = 0x10;
+  ld.op = Opcode::kLdGlobal;
+  ld.dst = 3;
+  for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+    ld.addrs.push_back(0x1000 + lane * 4 + addr_perturb);
+  }
+  w.push_back(ld);
+  TraceInstr ex;
+  ex.pc = 0x18;
+  ex.op = Opcode::kExit;
+  w.push_back(ex);
+  return KernelTrace(info, {CtaTrace{{w}}});
+}
+
+TEST(Fingerprint, SensitiveToSingleInstruction) {
+  const KernelTrace base = ProbeKernel(0, 32);
+  const KernelTrace same = ProbeKernel(0, 32);
+  const KernelTrace one_addr = ProbeKernel(0x40, 32);
+  EXPECT_EQ(FingerprintKernel(base), FingerprintKernel(same));
+  EXPECT_NE(FingerprintKernel(base), FingerprintKernel(one_addr));
+}
+
+TEST(Fingerprint, SensitiveToKernelInfo) {
+  const KernelTrace base = ProbeKernel(0, 32);
+  const KernelTrace more_regs = ProbeKernel(0, 33);
+  EXPECT_NE(FingerprintKernel(base), FingerprintKernel(more_regs));
+}
+
+TEST(Fingerprint, PinnedGoldenValue) {
+  // Guards the on-disk MemoCache format: a silent fingerprint change
+  // would orphan every persisted entry. Update deliberately when the
+  // algorithm changes.
+  EXPECT_EQ(FingerprintKernel(ProbeKernel(0, 32)).ToHex(),
+            "fc61bb105012821af124ab8c06d73d7f");
+}
+
+TEST(CanonicalConfigHash, SensitiveToAnyIniField) {
+  const GpuConfig base = SmallGpu();
+  GpuConfig timing = base;
+  timing.l2.latency += 1;
+  GpuConfig knobs = base;
+  knobs.memo.convergence_epsilon *= 2;
+  EXPECT_EQ(base.CanonicalHash(), SmallGpu().CanonicalHash());
+  EXPECT_NE(base.CanonicalHash(), timing.CanonicalHash());
+  EXPECT_NE(base.CanonicalHash(), knobs.CanonicalHash());
+}
+
+TEST(GeometryHash, IgnoresTimingOnlyFields) {
+  const GpuConfig base = SmallGpu();
+  GpuConfig timing = base;
+  timing.l2.latency += 7;
+  timing.dram.latency += 2;
+  GpuConfig geometry = base;
+  geometry.l1.size_bytes *= 2;
+  EXPECT_EQ(MemProfileGeometryHash(base), MemProfileGeometryHash(timing));
+  EXPECT_NE(MemProfileGeometryHash(base), MemProfileGeometryHash(geometry));
+}
+
+TEST(MemoMemoryLevel, BitIdenticalReplay) {
+  const GpuConfig cfg = SmallGpu();
+  GpuConfig no_memo = cfg;
+  no_memo.memo.enabled = false;
+  for (const char* name : {"BFS", "PAGERANK"}) {
+    const Application app = RepeatLaunches(SmallApp(name), 6);
+    const SimResult fresh =
+        RunSimulation(app, no_memo, SimLevel::kSwiftSimMemory);
+    ClearGlobalCaches();
+    const SimResult cold =
+        RunSimulation(app, cfg, SimLevel::kSwiftSimMemory);
+    const SimResult warm =
+        RunSimulation(app, cfg, SimLevel::kSwiftSimMemory);
+    ExpectIdentical(fresh, cold, std::string(name) + " cold");
+    ExpectIdentical(fresh, warm, std::string(name) + " warm");
+    EXPECT_GT(Metric(cold, "memo.hits"), 0u) << name;
+    EXPECT_EQ(Metric(warm, "memo.misses"), 0u) << name;
+    EXPECT_GT(Metric(warm, "memo.replayed_cycles"), 0u) << name;
+  }
+}
+
+TEST(MemoMemoryLevel, ReplayAppliesToRepeatedLaunchesOnly) {
+  const GpuConfig cfg = SmallGpu();
+  const Application app = SmallApp("GEMM");  // no repeated kernels
+  ClearGlobalCaches();
+  const SimResult first =
+      RunSimulation(app, cfg, SimLevel::kSwiftSimMemory);
+  EXPECT_EQ(Metric(first, "memo.hits"), 0u);
+  EXPECT_EQ(Metric(first, "memo.misses"),
+            static_cast<std::uint64_t>(app.kernels.size()));
+}
+
+TEST(MemoBasicLevel, NoReplayWithoutConvergenceOptIn) {
+  const GpuConfig cfg = SmallGpu();
+  ClearGlobalCaches();
+  const Application app = RepeatLaunches(SmallApp("BFS"), 3);
+  const SimResult r = RunSimulation(app, cfg, SimLevel::kSwiftSimBasic);
+  // Cycle-accurate memory without the convergence opt-in: the memo layer
+  // must stay out of the run entirely.
+  EXPECT_EQ(r.metrics.count("memo.hits"), 0u);
+  EXPECT_EQ(MemoCache::Global().size(), 0u);
+}
+
+TEST(MemoDisabled, NoMemoBypassesEveryLayer) {
+  GpuConfig cfg = SmallGpu();
+  cfg.memo.enabled = false;
+  ClearGlobalCaches();
+  const Application app = RepeatLaunches(SmallApp("BFS"), 3);
+  const SimResult r =
+      RunSimulation(app, cfg, SimLevel::kSwiftSimMemory);
+  EXPECT_EQ(r.metrics.count("memo.hits"), 0u);
+  EXPECT_EQ(MemoCache::Global().size(), 0u);
+  EXPECT_EQ(ProfileCache::Global().size(), 0u);
+}
+
+TEST(MemoDetailed, ConvergenceReplayWithinEpsilon) {
+  GpuConfig cfg = SmallGpu();
+  GpuConfig conv = cfg;
+  conv.memo.detailed_convergence = true;
+  const Application app = RepeatLaunches(SmallApp("BFS"), 8);
+  const SimResult fresh = RunSimulation(app, cfg, SimLevel::kDetailed);
+  ClearGlobalCaches();
+  const SimResult replayed =
+      RunSimulation(app, conv, SimLevel::kDetailed);
+  EXPECT_GT(Metric(replayed, "memo.hits"), 0u);
+  const double dev =
+      std::abs(static_cast<double>(replayed.total_cycles) -
+               static_cast<double>(fresh.total_cycles)) /
+      static_cast<double>(fresh.total_cycles);
+  EXPECT_LE(dev, 0.01) << "replayed=" << replayed.total_cycles
+                       << " fresh=" << fresh.total_cycles;
+}
+
+TEST(MemoDetailed, ParallelDriverMatchesSerialConvergence) {
+  GpuConfig conv = SmallGpu();
+  conv.memo.detailed_convergence = true;
+  const Application app = RepeatLaunches(SmallApp("BFS"), 6);
+  ClearGlobalCaches();
+  const SimResult serial =
+      RunSimulation(app, conv, SimLevel::kDetailed);
+  for (unsigned threads : {1u, 2u}) {
+    ClearGlobalCaches();
+    ParallelDetailedOptions opt;
+    opt.num_threads = threads;
+    opt.slack = 1;
+    const SimResult par =
+        RunParallelDetailed(app, conv, SimLevel::kDetailed, opt);
+    // slack=1 is bit-identical to the serial loop, so the convergence
+    // bookkeeping sees the same cycle counts and replays the same tail.
+    EXPECT_EQ(par.total_cycles, serial.total_cycles) << threads;
+    EXPECT_EQ(par.instructions, serial.instructions) << threads;
+    EXPECT_EQ(Metric(par, "memo.hits"), Metric(serial, "memo.hits"))
+        << threads;
+  }
+}
+
+TEST(MemoCacheFile, SaveLoadRoundTrip) {
+  const GpuConfig cfg = SmallGpu();
+  const Application app = RepeatLaunches(SmallApp("PAGERANK"), 4);
+  ClearGlobalCaches();
+  const SimResult cold =
+      RunSimulation(app, cfg, SimLevel::kSwiftSimMemory);
+  ASSERT_GT(MemoCache::Global().size(), 0u);
+  const std::string path = testing::TempDir() + "memo_cache_roundtrip.txt";
+  MemoCache::Global().SaveToFile(path);
+  MemoCache::Global().Clear();
+  MemoCache::Global().LoadFromFile(path);
+  const SimResult warm =
+      RunSimulation(app, cfg, SimLevel::kSwiftSimMemory);
+  EXPECT_EQ(Metric(warm, "memo.misses"), 0u);
+  ExpectIdentical(cold, warm, "after reload");
+  std::remove(path.c_str());
+}
+
+TEST(MemoCacheFile, RejectsUnknownFormat) {
+  const std::string path = testing::TempDir() + "memo_cache_bad.txt";
+  FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not-a-memo-cache\n", f);
+  std::fclose(f);
+  MemoCache cache;
+  EXPECT_THROW(cache.LoadFromFile(path), SimError);
+  std::remove(path.c_str());
+}
+
+TEST(ProfileCache, SharedAcrossGeometryEqualConfigs) {
+  const GpuConfig base = SmallGpu();
+  GpuConfig timing = base;
+  timing.dram.latency += 4;
+  GpuConfig geometry = base;
+  geometry.l1.size_bytes *= 2;
+  const Application app = SmallApp("BFS");
+  ProfileCache cache;
+  const auto first = cache.GetOrBuild(app, base);
+  const auto same = cache.GetOrBuild(app, timing);
+  const auto other = cache.GetOrBuild(app, geometry);
+  EXPECT_FALSE(first.hit);
+  EXPECT_TRUE(same.hit);
+  EXPECT_EQ(first.profile.get(), same.profile.get());
+  EXPECT_FALSE(other.hit);
+  EXPECT_NE(first.profile.get(), other.profile.get());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+}  // namespace
+}  // namespace swiftsim

@@ -122,6 +122,86 @@ TEST(Prepass, MergeWindowTreatsBurstReuseAsMerge) {
   EXPECT_LT(r.r_l1(), 0.05);  // merges, not L1 hits
 }
 
+TEST(PcHitRates, DramRemainderNeverNegative) {
+  // Regression: with l1_hits + l2_hits == accesses, the two divisions can
+  // both round up by an ulp, making the naive 1 - r_l1 - r_l2 negative.
+  // Sweep awkward split points and check the clamped remainder.
+  bool naive_went_negative = false;
+  for (std::uint64_t accesses = 1; accesses <= 200; ++accesses) {
+    for (std::uint64_t l1 = 0; l1 <= accesses; ++l1) {
+      PcHitRates r;
+      r.accesses = accesses;
+      r.l1_hits = l1;
+      r.l2_hits = accesses - l1;
+      const double naive = 1.0 - r.r_l1() - r.r_l2();
+      if (naive < 0.0) naive_went_negative = true;
+      EXPECT_GE(r.r_dram(), 0.0)
+          << accesses << " split " << l1 << "/" << accesses - l1;
+      EXPECT_LE(r.r_dram(), 1.0);
+    }
+  }
+  // The sweep must actually exercise the rounding hazard, or this test
+  // guards nothing.
+  EXPECT_TRUE(naive_went_negative);
+}
+
+TEST(Prepass, LaunchMemoizationIsBitIdentical) {
+  // Iterative launch pattern: memoized and plain prepasses must produce
+  // identical per-PC counts, and the memo must actually replay launches.
+  const GpuConfig cfg = Rtx2080TiConfig();
+  WorkloadScale s;
+  s.scale = 0.05;
+  const Application app = RepeatLaunches(BuildWorkload("BFS", s), 6);
+  MemProfile plain;
+  CachePrepass fresh(cfg, /*memoize=*/false);
+  for (const auto& kernel : app.kernels) {
+    fresh.ProcessKernel(*kernel, &plain);
+  }
+  MemProfile memoized;
+  CachePrepass memo(cfg, /*memoize=*/true);
+  for (const auto& kernel : app.kernels) {
+    memo.ProcessKernel(*kernel, &memoized);
+  }
+  EXPECT_EQ(fresh.replayed_launches(), 0u);
+  EXPECT_GT(memo.replayed_launches(), 0u);
+  for (const auto& kernel : app.kernels) {
+    const KernelId id = kernel->info().id;
+    for (const TraceInstr& ins : kernel->cta(0).warps[0]) {
+      if (!IsGlobalMem(ins.op) || !IsLoad(ins.op)) continue;
+      const PcHitRates& a = plain.Lookup(id, ins.pc);
+      const PcHitRates& b = memoized.Lookup(id, ins.pc);
+      EXPECT_EQ(a.accesses, b.accesses) << ins.pc;
+      EXPECT_EQ(a.l1_hits, b.l1_hits) << ins.pc;
+      EXPECT_EQ(a.l2_hits, b.l2_hits) << ins.pc;
+    }
+  }
+}
+
+TEST(Prepass, ParallelDedupMatchesPerLaunchShards) {
+  // BuildMemProfileParallel computes one cold shard per distinct kernel
+  // fingerprint and merges it per occurrence; disabling the dedup (memo
+  // off) must give the same profile, for any thread count.
+  GpuConfig cfg = Rtx2080TiConfig();
+  WorkloadScale s;
+  s.scale = 0.05;
+  const Application app = RepeatLaunches(BuildWorkload("PAGERANK", s), 4);
+  GpuConfig no_memo = cfg;
+  no_memo.memo.enabled = false;
+  const MemProfile deduped = BuildMemProfileParallel(app, cfg, 2);
+  const MemProfile full = BuildMemProfileParallel(app, no_memo, 2);
+  for (const auto& kernel : app.kernels) {
+    const KernelId id = kernel->info().id;
+    for (const TraceInstr& ins : kernel->cta(0).warps[0]) {
+      if (!IsGlobalMem(ins.op) || !IsLoad(ins.op)) continue;
+      const PcHitRates& a = full.Lookup(id, ins.pc);
+      const PcHitRates& b = deduped.Lookup(id, ins.pc);
+      EXPECT_EQ(a.accesses, b.accesses) << ins.pc;
+      EXPECT_EQ(a.l1_hits, b.l1_hits) << ins.pc;
+      EXPECT_EQ(a.l2_hits, b.l2_hits) << ins.pc;
+    }
+  }
+}
+
 TEST(Prepass, DeterministicAcrossRuns) {
   const GpuConfig cfg = Rtx2080TiConfig();
   WorkloadScale s;

@@ -24,6 +24,9 @@ TEST(PerfReport, AggregatesSyntheticMetrics) {
       {"dram.0.reads", 20},       {"dram.0.writes", 5},
       {"dram.0.row_hits", 10},    {"dram.0.bytes", 3200},
       {"noc.req.bytes", 111},     {"noc.resp.bytes", 222},
+      {"driver.cycles_skipped", 400}, {"driver.skip_jumps", 4},
+      {"memo.hits", 6},           {"memo.misses", 2},
+      {"memo.replayed_cycles", 5000},
   };
   const PerfReport rep = BuildReport(r);
   EXPECT_DOUBLE_EQ(rep.ipc, 2.5);
@@ -37,6 +40,11 @@ TEST(PerfReport, AggregatesSyntheticMetrics) {
   EXPECT_DOUBLE_EQ(rep.dram_row_hit_rate, 10.0 / 25.0);
   EXPECT_EQ(rep.noc_bytes, 333u);
   EXPECT_EQ(rep.reservation_fails, 10u);
+  EXPECT_EQ(rep.cycles_skipped, 400u);
+  EXPECT_EQ(rep.skip_jumps, 4u);
+  EXPECT_EQ(rep.memo_hits, 6u);
+  EXPECT_EQ(rep.memo_misses, 2u);
+  EXPECT_EQ(rep.memo_cycles_avoided, 5000u);
   EXPECT_FALSE(rep.ToString().empty());
 }
 
