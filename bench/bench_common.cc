@@ -34,11 +34,25 @@ BenchOptions ParseOptions(int argc, char** argv, double default_scale) {
       opt.cycle_skip = false;
     } else if (arg == "--no-memo") {
       opt.memo = false;
+    } else if (StartsWith(arg, "--watchdog-cycles=")) {
+      opt.watchdog_cycles = ParseUint(arg.substr(18), "--watchdog-cycles");
+    } else if (StartsWith(arg, "--timeout-sec=")) {
+      opt.timeout_sec = ParseDouble(arg.substr(14), "--timeout-sec");
+      SS_CHECK(opt.timeout_sec >= 0, "--timeout-sec must be >= 0");
+    } else if (StartsWith(arg, "--fault-plan=")) {
+      opt.fault_plan_path = arg.substr(13);
+      SS_CHECK(!opt.fault_plan_path.empty(), "--fault-plan needs a path");
+    } else if (arg == "--degrade-on-hang") {
+      opt.degrade_on_hang = true;
+    } else if (StartsWith(arg, "--dump-dir=")) {
+      opt.dump_dir = arg.substr(11);
+      SS_CHECK(!opt.dump_dir.empty(), "--dump-dir needs a path");
     } else {
       throw SimError(
           "unknown flag '" + arg +
           "' (expected --scale=, --apps=, --threads=, --seed=, --json=, "
-          "--no-skip, --no-memo)");
+          "--no-skip, --no-memo, --watchdog-cycles=, --timeout-sec=, "
+          "--fault-plan=, --degrade-on-hang, --dump-dir=)");
     }
   }
   if (opt.threads == 0) {
@@ -61,6 +75,13 @@ std::vector<Application> BuildApps(const BenchOptions& opt) {
     apps.push_back(BuildWorkload(name, scale));
   }
   return apps;
+}
+
+void ApplyRobustness(GpuConfig* cfg, const BenchOptions& opt) {
+  cfg->watchdog.stall_cycles = opt.watchdog_cycles;
+  cfg->watchdog.wall_seconds = opt.timeout_sec;
+  if (!opt.dump_dir.empty()) cfg->watchdog.dump_dir = opt.dump_dir;
+  cfg->degrade.on_hang = opt.degrade_on_hang;
 }
 
 AppRun RunOne(const Application& app, const GpuConfig& cfg, SimLevel level) {
@@ -97,6 +118,49 @@ AppRun RunOne(const Application& app, const GpuConfig& cfg, SimLevel level) {
     run.memo_cycles_avoided = metric("memo.replayed_cycles");
     run.cycles_skipped = metric("driver.cycles_skipped");
     run.skip_jumps = metric("driver.skip_jumps");
+  }
+  return run;
+}
+
+AppRun RunOne(const Application& app, const GpuConfig& cfg, SimLevel level,
+              const BenchOptions& opt) {
+  AppRun run;
+  run.app = app.name;
+  try {
+    if (opt.fault_plan_path.empty()) {
+      run = RunOne(app, cfg, level);
+      return run;
+    }
+    // Chaos path: load the plan, apply trace-axis faults at ingestion, arm
+    // the runtime axes on the simulator's resilient driver.
+    const FaultPlan plan = FaultPlan::FromFile(opt.fault_plan_path);
+    const Application* target = &app;
+    Application faulted;
+    if (plan.AnyTrace()) {
+      faulted = InjectTraceFaults(app, plan);
+      target = &faulted;
+    }
+    Simulator sim(*target, cfg, level);
+    sim.ArmFaultPlan(&plan);
+    const SimResult r = sim.Run();
+    run.cycles = r.total_cycles;
+    run.instructions = r.instructions;
+    run.wall_seconds = r.wall_seconds;
+    run.degrade_events = r.degrades.size();
+    run.status = r.degrades.empty() ? "ok" : "degraded";
+    const auto metric = [&r](const char* name) -> std::uint64_t {
+      const auto it = r.metrics.find(name);
+      return it != r.metrics.end() ? it->second : 0;
+    };
+    run.cycles_skipped = metric("driver.cycles_skipped");
+    run.skip_jumps = metric("driver.skip_jumps");
+  } catch (const SimHangError& e) {
+    run.status =
+        e.kind() == SimHangError::Kind::kWallClock ? "timeout" : "hang";
+    run.error = e.what();
+  } catch (const SimError& e) {
+    run.status = "error";
+    run.error = e.what();
   }
   return run;
 }
@@ -143,6 +207,8 @@ JsonRun ToJsonRun(const AppRun& run, const std::string& level,
   JsonRun j;
   j.app = run.app;
   j.level = level;
+  j.status = run.status;
+  j.degrade_events = run.degrade_events;
   j.cycles = run.cycles;
   j.wall_seconds = run.wall_seconds;
   j.instrs_per_sec = run.wall_seconds > 0
@@ -173,13 +239,16 @@ void WriteRunsJson(const std::string& path, const std::string& bench,
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const JsonRun& r = runs[i];
     std::fprintf(f,
-                 "    {\"app\": \"%s\", \"level\": \"%s\", \"cycles\": %llu, "
+                 "    {\"app\": \"%s\", \"level\": \"%s\", "
+                 "\"status\": \"%s\", \"degrade_events\": %llu, "
+                 "\"cycles\": %llu, "
                  "\"wall_seconds\": %.6f, \"instrs_per_sec\": %.1f, "
                  "\"threads\": %u, \"scale\": %.4f, "
                  "\"cycles_skipped\": %llu, \"skip_jumps\": %llu, "
                  "\"memo_hits\": %llu, \"memo_misses\": %llu, "
                  "\"memo_cycles_avoided\": %llu}%s\n",
-                 r.app.c_str(), r.level.c_str(),
+                 r.app.c_str(), r.level.c_str(), r.status.c_str(),
+                 static_cast<unsigned long long>(r.degrade_events),
                  static_cast<unsigned long long>(r.cycles), r.wall_seconds,
                  r.instrs_per_sec, r.threads, opt.scale,
                  static_cast<unsigned long long>(r.cycles_skipped),

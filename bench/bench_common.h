@@ -26,15 +26,30 @@ struct BenchOptions {
   std::string json_path;          // --json=<path>: machine-readable records
   bool cycle_skip = true;         // --no-skip: disable event-calendar jumps
   bool memo = true;               // --no-memo: disable cross-launch caches
+  // Resilience knobs (DESIGN.md §11); 0/empty = off.
+  Cycle watchdog_cycles = 0;      // --watchdog-cycles=<n>: stall window
+  double timeout_sec = 0;         // --timeout-sec=<s>: per-app wall budget
+  std::string fault_plan_path;    // --fault-plan=<ini>: chaos scenario
+  bool degrade_on_hang = false;   // --degrade-on-hang: analytical fallback
+  std::string dump_dir;           // --dump-dir=<dir>: hang diagnostics
 };
 
-/// Parses --scale/--apps/--threads/--seed/--json/--no-skip/--no-memo;
-/// throws SimError on bad flags.
+/// Parses --scale/--apps/--threads/--seed/--json/--no-skip/--no-memo/
+/// --watchdog-cycles/--timeout-sec/--fault-plan/--degrade-on-hang/
+/// --dump-dir; throws SimError on bad flags.
 BenchOptions ParseOptions(int argc, char** argv, double default_scale);
+
+/// Maps the resilience knobs onto the config consumed by every driver.
+/// The wall budget is per fresh GpuModel, which the benches create per
+/// app — so --timeout-sec bounds each application run.
+void ApplyRobustness(GpuConfig* cfg, const BenchOptions& opt);
 
 /// The measured outcome of one (app, simulator-level) run.
 struct AppRun {
   std::string app;
+  std::string status = "ok";  // ok | degraded | timeout | hang | error
+  std::string error;          // what() when status is not ok/degraded
+  std::uint64_t degrade_events = 0;
   Cycle cycles = 0;
   double wall_seconds = 0;
   std::uint64_t instructions = 0;
@@ -46,8 +61,12 @@ struct AppRun {
   std::uint64_t memo_cycles_avoided = 0;  // simulated cycles replay elided
 };
 
-/// Runs one app at one level (serial).
+/// Runs one app at one level (serial). With `opt` given, arms the fault
+/// plan named by --fault-plan and converts failures into the AppRun's
+/// status/error fields instead of propagating (the batch completes).
 AppRun RunOne(const Application& app, const GpuConfig& cfg, SimLevel level);
+AppRun RunOne(const Application& app, const GpuConfig& cfg, SimLevel level,
+              const BenchOptions& opt);
 
 /// Builds every requested workload once (they are reused across levels).
 std::vector<Application> BuildApps(const BenchOptions& opt);
@@ -66,6 +85,8 @@ void PrintHeader(const std::string& experiment, const BenchOptions& opt);
 struct JsonRun {
   std::string app;
   std::string level;       // simulator level or configuration label
+  std::string status = "ok";
+  std::uint64_t degrade_events = 0;
   Cycle cycles = 0;
   double wall_seconds = 0;
   double instrs_per_sec = 0;

@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
 
   GpuConfig fresh_cfg = Rtx2080TiConfig();
   fresh_cfg.cycle_skip = opt.cycle_skip;
+  ApplyRobustness(&fresh_cfg, opt);
   fresh_cfg.memo.enabled = false;
   GpuConfig memo_cfg = fresh_cfg;
   memo_cfg.memo.enabled = true;

@@ -27,7 +27,8 @@ int main(int argc, char** argv) {
   std::printf("host hardware threads: %u\n\n",
               std::thread::hardware_concurrency());
 
-  const GpuConfig gpu = Rtx2080TiConfig();
+  GpuConfig gpu = Rtx2080TiConfig();
+  ApplyRobustness(&gpu, opt);
   const SimLevel level = SimLevel::kSwiftSimBasic;
   bool exact_everywhere = true;
   std::vector<JsonRun> records;

@@ -5,9 +5,11 @@
 #   scripts/ci.sh            # all stages
 #   scripts/ci.sh build      # tier-1 build + full ctest
 #   scripts/ci.sh tsan       # ThreadSanitizer build + tsan-labelled suites
+#   scripts/ci.sh asan       # ASan+UBSan build + chaos-labelled suites
 #   scripts/ci.sh perf       # <10 s hot-path bench smoke (perf label)
 #
-# Build trees: build/ (tier-1 + perf) and build-tsan/ (ThreadSanitizer).
+# Build trees: build/ (tier-1 + perf), build-tsan/ (ThreadSanitizer) and
+# build-asan/ (Address+UndefinedBehaviorSanitizer).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -43,6 +45,16 @@ stage_tsan() {
   ctest --test-dir build-tsan -L tsan --output-on-failure
 }
 
+stage_asan() {
+  echo "==> asan: ASan+UBSan build + chaos-labelled suites"
+  configure build-asan -DSWIFTSIM_ASAN=ON
+  cmake --build build-asan -j "$JOBS"
+  # The chaos label covers fault injection, the livelock/watchdog fixtures
+  # and the malformed-input tables — the inputs most likely to surface
+  # memory errors.
+  ctest --test-dir build-asan -L chaos --output-on-failure
+}
+
 stage_perf() {
   echo "==> perf: bench smoke (hot-path throughput + memo exactness)"
   configure build
@@ -53,7 +65,8 @@ stage_perf() {
 case "${1:-all}" in
   build) stage_build ;;
   tsan)  stage_tsan ;;
+  asan)  stage_asan ;;
   perf)  stage_perf ;;
-  all)   stage_build; stage_tsan; stage_perf ;;
-  *) echo "usage: $0 [build|tsan|perf|all]" >&2; exit 2 ;;
+  all)   stage_build; stage_tsan; stage_asan; stage_perf ;;
+  *) echo "usage: $0 [build|tsan|asan|perf|all]" >&2; exit 2 ;;
 esac

@@ -149,6 +149,8 @@ void GpuConfig::Validate() const {
            "compares consecutive launches)");
   SS_CHECK(memo.convergence_epsilon >= 0,
            "memo.convergence_epsilon must be non-negative");
+  SS_CHECK(watchdog.wall_seconds >= 0,
+           "watchdog.wall_seconds must be non-negative");
 }
 
 namespace {
@@ -298,6 +300,16 @@ GpuConfig GpuConfig::FromIni(const IniFile& ini, GpuConfig base) {
       "memo.convergence_min_repeats", c.memo.convergence_min_repeats));
   c.memo.convergence_epsilon =
       ini.GetDouble("memo.convergence_epsilon", c.memo.convergence_epsilon);
+  c.memo.max_entries = ini.GetUint("memo.max_entries", c.memo.max_entries);
+  c.memo.max_bytes = ini.GetUint("memo.max_bytes", c.memo.max_bytes);
+  c.watchdog.stall_cycles =
+      ini.GetUint("watchdog.stall_cycles", c.watchdog.stall_cycles);
+  c.watchdog.wall_seconds =
+      ini.GetDouble("watchdog.wall_seconds", c.watchdog.wall_seconds);
+  c.watchdog.dump_dir = ini.GetString("watchdog.dump_dir", c.watchdog.dump_dir);
+  c.degrade.on_hang = ini.GetBool("degrade.on_hang", c.degrade.on_hang);
+  c.degrade.max_retries = static_cast<unsigned>(
+      ini.GetUint("degrade.max_retries", c.degrade.max_retries));
   c.Validate();
   return c;
 }
@@ -359,7 +371,16 @@ std::string GpuConfig::ToIniString() const {
      << "detailed_convergence = "
      << (memo.detailed_convergence ? "true" : "false") << "\n"
      << "convergence_min_repeats = " << memo.convergence_min_repeats << "\n"
-     << "convergence_epsilon = " << memo.convergence_epsilon << "\n";
+     << "convergence_epsilon = " << memo.convergence_epsilon << "\n"
+     << "max_entries = " << memo.max_entries << "\n"
+     << "max_bytes = " << memo.max_bytes << "\n";
+  os << "[watchdog]\n"
+     << "stall_cycles = " << watchdog.stall_cycles << "\n"
+     << "wall_seconds = " << watchdog.wall_seconds << "\n"
+     << "dump_dir = " << watchdog.dump_dir << "\n";
+  os << "[degrade]\n"
+     << "on_hang = " << (degrade.on_hang ? "true" : "false") << "\n"
+     << "max_retries = " << degrade.max_retries << "\n";
   return os.str();
 }
 

@@ -133,6 +133,40 @@ struct MemoConfig {
   bool detailed_convergence = false;
   unsigned convergence_min_repeats = 3;
   double convergence_epsilon = 0.01;
+  // Eviction caps for the process-global caches (DESIGN.md §10/§11): 0 =
+  // unbounded. `max_entries` bounds both the launch-record cache and the
+  // profile cache by entry count; `max_bytes` additionally bounds the
+  // launch-record cache by its estimated footprint. Eviction prefers the
+  // least-replayed, then least-recently-used entry, so hot launch records
+  // of long sweeps survive.
+  std::uint64_t max_entries = 0;
+  std::uint64_t max_bytes = 0;
+};
+
+/// Forward-progress watchdog over the cycle-accurate drivers (DESIGN.md
+/// §11). Disabled by default; stall_cycles = 0 keeps the hot loop free of
+/// any watchdog work, preserving bit-identical pre-watchdog behavior.
+struct WatchdogConfig {
+  /// Trip when the progress signature (issued instructions + NoC/L2/DRAM
+  /// traffic counters) is unchanged for this many simulated cycles.
+  /// 0 disables the cycle watchdog. Set comfortably above the longest
+  /// legitimate silent span (a few times the DRAM latency).
+  Cycle stall_cycles = 0;
+  /// Wall-clock budget per application run in seconds; 0 disables.
+  double wall_seconds = 0;
+  /// Directory for JSON diagnostic dumps on a trip; empty = no dump file
+  /// (the typed SimHangError is raised either way).
+  std::string dump_dir;
+};
+
+/// Graceful degradation on mid-kernel failures (DESIGN.md §11).
+struct DegradeConfig {
+  /// Re-run a kernel that hung or failed at the analytical-memory level
+  /// on a fresh model, record a DegradeEvent, and continue the app.
+  bool on_hang = false;
+  /// Fresh-model retries at the original level before degrading (or
+  /// failing, when on_hang is false).
+  unsigned max_retries = 0;
 };
 
 /// Complete GPU description.
@@ -186,6 +220,12 @@ struct GpuConfig {
 
   /// Cross-launch memoization (DESIGN.md §10).
   MemoConfig memo;
+
+  /// Forward-progress watchdog (DESIGN.md §11).
+  WatchdogConfig watchdog;
+
+  /// Graceful degradation on mid-kernel failures (DESIGN.md §11).
+  DegradeConfig degrade;
 
   // Derived -------------------------------------------------------------
   unsigned warps_per_sub_core() const {

@@ -118,6 +118,10 @@ class LdstUnit {
 
   const LdstStats& stats() const { return stats_; }
 
+  // Diagnostic-dump snapshot (DESIGN.md §11).
+  CacheReject blocked_reason() const { return blocked_; }
+  std::size_t live_instrs() const { return live_count_; }
+
  private:
   static constexpr int kNil = -1;
 

@@ -137,6 +137,14 @@ class SectorCache {
   const std::string& name() const { return name_; }
   const CacheParams& params() const { return params_; }
 
+  // Occupancy snapshot for diagnostic dumps (DESIGN.md §11).
+  std::size_t mshr_occupancy() const { return mshr_.size(); }
+  std::size_t miss_queue_size() const { return miss_out_.size(); }
+  std::size_t pending_response_count() const {
+    return pending_responses_.size();
+  }
+  std::size_t ready_response_count() const { return ready_responses_.size(); }
+
  private:
   bool AccessLoad(const MemRequest& req, Cycle now, CacheReject& why);
   bool AccessStore(const MemRequest& req, Cycle now, CacheReject& why);

@@ -54,6 +54,11 @@ class DramChannel {
 
   const DramStats& stats() const { return stats_; }
 
+  // Occupancy snapshot for diagnostic dumps (DESIGN.md §11).
+  std::size_t queue_size() const { return queue_.size(); }
+  std::size_t in_service_size() const { return in_service_.size(); }
+  std::size_t ready_size() const { return ready_.size(); }
+
  private:
   struct InService {
     Cycle ready = 0;

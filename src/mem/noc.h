@@ -166,6 +166,14 @@ class XbarChannel {
 
   const NocStats& stats() const { return stats_; }
 
+  /// Total packets resident in the channel (input queues + wires +
+  /// ejection queues); occupancy snapshot for diagnostic dumps.
+  std::size_t occupancy() const {
+    std::size_t n = queued_ + in_flight_total_;
+    for (const auto& e : eject_) n += e.size();
+    return n;
+  }
+
  private:
   struct Flit {
     T pkt{};
@@ -239,6 +247,10 @@ class Interconnect {
 
   const NocStats& request_stats() const { return req_net_.stats(); }
   const NocStats& response_stats() const { return resp_net_.stats(); }
+
+  // Occupancy snapshot for diagnostic dumps (DESIGN.md §11).
+  std::size_t request_occupancy() const { return req_net_.occupancy(); }
+  std::size_t response_occupancy() const { return resp_net_.occupancy(); }
 
  private:
   XbarChannel<MemRequest> req_net_;

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <system_error>
 
 #include "common/status.h"
 
@@ -13,6 +18,8 @@ GpuModel::GpuModel(const GpuConfig& cfg, const ModelSelection& selection,
   cfg_.Validate();
   l2_drain_attempts_ =
       cfg_.l2_drain_attempts != 0 ? cfg_.l2_drain_attempts : cfg_.l2.banks;
+  wd_enabled_ =
+      cfg_.watchdog.stall_cycles != 0 || cfg_.watchdog.wall_seconds > 0;
   if (sel_.mem == MemModelKind::kAnalytical) {
     SS_CHECK(profile != nullptr,
              "analytical memory mode requires a MemProfile (run the cache "
@@ -106,6 +113,9 @@ void GpuModel::RegisterMetrics() {
 }
 
 bool GpuModel::MemQuiescent() const {
+  // Responses in fault-injection custody are still in flight: completion
+  // and cycle skipping must both wait for (or wedge on) them.
+  if (fault_ && fault_->AnyHeld()) return false;
   if (noc_ && !noc_->quiescent()) return false;
   for (const auto& l2 : l2_) {
     if (!l2->quiescent()) return false;
@@ -139,11 +149,34 @@ bool GpuModel::TickSmRange(unsigned first, unsigned last, Cycle now) {
   const bool tick_all = never_jump && !cfg_.cycle_skip;
   const bool account_skips = never_jump && cfg_.cycle_skip;
   bool progressed = false;
+  std::vector<MemResponse> due;  // fault-injection redeliveries only
   for (unsigned i = first; i < last; ++i) {
     SmCore& sm = *sms_[i];
+    ScopedSimContext::SetSm(static_cast<int>(i));
     if (mem_ca) {
+      if (fault_) {
+        // Held responses whose delay or retry expired re-enter here, in
+        // custody order, before the cycle's fresh deliveries.
+        due.clear();
+        fault_->CollectDue(sm.id(), now, &due);
+        for (const MemResponse& r : due) {
+          sm.DeliverResponse(r, now);
+          progressed = true;
+        }
+      }
       auto& resps = noc_->responses_at(sm.id());
       while (!resps.empty()) {
+        if (fault_ != nullptr) {
+          const MemResponse r = resps.front();
+          resps.pop_front();
+          if (fault_->OnResponse(sm.id(), r, now)) {
+            sm.DeliverResponse(r, now);
+          }
+          // Taking custody still changed state; count it as progress so
+          // the driver keeps ticking toward the redelivery cycle.
+          progressed = true;
+          continue;
+        }
         sm.DeliverResponse(resps.front(), now);
         resps.pop_front();
         progressed = true;
@@ -157,8 +190,11 @@ bool GpuModel::TickSmRange(unsigned first, unsigned last, Cycle now) {
     // what its retry would have seen, since only TickSharedMemory of the
     // previous cycle changes the queue-plus-port occupancy.
     if (sm.Active()) {
-      if (tick_all || sm.NextWake() <= now ||
-          (account_skips && sm.CapacityWakeDue())) {
+      if (fault_ && fault_->FreezeIssue(sm.id(), now)) {
+        // Issue frozen by the fault plan: the SM is not ticked at all.
+        // Responses above were still delivered, so a thaw resumes cleanly.
+      } else if (tick_all || sm.NextWake() <= now ||
+                 (account_skips && sm.CapacityWakeDue())) {
         progressed |= sm.Tick(now);
       } else if (account_skips) {
         // The per-cycle reference would have ticked this SM, counted a
@@ -180,21 +216,29 @@ bool GpuModel::TickSmRange(unsigned first, unsigned last, Cycle now) {
       }
     }
   }
+  ScopedSimContext::SetSm(-1);
   return progressed;
 }
 
 void GpuModel::TickSharedMemory(Cycle now) {
+  // A fault-plan backpressure storm stalls the coordinator's two drain
+  // points (SM ports → NoC, NoC → L2); the queues behind them fill and
+  // the resulting queue-full rejections propagate all the way up to the
+  // LD/ST units, exactly like a congested interconnect.
+  const bool storm = fault_ && fault_->StormActive(now);
   // SM ports drain into the request network in SM order, stopping per SM
   // on the first rejection — identical arbitration to the serial drain.
   // Entries stamped in the future (slack > 1) wait for their cycle.
-  for (unsigned s = 0; s < sm_ports_.size(); ++s) {
-    SpscQueue<SmMemPort::Stamped>& q = sm_ports_[s]->q;
-    while (const SmMemPort::Stamped* e = q.Front()) {
-      if (e->cycle > now) break;
-      const unsigned p = addrmap_->PartitionOf(e->req.line_addr);
-      if (!noc_->InjectRequest(s, p, e->req)) break;
-      q.Pop();
-      sm_ports_[s]->pending.fetch_sub(1, std::memory_order_release);
+  if (!storm) {
+    for (unsigned s = 0; s < sm_ports_.size(); ++s) {
+      SpscQueue<SmMemPort::Stamped>& q = sm_ports_[s]->q;
+      while (const SmMemPort::Stamped* e = q.Front()) {
+        if (e->cycle > now) break;
+        const unsigned p = addrmap_->PartitionOf(e->req.line_addr);
+        if (!noc_->InjectRequest(s, p, e->req)) break;
+        q.Pop();
+        sm_ports_[s]->pending.fetch_sub(1, std::memory_order_release);
+      }
     }
   }
   noc_->Tick(now);
@@ -203,7 +247,7 @@ void GpuModel::TickSharedMemory(Cycle now) {
     l2.BeginCycle(now);
     // Ejected requests into the L2 slice (its banks limit throughput).
     auto& rq = noc_->requests_at(p);
-    unsigned attempts = l2_drain_attempts_;
+    unsigned attempts = storm ? 0 : l2_drain_attempts_;
     while (!rq.empty() && attempts-- > 0) {
       if (!l2.Access(rq.front(), now)) break;
       rq.pop_front();
@@ -231,6 +275,7 @@ void GpuModel::TickSharedMemory(Cycle now) {
 
 void GpuModel::BeginKernel(const KernelTrace& kernel) {
   const KernelInfo& info = kernel.info();
+  current_kernel_ = &kernel;
   SS_CHECK(sms_[0]->allocator().Feasible(info),
            "kernel '" + info.name + "' cannot fit on an SM of " + cfg_.name);
   if (sel_.silicon_effects) now_ += cfg_.effects.kernel_launch_overhead;
@@ -238,6 +283,20 @@ void GpuModel::BeginKernel(const KernelTrace& kernel) {
       std::min<unsigned>(cfg_.num_sms, info.num_ctas);
   for (auto& sm : sms_) sm->OnKernelStart(active_sms);
   scheduler_.StartKernel(&kernel);
+  if (wd_enabled_) {
+    // Re-arm the stall window per kernel and start the wall budget at the
+    // model's first launch (the budget covers the whole application run).
+    wd_last_sig_ = ProgressSignature();
+    wd_next_check_ = now_ + cfg_.watchdog.stall_cycles;
+    if (!wall_armed_ && cfg_.watchdog.wall_seconds > 0) {
+      wall_armed_ = true;
+      wall_deadline_ = std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(
+                               cfg_.watchdog.wall_seconds));
+    }
+  }
 }
 
 Cycle GpuModel::MinNextWake() const {
@@ -257,6 +316,12 @@ Cycle GpuModel::MemNextEventAfter(Cycle now) const {
     if (port->pending.load(std::memory_order_acquire) != 0) return now + 1;
   }
   Cycle ev = noc_->NextEventAfter(now);
+  if (fault_) {
+    // Held responses redeliver at their due cycle; a never-due hold
+    // contributes no event, deliberately wedging the calendar so the
+    // watchdog (or the wedge check) trips instead of skipping past it.
+    ev = std::min(ev, fault_->NextDueAfter(now));
+  }
   for (const auto& l2 : l2_) {
     if (ev <= now + 1) return now + 1;
     ev = std::min(ev, l2->NextEventAfter(now));
@@ -295,6 +360,7 @@ void GpuModel::FastForward(Cycle skipped) {
 
 Cycle GpuModel::RunKernel(const KernelTrace& kernel) {
   const Cycle start = now_;
+  ScopedSimContext ctx(kernel.info().name.c_str(), &now_);
   BeginKernel(kernel);
 
   const bool mem_ca = sel_.mem == MemModelKind::kCycleAccurate;
@@ -309,6 +375,7 @@ Cycle GpuModel::RunKernel(const KernelTrace& kernel) {
       TickSharedMemory(now_);
       mem_busy = !MemQuiescent();
     }
+    if (wd_enabled_) WatchdogPoll(now_);
     if (skip) {
       // Event-calendar cycle skipping (DESIGN.md §9): on a no-progress
       // cycle, jump straight to the earliest SM or memory-system event.
@@ -325,8 +392,7 @@ Cycle GpuModel::RunKernel(const KernelTrace& kernel) {
         }
         Cycle wake = MinNextWake();
         if (mem_ca) wake = std::min(wake, MemNextEventAfter(now_));
-        SS_CHECK(wake != kNever,
-                 "simulation wedged: no progress and no future events");
+        if (wake == kNever) ThrowWedged(now_);
         if (wake > now_ + 1) {
           FastForward(wake - now_ - 1);
           now_ = wake;
@@ -344,8 +410,7 @@ Cycle GpuModel::RunKernel(const KernelTrace& kernel) {
     // event, so jumping there is exact, not an approximation.
     const Cycle wake = MinNextWake();
     if (wake == kNever) {
-      SS_CHECK(KernelDone(),
-               "simulation wedged: no progress and no future events");
+      if (!KernelDone()) ThrowWedged(now_);
       break;
     }
     now_ = std::max(now_ + 1, wake);
@@ -380,6 +445,158 @@ std::uint64_t GpuModel::TotalIssuedInstrs() const {
   std::uint64_t sum = 0;
   for (const auto& sm : sms_) sum += sm->stats().issued_instrs;
   return sum;
+}
+
+std::uint64_t GpuModel::ProgressSignature() const {
+  // Any forward progress moves at least one of these monotone counters:
+  // instruction retirement on an SM, traffic entering either NoC network,
+  // L2 activity (accesses or fills) or DRAM service. A frozen sum across a
+  // full watchdog window therefore means the machine is spinning without
+  // retiring or draining anything — livelock.
+  std::uint64_t sig = TotalIssuedInstrs();
+  if (noc_) {
+    sig += noc_->request_stats().injected + noc_->response_stats().injected;
+    for (const auto& l2 : l2_) sig += l2->stats().accesses + l2->stats().fills;
+    for (const auto& ch : dram_) sig += ch->stats().reads + ch->stats().writes;
+  }
+  return sig;
+}
+
+void GpuModel::WatchdogPoll(Cycle now) {
+  if (cfg_.watchdog.stall_cycles != 0 && now >= wd_next_check_) {
+    const std::uint64_t sig = ProgressSignature();
+    if (sig == wd_last_sig_ && !KernelDone()) {
+      const std::string dump = WriteDiagnosticDump("no_forward_progress", now);
+      std::ostringstream msg;
+      msg << "watchdog: no forward progress for "
+          << cfg_.watchdog.stall_cycles << " cycles";
+      if (current_kernel_) {
+        msg << " in kernel '" << current_kernel_->info().name << "'";
+      }
+      msg << " at cycle " << now;
+      if (!dump.empty()) msg << " (diagnostic dump: " << dump << ")";
+      throw SimHangError(SimHangError::Kind::kNoProgress, msg.str(), dump);
+    }
+    wd_last_sig_ = sig;
+    wd_next_check_ = now + cfg_.watchdog.stall_cycles;
+  }
+  if (wall_armed_ && (++wd_poll_count_ & 0xFFFu) == 0 &&
+      std::chrono::steady_clock::now() > wall_deadline_) {
+    const std::string dump = WriteDiagnosticDump("wall_clock_budget", now);
+    std::ostringstream msg;
+    msg << "watchdog: wall-clock budget of " << cfg_.watchdog.wall_seconds
+        << "s expired";
+    if (current_kernel_) {
+      msg << " in kernel '" << current_kernel_->info().name << "'";
+    }
+    msg << " at cycle " << now;
+    if (!dump.empty()) msg << " (diagnostic dump: " << dump << ")";
+    throw SimHangError(SimHangError::Kind::kWallClock, msg.str(), dump);
+  }
+}
+
+void GpuModel::ThrowWedged(Cycle now) {
+  const std::string dump = WriteDiagnosticDump("wedged", now);
+  std::ostringstream msg;
+  msg << "simulation wedged: no progress and no future events";
+  if (current_kernel_) {
+    msg << " in kernel '" << current_kernel_->info().name << "'";
+  }
+  msg << " at cycle " << now;
+  if (!dump.empty()) msg << " (diagnostic dump: " << dump << ")";
+  throw SimHangError(SimHangError::Kind::kWedged, msg.str(), dump);
+}
+
+std::string GpuModel::WriteDiagnosticDump(const std::string& reason,
+                                          Cycle now) const {
+  if (cfg_.watchdog.dump_dir.empty()) return "";
+  std::error_code ec;
+  std::filesystem::create_directories(cfg_.watchdog.dump_dir, ec);
+  if (ec) return "";
+  // One dump per (kernel, cycle) is unique within a run; the reason keeps
+  // files self-describing when a directory collects several.
+  std::ostringstream fname;
+  fname << "hang_" << reason << "_cycle" << now << ".json";
+  const std::filesystem::path path =
+      std::filesystem::path(cfg_.watchdog.dump_dir) / fname.str();
+  std::ofstream os(path);
+  if (!os) return "";
+
+  // Pick the first SM with a named blocking resource as the headline
+  // "stalled" entry so triage starts from a concrete (sm, warp, resource).
+  int stalled_sm = -1;
+  SmCore::StallInfo stalled{};
+  for (const auto& sm : sms_) {
+    if (!sm->Active()) continue;
+    const SmCore::StallInfo info = sm->DescribeStall();
+    if (std::string_view(info.resource) != "none") {
+      stalled_sm = static_cast<int>(sm->id());
+      stalled = info;
+      break;
+    }
+  }
+
+  os << "{\n  \"reason\": \"" << reason << "\",\n";
+  os << "  \"kernel\": \""
+     << (current_kernel_ ? current_kernel_->info().name : "") << "\",\n";
+  os << "  \"cycle\": " << now << ",\n";
+  os << "  \"stalled\": {\"sm\": " << stalled_sm
+     << ", \"warp\": " << stalled.warp << ", \"resource\": \""
+     << stalled.resource << "\"},\n";
+
+  const Cycle sm_wake = MinNextWake();
+  const Cycle mem_wake = MemNextEventAfter(now);
+  os << "  \"next_wake\": {\"sm\": "
+     << (sm_wake == kNever ? -1 : static_cast<long long>(sm_wake))
+     << ", \"mem\": "
+     << (mem_wake == kNever ? -1 : static_cast<long long>(mem_wake))
+     << "},\n";
+
+  os << "  \"sms\": [";
+  bool first = true;
+  for (const auto& sm : sms_) {
+    if (!sm->Active()) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\n    ";
+    sm->DumpState(os);
+  }
+  os << "\n  ],\n";
+
+  os << "  \"mem\": {";
+  if (noc_) {
+    os << "\n    \"noc\": {\"request_occupancy\": "
+       << noc_->request_occupancy()
+       << ", \"response_occupancy\": " << noc_->response_occupancy() << "},";
+    os << "\n    \"l2\": [";
+    for (std::size_t i = 0; i < l2_.size(); ++i) {
+      if (i) os << ", ";
+      os << "{\"mshr\": " << l2_[i]->mshr_occupancy()
+         << ", \"miss_queue\": " << l2_[i]->miss_queue_size()
+         << ", \"pending_responses\": " << l2_[i]->pending_response_count()
+         << ", \"ready_responses\": " << l2_[i]->ready_response_count()
+         << "}";
+    }
+    os << "],";
+    os << "\n    \"dram\": [";
+    for (std::size_t i = 0; i < dram_.size(); ++i) {
+      if (i) os << ", ";
+      os << "{\"queued\": " << dram_[i]->queue_size()
+         << ", \"in_service\": " << dram_[i]->in_service_size()
+         << ", \"ready\": " << dram_[i]->ready_size() << "}";
+    }
+    os << "],";
+    os << "\n    \"sm_ports_pending\": [";
+    for (std::size_t i = 0; i < sm_ports_.size(); ++i) {
+      if (i) os << ", ";
+      os << sm_ports_[i]->pending.load(std::memory_order_acquire);
+    }
+    os << "]\n  ";
+  }
+  os << "},\n";
+  os << "  \"faults_held\": " << (fault_ && fault_->AnyHeld() ? "true" : "false")
+     << "\n}\n";
+  return path.string();
 }
 
 std::uint64_t GpuModel::TotalReservationFails() const {

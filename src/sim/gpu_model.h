@@ -5,6 +5,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -20,6 +21,7 @@
 #include "mem/dram.h"
 #include "mem/noc.h"
 #include "sim/block_scheduler.h"
+#include "sim/fault_hooks.h"
 #include "sim/metrics.h"
 #include "sim/model_select.h"
 #include "sim/sm.h"
@@ -33,6 +35,14 @@ struct KernelResult {
   std::uint64_t instructions = 0;
 };
 
+/// One graceful-degradation fallback (DESIGN.md §11): a kernel that hung or
+/// failed under the detailed model and was re-run analytically.
+struct DegradeEvent {
+  std::string kernel;
+  std::string reason;     // what() of the error that triggered the fallback
+  std::string dump_path;  // diagnostic dump, "" when none was written
+};
+
 struct SimResult {
   std::string app;
   std::string simulator;
@@ -40,6 +50,7 @@ struct SimResult {
   std::uint64_t instructions = 0;
   double wall_seconds = 0;
   std::vector<KernelResult> kernels;
+  std::vector<DegradeEvent> degrades;
   std::map<std::string, std::uint64_t> metrics;
 };
 
@@ -122,6 +133,38 @@ class GpuModel {
   /// state that persists across kernels (launch overhead, totals) agrees.
   void SyncClock(Cycle now) { now_ = now; }
 
+  // --- Resilience (DESIGN.md §11) -----------------------------------------
+
+  /// Arms fault injection at the module hand-off seams (response delivery,
+  /// issue, shared-memory drain). `hooks` must outlive the model; nullptr
+  /// disarms. Unarmed runs take exactly one null test per guarded site.
+  void ArmFaults(FaultHooks* hooks) { fault_ = hooks; }
+
+  /// True when any watchdog dimension (stall window or wall budget) is on.
+  bool WatchdogEnabled() const { return wd_enabled_; }
+
+  /// One watchdog observation at simulated cycle `now`. Call after the
+  /// cycle's ticks so a jump landing's progress is already visible. Throws
+  /// SimHangError (after writing a diagnostic dump) when the progress
+  /// signature froze for a full window or the wall budget expired. Pure
+  /// observation otherwise — never perturbs simulated state.
+  void WatchdogPoll(Cycle now);
+
+  /// Raises the typed wedge error (no progress and no future calendar
+  /// events) with a diagnostic dump; replaces the old bare SS_CHECK so
+  /// hung drivers fail with actionable state.
+  [[noreturn]] void ThrowWedged(Cycle now);
+
+  /// Writes the JSON diagnostic dump (per-SM warp/scoreboard/LD-ST state,
+  /// memory occupancies, wake calendar) to cfg.watchdog.dump_dir. Returns
+  /// the file path, or "" when no dump directory is configured or the
+  /// write failed.
+  std::string WriteDiagnosticDump(const std::string& reason, Cycle now) const;
+
+  /// Monotone counter folding issued instructions and memory-system
+  /// traffic; frozen signature across a watchdog window means livelock.
+  std::uint64_t ProgressSignature() const;
+
  private:
   /// One SM's outbound memory port: requests stamped with their issue
   /// cycle, produced by the SM's shard thread and consumed by the memory
@@ -165,6 +208,16 @@ class GpuModel {
   MetricsGatherer gatherer_;
   SkipStats skip_;
   unsigned l2_drain_attempts_ = 0;  // resolved from cfg (0 = l2.banks)
+
+  // Resilience state (DESIGN.md §11). All driver-thread-only.
+  FaultHooks* fault_ = nullptr;              // non-owning; nullptr = off
+  const KernelTrace* current_kernel_ = nullptr;
+  bool wd_enabled_ = false;
+  Cycle wd_next_check_ = 0;
+  std::uint64_t wd_last_sig_ = 0;
+  unsigned wd_poll_count_ = 0;               // amortizes wall-clock reads
+  bool wall_armed_ = false;
+  std::chrono::steady_clock::time_point wall_deadline_{};
 
   Cycle now_ = 0;
 };

@@ -1,6 +1,8 @@
 #include "sim/sm.h"
 
 #include <algorithm>
+#include <ostream>
+#include <string_view>
 
 #include "common/bitutil.h"
 #include "common/status.h"
@@ -616,6 +618,102 @@ void SmCore::DeliverResponse(const MemResponse& resp, Cycle now) {
   // per-cycle reference delivers before ticking, so wake immediately
   // rather than when the fill's latency-pipe responses land.
   ForceWake();
+}
+
+namespace {
+
+const char* RejectName(CacheReject r) {
+  switch (r) {
+    case CacheReject::kNone:
+      return "none";
+    case CacheReject::kBank:
+      return "l1.bank";
+    case CacheReject::kResFail:
+      return "l1.reservation";
+    case CacheReject::kMshrFull:
+      return "l1.mshr";
+    case CacheReject::kOutFull:
+      return "l1.miss_queue";
+  }
+  return "?";
+}
+
+// kNever would print as 2^64-1; dumps use -1 for "no scheduled wake".
+long long JsonWake(Cycle wake) {
+  return wake == kNever ? -1 : static_cast<long long>(wake);
+}
+
+}  // namespace
+
+SmCore::StallInfo SmCore::DescribeStall() const {
+  StallInfo info;
+  // A capacity-blocked LD/ST unit gates every memory instruction behind
+  // it; name it first.
+  for (const SubCore& sc : subcores_) {
+    if (sc.ldst && sc.ldst->CapacityBlocked()) {
+      info.resource = RejectName(sc.ldst->blocked_reason());
+      break;
+    }
+  }
+  for (unsigned slot = 0; slot < warps_.size(); ++slot) {
+    const WarpContext& w = warps_[slot];
+    if (!w.valid || w.done) continue;
+    if (info.warp < 0) info.warp = static_cast<int>(slot);
+    const char* blocker = nullptr;
+    if (w.at_barrier) {
+      blocker = "barrier";
+    } else if (scoreboard_.PendingCount(slot) > 0) {
+      // Typically an outstanding memory response that never arrived.
+      blocker = "scoreboard";
+    }
+    if (blocker != nullptr) {
+      info.warp = static_cast<int>(slot);
+      if (std::string_view(info.resource) == "none") info.resource = blocker;
+      break;
+    }
+  }
+  if (info.warp >= 0 && std::string_view(info.resource) == "none") {
+    info.resource = "issue";
+  }
+  return info;
+}
+
+void SmCore::DumpState(std::ostream& os) const {
+  const StallInfo stall = DescribeStall();
+  os << "{\"sm\": " << id_ << ", \"resident_warps\": " << resident_warps_
+     << ", \"next_wake\": " << JsonWake(next_wake_)
+     << ", \"stall\": {\"warp\": " << stall.warp << ", \"resource\": \""
+     << stall.resource << "\"}, \"warps\": [";
+  bool first = true;
+  for (unsigned slot = 0; slot < warps_.size(); ++slot) {
+    const WarpContext& w = warps_[slot];
+    if (!w.valid) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"slot\": " << slot << ", \"cta\": " << w.cta_slot
+       << ", \"next_instr\": " << w.next_instr << ", \"trace_len\": "
+       << (w.trace ? w.trace->size() : 0)
+       << ", \"at_barrier\": " << (w.at_barrier ? "true" : "false")
+       << ", \"done\": " << (w.done ? "true" : "false")
+       << ", \"sb_pending\": " << scoreboard_.PendingCount(slot) << "}";
+  }
+  os << "], \"ldst\": [";
+  first = true;
+  for (const SubCore& sc : subcores_) {
+    if (!sc.ldst) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"blocked\": \"" << RejectName(sc.ldst->blocked_reason())
+       << "\", \"live\": " << sc.ldst->live_instrs() << "}";
+  }
+  os << "]";
+  if (l1_) {
+    os << ", \"l1\": {\"mshr\": " << l1_->mshr_occupancy()
+       << ", \"miss_queue\": " << l1_->miss_queue_size()
+       << ", \"pending_responses\": " << l1_->pending_response_count()
+       << ", \"ready_responses\": " << l1_->ready_response_count() << "}";
+  }
+  os << "}";
 }
 
 }  // namespace swiftsim

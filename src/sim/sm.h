@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <queue>
@@ -131,6 +132,23 @@ class SmCore {
   }
   const CtaAllocator& allocator() const { return allocator_; }
   SmId id() const { return id_; }
+
+  // --- Diagnostics (DESIGN.md §11) ----------------------------------------
+  /// Why this SM is not retiring work, as a (warp, resource) pair for the
+  /// hang diagnostic dump. Capacity-blocked LD/ST units take precedence
+  /// (they gate the whole memory pipe); otherwise the first live warp's
+  /// blocker is named: barrier wait, scoreboard hazard (typically an
+  /// outstanding memory response), or plain issue contention.
+  struct StallInfo {
+    int warp = -1;                  // stalled warp slot, -1 when idle
+    const char* resource = "none";  // blocking-resource heuristic
+  };
+  StallInfo DescribeStall() const;
+
+  /// Writes this SM's state as one JSON object: per-warp positions and
+  /// hazards, LD/ST occupancy and block reasons, L1 MSHR/queue occupancy,
+  /// and the wake-calendar entry.
+  void DumpState(std::ostream& os) const;
 
  private:
   struct ResidentCta {

@@ -4,15 +4,50 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 #include "common/status.h"
 
 namespace swiftsim {
 
-std::optional<LaunchRecord> MemoCache::TryReplay(const MemoKey& key) const {
+std::uint64_t MemoCache::ApproxBytes(const MemoKey& /*key*/,
+                                     const Entry& entry) {
+  std::uint64_t bytes = sizeof(MemoKey) + sizeof(Entry);
+  for (const auto& [name, value] : entry.rec.metric_deltas) {
+    bytes += name.size() + sizeof(value) + sizeof(std::string);
+  }
+  return bytes;
+}
+
+void MemoCache::EnforceLimitsLocked() {
+  const auto over = [&] {
+    return (max_entries_ != 0 && entries_.size() > max_entries_) ||
+           (max_bytes_ != 0 && total_bytes_ > max_bytes_);
+  };
+  while (over() && !entries_.empty()) {
+    // Victim: fewest replays, then least recently used. A frequently
+    // replayed entry saves a full simulation every hit; a never-hit entry
+    // only occupies memory.
+    auto victim = entries_.begin();
+    for (auto it = std::next(entries_.begin()); it != entries_.end(); ++it) {
+      if (it->second.replays < victim->second.replays ||
+          (it->second.replays == victim->second.replays &&
+           it->second.last_use < victim->second.last_use)) {
+        victim = it;
+      }
+    }
+    total_bytes_ -= victim->second.approx_bytes;
+    entries_.erase(victim);
+    ++evictions_;
+  }
+}
+
+std::optional<LaunchRecord> MemoCache::TryReplay(const MemoKey& key) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(key);
   if (it == entries_.end() || !it->second.ready) return std::nullopt;
+  ++it->second.replays;
+  it->second.last_use = ++use_clock_;
   return it->second.rec;
 }
 
@@ -21,11 +56,22 @@ void MemoCache::RecordLaunch(const MemoKey& key, LaunchRecord rec,
                              double epsilon) {
   std::lock_guard<std::mutex> lock(mu_);
   Entry& e = entries_[key];
-  if (e.ready) return;  // already promoted (e.g. a racing driver)
+  total_bytes_ -= e.approx_bytes;
+  e.last_use = ++use_clock_;
+  const auto finish = [&] {
+    e.approx_bytes = ApproxBytes(key, e);
+    total_bytes_ += e.approx_bytes;
+    EnforceLimitsLocked();
+  };
+  if (e.ready) {  // already promoted (e.g. a racing driver)
+    finish();
+    return;
+  }
   ++e.simulated;
   if (exact) {
     e.rec = std::move(rec);
     e.ready = true;
+    finish();
     return;
   }
   // Convergence mode: promote once the last two simulated launches agree
@@ -41,6 +87,14 @@ void MemoCache::RecordLaunch(const MemoKey& key, LaunchRecord rec,
     e.rec = std::move(rec);
     e.ready = true;
   }
+  finish();
+}
+
+void MemoCache::SetLimits(std::uint64_t max_entries, std::uint64_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_entries_ = max_entries;
+  max_bytes_ = max_bytes;
+  EnforceLimitsLocked();
 }
 
 std::size_t MemoCache::size() const {
@@ -48,9 +102,20 @@ std::size_t MemoCache::size() const {
   return entries_.size();
 }
 
+std::uint64_t MemoCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+std::uint64_t MemoCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
 void MemoCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+  total_bytes_ = 0;
 }
 
 namespace {
@@ -103,8 +168,12 @@ void MemoCache::LoadFromFile(const std::string& path) {
                "truncated memo cache file '" + path + "'");
       entry.rec.metric_deltas.emplace_back(std::move(name), value);
     }
-    entries_.emplace(key, std::move(entry));  // existing entries win
+    entry.approx_bytes = ApproxBytes(key, entry);
+    const auto [it, inserted] =
+        entries_.emplace(key, std::move(entry));  // existing entries win
+    if (inserted) total_bytes_ += it->second.approx_bytes;
   }
+  EnforceLimitsLocked();
 }
 
 MemoCache& MemoCache::Global() {
@@ -127,7 +196,8 @@ ProfileCache::Fetch ProfileCache::GetOrBuild(const Application& app,
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++hits_;
-      fetch.profile = it->second;
+      it->second.last_use = ++use_clock_;
+      fetch.profile = it->second.profile;
       fetch.hit = true;
     }
   }
@@ -139,9 +209,12 @@ ProfileCache::Fetch ProfileCache::GetOrBuild(const Application& app,
         parallel_builder ? BuildMemProfileParallel(app, cfg, num_threads)
                          : BuildMemProfile(app, cfg));
     std::lock_guard<std::mutex> lock(mu_);
-    const auto [it, inserted] = entries_.emplace(key, std::move(built));
+    const auto [it, inserted] = entries_.emplace(key, Slot{});
+    if (inserted) it->second.profile = std::move(built);
+    it->second.last_use = ++use_clock_;
     ++misses_;
-    fetch.profile = it->second;
+    fetch.profile = it->second.profile;
+    EnforceLimitLocked();
   }
   const auto t1 = std::chrono::steady_clock::now();
   fetch.seconds = std::chrono::duration<double>(t1 - t0).count();
@@ -161,6 +234,28 @@ std::uint64_t ProfileCache::hits() const {
 std::uint64_t ProfileCache::misses() const {
   std::lock_guard<std::mutex> lock(mu_);
   return misses_;
+}
+
+std::uint64_t ProfileCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+void ProfileCache::SetMaxEntries(std::uint64_t max_entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_entries_ = max_entries;
+  EnforceLimitLocked();
+}
+
+void ProfileCache::EnforceLimitLocked() {
+  while (max_entries_ != 0 && entries_.size() > max_entries_) {
+    auto victim = entries_.begin();
+    for (auto it = std::next(entries_.begin()); it != entries_.end(); ++it) {
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    }
+    entries_.erase(victim);  // shared_ptr keeps in-use profiles alive
+    ++evictions_;
+  }
 }
 
 void ProfileCache::Clear() {
@@ -183,6 +278,8 @@ bool MemoReplayApplicable(const GpuConfig& cfg, SimLevel level) {
 SimResult RunApplicationMemo(const Application& app, const GpuConfig& cfg,
                              SimLevel level, const MemProfile* profile,
                              MemoCache& cache) {
+  cache.SetLimits(cfg.memo.max_entries, cfg.memo.max_bytes);
+  const std::uint64_t evictions_before = cache.evictions();
   GpuModel model(cfg, SelectionFor(level), profile);
 
   struct {
@@ -266,6 +363,9 @@ SimResult RunApplicationMemo(const Application& app, const GpuConfig& cfg,
   for (const auto& [name, value] : replayed_deltas) {
     result.metrics[name] += value;
   }
+  // Eviction telemetry as a per-run delta: the cache is process-global,
+  // so absolute counts would leak earlier runs into this result.
+  result.metrics["memo.evictions"] = cache.evictions() - evictions_before;
   return result;
 }
 

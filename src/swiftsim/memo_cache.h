@@ -71,8 +71,9 @@ struct LaunchRecord {
 
 class MemoCache {
  public:
-  /// Returns the recorded launch if the entry is replay-ready.
-  std::optional<LaunchRecord> TryReplay(const MemoKey& key) const;
+  /// Returns the recorded launch if the entry is replay-ready. Bumps the
+  /// entry's replay count and recency (eviction inputs).
+  std::optional<LaunchRecord> TryReplay(const MemoKey& key);
 
   /// Records one simulated launch. `exact` entries become replayable
   /// immediately; otherwise convergence bookkeeping promotes the entry
@@ -81,7 +82,16 @@ class MemoCache {
   void RecordLaunch(const MemoKey& key, LaunchRecord rec, bool exact,
                     unsigned min_repeats, double epsilon);
 
+  /// Caps the cache (cfg.memo.max_entries / max_bytes; 0 = unbounded).
+  /// When either cap is exceeded after an insert, entries are evicted
+  /// least-replayed first (ties: least recently used) — an entry that
+  /// replays often keeps paying for its slot, a recorded-but-never-hit
+  /// entry is the first to go. Applies immediately to current contents.
+  void SetLimits(std::uint64_t max_entries, std::uint64_t max_bytes);
+
   std::size_t size() const;
+  std::uint64_t bytes() const;
+  std::uint64_t evictions() const;
   void Clear();
 
   /// Versioned plain-text persistence for cross-run reuse (DSE sweeps
@@ -100,10 +110,23 @@ class MemoCache {
     std::uint64_t simulated = 0;
     Cycle prev_cycles = 0;
     bool ready = false;
+    // Eviction inputs (SetLimits): replay frequency, recency, footprint.
+    std::uint64_t replays = 0;
+    std::uint64_t last_use = 0;
+    std::uint64_t approx_bytes = 0;
   };
+
+  static std::uint64_t ApproxBytes(const MemoKey& key, const Entry& entry);
+  /// Evicts until both caps hold. Caller holds mu_.
+  void EnforceLimitsLocked();
 
   mutable std::mutex mu_;
   std::map<MemoKey, Entry> entries_;
+  std::uint64_t max_entries_ = 0;  // 0 = unbounded
+  std::uint64_t max_bytes_ = 0;    // 0 = unbounded
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t use_clock_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 class ProfileCache {
@@ -121,9 +144,14 @@ class ProfileCache {
   Fetch GetOrBuild(const Application& app, const GpuConfig& cfg,
                    bool parallel_builder = false, unsigned num_threads = 1);
 
+  /// Caps the number of cached profiles (0 = unbounded); evicts least
+  /// recently used. Shared pointers keep in-use profiles alive regardless.
+  void SetMaxEntries(std::uint64_t max_entries);
+
   std::size_t size() const;
   std::uint64_t hits() const;
   std::uint64_t misses() const;
+  std::uint64_t evictions() const;
   void Clear();
 
   static ProfileCache& Global();
@@ -141,10 +169,20 @@ class ProfileCache {
     }
   };
 
+  struct Slot {
+    std::shared_ptr<const MemProfile> profile;
+    std::uint64_t last_use = 0;
+  };
+
+  void EnforceLimitLocked();
+
   mutable std::mutex mu_;
-  std::map<Key, std::shared_ptr<const MemProfile>> entries_;
+  std::map<Key, Slot> entries_;
+  std::uint64_t max_entries_ = 0;  // 0 = unbounded
+  std::uint64_t use_clock_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 /// True when launch replay may be consulted at `level` under `cfg`:

@@ -35,12 +35,17 @@ SimResult RunParallelDetailed(const Application& app, const GpuConfig& cfg,
 
   const auto t0 = std::chrono::steady_clock::now();
   GpuModel model(cfg, sel);
+  if (opt.fault != nullptr) model.ArmFaults(opt.fault);
 
   // Cross-launch memoization (DESIGN.md §10). This driver is cycle-
   // accurate, so replay is only ever approximate and requires the
-  // convergence-mode opt-in on top of memo.enabled.
-  const bool memo_on = cfg.memo.enabled && cfg.memo.detailed_convergence;
+  // convergence-mode opt-in on top of memo.enabled. Fault injection
+  // disables replay: a replayed launch would dodge the armed plan.
+  const bool memo_on = cfg.memo.enabled && cfg.memo.detailed_convergence &&
+                       opt.fault == nullptr;
   MemoCache& memo_cache = MemoCache::Global();
+  if (memo_on) memo_cache.SetLimits(cfg.memo.max_entries, cfg.memo.max_bytes);
+  const std::uint64_t evictions_before = memo_cache.evictions();
   struct {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -179,6 +184,10 @@ SimResult RunParallelDetailed(const Application& app, const GpuConfig& cfg,
       for (unsigned char p : shard_progress) progressed |= p != 0;
       for (Cycle w = 0; w < slack; ++w) model.TickSharedMemory(now + w);
       const bool mem_busy = !model.MemQuiescent();
+      // Watchdog observation once per window, after the ticks (so a jump
+      // landing's progress is already visible). Throws through the capture
+      // path below; shards then drain via `done`.
+      if (model.WatchdogEnabled()) model.WatchdogPoll(now + slack - 1);
       if (skip && !progressed) {
         // Event-calendar cycle skipping, exactly as in the serial loop:
         // jump over the no-op span beyond this window. The last ticked
@@ -193,8 +202,7 @@ SimResult RunParallelDetailed(const Application& app, const GpuConfig& cfg,
         } else {
           Cycle wake = model.MinNextWake();
           wake = std::min(wake, model.MemNextEventAfter(now + slack - 1));
-          SS_CHECK(wake != kNever,
-                   "simulation wedged: no progress and no future events");
+          if (wake == kNever) model.ThrowWedged(now + slack - 1);
           if (wake > now + slack) {
             model.FastForward(wake - (now + slack));
             now = wake;
@@ -209,8 +217,7 @@ SimResult RunParallelDetailed(const Application& app, const GpuConfig& cfg,
         // change before the earliest future SM event.
         const Cycle wake = model.MinNextWake();
         if (wake == kNever) {
-          SS_CHECK(model.KernelDone(),
-                   "simulation wedged: no progress and no future events");
+          if (!model.KernelDone()) model.ThrowWedged(now + slack - 1);
         } else {
           now = std::max(now + slack, wake);
         }
@@ -278,6 +285,12 @@ SimResult RunParallelDetailed(const Application& app, const GpuConfig& cfg,
   result.metrics = model.metrics().Snapshot();
   for (const auto& [name, value] : replayed_deltas) {
     result.metrics[name] += value;
+  }
+  if (memo_on) {
+    // Per-run delta: the cache is process-global, so absolute state would
+    // leak earlier runs into this result.
+    result.metrics["memo.evictions"] =
+        memo_cache.evictions() - evictions_before;
   }
   const auto t1 = std::chrono::steady_clock::now();
   result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();

@@ -22,6 +22,10 @@ namespace swiftsim {
 struct ParallelDetailedOptions {
   unsigned num_threads = 0;  // 0 = hardware concurrency
   Cycle slack = 1;           // window length in cycles; 1 = exact
+  /// Chaos scenario armed on the sharded model (DESIGN.md §11); must
+  /// outlive the run. Arming one disables memo replay for the run —
+  /// replayed launches would dodge injection.
+  FaultHooks* fault = nullptr;
 };
 
 /// Runs `app` through a cycle-accurate-memory level (kSilicon, kDetailed

@@ -15,6 +15,7 @@
 #include "config/gpu_config.h"
 #include "sim/gpu_model.h"
 #include "sim/model_select.h"
+#include "swiftsim/fault_inject.h"
 #include "trace/kernel.h"
 
 namespace swiftsim {
@@ -31,16 +32,33 @@ class Simulator {
  public:
   Simulator(const Application& app, const GpuConfig& cfg, SimLevel level);
 
-  /// Runs a fresh GpuModel over the application.
+  /// Runs a fresh GpuModel over the application. When a fault plan with
+  /// runtime axes is armed, or cfg.degrade asks for retry/fallback, the
+  /// resilient kernel-by-kernel driver is used instead of the memoized
+  /// fast path (replayed launches would dodge injection entirely).
   SimResult Run();
+
+  /// Arms a chaos scenario for subsequent Run() calls. `plan` must outlive
+  /// the simulator; nullptr disarms. Trace axes are applied by the caller
+  /// via InjectTraceFaults before construction.
+  void ArmFaultPlan(const FaultPlan* plan) { fault_plan_ = plan; }
 
   SimLevel level() const { return level_; }
   const MemProfile* profile() const { return profile_.get(); }
 
  private:
+  /// Kernel-by-kernel driver with bounded retry and optional analytical
+  /// fallback (DESIGN.md §11): a kernel that keeps hanging or failing is
+  /// re-run at analytical-memory level when cfg.degrade.on_hang is set,
+  /// recorded as a DegradeEvent, and the detailed model resumes fresh for
+  /// the remaining kernels. Rethrows when degradation is off or the
+  /// fallback itself fails.
+  SimResult RunResilient();
+
   const Application& app_;
   GpuConfig cfg_;
   SimLevel level_;
+  const FaultPlan* fault_plan_ = nullptr;  // non-owning; nullptr = off
   // Analytical memory mode only; shared when the ProfileCache served it.
   std::shared_ptr<const MemProfile> profile_;
   double prepass_seconds_ = 0;

@@ -125,7 +125,13 @@ std::uint64_t ParseDim3(std::string s, Reader& r) {
   const auto parts = Split(t, ',');
   if (parts.empty() || parts.size() > 3) r.Fail("malformed dim3 '" + s + "'");
   std::uint64_t prod = 1;
-  for (const auto& p : parts) prod *= ParseUint(p, "dim3 component");
+  for (const auto& p : parts) {
+    const std::uint64_t c = ParseUint(p, "dim3 component");
+    if (c != 0 && prod > ~std::uint64_t{0} / c) {
+      r.Fail("dim3 '" + s + "' overflows");
+    }
+    prod *= c;
+  }
   if (prod == 0) r.Fail("zero-sized dim3 '" + s + "'");
   return prod;
 }
@@ -226,6 +232,16 @@ std::shared_ptr<KernelTrace> ImportAccelSimKernel(std::istream& is) {
   }
   if (grid == 0) r.Fail("missing '-grid dim' header");
   if (block_threads == 0) r.Fail("missing '-block dim' header");
+  // Plausibility bounds before the values size containers below: a
+  // corrupted header must fail as a parse error, not as an allocation
+  // failure. Real hardware caps CTAs at 1024 threads; 64K is generous.
+  if (block_threads > (1ull << 16)) {
+    r.Fail("block dim " + std::to_string(block_threads) +
+           " threads is implausibly large");
+  }
+  if (grid > (1ull << 32)) {
+    r.Fail("grid dim " + std::to_string(grid) + " CTAs is implausibly large");
+  }
   info.num_ctas = static_cast<std::uint32_t>(grid);
   info.threads_per_cta = static_cast<std::uint32_t>(block_threads);
   info.warps_per_cta =
@@ -252,6 +268,11 @@ std::shared_ptr<KernelTrace> ImportAccelSimKernel(std::istream& is) {
       }
       const std::size_t ieq = line.find('=');
       const auto n = ParseUint(Trim(line.substr(ieq + 1)), "inst count");
+      // Cap before reserve: a torn count must not become std::length_error.
+      if (n > (1ull << 26)) {
+        r.Fail("inst count " + std::to_string(n) +
+               " exceeds the per-warp limit");
+      }
       WarpTrace& warp = cta.warps[warp_id];
       warp.reserve(n);
       for (std::uint64_t k = 0; k < n; ++k) {

@@ -12,6 +12,11 @@ namespace swiftsim {
 
 namespace {
 
+// Plausibility bound on file-supplied element counts: large enough for any
+// real trace (64M dynamic instructions per warp), small enough that a
+// corrupted count is rejected before it turns into an allocation failure.
+constexpr std::uint64_t kMaxWarpInstrs = 1ull << 26;
+
 // ---------------------------------------------------------------------------
 // Writing
 // ---------------------------------------------------------------------------
@@ -194,6 +199,13 @@ std::shared_ptr<KernelTrace> ReadKernelBody(LineReader& r,
       if (wt.size() < 2 || wt[0] != "warp") r.Fail("expected warp header");
       const KvList wkv = ParseKvs(wt, 2);
       const auto n = ParseUint(wkv.Get("n", r), "warp instr count");
+      // Cap before reserve: a corrupted count must fail as a parse error,
+      // not as std::length_error / OOM from a 2^60-element reservation.
+      if (n > kMaxWarpInstrs) {
+        r.Fail("warp instr count " + std::to_string(n) +
+               " exceeds the per-warp limit of " +
+               std::to_string(kMaxWarpInstrs));
+      }
       WarpTrace warp;
       warp.reserve(n);
       for (std::uint64_t i = 0; i < n; ++i) {

@@ -1,0 +1,263 @@
+// Malformed-input hardening (DESIGN.md §11): every external input surface
+// — the native trace format, the Accel-Sim importer, and the INI config
+// layer — must reject truncated, garbage, and overflowing inputs with a
+// typed SimError that names the offending line or key. No case may crash,
+// allocate unboundedly off a file-supplied count, or hang.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "config/gpu_config.h"
+#include "config/ini.h"
+#include "trace/accelsim_import.h"
+#include "trace/trace_io.h"
+
+namespace swiftsim {
+namespace {
+
+struct BadInput {
+  const char* label;
+  const char* text;
+  const char* expect_in_what;  // "" = just require SimError
+};
+
+constexpr const char* kGoodKernelHeader =
+    "kernel k id=0 ctas=1 warps_per_cta=1 threads_per_cta=32 smem=0 "
+    "regs=16 variants=1\n";
+
+const std::vector<BadInput>& BadKernelTraces() {
+  static const std::vector<BadInput> cases = {
+      {"empty", "", ""},
+      {"garbage_header", "hello world this is not a trace\n", ""},
+      {"truncated_after_header",
+       "kernel k id=0 ctas=1 warps_per_cta=1 threads_per_cta=32 smem=0 "
+       "regs=16 variants=1\n",
+       ""},
+      {"truncated_after_variant",
+       "kernel k id=0 ctas=1 warps_per_cta=1 threads_per_cta=32 smem=0 "
+       "regs=16 variants=1\n"
+       "variant 0\n",
+       ""},
+      {"truncated_mid_warp",
+       "kernel k id=0 ctas=1 warps_per_cta=1 threads_per_cta=32 smem=0 "
+       "regs=16 variants=1\n"
+       "variant 0\n"
+       "warp 0 n=3\n"
+       "i 0 IADD d=1 s=0 m=ffffffff\n",
+       ""},
+      {"uint_overflow",
+       "kernel k id=99999999999999999999999 ctas=1 warps_per_cta=1 "
+       "threads_per_cta=32 smem=0 regs=16 variants=1\n",
+       "id"},
+      {"negative_count",
+       "kernel k id=0 ctas=-1 warps_per_cta=1 threads_per_cta=32 smem=0 "
+       "regs=16 variants=1\n",
+       ""},
+      {"huge_warp_count",
+       "kernel k id=0 ctas=1 warps_per_cta=1 threads_per_cta=32 smem=0 "
+       "regs=16 variants=1\n"
+       "variant 0\n"
+       "warp 0 n=999999999999\n",
+       "limit"},
+      {"garbage_instruction",
+       "kernel k id=0 ctas=1 warps_per_cta=1 threads_per_cta=32 smem=0 "
+       "regs=16 variants=1\n"
+       "variant 0\n"
+       "warp 0 n=1\n"
+       "this is not an instruction\n",
+       "line 4"},
+  };
+  return cases;
+}
+
+TEST(MalformedTrace, EveryCaseThrowsSimError) {
+  for (const BadInput& c : BadKernelTraces()) {
+    std::stringstream buf(c.text);
+    try {
+      ReadKernelTrace(buf);
+      FAIL() << c.label << ": expected SimError";
+    } catch (const SimError& e) {
+      if (c.expect_in_what[0] != '\0') {
+        EXPECT_NE(std::string(e.what()).find(c.expect_in_what),
+                  std::string::npos)
+            << c.label << ": " << e.what();
+      }
+    } catch (...) {
+      FAIL() << c.label << ": threw something other than SimError";
+    }
+  }
+}
+
+TEST(MalformedTrace, ApplicationHeaderAndTruncation) {
+  {
+    std::stringstream buf("not an application header\n");
+    EXPECT_THROW(ReadApplication(buf), SimError);
+  }
+  {
+    // Promises two kernels, delivers one.
+    std::stringstream buf(std::string("application foo kernels=2\n") +
+                          kGoodKernelHeader +
+                          "variant 0\n"
+                          "warp 0 n=1\n"
+                          "i 0 EXIT d=- s=- m=ffffffff\n"
+                          "end_warp\n"
+                          "end_variant\n"
+                          "end_kernel\n");
+    EXPECT_THROW(ReadApplication(buf), SimError);
+  }
+  {
+    std::stringstream buf("application foo kernels=99999999999999999999\n");
+    EXPECT_THROW(ReadApplication(buf), SimError);
+  }
+}
+
+TEST(MalformedTrace, MissingFileNamesThePath) {
+  try {
+    ReadKernelTraceFile("/nonexistent/never/there.sstrace");
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("never/there"), std::string::npos)
+        << e.what();
+  }
+}
+
+constexpr const char* kAccelHeader =
+    "-kernel name = vecadd\n"
+    "-kernel id = 3\n"
+    "-grid dim = (4,2,1)\n"
+    "-block dim = (64,1,1)\n"
+    "-shmem = 1024\n"
+    "-nregs = 24\n";
+
+const std::vector<BadInput>& BadAccelSimTraces() {
+  static const std::vector<BadInput> cases = {
+      {"empty", "", ""},
+      {"garbage", "??? definitely not an accel-sim trace ???\n", ""},
+      {"grid_dim_overflow",
+       "-kernel name = k\n"
+       "-kernel id = 1\n"
+       "-grid dim = (4294967295,4294967295,4294967295)\n"
+       "-block dim = (64,1,1)\n"
+       "-shmem = 0\n"
+       "-nregs = 16\n"
+       "#BEGIN_TB\n",
+       "overflow"},
+      {"implausible_block_dim",
+       "-kernel name = k\n"
+       "-kernel id = 1\n"
+       "-grid dim = (1,1,1)\n"
+       "-block dim = (70000,1,1)\n"
+       "-shmem = 0\n"
+       "-nregs = 16\n"
+       "#BEGIN_TB\n",
+       ""},
+      {"malformed_dim3",
+       "-kernel name = k\n"
+       "-kernel id = 1\n"
+       "-grid dim = (banana)\n",
+       ""},
+  };
+  return cases;
+}
+
+TEST(MalformedAccelSim, EveryCaseThrowsSimError) {
+  for (const BadInput& c : BadAccelSimTraces()) {
+    std::stringstream buf(c.text);
+    try {
+      ImportAccelSimKernel(buf);
+      FAIL() << c.label << ": expected SimError";
+    } catch (const SimError& e) {
+      if (c.expect_in_what[0] != '\0') {
+        EXPECT_NE(std::string(e.what()).find(c.expect_in_what),
+                  std::string::npos)
+            << c.label << ": " << e.what();
+      }
+    } catch (...) {
+      FAIL() << c.label << ": threw something other than SimError";
+    }
+  }
+}
+
+TEST(MalformedAccelSim, HugeInstCountRejectedBeforeAllocation) {
+  // A hostile `insts =` count must be rejected up front, not handed to
+  // vector::reserve.
+  std::stringstream buf(std::string(kAccelHeader) +
+                        "#BEGIN_TB\n"
+                        "thread block = 0,0,0\n"
+                        "warp = 0\n"
+                        "insts = 999999999999\n");
+  EXPECT_THROW(ImportAccelSimKernel(buf), SimError);
+}
+
+TEST(MalformedAccelSim, TruncatedMidWarpThrows) {
+  std::stringstream buf(std::string(kAccelHeader) +
+                        "#BEGIN_TB\n"
+                        "thread block = 0,0,0\n"
+                        "warp = 0\n"
+                        "insts = 2\n"
+                        "0100 ffffffff 0 EXIT 0 0\n");
+  EXPECT_THROW(ImportAccelSimKernel(buf), SimError);
+}
+
+TEST(MalformedAccelSim, GarbageInstructionNamesTheLine) {
+  std::stringstream buf(std::string(kAccelHeader) +
+                        "#BEGIN_TB\n"
+                        "thread block = 0,0,0\n"
+                        "warp = 0\n"
+                        "insts = 1\n"
+                        "not an instruction at all\n");
+  try {
+    ImportAccelSimKernel(buf);
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MalformedIni, StructuralErrorsNameTheLine) {
+  try {
+    IniFile::ParseString("[unterminated\nkey = 1\n");
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(IniFile::ParseString("no equals sign here\n"), SimError);
+  EXPECT_THROW(IniFile::ParseString("= value without key\n"), SimError);
+  EXPECT_THROW(IniFile::ParseString("[]\n"), SimError);
+}
+
+TEST(MalformedIni, TypedGettersRejectGarbageValues) {
+  const IniFile ini = IniFile::ParseString(
+      "count = banana\n"
+      "ratio = 1.2.3\n"
+      "flag = maybe\n"
+      "big = 99999999999999999999999\n");
+  EXPECT_THROW(ini.GetUint("count"), SimError);
+  EXPECT_THROW(ini.GetDouble("ratio"), SimError);
+  EXPECT_THROW(ini.GetBool("flag"), SimError);
+  EXPECT_THROW(ini.GetUint("big"), SimError);
+  EXPECT_THROW(ini.GetUint("missing"), SimError);
+}
+
+TEST(MalformedIni, GpuConfigRejectsBadValues) {
+  EXPECT_THROW(
+      GpuConfig::FromIni(IniFile::ParseString("[gpu]\nnum_sms = banana\n")),
+      SimError);
+  EXPECT_THROW(
+      GpuConfig::FromIni(IniFile::ParseString("[gpu]\nnum_sms = 0\n")),
+      SimError);
+  EXPECT_THROW(
+      GpuConfig::FromIni(IniFile::ParseString("[watchdog]\nwall_seconds = "
+                                              "-5\n")),
+      SimError);
+  EXPECT_THROW(GpuConfig::FromIni(IniFile::ParseFile("/nonexistent/gpu.ini")),
+               SimError);
+}
+
+}  // namespace
+}  // namespace swiftsim

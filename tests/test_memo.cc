@@ -322,5 +322,128 @@ TEST(ProfileCache, SharedAcrossGeometryEqualConfigs) {
   EXPECT_EQ(cache.misses(), 2u);
 }
 
+MemoKey EvictKey(std::uint64_t n) {
+  MemoKey key;
+  key.cfg_hash = 0x1234;
+  key.context = n;
+  key.level = 2;
+  return key;
+}
+
+LaunchRecord EvictRecord() {
+  LaunchRecord rec;
+  rec.cycles = 100;
+  rec.instructions = 50;
+  rec.metric_deltas.emplace_back("sm0.issued_instrs", 50);
+  return rec;
+}
+
+TEST(MemoEviction, EntryCapHolds) {
+  MemoCache cache;
+  cache.SetLimits(/*max_entries=*/3, /*max_bytes=*/0);
+  for (std::uint64_t n = 0; n < 8; ++n) {
+    cache.RecordLaunch(EvictKey(n), EvictRecord(), /*exact=*/true,
+                       /*min_repeats=*/0, /*epsilon=*/0.0);
+  }
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 5u);
+}
+
+TEST(MemoEviction, LeastReplayedEvictedFirst) {
+  MemoCache cache;
+  for (std::uint64_t n = 0; n < 4; ++n) {
+    cache.RecordLaunch(EvictKey(n), EvictRecord(), /*exact=*/true,
+                       /*min_repeats=*/0, /*epsilon=*/0.0);
+  }
+  // Keys 0 and 2 earn their slots with replays; 1 and 3 never hit.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(cache.TryReplay(EvictKey(0)).has_value());
+    EXPECT_TRUE(cache.TryReplay(EvictKey(2)).has_value());
+  }
+  cache.SetLimits(/*max_entries=*/2, /*max_bytes=*/0);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  EXPECT_TRUE(cache.TryReplay(EvictKey(0)).has_value());
+  EXPECT_TRUE(cache.TryReplay(EvictKey(2)).has_value());
+  EXPECT_FALSE(cache.TryReplay(EvictKey(1)).has_value());
+  EXPECT_FALSE(cache.TryReplay(EvictKey(3)).has_value());
+}
+
+TEST(MemoEviction, ReplayTieBreaksLeastRecent) {
+  MemoCache cache;
+  for (std::uint64_t n = 0; n < 3; ++n) {
+    cache.RecordLaunch(EvictKey(n), EvictRecord(), /*exact=*/true,
+                       /*min_repeats=*/0, /*epsilon=*/0.0);
+  }
+  // Equal replay counts; touch order 1, 2, 0 makes key 1 least recent.
+  EXPECT_TRUE(cache.TryReplay(EvictKey(1)).has_value());
+  EXPECT_TRUE(cache.TryReplay(EvictKey(2)).has_value());
+  EXPECT_TRUE(cache.TryReplay(EvictKey(0)).has_value());
+  cache.SetLimits(/*max_entries=*/2, /*max_bytes=*/0);
+  EXPECT_FALSE(cache.TryReplay(EvictKey(1)).has_value());
+  EXPECT_TRUE(cache.TryReplay(EvictKey(2)).has_value());
+  EXPECT_TRUE(cache.TryReplay(EvictKey(0)).has_value());
+}
+
+TEST(MemoEviction, ByteCapHolds) {
+  MemoCache cache;
+  for (std::uint64_t n = 0; n < 6; ++n) {
+    cache.RecordLaunch(EvictKey(n), EvictRecord(), /*exact=*/true,
+                       /*min_repeats=*/0, /*epsilon=*/0.0);
+  }
+  ASSERT_GT(cache.bytes(), 0u);
+  const std::uint64_t per_entry = cache.bytes() / cache.size();
+  cache.SetLimits(/*max_entries=*/0, /*max_bytes=*/3 * per_entry);
+  EXPECT_LE(cache.bytes(), 3 * per_entry);
+  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_LE(cache.size(), 3u);
+}
+
+TEST(MemoEviction, UnboundedByDefault) {
+  MemoCache cache;
+  for (std::uint64_t n = 0; n < 64; ++n) {
+    cache.RecordLaunch(EvictKey(n), EvictRecord(), /*exact=*/true,
+                       /*min_repeats=*/0, /*epsilon=*/0.0);
+  }
+  EXPECT_EQ(cache.size(), 64u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(MemoEviction, CappedRunStaysExact) {
+  // End-to-end: a tiny entry cap forces constant churn yet every replayed
+  // result must stay bit-identical to the fresh run.
+  ClearGlobalCaches();
+  GpuConfig fresh_cfg = SmallGpu();
+  fresh_cfg.memo.enabled = false;
+  GpuConfig capped = SmallGpu();
+  capped.memo.enabled = true;
+  capped.memo.max_entries = 1;
+  const Application app = RepeatLaunches(SmallApp("BFS"), 4);
+  const SimResult fresh =
+      RunSimulation(app, fresh_cfg, SimLevel::kSwiftSimMemory);
+  const SimResult memo =
+      RunSimulation(app, capped, SimLevel::kSwiftSimMemory);
+  ExpectIdentical(fresh, memo, "capped memo run");
+  ClearGlobalCaches();
+}
+
+TEST(ProfileCacheEviction, LruCapHolds) {
+  const Application bfs = SmallApp("BFS");
+  const Application pr = SmallApp("PAGERANK");
+  const Application sm = SmallApp("SM");
+  const GpuConfig cfg = SmallGpu();
+  ProfileCache cache;
+  cache.SetMaxEntries(2);
+  (void)cache.GetOrBuild(bfs, cfg);
+  (void)cache.GetOrBuild(pr, cfg);
+  EXPECT_TRUE(cache.GetOrBuild(bfs, cfg).hit);  // bfs now most recent
+  (void)cache.GetOrBuild(sm, cfg);              // evicts pr (LRU)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.GetOrBuild(bfs, cfg).hit);
+  EXPECT_TRUE(cache.GetOrBuild(sm, cfg).hit);
+  EXPECT_FALSE(cache.GetOrBuild(pr, cfg).hit);
+}
+
 }  // namespace
 }  // namespace swiftsim

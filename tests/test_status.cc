@@ -37,6 +37,63 @@ TEST(Status, CheckConditionEvaluatedOnce) {
   EXPECT_EQ(calls, 1);
 }
 
+TEST(Status, ScopedSimContextEnrichesErrors) {
+  std::uint64_t cycle = 1234;
+  ScopedSimContext ctx("vecadd", &cycle);
+  ScopedSimContext::SetSm(3);
+  cycle = 4321;  // read through the pointer at throw time
+  try {
+    SS_CHECK(false, "boom");
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("boom"), std::string::npos);
+    EXPECT_NE(what.find("kernel=vecadd"), std::string::npos);
+    EXPECT_NE(what.find("sm=3"), std::string::npos);
+    EXPECT_NE(what.find("cycle=4321"), std::string::npos);
+  }
+  ScopedSimContext::SetSm(-1);
+}
+
+TEST(Status, NoContextNoAnnotation) {
+  try {
+    SS_CHECK(false, "bare");
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.find("kernel="), std::string::npos);
+    EXPECT_EQ(what.find("cycle="), std::string::npos);
+  }
+}
+
+TEST(Status, ContextRestoredAfterScopeExit) {
+  std::uint64_t outer_cycle = 7;
+  ScopedSimContext outer("outer", &outer_cycle);
+  {
+    std::uint64_t inner_cycle = 9;
+    ScopedSimContext inner("inner", &inner_cycle);
+  }
+  try {
+    SS_CHECK(false, "after inner scope");
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("kernel=outer"), std::string::npos);
+    EXPECT_EQ(what.find("kernel=inner"), std::string::npos);
+  }
+}
+
+TEST(Status, SimHangErrorCarriesKindAndDump) {
+  const SimHangError err(SimHangError::Kind::kNoProgress, "stalled",
+                         "/tmp/dump.json");
+  EXPECT_EQ(err.kind(), SimHangError::Kind::kNoProgress);
+  EXPECT_EQ(err.dump_path(), "/tmp/dump.json");
+  EXPECT_STREQ(err.what(), "stalled");
+  // A SimHangError is a SimError: existing catch sites keep working.
+  const SimError& base = err;
+  EXPECT_STREQ(base.what(), "stalled");
+}
+
 TEST(Log, LevelFiltering) {
   const LogLevel prev = GetLogLevel();
   SetLogLevel(LogLevel::kError);
