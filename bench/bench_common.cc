@@ -20,6 +20,13 @@ BenchOptions ParseOptions(int argc, char** argv, double default_scale) {
     if (StartsWith(arg, "--scale=")) {
       opt.scale = ParseDouble(arg.substr(8), "--scale");
       SS_CHECK(opt.scale > 0, "--scale must be positive");
+    } else if (StartsWith(arg, "--sweep=")) {
+      for (const std::string& s : Split(arg.substr(8), ',')) {
+        const double v = ParseDouble(s, "--sweep");
+        SS_CHECK(v > 0, "--sweep scales must be positive");
+        opt.sweep.push_back(v);
+      }
+      SS_CHECK(!opt.sweep.empty(), "--sweep needs at least one scale");
     } else if (StartsWith(arg, "--apps=")) {
       opt.apps = Split(arg.substr(7), ',');
     } else if (StartsWith(arg, "--threads=")) {
@@ -50,7 +57,8 @@ BenchOptions ParseOptions(int argc, char** argv, double default_scale) {
     } else {
       throw SimError(
           "unknown flag '" + arg +
-          "' (expected --scale=, --apps=, --threads=, --seed=, --json=, "
+          "' (expected --scale=, --sweep=, --apps=, --threads=, --seed=, "
+          "--json=, "
           "--no-skip, --no-memo, --watchdog-cycles=, --timeout-sec=, "
           "--fault-plan=, --degrade-on-hang, --dump-dir=)");
     }
@@ -243,6 +251,7 @@ void WriteRunsJson(const std::string& path, const std::string& bench,
                  "\"status\": \"%s\", \"degrade_events\": %llu, "
                  "\"cycles\": %llu, "
                  "\"wall_seconds\": %.6f, \"instrs_per_sec\": %.1f, "
+                 "\"speedup_vs_serial\": %.3f, "
                  "\"threads\": %u, \"scale\": %.4f, "
                  "\"cycles_skipped\": %llu, \"skip_jumps\": %llu, "
                  "\"memo_hits\": %llu, \"memo_misses\": %llu, "
@@ -250,7 +259,8 @@ void WriteRunsJson(const std::string& path, const std::string& bench,
                  r.app.c_str(), r.level.c_str(), r.status.c_str(),
                  static_cast<unsigned long long>(r.degrade_events),
                  static_cast<unsigned long long>(r.cycles), r.wall_seconds,
-                 r.instrs_per_sec, r.threads, opt.scale,
+                 r.instrs_per_sec, r.speedup_vs_serial, r.threads,
+                 r.scale > 0 ? r.scale : opt.scale,
                  static_cast<unsigned long long>(r.cycles_skipped),
                  static_cast<unsigned long long>(r.skip_jumps),
                  static_cast<unsigned long long>(r.memo_hits),

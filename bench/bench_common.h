@@ -20,6 +20,8 @@ namespace swiftsim::bench {
 
 struct BenchOptions {
   double scale = 0.35;
+  std::vector<double> sweep;      // --sweep=a,b,c: scales for scaling
+                                  // benches; empty = just `scale`
   std::vector<std::string> apps;  // empty = all registered workloads
   unsigned threads = 0;           // 0 = hardware concurrency
   std::uint64_t seed = 0x5eed5eedULL;
@@ -34,9 +36,9 @@ struct BenchOptions {
   std::string dump_dir;           // --dump-dir=<dir>: hang diagnostics
 };
 
-/// Parses --scale/--apps/--threads/--seed/--json/--no-skip/--no-memo/
-/// --watchdog-cycles/--timeout-sec/--fault-plan/--degrade-on-hang/
-/// --dump-dir; throws SimError on bad flags.
+/// Parses --scale/--sweep/--apps/--threads/--seed/--json/--no-skip/
+/// --no-memo/--watchdog-cycles/--timeout-sec/--fault-plan/
+/// --degrade-on-hang/--dump-dir; throws SimError on bad flags.
 BenchOptions ParseOptions(int argc, char** argv, double default_scale);
 
 /// Maps the resilience knobs onto the config consumed by every driver.
@@ -90,6 +92,8 @@ struct JsonRun {
   Cycle cycles = 0;
   double wall_seconds = 0;
   double instrs_per_sec = 0;
+  double speedup_vs_serial = 0;  // serial wall / this wall; 0 = n/a
+  double scale = 0;              // per-run workload scale; 0 = opt.scale
   unsigned threads = 1;
   std::uint64_t cycles_skipped = 0;
   std::uint64_t skip_jumps = 0;

@@ -1,15 +1,26 @@
-// Strong-scaling study of the bounded-slack parallel detailed simulator
-// (DESIGN.md §7): one Swift-Sim-Basic app simulated serially, then with
-// SMs sharded over 1/2/4/8 threads at slack=1 (exact) and slack=32
-// (bounded approximation), plus the SM-parallel analytical-memory runner
-// for reference. Reports wall time, speedup over serial, and cycle drift;
-// slack=1 rows are verified cycle-identical to the serial run.
+// Strong-scaling study of the task-graph parallel detailed simulator
+// (DESIGN.md §12): apps simulated serially, then with SM clusters
+// dependency-scheduled over 1/2/4/8 workers at slack=1 (exact) and
+// slack=32 (bounded approximation), plus the SM-parallel
+// analytical-memory runner for reference. Reports wall time, speedup over
+// serial (also emitted as `speedup_vs_serial` in the JSON records), and
+// cycle drift; slack=1 rows are verified cycle-identical to the serial
+// run. `--sweep=a,b,c` repeats the study at several workload scales.
+//
+// `--smoke` runs the CI perf gate instead: one app at scale >= 0.25,
+// 4 workers vs serial, requiring >= 1.2x speedup — and exits 77 (ctest
+// SKIP_RETURN_CODE) on hosts without at least 4 hardware threads, where
+// the measurement would be meaningless.
 //
 // Speedups are only meaningful on a machine with spare cores — the header
 // prints what the host actually offers.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench_common.h"
 #include "config/presets.h"
@@ -17,13 +28,103 @@
 #include "swiftsim/parallel_detailed.h"
 #include "swiftsim/simulator.h"
 
+namespace {
+
+constexpr int kSkipExit = 77;  // ctest SKIP_RETURN_CODE
+
+using swiftsim::Application;
+using swiftsim::Cycle;
+using swiftsim::GpuConfig;
+using swiftsim::ParallelDetailedOptions;
+using swiftsim::RunParallelDetailed;
+using swiftsim::RunSimulation;
+using swiftsim::SimLevel;
+using swiftsim::SimResult;
+
+/// Best-of-N wall time for one configuration (N small: the smoke gate
+/// must stay cheap, but a single sample is too noisy to gate CI on).
+double BestWall(const std::function<SimResult()>& run, int repeats,
+                SimResult* out) {
+  double best = 0;
+  for (int i = 0; i < repeats; ++i) {
+    SimResult r = run();
+    if (i == 0 || r.wall_seconds < best) {
+      best = r.wall_seconds;
+      *out = std::move(r);
+    }
+  }
+  return best;
+}
+
+int RunSmoke(swiftsim::bench::BenchOptions opt) {
+  using namespace swiftsim::bench;
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw < 4) {
+    std::printf("SKIP: smoke gate needs >= 4 hardware threads, host has %u\n",
+                hw);
+    return kSkipExit;
+  }
+  opt.scale = std::max(opt.scale, 0.25);
+  if (opt.apps.empty()) opt.apps = {"SM"};
+  PrintHeader("Parallel scaling smoke gate (4 workers vs serial)", opt);
+  GpuConfig gpu = swiftsim::Rtx2080TiConfig();
+  ApplyRobustness(&gpu, opt);
+  const SimLevel level = SimLevel::kSwiftSimBasic;
+  bool ok = true;
+  for (const Application& app : BuildApps(opt)) {
+    SimResult serial;
+    const double serial_wall = BestWall(
+        [&] { return RunSimulation(app, gpu, level); }, 2, &serial);
+    SimResult par;
+    const double par_wall = BestWall(
+        [&] {
+          ParallelDetailedOptions popt;
+          popt.num_threads = 4;
+          popt.slack = 1;
+          return RunParallelDetailed(app, gpu, level, popt);
+        },
+        2, &par);
+    const double speedup = par_wall > 0 ? serial_wall / par_wall : 0;
+    std::printf("%-8s serial %.3fs, 4 workers %.3fs -> %.2fx\n",
+                app.name.c_str(), serial_wall, par_wall, speedup);
+    if (par.total_cycles != serial.total_cycles ||
+        par.instructions != serial.instructions) {
+      std::printf("  FAIL: 4-worker run diverged from serial\n");
+      ok = false;
+    }
+    if (speedup < 1.2) {
+      std::printf("  FAIL: speedup %.2fx below the 1.2x floor\n", speedup);
+      ok = false;
+    }
+  }
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace swiftsim;
   using namespace swiftsim::bench;
-  BenchOptions opt = ParseOptions(argc, argv, /*default_scale=*/0.35);
+  // --smoke is this bench's own mode switch; strip it before the shared
+  // parser (which rejects flags it does not know).
+  bool smoke = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  BenchOptions opt = ParseOptions(static_cast<int>(args.size()),
+                                  args.data(), /*default_scale=*/0.25);
+  if (smoke) return RunSmoke(opt);
+
   if (opt.apps.empty()) opt.apps = {"SM", "GEMM"};
   if (opt.json_path.empty()) opt.json_path = "results/BENCH_parallel.json";
-  PrintHeader("Parallel detailed simulation: strong scaling", opt);
+  std::vector<double> sweep = opt.sweep;
+  if (sweep.empty()) sweep = {opt.scale};
+  PrintHeader("Task-graph parallel simulation: strong scaling", opt);
   std::printf("host hardware threads: %u\n\n",
               std::thread::hardware_concurrency());
 
@@ -33,7 +134,8 @@ int main(int argc, char** argv) {
   bool exact_everywhere = true;
   std::vector<JsonRun> records;
   const auto record = [&](const std::string& app, const std::string& label,
-                          const SimResult& r, unsigned threads) {
+                          const SimResult& r, unsigned threads,
+                          double scale, double serial_wall) {
     JsonRun j;
     j.app = app;
     j.level = label;
@@ -43,49 +145,60 @@ int main(int argc, char** argv) {
                            ? static_cast<double>(r.instructions) /
                                  r.wall_seconds
                            : 0.0;
+    j.speedup_vs_serial =
+        (serial_wall > 0 && r.wall_seconds > 0)
+            ? serial_wall / r.wall_seconds
+            : 0.0;
+    j.scale = scale;
     j.threads = threads;
     records.push_back(j);
   };
 
-  for (const Application& app : BuildApps(opt)) {
-    const SimResult serial = RunSimulation(app, gpu, level);
-    record(app.name, "serial", serial, 1);
-    std::printf("%-8s serial: %llu cycles, %.3fs\n", app.name.c_str(),
-                static_cast<unsigned long long>(serial.total_cycles),
-                serial.wall_seconds);
-    std::printf("  %-22s %10s %9s %9s\n", "configuration", "wall[s]",
-                "speedup", "drift");
-    for (const Cycle slack : {Cycle{1}, Cycle{32}}) {
-      for (const unsigned threads : {1u, 2u, 4u, 8u}) {
-        ParallelDetailedOptions popt;
-        popt.num_threads = threads;
-        popt.slack = slack;
-        const SimResult par = RunParallelDetailed(app, gpu, level, popt);
-        record(app.name,
-               "slack=" + std::to_string(static_cast<unsigned long long>(
-                              slack)),
-               par, threads);
-        const double drift = SignedErrPct(par.total_cycles,
-                                          serial.total_cycles);
-        if (slack == 1 && par.total_cycles != serial.total_cycles) {
-          std::printf("  ERROR: slack=1 t=%u diverged from serial\n",
-                      threads);
-          exact_everywhere = false;
+  for (const double scale : sweep) {
+    BenchOptions at_scale = opt;
+    at_scale.scale = scale;
+    std::printf("== scale %.2f ==\n", scale);
+    for (const Application& app : BuildApps(at_scale)) {
+      const SimResult serial = RunSimulation(app, gpu, level);
+      record(app.name, "serial", serial, 1, scale, serial.wall_seconds);
+      std::printf("%-8s serial: %llu cycles, %.3fs\n", app.name.c_str(),
+                  static_cast<unsigned long long>(serial.total_cycles),
+                  serial.wall_seconds);
+      std::printf("  %-22s %10s %9s %9s\n", "configuration", "wall[s]",
+                  "speedup", "drift");
+      for (const Cycle slack : {Cycle{1}, Cycle{32}}) {
+        for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+          ParallelDetailedOptions popt;
+          popt.num_threads = threads;
+          popt.slack = slack;
+          const SimResult par = RunParallelDetailed(app, gpu, level, popt);
+          record(app.name,
+                 "slack=" + std::to_string(static_cast<unsigned long long>(
+                                slack)),
+                 par, threads, scale, serial.wall_seconds);
+          const double drift = SignedErrPct(par.total_cycles,
+                                            serial.total_cycles);
+          if (slack == 1 && par.total_cycles != serial.total_cycles) {
+            std::printf("  ERROR: slack=1 t=%u diverged from serial\n",
+                        threads);
+            exact_everywhere = false;
+          }
+          std::printf("  %2u threads, slack=%-4llu %10.3f %8.2fx %8.2f%%\n",
+                      threads, static_cast<unsigned long long>(slack),
+                      par.wall_seconds,
+                      serial.wall_seconds / par.wall_seconds, drift);
         }
-        std::printf("  %2u threads, slack=%-4llu %10.3f %8.2fx %8.2f%%\n",
-                    threads, static_cast<unsigned long long>(slack),
-                    par.wall_seconds, serial.wall_seconds / par.wall_seconds,
-                    drift);
       }
+      const SimResult mem = RunSmParallelMemory(app, gpu, opt.threads
+                                                              ? opt.threads
+                                                              : 8);
+      record(app.name, "sm-parallel-memory", mem,
+             opt.threads ? opt.threads : 8, scale, serial.wall_seconds);
+      std::printf("  %-22s %10.3f %8.2fx   (approx level)\n",
+                  "sm-parallel-memory", mem.wall_seconds,
+                  serial.wall_seconds / mem.wall_seconds);
+      std::printf("\n");
     }
-    const SimResult mem = RunSmParallelMemory(app, gpu, opt.threads
-                                                            ? opt.threads
-                                                            : 8);
-    record(app.name, "sm-parallel-memory", mem, opt.threads ? opt.threads : 8);
-    std::printf("  %-22s %10.3f %8.2fx   (approx level)\n",
-                "sm-parallel-memory", mem.wall_seconds,
-                serial.wall_seconds / mem.wall_seconds);
-    std::printf("\n");
   }
   WriteRunsJson(opt.json_path, "bench_parallel_scaling", opt, records);
   if (!exact_everywhere) return EXIT_FAILURE;

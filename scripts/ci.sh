@@ -56,9 +56,13 @@ stage_asan() {
 }
 
 stage_perf() {
-  echo "==> perf: bench smoke (hot-path throughput + memo exactness)"
+  echo "==> perf: bench smoke (hot-path throughput + memo exactness +"
+  echo "          parallel scaling)"
   configure build
-  cmake --build build -j "$JOBS" --target bench_hotpath bench_memo
+  cmake --build build -j "$JOBS" \
+    --target bench_hotpath bench_memo bench_parallel_scaling
+  # perf_parallel_smoke self-skips (exit 77) on hosts with < 4 hardware
+  # threads, where a 4-worker speedup gate would be meaningless.
   ctest --test-dir build -L perf --output-on-failure
 }
 

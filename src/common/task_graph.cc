@@ -1,0 +1,196 @@
+#include "common/task_graph.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace swiftsim {
+
+int TaskGraph::AddTask(std::string name, std::function<void()> fn) {
+  SS_CHECK(fn != nullptr, "TaskGraph task needs a body");
+  auto t = std::make_unique<Task>();
+  t->name = std::move(name);
+  t->fn = std::move(fn);
+  tasks_.push_back(std::move(t));
+  return static_cast<int>(tasks_.size()) - 1;
+}
+
+void TaskGraph::AddEdge(int from, int to) {
+  SS_CHECK(from >= 0 && to >= 0 &&
+               from < static_cast<int>(tasks_.size()) &&
+               to < static_cast<int>(tasks_.size()) && from != to,
+           "TaskGraph edge endpoints must be distinct existing tasks");
+  tasks_[from]->unlocks.push_back(to);
+  ++tasks_[to]->wait_init;
+}
+
+void TaskGraph::PushLocal(unsigned me, int id) {
+  WorkerDeque& d = *deques_[me];
+  std::lock_guard<std::mutex> lk(d.mu);
+  d.q.push_front(id);
+}
+
+void TaskGraph::CaptureError() noexcept {
+  std::lock_guard<std::mutex> lk(err_mu_);
+  if (!error_) error_ = std::current_exception();
+  errored_.store(true, std::memory_order_release);
+}
+
+void TaskGraph::Execute(int id, unsigned me) {
+  Task& t = *tasks_[id];
+  // After a failure the round is still drained structurally (wait counts,
+  // remaining) so every worker observes a consistent final state, but no
+  // further task bodies run.
+  if (!errored_.load(std::memory_order_acquire)) {
+    try {
+      t.fn();
+    } catch (...) {
+      CaptureError();
+    }
+  }
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  for (const int next : t.unlocks) {
+    // The last completed dependency publishes the task; acq_rel makes the
+    // publisher see every earlier dependency's writes through the counter's
+    // release sequence.
+    if (tasks_[next]->wait.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      PushLocal(me, next);
+    }
+  }
+  if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Round complete. Exactly one worker gets here per round, after every
+    // task's effects — the serialization point between rounds.
+    if (finish_.load(std::memory_order_acquire) ||
+        errored_.load(std::memory_order_acquire)) {
+      done_.store(true, std::memory_order_release);
+    } else {
+      Rearm(static_cast<unsigned>(deques_.size()));
+    }
+  }
+}
+
+void TaskGraph::Rearm(unsigned nworkers) {
+  ++rounds_;
+  for (const auto& t : tasks_) {
+    t->wait.store(t->wait_init, std::memory_order_relaxed);
+  }
+  remaining_.store(static_cast<int>(tasks_.size()),
+                   std::memory_order_release);
+  // Roots keep a stable home worker across rounds (cluster → worker
+  // affinity: the same SM state stays in the same cache). The deque
+  // mutexes publish the counter resets above to whoever pops.
+  for (std::size_t r = 0; r < roots_.size(); ++r) {
+    const unsigned home = static_cast<unsigned>(r % nworkers);
+    std::lock_guard<std::mutex> lk(deques_[home]->mu);
+    deques_[home]->q.push_back(roots_[r]);
+  }
+}
+
+bool TaskGraph::RunOne(unsigned me, unsigned nworkers) {
+  {
+    WorkerDeque& own = *deques_[me];
+    int id = -1;
+    {
+      std::lock_guard<std::mutex> lk(own.mu);
+      if (!own.q.empty()) {
+        id = own.q.front();
+        own.q.pop_front();
+      }
+    }
+    if (id >= 0) {
+      Execute(id, me);
+      return true;
+    }
+  }
+  for (unsigned k = 1; k < nworkers; ++k) {
+    WorkerDeque& victim = *deques_[(me + k) % nworkers];
+    int id = -1;
+    {
+      std::lock_guard<std::mutex> lk(victim.mu);
+      if (victim.q.empty()) continue;
+      id = victim.q.back();
+      victim.q.pop_back();
+    }
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    Execute(id, me);
+    return true;
+  }
+  return false;
+}
+
+void TaskGraph::WorkerLoop(unsigned me, unsigned nworkers) {
+  unsigned idle = 0;
+  while (!done_.load(std::memory_order_acquire)) {
+    if (RunOne(me, nworkers)) {
+      idle = 0;
+      continue;
+    }
+    // Out of work: the round's remaining tasks are running elsewhere, or
+    // the re-arm hasn't pushed the next round yet. Yield first (cheap, and
+    // on an oversubscribed host it hands the core to whoever holds the
+    // work), then back off to short sleeps so parked workers don't burn
+    // the cores other simulation lanes are using.
+    ++idle;
+    if (idle <= 32) {
+      std::this_thread::yield();
+    } else {
+      const unsigned exp = std::min(idle - 32u, 96u) / 32u;
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(25u << exp));  // 25–100 µs
+    }
+  }
+}
+
+void TaskGraph::Run(ThreadPool& pool, unsigned workers) {
+  SS_CHECK(!tasks_.empty(), "TaskGraph has no tasks");
+  const unsigned nworkers =
+      std::max(1u, std::min(workers, kMaxWorkers));
+  deques_.clear();
+  for (unsigned w = 0; w < nworkers; ++w) {
+    deques_.push_back(std::make_unique<WorkerDeque>());
+  }
+  roots_.clear();
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i]->wait_init == 0) roots_.push_back(static_cast<int>(i));
+  }
+  SS_CHECK(!roots_.empty(), "TaskGraph is fully cyclic: no root tasks");
+  rounds_ = 0;
+  executed_.store(0, std::memory_order_relaxed);
+  steals_.store(0, std::memory_order_relaxed);
+  finish_.store(false, std::memory_order_relaxed);
+  done_.store(false, std::memory_order_relaxed);
+  errored_.store(false, std::memory_order_relaxed);
+  error_ = nullptr;
+  Rearm(nworkers);
+
+  // Joiners are fire-and-forget: they help while rounds remain and leave
+  // when the graph drains. None of them is required for progress — worker
+  // 0 (the caller) can steal every task — so an under-provisioned or busy
+  // pool degrades concurrency, never liveness.
+  std::atomic<unsigned> joiners{0};
+  for (unsigned w = 1; w < nworkers; ++w) {
+    joiners.fetch_add(1, std::memory_order_relaxed);
+    pool.Submit([this, w, nworkers, &joiners] {
+      WorkerLoop(w, nworkers);
+      joiners.fetch_sub(1, std::memory_order_release);
+    });
+  }
+  WorkerLoop(0, nworkers);
+  // The graph (and the joiners counter) lives on the caller's stack: wait
+  // for every joiner to leave before returning. They exit on their own —
+  // done_ is set — so this wait is bounded by pool dispatch latency.
+  unsigned idle = 0;
+  while (joiners.load(std::memory_order_acquire) != 0) {
+    if (++idle <= 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  if (error_) std::rethrow_exception(error_);
+}
+
+}  // namespace swiftsim

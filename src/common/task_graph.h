@@ -1,0 +1,121 @@
+// Dependency-driven cyclic task scheduler (DESIGN.md §12), in the style of
+// SWIFT's task/scheduler/runner split: simulation work becomes tasks with
+// explicit unlock (dependency) edges, workers own deques of ready tasks,
+// and idle workers steal from victims instead of parking on a barrier.
+//
+// The graph is *cyclic over rounds*: one round executes every task once,
+// respecting the edges; when the last task of a round completes, the graph
+// automatically re-arms (wait counters reset, root tasks redistributed)
+// and the next round begins — until a task calls Finish(). This shape fits
+// discrete-event simulation loops: per-round tasks are "advance this
+// SM cluster through the window" and "drain the shared memory system",
+// and the sink task decides whether another round (cycle window) is
+// needed.
+//
+// Synchronization contract: task A's writes happen-before task B's reads
+// whenever B is reachable from A through edges (wait counters are
+// release/acquire, deque hand-offs are mutex-protected), and every task of
+// round r happens-before every task of round r+1 (the re-arm runs on the
+// worker that completed the round's last task). A graph whose per-round
+// data flow follows its edges is therefore data-race-free by construction
+// for any worker count — including workers that never get scheduled: any
+// participant can finish a round alone by stealing, so progress never
+// depends on the pool actually delivering concurrency.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace swiftsim {
+
+class ThreadPool;
+
+class TaskGraph {
+ public:
+  /// Worker-count cap, far above any real machine; keeps per-worker state
+  /// in a fixed-size vector workers can index without synchronization.
+  static constexpr unsigned kMaxWorkers = 256;
+
+  TaskGraph() = default;
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Adds a task; returns its id. `fn` runs once per round. The name is
+  /// for diagnostics only.
+  int AddTask(std::string name, std::function<void()> fn);
+
+  /// Declares that `to` cannot start a round until `from` completed in the
+  /// same round ("from unlocks to", SWIFT's task->unlock edge).
+  void AddEdge(int from, int to);
+
+  /// Requests that the current round be the last; call from inside a task
+  /// (normally the sink). Workers drain and Run() returns after the round.
+  void Finish() { finish_.store(true, std::memory_order_release); }
+
+  /// Executes rounds until Finish() — the caller participates as worker 0
+  /// and up to `workers - 1` pool workers join via fire-and-forget
+  /// submissions. Rethrows the first exception any task threw (the round
+  /// in flight is drained without executing further task bodies).
+  ///
+  /// Requirements: at least one task; every task reachable from the roots;
+  /// a sink that eventually calls Finish() (or a task that throws) —
+  /// otherwise Run spins forever, exactly like a serial driver loop with a
+  /// broken termination condition.
+  void Run(ThreadPool& pool, unsigned workers);
+
+  // --- Scheduler telemetry (valid after Run returns) ----------------------
+  std::uint64_t rounds() const { return rounds_; }
+  std::uint64_t executed() const { return executed_; }
+  std::uint64_t steals() const { return steals_; }
+
+ private:
+  struct Task {
+    std::string name;
+    std::function<void()> fn;
+    std::vector<int> unlocks;   // edges out: tasks this one unlocks
+    int wait_init = 0;          // edges in
+    std::atomic<int> wait{0};   // remaining unfinished dependencies
+  };
+
+  /// One worker's ready-deque. Own pops come from the front (LIFO relative
+  /// to own pushes — a task a worker just unlocked runs next, keeping the
+  /// cluster → mem-drain → coordinator chain on one warm cache); steals
+  /// come from the back. A mutex per deque is cheap at simulation-task
+  /// granularity: contention exists only while someone is actually
+  /// stealing.
+  struct alignas(64) WorkerDeque {
+    std::mutex mu;
+    std::deque<int> q;
+  };
+
+  void WorkerLoop(unsigned me, unsigned nworkers);
+  bool RunOne(unsigned me, unsigned nworkers);
+  void Execute(int id, unsigned me);
+  void PushLocal(unsigned me, int id);
+  void Rearm(unsigned nworkers);
+  void CaptureError() noexcept;
+
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<int> roots_;  // wait_init == 0
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+
+  std::atomic<int> remaining_{0};  // tasks left in the current round
+  std::atomic<bool> finish_{false};
+  std::atomic<bool> done_{false};
+  std::atomic<bool> errored_{false};
+  std::mutex err_mu_;
+  std::exception_ptr error_;
+
+  std::uint64_t rounds_ = 0;  // written by the (serialized) re-arm step
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> steals_{0};
+};
+
+}  // namespace swiftsim

@@ -66,6 +66,26 @@ WritePolicy WritePolicyFromString(const std::string& s) {
   throw SimError("unknown write policy '" + s + "'");
 }
 
+std::string ToString(ParallelMode m) {
+  switch (m) {
+    case ParallelMode::kAuto:
+      return "auto";
+    case ParallelMode::kApp:
+      return "app";
+    case ParallelMode::kIntra:
+      return "intra";
+  }
+  return "?";
+}
+
+ParallelMode ParallelModeFromString(const std::string& s) {
+  const std::string t = ToLower(s);
+  if (t == "auto") return ParallelMode::kAuto;
+  if (t == "app") return ParallelMode::kApp;
+  if (t == "intra") return ParallelMode::kIntra;
+  throw SimError("unknown parallel mode '" + s + "'");
+}
+
 GpuConfig::GpuConfig() {
   // The l1 member's defaults describe an L1; adjust the l2 member to a
   // write-back, non-streaming slice with L2-class parameters.
@@ -302,6 +322,9 @@ GpuConfig GpuConfig::FromIni(const IniFile& ini, GpuConfig base) {
       ini.GetDouble("memo.convergence_epsilon", c.memo.convergence_epsilon);
   c.memo.max_entries = ini.GetUint("memo.max_entries", c.memo.max_entries);
   c.memo.max_bytes = ini.GetUint("memo.max_bytes", c.memo.max_bytes);
+  if (ini.Has("parallel.mode")) {
+    c.parallel.mode = ParallelModeFromString(ini.GetString("parallel.mode"));
+  }
   c.watchdog.stall_cycles =
       ini.GetUint("watchdog.stall_cycles", c.watchdog.stall_cycles);
   c.watchdog.wall_seconds =
@@ -374,6 +397,8 @@ std::string GpuConfig::ToIniString() const {
      << "convergence_epsilon = " << memo.convergence_epsilon << "\n"
      << "max_entries = " << memo.max_entries << "\n"
      << "max_bytes = " << memo.max_bytes << "\n";
+  os << "[parallel]\n"
+     << "mode = " << ToString(parallel.mode) << "\n";
   os << "[watchdog]\n"
      << "stall_cycles = " << watchdog.stall_cycles << "\n"
      << "wall_seconds = " << watchdog.wall_seconds << "\n"

@@ -1,11 +1,8 @@
 #include "swiftsim/parallel_detailed.h"
 
 #include <algorithm>
-#include <barrier>
 #include <chrono>
 #include <cstddef>
-#include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -15,6 +12,7 @@
 #include <utility>
 
 #include "common/status.h"
+#include "common/task_graph.h"
 #include "common/thread_pool.h"
 #include "swiftsim/memo_cache.h"
 #include "trace/fingerprint.h"
@@ -70,7 +68,7 @@ SimResult RunParallelDetailed(const Application& app, const GpuConfig& cfg,
 
   SimResult result;
   result.app = app.name;
-  result.simulator = ToString(level) + "+sm-shards";
+  result.simulator = ToString(level) + "+taskgraph";
 
   // Builds and stores the launch record for the kernel that just
   // completed, from the metric snapshot taken when it began.
@@ -97,26 +95,21 @@ SimResult RunParallelDetailed(const Application& app, const GpuConfig& cfg,
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
   threads = std::min(threads, cfg.num_sms);
+  // Cluster count from thread and SM counts: one contention domain per
+  // worker by default, never more clusters than SMs.
+  const unsigned clusters =
+      opt.clusters != 0 ? std::min(opt.clusters, cfg.num_sms) : threads;
 
-  // Shared driver state. All of it is either written only by the barrier
-  // completion step (which runs while every shard is blocked) or by
-  // exactly one shard between barriers; the barrier's synchronization
-  // orders every access.
+  // Shared driver state. All of it is either written only by the
+  // coordinator task (the sink of each round) or by exactly one cluster
+  // task per round; the task graph's dependency edges order every access
+  // (DESIGN.md §12).
   Cycle now = 0;
   Cycle kernel_start = 0;
   std::uint64_t instrs_before = 0;
   std::size_t kidx = 0;
   bool done = false;
-  std::vector<unsigned char> shard_progress(threads, 0);
-
-  std::mutex err_mu;
-  std::exception_ptr first_error;
-  std::atomic<bool> failed{false};
-  auto capture = [&](std::exception_ptr e) {
-    std::lock_guard<std::mutex> lock(err_mu);
-    if (!first_error) first_error = e;
-    failed.store(true, std::memory_order_release);
-  };
+  std::vector<unsigned char> cluster_progress(clusters, 0);
 
   // Begins kernels starting at kidx until one has work to simulate.
   // Degenerate kernels (e.g. zero CTAs) complete instantly and are
@@ -170,119 +163,122 @@ SimResult RunParallelDetailed(const Application& app, const GpuConfig& cfg,
   };
   begin_kernels_until_work();
 
-  // Runs once per window while every shard is parked at the barrier: the
-  // memory system advances through the window's cycles, then the clock
-  // moves and kernel transitions happen. Must not throw (std::barrier
-  // requires a nothrow completion), so errors are captured instead.
-  auto on_window = [&]() noexcept {
-    try {
-      if (failed.load(std::memory_order_acquire)) {
-        done = true;
-        return;
-      }
-      bool progressed = false;
-      for (unsigned char p : shard_progress) progressed |= p != 0;
-      for (Cycle w = 0; w < slack; ++w) model.TickSharedMemory(now + w);
-      const bool mem_busy = !model.MemQuiescent();
-      // Watchdog observation once per window, after the ticks (so a jump
-      // landing's progress is already visible). Throws through the capture
-      // path below; shards then drain via `done`.
-      if (model.WatchdogEnabled()) model.WatchdogPoll(now + slack - 1);
-      if (skip && !progressed) {
-        // Event-calendar cycle skipping, exactly as in the serial loop:
-        // jump over the no-op span beyond this window. The last ticked
-        // memory cycle is now + slack - 1, so the calendar starts there;
-        // at slack=1 the jump condition and span match the serial driver
-        // cycle-for-cycle, preserving bit-identity. A completed kernel
-        // must not draw a jump from a standing calendar entry (e.g. the
-        // silicon DRAM refresh edge) — the window that reached
-        // quiescence just advances past itself, as serially.
-        if (model.KernelDone()) {
-          now += slack;
-        } else {
-          Cycle wake = model.MinNextWake();
-          wake = std::min(wake, model.MemNextEventAfter(now + slack - 1));
-          if (wake == kNever) model.ThrowWedged(now + slack - 1);
-          if (wake > now + slack) {
-            model.FastForward(wake - (now + slack));
-            now = wake;
-          } else {
-            now += slack;
-          }
-        }
-      } else if (never_jump || progressed || mem_busy) {
-        now += slack;
-      } else {
-        // Hybrid fast-forward, exactly as in the serial loop: nothing can
-        // change before the earliest future SM event.
-        const Cycle wake = model.MinNextWake();
-        if (wake == kNever) {
-          if (!model.KernelDone()) model.ThrowWedged(now + slack - 1);
-        } else {
-          now = std::max(now + slack, wake);
-        }
-      }
-      if (model.KernelDone()) {
-        KernelResult kr;
-        kr.name = app.kernels[kidx]->info().name;
-        kr.cycles = now - kernel_start;
-        kr.instructions = model.TotalIssuedInstrs() - instrs_before;
-        result.kernels.push_back(kr);
-        if (memo_on) record_launch(kr.cycles, kr.instructions);
-        ++kidx;
-        begin_kernels_until_work();
-        return;
-      }
-      model.AssignPendingCtas();
-    } catch (...) {
-      capture(std::current_exception());
-      done = true;
-    }
-  };
-  std::barrier<decltype(on_window)> window_sync(
-      static_cast<std::ptrdiff_t>(threads), on_window);
+  // --- The per-round task graph (DESIGN.md §12) ---------------------------
+  //
+  //   cluster[k] tick span ──▶ memory drain ──▶ coordinator
+  //
+  // One round simulates one slack window. Cluster tasks advance disjoint
+  // SM ranges through the window's cycles; the memory-drain task injects
+  // their port traffic (SM order, backpressure-exact) and ticks NoC, L2
+  // and DRAM; the coordinator advances the clock (including cycle-skip
+  // jumps), handles kernel transitions and CTA dispatch, then the round
+  // re-arms — or Finish() ends the run. At slack=1 the resulting mutation
+  // schedule is exactly the serial loop's, so results stay bit-identical
+  // for any worker/cluster count.
+  TaskGraph graph;
 
-  // Contiguous, balanced SM ranges — one per shard.
-  auto shard_loop = [&](unsigned t) {
-    const unsigned base = cfg.num_sms / threads;
-    const unsigned extra = cfg.num_sms % threads;
-    const unsigned first = t * base + std::min(t, extra);
-    const unsigned last = first + base + (t < extra ? 1 : 0);
-    while (!done) {
-      bool progressed = false;
-      if (!failed.load(std::memory_order_acquire)) {
-        try {
+  // Contiguous, balanced SM ranges — one per cluster (contention domain).
+  std::vector<int> cluster_tasks;
+  cluster_tasks.reserve(clusters);
+  for (unsigned k = 0; k < clusters; ++k) {
+    const unsigned base = cfg.num_sms / clusters;
+    const unsigned extra = cfg.num_sms % clusters;
+    const unsigned first = k * base + std::min(k, extra);
+    const unsigned last = first + base + (k < extra ? 1 : 0);
+    cluster_tasks.push_back(graph.AddTask(
+        "cluster" + std::to_string(k), [&, k, first, last] {
+          bool progressed = false;
           for (Cycle w = 0; w < slack; ++w) {
             progressed |= model.TickSmRange(first, last, now + w);
           }
-        } catch (...) {
-          capture(std::current_exception());
+          cluster_progress[k] = progressed ? 1 : 0;
+        }));
+  }
+
+  const int mem_task = graph.AddTask("mem-drain", [&] {
+    for (Cycle w = 0; w < slack; ++w) model.TickSharedMemory(now + w);
+  });
+  for (const int c : cluster_tasks) graph.AddEdge(c, mem_task);
+
+  const int coord_task = graph.AddTask("coordinator", [&] {
+    bool progressed = false;
+    for (unsigned char p : cluster_progress) progressed |= p != 0;
+    const bool mem_busy = !model.MemQuiescent();
+    // Watchdog observation once per window, after the ticks (so a jump
+    // landing's progress is already visible). A throw here (or in any
+    // task) drains the round and rethrows from graph.Run().
+    if (model.WatchdogEnabled()) model.WatchdogPoll(now + slack - 1);
+    if (skip && !progressed) {
+      // Event-calendar cycle skipping, exactly as in the serial loop:
+      // jump over the no-op span beyond this window. The last ticked
+      // memory cycle is now + slack - 1, so the calendar starts there;
+      // at slack=1 the jump condition and span match the serial driver
+      // cycle-for-cycle, preserving bit-identity. A completed kernel
+      // must not draw a jump from a standing calendar entry (e.g. the
+      // silicon DRAM refresh edge) — the window that reached
+      // quiescence just advances past itself, as serially.
+      if (model.KernelDone()) {
+        now += slack;
+      } else {
+        Cycle wake = model.MinNextWake();
+        wake = std::min(wake, model.MemNextEventAfter(now + slack - 1));
+        if (wake == kNever) model.ThrowWedged(now + slack - 1);
+        if (wake > now + slack) {
+          model.FastForward(wake - (now + slack));
+          now = wake;
+        } else {
+          now += slack;
         }
       }
-      shard_progress[t] = progressed ? 1 : 0;
-      window_sync.arrive_and_wait();
+    } else if (never_jump || progressed || mem_busy) {
+      now += slack;
+    } else {
+      // Hybrid fast-forward, exactly as in the serial loop: nothing can
+      // change before the earliest future SM event.
+      const Cycle wake = model.MinNextWake();
+      if (wake == kNever) {
+        if (!model.KernelDone()) model.ThrowWedged(now + slack - 1);
+      } else {
+        now = std::max(now + slack, wake);
+      }
     }
-  };
+    if (model.KernelDone()) {
+      KernelResult kr;
+      kr.name = app.kernels[kidx]->info().name;
+      kr.cycles = now - kernel_start;
+      kr.instructions = model.TotalIssuedInstrs() - instrs_before;
+      result.kernels.push_back(kr);
+      if (memo_on) record_launch(kr.cycles, kr.instructions);
+      ++kidx;
+      begin_kernels_until_work();
+      if (done) graph.Finish();
+      return;
+    }
+    model.AssignPendingCtas();
+  });
+  graph.AddEdge(mem_task, coord_task);
 
   if (!done) {
     ThreadPool& pool = ThreadPool::Shared();
-    // Every shard blocks on the window barrier, so the whole team must be
-    // able to run concurrently: grow the pool before submitting.
+    // Workers beyond the caller join from the pool; they are a concurrency
+    // hint, not a requirement (any participant can finish a round alone by
+    // stealing), so growing the pool only buys parallelism.
     if (threads > 1) pool.EnsureWorkers(threads - 1);
-    ThreadPool::TaskGroup group(pool);
-    for (unsigned t = 1; t < threads; ++t) {
-      group.Run([&shard_loop, t] { shard_loop(t); });
-    }
-    group.RunInline([&shard_loop] { shard_loop(0); });
-    group.Wait();
+    graph.Run(pool, threads);
   }
-  if (first_error) std::rethrow_exception(first_error);
 
   model.SyncClock(now);
   result.total_cycles = now;
   result.instructions = model.TotalIssuedInstrs() +
                         memo_stats.replayed_instrs;
   result.metrics = model.metrics().Snapshot();
+  // Scheduler telemetry rides the driver.* namespace, which bit-identity
+  // suites exclude (like the skip counters, it describes how the run was
+  // executed, not what was simulated).
+  result.metrics["driver.tg_rounds"] = graph.rounds();
+  result.metrics["driver.tg_tasks_executed"] = graph.executed();
+  result.metrics["driver.tg_steals"] = graph.steals();
+  result.metrics["driver.tg_clusters"] = clusters;
   for (const auto& [name, value] : replayed_deltas) {
     result.metrics[name] += value;
   }

@@ -1,15 +1,24 @@
-// Bounded-slack parallel cycle-accurate simulation (DESIGN.md §7): the SMs
-// of one GpuModel are partitioned across shard threads that advance their
-// local clocks up to `slack` cycles between barriers, while the shared
-// L2/NoC/DRAM is ticked by a single coordinator (the barrier's completion
-// step). SM→memory traffic crosses threads through bounded per-SM SPSC
-// ports stamped with the issue cycle.
+// Task-graph parallel cycle-accurate simulation (DESIGN.md §12): the SMs
+// of one GpuModel are partitioned into per-worker *clusters* (contention
+// domains — each owns its SMs' L1s, coalescers and SPSC memory ports), and
+// each simulated window becomes one round of a dependency task graph:
 //
-// At slack == 1 (the default) every window is one cycle and the schedule
-// is exactly the serial loop's: results are bit-identical to RunSimulation
-// for any thread count. At slack > 1 memory responses are delivered up to
-// slack-1 cycles late and CTA dispatch happens only at window boundaries —
-// a bounded, documented approximation bought for fewer barriers.
+//   cluster[0..C) tick span  ──unlock──▶  memory drain  ──▶  coordinator
+//
+// executed by a work-stealing scheduler (common/task_graph.h) instead of a
+// per-window std::barrier. Workers that finish their cluster steal other
+// clusters' work; the last finisher runs the memory drain and the
+// coordinator (clock advance, cycle-skip jumps, kernel transitions, CTA
+// dispatch) inline and re-arms the next round — no futex parking on the
+// per-cycle path, which is what collapsed the old slack-window protocol's
+// throughput as threads grew.
+//
+// At slack == 1 (the default) every round is one cycle and the mutation
+// schedule is exactly the serial loop's: results are bit-identical to
+// RunSimulation for any worker and cluster count. At slack > 1 memory
+// responses are delivered up to slack-1 cycles late and CTA dispatch
+// happens only at window boundaries — a bounded, documented approximation
+// bought for fewer synchronization rounds.
 #pragma once
 
 #include "config/gpu_config.h"
@@ -22,6 +31,11 @@ namespace swiftsim {
 struct ParallelDetailedOptions {
   unsigned num_threads = 0;  // 0 = hardware concurrency
   Cycle slack = 1;           // window length in cycles; 1 = exact
+  /// SM clusters (contention domains). 0 derives the count from the thread
+  /// and SM counts: one cluster per worker, capped at the SM count. More
+  /// clusters than workers improves steal-balancing at slightly more
+  /// scheduling work per round; results are identical either way.
+  unsigned clusters = 0;
   /// Chaos scenario armed on the sharded model (DESIGN.md §11); must
   /// outlive the run. Arming one disables memo replay for the run —
   /// replayed launches would dodge injection.

@@ -115,9 +115,13 @@ TEST(ParallelDetailed, ReportsMetricsAndLabel) {
   opt.num_threads = 2;
   const SimResult r =
       RunParallelDetailed(app, cfg, SimLevel::kSwiftSimBasic, opt);
-  EXPECT_EQ(r.simulator, ToString(SimLevel::kSwiftSimBasic) + "+sm-shards");
+  EXPECT_EQ(r.simulator, ToString(SimLevel::kSwiftSimBasic) + "+taskgraph");
   EXPECT_FALSE(r.metrics.empty());
   EXPECT_GT(r.metrics.at("sm0.issued_instrs"), 0u);
+  EXPECT_GT(r.metrics.at("driver.tg_rounds"), 0u);
+  EXPECT_GT(r.metrics.at("driver.tg_tasks_executed"),
+            r.metrics.at("driver.tg_rounds"));
+  EXPECT_EQ(r.metrics.at("driver.tg_clusters"), 2u);
   EXPECT_GT(r.wall_seconds, 0.0);
 }
 

@@ -1,0 +1,349 @@
+// Gates for the dependency task-graph scheduler and the drivers built on
+// it (DESIGN.md §12): scheduler-level ordering/round/error semantics, the
+// task-graph detailed driver's bit-identity matrix (worker counts × cycle
+// skipping × fault injection), the two-mode batch decision table and its
+// over-subscription invariant, and mode-equivalence of batch results.
+#include "common/task_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "config/presets.h"
+#include "swiftsim/fault_inject.h"
+#include "swiftsim/parallel.h"
+#include "swiftsim/parallel_detailed.h"
+#include "swiftsim/simulator.h"
+#include "workloads/workload.h"
+
+namespace swiftsim {
+namespace {
+
+// --- Scheduler unit gates -------------------------------------------------
+
+TEST(TaskGraph, ChainExecutesInEdgeOrderEveryRound) {
+  TaskGraph g;
+  std::vector<int> seq;  // ordered by the chain's edges (the contract)
+  int round = 0;
+  const int a = g.AddTask("a", [&] { seq.push_back(0); });
+  const int b = g.AddTask("b", [&] { seq.push_back(1); });
+  g.AddTask("c", [&] {
+    seq.push_back(2);
+    if (++round == 5) g.Finish();
+  });
+  g.AddEdge(a, b);
+  g.AddEdge(b, b + 1);
+  g.Run(ThreadPool::Shared(), 4);
+  EXPECT_EQ(g.rounds(), 5u);
+  EXPECT_EQ(g.executed(), 15u);
+  ASSERT_EQ(seq.size(), 15u);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i], static_cast<int>(i % 3)) << "position " << i;
+  }
+}
+
+TEST(TaskGraph, DiamondWaitsForAllDependencies) {
+  TaskGraph g;
+  std::atomic<int> a_runs{0};
+  std::atomic<int> rounds_done{0};
+  std::atomic<bool> order_ok{true};
+  const int a = g.AddTask("a", [&] { a_runs.fetch_add(1); });
+  auto check_after_a = [&] {
+    // Within a round, b/c run strictly after a; d completing bumps
+    // rounds_done, so a must be exactly one execution ahead of it here.
+    if (a_runs.load() != rounds_done.load() + 1) order_ok = false;
+  };
+  const int b = g.AddTask("b", check_after_a);
+  const int c = g.AddTask("c", check_after_a);
+  const int d = g.AddTask("d", [&] {
+    check_after_a();
+    if (rounds_done.fetch_add(1) + 1 == 3) g.Finish();
+  });
+  g.AddEdge(a, b);
+  g.AddEdge(a, c);
+  g.AddEdge(b, d);
+  g.AddEdge(c, d);
+  g.Run(ThreadPool::Shared(), 4);
+  EXPECT_TRUE(order_ok.load());
+  EXPECT_EQ(g.rounds(), 3u);
+  EXPECT_EQ(g.executed(), 12u);
+}
+
+TEST(TaskGraph, TaskExceptionDrainsRoundAndRethrows) {
+  TaskGraph g;
+  int rounds = 0;
+  const int a = g.AddTask("a", [] {});
+  g.AddTask("boom", [&] {
+    if (++rounds == 3) throw SimError("boom");
+  });
+  g.AddEdge(a, a + 1);
+  EXPECT_THROW(g.Run(ThreadPool::Shared(), 2), SimError);
+  EXPECT_EQ(rounds, 3);
+}
+
+TEST(TaskGraph, RejectsEmptyAndRootlessGraphs) {
+  TaskGraph empty;
+  EXPECT_THROW(empty.Run(ThreadPool::Shared(), 1), SimError);
+  TaskGraph cyc;
+  const int a = cyc.AddTask("a", [] {});
+  const int b = cyc.AddTask("b", [] {});
+  cyc.AddEdge(a, b);
+  cyc.AddEdge(b, a);
+  EXPECT_THROW(cyc.Run(ThreadPool::Shared(), 2), SimError);
+}
+
+TEST(TaskGraph, LivenessNeverDependsOnPoolWorkersAndRunsAreReusable) {
+  // Joiners are a concurrency hint: even asking for far more workers than
+  // the host has threads, the caller alone can finish every round by
+  // stealing. Run() also resets all scheduler state, so the same graph
+  // re-runs cleanly.
+  TaskGraph g;
+  int rounds = 0;
+  g.AddTask("only", [&] {
+    if (++rounds % 50 == 0) g.Finish();
+  });
+  g.Run(ThreadPool::Shared(), 8);
+  EXPECT_EQ(g.rounds(), 50u);
+  g.Run(ThreadPool::Shared(), 8);
+  EXPECT_EQ(g.rounds(), 50u);
+  EXPECT_EQ(rounds, 100);
+}
+
+// --- Driver bit-identity matrix -------------------------------------------
+
+GpuConfig SmallGpu() {
+  GpuConfig cfg = Rtx2080TiConfig();
+  cfg.num_sms = 8;
+  cfg.num_mem_partitions = 2;
+  return cfg;
+}
+
+Application SmallApp(const std::string& name) {
+  WorkloadScale s;
+  s.scale = 0.03;
+  return BuildWorkload(name, s);
+}
+
+void ExpectSameNumbers(const SimResult& x, const SimResult& y,
+                       const std::string& what) {
+  EXPECT_EQ(x.total_cycles, y.total_cycles) << what;
+  EXPECT_EQ(x.instructions, y.instructions) << what;
+  ASSERT_EQ(x.kernels.size(), y.kernels.size()) << what;
+  for (std::size_t k = 0; k < x.kernels.size(); ++k) {
+    EXPECT_EQ(x.kernels[k].cycles, y.kernels[k].cycles)
+        << what << " kernel " << x.kernels[k].name;
+  }
+}
+
+/// Everything except driver telemetry (driver.* describes how the run was
+/// executed — rounds, steals, skip spans — not what was simulated).
+std::vector<std::pair<std::string, std::uint64_t>> NonDriverMetrics(
+    const SimResult& r) {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& [name, value] : r.metrics) {
+    if (name.rfind("driver.", 0) == 0) continue;
+    out.emplace_back(name, value);
+  }
+  return out;
+}
+
+TEST(TaskGraphDriver, BitIdentityAcrossWorkersAndCycleSkip) {
+  for (const bool skip : {false, true}) {
+    GpuConfig cfg = SmallGpu();
+    cfg.cycle_skip = skip;
+    const Application app = SmallApp("SM");
+    const SimResult serial = RunSimulation(app, cfg, SimLevel::kDetailed);
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+      ParallelDetailedOptions opt;
+      opt.num_threads = threads;
+      opt.slack = 1;
+      const SimResult par =
+          RunParallelDetailed(app, cfg, SimLevel::kDetailed, opt);
+      const std::string what = std::string("skip=") +
+                               (skip ? "on" : "off") + "/t" +
+                               std::to_string(threads);
+      ExpectSameNumbers(serial, par, what);
+      EXPECT_EQ(NonDriverMetrics(serial), NonDriverMetrics(par)) << what;
+    }
+  }
+}
+
+TEST(TaskGraphDriver, ClusterPartitioningDoesNotChangeResults) {
+  // Cluster count is a scheduling knob, not a model knob: a non-divisor
+  // cluster count (uneven SM ranges) and more clusters than workers both
+  // yield the serial result.
+  const GpuConfig cfg = SmallGpu();
+  const Application app = SmallApp("BFS");
+  const SimResult serial = RunSimulation(app, cfg, SimLevel::kDetailed);
+  for (const unsigned clusters : {1u, 3u, 8u, 64u}) {
+    ParallelDetailedOptions opt;
+    opt.num_threads = 2;
+    opt.slack = 1;
+    opt.clusters = clusters;
+    const SimResult par =
+        RunParallelDetailed(app, cfg, SimLevel::kDetailed, opt);
+    ExpectSameNumbers(serial, par,
+                      "clusters=" + std::to_string(clusters));
+    EXPECT_EQ(par.metrics.at("driver.tg_clusters"),
+              std::min(clusters, cfg.num_sms));
+  }
+}
+
+TEST(TaskGraphDriver, ArmedFaultPlanStaysIdenticalAcrossWorkers) {
+  // Fault decisions are stateless hashes, so the task-graph driver must
+  // replay the serial fault schedule exactly for any worker count.
+  const GpuConfig cfg = SmallGpu();
+  const Application app = SmallApp("SM");
+  FaultPlan plan;
+  plan.name = "matrix";
+  plan.seed = 7;
+  plan.resp_delay_p = 0.3;
+  plan.resp_delay_cycles = 9;
+  plan.resp_drop_p = 0.2;
+  plan.resp_retry_cycles = 40;
+  plan.resp_max_drops = 2;
+  plan.issue_stall_p = 0.1;
+  plan.issue_stall_cycles = 12;
+  FaultInjector serial_inj(plan, cfg.num_sms);
+  GpuModel serial_model(cfg, SelectionFor(SimLevel::kDetailed));
+  serial_model.ArmFaults(&serial_inj);
+  const SimResult serial = serial_model.RunApplication(app);
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    FaultInjector inj(plan, cfg.num_sms);
+    ParallelDetailedOptions opt;
+    opt.num_threads = threads;
+    opt.slack = 1;
+    opt.fault = &inj;
+    const SimResult par =
+        RunParallelDetailed(app, cfg, SimLevel::kDetailed, opt);
+    ExpectSameNumbers(serial, par, "fault/t" + std::to_string(threads));
+    EXPECT_FALSE(inj.AnyHeld());
+  }
+}
+
+// --- Two-mode batch policy ------------------------------------------------
+
+TEST(BatchPlanPolicy, DecisionTable) {
+  // Analytical-memory levels always run app-parallel.
+  BatchPlan p = PlanParallelBatch(2, 8, /*cycle_accurate_mem=*/false,
+                                  ParallelMode::kAuto);
+  EXPECT_EQ(p.chosen, ParallelMode::kApp);
+  EXPECT_EQ(p.app_lanes, 2u);
+  EXPECT_EQ(p.threads_per_app, 1u);
+
+  // Auto, apps >= budget: app-parallel fills the machine by itself.
+  p = PlanParallelBatch(8, 4, true, ParallelMode::kAuto);
+  EXPECT_EQ(p.chosen, ParallelMode::kApp);
+  EXPECT_EQ(p.app_lanes, 4u);
+  EXPECT_EQ(p.threads_per_app, 1u);
+
+  // Auto, apps < budget: mix — spare threads go inside the lanes.
+  p = PlanParallelBatch(2, 8, true, ParallelMode::kAuto);
+  EXPECT_EQ(p.chosen, ParallelMode::kIntra);
+  EXPECT_EQ(p.app_lanes, 2u);
+  EXPECT_EQ(p.threads_per_app, 4u);
+
+  // Non-divisor mix rounds down, never over the budget.
+  p = PlanParallelBatch(3, 8, true, ParallelMode::kAuto);
+  EXPECT_EQ(p.app_lanes, 3u);
+  EXPECT_EQ(p.threads_per_app, 2u);
+
+  // Explicit intra: one app at a time on the whole budget.
+  p = PlanParallelBatch(8, 4, true, ParallelMode::kIntra);
+  EXPECT_EQ(p.chosen, ParallelMode::kIntra);
+  EXPECT_EQ(p.app_lanes, 1u);
+  EXPECT_EQ(p.threads_per_app, 4u);
+
+  // Explicit app with spare budget stays one thread per app.
+  p = PlanParallelBatch(2, 8, true, ParallelMode::kApp);
+  EXPECT_EQ(p.chosen, ParallelMode::kApp);
+  EXPECT_EQ(p.app_lanes, 2u);
+  EXPECT_EQ(p.threads_per_app, 1u);
+
+  // Degenerate shapes stay sane.
+  p = PlanParallelBatch(0, 8, true, ParallelMode::kAuto);
+  EXPECT_EQ(p.app_lanes, 1u);
+  EXPECT_EQ(p.threads_per_app, 1u);
+}
+
+TEST(BatchPlanPolicy, NeverOversubscribesTheThreadBudget) {
+  // Satellite fix for the over-subscription bug: apps × per-app workers
+  // must never exceed the requested budget, for any shape or mode.
+  for (const ParallelMode mode :
+       {ParallelMode::kAuto, ParallelMode::kApp, ParallelMode::kIntra}) {
+    for (std::size_t apps = 0; apps <= 10; ++apps) {
+      for (unsigned threads = 1; threads <= 12; ++threads) {
+        const BatchPlan p = PlanParallelBatch(apps, threads, true, mode);
+        EXPECT_LE(p.app_lanes * p.threads_per_app, threads)
+            << ToString(mode) << " apps=" << apps << " threads=" << threads;
+        EXPECT_GE(p.app_lanes, 1u);
+        EXPECT_GE(p.threads_per_app, 1u);
+      }
+    }
+  }
+}
+
+TEST(BatchModes, IdenticalResultsAcrossModeKnob) {
+  // The mode knob moves work between threads, never between models: every
+  // mode produces the serial numbers for every app in the batch.
+  GpuConfig cfg = SmallGpu();
+  const std::vector<Application> apps = {SmallApp("SM"), SmallApp("BFS")};
+  std::vector<SimResult> serial;
+  for (const Application& app : apps) {
+    serial.push_back(RunSimulation(app, cfg, SimLevel::kSwiftSimBasic));
+  }
+  for (const ParallelMode mode :
+       {ParallelMode::kApp, ParallelMode::kAuto, ParallelMode::kIntra}) {
+    cfg.parallel.mode = mode;
+    const ParallelBatchResult batch =
+        RunAppsParallel(apps, cfg, SimLevel::kSwiftSimBasic, 4);
+    ASSERT_EQ(batch.results.size(), apps.size());
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      ExpectSameNumbers(serial[i], batch.results[i],
+                        std::string(ToString(mode)) + "/" + apps[i].name);
+    }
+  }
+}
+
+TEST(BatchModes, IsolatedBatchUsesIntraLanesWhenEligible) {
+  GpuConfig cfg = SmallGpu();
+  cfg.parallel.mode = ParallelMode::kAuto;
+  const std::vector<Application> apps = {SmallApp("SM")};
+  const SimResult serial =
+      RunSimulation(apps[0], cfg, SimLevel::kSwiftSimBasic);
+  BatchOptions options;
+  options.isolate_failures = true;
+  const ParallelBatchResult batch =
+      RunAppsParallel(apps, cfg, SimLevel::kSwiftSimBasic, 4, options);
+  ASSERT_EQ(batch.statuses.size(), 1u);
+  EXPECT_EQ(batch.statuses[0].status, AppStatus::kOk);
+  ExpectSameNumbers(serial, batch.results[0], "isolated intra");
+  // One app, four threads, auto mode → the task-graph driver ran it.
+  EXPECT_EQ(batch.results[0].simulator,
+            ToString(SimLevel::kSwiftSimBasic) + "+taskgraph");
+}
+
+TEST(BatchModes, FaultPlanForcesAppParallelLanes) {
+  // Fault injection needs the resilient serial driver; the planner must
+  // not route such batches through intra-app sharding.
+  GpuConfig cfg = SmallGpu();
+  cfg.parallel.mode = ParallelMode::kAuto;
+  const std::vector<Application> apps = {SmallApp("SM")};
+  FaultPlan plan;  // armed but empty: the seam must still force app mode
+  BatchOptions options;
+  options.isolate_failures = true;
+  options.fault_plan = &plan;
+  const ParallelBatchResult batch =
+      RunAppsParallel(apps, cfg, SimLevel::kSwiftSimBasic, 4, options);
+  ASSERT_EQ(batch.results.size(), 1u);
+  EXPECT_EQ(batch.statuses[0].status, AppStatus::kOk);
+  EXPECT_EQ(batch.results[0].simulator,
+            ToString(SimLevel::kSwiftSimBasic));
+}
+
+}  // namespace
+}  // namespace swiftsim
