@@ -9,10 +9,19 @@
 //      models assume LRU; the cycle-accurate cache module can model FIFO
 //      and Random too. Swift-Sim-Basic keeps the cycle-accurate memory
 //      path, so the sweep is possible at hybrid speed.
+//  (c) Memory-timing sweep — DRAM x NoC latency at Swift-Sim-Memory. The
+//      timing knobs do not change cache geometry, so every point shares
+//      one pre-pass profile through the global ProfileCache: the sweep
+//      pays the reuse-distance analysis once, not per point.
+//
+// All three sweeps share the process-global MemoCache; --memo-file loads
+// it before the first sweep and saves it after the last, so a re-run (or
+// a later bench_dse over overlapping configs) starts warm.
 #include <cstdio>
 
 #include "bench_common.h"
 #include "config/presets.h"
+#include "swiftsim/memo_cache.h"
 
 int main(int argc, char** argv) {
   using namespace swiftsim;
@@ -21,7 +30,23 @@ int main(int argc, char** argv) {
   if (opt.apps.empty()) opt.apps = {"BFS", "HOTSPOT", "LU", "SM"};
   PrintHeader("Ablation: DSE sweeps on cycle-accurate modules", opt);
 
+  if (!opt.memo_file.empty() && LoadMemoFileIfExists(opt.memo_file)) {
+    std::printf("memo-file: loaded %zu replayable launch records from %s\n",
+                MemoCache::Global().size(), opt.memo_file.c_str());
+  }
+
   const auto apps = BuildApps(opt);
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+  const auto run = [&](const Application& app, const GpuConfig& gpu,
+                       SimLevel level) {
+    GpuConfig cfg = gpu;
+    cfg.memo.enabled = opt.memo;
+    const AppRun r = RunOne(app, cfg, level);
+    memo_hits += r.memo_hits;
+    memo_misses += r.memo_misses;
+    return r;
+  };
 
   std::printf("-- (a) warp-scheduler policy sweep (Swift-Sim-Basic) --\n");
   std::printf("%-10s %12s %12s %12s\n", "app", "gto", "lrr", "two_level");
@@ -31,7 +56,7 @@ int main(int argc, char** argv) {
          {SchedPolicy::kGto, SchedPolicy::kLrr, SchedPolicy::kTwoLevel}) {
       GpuConfig gpu = Rtx2080TiConfig();
       gpu.sched_policy = pol;
-      const AppRun r = RunOne(app, gpu, SimLevel::kSwiftSimBasic);
+      const AppRun r = run(app, gpu, SimLevel::kSwiftSimBasic);
       std::printf(" %12llu", static_cast<unsigned long long>(r.cycles));
     }
     std::printf("\n");
@@ -47,12 +72,48 @@ int main(int argc, char** argv) {
       GpuConfig gpu = Rtx2080TiConfig();
       gpu.l1.replacement = pol;
       gpu.l2.replacement = pol;
-      const AppRun r = RunOne(app, gpu, SimLevel::kSwiftSimBasic);
+      const AppRun r = run(app, gpu, SimLevel::kSwiftSimBasic);
       std::printf(" %12llu", static_cast<unsigned long long>(r.cycles));
     }
     std::printf("\n");
   }
   std::printf("(cycle counts shift with policy; an analytical-only cache "
               "model could not run sweep (b) at all)\n");
+
+  std::printf("-- (c) memory-timing sweep (Swift-Sim-Memory, shared "
+              "pre-pass) --\n");
+  const std::uint64_t pc_hits0 = ProfileCache::Global().hits();
+  const std::uint64_t pc_miss0 = ProfileCache::Global().misses();
+  std::printf("%-10s %12s %12s %12s %12s\n", "app", "d160/n4", "d160/n16",
+              "d227/n4", "d227/n16");
+  for (const Application& app : apps) {
+    std::printf("%-10s", app.name.c_str());
+    for (const unsigned dram_lat : {160u, 227u}) {
+      for (const unsigned noc_lat : {4u, 16u}) {
+        GpuConfig gpu = Rtx2080TiConfig();
+        gpu.dram.latency = dram_lat;
+        gpu.noc.latency = noc_lat;
+        const AppRun r = run(app, gpu, SimLevel::kSwiftSimMemory);
+        std::printf(" %12llu", static_cast<unsigned long long>(r.cycles));
+      }
+    }
+    std::printf("\n");
+  }
+  const std::uint64_t built = ProfileCache::Global().misses() - pc_miss0;
+  const std::uint64_t shared = ProfileCache::Global().hits() - pc_hits0;
+  std::printf("(timing knobs leave cache geometry unchanged: %llu pre-pass "
+              "profiles built, %llu shared across the %zux4 grid)\n",
+              static_cast<unsigned long long>(built),
+              static_cast<unsigned long long>(shared), apps.size());
+
+  std::printf("memo: %llu launches replayed, %llu simulated across all "
+              "sweeps\n",
+              static_cast<unsigned long long>(memo_hits),
+              static_cast<unsigned long long>(memo_misses));
+  if (!opt.memo_file.empty()) {
+    SaveMemoFile(opt.memo_file);
+    std::printf("memo-file: saved %zu replayable launch records to %s\n",
+                MemoCache::Global().size(), opt.memo_file.c_str());
+  }
   return 0;
 }

@@ -8,65 +8,129 @@
 
 #include "common/status.h"
 #include "common/strutil.h"
+#include "swiftsim/memo_cache.h"
 #include "swiftsim/simulator.h"
 
 namespace swiftsim::bench {
 
 BenchOptions ParseOptions(int argc, char** argv, double default_scale) {
+  return ParseOptions(argc, argv, default_scale, {});
+}
+
+BenchOptions ParseOptions(int argc, char** argv, double default_scale,
+                          const std::vector<BenchFlag>& extra) {
   BenchOptions opt;
   opt.scale = default_scale;
+  // The shared flag set, expressed through the same BenchFlag machinery a
+  // bench uses for its own flags — one matcher, one error path.
+  std::vector<BenchFlag> flags = {
+      {"--scale", true,
+       [&opt](const std::string& v) {
+         opt.scale = ParseDouble(v, "--scale");
+         SS_CHECK(opt.scale > 0, "--scale must be positive");
+       }},
+      {"--sweep", true,
+       [&opt](const std::string& v) {
+         for (const std::string& s : Split(v, ',')) {
+           const double scale = ParseDouble(s, "--sweep");
+           SS_CHECK(scale > 0, "--sweep scales must be positive");
+           opt.sweep.push_back(scale);
+         }
+         SS_CHECK(!opt.sweep.empty(), "--sweep needs at least one scale");
+       }},
+      {"--apps", true,
+       [&opt](const std::string& v) { opt.apps = Split(v, ','); }},
+      {"--threads", true,
+       [&opt](const std::string& v) {
+         opt.threads = static_cast<unsigned>(ParseUint(v, "--threads"));
+       }},
+      {"--seed", true,
+       [&opt](const std::string& v) { opt.seed = ParseUint(v, "--seed"); }},
+      {"--json", true,
+       [&opt](const std::string& v) {
+         opt.json_path = v;
+         SS_CHECK(!opt.json_path.empty(), "--json needs a path");
+       }},
+      {"--no-skip", false,
+       [&opt](const std::string&) { opt.cycle_skip = false; }},
+      {"--no-memo", false,
+       [&opt](const std::string&) { opt.memo = false; }},
+      {"--memo-file", true,
+       [&opt](const std::string& v) {
+         opt.memo_file = v;
+         SS_CHECK(!opt.memo_file.empty(), "--memo-file needs a path");
+       }},
+      {"--watchdog-cycles", true,
+       [&opt](const std::string& v) {
+         opt.watchdog_cycles = ParseUint(v, "--watchdog-cycles");
+       }},
+      {"--timeout-sec", true,
+       [&opt](const std::string& v) {
+         opt.timeout_sec = ParseDouble(v, "--timeout-sec");
+         SS_CHECK(opt.timeout_sec >= 0, "--timeout-sec must be >= 0");
+       }},
+      {"--fault-plan", true,
+       [&opt](const std::string& v) {
+         opt.fault_plan_path = v;
+         SS_CHECK(!opt.fault_plan_path.empty(), "--fault-plan needs a path");
+       }},
+      {"--degrade-on-hang", false,
+       [&opt](const std::string&) { opt.degrade_on_hang = true; }},
+      {"--dump-dir", true,
+       [&opt](const std::string& v) {
+         opt.dump_dir = v;
+         SS_CHECK(!opt.dump_dir.empty(), "--dump-dir needs a path");
+       }},
+  };
+  flags.insert(flags.end(), extra.begin(), extra.end());
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (StartsWith(arg, "--scale=")) {
-      opt.scale = ParseDouble(arg.substr(8), "--scale");
-      SS_CHECK(opt.scale > 0, "--scale must be positive");
-    } else if (StartsWith(arg, "--sweep=")) {
-      for (const std::string& s : Split(arg.substr(8), ',')) {
-        const double v = ParseDouble(s, "--sweep");
-        SS_CHECK(v > 0, "--sweep scales must be positive");
-        opt.sweep.push_back(v);
+    bool matched = false;
+    for (const BenchFlag& flag : flags) {
+      if (flag.has_value) {
+        if (StartsWith(arg, flag.name + "=")) {
+          flag.handler(arg.substr(flag.name.size() + 1));
+          matched = true;
+          break;
+        }
+      } else if (arg == flag.name) {
+        flag.handler("");
+        matched = true;
+        break;
       }
-      SS_CHECK(!opt.sweep.empty(), "--sweep needs at least one scale");
-    } else if (StartsWith(arg, "--apps=")) {
-      opt.apps = Split(arg.substr(7), ',');
-    } else if (StartsWith(arg, "--threads=")) {
-      opt.threads =
-          static_cast<unsigned>(ParseUint(arg.substr(10), "--threads"));
-    } else if (StartsWith(arg, "--seed=")) {
-      opt.seed = ParseUint(arg.substr(7), "--seed");
-    } else if (StartsWith(arg, "--json=")) {
-      opt.json_path = arg.substr(7);
-      SS_CHECK(!opt.json_path.empty(), "--json needs a path");
-    } else if (arg == "--no-skip") {
-      opt.cycle_skip = false;
-    } else if (arg == "--no-memo") {
-      opt.memo = false;
-    } else if (StartsWith(arg, "--watchdog-cycles=")) {
-      opt.watchdog_cycles = ParseUint(arg.substr(18), "--watchdog-cycles");
-    } else if (StartsWith(arg, "--timeout-sec=")) {
-      opt.timeout_sec = ParseDouble(arg.substr(14), "--timeout-sec");
-      SS_CHECK(opt.timeout_sec >= 0, "--timeout-sec must be >= 0");
-    } else if (StartsWith(arg, "--fault-plan=")) {
-      opt.fault_plan_path = arg.substr(13);
-      SS_CHECK(!opt.fault_plan_path.empty(), "--fault-plan needs a path");
-    } else if (arg == "--degrade-on-hang") {
-      opt.degrade_on_hang = true;
-    } else if (StartsWith(arg, "--dump-dir=")) {
-      opt.dump_dir = arg.substr(11);
-      SS_CHECK(!opt.dump_dir.empty(), "--dump-dir needs a path");
-    } else {
-      throw SimError(
-          "unknown flag '" + arg +
-          "' (expected --scale=, --sweep=, --apps=, --threads=, --seed=, "
-          "--json=, "
-          "--no-skip, --no-memo, --watchdog-cycles=, --timeout-sec=, "
-          "--fault-plan=, --degrade-on-hang, --dump-dir=)");
+    }
+    if (!matched) {
+      std::string expected;
+      for (const BenchFlag& flag : flags) {
+        if (!expected.empty()) expected += ", ";
+        expected += flag.name + (flag.has_value ? "=" : "");
+      }
+      throw SimError("unknown flag '" + arg + "' (expected " + expected +
+                     ")");
     }
   }
   if (opt.threads == 0) {
     opt.threads = std::max(1u, std::thread::hardware_concurrency());
   }
   return opt;
+}
+
+bool LoadMemoFileIfExists(const std::string& path) {
+  SS_CHECK(!path.empty(), "memo file path is empty");
+  if (!std::filesystem::exists(path)) return false;
+  MemoCache::Global().LoadFromFile(path);
+  return true;
+}
+
+void SaveMemoFile(const std::string& path) {
+  SS_CHECK(!path.empty(), "memo file path is empty");
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  MemoCache::Global().SaveToFile(path);
 }
 
 std::vector<Application> BuildApps(const BenchOptions& opt) {
@@ -209,6 +273,8 @@ std::string GitDescribe() {
 }
 
 }  // namespace
+
+std::string GitDescribeString() { return GitDescribe(); }
 
 JsonRun ToJsonRun(const AppRun& run, const std::string& level,
                   unsigned threads) {

@@ -7,6 +7,7 @@
 // and prints the rows/series of the corresponding paper table or figure.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,8 @@ struct BenchOptions {
   std::string json_path;          // --json=<path>: machine-readable records
   bool cycle_skip = true;         // --no-skip: disable event-calendar jumps
   bool memo = true;               // --no-memo: disable cross-launch caches
+  std::string memo_file;          // --memo-file=<path>: persist the global
+                                  // MemoCache across sweep processes
   // Resilience knobs (DESIGN.md §11); 0/empty = off.
   Cycle watchdog_cycles = 0;      // --watchdog-cycles=<n>: stall window
   double timeout_sec = 0;         // --timeout-sec=<s>: per-app wall budget
@@ -36,10 +39,35 @@ struct BenchOptions {
   std::string dump_dir;           // --dump-dir=<dir>: hang diagnostics
 };
 
+/// One command-line flag a bench can register on top of the shared set.
+/// Value flags are spelled `--name=<value>` (the handler receives the
+/// value); switches are spelled `--name` (the handler receives ""). Every
+/// flag — built-in or extra — parses through the same matcher, and an
+/// unrecognized argument is an error naming the full accepted set.
+struct BenchFlag {
+  std::string name;       // including the leading "--", e.g. "--points"
+  bool has_value = true;  // false: boolean switch
+  std::function<void(const std::string& value)> handler;
+};
+
 /// Parses --scale/--sweep/--apps/--threads/--seed/--json/--no-skip/
-/// --no-memo/--watchdog-cycles/--timeout-sec/--fault-plan/
-/// --degrade-on-hang/--dump-dir; throws SimError on bad flags.
+/// --no-memo/--memo-file/--watchdog-cycles/--timeout-sec/--fault-plan/
+/// --degrade-on-hang/--dump-dir plus any `extra` bench-specific flags;
+/// throws SimError on unknown or malformed flags.
 BenchOptions ParseOptions(int argc, char** argv, double default_scale);
+BenchOptions ParseOptions(int argc, char** argv, double default_scale,
+                          const std::vector<BenchFlag>& extra);
+
+/// Loads `path` into the process-global MemoCache when the file exists;
+/// returns true when entries were merged in. A missing file is not an
+/// error (every sweep's first process starts cold).
+bool LoadMemoFileIfExists(const std::string& path);
+
+/// Persists the global MemoCache's replay-ready entries to `path`.
+void SaveMemoFile(const std::string& path);
+
+/// `git describe --always --dirty`, or "unknown" outside a repository.
+std::string GitDescribeString();
 
 /// Maps the resilience knobs onto the config consumed by every driver.
 /// The wall budget is per fresh GpuModel, which the benches create per

@@ -1,0 +1,227 @@
+// Design-space exploration at scale (DESIGN.md §13): expands a config
+// sweep, screens every point with the cheap analytical-memory estimate,
+// and promotes only the Pareto frontier (cycles x area-proxy) to the
+// cycle-accurate level — with one process-global MemoCache/ProfileCache
+// threaded through all points and optionally persisted across sweep
+// processes via --memo-file.
+//
+// Flags on top of the shared set (bench_common.h):
+//   --points=<n>         sample the default grid down to n points (64)
+//   --sweep-ini=<path>   sweep axes from an INI file ([sweep] axis.<key>)
+//   --keep-fraction=<f>  successive-halving quota per rung (0.25)
+//   --max-promote=<n>    cap on cycle-accurate points (8, 0 = uncapped)
+//   --refine             insert the Swift-Sim-Basic middle rung
+//   --no-early-stopping  reference mode: every point runs cycle-accurate
+//   --smoke              CI gate: warm sweep must beat the cold per-point
+//                        baseline by >= 3x; exits 77 under 4 hw threads
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.h"
+#include "common/status.h"
+#include "common/strutil.h"
+#include "config/presets.h"
+#include "config/sweep_spec.h"
+#include "swiftsim/dse_engine.h"
+#include "swiftsim/memo_cache.h"
+
+namespace {
+
+using namespace swiftsim;
+using namespace swiftsim::bench;
+
+/// The default grid: the paper's §II-B DSE axes (scheduler policy, cache
+/// geometry + replacement, chip shape, DRAM timing). 216 combinations;
+/// --points samples them evenly.
+SweepSpec DefaultSpec() {
+  SweepSpec spec;
+  spec.AddAxis("core.sched_policy", {"gto", "lrr", "two_level"});
+  spec.AddAxis("l1.size_bytes", {"32768", "65536", "131072"});
+  spec.AddAxis("l1.replacement", {"lru", "fifo", "random"});
+  spec.AddAxis("l2.size_bytes", {"131072", "262144"});
+  spec.AddAxis("gpu.num_sms", {"34", "68"});
+  spec.AddAxis("dram.latency", {"160", "227"});
+  return spec;
+}
+
+void WriteDseJson(const std::string& path, const BenchOptions& opt,
+                  std::size_t requested_points, const dse::SweepReport& rep,
+                  bool early_stopping) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  SS_CHECK(f != nullptr, "cannot open --json path '" + path + "'");
+  std::fprintf(f, "{\n  \"bench\": \"bench_dse\",\n  \"git\": \"%s\",\n",
+               GitDescribeString().c_str());
+  std::fprintf(f, "  \"scale\": %.4f,\n  \"threads\": %u,\n", opt.scale,
+               opt.threads);
+  std::fprintf(f, "  \"points\": %zu,\n  \"early_stopping\": %s,\n",
+               requested_points, early_stopping ? "true" : "false");
+  std::fprintf(f,
+               "  \"promoted\": %zu,\n  \"retired\": %zu,\n"
+               "  \"refined\": %zu,\n",
+               rep.promoted, rep.retired, rep.refined);
+  std::fprintf(f,
+               "  \"memo_hits\": %llu,\n  \"memo_misses\": %llu,\n"
+               "  \"prepass_shared\": %llu,\n  \"prepass_built\": %llu,\n",
+               static_cast<unsigned long long>(rep.memo_hits),
+               static_cast<unsigned long long>(rep.memo_misses),
+               static_cast<unsigned long long>(rep.prepass_shared),
+               static_cast<unsigned long long>(rep.prepass_built));
+  std::fprintf(f, "  \"screen_sims\": %llu,\n  \"screen_deduped\": %llu,\n",
+               static_cast<unsigned long long>(rep.screen_sims),
+               static_cast<unsigned long long>(rep.screen_deduped));
+  std::fprintf(f,
+               "  \"wall_seconds\": %.6f,\n  \"est_cold_wall\": %.6f,\n"
+               "  \"speedup_vs_cold\": %.3f,\n",
+               rep.wall_seconds, rep.est_cold_wall, rep.speedup_vs_cold);
+  std::fprintf(f, "  \"points_per_sec\": %.3f,\n",
+               rep.wall_seconds > 0
+                   ? static_cast<double>(rep.points.size()) / rep.wall_seconds
+                   : 0.0);
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < rep.points.size(); ++i) {
+    const dse::PointOutcome& p = rep.points[i];
+    std::fprintf(
+        f,
+        "    {\"index\": %zu, \"label\": \"%s\", "
+        "\"cfg_hash\": \"%016llx\", \"level\": \"%s\", "
+        "\"promoted\": %s, \"frontier\": %s, \"area\": %.3f, "
+        "\"screen_cycles\": %llu, \"refine_cycles\": %llu, "
+        "\"detailed_cycles\": %llu, \"memo_hits\": %llu, "
+        "\"memo_cycles_avoided\": %llu, \"wall_seconds\": %.6f, "
+        "\"retired_by\": \"%s\"}%s\n",
+        p.index, p.label.c_str(),
+        static_cast<unsigned long long>(p.cfg_hash),
+        ToString(p.level_reached).c_str(), p.promoted ? "true" : "false",
+        p.frontier ? "true" : "false", p.area,
+        static_cast<unsigned long long>(p.screen_cycles),
+        static_cast<unsigned long long>(p.refine_cycles),
+        static_cast<unsigned long long>(p.final_cycles),
+        static_cast<unsigned long long>(p.memo_hits),
+        static_cast<unsigned long long>(p.memo_cycles_avoided),
+        p.screen_wall + p.refine_wall + p.final_wall, p.retired_by.c_str(),
+        i + 1 < rep.points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu points)\n", path.c_str(), rep.points.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t num_points = 64;
+  std::string sweep_ini;
+  dse::DseOptions dopt;
+  dopt.refine_rung = false;  // --refine opts in; see DESIGN.md §13
+  bool smoke = false;
+  const std::vector<BenchFlag> extra = {
+      {"--points", true,
+       [&](const std::string& v) {
+         num_points = ParseUint(v, "--points");
+         SS_CHECK(num_points > 0, "--points must be positive");
+       }},
+      {"--sweep-ini", true,
+       [&](const std::string& v) { sweep_ini = v; }},
+      {"--keep-fraction", true,
+       [&](const std::string& v) {
+         dopt.keep_fraction = ParseDouble(v, "--keep-fraction");
+         SS_CHECK(dopt.keep_fraction > 0 && dopt.keep_fraction <= 1,
+                  "--keep-fraction must be in (0, 1]");
+       }},
+      {"--max-promote", true,
+       [&](const std::string& v) {
+         dopt.max_promote =
+             static_cast<unsigned>(ParseUint(v, "--max-promote"));
+       }},
+      {"--refine", false,
+       [&](const std::string&) { dopt.refine_rung = true; }},
+      {"--no-early-stopping", false,
+       [&](const std::string&) { dopt.early_stopping = false; }},
+      {"--smoke", false, [&](const std::string&) { smoke = true; }},
+  };
+  BenchOptions opt = ParseOptions(argc, argv, /*default_scale=*/0.1, extra);
+  if (smoke && std::thread::hardware_concurrency() < 4) {
+    std::printf("SKIP: smoke gate needs >= 4 hardware threads\n");
+    return 77;
+  }
+  if (opt.apps.empty()) opt.apps = {"BFS", "SSSP"};
+  PrintHeader("DSE: warm-cache sweep with adaptive early stopping", opt);
+
+  GpuConfig base = Rtx2080TiConfig();
+  base.cycle_skip = opt.cycle_skip;
+  base.memo.enabled = opt.memo;
+  ApplyRobustness(&base, opt);
+
+  const SweepSpec spec =
+      sweep_ini.empty() ? DefaultSpec() : SweepSpec::FromFile(sweep_ini);
+  const SweepSpec::Expansion exp = spec.ExpandCapped(base, num_points);
+  SS_CHECK(!exp.points.empty(), "sweep expanded to zero valid points");
+  std::printf("grid: %zu combinations -> %zu points (%zu invalid skipped)\n",
+              spec.NumPoints(), exp.points.size(), exp.skipped_invalid);
+
+  if (!opt.memo_file.empty() && LoadMemoFileIfExists(opt.memo_file)) {
+    std::printf("memo-file: loaded %zu replayable launch records from %s\n",
+                MemoCache::Global().size(), opt.memo_file.c_str());
+  }
+
+  dopt.threads = opt.threads;
+  const auto apps = BuildApps(opt);
+  const dse::SweepReport rep = dse::RunSweep(apps, exp.points, dopt);
+
+  std::printf("%-4s %-11s %12s %12s %6s  %s\n", "pt", "level", "screen_cyc",
+              "final_cyc", "area", "decision");
+  for (const dse::PointOutcome& p : rep.points) {
+    const char* decision = p.frontier    ? "frontier"
+                           : p.promoted  ? "promoted"
+                                         : p.retired_by.c_str();
+    std::printf("%-4zu %-11s %12llu %12llu %6.0f  %.60s\n", p.index,
+                ToString(p.level_reached).c_str(),
+                static_cast<unsigned long long>(p.screen_cycles),
+                static_cast<unsigned long long>(p.final_cycles), p.area,
+                decision);
+  }
+  std::printf(
+      "-- %zu points: %zu promoted (%zu refined, %zu retired), "
+      "screen %llu sims / %llu deduped, memo %llu hits / %llu misses, "
+      "prepass %llu shared / %llu built --\n",
+      rep.points.size(), rep.promoted, rep.refined, rep.retired,
+      static_cast<unsigned long long>(rep.screen_sims),
+      static_cast<unsigned long long>(rep.screen_deduped),
+      static_cast<unsigned long long>(rep.memo_hits),
+      static_cast<unsigned long long>(rep.memo_misses),
+      static_cast<unsigned long long>(rep.prepass_shared),
+      static_cast<unsigned long long>(rep.prepass_built));
+  std::printf(
+      "wall %.2fs (%.2f points/s) vs cold per-point baseline %.2fs: "
+      "speedup_vs_cold %.2fx\n",
+      rep.wall_seconds,
+      rep.wall_seconds > 0
+          ? static_cast<double>(rep.points.size()) / rep.wall_seconds
+          : 0.0,
+      rep.est_cold_wall, rep.speedup_vs_cold);
+
+  // Pruning must never be silent: a retired point without a recorded
+  // bound is a bug, not a report style choice.
+  for (const dse::PointOutcome& p : rep.points) {
+    if (!p.promoted && p.retired_by.empty()) {
+      std::printf("FAIL: point %zu retired without a recorded bound\n",
+                  p.index);
+      return 1;
+    }
+  }
+
+  if (!opt.memo_file.empty()) {
+    SaveMemoFile(opt.memo_file);
+    std::printf("memo-file: saved %zu replayable launch records to %s\n",
+                MemoCache::Global().size(), opt.memo_file.c_str());
+  }
+  if (!opt.json_path.empty()) {
+    WriteDseJson(opt.json_path, opt, num_points, rep, dopt.early_stopping);
+  }
+  if (smoke && rep.speedup_vs_cold < 3.0) {
+    std::printf("FAIL: smoke gate needs speedup_vs_cold >= 3.0 (got %.2f)\n",
+                rep.speedup_vs_cold);
+    return 1;
+  }
+  return 0;
+}

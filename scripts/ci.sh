@@ -57,12 +57,12 @@ stage_asan() {
 
 stage_perf() {
   echo "==> perf: bench smoke (hot-path throughput + memo exactness +"
-  echo "          parallel scaling)"
+  echo "          parallel scaling + DSE sweep gate)"
   configure build
   cmake --build build -j "$JOBS" \
-    --target bench_hotpath bench_memo bench_parallel_scaling
-  # perf_parallel_smoke self-skips (exit 77) on hosts with < 4 hardware
-  # threads, where a 4-worker speedup gate would be meaningless.
+    --target bench_hotpath bench_memo bench_parallel_scaling bench_dse
+  # perf_parallel_smoke and perf_dse_smoke self-skip (exit 77) on hosts
+  # with < 4 hardware threads, where their speedup gates are meaningless.
   ctest --test-dir build -L perf --output-on-failure
 }
 

@@ -1,0 +1,91 @@
+// Design-space sweep specification (DESIGN.md §13).
+//
+// A SweepSpec is a set of axes, each pairing one GpuConfig INI key (the
+// same "section.key" names GpuConfig::FromIni consumes) with the values
+// it sweeps over. Expansion takes the Cartesian product over a base
+// configuration and yields one SweepPoint per combination, carrying the
+// fully-validated GpuConfig and its canonical hash — the identity the
+// DSE engine, the MemoCache and the JSON reports all key on.
+//
+// Axes can be declared programmatically (AddAxis) or parsed from an INI
+// file:
+//
+//   [sweep]
+//   axis.core.sched_policy = gto, lrr, two_level
+//   axis.l1.size_bytes     = 32768, 65536, 131072
+//
+// Every "sweep.axis.<config-key>" key contributes one axis; the value is
+// a comma-separated list applied verbatim through GpuConfig::FromIni.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/gpu_config.h"
+
+namespace swiftsim {
+
+class IniFile;
+
+struct SweepAxis {
+  std::string key;                  // full INI key, e.g. "l1.size_bytes"
+  std::vector<std::string> values;  // swept values, in declaration order
+};
+
+/// One expanded configuration point. `index` is the position in canonical
+/// expansion order (axes sorted by key, last axis fastest); `cfg_hash` is
+/// GpuConfig::CanonicalHash() — equal configs collide by construction, so
+/// decisions keyed on it are independent of how the point was enumerated.
+struct SweepPoint {
+  std::size_t index = 0;
+  std::string label;  // "key=value key=value" in axis order
+  GpuConfig cfg;
+  std::uint64_t cfg_hash = 0;
+};
+
+class SweepSpec {
+ public:
+  /// Adds one axis. Throws SimError on an empty value list or a key that
+  /// was already added. Axes are kept sorted by key, so the expansion
+  /// order does not depend on declaration order.
+  void AddAxis(const std::string& key, std::vector<std::string> values);
+
+  /// Collects every "sweep.axis.<key>" entry of `ini` into axes.
+  /// Throws SimError when the file declares none.
+  static SweepSpec FromIni(const IniFile& ini);
+  static SweepSpec FromFile(const std::string& path);
+
+  const std::vector<SweepAxis>& axes() const { return axes_; }
+
+  /// Size of the full Cartesian product (before invalid-combo skipping).
+  std::size_t NumPoints() const;
+
+  struct Expansion {
+    std::vector<SweepPoint> points;
+    /// Combinations whose GpuConfig failed Validate() (e.g. a cache size
+    /// that is not a multiple of line*assoc). Never silently dropped:
+    /// callers report this count.
+    std::size_t skipped_invalid = 0;
+  };
+
+  /// Expands the product over `base`. Each point's config is produced by
+  /// GpuConfig::FromIni on the axis overrides, so it is validated and its
+  /// hash canonical. Axis keys that `base` does not serialize (unknown
+  /// config keys) throw SimError up front. With `skip_invalid` false an
+  /// invalid combination throws instead of being counted.
+  Expansion Expand(const GpuConfig& base, bool skip_invalid = true) const;
+
+  /// Expands, then thins the product to at most `max_points` points with
+  /// a deterministic even stride over the canonical order — the way a
+  /// --points=N budget samples a larger grid without biasing toward any
+  /// one axis prefix. `max_points` 0 means no cap. Indices are rewritten
+  /// to be contiguous; labels and hashes are unchanged.
+  Expansion ExpandCapped(const GpuConfig& base, std::size_t max_points,
+                         bool skip_invalid = true) const;
+
+ private:
+  std::vector<SweepAxis> axes_;  // sorted by key
+};
+
+}  // namespace swiftsim

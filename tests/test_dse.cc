@@ -1,0 +1,364 @@
+// DSE sweep-engine gates (DESIGN.md §13): sweep expansion determinism,
+// Pareto/early-stopping decisions that are bit-identical across worker
+// counts and independent of point enumeration order, memo-warm vs cold
+// equality (including the on-disk round trip), the promoted-points-match-
+// reference guarantee, and the never-silent-pruning invariant.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "config/ini.h"
+#include "config/presets.h"
+#include "config/sweep_spec.h"
+#include "swiftsim/dse_engine.h"
+#include "swiftsim/memo_cache.h"
+#include "swiftsim/simulator.h"
+#include "workloads/workload.h"
+
+namespace swiftsim {
+namespace {
+
+GpuConfig SmallGpu() {
+  GpuConfig cfg = Rtx2080TiConfig();
+  cfg.num_sms = 4;
+  cfg.num_mem_partitions = 2;
+  return cfg;
+}
+
+Application SmallApp(const std::string& name, double scale = 0.02) {
+  WorkloadScale s;
+  s.scale = scale;
+  return BuildWorkload(name, s);
+}
+
+void ClearGlobalCaches() {
+  MemoCache::Global().Clear();
+  ProfileCache::Global().Clear();
+}
+
+/// The small grid the engine tests sweep: 2 x 2 x 2 = 8 points, mixing
+/// axes the analytical screen sees (L1 size, SM count) with one it does
+/// not (scheduler policy).
+SweepSpec::Expansion SmallSweep() {
+  SweepSpec spec;
+  spec.AddAxis("l1.size_bytes", {"32768", "65536"});
+  spec.AddAxis("gpu.num_sms", {"2", "4"});
+  spec.AddAxis("core.sched_policy", {"gto", "lrr"});
+  return spec.Expand(SmallGpu());
+}
+
+// ---------------------------------------------------------------------------
+// SweepSpec
+
+TEST(SweepSpec, RejectsEmptyAndDuplicateAxes) {
+  SweepSpec spec;
+  EXPECT_THROW(spec.AddAxis("l1.size_bytes", {}), SimError);
+  EXPECT_THROW(spec.AddAxis("", {"1"}), SimError);
+  spec.AddAxis("l1.size_bytes", {"32768"});
+  EXPECT_THROW(spec.AddAxis("l1.size_bytes", {"65536"}), SimError);
+}
+
+TEST(SweepSpec, ExpansionIsDeterministicAndDeclarationOrderFree) {
+  SweepSpec a;
+  a.AddAxis("l1.size_bytes", {"32768", "65536"});
+  a.AddAxis("gpu.num_sms", {"2", "4"});
+  SweepSpec b;  // same axes, opposite declaration order
+  b.AddAxis("gpu.num_sms", {"2", "4"});
+  b.AddAxis("l1.size_bytes", {"32768", "65536"});
+
+  const auto ea = a.Expand(SmallGpu());
+  const auto eb = b.Expand(SmallGpu());
+  ASSERT_EQ(ea.points.size(), 4u);
+  ASSERT_EQ(ea.points.size(), eb.points.size());
+  for (std::size_t i = 0; i < ea.points.size(); ++i) {
+    EXPECT_EQ(ea.points[i].label, eb.points[i].label);
+    EXPECT_EQ(ea.points[i].cfg_hash, eb.points[i].cfg_hash);
+    EXPECT_EQ(ea.points[i].index, i);
+  }
+  // Distinct configs hash distinctly; re-expansion is bit-identical.
+  const auto ea2 = a.Expand(SmallGpu());
+  for (std::size_t i = 0; i < ea.points.size(); ++i) {
+    EXPECT_EQ(ea.points[i].cfg_hash, ea2.points[i].cfg_hash);
+    for (std::size_t j = i + 1; j < ea.points.size(); ++j) {
+      EXPECT_NE(ea.points[i].cfg_hash, ea.points[j].cfg_hash);
+    }
+  }
+}
+
+TEST(SweepSpec, FromIniParsesAxisEntries) {
+  const IniFile ini = IniFile::ParseString(
+      "[sweep]\n"
+      "axis.l1.size_bytes = 32768, 65536\n"
+      "axis.core.sched_policy = gto, lrr\n");
+  const SweepSpec spec = SweepSpec::FromIni(ini);
+  ASSERT_EQ(spec.axes().size(), 2u);
+  EXPECT_EQ(spec.NumPoints(), 4u);
+  // Axes come back sorted by key.
+  EXPECT_EQ(spec.axes()[0].key, "core.sched_policy");
+  EXPECT_EQ(spec.axes()[1].key, "l1.size_bytes");
+  EXPECT_THROW(SweepSpec::FromIni(IniFile::ParseString("[gpu]\nnum_sms=4\n")),
+               SimError);
+}
+
+TEST(SweepSpec, UnknownAxisKeyThrowsUpFront) {
+  SweepSpec spec;
+  spec.AddAxis("l1.size_bites", {"32768"});  // typo'd key
+  EXPECT_THROW(spec.Expand(SmallGpu()), SimError);
+}
+
+TEST(SweepSpec, InvalidCombinationsAreCountedOrThrow) {
+  SweepSpec spec;
+  // 48000 is not a multiple of line_bytes * assoc -> Validate() fails.
+  spec.AddAxis("l1.size_bytes", {"32768", "48000"});
+  const auto exp = spec.Expand(SmallGpu(), /*skip_invalid=*/true);
+  EXPECT_EQ(exp.points.size(), 1u);
+  EXPECT_EQ(exp.skipped_invalid, 1u);
+  EXPECT_THROW(spec.Expand(SmallGpu(), /*skip_invalid=*/false), SimError);
+}
+
+TEST(SweepSpec, ExpandCappedStridesEvenlyAndDeterministically) {
+  SweepSpec spec;
+  spec.AddAxis("l1.size_bytes", {"32768", "65536"});
+  spec.AddAxis("gpu.num_sms", {"2", "4"});
+  spec.AddAxis("core.sched_policy", {"gto", "lrr"});
+  const auto full = spec.Expand(SmallGpu());
+  const auto capped = spec.ExpandCapped(SmallGpu(), 4);
+  ASSERT_EQ(full.points.size(), 8u);
+  ASSERT_EQ(capped.points.size(), 4u);
+  // Even stride over the canonical order, indices rewritten contiguous.
+  for (std::size_t i = 0; i < capped.points.size(); ++i) {
+    EXPECT_EQ(capped.points[i].index, i);
+    EXPECT_EQ(capped.points[i].cfg_hash, full.points[i * 2].cfg_hash);
+    EXPECT_EQ(capped.points[i].label, full.points[i * 2].label);
+  }
+  // Cap >= size is a no-op; cap 0 means uncapped.
+  EXPECT_EQ(spec.ExpandCapped(SmallGpu(), 100).points.size(), 8u);
+  EXPECT_EQ(spec.ExpandCapped(SmallGpu(), 0).points.size(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Pareto frontier and area proxy
+
+TEST(Pareto, FrontierIsOrderIndependentAndKeepsTies) {
+  const std::vector<dse::Objective> objs = {
+      {10, 5}, {5, 10}, {10, 10}, {7, 7}, {10, 5}};
+  const auto front = dse::ParetoFrontier(objs);
+  EXPECT_TRUE(front[0]);   // best area
+  EXPECT_TRUE(front[1]);   // best cycles
+  EXPECT_FALSE(front[2]);  // dominated by {10,5} and {7,7}
+  EXPECT_TRUE(front[3]);   // trade-off point
+  EXPECT_TRUE(front[4]);   // exact tie of [0]: both stay
+  // Reversed input marks the same objective values as frontier members.
+  std::vector<dse::Objective> rev(objs.rbegin(), objs.rend());
+  const auto rfront = dse::ParetoFrontier(rev);
+  for (std::size_t i = 0; i < objs.size(); ++i) {
+    EXPECT_EQ(front[i], rfront[objs.size() - 1 - i]) << i;
+  }
+}
+
+TEST(Pareto, AreaProxyRanksResourceGrowth) {
+  const GpuConfig base = SmallGpu();
+  GpuConfig big_l1 = base;
+  big_l1.l1.size_bytes = 2 * base.l1.size_bytes;
+  GpuConfig more_sms = base;
+  more_sms.num_sms = 2 * base.num_sms;
+  GpuConfig big_l2 = base;
+  big_l2.l2.size_bytes = 2 * base.l2.size_bytes;
+  EXPECT_GT(dse::AreaProxy(big_l1), dse::AreaProxy(base));
+  EXPECT_GT(dse::AreaProxy(more_sms), dse::AreaProxy(base));
+  EXPECT_GT(dse::AreaProxy(big_l2), dse::AreaProxy(base));
+  // Cycle-accurate-only knobs do not change silicon cost.
+  GpuConfig lrr = base;
+  lrr.sched_policy = SchedPolicy::kLrr;
+  EXPECT_EQ(dse::AreaProxy(lrr), dse::AreaProxy(base));
+}
+
+// ---------------------------------------------------------------------------
+// Screen-rung dedup soundness: the analytical memory model must be
+// invariant under the knobs ScreenSignature normalizes away.
+
+TEST(DseEngine, AnalyticalScreenIgnoresCycleAccurateOnlyKnobs) {
+  ClearGlobalCaches();
+  const Application app = SmallApp("SM");
+  const GpuConfig base = SmallGpu();
+  const Cycle ref =
+      Simulator(app, base, SimLevel::kSwiftSimMemory).Run().total_cycles;
+
+  GpuConfig variant = base;
+  variant.sched_policy = SchedPolicy::kLrr;
+  variant.l1.replacement = ReplacementPolicy::kFifo;
+  variant.l2.replacement = ReplacementPolicy::kRandom;
+  ASSERT_NE(variant.CanonicalHash(), base.CanonicalHash());
+  EXPECT_EQ(
+      Simulator(app, variant, SimLevel::kSwiftSimMemory).Run().total_cycles,
+      ref);
+  // And a knob the screen does see moves the estimate.
+  GpuConfig fewer_sms = base;
+  fewer_sms.num_sms = 2;
+  EXPECT_NE(
+      Simulator(app, fewer_sms, SimLevel::kSwiftSimMemory).Run().total_cycles,
+      ref);
+}
+
+// ---------------------------------------------------------------------------
+// Engine decision gates
+
+dse::DseOptions FastOptions() {
+  dse::DseOptions opt;
+  opt.threads = 1;
+  opt.refine_rung = false;
+  opt.min_keep = 1;
+  opt.keep_fraction = 0.25;
+  opt.max_promote = 2;
+  // Basic as the final level keeps the decision-matrix tests quick; the
+  // reference-match gate below exercises kDetailed.
+  opt.final_level = SimLevel::kSwiftSimBasic;
+  return opt;
+}
+
+/// Decision fingerprint of a sweep outcome, keyed by cfg_hash so it can
+/// be compared across enumeration orders.
+std::map<std::uint64_t, std::string> DecisionMap(
+    const dse::SweepReport& rep) {
+  std::map<std::uint64_t, std::string> out;
+  for (const auto& po : rep.points) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "s=%llu f=%llu p=%d fr=%d ",
+                  static_cast<unsigned long long>(po.screen_cycles),
+                  static_cast<unsigned long long>(po.final_cycles),
+                  po.promoted ? 1 : 0, po.frontier ? 1 : 0);
+    out[po.cfg_hash] = buf + po.retired_by;
+  }
+  return out;
+}
+
+TEST(DseEngine, DecisionsAreWorkerCountIndependent) {
+  const auto exp = SmallSweep();
+  const std::vector<Application> apps = {SmallApp("SM")};
+  std::map<std::uint64_t, std::string> ref;
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    ClearGlobalCaches();
+    dse::DseOptions opt = FastOptions();
+    opt.threads = threads;
+    const auto rep = dse::RunSweep(apps, exp.points, opt);
+    const auto dec = DecisionMap(rep);
+    if (ref.empty()) {
+      ref = dec;
+    } else {
+      EXPECT_EQ(dec, ref) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(DseEngine, DecisionsAreEnumerationOrderIndependent) {
+  const auto exp = SmallSweep();
+  const std::vector<Application> apps = {SmallApp("SM")};
+  ClearGlobalCaches();
+  const auto ref = DecisionMap(dse::RunSweep(apps, exp.points, FastOptions()));
+
+  // Reverse the points (and reindex, as a caller would).
+  std::vector<SweepPoint> reversed(exp.points.rbegin(), exp.points.rend());
+  for (std::size_t i = 0; i < reversed.size(); ++i) reversed[i].index = i;
+  ClearGlobalCaches();
+  const auto rev = DecisionMap(dse::RunSweep(apps, reversed, FastOptions()));
+  EXPECT_EQ(rev, ref);
+}
+
+TEST(DseEngine, DedupMatchesNoDedupDecisions) {
+  const auto exp = SmallSweep();
+  const std::vector<Application> apps = {SmallApp("SM")};
+  ClearGlobalCaches();
+  dse::DseOptions opt = FastOptions();
+  const auto with_dedup = dse::RunSweep(apps, exp.points, opt);
+  // Half the 8 points differ only in scheduler policy: 4 sims cover them.
+  EXPECT_EQ(with_dedup.screen_sims, 4u);
+  EXPECT_EQ(with_dedup.screen_deduped, 4u);
+
+  ClearGlobalCaches();
+  opt.dedup_screen = false;
+  const auto without = dse::RunSweep(apps, exp.points, opt);
+  EXPECT_EQ(without.screen_sims, exp.points.size());
+  EXPECT_EQ(without.screen_deduped, 0u);
+  EXPECT_EQ(DecisionMap(with_dedup), DecisionMap(without));
+}
+
+TEST(DseEngine, MemoWarmSweepIsBitIdenticalToCold) {
+  const auto exp = SmallSweep();
+  const std::vector<Application> apps = {SmallApp("BFS")};
+  ClearGlobalCaches();
+  const auto cold = dse::RunSweep(apps, exp.points, FastOptions());
+  EXPECT_EQ(cold.memo_hits, 0u);
+  EXPECT_GT(cold.memo_misses, 0u);
+  EXPECT_GT(cold.prepass_built, 0u);
+
+  // Same process, warm global caches: every launch replays, every
+  // pre-pass is shared, and the decisions do not move.
+  const auto warm = dse::RunSweep(apps, exp.points, FastOptions());
+  EXPECT_GT(warm.memo_hits, 0u);
+  EXPECT_EQ(warm.memo_misses, 0u);
+  EXPECT_EQ(warm.prepass_built, 0u);
+  EXPECT_EQ(DecisionMap(warm), DecisionMap(cold));
+
+  // On-disk round trip: a fresh cache loaded from the save replays too.
+  const std::string path = testing::TempDir() + "dse_memo_roundtrip.bin";
+  MemoCache::Global().SaveToFile(path);
+  ClearGlobalCaches();
+  MemoCache::Global().LoadFromFile(path);
+  const auto loaded = dse::RunSweep(apps, exp.points, FastOptions());
+  EXPECT_GT(loaded.memo_hits, 0u);
+  EXPECT_EQ(loaded.memo_misses, 0u);
+  EXPECT_EQ(DecisionMap(loaded), DecisionMap(cold));
+  std::remove(path.c_str());
+}
+
+TEST(DseEngine, PromotedPointsMatchNoEarlyStoppingReference) {
+  const auto exp = SmallSweep();
+  const std::vector<Application> apps = {SmallApp("SM")};
+  dse::DseOptions opt = FastOptions();
+  opt.final_level = SimLevel::kDetailed;  // the acceptance-level gate
+
+  ClearGlobalCaches();
+  const auto pruned = dse::RunSweep(apps, exp.points, opt);
+  ClearGlobalCaches();
+  dse::DseOptions ref_opt = opt;
+  ref_opt.early_stopping = false;
+  const auto reference = dse::RunSweep(apps, exp.points, ref_opt);
+  ASSERT_EQ(reference.promoted, exp.points.size());
+
+  std::map<std::uint64_t, Cycle> ref_cycles;
+  for (const auto& po : reference.points) {
+    ref_cycles[po.cfg_hash] = po.final_cycles;
+  }
+  ASSERT_GT(pruned.promoted, 0u);
+  EXPECT_LE(pruned.promoted, opt.max_promote);
+  for (const auto& po : pruned.points) {
+    if (!po.promoted) continue;
+    EXPECT_EQ(po.final_cycles, ref_cycles.at(po.cfg_hash)) << po.label;
+    EXPECT_EQ(po.level_reached, SimLevel::kDetailed);
+  }
+}
+
+TEST(DseEngine, PruningIsNeverSilent) {
+  const auto exp = SmallSweep();
+  const std::vector<Application> apps = {SmallApp("SM")};
+  ClearGlobalCaches();
+  const auto rep = dse::RunSweep(apps, exp.points, FastOptions());
+  EXPECT_GT(rep.retired, 0u);
+  EXPECT_EQ(rep.retired + rep.promoted, rep.points.size());
+  for (const auto& po : rep.points) {
+    if (po.promoted) {
+      EXPECT_TRUE(po.retired_by.empty()) << po.label;
+    } else {
+      EXPECT_FALSE(po.retired_by.empty()) << po.label;
+      EXPECT_EQ(po.final_cycles, 0u) << po.label;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swiftsim
