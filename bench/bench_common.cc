@@ -1,5 +1,7 @@
 #include "bench_common.h"
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -10,6 +12,7 @@
 #include "common/strutil.h"
 #include "swiftsim/memo_cache.h"
 #include "swiftsim/simulator.h"
+#include "workloads/gen_util.h"
 
 namespace swiftsim::bench {
 
@@ -81,6 +84,13 @@ BenchOptions ParseOptions(int argc, char** argv, double default_scale,
          opt.dump_dir = v;
          SS_CHECK(!opt.dump_dir.empty(), "--dump-dir needs a path");
        }},
+      {"--trace-cache", true,
+       [&opt](const std::string& v) {
+         opt.trace_cache_dir = v;
+         SS_CHECK(!opt.trace_cache_dir.empty(), "--trace-cache needs a dir");
+       }},
+      {"--serial-gen", false,
+       [&opt](const std::string&) { opt.serial_gen = true; }},
   };
   flags.insert(flags.end(), extra.begin(), extra.end());
 
@@ -134,19 +144,47 @@ void SaveMemoFile(const std::string& path) {
 }
 
 std::vector<Application> BuildApps(const BenchOptions& opt) {
+  std::vector<Application> apps;
+  for (BuiltApp& built : BuildAppsTimed(opt)) {
+    apps.push_back(std::move(built.app));
+  }
+  return apps;
+}
+
+std::vector<BuiltApp> BuildAppsTimed(const BenchOptions& opt) {
   std::vector<std::string> names = opt.apps;
   if (names.empty()) {
     for (const auto& spec : AllWorkloads()) names.push_back(spec.name);
   }
+  workloads::SetParallelTraceBuild(!opt.serial_gen);
   WorkloadScale scale;
   scale.scale = opt.scale;
   scale.seed = opt.seed;
-  std::vector<Application> apps;
+  TraceBuildOptions trace_opts;
+  trace_opts.cache_dir = opt.trace_cache_dir;
+  std::vector<BuiltApp> apps;
   apps.reserve(names.size());
   for (const auto& name : names) {
-    apps.push_back(BuildWorkload(name, scale));
+    BuiltApp built;
+    const auto t0 = std::chrono::steady_clock::now();
+    built.app = BuildWorkloadCached(name, scale, trace_opts, &built.cache_hit);
+    const auto t1 = std::chrono::steady_clock::now();
+    built.build_seconds = std::chrono::duration<double>(t1 - t0).count();
+    apps.push_back(std::move(built));
   }
   return apps;
+}
+
+std::uint64_t TraceBytesOf(const Application& app) {
+  std::uint64_t bytes = 0;
+  for (const auto& kernel : app.kernels) bytes += kernel->TraceBytes();
+  return bytes;
+}
+
+std::uint64_t PeakRssKb() {
+  struct rusage ru = {};
+  if (::getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // KiB on Linux
 }
 
 void ApplyRobustness(GpuConfig* cfg, const BenchOptions& opt) {
@@ -321,7 +359,10 @@ void WriteRunsJson(const std::string& path, const std::string& bench,
                  "\"threads\": %u, \"scale\": %.4f, "
                  "\"cycles_skipped\": %llu, \"skip_jumps\": %llu, "
                  "\"memo_hits\": %llu, \"memo_misses\": %llu, "
-                 "\"memo_cycles_avoided\": %llu}%s\n",
+                 "\"memo_cycles_avoided\": %llu, "
+                 "\"trace_bytes\": %llu, \"bytes_per_instr\": %.2f, "
+                 "\"peak_rss_kb\": %llu, "
+                 "\"trace_build_seconds\": %.6f}%s\n",
                  r.app.c_str(), r.level.c_str(), r.status.c_str(),
                  static_cast<unsigned long long>(r.degrade_events),
                  static_cast<unsigned long long>(r.cycles), r.wall_seconds,
@@ -332,7 +373,10 @@ void WriteRunsJson(const std::string& path, const std::string& bench,
                  static_cast<unsigned long long>(r.memo_hits),
                  static_cast<unsigned long long>(r.memo_misses),
                  static_cast<unsigned long long>(r.memo_cycles_avoided),
-                 i + 1 < runs.size() ? "," : "");
+                 static_cast<unsigned long long>(r.trace_bytes),
+                 r.bytes_per_instr,
+                 static_cast<unsigned long long>(r.peak_rss_kb),
+                 r.trace_build_seconds, i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

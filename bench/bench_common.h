@@ -37,6 +37,11 @@ struct BenchOptions {
   std::string fault_plan_path;    // --fault-plan=<ini>: chaos scenario
   bool degrade_on_hang = false;   // --degrade-on-hang: analytical fallback
   std::string dump_dir;           // --dump-dir=<dir>: hang diagnostics
+  // Trace generation knobs (DESIGN.md §14).
+  std::string trace_cache_dir;    // --trace-cache=<dir>: on-disk compact
+                                  // trace cache; empty = always generate
+  bool serial_gen = false;        // --serial-gen: disable parallel per-
+                                  // variant trace generation
 };
 
 /// One command-line flag a bench can register on top of the shared set.
@@ -101,6 +106,23 @@ AppRun RunOne(const Application& app, const GpuConfig& cfg, SimLevel level,
 /// Builds every requested workload once (they are reused across levels).
 std::vector<Application> BuildApps(const BenchOptions& opt);
 
+/// One built workload with its generation cost — the trace bench and the
+/// hot-path bench report build wall time and cache behaviour per app.
+struct BuiltApp {
+  Application app;
+  double build_seconds = 0;  // wall time inside BuildWorkloadCached
+  bool cache_hit = false;    // served from the on-disk compact cache
+};
+
+/// BuildApps with per-app timing, honouring --trace-cache/--serial-gen.
+std::vector<BuiltApp> BuildAppsTimed(const BenchOptions& opt);
+
+/// Columnar trace bytes across all kernels of `app` (DESIGN.md §14).
+std::uint64_t TraceBytesOf(const Application& app);
+
+/// Peak resident-set size of this process so far, in KiB (getrusage).
+std::uint64_t PeakRssKb();
+
 /// |predicted/actual - 1| as a percentage.
 double ErrPct(Cycle predicted, Cycle actual);
 
@@ -128,6 +150,11 @@ struct JsonRun {
   std::uint64_t memo_hits = 0;
   std::uint64_t memo_misses = 0;
   std::uint64_t memo_cycles_avoided = 0;
+  // Trace-footprint fields (DESIGN.md §14); 0 = not measured.
+  std::uint64_t trace_bytes = 0;      // columnar storage across kernels
+  double bytes_per_instr = 0;         // trace_bytes / dynamic instrs
+  std::uint64_t peak_rss_kb = 0;      // process peak RSS after the run
+  double trace_build_seconds = 0;     // wall time generating the trace
 };
 
 /// Converts an AppRun measured at `level` into a JsonRun.

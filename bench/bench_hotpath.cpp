@@ -35,14 +35,27 @@ int main(int argc, char** argv) {
   double total_instrs = 0, total_wall = 0;
   std::printf("%-10s %12s %10s %14s %12s %8s\n", "app", "cycles", "wall[s]",
               "instrs/sec", "skipped", "jumps");
-  for (const Application& app : BuildApps(opt)) {
+  for (const BuiltApp& built : BuildAppsTimed(opt)) {
+    const Application& app = built.app;
     AppRun best = RunOne(app, gpu, SimLevel::kDetailed, opt);
     const AppRun again = RunOne(app, gpu, SimLevel::kDetailed, opt);
     if (again.wall_seconds < best.wall_seconds) best = again;
+    // Trace-footprint fields (DESIGN.md §14) travel with every record so
+    // the JSON tracks memory compaction alongside throughput.
+    const auto stamp_trace = [&](JsonRun j) {
+      j.trace_bytes = TraceBytesOf(app);
+      const std::uint64_t instrs = app.TotalInstrs();
+      j.bytes_per_instr = instrs > 0 ? static_cast<double>(j.trace_bytes) /
+                                           static_cast<double>(instrs)
+                                     : 0.0;
+      j.peak_rss_kb = PeakRssKb();
+      j.trace_build_seconds = built.build_seconds;
+      return j;
+    };
     if (best.status != "ok" && best.status != "degraded") {
       std::printf("%-10s %s: %s\n", best.app.c_str(), best.status.c_str(),
                   best.error.c_str());
-      records.push_back(ToJsonRun(best, "detailed", /*threads=*/1));
+      records.push_back(stamp_trace(ToJsonRun(best, "detailed", 1)));
       continue;
     }
     const double ips = best.wall_seconds > 0
@@ -60,7 +73,7 @@ int main(int argc, char** argv) {
     }
     total_instrs += static_cast<double>(best.instructions);
     total_wall += best.wall_seconds;
-    records.push_back(ToJsonRun(best, "detailed", /*threads=*/1));
+    records.push_back(stamp_trace(ToJsonRun(best, "detailed", 1)));
   }
   // Write the JSON before the measurement gate so per-app statuses
   // (timeout/hang/error) survive for post-mortem even when every app failed.

@@ -1,0 +1,153 @@
+// Trace-footprint and streaming-generation bench (DESIGN.md §14).
+//
+// Per app it measures:
+//   - columnar trace bytes and bytes/instr, against the AoS baseline of
+//     sizeof(TraceInstr) per instruction (what the pre-columnar storage
+//     paid for every record, addresses inline);
+//   - cold generation wall time, serial vs parallel per-variant streaming
+//     (the seed generator was serial AoS, so serial time is the cold-run
+//     baseline a user upgraded from);
+//   - compact on-disk cache round-trip: write, then load and fingerprint-
+//     check the reloaded application against the generated one.
+//
+// --smoke turns the measurements into a CI gate: every app must compress
+// to <= 1/3 of the AoS bytes/instr, the parallel cold run must beat the
+// serial baseline by >= 1.5x in aggregate, and every cache reload must be
+// bit-identical. Exits 77 (skip) on hosts without 4 hardware threads,
+// where the speedup measurement is meaningless.
+//
+// Writes results/BENCH_trace.json unless --json= says otherwise.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+
+#include "bench_common.h"
+#include "trace/fingerprint.h"
+#include "workloads/gen_util.h"
+
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace swiftsim;
+  using namespace swiftsim::bench;
+  bool smoke = false;
+  std::vector<BenchFlag> extra = {
+      {"--smoke", false, [&smoke](const std::string&) { smoke = true; }},
+  };
+  BenchOptions opt = ParseOptions(argc, argv, /*default_scale=*/0.35, extra);
+  if (opt.json_path.empty()) opt.json_path = "results/BENCH_trace.json";
+  PrintHeader("Trace footprint: columnar storage + streaming generation",
+              opt);
+  if (smoke && std::thread::hardware_concurrency() < 4) {
+    std::printf("SKIP: need >= 4 hardware threads for the speedup gate\n");
+    return 77;
+  }
+
+  std::vector<std::string> names = opt.apps;
+  if (names.empty()) {
+    for (const auto& spec : AllWorkloads()) names.push_back(spec.name);
+  }
+  WorkloadScale scale;
+  scale.scale = opt.scale;
+  scale.seed = opt.seed;
+
+  const std::filesystem::path cache_dir =
+      opt.trace_cache_dir.empty()
+          ? std::filesystem::path("results") / "trace_cache_bench"
+          : std::filesystem::path(opt.trace_cache_dir);
+  TraceBuildOptions cache_opts;
+  cache_opts.cache_dir = cache_dir.string();
+
+  std::vector<JsonRun> records;
+  double serial_total = 0, parallel_total = 0;
+  bool gate_ok = true;
+  std::printf("%-10s %12s %10s %10s %9s %9s %9s %9s\n", "app", "instrs",
+              "bytes", "B/instr", "vs AoS", "serial[s]", "par[s]", "load[s]");
+  for (const std::string& name : names) {
+    // Cold generation: serial baseline first, then parallel streaming.
+    workloads::SetParallelTraceBuild(false);
+    double t0 = Now();
+    const Application serial_app = BuildWorkload(name, scale);
+    const double serial_s = Now() - t0;
+    workloads::SetParallelTraceBuild(true);
+    t0 = Now();
+    const Application app = BuildWorkload(name, scale);
+    const double parallel_s = Now() - t0;
+    if (FingerprintApplication(serial_app) != FingerprintApplication(app)) {
+      std::printf("ERROR: %s parallel generation diverged from serial\n",
+                  name.c_str());
+      return EXIT_FAILURE;
+    }
+
+    // On-disk cache round-trip: cold write, warm fingerprint-checked load.
+    std::error_code ec;
+    const Fingerprint key = WorkloadBuildKey(name, scale);
+    std::filesystem::remove(cache_dir / (name + "-" + key.ToHex() + ".sstc"),
+                            ec);
+    bool hit = false;
+    BuildWorkloadCached(name, scale, cache_opts, &hit);
+    t0 = Now();
+    const Application loaded =
+        BuildWorkloadCached(name, scale, cache_opts, &hit);
+    const double load_s = Now() - t0;
+    if (!hit || FingerprintApplication(loaded) != FingerprintApplication(app)) {
+      std::printf("ERROR: %s cache reload is not bit-identical\n",
+                  name.c_str());
+      return EXIT_FAILURE;
+    }
+
+    const std::uint64_t instrs = app.TotalInstrs();
+    const std::uint64_t bytes = TraceBytesOf(app);
+    const double bpi =
+        instrs > 0 ? static_cast<double>(bytes) / static_cast<double>(instrs)
+                   : 0.0;
+    const double reduction = bpi > 0 ? sizeof(TraceInstr) / bpi : 0.0;
+    std::printf("%-10s %12llu %10llu %10.2f %8.1fx %9.3f %9.3f %9.3f\n",
+                name.c_str(), static_cast<unsigned long long>(instrs),
+                static_cast<unsigned long long>(bytes), bpi, reduction,
+                serial_s, parallel_s, load_s);
+    serial_total += serial_s;
+    parallel_total += parallel_s;
+    if (smoke && reduction < 3.0) {
+      std::printf("FAIL: %s bytes/instr reduction %.1fx < 3x\n", name.c_str(),
+                  reduction);
+      gate_ok = false;
+    }
+
+    JsonRun j;
+    j.app = name;
+    j.level = "columnar";
+    j.wall_seconds = parallel_s;
+    j.instrs_per_sec =
+        parallel_s > 0 ? static_cast<double>(instrs) / parallel_s : 0.0;
+    j.speedup_vs_serial = parallel_s > 0 ? serial_s / parallel_s : 0.0;
+    j.threads = opt.threads;
+    j.trace_bytes = bytes;
+    j.bytes_per_instr = bpi;
+    j.peak_rss_kb = PeakRssKb();
+    j.trace_build_seconds = parallel_s;
+    records.push_back(j);
+  }
+  WriteRunsJson(opt.json_path, "bench_trace", opt, records);
+  std::filesystem::remove_all(cache_dir);
+
+  const double speedup =
+      parallel_total > 0 ? serial_total / parallel_total : 0.0;
+  std::printf("%-10s AoS baseline %zu B/instr, cold-run speedup %.2fx\n",
+              "SUITE", sizeof(TraceInstr), speedup);
+  if (smoke && speedup < 1.5) {
+    std::printf("FAIL: cold-run speedup %.2fx < 1.5x\n", speedup);
+    gate_ok = false;
+  }
+  return gate_ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -122,10 +122,10 @@ void CachePrepass::ProcessKernelImpl(const KernelTrace& kernel,
   const unsigned wave = per_sm * cfg_.num_sms;
 
   struct Cursor {
-    const WarpTrace* trace;
-    std::size_t next = 0;
+    WarpCursor walk;
     unsigned sm;
   };
+  LaneAddrs lane_addrs;  // decode scratch, reused across instructions
 
   // Timing-aware correction: an access whose line missed "recently" (still
   // in flight in the timing model) does not hit in the L1 — it merges into
@@ -150,7 +150,7 @@ void CachePrepass::ProcessKernelImpl(const KernelTrace& kernel,
       const CtaTrace& cta = kernel.cta(c);
       const unsigned sm = (c - wave_start) % cfg_.num_sms;
       for (const WarpTrace& w : cta.warps) {
-        cursors.push_back(Cursor{&w, 0, sm});
+        cursors.push_back(Cursor{WarpCursor(w), sm});
       }
     }
     // One fill latency covers roughly a few rounds of the interleave.
@@ -161,12 +161,17 @@ void CachePrepass::ProcessKernelImpl(const KernelTrace& kernel,
     while (any) {
       any = false;
       for (Cursor& cur : cursors) {
-        if (cur.next >= cur.trace->size()) continue;
-        const TraceInstr& ins = (*cur.trace)[cur.next++];
+        if (cur.walk.done()) continue;
         any = true;
-        if (!IsGlobalMem(ins.op)) continue;
+        const CompactInstr& ins = cur.walk.peek();
+        if (!IsGlobalMem(ins.op)) {
+          cur.walk.Next();
+          continue;
+        }
+        cur.walk.PeekAddrs(&lane_addrs);
+        cur.walk.Next();
         const auto accesses =
-            Coalesce(ins.addrs, 4, cfg_.l1.line_bytes, cfg_.l1.sector_bytes);
+            Coalesce(lane_addrs, 4, cfg_.l1.line_bytes, cfg_.l1.sector_bytes);
         if (IsStore(ins.op)) {
           for (const auto& acc : accesses) {
             // Write-through: update both levels, no hit accounting.

@@ -13,7 +13,7 @@ namespace swiftsim {
 
 namespace {
 
-unsigned IssueIntervalOf(const GpuConfig& cfg, const TraceInstr& ins) {
+unsigned IssueIntervalOf(const GpuConfig& cfg, const CompactInstr& ins) {
   switch (ClassOf(ins.op)) {
     case UnitClass::kInt:
       return cfg.int_unit.issue_interval();
@@ -38,7 +38,7 @@ unsigned IssueIntervalOf(const GpuConfig& cfg, const TraceInstr& ins) {
 std::size_t ConsumerDistance(const WarpTrace& warp, std::size_t from,
                              std::uint8_t reg, std::size_t horizon) {
   for (std::size_t d = 1; d <= horizon && from + d < warp.size(); ++d) {
-    const TraceInstr& ins = warp[from + d];
+    const CompactInstr& ins = warp[from + d];
     for (std::uint8_t r : ins.src) {
       if (r == reg) return d;
     }
@@ -63,8 +63,10 @@ IntervalEstimate EstimateKernelCycles(const KernelTrace& kernel,
   for (std::size_t v = 0; v < kernel.num_variants(); ++v) {
     const WarpTrace& warp = kernel.variant(v).warps.front();
     double b = 0, m = 0, bytes = 0;
+    WarpCursor walk(warp);
+    LaneAddrs lane_addrs;
     for (std::size_t i = 0; i < warp.size(); ++i) {
-      const TraceInstr& ins = warp[i];
+      const CompactInstr& ins = walk.peek();
       b += IssueIntervalOf(cfg, ins);
       if (ins.op == Opcode::kLdGlobal) {
         const Cycle lat = mem.LoadLatency(info.id, ins.pc);
@@ -75,13 +77,15 @@ IntervalEstimate EstimateKernelCycles(const KernelTrace& kernel,
           const double hidden = static_cast<double>(d) * 4.0;
           m += std::max(0.0, static_cast<double>(lat) - hidden);
         }
-        const auto accesses = Coalesce(ins.addrs, 4, cfg.l1.line_bytes,
+        walk.PeekAddrs(&lane_addrs);
+        const auto accesses = Coalesce(lane_addrs, 4, cfg.l1.line_bytes,
                                        cfg.l1.sector_bytes);
         unsigned sectors = 0;
         for (const auto& a : accesses) sectors += PopCount(a.sector_mask);
         bytes += static_cast<double>(sectors) * cfg.l1.sector_bytes *
                  mem.DramFraction(info.id, ins.pc);
       }
+      walk.Next();
     }
     issue_b += b;
     stall_m += m;

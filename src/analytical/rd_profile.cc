@@ -33,10 +33,10 @@ MemProfile BuildMemProfileReuseDistance(const Application& app,
     const unsigned wave = per_sm * cfg.num_sms;
 
     struct Cursor {
-      const WarpTrace* trace;
-      std::size_t next = 0;
+      WarpCursor walk;
       unsigned sm;
     };
+    LaneAddrs lane_addrs;  // decode scratch, reused across instructions
     for (CtaId wave_start = 0; wave_start < info.num_ctas;
          wave_start += wave) {
       const CtaId wave_end =
@@ -46,18 +46,23 @@ MemProfile BuildMemProfileReuseDistance(const Application& app,
         const CtaTrace& cta = kernel->cta(c);
         const unsigned sm = (c - wave_start) % cfg.num_sms;
         for (const WarpTrace& w : cta.warps) {
-          cursors.push_back(Cursor{&w, 0, sm});
+          cursors.push_back(Cursor{WarpCursor(w), sm});
         }
       }
       bool any = true;
       while (any) {
         any = false;
         for (Cursor& cur : cursors) {
-          if (cur.next >= cur.trace->size()) continue;
-          const TraceInstr& ins = (*cur.trace)[cur.next++];
+          if (cur.walk.done()) continue;
           any = true;
-          if (!IsGlobalMem(ins.op)) continue;
-          const auto accesses = Coalesce(ins.addrs, 4, cfg.l1.line_bytes,
+          const CompactInstr& ins = cur.walk.peek();
+          if (!IsGlobalMem(ins.op)) {
+            cur.walk.Next();
+            continue;
+          }
+          cur.walk.PeekAddrs(&lane_addrs);
+          cur.walk.Next();
+          const auto accesses = Coalesce(lane_addrs, 4, cfg.l1.line_bytes,
                                          cfg.l1.sector_bytes);
           if (IsStore(ins.op)) {
             // Stores only warm the stacks (write-through traffic).

@@ -322,6 +322,9 @@ GpuConfig GpuConfig::FromIni(const IniFile& ini, GpuConfig base) {
       ini.GetDouble("memo.convergence_epsilon", c.memo.convergence_epsilon);
   c.memo.max_entries = ini.GetUint("memo.max_entries", c.memo.max_entries);
   c.memo.max_bytes = ini.GetUint("memo.max_bytes", c.memo.max_bytes);
+  c.trace.cache_dir = ini.GetString("trace.cache_dir", c.trace.cache_dir);
+  c.trace.parallel_build =
+      ini.GetBool("trace.parallel_build", c.trace.parallel_build);
   if (ini.Has("parallel.mode")) {
     c.parallel.mode = ParallelModeFromString(ini.GetString("parallel.mode"));
   }
@@ -397,6 +400,10 @@ std::string GpuConfig::ToIniString() const {
      << "convergence_epsilon = " << memo.convergence_epsilon << "\n"
      << "max_entries = " << memo.max_entries << "\n"
      << "max_bytes = " << memo.max_bytes << "\n";
+  os << "[trace]\n"
+     << "cache_dir = " << trace.cache_dir << "\n"
+     << "parallel_build = " << (trace.parallel_build ? "true" : "false")
+     << "\n";
   os << "[parallel]\n"
      << "mode = " << ToString(parallel.mode) << "\n";
   os << "[watchdog]\n"

@@ -128,6 +128,12 @@ struct SiliconEffects {
 /// the first `convergence_min_repeats` launches of a kernel are simulated,
 /// and replay starts only once consecutive launches agree within
 /// `convergence_epsilon` relative cycles.
+/// Columnar trace frontend knobs (DESIGN.md §14).
+struct TraceConfig {
+  std::string cache_dir;       // on-disk compact trace cache; "" = off
+  bool parallel_build = true;  // per-variant generation on the shared pool
+};
+
 struct MemoConfig {
   bool enabled = true;
   bool detailed_convergence = false;
@@ -238,6 +244,11 @@ struct GpuConfig {
 
   /// Cross-launch memoization (DESIGN.md §10).
   MemoConfig memo;
+
+  /// Columnar trace frontend (DESIGN.md §14). `cache_dir` points the
+  /// on-disk compact trace cache at a directory (empty disables it);
+  /// `parallel_build` toggles per-variant generation on the shared pool.
+  TraceConfig trace;
 
   /// Batch/intra-app parallelization policy (DESIGN.md §12).
   ParallelConfig parallel;

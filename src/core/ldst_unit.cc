@@ -59,7 +59,8 @@ void LdstUnit::PushFixed(Cycle ready, unsigned slot, std::uint8_t dst) {
   fixed_completions_.insert(pos, FixedCompletion{ready, slot, dst});
 }
 
-void LdstUnit::Issue(unsigned slot, const TraceInstr& ins, Cycle now) {
+void LdstUnit::Issue(unsigned slot, const CompactInstr& ins,
+                     const LaneAddrs& addrs, Cycle now) {
   SS_DCHECK(CanAccept(now));
   SS_DCHECK(IsMemory(ins.op));
   next_issue_ = now + cfg_.issue_interval;
@@ -67,7 +68,7 @@ void LdstUnit::Issue(unsigned slot, const TraceInstr& ins, Cycle now) {
 
   if (IsSharedMem(ins.op)) {
     ++stats_.smem_instrs;
-    const unsigned conflicts = smem_conflicts_.Conflicts(ins.addrs);
+    const unsigned conflicts = smem_conflicts_.Conflicts(addrs);
     stats_.smem_bank_conflicts += conflicts - 1;
     const std::uint8_t dst = IsLoad(ins.op) ? ins.dst : kNoReg;
     PushFixed(now + cfg_.smem_latency + conflicts - 1, slot, dst);
@@ -83,7 +84,7 @@ void LdstUnit::Issue(unsigned slot, const TraceInstr& ins, Cycle now) {
   mi.slot = slot;
   mi.dst = IsLoad(ins.op) ? ins.dst : kNoReg;
   mi.is_store = IsStore(ins.op);
-  Coalesce(ins.addrs.data(), ins.addrs.size(), cfg_.access_bytes,
+  Coalesce(addrs.data(), addrs.size(), cfg_.access_bytes,
            cfg_.line_bytes, cfg_.sector_bytes, &mi.todo);
   SS_DCHECK(!mi.todo.empty());
   ++pending_inject_;

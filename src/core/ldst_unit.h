@@ -60,8 +60,11 @@ class LdstUnit {
   /// Structural check used by the scheduler's ready predicate.
   bool CanAccept(Cycle now) const;
 
-  /// Accepts one warp memory instruction. Requires CanAccept.
-  void Issue(unsigned slot, const TraceInstr& ins, Cycle now);
+  /// Accepts one warp memory instruction with its decoded lane addresses
+  /// (one per active lane, decoded from the columnar pool by the caller).
+  /// Requires CanAccept.
+  void Issue(unsigned slot, const CompactInstr& ins, const LaneAddrs& addrs,
+             Cycle now);
 
   /// Per-cycle work: retire due shared/const completions, push the
   /// front instruction's remaining sector accesses into the L1.

@@ -14,7 +14,7 @@ OperandCollector::OperandCollector(const OperandCollectorConfig& cfg)
   ready_.Reserve(cfg.units);
 }
 
-void OperandCollector::Accept(unsigned slot, const TraceInstr& ins,
+void OperandCollector::Accept(unsigned slot, const CompactInstr& ins,
                               UnitClass cls) {
   SS_DCHECK(CanAccept());
   for (Unit& u : units_) {

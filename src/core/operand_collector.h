@@ -39,7 +39,7 @@ class OperandCollector {
 
   /// Parks the instruction in a collector unit; its source registers
   /// become outstanding bank reads. Requires CanAccept.
-  void Accept(unsigned slot, const TraceInstr& ins, UnitClass cls);
+  void Accept(unsigned slot, const CompactInstr& ins, UnitClass cls);
 
   /// One cycle of bank arbitration: each bank services up to
   /// ports_per_bank pending reads; units whose reads all completed move to

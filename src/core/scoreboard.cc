@@ -6,7 +6,7 @@ namespace swiftsim {
 
 Scoreboard::Scoreboard(unsigned num_warp_slots) : pending_(num_warp_slots) {}
 
-bool Scoreboard::CanIssue(unsigned slot, const TraceInstr& ins) const {
+bool Scoreboard::CanIssue(unsigned slot, const CompactInstr& ins) const {
   SS_DCHECK(slot < pending_.size());
   const auto& p = pending_[slot];
   if (ins.has_dst() && p.test(ins.dst)) return false;  // WAW
@@ -16,7 +16,7 @@ bool Scoreboard::CanIssue(unsigned slot, const TraceInstr& ins) const {
   return true;
 }
 
-void Scoreboard::OnIssue(unsigned slot, const TraceInstr& ins) {
+void Scoreboard::OnIssue(unsigned slot, const CompactInstr& ins) {
   SS_DCHECK(slot < pending_.size());
   if (ins.has_dst()) pending_[slot].set(ins.dst);
 }

@@ -18,11 +18,11 @@ class Scoreboard {
 
   /// True iff none of the instruction's source or destination registers is
   /// pending for warp slot `slot`.
-  bool CanIssue(unsigned slot, const TraceInstr& ins) const;
+  bool CanIssue(unsigned slot, const CompactInstr& ins) const;
 
   /// Marks the destination register pending (no-op for instructions
   /// without a destination).
-  void OnIssue(unsigned slot, const TraceInstr& ins);
+  void OnIssue(unsigned slot, const CompactInstr& ins);
 
   /// Clears a pending destination at writeback.
   void OnWriteback(unsigned slot, std::uint8_t reg);

@@ -16,6 +16,10 @@ struct WarpContext {
   unsigned cta_slot = 0;       // resident-CTA table index within the SM
   const WarpTrace* trace = nullptr;
   std::size_t next_instr = 0;  // next trace instruction to issue
+  // Memory-op rank of next_instr: count of address-carrying instructions
+  // already issued. Keeps columnar address decode O(1) on the issue path;
+  // advanced together with next_instr.
+  std::uint32_t mem_seen = 0;
   bool at_barrier = false;
   bool done = false;           // EXIT has been issued
   std::uint64_t launch_seq = 0;  // global age for GTO "oldest" ordering
@@ -27,7 +31,7 @@ struct WarpContext {
   std::uint64_t fetch_count = 0;
 
   bool exhausted() const { return trace == nullptr || next_instr >= trace->size(); }
-  const TraceInstr& current() const { return (*trace)[next_instr]; }
+  const CompactInstr& current() const { return (*trace)[next_instr]; }
 };
 
 }  // namespace swiftsim

@@ -175,7 +175,7 @@ bool SmCore::WarpReady(unsigned slot, Cycle now) {
       return false;
     }
   }
-  const TraceInstr& ins = w.current();
+  const CompactInstr& ins = w.current();
   // A warp blocked on the scoreboard stays blocked until a writeback to
   // its slot (nothing else shrinks its pending set, and its current
   // instruction cannot advance while unissuable), so the cached verdict
@@ -247,7 +247,7 @@ void SmCore::FinishCta(unsigned cta_slot) {
   on_cta_complete_(id_);
 }
 
-void SmCore::IssueControl(unsigned slot, const TraceInstr& ins) {
+void SmCore::IssueControl(unsigned slot, const CompactInstr& ins) {
   WarpContext& w = warps_[slot];
   ++stats_.issued_control;
   if (IsBarrier(ins.op)) {
@@ -273,7 +273,7 @@ void SmCore::IssueControl(unsigned slot, const TraceInstr& ins) {
   if (rc.live_warps == 0) FinishCta(w.cta_slot);
 }
 
-void SmCore::IssueAlu(unsigned slot, const TraceInstr& ins, Cycle now) {
+void SmCore::IssueAlu(unsigned slot, const CompactInstr& ins, Cycle now) {
   SubCore& sc = subcores_[slot % subcores_.size()];
   const UnitClass cls = ClassOf(ins.op);
   ++stats_.issued_alu;
@@ -287,11 +287,19 @@ void SmCore::IssueAlu(unsigned slot, const TraceInstr& ins, Cycle now) {
                      false});
 }
 
-void SmCore::IssueMem(unsigned slot, const TraceInstr& ins, Cycle now) {
+void SmCore::IssueMem(unsigned slot, const CompactInstr& ins, Cycle now) {
   SubCore& sc = subcores_[slot % subcores_.size()];
   ++stats_.issued_mem;
+  // Lane addresses live in the warp's columnar pool; the per-slot rank
+  // counter makes this an O(lanes) decode with no scan (DESIGN.md §14).
+  const WarpContext& w = warps_[slot];
+  if (ins.has_addrs()) {
+    w.trace->DecodeAddrs(w.mem_seen, &mem_addrs_);
+  } else {
+    mem_addrs_.clear();
+  }
   if (sel_.mem == MemModelKind::kCycleAccurate) {
-    sc.ldst->Issue(slot, ins, now);
+    sc.ldst->Issue(slot, ins, mem_addrs_, now);
     return;
   }
   // Analytical memory path (paper §III-D2).
@@ -301,7 +309,7 @@ void SmCore::IssueMem(unsigned slot, const TraceInstr& ins, Cycle now) {
       now + std::max(1u, kWarpSize / cfg_.ldst_units_per_sub_core);
   const std::uint8_t dst = IsLoad(ins.op) ? ins.dst : kNoReg;
   if (IsSharedMem(ins.op)) {
-    const unsigned conflicts = smem_conflicts_.Conflicts(ins.addrs);
+    const unsigned conflicts = smem_conflicts_.Conflicts(mem_addrs_);
     ++sc.ana_ldst_inflight;
     events_.push(Event{now + cfg_.shared_mem_latency + conflicts - 1, slot,
                        dst, sc_idx, true});
@@ -312,7 +320,7 @@ void SmCore::IssueMem(unsigned slot, const TraceInstr& ins, Cycle now) {
     events_.push(Event{now + 10, slot, dst, sc_idx, true});
     return;
   }
-  const auto accesses = Coalesce(ins.addrs, 4, cfg_.l1.line_bytes,
+  const auto accesses = Coalesce(mem_addrs_, 4, cfg_.l1.line_bytes,
                                  cfg_.l1.sector_bytes);
   unsigned sectors = 0;
   for (const auto& a : accesses) sectors += PopCount(a.sector_mask);
@@ -338,7 +346,7 @@ void SmCore::IssueMem(unsigned slot, const TraceInstr& ins, Cycle now) {
 
 void SmCore::IssueInstr(unsigned slot, Cycle now) {
   WarpContext& w = warps_[slot];
-  const TraceInstr& ins = w.current();
+  const CompactInstr& ins = w.current();
   scoreboard_.OnIssue(slot, ins);
   const bool detailed_fe = sel_.frontend == FrontendKind::kDetailed;
   // An issuing warp is valid, unfinished and unexhausted; whether it
@@ -358,6 +366,7 @@ void SmCore::IssueInstr(unsigned slot, Cycle now) {
   } else {
     IssueAlu(slot, ins, now);
   }
+  if (ins.has_addrs()) ++w.mem_seen;
   ++w.next_instr;
   if (detailed_fe) {
     const bool now_fetchable =

@@ -183,9 +183,11 @@ class SmCore {
   void Writeback(unsigned slot, std::uint8_t dst);
   bool WarpReady(unsigned slot, Cycle now);
   void IssueInstr(unsigned slot, Cycle now);
-  void IssueControl(unsigned slot, const TraceInstr& ins);
-  void IssueAlu(unsigned slot, const TraceInstr& ins, Cycle now);
-  void IssueMem(unsigned slot, const TraceInstr& ins, Cycle now);
+  void IssueControl(unsigned slot, const CompactInstr& ins);
+  void IssueAlu(unsigned slot, const CompactInstr& ins, Cycle now);
+  void IssueMem(unsigned slot, const CompactInstr& ins, Cycle now);
+  // Scratch for per-issue columnar address decode (allocation-free).
+  LaneAddrs mem_addrs_;
   void FinishCta(unsigned cta_slot);
   void WakeCtaWarps(unsigned cta_slot);
   void FrontendTick(SubCore& sc, unsigned sc_idx, Cycle now);

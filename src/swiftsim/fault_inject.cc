@@ -188,12 +188,14 @@ WarpTrace TruncateWarp(const WarpTrace& warp) {
   WarpTrace out;
   out.reserve(warp.size() / 2 + 2);
   std::size_t body_idx = 0;
-  for (const TraceInstr& ins : warp) {
+  WarpCursor cur(warp);
+  while (!cur.done()) {
+    TraceInstr ins = cur.NextDecoded();
     if (IsBarrier(ins.op) || IsExit(ins.op)) {
-      out.push_back(ins);
+      out.push_back(std::move(ins));
       continue;
     }
-    if ((body_idx++ & 1) == 0) out.push_back(ins);
+    if ((body_idx++ & 1) == 0) out.push_back(std::move(ins));
   }
   return out;
 }

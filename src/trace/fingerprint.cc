@@ -50,7 +50,11 @@ Fingerprint FpHasher::Digest() const {
 
 namespace {
 
-void MixInstr(FpHasher& h, const TraceInstr& ins) {
+// Mixes the same word sequence the AoS representation produced, so
+// fingerprints (and everything memoized under them) survive the columnar
+// refactor unchanged: pc widens losslessly from 32 bits, and the decoded
+// lane addresses reproduce the original addrs vector.
+void MixInstr(FpHasher& h, const CompactInstr& ins, const LaneAddrs& addrs) {
   h.Mix(ins.pc);
   h.Mix(static_cast<std::uint64_t>(ins.op) |
         (static_cast<std::uint64_t>(ins.dst) << 16) |
@@ -58,8 +62,8 @@ void MixInstr(FpHasher& h, const TraceInstr& ins) {
         (static_cast<std::uint64_t>(ins.src[1]) << 32) |
         (static_cast<std::uint64_t>(ins.src[2]) << 40));
   h.Mix(ins.active);
-  h.Mix(ins.addrs.size());
-  for (const Addr a : ins.addrs) h.Mix(a);
+  h.Mix(addrs.size());
+  for (const Addr a : addrs) h.Mix(a);
 }
 
 }  // namespace
@@ -80,7 +84,9 @@ Fingerprint FingerprintKernel(const KernelTrace& kernel) {
     h.Mix(cta.warps.size());
     for (const WarpTrace& w : cta.warps) {
       h.Mix(w.size());
-      for (const TraceInstr& ins : w) MixInstr(h, ins);
+      WarpCursor cur(w);
+      LaneAddrs addrs;
+      while (!cur.done()) MixInstr(h, cur.Next(&addrs), addrs);
     }
   }
   return h.Digest();

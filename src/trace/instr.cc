@@ -1,0 +1,180 @@
+#include "trace/instr.h"
+
+#include <string>
+
+#include "common/status.h"
+
+namespace swiftsim {
+namespace {
+
+// LEB128 varint with zigzag deltas: each pool entry is
+//   varint(count) count × varint(zigzag(addr[i] - addr[i-1]))
+// (the first delta is against 0). Coalesced unit-stride runs and
+// broadcasts — the dominant generated patterns — cost 1–2 bytes per lane.
+
+inline std::uint64_t ZigZag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t UnZigZag(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+void PutVarint(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<std::uint8_t>(v));
+}
+
+// Reads one varint at `*pos`, advancing it. Throws on truncation/overflow.
+std::uint64_t GetVarint(const std::vector<std::uint8_t>& pool,
+                        std::size_t* pos) {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  while (true) {
+    SS_CHECK(*pos < pool.size(), "trace address pool: truncated varint");
+    const std::uint8_t b = pool[(*pos)++];
+    SS_CHECK(shift < 64, "trace address pool: varint overflows 64 bits");
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if (!(b & 0x80)) return v;
+    shift += 7;
+  }
+}
+
+}  // namespace
+
+void WarpTrace::EmitScalar(Pc pc, Opcode op, std::uint8_t dst,
+                           const std::array<std::uint8_t, 3>& src,
+                           LaneMask active) {
+  SS_CHECK(pc <= 0xffffffffull,
+           "trace pc 0x" + std::to_string(pc) +
+               " does not fit the 32-bit compact record");
+  CompactInstr rec;
+  rec.pc = static_cast<std::uint32_t>(pc);
+  rec.active = active;
+  rec.op = op;
+  rec.dst = dst;
+  rec.src = src;
+  instrs_.push_back(rec);
+}
+
+void WarpTrace::EmitMem(Pc pc, Opcode op, std::uint8_t dst,
+                        const std::array<std::uint8_t, 3>& src,
+                        LaneMask active, const LaneAddrs& addrs) {
+  if (addrs.empty()) {
+    EmitScalar(pc, op, dst, src, active);
+    return;
+  }
+  EmitScalar(pc, op, dst, src, active);
+  instrs_.back().flags = CompactInstr::kHasAddrs;
+  mem_off_.push_back(static_cast<std::uint32_t>(pool_.size()));
+  PutVarint(&pool_, addrs.size());
+  Addr prev = 0;
+  for (const Addr a : addrs) {
+    PutVarint(&pool_, ZigZag(static_cast<std::int64_t>(a - prev)));
+    prev = a;
+  }
+}
+
+void WarpTrace::push_back(const TraceInstr& ins) {
+  EmitMem(ins.pc, ins.op, ins.dst, ins.src, ins.active, ins.addrs);
+}
+
+void WarpTrace::clear() {
+  instrs_.clear();
+  mem_off_.clear();
+  pool_.clear();
+}
+
+unsigned WarpTrace::DecodeAddrs(std::uint32_t mem_rank,
+                                LaneAddrs* out) const {
+  out->clear();
+  SS_CHECK(mem_rank < mem_off_.size(),
+           "trace address decode: rank " + std::to_string(mem_rank) +
+               " out of range (" + std::to_string(mem_off_.size()) +
+               " entries)");
+  std::size_t pos = mem_off_[mem_rank];
+  SS_CHECK(pos <= pool_.size(),
+           "trace address pool: entry offset out of range");
+  const std::uint64_t count = GetVarint(pool_, &pos);
+  SS_CHECK(count <= kWarpSize,
+           "trace address pool: lane count " + std::to_string(count) +
+               " exceeds warp size");
+  Addr prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    prev = static_cast<Addr>(static_cast<std::int64_t>(prev) +
+                             UnZigZag(GetVarint(pool_, &pos)));
+    out->push_back(prev);
+  }
+  return static_cast<unsigned>(count);
+}
+
+std::uint32_t WarpTrace::MemRankAt(std::size_t index) const {
+  std::uint32_t rank = 0;
+  for (std::size_t i = 0; i < index; ++i) {
+    if (instrs_[i].has_addrs()) ++rank;
+  }
+  return rank;
+}
+
+TraceInstr WarpTrace::Decode(std::size_t index) const {
+  SS_CHECK(index < instrs_.size(), "trace decode: index out of range");
+  const CompactInstr& rec = instrs_[index];
+  TraceInstr out;
+  out.pc = rec.pc;
+  out.op = rec.op;
+  out.dst = rec.dst;
+  out.src = rec.src;
+  out.active = rec.active;
+  if (rec.has_addrs()) DecodeAddrs(MemRankAt(index), &out.addrs);
+  return out;
+}
+
+WarpTrace WarpTrace::FromColumns(std::vector<CompactInstr> records,
+                                 std::vector<std::uint32_t> offsets,
+                                 std::vector<std::uint8_t> pool) {
+  WarpTrace t;
+  t.instrs_ = std::move(records);
+  t.mem_off_ = std::move(offsets);
+  t.pool_ = std::move(pool);
+  std::size_t flagged = 0;
+  for (const CompactInstr& rec : t.instrs_) {
+    if (rec.has_addrs()) ++flagged;
+  }
+  SS_CHECK(flagged == t.mem_off_.size(),
+           "trace columns: offset table has " +
+               std::to_string(t.mem_off_.size()) + " entries but " +
+               std::to_string(flagged) + " records carry addresses");
+  std::uint32_t prev_off = 0;
+  for (std::size_t r = 0; r < t.mem_off_.size(); ++r) {
+    SS_CHECK(t.mem_off_[r] < t.pool_.size() || (t.mem_off_[r] == 0 && t.pool_.empty()),
+             "trace columns: pool offset out of range");
+    SS_CHECK(r == 0 || t.mem_off_[r] > prev_off,
+             "trace columns: pool offsets must be strictly increasing");
+    prev_off = t.mem_off_[r];
+    LaneAddrs scratch;
+    t.DecodeAddrs(static_cast<std::uint32_t>(r), &scratch);  // throws if bad
+  }
+  return t;
+}
+
+bool WarpTrace::operator==(const WarpTrace& o) const {
+  if (instrs_.size() != o.instrs_.size() ||
+      mem_off_ != o.mem_off_ || pool_ != o.pool_) {
+    return false;
+  }
+  for (std::size_t i = 0; i < instrs_.size(); ++i) {
+    const CompactInstr& a = instrs_[i];
+    const CompactInstr& b = o.instrs_[i];
+    if (a.pc != b.pc || a.active != b.active || a.op != b.op ||
+        a.dst != b.dst || a.src != b.src || a.flags != b.flags) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace swiftsim

@@ -22,54 +22,83 @@ std::uint64_t TraceSource::TotalInstrs() const {
   return n;
 }
 
+void TraceSource::ValidateCta(const KernelInfo& ki, const CtaTrace& ct,
+                              CtaId label) {
+  SS_CHECK(ct.warps.size() == ki.warps_per_cta,
+           "kernel '" + ki.name + "' CTA " + std::to_string(label) +
+               ": warp count mismatch");
+  std::uint64_t first_warp_barriers = 0;
+  for (std::size_t w = 0; w < ct.warps.size(); ++w) {
+    const WarpTrace& wt = ct.warps[w];
+    SS_CHECK(!wt.empty(), "kernel '" + ki.name + "': empty warp trace");
+    std::uint64_t barriers = 0;
+    WarpCursor cur(wt);
+    LaneAddrs addrs;
+    while (!cur.done()) {
+      const bool last = cur.index() + 1 == wt.size();
+      const CompactInstr& ins = cur.Next(&addrs);
+      SS_CHECK(IsExit(ins.op) == last,
+               "kernel '" + ki.name +
+                   "': EXIT must appear exactly once, as the last "
+                   "instruction of every warp");
+      SS_CHECK(ins.active != 0,
+               "kernel '" + ki.name + "': instruction with empty mask");
+      if (IsMemory(ins.op)) {
+        SS_CHECK(addrs.size() == ins.num_active(),
+                 "kernel '" + ki.name +
+                     "': memory op must carry one address per active lane");
+      } else {
+        SS_CHECK(addrs.empty(),
+                 "kernel '" + ki.name +
+                     "': non-memory op must carry no addresses");
+      }
+      if (IsBarrier(ins.op)) ++barriers;
+    }
+    if (w == 0) {
+      first_warp_barriers = barriers;
+    } else {
+      SS_CHECK(barriers == first_warp_barriers,
+               "kernel '" + ki.name + "' CTA " + std::to_string(label) +
+                   ": warps disagree on barrier count (deadlock)");
+    }
+  }
+}
+
 void TraceSource::ValidateTrace() const {
   const KernelInfo& ki = info();
   ki.Validate();
-  for (CtaId c = 0; c < ki.num_ctas; ++c) {
-    const CtaTrace& ct = cta(c);
-    SS_CHECK(ct.warps.size() == ki.warps_per_cta,
-             "kernel '" + ki.name + "' CTA " + std::to_string(c) +
-                 ": warp count mismatch");
-    std::uint64_t first_warp_barriers = 0;
-    for (std::size_t w = 0; w < ct.warps.size(); ++w) {
-      const WarpTrace& wt = ct.warps[w];
-      SS_CHECK(!wt.empty(), "kernel '" + ki.name + "': empty warp trace");
-      std::uint64_t barriers = 0;
-      for (std::size_t i = 0; i < wt.size(); ++i) {
-        const TraceInstr& ins = wt[i];
-        const bool last = i + 1 == wt.size();
-        SS_CHECK(IsExit(ins.op) == last,
-                 "kernel '" + ki.name +
-                     "': EXIT must appear exactly once, as the last "
-                     "instruction of every warp");
-        SS_CHECK(ins.active != 0,
-                 "kernel '" + ki.name + "': instruction with empty mask");
-        if (IsMemory(ins.op)) {
-          SS_CHECK(ins.addrs.size() == ins.num_active(),
-                   "kernel '" + ki.name +
-                       "': memory op must carry one address per active lane");
-        } else {
-          SS_CHECK(ins.addrs.empty(),
-                   "kernel '" + ki.name +
-                       "': non-memory op must carry no addresses");
-        }
-        if (IsBarrier(ins.op)) ++barriers;
-      }
-      if (w == 0) {
-        first_warp_barriers = barriers;
-      } else {
-        SS_CHECK(barriers == first_warp_barriers,
-                 "kernel '" + ki.name + "' CTA " + std::to_string(c) +
-                     ": warps disagree on barrier count (deadlock)");
-      }
-    }
-  }
+  for (CtaId c = 0; c < ki.num_ctas; ++c) ValidateCta(ki, cta(c), c);
 }
 
 KernelTrace::KernelTrace(KernelInfo info, std::vector<CtaTrace> variants)
     : info_(std::move(info)), variants_(std::move(variants)) {
   SS_CHECK(!variants_.empty(), "KernelTrace needs at least one CTA variant");
   info_.Validate();
+  // Per-variant counts are cached once here; with CTA i sharing variant
+  // i % V the grid total is a closed form, not a grid walk.
+  const std::uint64_t v_count = variants_.size();
+  const std::uint64_t rounds = info_.num_ctas / v_count;
+  const std::uint64_t rem = info_.num_ctas % v_count;
+  total_instrs_ = 0;
+  for (std::uint64_t v = 0; v < v_count; ++v) {
+    const std::uint64_t n = variants_[v].dynamic_instrs();
+    total_instrs_ += n * (rounds + (v < rem ? 1 : 0));
+  }
+}
+
+void KernelTrace::ValidateTrace() const {
+  info_.Validate();
+  for (std::size_t v = 0; v < variants_.size(); ++v) {
+    ValidateCta(info_, variants_[v], static_cast<CtaId>(v));
+  }
+}
+
+std::uint64_t KernelTrace::TraceBytes() const {
+  std::uint64_t bytes = 0;
+  for (const CtaTrace& ct : variants_) {
+    for (const WarpTrace& wt : ct.warps) bytes += wt.MemoryBytes();
+  }
+  return bytes;
 }
 
 const CtaTrace& KernelTrace::cta(CtaId id) const {

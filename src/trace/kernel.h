@@ -50,14 +50,23 @@ class TraceSource {
   /// The trace of CTA `id`; id < info().num_ctas.
   virtual const CtaTrace& cta(CtaId id) const = 0;
 
-  /// Total dynamic instruction count across the whole grid.
-  std::uint64_t TotalInstrs() const;
+  /// Total dynamic instruction count across the whole grid. Implementations
+  /// with shared variant storage override this with a build-time cached
+  /// count instead of re-walking the grid on every call.
+  virtual std::uint64_t TotalInstrs() const;
 
   /// Validates structural invariants of the whole trace: every warp ends
   /// with EXIT exactly once, barrier counts agree across the warps of each
   /// CTA, memory ops carry exactly one address per active lane, non-memory
   /// ops carry none. Throws SimError on the first violation.
-  void ValidateTrace() const;
+  /// Implementations backed by shared variants override this to validate
+  /// each distinct variant once instead of every CTA id.
+  virtual void ValidateTrace() const;
+
+ protected:
+  /// Validates one CTA's warps against `ki` (shared by both overrides).
+  static void ValidateCta(const KernelInfo& ki, const CtaTrace& ct,
+                          CtaId label);
 };
 
 /// Fully materialized kernel trace with CTA-variant sharing: CTA `i` is
@@ -69,12 +78,23 @@ class KernelTrace : public TraceSource {
   const KernelInfo& info() const override { return info_; }
   const CtaTrace& cta(CtaId id) const override;
 
+  /// Cached at construction: no per-call grid walk (benches, memo, reports
+  /// all hit this repeatedly).
+  std::uint64_t TotalInstrs() const override { return total_instrs_; }
+
+  /// Validates each distinct variant once — O(variants), not O(grid).
+  void ValidateTrace() const override;
+
   std::size_t num_variants() const { return variants_.size(); }
   const CtaTrace& variant(std::size_t v) const { return variants_.at(v); }
+
+  /// Bytes of columnar trace storage across all variants.
+  std::uint64_t TraceBytes() const;
 
  private:
   KernelInfo info_;
   std::vector<CtaTrace> variants_;
+  std::uint64_t total_instrs_ = 0;  // sum over the grid, variant-shared
 };
 
 /// A named, loaded application: a sequence of kernels launched in order.

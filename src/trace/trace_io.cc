@@ -1,5 +1,7 @@
 #include "trace/trace_io.h"
 
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -243,7 +245,8 @@ void WriteKernelTrace(const KernelTrace& trace, std::ostream& os) {
     const CtaTrace& cta = trace.variant(v);
     for (std::size_t w = 0; w < cta.warps.size(); ++w) {
       os << "warp " << w << " n=" << cta.warps[w].size() << "\n";
-      for (const TraceInstr& ins : cta.warps[w]) WriteInstr(ins, os);
+      WarpCursor cur(cta.warps[w]);
+      while (!cur.done()) WriteInstr(cur.NextDecoded(), os);
       os << "end_warp\n";
     }
     os << "end_variant\n";
@@ -307,6 +310,226 @@ Application ReadApplicationFile(const std::string& path) {
   std::ifstream in(path);
   SS_CHECK(in.good(), "cannot open application file '" + path + "'");
   return ReadApplication(in);
+}
+
+// ---------------------------------------------------------------------------
+// Binary compact trace cache (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+//
+// Layout (little-endian, single-machine cache — not an interchange format):
+//   "SSTC" magic | u32 version | u64 key.hi | u64 key.lo
+//   str app name | u32 kernel count
+//   per kernel:
+//     str name | u64 id | u32 ctas, warps_per_cta, threads_per_cta,
+//     u32 smem, regs | u32 variant count
+//     per variant: u32 warp count
+//       per warp: u64 records | u32 offsets | u64 pool bytes, then the
+//       three columns raw.
+// Strings are u32 length + bytes.
+
+namespace {
+
+constexpr char kCacheMagic[4] = {'S', 'S', 'T', 'C'};
+constexpr std::uint64_t kMaxCacheStr = 4096;
+constexpr std::uint64_t kMaxCacheKernels = 1u << 16;
+constexpr std::uint64_t kMaxCacheVariants = 1u << 20;
+constexpr std::uint64_t kMaxCacheWarps = 1u << 16;
+constexpr std::uint64_t kMaxCachePoolBytes = 1ull << 32;
+
+void PutRaw(std::ostream& os, const void* p, std::size_t n) {
+  os.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+}
+
+void PutU32(std::ostream& os, std::uint32_t v) { PutRaw(os, &v, sizeof v); }
+void PutU64(std::ostream& os, std::uint64_t v) { PutRaw(os, &v, sizeof v); }
+
+void PutStr(std::ostream& os, const std::string& s) {
+  PutU32(os, static_cast<std::uint32_t>(s.size()));
+  PutRaw(os, s.data(), s.size());
+}
+
+class CacheReader {
+ public:
+  CacheReader(std::istream& is, std::string path)
+      : is_(is), path_(std::move(path)) {}
+
+  [[noreturn]] void Fail(const std::string& msg) const {
+    throw TraceCacheError("compact trace cache '" + path_ + "': " + msg);
+  }
+
+  void GetRaw(void* p, std::size_t n, const char* what) {
+    is_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+    if (static_cast<std::size_t>(is_.gcount()) != n) {
+      Fail(std::string("truncated while reading ") + what);
+    }
+  }
+
+  std::uint32_t GetU32(const char* what) {
+    std::uint32_t v = 0;
+    GetRaw(&v, sizeof v, what);
+    return v;
+  }
+
+  std::uint64_t GetU64(const char* what) {
+    std::uint64_t v = 0;
+    GetRaw(&v, sizeof v, what);
+    return v;
+  }
+
+  std::string GetStr(const char* what) {
+    const std::uint32_t n = GetU32(what);
+    if (n > kMaxCacheStr) Fail(std::string(what) + " length implausible");
+    std::string s(n, '\0');
+    if (n != 0) GetRaw(s.data(), n, what);
+    return s;
+  }
+
+ private:
+  std::istream& is_;
+  std::string path_;
+};
+
+void WriteCompactWarp(std::ostream& os, const WarpTrace& w) {
+  PutU64(os, w.records().size());
+  PutU32(os, static_cast<std::uint32_t>(w.addr_offsets().size()));
+  PutU64(os, w.addr_pool().size());
+  PutRaw(os, w.records().data(), w.records().size() * sizeof(CompactInstr));
+  PutRaw(os, w.addr_offsets().data(),
+         w.addr_offsets().size() * sizeof(std::uint32_t));
+  PutRaw(os, w.addr_pool().data(), w.addr_pool().size());
+}
+
+WarpTrace ReadCompactWarp(CacheReader& r) {
+  const std::uint64_t n_rec = r.GetU64("warp record count");
+  const std::uint32_t n_off = r.GetU32("warp offset count");
+  const std::uint64_t n_pool = r.GetU64("warp pool size");
+  if (n_rec > kMaxWarpInstrs) r.Fail("warp record count implausible");
+  if (n_off > n_rec) r.Fail("more address entries than records");
+  if (n_pool > kMaxCachePoolBytes) r.Fail("address pool size implausible");
+  std::vector<CompactInstr> records(n_rec);
+  std::vector<std::uint32_t> offsets(n_off);
+  std::vector<std::uint8_t> pool(n_pool);
+  if (n_rec) r.GetRaw(records.data(), n_rec * sizeof(CompactInstr), "records");
+  if (n_off) {
+    r.GetRaw(offsets.data(), n_off * sizeof(std::uint32_t), "offsets");
+  }
+  if (n_pool) r.GetRaw(pool.data(), n_pool, "address pool");
+  for (const CompactInstr& rec : records) {
+    if (static_cast<std::uint8_t>(rec.op) >= kNumOpcodes) {
+      r.Fail("record carries an unknown opcode");
+    }
+  }
+  try {
+    // FromColumns re-checks flag/offset agreement and decodes every pool
+    // entry — out-of-range offsets and truncated varints surface here.
+    return WarpTrace::FromColumns(std::move(records), std::move(offsets),
+                                  std::move(pool));
+  } catch (const SimError& e) {
+    r.Fail(e.what());
+  }
+}
+
+}  // namespace
+
+void WriteCompactApplication(const Application& app, const Fingerprint& key,
+                             const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    SS_CHECK(os.good(), "cannot open '" + tmp + "' for writing");
+    PutRaw(os, kCacheMagic, sizeof kCacheMagic);
+    PutU32(os, kTraceCacheVersion);
+    PutU64(os, key.hi);
+    PutU64(os, key.lo);
+    PutStr(os, app.name);
+    PutU32(os, static_cast<std::uint32_t>(app.kernels.size()));
+    for (const auto& kernel : app.kernels) {
+      const KernelInfo& ki = kernel->info();
+      PutStr(os, ki.name);
+      PutU64(os, ki.id);
+      PutU32(os, ki.num_ctas);
+      PutU32(os, ki.warps_per_cta);
+      PutU32(os, ki.threads_per_cta);
+      PutU32(os, ki.smem_bytes_per_cta);
+      PutU32(os, ki.regs_per_thread);
+      PutU32(os, static_cast<std::uint32_t>(kernel->num_variants()));
+      for (std::size_t v = 0; v < kernel->num_variants(); ++v) {
+        const CtaTrace& cta = kernel->variant(v);
+        PutU32(os, static_cast<std::uint32_t>(cta.warps.size()));
+        for (const WarpTrace& w : cta.warps) WriteCompactWarp(os, w);
+      }
+    }
+    SS_CHECK(os.good(), "write to '" + tmp + "' failed");
+  }
+  SS_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+           "rename '" + tmp + "' -> '" + path + "' failed");
+}
+
+Application ReadCompactApplication(const std::string& path,
+                                   const Fingerprint& key) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) {
+    throw TraceCacheError("compact trace cache '" + path + "': cannot open");
+  }
+  CacheReader r(is, path);
+  char magic[4] = {};
+  r.GetRaw(magic, sizeof magic, "magic");
+  if (std::memcmp(magic, kCacheMagic, sizeof magic) != 0) {
+    r.Fail("bad magic (not a compact trace cache)");
+  }
+  const std::uint32_t version = r.GetU32("version");
+  if (version != kTraceCacheVersion) {
+    r.Fail("format version " + std::to_string(version) + " != expected " +
+           std::to_string(kTraceCacheVersion));
+  }
+  Fingerprint got;
+  got.hi = r.GetU64("cache key");
+  got.lo = r.GetU64("cache key");
+  if (got.hi != key.hi || got.lo != key.lo) {
+    r.Fail("cache key mismatch: file has " + got.ToHex() + ", expected " +
+           key.ToHex());
+  }
+  Application app;
+  app.name = r.GetStr("application name");
+  const std::uint32_t n_kernels = r.GetU32("kernel count");
+  if (n_kernels > kMaxCacheKernels) r.Fail("kernel count implausible");
+  for (std::uint32_t k = 0; k < n_kernels; ++k) {
+    KernelInfo ki;
+    ki.name = r.GetStr("kernel name");
+    ki.id = static_cast<KernelId>(r.GetU64("kernel id"));
+    ki.num_ctas = r.GetU32("cta count");
+    ki.warps_per_cta = r.GetU32("warps per cta");
+    ki.threads_per_cta = r.GetU32("threads per cta");
+    ki.smem_bytes_per_cta = r.GetU32("smem bytes");
+    ki.regs_per_thread = r.GetU32("regs per thread");
+    const std::uint32_t n_variants = r.GetU32("variant count");
+    if (n_variants == 0 || n_variants > kMaxCacheVariants) {
+      r.Fail("variant count implausible");
+    }
+    std::vector<CtaTrace> variants;
+    variants.reserve(n_variants);
+    for (std::uint32_t v = 0; v < n_variants; ++v) {
+      const std::uint32_t n_warps = r.GetU32("warp count");
+      if (n_warps > kMaxCacheWarps) r.Fail("warp count implausible");
+      CtaTrace cta;
+      cta.warps.reserve(n_warps);
+      for (std::uint32_t w = 0; w < n_warps; ++w) {
+        cta.warps.push_back(ReadCompactWarp(r));
+      }
+      variants.push_back(std::move(cta));
+    }
+    try {
+      auto trace = std::make_shared<KernelTrace>(std::move(ki),
+                                                 std::move(variants));
+      trace->ValidateTrace();
+      app.kernels.push_back(std::move(trace));
+    } catch (const TraceCacheError&) {
+      throw;
+    } catch (const SimError& e) {
+      r.Fail(e.what());
+    }
+  }
+  return app;
 }
 
 }  // namespace swiftsim

@@ -11,12 +11,18 @@
 //   end_warp
 //   end_variant
 //   end_kernel
+// Alongside the text format lives the binary compact trace cache
+// (".sstc"): the columnar warp columns written raw, keyed by a 128-bit
+// fingerprint of the build request, so repeated cold runs and DSE sweeps
+// skip trace generation entirely (DESIGN.md §14).
 #pragma once
 
 #include <iosfwd>
 #include <memory>
 #include <string>
 
+#include "common/status.h"
+#include "trace/fingerprint.h"
 #include "trace/kernel.h"
 
 namespace swiftsim {
@@ -36,5 +42,29 @@ void WriteApplication(const Application& app, std::ostream& os);
 void WriteApplicationFile(const Application& app, const std::string& path);
 Application ReadApplication(std::istream& is);
 Application ReadApplicationFile(const std::string& path);
+
+/// Raised on any malformed, truncated, version- or key-mismatched compact
+/// cache file. Callers that treat the cache as advisory catch this and
+/// regenerate; everything else surfaces it as a SimError.
+class TraceCacheError : public SimError {
+ public:
+  using SimError::SimError;
+};
+
+/// Current compact cache format version; bumped on any layout change so
+/// stale files are rejected instead of misread.
+inline constexpr std::uint32_t kTraceCacheVersion = 1;
+
+/// Writes the whole application's columnar columns raw, preceded by a
+/// header carrying `key` (the fingerprint of the generation request).
+/// Atomic: writes to "<path>.tmp" then renames.
+void WriteCompactApplication(const Application& app, const Fingerprint& key,
+                             const std::string& path);
+
+/// Reads a compact cache file, verifying magic, version and `key`. Every
+/// count is bounds-checked and every address-pool entry is decoded before
+/// the traces are validated; throws TraceCacheError on any mismatch.
+Application ReadCompactApplication(const std::string& path,
+                                   const Fingerprint& key);
 
 }  // namespace swiftsim

@@ -16,10 +16,13 @@ TraceStats ComputeTraceStats(const TraceSource& src) {
     const CtaTrace& cta = src.cta(c);
     st.warps += cta.warps.size();
     for (const WarpTrace& warp : cta.warps) {
-      for (const TraceInstr& ins : warp) {
+      WarpCursor cur(warp);
+      LaneAddrs addrs;
+      while (!cur.done()) {
+        const CompactInstr& ins = cur.Next(&addrs);
         ++st.dynamic_instrs;
         ++st.per_opcode[static_cast<std::uint8_t>(ins.op)];
-        pcs.insert(ins.pc);
+        pcs.insert(static_cast<Pc>(ins.pc));
         const unsigned lanes = ins.num_active();
         st.total_active_lanes += lanes;
         if (lanes == kWarpSize) {
@@ -31,7 +34,7 @@ TraceStats ComputeTraceStats(const TraceSource& src) {
           ++st.mem_instrs;
           if (IsGlobalMem(ins.op)) {
             ++st.global_mem_instrs;
-            for (Addr a : ins.addrs) lines.insert(AlignDown(a, line_bytes));
+            for (Addr a : addrs) lines.insert(AlignDown(a, line_bytes));
           }
           if (IsSharedMem(ins.op)) ++st.shared_mem_instrs;
         }

@@ -1,8 +1,23 @@
 #include "workloads/gen_util.h"
 
+#include <atomic>
+
 #include "common/bitutil.h"
+#include "common/thread_pool.h"
 
 namespace swiftsim::workloads {
+
+namespace {
+std::atomic<bool> g_parallel_build{true};
+}  // namespace
+
+void SetParallelTraceBuild(bool enabled) {
+  g_parallel_build.store(enabled, std::memory_order_relaxed);
+}
+
+bool ParallelTraceBuild() {
+  return g_parallel_build.load(std::memory_order_relaxed);
+}
 
 std::shared_ptr<KernelTrace> MakeKernel(
     const KernelShape& shape, std::uint64_t seed,
@@ -19,11 +34,20 @@ std::shared_ptr<KernelTrace> MakeKernel(
   const std::size_t num_variants =
       std::min<std::size_t>(shape.variants, shape.ctas);
   std::vector<CtaTrace> variants(num_variants);
-  for (std::size_t v = 0; v < num_variants; ++v) {
+  // Each variant has its own deterministic Rng seeded from (seed, kernel
+  // id, variant) and writes only its own CtaTrace, so variants can be
+  // filled in parallel on the shared pool with identical results to the
+  // serial loop (the columnar encoders touch only per-warp state).
+  const auto fill_variant = [&](std::size_t v) {
     Rng rng(HashMix(seed ^ (static_cast<std::uint64_t>(shape.id) << 32) ^
                     (v * 0x9e3779b97f4a7c15ull)));
     variants[v].warps.resize(shape.warps_per_cta);
     fill(&variants[v], v, rng);
+  };
+  if (ParallelTraceBuild() && num_variants > 1) {
+    ThreadPool::Shared().ParallelFor(num_variants, 0, fill_variant);
+  } else {
+    for (std::size_t v = 0; v < num_variants; ++v) fill_variant(v);
   }
   auto trace =
       std::make_shared<KernelTrace>(std::move(info), std::move(variants));

@@ -58,21 +58,23 @@ LaneMask RandomMask(Rng& rng, double density) {
   return m;
 }
 
+namespace {
+std::array<std::uint8_t, 3> SrcArray(std::initializer_list<std::uint8_t> srcs) {
+  std::array<std::uint8_t, 3> out = {kNoReg, kNoReg, kNoReg};
+  unsigned i = 0;
+  for (std::uint8_t r : srcs) {
+    SS_DCHECK(i < out.size());
+    out[i++] = r;
+  }
+  return out;
+}
+}  // namespace
+
 void WarpEmitter::Alu(Pc pc, Opcode op, std::uint8_t dst,
                       std::initializer_list<std::uint8_t> srcs,
                       LaneMask mask) {
   SS_DCHECK(!IsMemory(op) && !IsBarrier(op) && !IsExit(op));
-  TraceInstr ins;
-  ins.pc = pc;
-  ins.op = op;
-  ins.dst = dst;
-  unsigned i = 0;
-  for (std::uint8_t r : srcs) {
-    SS_DCHECK(i < ins.src.size());
-    ins.src[i++] = r;
-  }
-  ins.active = mask;
-  out_->push_back(std::move(ins));
+  out_->EmitScalar(pc, op, dst, SrcArray(srcs), mask);
 }
 
 void WarpEmitter::Mem(Pc pc, Opcode op, std::uint8_t dst,
@@ -80,34 +82,17 @@ void WarpEmitter::Mem(Pc pc, Opcode op, std::uint8_t dst,
                       LaneAddrs addrs) {
   SS_DCHECK(IsMemory(op));
   SS_DCHECK(addrs.size() == PopCount(mask));
-  TraceInstr ins;
-  ins.pc = pc;
-  ins.op = op;
-  ins.dst = dst;
-  unsigned i = 0;
-  for (std::uint8_t r : srcs) {
-    SS_DCHECK(i < ins.src.size());
-    ins.src[i++] = r;
-  }
-  ins.active = mask;
-  ins.addrs = std::move(addrs);
-  out_->push_back(std::move(ins));
+  out_->EmitMem(pc, op, dst, SrcArray(srcs), mask, addrs);
 }
 
 void WarpEmitter::Bar(Pc pc) {
-  TraceInstr ins;
-  ins.pc = pc;
-  ins.op = Opcode::kBarSync;
-  ins.dst = kNoReg;
-  out_->push_back(std::move(ins));
+  out_->EmitScalar(pc, Opcode::kBarSync, kNoReg,
+                   {kNoReg, kNoReg, kNoReg}, kFullMask);
 }
 
 void WarpEmitter::Exit(Pc pc) {
-  TraceInstr ins;
-  ins.pc = pc;
-  ins.op = Opcode::kExit;
-  ins.dst = kNoReg;
-  out_->push_back(std::move(ins));
+  out_->EmitScalar(pc, Opcode::kExit, kNoReg,
+                   {kNoReg, kNoReg, kNoReg}, kFullMask);
 }
 
 void WarpEmitter::FmaChain(Pc base_pc, unsigned n, std::uint8_t dst,

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <filesystem>
 
 #include "common/status.h"
+#include "trace/trace_io.h"
 #include "workloads/workload_suites.h"
 
 namespace swiftsim {
@@ -84,6 +87,45 @@ Application BuildWorkload(const std::string& name, const WorkloadScale& s) {
   if (name == "PAGERANK") return BuildPagerank(s);
   if (name == "SSSP") return BuildSssp(s);
   throw SimError("unknown workload '" + name + "'");
+}
+
+Fingerprint WorkloadBuildKey(const std::string& name,
+                             const WorkloadScale& s) {
+  FpHasher h;
+  h.Mix(kTraceCacheVersion);
+  h.MixString(name);
+  std::uint64_t scale_bits = 0;
+  static_assert(sizeof s.scale == sizeof scale_bits);
+  std::memcpy(&scale_bits, &s.scale, sizeof scale_bits);
+  h.Mix(scale_bits);
+  h.Mix(s.seed);
+  return h.Digest();
+}
+
+Application BuildWorkloadCached(const std::string& name,
+                                const WorkloadScale& s,
+                                const TraceBuildOptions& opts,
+                                bool* hit_out) {
+  if (hit_out != nullptr) *hit_out = false;
+  if (opts.cache_dir.empty()) return BuildWorkload(name, s);
+  const Fingerprint key = WorkloadBuildKey(name, s);
+  const std::filesystem::path path =
+      std::filesystem::path(opts.cache_dir) / (name + "-" + key.ToHex() +
+                                               ".sstc");
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec)) {
+    try {
+      Application app = ReadCompactApplication(path.string(), key);
+      if (hit_out != nullptr) *hit_out = true;
+      return app;
+    } catch (const TraceCacheError&) {
+      // Stale or torn entry: fall through and regenerate over it.
+    }
+  }
+  Application app = BuildWorkload(name, s);
+  std::filesystem::create_directories(opts.cache_dir, ec);
+  WriteCompactApplication(app, key, path.string());
+  return app;
 }
 
 std::uint32_t Scaled(double scale, std::uint32_t value, std::uint32_t lo) {

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/fingerprint.h"
 #include "trace/kernel.h"
 
 namespace swiftsim {
@@ -43,6 +44,26 @@ const WorkloadSpec& WorkloadByName(const std::string& name);
 /// Builds the synthetic application; throws SimError on unknown names.
 /// Deterministic: same (name, scale, seed) -> identical trace.
 Application BuildWorkload(const std::string& name, const WorkloadScale& s);
+
+/// On-disk compact trace cache knobs (DESIGN.md §14).
+struct TraceBuildOptions {
+  std::string cache_dir;  // empty disables the on-disk cache
+};
+
+/// 128-bit key of a generation request: cache format version, workload
+/// name, scale bits and seed. Generation is deterministic, so this fully
+/// identifies the resulting trace without building it.
+Fingerprint WorkloadBuildKey(const std::string& name, const WorkloadScale& s);
+
+/// BuildWorkload behind the compact on-disk cache: a hit loads the
+/// columnar columns straight from "<cache_dir>/<name>-<key>.sstc"; a miss
+/// (or any malformed/stale file) regenerates and rewrites the entry
+/// atomically. With an empty cache_dir this is exactly BuildWorkload.
+/// `hit_out`, if non-null, reports whether the cache served the trace.
+Application BuildWorkloadCached(const std::string& name,
+                                const WorkloadScale& s,
+                                const TraceBuildOptions& opts,
+                                bool* hit_out = nullptr);
 
 /// Convenience: scaled integer >= lo.
 std::uint32_t Scaled(double scale, std::uint32_t value, std::uint32_t lo = 1);

@@ -80,7 +80,7 @@ TEST(AccelSimImport, AddressModeList) {
                        "insts = 1\n"
                        "0100 ffffffff 0 EXIT 0 0\n"
                        "#END_TB\n");
-  const TraceInstr& ld = k->variant(0).warps[0][0];
+  const TraceInstr ld = k->variant(0).warps[0].Decode(0);
   EXPECT_EQ(ld.op, Opcode::kLdGlobal);
   ASSERT_EQ(ld.addrs.size(), 2u);  // two active lanes
   EXPECT_EQ(ld.addrs[0], 0x1000u);
@@ -99,7 +99,7 @@ TEST(AccelSimImport, AddressModeBaseStride) {
                        "insts = 1\n"
                        "0100 ffffffff 0 EXIT 0 0\n"
                        "#END_TB\n");
-  const TraceInstr& ld = k->variant(0).warps[0][0];
+  const TraceInstr ld = k->variant(0).warps[0].Decode(0);
   ASSERT_EQ(ld.addrs.size(), 32u);
   EXPECT_EQ(ld.addrs[0], 0x1000u);
   EXPECT_EQ(ld.addrs[31], 0x1000u + 31 * 4);
@@ -117,7 +117,7 @@ TEST(AccelSimImport, AddressModeBaseDeltas) {
                        "insts = 1\n"
                        "0100 ffffffff 0 EXIT 0 0\n"
                        "#END_TB\n");
-  const TraceInstr& ld = k->variant(0).warps[0][0];
+  const TraceInstr ld = k->variant(0).warps[0].Decode(0);
   ASSERT_EQ(ld.addrs.size(), 3u);
   EXPECT_EQ(ld.addrs[0], 0x2000u);
   EXPECT_EQ(ld.addrs[1], 0x2010u);

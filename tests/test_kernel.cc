@@ -8,10 +8,10 @@
 namespace swiftsim {
 namespace {
 
-WarpTrace MakeWarp(bool with_exit = true) {
+WarpTrace MakeWarp(bool with_exit = true, Pc first_pc = 0x10) {
   WarpTrace w;
   WarpEmitter e(&w);
-  e.Alu(0x10, Opcode::kIAdd, 4, {4});
+  e.Alu(first_pc, Opcode::kIAdd, 4, {4});
   e.Mem(0x18, Opcode::kLdGlobal, 5, {4}, kFullMask,
         CoalescedAddrs(0x1000, 4));
   if (with_exit) e.Exit(0x20);
@@ -42,8 +42,7 @@ TEST(KernelInfo, ValidateChecksFields) {
 
 TEST(KernelTrace, VariantSharing) {
   CtaTrace v0{{MakeWarp(), MakeWarp()}};
-  CtaTrace v1{{MakeWarp(), MakeWarp()}};
-  v1.warps[0].front().pc = 0x99;  // distinguishable
+  CtaTrace v1{{MakeWarp(true, 0x99), MakeWarp()}};  // distinguishable pc
   KernelTrace k(MakeInfo(5, 2), {v0, v1});
   EXPECT_EQ(k.num_variants(), 2u);
   // CTA i is backed by variant i % 2.
@@ -86,14 +85,18 @@ TEST(ValidateTrace, RejectsAddressCountMismatch) {
   WarpEmitter e(&w);
   e.Alu(0x10, Opcode::kIAdd, 4, {});
   e.Exit(0x18);
-  // Manually corrupt: memory op with too few addresses.
+  // Corrupt: a memory op carrying one address for 32 active lanes. The
+  // columnar store encodes it faithfully; validation must reject it.
+  WarpTrace corrupt;
   TraceInstr bad;
   bad.pc = 0x14;
   bad.op = Opcode::kLdGlobal;
   bad.active = kFullMask;
-  bad.addrs = {0x1000};  // 1 address for 32 active lanes
-  w.insert(w.begin() + 1, bad);
-  CtaTrace v{{w}};
+  bad.addrs = {0x1000};
+  corrupt.push_back(w.Decode(0));
+  corrupt.push_back(bad);
+  corrupt.push_back(w.Decode(1));
+  CtaTrace v{{corrupt}};
   KernelTrace k(MakeInfo(1, 1), {v});
   EXPECT_THROW(k.ValidateTrace(), SimError);
 }
@@ -105,8 +108,10 @@ TEST(ValidateTrace, RejectsWarpCountMismatch) {
 }
 
 TEST(ValidateTrace, RejectsEmptyActiveMask) {
-  WarpTrace w = MakeWarp();
-  w[0].active = 0;
+  WarpTrace w;
+  WarpEmitter e(&w);
+  e.Alu(0x10, Opcode::kIAdd, 4, {4}, /*mask=*/0);
+  e.Exit(0x18);
   CtaTrace v{{w}};
   KernelTrace k(MakeInfo(1, 1), {v});
   EXPECT_THROW(k.ValidateTrace(), SimError);

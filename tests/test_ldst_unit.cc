@@ -66,6 +66,18 @@ struct Harness {
   }
 };
 
+/// Splits an AoS instruction into the (record, addrs) pair LdstUnit::Issue
+/// takes since the columnar trace refactor.
+void IssueAoS(LdstUnit& u, unsigned slot, const TraceInstr& ins, Cycle now) {
+  CompactInstr c;
+  c.pc = static_cast<std::uint32_t>(ins.pc);
+  c.op = ins.op;
+  c.dst = ins.dst;
+  c.src = ins.src;
+  c.active = ins.active;
+  u.Issue(slot, c, ins.addrs, now);
+}
+
 TraceInstr GlobalLoad(std::uint8_t dst, LaneAddrs addrs,
                       LaneMask mask = kFullMask) {
   TraceInstr ins;
@@ -79,7 +91,7 @@ TraceInstr GlobalLoad(std::uint8_t dst, LaneAddrs addrs,
 TEST(LdstUnit, CoalescedLoadCompletesOnce) {
   Harness h;
   ASSERT_TRUE(h.ldst.CanAccept(h.now));
-  h.ldst.Issue(2, GlobalLoad(9, CoalescedAddrs(0x1000, 4)), h.now);
+  IssueAoS(h.ldst, 2, GlobalLoad(9, CoalescedAddrs(0x1000, 4)), h.now);
   for (int i = 0; i < 20 && h.writebacks.empty(); ++i) {
     h.Step();
     h.ServeMisses();
@@ -95,7 +107,7 @@ TEST(LdstUnit, ScatteredLoadInjectsManyAccesses) {
   Harness h;
   LaneAddrs addrs;
   for (unsigned i = 0; i < 32; ++i) addrs.push_back(i * 0x1000);
-  h.ldst.Issue(0, GlobalLoad(9, addrs), h.now);
+  IssueAoS(h.ldst, 0, GlobalLoad(9, addrs), h.now);
   for (int i = 0; i < 100 && h.writebacks.empty(); ++i) {
     h.Step();
     h.ServeMisses();
@@ -111,7 +123,7 @@ TEST(LdstUnit, StoreCompletesOnAcceptance) {
   st.dst = kNoReg;
   st.active = kFullMask;
   st.addrs = CoalescedAddrs(0x2000, 4);
-  h.ldst.Issue(1, st, h.now);
+  IssueAoS(h.ldst, 1, st, h.now);
   for (int i = 0; i < 10 && h.writebacks.empty(); ++i) h.Step();
   ASSERT_EQ(h.writebacks.size(), 1u);
   EXPECT_EQ(h.writebacks[0].second, kNoReg);
@@ -127,7 +139,7 @@ TEST(LdstUnit, SharedMemoryFixedLatency) {
   lds.dst = 5;
   lds.active = kFullMask;
   lds.addrs = CoalescedAddrs(0, 4);  // conflict-free across 32 banks
-  h.ldst.Issue(3, lds, h.now);
+  IssueAoS(h.ldst, 3, lds, h.now);
   Cycle done = 0;
   for (int i = 0; i < 30 && h.writebacks.empty(); ++i) {
     h.Step();
@@ -144,7 +156,7 @@ TEST(LdstUnit, SharedMemoryBankConflictsSerialize) {
   lds.active = kFullMask;
   // Stride of 128 bytes: every lane hits bank 0 -> 32-way conflict.
   lds.addrs = StridedAddrs(0, 128);
-  h.ldst.Issue(0, lds, h.now);
+  IssueAoS(h.ldst, 0, lds, h.now);
   Cycle done = 0;
   for (int i = 0; i < 100 && h.writebacks.empty(); ++i) {
     h.Step();
@@ -161,7 +173,7 @@ TEST(LdstUnit, BroadcastSharedAccessIsConflictFree) {
   lds.dst = 5;
   lds.active = kFullMask;
   lds.addrs = BroadcastAddrs(0x40);  // same word: broadcast, 1 cycle
-  h.ldst.Issue(0, lds, h.now);
+  IssueAoS(h.ldst, 0, lds, h.now);
   for (int i = 0; i < 30 && h.writebacks.empty(); ++i) h.Step();
   EXPECT_EQ(h.ldst.stats().smem_bank_conflicts, 0u);
 }
@@ -173,7 +185,7 @@ TEST(LdstUnit, ConstantLoadUsesConstLatency) {
   ldc.dst = 7;
   ldc.active = kFullMask;
   ldc.addrs = BroadcastAddrs(0x100);
-  h.ldst.Issue(0, ldc, h.now);
+  IssueAoS(h.ldst, 0, ldc, h.now);
   Cycle done = 0;
   for (int i = 0; i < 30 && h.writebacks.empty(); ++i) {
     h.Step();
@@ -184,7 +196,7 @@ TEST(LdstUnit, ConstantLoadUsesConstLatency) {
 
 TEST(LdstUnit, IssueIntervalGatesAcceptance) {
   Harness h;
-  h.ldst.Issue(0, GlobalLoad(9, CoalescedAddrs(0x1000, 4)), h.now);
+  IssueAoS(h.ldst, 0, GlobalLoad(9, CoalescedAddrs(0x1000, 4)), h.now);
   EXPECT_FALSE(h.ldst.CanAccept(h.now));      // same cycle
   EXPECT_FALSE(h.ldst.CanAccept(h.now + 7));  // interval 8
   EXPECT_TRUE(h.ldst.CanAccept(h.now + 8));
@@ -196,7 +208,7 @@ TEST(LdstUnit, QueueDepthGatesAcceptance) {
   for (unsigned i = 0; i < TestCfg().queue_depth; ++i) {
     t += 8;
     ASSERT_TRUE(h.ldst.CanAccept(t));
-    h.ldst.Issue(i, GlobalLoad(9, CoalescedAddrs(0x1000 + i * 0x1000, 4)),
+    IssueAoS(h.ldst, i, GlobalLoad(9, CoalescedAddrs(0x1000 + i * 0x1000, 4)),
                  t);
   }
   EXPECT_FALSE(h.ldst.CanAccept(t + 8));  // queue full
@@ -208,7 +220,7 @@ TEST(LdstUnit, OwnsRequestDistinguishesInstances) {
   LdstUnit b(TestCfg(), 0, /*instance=*/1, &l1, [](unsigned, std::uint8_t) {});
   Cycle now = 0;
   l1.BeginCycle(now);
-  a.Issue(0, GlobalLoad(9, CoalescedAddrs(0x1000, 4)), now);
+  IssueAoS(a, 0, GlobalLoad(9, CoalescedAddrs(0x1000, 4)), now);
   ++now;
   l1.BeginCycle(now);
   a.Tick(now);

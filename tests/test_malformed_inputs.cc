@@ -5,6 +5,8 @@
 // allocate unboundedly off a file-supplied count, or hang.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -257,6 +259,126 @@ TEST(MalformedIni, GpuConfigRejectsBadValues) {
       SimError);
   EXPECT_THROW(GpuConfig::FromIni(IniFile::ParseFile("/nonexistent/gpu.ini")),
                SimError);
+}
+
+// ---------------------------------------------------------------------------
+// Compact on-disk trace cache (DESIGN.md §14): truncated files, corrupted
+// headers, stale versions and mismatched keys must raise TraceCacheError
+// naming the path; malformed columns (out-of-range offsets, oversized lane
+// counts) must raise SimError — never crash or allocate off a bad count.
+
+Application SmallCacheApp() {
+  WarpTrace w;
+  w.EmitScalar(0x10, Opcode::kIAdd, 4, {1, 2, kNoReg}, kFullMask);
+  LaneAddrs addrs;
+  for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+    addrs.push_back(0x1000 + lane * 4);
+  }
+  w.EmitMem(0x18, Opcode::kLdGlobal, 5, {4, kNoReg, kNoReg}, kFullMask,
+            addrs);
+  w.EmitScalar(0x20, Opcode::kExit, kNoReg, {kNoReg, kNoReg, kNoReg},
+               kFullMask);
+  KernelInfo ki;
+  ki.name = "cache_k";
+  ki.num_ctas = 2;
+  ki.warps_per_cta = 1;
+  ki.threads_per_cta = 32;
+  CtaTrace cta;
+  cta.warps.push_back(std::move(w));
+  Application app;
+  app.name = "cache_app";
+  app.kernels.push_back(
+      std::make_shared<KernelTrace>(ki, std::vector<CtaTrace>{cta}));
+  return app;
+}
+
+std::string WriteCacheFixture(const Fingerprint& key) {
+  const std::string path =
+      testing::TempDir() + "malformed_cache_fixture.sstc";
+  WriteCompactApplication(SmallCacheApp(), key, path);
+  return path;
+}
+
+TEST(MalformedCompactCache, TruncationAtEveryPrefixThrows) {
+  const Fingerprint key{0x1111, 0x2222};
+  const std::string path = WriteCacheFixture(key);
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  ASSERT_GT(bytes.size(), 32u);
+  for (std::size_t keep : {std::size_t{0}, std::size_t{3}, std::size_t{16},
+                           bytes.size() / 2, bytes.size() - 1}) {
+    const std::string trunc_path =
+        testing::TempDir() + "malformed_cache_trunc.sstc";
+    std::ofstream out(trunc_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    EXPECT_THROW(ReadCompactApplication(trunc_path, key), TraceCacheError)
+        << "prefix of " << keep << " bytes";
+  }
+}
+
+TEST(MalformedCompactCache, BadMagicAndVersionThrow) {
+  const Fingerprint key{0x1111, 0x2222};
+  const std::string path = WriteCacheFixture(key);
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  auto rewrite = [&](std::size_t at, char c) {
+    std::string copy = bytes;
+    copy[at] = c;
+    const std::string p = testing::TempDir() + "malformed_cache_mut.sstc";
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(copy.data(), static_cast<std::streamsize>(copy.size()));
+    return p;
+  };
+  // Byte 0 is the 'S' of the "SSTC" magic; byte 4 the version LSB.
+  EXPECT_THROW(ReadCompactApplication(rewrite(0, 'X'), key),
+               TraceCacheError);
+  EXPECT_THROW(ReadCompactApplication(rewrite(4, '\x7f'), key),
+               TraceCacheError);
+}
+
+TEST(MalformedCompactCache, KeyMismatchThrowsAndNamesThePath) {
+  const Fingerprint key{0x1111, 0x2222};
+  const std::string path = WriteCacheFixture(key);
+  const Fingerprint other{0x3333, 0x4444};
+  try {
+    ReadCompactApplication(path, other);
+    FAIL() << "expected TraceCacheError";
+  } catch (const TraceCacheError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MalformedCompactCache, MissingFileThrowsTraceCacheError) {
+  EXPECT_THROW(
+      ReadCompactApplication("/nonexistent/trace.sstc", Fingerprint{}),
+      TraceCacheError);
+}
+
+TEST(MalformedColumns, OutOfRangeOffsetsAndCountsThrow) {
+  WarpTrace good;
+  LaneAddrs addrs;
+  addrs.push_back(0x100);
+  good.EmitMem(0x10, Opcode::kLdGlobal, 5, {kNoReg, kNoReg, kNoReg}, 0x1,
+               addrs);
+  auto records = good.records();
+  auto offsets = good.addr_offsets();
+  auto pool = good.addr_pool();
+
+  // Offset past the end of the pool.
+  EXPECT_THROW(WarpTrace::FromColumns(
+                   records, {static_cast<std::uint32_t>(pool.size() + 8)},
+                   pool),
+               SimError);
+  // Offset table disagrees with the flags column.
+  EXPECT_THROW(WarpTrace::FromColumns(records, {}, pool), SimError);
+  // Lane count beyond kWarpSize: varint(33) followed by no deltas.
+  EXPECT_THROW(WarpTrace::FromColumns(records, {0}, {33}), SimError);
+  // Truncated pool entry: count promises deltas the pool does not hold.
+  EXPECT_THROW(WarpTrace::FromColumns(records, {0}, {2, 0x80}), SimError);
 }
 
 }  // namespace

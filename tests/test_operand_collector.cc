@@ -7,8 +7,9 @@
 namespace swiftsim {
 namespace {
 
-TraceInstr Instr(std::uint8_t dst, std::initializer_list<std::uint8_t> srcs) {
-  TraceInstr ins;
+CompactInstr Instr(std::uint8_t dst,
+                   std::initializer_list<std::uint8_t> srcs) {
+  CompactInstr ins;
   ins.op = Opcode::kFFma;
   ins.dst = dst;
   unsigned i = 0;

@@ -86,7 +86,7 @@ TEST(Patterns, EmitterAluAndMem) {
   EXPECT_EQ(w[0].src[0], 2);
   EXPECT_EQ(w[0].src[1], 3);
   EXPECT_EQ(w[0].src[2], kNoReg);
-  EXPECT_EQ(w[1].addrs.size(), 4u);
+  EXPECT_EQ(w.Decode(1).addrs.size(), 4u);
   EXPECT_TRUE(IsBarrier(w[2].op));
   EXPECT_TRUE(IsExit(w[3].op));
 }

@@ -82,7 +82,7 @@ TEST(Prepass, RatesSumToOne) {
   const Application app = BuildWorkload("BFS", s);
   const MemProfile profile = BuildMemProfile(app, cfg);
   for (const auto& kernel : app.kernels) {
-    for (const TraceInstr& ins : kernel->cta(0).warps[0]) {
+    for (const CompactInstr& ins : kernel->cta(0).warps[0]) {
       if (!IsGlobalMem(ins.op) || !IsLoad(ins.op)) continue;
       const PcHitRates& r = profile.Lookup(kernel->info().id, ins.pc);
       EXPECT_NEAR(r.r_l1() + r.r_l2() + r.r_dram(), 1.0, 1e-9);
@@ -166,7 +166,7 @@ TEST(Prepass, LaunchMemoizationIsBitIdentical) {
   EXPECT_GT(memo.replayed_launches(), 0u);
   for (const auto& kernel : app.kernels) {
     const KernelId id = kernel->info().id;
-    for (const TraceInstr& ins : kernel->cta(0).warps[0]) {
+    for (const CompactInstr& ins : kernel->cta(0).warps[0]) {
       if (!IsGlobalMem(ins.op) || !IsLoad(ins.op)) continue;
       const PcHitRates& a = plain.Lookup(id, ins.pc);
       const PcHitRates& b = memoized.Lookup(id, ins.pc);
@@ -191,7 +191,7 @@ TEST(Prepass, ParallelDedupMatchesPerLaunchShards) {
   const MemProfile full = BuildMemProfileParallel(app, no_memo, 2);
   for (const auto& kernel : app.kernels) {
     const KernelId id = kernel->info().id;
-    for (const TraceInstr& ins : kernel->cta(0).warps[0]) {
+    for (const CompactInstr& ins : kernel->cta(0).warps[0]) {
       if (!IsGlobalMem(ins.op) || !IsLoad(ins.op)) continue;
       const PcHitRates& a = full.Lookup(id, ins.pc);
       const PcHitRates& b = deduped.Lookup(id, ins.pc);
@@ -209,7 +209,7 @@ TEST(Prepass, DeterministicAcrossRuns) {
   const Application app = BuildWorkload("SM", s);
   const MemProfile a = BuildMemProfile(app, cfg);
   const MemProfile b = BuildMemProfile(app, cfg);
-  for (const TraceInstr& ins : app.kernels[0]->cta(0).warps[0]) {
+  for (const CompactInstr& ins : app.kernels[0]->cta(0).warps[0]) {
     if (!IsGlobalMem(ins.op) || !IsLoad(ins.op)) continue;
     EXPECT_EQ(a.Lookup(0, ins.pc).l1_hits, b.Lookup(0, ins.pc).l1_hits);
     EXPECT_EQ(a.Lookup(0, ins.pc).l2_hits, b.Lookup(0, ins.pc).l2_hits);

@@ -55,7 +55,7 @@ TEST(RdProfile, RatesSumToOneOnRealWorkloads) {
   const Application app = BuildWorkload("PAGERANK", s);
   const MemProfile p = BuildMemProfileReuseDistance(app, cfg);
   for (const auto& kernel : app.kernels) {
-    for (const TraceInstr& ins : kernel->cta(0).warps[0]) {
+    for (const CompactInstr& ins : kernel->cta(0).warps[0]) {
       if (ins.op != Opcode::kLdGlobal) continue;
       const PcHitRates& r = p.Lookup(kernel->info().id, ins.pc);
       EXPECT_NEAR(r.r_l1() + r.r_l2() + r.r_dram(), 1.0, 1e-9);
@@ -73,8 +73,8 @@ TEST(RdProfile, BroadlyAgreesWithFunctionalPrepassOnStreaming) {
   const Application app = BuildWorkload("SM", s);
   const MemProfile rd = BuildMemProfileReuseDistance(app, cfg);
   const MemProfile fc = BuildMemProfile(app, cfg);
-  const TraceInstr* load = nullptr;
-  for (const TraceInstr& ins : app.kernels[0]->cta(0).warps[0]) {
+  const CompactInstr* load = nullptr;
+  for (const CompactInstr& ins : app.kernels[0]->cta(0).warps[0]) {
     if (ins.op == Opcode::kLdGlobal) {
       load = &ins;
       break;
@@ -103,7 +103,7 @@ TEST(RdProfile, BlindToReplacementPolicy) {
   // Reuse-distance profiles: bit-identical.
   const MemProfile p_lru = BuildMemProfileReuseDistance(app, lru);
   const MemProfile p_rnd = BuildMemProfileReuseDistance(app, rnd);
-  for (const TraceInstr& ins : app.kernels[0]->cta(0).warps[0]) {
+  for (const CompactInstr& ins : app.kernels[0]->cta(0).warps[0]) {
     if (ins.op != Opcode::kLdGlobal) continue;
     EXPECT_EQ(p_lru.Lookup(0, ins.pc).l1_hits,
               p_rnd.Lookup(0, ins.pc).l1_hits);

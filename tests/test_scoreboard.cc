@@ -5,8 +5,9 @@
 namespace swiftsim {
 namespace {
 
-TraceInstr Instr(std::uint8_t dst, std::initializer_list<std::uint8_t> srcs) {
-  TraceInstr ins;
+CompactInstr Instr(std::uint8_t dst,
+                   std::initializer_list<std::uint8_t> srcs) {
+  CompactInstr ins;
   ins.op = Opcode::kIAdd;
   ins.dst = dst;
   unsigned i = 0;
@@ -46,7 +47,7 @@ TEST(Scoreboard, WarpsAreIndependent) {
 
 TEST(Scoreboard, NoDestInstrNeverSetsPending) {
   Scoreboard sb(4);
-  TraceInstr store = Instr(kNoReg, {5});
+  CompactInstr store = Instr(kNoReg, {5});
   sb.OnIssue(0, store);
   EXPECT_EQ(sb.PendingCount(0), 0u);
 }
