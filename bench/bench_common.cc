@@ -2,12 +2,14 @@
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <thread>
 
+#include "common/stats.h"
 #include "common/status.h"
 #include "common/strutil.h"
 #include "swiftsim/memo_cache.h"
@@ -336,8 +338,36 @@ JsonRun ToJsonRun(const AppRun& run, const std::string& level,
   return j;
 }
 
+LatencySummary Summarize(const std::vector<double>& seconds) {
+  LatencySummary s;
+  if (seconds.empty()) return s;
+  s.count = seconds.size();
+  s.p50 = Quantile(seconds, 0.50);
+  s.p95 = Quantile(seconds, 0.95);
+  s.p99 = Quantile(seconds, 0.99);
+  s.mean = Mean(seconds);
+  s.max = *std::max_element(seconds.begin(), seconds.end());
+  return s;
+}
+
+void AppendLatencyFields(const std::string& prefix, const LatencySummary& s,
+                         std::vector<std::pair<std::string, double>>* extra) {
+  extra->emplace_back(prefix + "_p50_sec", s.p50);
+  extra->emplace_back(prefix + "_p95_sec", s.p95);
+  extra->emplace_back(prefix + "_p99_sec", s.p99);
+  extra->emplace_back(prefix + "_mean_sec", s.mean);
+  extra->emplace_back(prefix + "_max_sec", s.max);
+  extra->emplace_back(prefix + "_count", static_cast<double>(s.count));
+}
+
 void WriteRunsJson(const std::string& path, const std::string& bench,
                    const BenchOptions& opt, const std::vector<JsonRun>& runs) {
+  WriteRunsJson(path, bench, opt, runs, {});
+}
+
+void WriteRunsJson(const std::string& path, const std::string& bench,
+                   const BenchOptions& opt, const std::vector<JsonRun>& runs,
+                   const std::vector<std::pair<std::string, double>>& extra) {
   const std::filesystem::path p(path);
   if (p.has_parent_path()) {
     std::error_code ec;
@@ -347,6 +377,9 @@ void WriteRunsJson(const std::string& path, const std::string& bench,
   SS_CHECK(f != nullptr, "cannot open --json path '" + path + "'");
   std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"git\": \"%s\",\n",
                bench.c_str(), GitDescribe().c_str());
+  for (const auto& [name, value] : extra) {
+    std::fprintf(f, "  \"%s\": %.6f,\n", name.c_str(), value);
+  }
   std::fprintf(f, "  \"scale\": %.4f,\n  \"runs\": [\n", opt.scale);
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const JsonRun& r = runs[i];

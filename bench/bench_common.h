@@ -161,10 +161,37 @@ struct JsonRun {
 JsonRun ToJsonRun(const AppRun& run, const std::string& level,
                   unsigned threads);
 
+/// Latency distribution of a set of request/run wall times — the service
+/// bench's throughput story is meaningless without the tail, so the
+/// summary leads with the percentiles (linear-interpolation quantiles,
+/// common/stats.h).
+struct LatencySummary {
+  std::size_t count = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double mean = 0;
+  double max = 0;
+};
+
+/// Summarizes `seconds` (unsorted; empty input returns an all-zero
+/// summary rather than throwing — benches report what they measured).
+LatencySummary Summarize(const std::vector<double>& seconds);
+
+/// Flattens `s` into `<prefix>_p50_sec`/`_p95_sec`/`_p99_sec`/`_mean_sec`/
+/// `_max_sec`/`_count` extra fields for WriteRunsJson.
+void AppendLatencyFields(const std::string& prefix, const LatencySummary& s,
+                         std::vector<std::pair<std::string, double>>* extra);
+
 /// Writes `{"bench":..., "git":..., "scale":..., "runs":[...]}` to `path`,
 /// creating parent directories as needed. `git` is `git describe
-/// --always --dirty` ("unknown" outside a repo).
+/// --always --dirty` ("unknown" outside a repo). The `extra` overload
+/// additionally emits each (name, value) pair as a top-level numeric
+/// field — throughput and latency summaries ride next to the runs.
 void WriteRunsJson(const std::string& path, const std::string& bench,
                    const BenchOptions& opt, const std::vector<JsonRun>& runs);
+void WriteRunsJson(const std::string& path, const std::string& bench,
+                   const BenchOptions& opt, const std::vector<JsonRun>& runs,
+                   const std::vector<std::pair<std::string, double>>& extra);
 
 }  // namespace swiftsim::bench

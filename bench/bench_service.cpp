@@ -1,0 +1,454 @@
+// Persistent-service bench (DESIGN.md §15): drives a real `swiftsimd`
+// daemon end-to-end over its stdin/stdout NDJSON transport and measures
+// what the warm process buys:
+//
+//   cold     first submission of each job to a fresh daemon — pays trace
+//            generation, the pre-pass and full simulation
+//   warm     the same jobs resubmitted to the same daemon — served from
+//            the process-global MemoCache/ProfileCache/trace caches
+//   burst    identical jobs submitted back-to-back under a never-seen
+//            config — exercises request coalescing (one simulation fans
+//            out to every submitter)
+//   reload   a second daemon started on the first one's --memo-file —
+//            warm throughput across process restarts
+//
+// Every daemon-reported cycle count is checked bit-identical against an
+// in-process one-shot reference run of the same (workload, config,
+// level), including coalesced fan-outs and post-reload replays; the
+// bench exits non-zero on any mismatch. Reports cold/warm/reload
+// throughput and p50/p95/p99 request latency; writes
+// results/BENCH_service.json unless --json= says otherwise.
+//
+// --smoke: shrunk shape gating CI — warm throughput must beat cold by
+// >= 10x; exits 77 (skip) on hosts without 4 hardware threads, where the
+// daemon's lane shape degenerates.
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/json.h"
+#include "common/status.h"
+#include "swiftsim/simulator.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using swiftsim::Application;
+using swiftsim::GpuConfig;
+using swiftsim::JsonValue;
+using swiftsim::JsonWriter;
+using swiftsim::ParseJson;
+using swiftsim::SimLevel;
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// One response line, decoded. Unset numeric fields stay zero.
+struct Reply {
+  std::string id;
+  bool ok = false;
+  std::string status;
+  std::string error;
+  std::uint64_t cycles = 0;
+  double wall_seconds = 0;
+  bool coalesced = false;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+};
+
+Reply DecodeReply(const std::string& line) {
+  JsonValue v = ParseJson(line);
+  Reply r;
+  if (const JsonValue* f = v.Find("id")) r.id = f->AsString();
+  if (const JsonValue* f = v.Find("ok")) r.ok = f->AsBool();
+  if (const JsonValue* f = v.Find("status")) r.status = f->AsString();
+  if (const JsonValue* f = v.Find("error")) r.error = f->AsString();
+  if (const JsonValue* f = v.Find("cycles")) r.cycles = f->AsUint();
+  if (const JsonValue* f = v.Find("wall_seconds")) r.wall_seconds = f->AsDouble();
+  if (const JsonValue* f = v.Find("coalesced")) r.coalesced = f->AsBool();
+  if (const JsonValue* f = v.Find("memo_hits")) r.memo_hits = f->AsUint();
+  if (const JsonValue* f = v.Find("memo_misses")) r.memo_misses = f->AsUint();
+  return r;
+}
+
+/// A swiftsimd child process driven over stdin/stdout pipes.
+class Daemon {
+ public:
+  Daemon(const std::string& binary, const std::vector<std::string>& args) {
+    int to_child[2];
+    int from_child[2];
+    SS_CHECK(::pipe(to_child) == 0 && ::pipe(from_child) == 0,
+             "pipe() failed");
+    pid_ = ::fork();
+    SS_CHECK(pid_ >= 0, "fork() failed");
+    if (pid_ == 0) {
+      ::dup2(to_child[0], STDIN_FILENO);
+      ::dup2(from_child[1], STDOUT_FILENO);
+      ::close(to_child[0]);
+      ::close(to_child[1]);
+      ::close(from_child[0]);
+      ::close(from_child[1]);
+      std::vector<char*> argv;
+      argv.push_back(const_cast<char*>(binary.c_str()));
+      for (const std::string& a : args) {
+        argv.push_back(const_cast<char*>(a.c_str()));
+      }
+      argv.push_back(nullptr);
+      ::execv(binary.c_str(), argv.data());
+      std::perror("bench_service: execv");
+      std::_Exit(127);
+    }
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    in_fd_ = to_child[1];
+    out_fd_ = from_child[0];
+  }
+
+  ~Daemon() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+    }
+    if (in_fd_ >= 0) ::close(in_fd_);
+    if (out_fd_ >= 0) ::close(out_fd_);
+  }
+
+  void Send(const std::string& line) {
+    std::string framed = line + "\n";
+    const char* p = framed.data();
+    std::size_t left = framed.size();
+    while (left > 0) {
+      ssize_t n = ::write(in_fd_, p, left);
+      SS_CHECK(n > 0, "write to daemon failed");
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Blocking line read; throws when the daemon closes its end early.
+  std::string ReadLine() {
+    for (;;) {
+      std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      ssize_t n = ::read(out_fd_, chunk, sizeof chunk);
+      SS_CHECK(n > 0, "daemon closed its output pipe unexpectedly");
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Reads until `count` replies arrived, keyed by id.
+  std::map<std::string, Reply> Collect(std::size_t count) {
+    std::map<std::string, Reply> replies;
+    while (replies.size() < count) {
+      Reply r = DecodeReply(ReadLine());
+      replies[r.id] = r;
+    }
+    return replies;
+  }
+
+  /// Sends a shutdown op, drains until the acknowledgement, reaps the
+  /// child, and returns its exit status.
+  int Shutdown() {
+    Send(R"({"op":"shutdown","id":"__shutdown__"})");
+    for (;;) {
+      Reply r = DecodeReply(ReadLine());
+      if (r.id == "__shutdown__") break;
+    }
+    ::close(in_fd_);
+    in_fd_ = -1;
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : 128;
+  }
+
+ private:
+  pid_t pid_ = -1;
+  int in_fd_ = -1;
+  int out_fd_ = -1;
+  std::string buffer_;
+};
+
+std::string SimulateRequest(const std::string& id, const std::string& workload,
+                            double scale, unsigned iterations,
+                            const std::string& config_ini = "") {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id").String(id);
+  w.Key("workload").String(workload);
+  w.Key("scale").Double(scale);
+  w.Key("iterations").Uint(iterations);
+  if (!config_ini.empty()) w.Key("config").String(config_ini);
+  w.EndObject();
+  return w.str();
+}
+
+struct Phase {
+  double wall_seconds = 0;
+  std::map<std::string, Reply> replies;
+
+  double throughput(std::size_t jobs) const {
+    return wall_seconds > 0 ? static_cast<double>(jobs) / wall_seconds : 0;
+  }
+  std::vector<double> latencies() const {
+    std::vector<double> out;
+    out.reserve(replies.size());
+    for (const auto& [id, r] : replies) out.push_back(r.wall_seconds);
+    return out;
+  }
+};
+
+/// Sends every request, then collects every reply. Requests are a few
+/// hundred bytes each — far below the pipe buffer — so the batched write
+/// cannot deadlock against the daemon's response stream.
+Phase RunPhase(Daemon& d, const std::vector<std::string>& requests) {
+  Phase p;
+  Clock::time_point start = Clock::now();
+  for (const std::string& r : requests) d.Send(r);
+  p.replies = d.Collect(requests.size());
+  p.wall_seconds = Seconds(start, Clock::now());
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace swiftsim;
+  using namespace swiftsim::bench;
+
+  std::string daemon_path = "tools/swiftsimd";
+  bool smoke = false;
+  unsigned repeats = 4;
+  std::vector<BenchFlag> extra = {
+      {"--daemon", true, [&](const std::string& v) { daemon_path = v; }},
+      {"--smoke", false, [&](const std::string&) { smoke = true; }},
+      {"--repeats", true,
+       [&](const std::string& v) { repeats = static_cast<unsigned>(std::stoul(v)); }},
+  };
+  BenchOptions opt = ParseOptions(argc, argv, /*default_scale=*/0.05, extra);
+  if (opt.apps.empty()) opt.apps = {"BFS", "NW", "HOTSPOT", "GEMM"};
+  if (smoke) repeats = std::min(repeats, 3u);
+  if (opt.json_path.empty()) opt.json_path = "results/BENCH_service.json";
+  constexpr unsigned kIterations = 8;
+
+  if (smoke && std::thread::hardware_concurrency() < 4) {
+    std::printf("SKIP: %u hardware threads < 4\n",
+                std::thread::hardware_concurrency());
+    return 77;
+  }
+  if (::access(daemon_path.c_str(), X_OK) != 0) {
+    std::fprintf(stderr, "bench_service: daemon binary '%s' not executable "
+                 "(pass --daemon=<path to swiftsimd>)\n", daemon_path.c_str());
+    return 1;
+  }
+
+  PrintHeader("Persistent simulation service: cold vs warm requests", opt);
+  std::printf("daemon: %s, %zu jobs x %u repeats, %u launches/job\n",
+              daemon_path.c_str(), opt.apps.size(), repeats, kIterations);
+
+  // Scratch state for the daemon pair.
+  const std::string scratch =
+      (std::filesystem::temp_directory_path() /
+       ("swiftsim-bench-service-" + std::to_string(::getpid()))).string();
+  std::filesystem::create_directories(scratch + "/traces");
+  const std::string memo_file = scratch + "/service.memo";
+
+  std::vector<std::string> daemon_args = {
+      "--memo-file", memo_file, "--trace-cache", scratch + "/traces"};
+  if (opt.threads != 0) {
+    daemon_args.push_back("--threads");
+    daemon_args.push_back(std::to_string(opt.threads));
+  }
+
+  // In-process one-shot reference runs: the bit-identity oracle for every
+  // daemon-reported cycle count (same workload, config, level).
+  std::map<std::string, Cycle> reference;
+  for (const std::string& name : opt.apps) {
+    Application app = RepeatLaunches(
+        BuildWorkload(name, {opt.scale, opt.seed}), kIterations);
+    reference[name] =
+        RunSimulation(app, GpuConfig(), SimLevel::kSwiftSimMemory).total_cycles;
+  }
+
+  bool ok = true;
+  auto check = [&ok](bool cond, const std::string& what) {
+    if (!cond) {
+      std::printf("FAIL: %s\n", what.c_str());
+      ok = false;
+    }
+  };
+  auto check_replies = [&](const Phase& p, const std::string& phase_name,
+                           const std::map<std::string, Cycle>& want) {
+    for (const auto& [id, r] : p.replies) {
+      check(r.ok, phase_name + " reply " + id + " failed: " + r.error);
+      if (!r.ok) continue;
+      const std::string app = id.substr(0, id.find('#'));
+      auto it = want.find(app);
+      if (it != want.end()) {
+        std::ostringstream os;
+        os << phase_name << " reply " << id << " cycles " << r.cycles
+           << " != one-shot reference " << it->second;
+        check(r.cycles == it->second, os.str());
+      }
+    }
+  };
+
+  // --- Daemon A: cold then warm ------------------------------------------
+  Daemon a(daemon_path, daemon_args);
+
+  std::vector<std::string> cold_requests;
+  for (const std::string& name : opt.apps) {
+    cold_requests.push_back(
+        SimulateRequest(name + "#cold", name, opt.scale, kIterations));
+  }
+  Phase cold = RunPhase(a, cold_requests);
+  check_replies(cold, "cold", reference);
+
+  std::vector<std::string> warm_requests;
+  for (unsigned rep = 0; rep < repeats; ++rep) {
+    for (const std::string& name : opt.apps) {
+      warm_requests.push_back(SimulateRequest(
+          name + "#warm" + std::to_string(rep), name, opt.scale, kIterations));
+    }
+  }
+  Phase warm = RunPhase(a, warm_requests);
+  check_replies(warm, "warm", reference);
+  for (const auto& [id, r] : warm.replies) {
+    check(!r.ok || r.memo_misses == 0,
+          "warm reply " + id + " simulated launches (expected pure replay)");
+  }
+
+  // --- Coalescing burst: identical jobs under a never-seen config --------
+  const std::string burst_app = opt.apps.front();
+  const std::string burst_cfg = "[gpu]\nnum_sms = 35\n";
+  std::vector<std::string> burst_requests;
+  for (unsigned i = 0; i < 8; ++i) {
+    burst_requests.push_back(SimulateRequest(
+        burst_app + "#burst" + std::to_string(i), burst_app, opt.scale,
+        kIterations, burst_cfg));
+  }
+  Phase burst = RunPhase(a, burst_requests);
+  std::size_t coalesced_count = 0;
+  Cycle burst_cycles = 0;
+  for (const auto& [id, r] : burst.replies) {
+    check(r.ok, "burst reply " + id + " failed: " + r.error);
+    if (!r.ok) continue;
+    if (r.coalesced) ++coalesced_count;
+    if (burst_cycles == 0) burst_cycles = r.cycles;
+    check(r.cycles == burst_cycles,
+          "burst replies disagree on cycles (coalesced fan-out must be "
+          "bit-identical)");
+  }
+  check(coalesced_count >= 1,
+        "no burst request coalesced (expected >= 1 of 8 identical jobs)");
+
+  int exit_a = a.Shutdown();
+  check(exit_a == 0, "daemon A exited with status " + std::to_string(exit_a));
+  check(std::filesystem::exists(memo_file),
+        "daemon A did not persist " + memo_file);
+
+  // --- Daemon B: restart on the persisted memo file ----------------------
+  Daemon b(daemon_path, daemon_args);
+  std::vector<std::string> reload_requests;
+  for (const std::string& name : opt.apps) {
+    reload_requests.push_back(
+        SimulateRequest(name + "#reload", name, opt.scale, kIterations));
+  }
+  Phase reload = RunPhase(b, reload_requests);
+  check_replies(reload, "reload", reference);
+  for (const auto& [id, r] : reload.replies) {
+    check(!r.ok || r.memo_misses == 0,
+          "reload reply " + id + " simulated launches (expected replay from "
+          "the persisted memo file)");
+  }
+  int exit_b = b.Shutdown();
+  check(exit_b == 0, "daemon B exited with status " + std::to_string(exit_b));
+
+  // --- Report -------------------------------------------------------------
+  const std::size_t cold_jobs = cold_requests.size();
+  const std::size_t warm_jobs = warm_requests.size();
+  const double cold_tp = cold.throughput(cold_jobs);
+  const double warm_tp = warm.throughput(warm_jobs);
+  const double reload_tp = reload.throughput(reload_requests.size());
+  const double speedup = cold_tp > 0 ? warm_tp / cold_tp : 0;
+  LatencySummary cold_lat = Summarize(cold.latencies());
+  LatencySummary warm_lat = Summarize(warm.latencies());
+
+  std::printf("\n%-8s %8s %14s %12s %12s %12s\n", "phase", "jobs", "jobs/s",
+              "p50[s]", "p95[s]", "p99[s]");
+  std::printf("%-8s %8zu %14.2f %12.4f %12.4f %12.4f\n", "cold", cold_jobs,
+              cold_tp, cold_lat.p50, cold_lat.p95, cold_lat.p99);
+  std::printf("%-8s %8zu %14.2f %12.4f %12.4f %12.4f\n", "warm", warm_jobs,
+              warm_tp, warm_lat.p50, warm_lat.p95, warm_lat.p99);
+  std::printf("%-8s %8zu %14.2f\n", "reload", reload_requests.size(),
+              reload_tp);
+  std::printf("warm vs cold throughput: %.1fx (coalesced %zu/8 burst jobs)\n",
+              speedup, coalesced_count);
+
+  if (smoke) {
+    check(speedup >= 10.0,
+          "warm throughput only " + std::to_string(speedup) +
+              "x cold (smoke gate requires >= 10x)");
+  }
+
+  std::vector<JsonRun> records;
+  auto record_phase = [&](const Phase& p, const std::string& level) {
+    for (const auto& [id, r] : p.replies) {
+      if (!r.ok) continue;
+      JsonRun jr;
+      jr.app = id.substr(0, id.find('#'));
+      jr.level = level;
+      jr.status = r.status;
+      jr.cycles = r.cycles;
+      jr.wall_seconds = r.wall_seconds;
+      jr.memo_hits = r.memo_hits;
+      jr.memo_misses = r.memo_misses;
+      jr.threads = opt.threads == 0 ? std::thread::hardware_concurrency()
+                                    : opt.threads;
+      records.push_back(jr);
+    }
+  };
+  record_phase(cold, "service-cold");
+  record_phase(warm, "service-warm");
+  record_phase(burst, "service-burst");
+  record_phase(reload, "service-reload");
+
+  std::vector<std::pair<std::string, double>> extra_fields = {
+      {"cold_jobs_per_sec", cold_tp},
+      {"warm_jobs_per_sec", warm_tp},
+      {"reload_jobs_per_sec", reload_tp},
+      {"warm_speedup_vs_cold", speedup},
+      {"burst_coalesced", static_cast<double>(coalesced_count)},
+  };
+  AppendLatencyFields("cold_latency", cold_lat, &extra_fields);
+  AppendLatencyFields("warm_latency", warm_lat, &extra_fields);
+  WriteRunsJson(opt.json_path, "service", opt, records, extra_fields);
+
+  std::filesystem::remove_all(scratch);
+  if (!ok) {
+    std::printf("\nbench_service: FAILURES detected\n");
+    return 1;
+  }
+  std::printf("\nbench_service: all identity/coalescing checks passed\n");
+  return 0;
+}

@@ -57,14 +57,15 @@ stage_asan() {
 
 stage_perf() {
   echo "==> perf: bench smoke (hot-path throughput + memo exactness +"
-  echo "          parallel scaling + DSE sweep + trace compaction gates)"
+  echo "          parallel scaling + DSE sweep + trace compaction +"
+  echo "          persistent-service gates)"
   configure build
   cmake --build build -j "$JOBS" \
     --target bench_hotpath bench_memo bench_parallel_scaling bench_dse \
-    bench_trace
-  # perf_parallel_smoke, perf_dse_smoke and perf_trace_smoke self-skip
-  # (exit 77) on hosts with < 4 hardware threads, where their speedup
-  # gates are meaningless.
+    bench_trace bench_service swiftsimd
+  # perf_parallel_smoke, perf_dse_smoke, perf_trace_smoke and
+  # perf_service_smoke self-skip (exit 77) on hosts with < 4 hardware
+  # threads, where their speedup gates are meaningless.
   ctest --test-dir build -L perf --output-on-failure
 }
 

@@ -1,10 +1,14 @@
 #include "swiftsim/memo_cache.h"
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iterator>
+#include <sstream>
+
+#include <unistd.h>
 
 #include "common/status.h"
 
@@ -123,22 +127,40 @@ constexpr char kMemoFileMagic[] = "swiftsim-memo-v1";
 }  // namespace
 
 void MemoCache::SaveToFile(const std::string& path) const {
-  std::ofstream out(path);
-  SS_CHECK(out.good(), "cannot open memo cache file '" + path + "'");
-  out << kMemoFileMagic << "\n";
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [key, entry] : entries_) {
-    if (!entry.ready) continue;
-    out << key.kernel_fp.hi << " " << key.kernel_fp.lo << " "
-        << key.cfg_hash << " " << key.context << " "
-        << static_cast<unsigned>(key.level) << " " << entry.rec.cycles
-        << " " << entry.rec.instructions << " "
-        << entry.rec.metric_deltas.size() << "\n";
-    for (const auto& [name, value] : entry.rec.metric_deltas) {
-      out << name << " " << value << "\n";
+  // Write-temp-then-rename, like the compact trace cache: a reader (or a
+  // daemon loading on startup) never sees a torn file, and a crashed save
+  // leaves the previous snapshot intact. The temp name is made unique per
+  // process and call so concurrent savers cannot clobber each other's
+  // in-progress file — last rename wins with a complete snapshot.
+  static std::atomic<std::uint64_t> save_seq{0};
+  std::ostringstream tmp_name;
+  tmp_name << path << ".tmp." << static_cast<long>(::getpid()) << "."
+           << save_seq.fetch_add(1, std::memory_order_relaxed);
+  const std::string tmp = tmp_name.str();
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    SS_CHECK(out.good(), "cannot open memo cache file '" + tmp + "'");
+    out << kMemoFileMagic << "\n";
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [key, entry] : entries_) {
+        if (!entry.ready) continue;
+        out << key.kernel_fp.hi << " " << key.kernel_fp.lo << " "
+            << key.cfg_hash << " " << key.context << " "
+            << static_cast<unsigned>(key.level) << " " << entry.rec.cycles
+            << " " << entry.rec.instructions << " "
+            << entry.rec.metric_deltas.size() << "\n";
+        for (const auto& [name, value] : entry.rec.metric_deltas) {
+          out << name << " " << value << "\n";
+        }
+      }
     }
+    SS_CHECK(out.good(), "error writing memo cache file '" + tmp + "'");
   }
-  SS_CHECK(out.good(), "error writing memo cache file '" + path + "'");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    SS_CHECK(false, "rename '" + tmp + "' -> '" + path + "' failed");
+  }
 }
 
 void MemoCache::LoadFromFile(const std::string& path) {

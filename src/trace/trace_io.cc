@@ -1,11 +1,14 @@
 #include "trace/trace_io.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
+
+#include <unistd.h>
 
 #include "common/status.h"
 #include "common/strutil.h"
@@ -433,7 +436,14 @@ WarpTrace ReadCompactWarp(CacheReader& r) {
 
 void WriteCompactApplication(const Application& app, const Fingerprint& key,
                              const std::string& path) {
-  const std::string tmp = path + ".tmp";
+  // Unique per process and call: concurrent writers of the same cache
+  // entry (e.g. two service workers missing on the same trace) each write
+  // their own temp file, and whoever renames last installs a complete one.
+  static std::atomic<std::uint64_t> write_seq{0};
+  std::ostringstream tmp_name;
+  tmp_name << path << ".tmp." << static_cast<long>(::getpid()) << "."
+           << write_seq.fetch_add(1, std::memory_order_relaxed);
+  const std::string tmp = tmp_name.str();
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
     SS_CHECK(os.good(), "cannot open '" + tmp + "' for writing");
@@ -461,8 +471,10 @@ void WriteCompactApplication(const Application& app, const Fingerprint& key,
     }
     SS_CHECK(os.good(), "write to '" + tmp + "' failed");
   }
-  SS_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
-           "rename '" + tmp + "' -> '" + path + "' failed");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    SS_CHECK(false, "rename '" + tmp + "' -> '" + path + "' failed");
+  }
 }
 
 Application ReadCompactApplication(const std::string& path,

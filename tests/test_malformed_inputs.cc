@@ -6,14 +6,17 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/status.h"
 #include "config/gpu_config.h"
 #include "config/ini.h"
+#include "swiftsim/service.h"
 #include "trace/accelsim_import.h"
 #include "trace/trace_io.h"
 
@@ -379,6 +382,151 @@ TEST(MalformedColumns, OutOfRangeOffsetsAndCountsThrow) {
   EXPECT_THROW(WarpTrace::FromColumns(records, {0}, {33}), SimError);
   // Truncated pool entry: count promises deltas the pool does not hold.
   EXPECT_THROW(WarpTrace::FromColumns(records, {0}, {2, 0x80}), SimError);
+}
+
+// ---------------------------------------------------------------------------
+// Service protocol (DESIGN.md §15): every malformed NDJSON request line a
+// client can send must come back as a typed error response — never an
+// exception out of the parse layer, never a dead daemon.
+
+struct BadRequestLine {
+  const char* label;
+  const char* line;
+  service::ErrorCode expect;
+  const char* expect_in_message;  // "" = code check only
+};
+
+const std::vector<BadRequestLine>& BadRequestLines() {
+  using service::ErrorCode;
+  static const std::vector<BadRequestLine> cases = {
+      // Framing: lines that are not one well-formed JSON object.
+      {"empty_object_braces_only", "{", ErrorCode::kBadJson, ""},
+      {"garbage_text", "simulate BFS please", ErrorCode::kBadJson, ""},
+      {"truncated_object", R"({"op":"simulate","workload":)",
+       ErrorCode::kBadJson, ""},
+      {"array_not_object", R"(["simulate","BFS"])", ErrorCode::kBadJson,
+       "object"},
+      {"scalar_not_object", "42", ErrorCode::kBadJson, "object"},
+      {"two_objects_one_line", R"({"op":"ping"}{"op":"ping"})",
+       ErrorCode::kBadJson, ""},
+      {"deep_nesting_bomb",
+       R"({"op":[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[1]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]})",
+       ErrorCode::kBadJson, ""},
+      // Field validation.
+      {"unknown_op", R"({"op":"simulat","workload":"BFS"})",
+       ErrorCode::kUnknownOp, "simulat"},
+      {"unknown_field", R"({"op":"simulate","workload":"BFS","wat":1})",
+       ErrorCode::kBadRequest, "wat"},
+      {"missing_workload", R"({"op":"simulate","id":"x"})",
+       ErrorCode::kBadRequest, "workload"},
+      {"wrong_type_scale",
+       R"({"op":"simulate","workload":"BFS","scale":"big"})",
+       ErrorCode::kBadRequest, ""},
+      {"negative_scale", R"({"op":"simulate","workload":"BFS","scale":-1})",
+       ErrorCode::kBadRequest, ""},
+      {"zero_iterations",
+       R"({"op":"simulate","workload":"BFS","iterations":0})",
+       ErrorCode::kBadRequest, ""},
+      {"bad_level", R"({"op":"simulate","workload":"BFS","level":"turbo"})",
+       ErrorCode::kBadRequest, "turbo"},
+      // A 21-digit literal overflows uint64 inside the JSON number lexer
+      // itself, so it surfaces as a framing error, not a field error.
+      {"seed_overflow",
+       R"({"op":"simulate","workload":"BFS","seed":99999999999999999999})",
+       ErrorCode::kBadJson, "out of range"},
+      // Oversized jobs: admission limits, named in the message.
+      {"oversized_scale", R"({"op":"simulate","workload":"BFS","scale":50})",
+       ErrorCode::kOversized, "scale"},
+      {"oversized_iterations",
+       R"({"op":"simulate","workload":"BFS","iterations":1000000})",
+       ErrorCode::kOversized, "iterations"},
+  };
+  return cases;
+}
+
+TEST(MalformedServiceRequest, EveryCaseYieldsTypedErrorNotThrow) {
+  for (const BadRequestLine& c : BadRequestLines()) {
+    service::Request req;
+    service::ErrorCode code;
+    std::string message, id;
+    bool ok = false;
+    EXPECT_NO_THROW(
+        ok = service::ParseRequestLine(c.line, service::Limits{}, &req, &code,
+                                       &message, &id))
+        << c.label;
+    EXPECT_FALSE(ok) << c.label << " parsed successfully";
+    EXPECT_EQ(code, c.expect)
+        << c.label << ": got " << service::ToString(code) << " — " << message;
+    if (*c.expect_in_message != '\0') {
+      EXPECT_NE(message.find(c.expect_in_message), std::string::npos)
+          << c.label << ": message '" << message << "' does not name '"
+          << c.expect_in_message << "'";
+    }
+  }
+}
+
+TEST(MalformedServiceRequest, OversizedLineRejectedBeforeParsing) {
+  service::Limits limits;
+  limits.max_line_bytes = 128;
+  std::string line = R"({"op":"simulate","workload":")";
+  line.append(4096, 'A');
+  line += R"("})";
+  service::Request req;
+  service::ErrorCode code;
+  std::string message, id;
+  EXPECT_FALSE(
+      service::ParseRequestLine(line, limits, &req, &code, &message, &id));
+  EXPECT_EQ(code, service::ErrorCode::kOversized);
+}
+
+TEST(MalformedServiceRequest, DaemonSurvivesFullMalformedStream) {
+  // The whole table streamed at a live service, interleaved with jobs the
+  // registry and config layers must reject (unknown workload, unknown INI
+  // key, unknown preset) — every line gets a typed error response and the
+  // daemon answers a healthy job afterwards.
+  service::ServiceOptions opt;
+  opt.threads = 1;
+  service::SimulationService svc(opt);
+
+  std::ostringstream stream;
+  for (const BadRequestLine& c : BadRequestLines()) stream << c.line << "\n";
+  stream << R"({"op":"simulate","id":"ghost","workload":"NO_SUCH"})" << "\n";
+  stream << R"({"op":"simulate","id":"badkey","workload":"NW",)"
+         << R"("config":"[gpu]\nno_such_knob = 1\n"})" << "\n";
+  stream << R"({"op":"simulate","id":"badpreset","workload":"NW",)"
+         << R"("preset":"rtx9090"})" << "\n";
+  stream << R"({"op":"simulate","id":"healthy","workload":"NW",)"
+         << R"("scale":0.05})" << "\n";
+  stream << R"({"op":"shutdown","id":"bye"})" << "\n";
+
+  std::istringstream in(stream.str());
+  std::ostringstream out;
+  service::ServeResult res = service::ServeLines(in, out, svc);
+  EXPECT_TRUE(res.shutdown);
+
+  std::map<std::string, std::string> error_by_id;
+  bool healthy_ok = false;
+  std::size_t responses = 0;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    ++responses;
+    JsonValue v = ParseJson(line);  // every response is valid JSON
+    const JsonValue* id = v.Find("id");
+    const JsonValue* err = v.Find("error");
+    if (id != nullptr && err != nullptr) error_by_id[id->AsString()] = err->AsString();
+    if (id != nullptr && id->AsString() == "healthy") {
+      healthy_ok = v.Find("ok")->AsBool();
+    }
+  }
+  // One response per request line: the table, 3 rejected jobs, the
+  // healthy job, the shutdown acknowledgement.
+  EXPECT_EQ(responses, BadRequestLines().size() + 5);
+  EXPECT_EQ(error_by_id["ghost"], "unknown_workload");
+  EXPECT_EQ(error_by_id["badkey"], "bad_config");
+  EXPECT_EQ(error_by_id["badpreset"], "bad_config");
+  EXPECT_TRUE(healthy_ok) << "daemon did not serve a healthy job after the "
+                             "malformed stream";
 }
 
 }  // namespace

@@ -1,0 +1,273 @@
+// swiftsimd — the persistent simulation daemon (DESIGN.md §15).
+//
+// Keeps one Swift-Sim process alive so repeated jobs hit the process-global
+// warm caches (MemoCache, ProfileCache, built-trace cache) instead of
+// paying cold start per invocation. Speaks NDJSON — one JSON request per
+// line, one JSON response per line — over either:
+//
+//   stdin/stdout (default):   swiftsimd --threads 8 --memo-file warm.memo
+//   a unix socket:            swiftsimd --socket /tmp/swiftsim.sock
+//
+// Example session:
+//   > {"op":"ping","id":"0"}
+//   < {"id":"0","ok":true,"status":"pong"}
+//   > {"id":"1","workload":"BFS","scale":0.05,"iterations":8}
+//   < {"id":"1","ok":true,"status":"ok","cycles":...,"memo_hits":...}
+//   > {"op":"shutdown","id":"2"}
+//   < {"id":"2","ok":true,"status":"shutting_down"}
+//
+// Responses stream in completion order — correlate by "id". A `shutdown`
+// op drains every admitted job, persists the memo file (when configured)
+// and acknowledges last.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/status.h"
+#include "swiftsim/service.h"
+
+namespace {
+
+using swiftsim::ParallelMode;
+using swiftsim::ParallelModeFromString;
+using swiftsim::SimError;
+using swiftsim::service::ServeLines;
+using swiftsim::service::ServeResult;
+using swiftsim::service::ServeTransport;
+using swiftsim::service::ServiceOptions;
+using swiftsim::service::SimulationService;
+
+void PrintUsage() {
+  std::fprintf(stderr, R"(usage: swiftsimd [options]
+
+Persistent Swift-Sim simulation daemon. NDJSON protocol: one JSON request
+per line on stdin (default) or a unix socket, one JSON response per line.
+
+  --socket PATH         serve a unix socket instead of stdin/stdout
+  --threads N           worker budget (default: hardware concurrency)
+  --mode auto|app|intra batch parallelization policy (default auto)
+  --max-concurrent N    concurrent jobs the lane plan is shaped for
+  --queue N             admission queue capacity (default 64)
+  --memo-file PATH      load memo cache on start, save on shutdown
+  --trace-cache DIR     on-disk compact trace cache directory
+  --timeout-sec S       default per-request wall-clock watchdog (0 = off)
+  --watchdog-cycles N   stall-window watchdog in simulated cycles (0 = off)
+  --degrade-on-hang     analytical fallback instead of a timeout error
+  --max-scale S         reject jobs with scale > S (default 2.0)
+  --max-iterations N    reject jobs with iterations > N (default 1024)
+  --memo-max-entries N  cap the global memo/profile caches (0 = unbounded)
+  --memo-max-bytes N    cap the memo cache footprint (0 = unbounded)
+  --help                this text
+)");
+}
+
+struct Flags {
+  std::string socket_path;
+  ServiceOptions svc;
+};
+
+bool ParseFlags(int argc, char** argv, Flags* out) {
+  auto need_value = [&](int i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "swiftsimd: %s requires a value\n", argv[i]);
+      return nullptr;
+    }
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto take = [&]() -> const char* {
+      const char* v = need_value(i);
+      if (v != nullptr) ++i;
+      return v;
+    };
+    try {
+      if (flag == "--help" || flag == "-h") {
+        PrintUsage();
+        std::exit(0);
+      } else if (flag == "--socket") {
+        const char* v = take();
+        if (v == nullptr) return false;
+        out->socket_path = v;
+      } else if (flag == "--threads") {
+        const char* v = take();
+        if (v == nullptr) return false;
+        out->svc.threads = static_cast<unsigned>(std::stoul(v));
+      } else if (flag == "--mode") {
+        const char* v = take();
+        if (v == nullptr) return false;
+        out->svc.mode = ParallelModeFromString(v);
+      } else if (flag == "--max-concurrent") {
+        const char* v = take();
+        if (v == nullptr) return false;
+        out->svc.max_concurrent = static_cast<unsigned>(std::stoul(v));
+      } else if (flag == "--queue") {
+        const char* v = take();
+        if (v == nullptr) return false;
+        out->svc.queue_capacity = static_cast<unsigned>(std::stoul(v));
+      } else if (flag == "--memo-file") {
+        const char* v = take();
+        if (v == nullptr) return false;
+        out->svc.memo_file = v;
+      } else if (flag == "--trace-cache") {
+        const char* v = take();
+        if (v == nullptr) return false;
+        out->svc.trace_cache_dir = v;
+      } else if (flag == "--timeout-sec") {
+        const char* v = take();
+        if (v == nullptr) return false;
+        out->svc.default_timeout_sec = std::stod(v);
+      } else if (flag == "--watchdog-cycles") {
+        const char* v = take();
+        if (v == nullptr) return false;
+        out->svc.watchdog_cycles = std::stoull(v);
+      } else if (flag == "--degrade-on-hang") {
+        out->svc.degrade_on_hang = true;
+      } else if (flag == "--max-scale") {
+        const char* v = take();
+        if (v == nullptr) return false;
+        out->svc.limits.max_scale = std::stod(v);
+      } else if (flag == "--max-iterations") {
+        const char* v = take();
+        if (v == nullptr) return false;
+        out->svc.limits.max_iterations =
+            static_cast<unsigned>(std::stoul(v));
+      } else if (flag == "--memo-max-entries") {
+        const char* v = take();
+        if (v == nullptr) return false;
+        out->svc.memo_max_entries = std::stoull(v);
+      } else if (flag == "--memo-max-bytes") {
+        const char* v = take();
+        if (v == nullptr) return false;
+        out->svc.memo_max_bytes = std::stoull(v);
+      } else {
+        std::fprintf(stderr, "swiftsimd: unknown flag '%s'\n", flag.c_str());
+        PrintUsage();
+        return false;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "swiftsimd: bad value for %s: %s\n", flag.c_str(),
+                   e.what());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ReadLineFd(int fd, std::string* buffer, std::string* line) {
+  // `buffer` carries bytes read past the previous newline.
+  for (;;) {
+    std::size_t nl = buffer->find('\n');
+    if (nl != std::string::npos) {
+      line->assign(*buffer, 0, nl);
+      buffer->erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) {
+      if (buffer->empty()) return false;
+      // Final unterminated line.
+      line->swap(*buffer);
+      buffer->clear();
+      return true;
+    }
+    buffer->append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+int ServeSocket(const std::string& path, SimulationService& svc) {
+  int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("swiftsimd: socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    std::fprintf(stderr, "swiftsimd: socket path too long: %s\n", path.c_str());
+    return 1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  ::unlink(path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    std::perror("swiftsimd: bind");
+    return 1;
+  }
+  if (::listen(listen_fd, 16) != 0) {
+    std::perror("swiftsimd: listen");
+    return 1;
+  }
+  std::fprintf(stderr, "swiftsimd: serving %s\n", path.c_str());
+
+  std::vector<std::thread> connections;
+  std::atomic<bool> shutting_down{false};
+  for (;;) {
+    int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) break;  // listener shut down (or fatal error)
+    connections.emplace_back([conn, &svc, listen_fd, &shutting_down] {
+      std::string buffer;
+      auto read_line = [conn, &buffer](std::string* line) {
+        return ReadLineFd(conn, &buffer, line);
+      };
+      auto write_line = [conn](const std::string& line) {
+        std::string framed = line + "\n";
+        const char* p = framed.data();
+        std::size_t left = framed.size();
+        while (left > 0) {
+          ssize_t n = ::write(conn, p, left);
+          if (n <= 0) return;  // client went away; responses are best-effort
+          p += n;
+          left -= static_cast<std::size_t>(n);
+        }
+      };
+      // The service is shared by every connection; Stop() on shutdown is
+      // handled here so we can also unblock accept().
+      ServeResult res =
+          ServeTransport(read_line, write_line, svc, /*stop_on_shutdown=*/false);
+      if (res.shutdown) {
+        shutting_down = true;
+        svc.Stop();
+        ::shutdown(listen_fd, SHUT_RDWR);
+      }
+      ::close(conn);
+    });
+  }
+  for (std::thread& t : connections) t.join();
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+  if (!shutting_down) svc.Stop();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill the daemon
+
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return 2;
+
+  try {
+    SimulationService svc(flags.svc);
+    if (!flags.socket_path.empty()) {
+      return ServeSocket(flags.socket_path, svc);
+    }
+    ServeResult res = ServeLines(std::cin, std::cout, svc);
+    if (!res.shutdown) svc.Stop();  // EOF: drain and persist anyway
+    return 0;
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "swiftsimd: %s\n", e.what());
+    return 1;
+  }
+}
