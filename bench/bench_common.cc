@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <thread>
 
+#include "common/journal.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/strutil.h"
@@ -131,7 +132,14 @@ BenchOptions ParseOptions(int argc, char** argv, double default_scale,
 bool LoadMemoFileIfExists(const std::string& path) {
   SS_CHECK(!path.empty(), "memo file path is empty");
   if (!std::filesystem::exists(path)) return false;
-  MemoCache::Global().LoadFromFile(path);
+  try {
+    MemoCache::Global().LoadFromFile(path);
+  } catch (const SimError& e) {
+    // Corrupt advisory cache (§16): quarantine and run cold rather than
+    // failing the bench over a file we would have regenerated anyway.
+    QuarantineCorruptFile(path, e.what());
+    return false;
+  }
   return true;
 }
 

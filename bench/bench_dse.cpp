@@ -14,8 +14,23 @@
 //   --no-early-stopping  reference mode: every point runs cycle-accurate
 //   --smoke              CI gate: warm sweep must beat the cold per-point
 //                        baseline by >= 3x; exits 77 under 4 hw threads
+//   --journal=<path>     write-ahead journal of rung results + decisions
+//   --resume=<path>      recover the journal, skip finished points, verify
+//                        replayed pruning decisions (DESIGN.md §16)
+//   --chaos-smoke        CI gate: fork the sweep, SIGKILL it mid-run,
+//                        resume from its journal and require bit-identity
+//                        with an uninterrupted run; exits 77 where
+//                        fork/kill is unavailable
 #include <cstdio>
 #include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <csignal>
+#define SWIFTSIM_HAVE_FORK 1
+#endif
 
 #include "bench_common.h"
 #include "common/status.h"
@@ -70,6 +85,12 @@ void WriteDseJson(const std::string& path, const BenchOptions& opt,
                static_cast<unsigned long long>(rep.screen_sims),
                static_cast<unsigned long long>(rep.screen_deduped));
   std::fprintf(f,
+               "  \"journal_appends\": %llu,\n  \"journal_bytes\": %llu,\n"
+               "  \"points_resumed\": %llu,\n",
+               static_cast<unsigned long long>(rep.journal_appends),
+               static_cast<unsigned long long>(rep.journal_bytes),
+               static_cast<unsigned long long>(rep.points_resumed));
+  std::fprintf(f,
                "  \"wall_seconds\": %.6f,\n  \"est_cold_wall\": %.6f,\n"
                "  \"speedup_vs_cold\": %.3f,\n",
                rep.wall_seconds, rep.est_cold_wall, rep.speedup_vs_cold);
@@ -106,6 +127,92 @@ void WriteDseJson(const std::string& path, const BenchOptions& opt,
   std::printf("wrote %s (%zu points)\n", path.c_str(), rep.points.size());
 }
 
+#if defined(SWIFTSIM_HAVE_FORK)
+/// Chaos recovery gate (DESIGN.md §16): fork a journaling sweep, SIGKILL
+/// it once the journal shows progress, resume from the torn journal in
+/// this process, and require bit-identity (per-point cycles, rung
+/// decisions, Pareto frontier) with an uninterrupted reference run.
+int RunChaosSmoke(const std::vector<Application>& apps,
+                  const std::vector<SweepPoint>& points,
+                  const dse::DseOptions& dopt) {
+  const std::string journal =
+      "bench_dse_chaos." + std::to_string(::getpid()) + ".journal";
+  std::remove(journal.c_str());
+
+  // The victim forks without exec, so it must stay off the shared
+  // ThreadPool (whose worker threads do not survive fork): threads=1
+  // makes every ParallelFor fully inline, and the apps were already
+  // built by the parent.
+  const pid_t child = ::fork();
+  SS_CHECK(child >= 0, "fork failed");
+  if (child == 0) {
+    dse::DseOptions victim = dopt;
+    victim.threads = 1;
+    victim.journal_path = journal;
+    victim.resume = false;
+    dse::RunSweep(apps, points, victim);
+    ::_Exit(0);  // no atexit/destructors on inherited state
+  }
+
+  // SIGKILL once the journal holds the head plus a few rung records; the
+  // poll granularity lands the kill at an arbitrary progress point.
+  bool killed = false;
+  int status = 0;
+  pid_t done = 0;
+  for (int spin = 0; spin < 120000 && !killed; ++spin) {
+    done = ::waitpid(child, &status, WNOHANG);
+    if (done == child) break;
+    struct stat st{};
+    if (::stat(journal.c_str(), &st) == 0 && st.st_size > 256) {
+      ::kill(child, SIGKILL);
+      killed = true;
+    } else {
+      ::usleep(1000);
+    }
+  }
+  if (done != child) {
+    if (!killed) ::kill(child, SIGKILL);  // watchdog: never hang the gate
+    ::waitpid(child, &status, 0);
+  }
+  std::printf("chaos: victim %s\n", killed ? "SIGKILLed mid-sweep"
+                                           : "finished before the kill");
+
+  dse::DseOptions resume_opt = dopt;
+  resume_opt.journal_path = journal;
+  resume_opt.resume = true;
+  const dse::SweepReport resumed = dse::RunSweep(apps, points, resume_opt);
+
+  const dse::SweepReport fresh = dse::RunSweep(apps, points, dopt);
+
+  std::size_t divergent = 0;
+  for (std::size_t i = 0; i < fresh.points.size(); ++i) {
+    const dse::PointOutcome& a = resumed.points[i];
+    const dse::PointOutcome& b = fresh.points[i];
+    if (a.screen_cycles != b.screen_cycles ||
+        a.refine_cycles != b.refine_cycles ||
+        a.final_cycles != b.final_cycles || a.promoted != b.promoted ||
+        a.frontier != b.frontier || a.retired_by != b.retired_by) {
+      std::printf("FAIL: point %zu diverges after resume "
+                  "(cycles %llu/%llu/%llu vs %llu/%llu/%llu)\n",
+                  i, static_cast<unsigned long long>(a.screen_cycles),
+                  static_cast<unsigned long long>(a.refine_cycles),
+                  static_cast<unsigned long long>(a.final_cycles),
+                  static_cast<unsigned long long>(b.screen_cycles),
+                  static_cast<unsigned long long>(b.refine_cycles),
+                  static_cast<unsigned long long>(b.final_cycles));
+      ++divergent;
+    }
+  }
+  std::remove(journal.c_str());
+  if (divergent > 0) return 1;
+  std::printf("chaos smoke: %zu points bit-identical after SIGKILL+resume "
+              "(%llu rung results replayed from the journal)\n",
+              fresh.points.size(),
+              static_cast<unsigned long long>(resumed.points_resumed));
+  return 0;
+}
+#endif  // SWIFTSIM_HAVE_FORK
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -114,6 +221,7 @@ int main(int argc, char** argv) {
   dse::DseOptions dopt;
   dopt.refine_rung = false;  // --refine opts in; see DESIGN.md §13
   bool smoke = false;
+  bool chaos_smoke = false;
   const std::vector<BenchFlag> extra = {
       {"--points", true,
        [&](const std::string& v) {
@@ -138,6 +246,15 @@ int main(int argc, char** argv) {
       {"--no-early-stopping", false,
        [&](const std::string&) { dopt.early_stopping = false; }},
       {"--smoke", false, [&](const std::string&) { smoke = true; }},
+      {"--journal", true,
+       [&](const std::string& v) { dopt.journal_path = v; }},
+      {"--resume", true,
+       [&](const std::string& v) {
+         dopt.journal_path = v;
+         dopt.resume = true;
+       }},
+      {"--chaos-smoke", false,
+       [&](const std::string&) { chaos_smoke = true; }},
   };
   BenchOptions opt = ParseOptions(argc, argv, /*default_scale=*/0.1, extra);
   if (smoke && std::thread::hardware_concurrency() < 4) {
@@ -166,6 +283,16 @@ int main(int argc, char** argv) {
 
   dopt.threads = opt.threads;
   const auto apps = BuildApps(opt);
+
+  if (chaos_smoke) {
+#if defined(SWIFTSIM_HAVE_FORK)
+    return RunChaosSmoke(apps, exp.points, dopt);
+#else
+    std::printf("SKIP: chaos smoke needs fork/kill\n");
+    return 77;
+#endif
+  }
+
   const dse::SweepReport rep = dse::RunSweep(apps, exp.points, dopt);
 
   std::printf("%-4s %-11s %12s %12s %6s  %s\n", "pt", "level", "screen_cyc",
@@ -199,6 +326,14 @@ int main(int argc, char** argv) {
           ? static_cast<double>(rep.points.size()) / rep.wall_seconds
           : 0.0,
       rep.est_cold_wall, rep.speedup_vs_cold);
+  if (!dopt.journal_path.empty()) {
+    std::printf("journal: %llu records appended (%llu bytes), "
+                "%llu rung results resumed from %s\n",
+                static_cast<unsigned long long>(rep.journal_appends),
+                static_cast<unsigned long long>(rep.journal_bytes),
+                static_cast<unsigned long long>(rep.points_resumed),
+                dopt.journal_path.c_str());
+  }
 
   // Pruning must never be silent: a retired point without a recorded
   // bound is a bug, not a report style choice.

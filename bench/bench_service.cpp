@@ -22,6 +22,11 @@
 // --smoke: shrunk shape gating CI — warm throughput must beat cold by
 // >= 10x; exits 77 (skip) on hosts without 4 hardware threads, where the
 // daemon's lane shape degenerates.
+//
+// --supervise-smoke: crash-recovery gate (DESIGN.md §16) — runs the
+// daemon under `swiftsimd --supervise`, SIGKILLs the worker mid-session
+// and requires a restart, bit-identical service afterwards, restarts >= 1
+// in the stats op, and a clean shutdown.
 #include <signal.h>
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -230,6 +235,103 @@ Phase RunPhase(Daemon& d, const std::vector<std::string>& requests) {
   return p;
 }
 
+/// Supervised-daemon recovery gate (DESIGN.md §16): start `swiftsimd
+/// --supervise`, serve a job, SIGKILL the worker process (pid from its
+/// pid file), and require the supervisor to restart it within the backoff
+/// budget, serve the same job bit-identically again, report restarts >= 1
+/// in the stats op, and still shut down cleanly.
+int RunSuperviseSmoke(const std::string& daemon_path,
+                      const swiftsim::bench::BenchOptions& opt) {
+  using namespace swiftsim;
+  namespace fs = std::filesystem;
+
+  const std::string scratch =
+      (fs::temp_directory_path() /
+       ("swiftsim-supervise-smoke-" + std::to_string(::getpid()))).string();
+  fs::create_directories(scratch);
+  const std::string pid_file = scratch + "/worker.pid";
+  const std::string journal = scratch + "/jobs.journal";
+
+  const std::string app = "BFS";
+  constexpr unsigned kIter = 4;
+  Application ref_app =
+      RepeatLaunches(BuildWorkload(app, {opt.scale, opt.seed}), kIter);
+  const Cycle want =
+      RunSimulation(ref_app, GpuConfig(), SimLevel::kSwiftSimMemory)
+          .total_cycles;
+
+  Daemon d(daemon_path,
+           {"--supervise", "--threads", "2", "--worker-pid-file", pid_file,
+            "--job-journal", journal, "--restart-backoff", "20",
+            "--max-restarts", "4"});
+
+  bool ok = true;
+  auto check = [&ok](bool cond, const std::string& what) {
+    if (!cond) {
+      std::printf("FAIL: %s\n", what.c_str());
+      ok = false;
+    }
+  };
+
+  const Reply before = [&] {
+    d.Send(SimulateRequest("pre", app, opt.scale, kIter));
+    return DecodeReply(d.ReadLine());
+  }();
+  check(before.ok, "pre-crash job failed: " + before.error);
+  check(!before.ok || before.cycles == want,
+        "pre-crash cycles diverge from the one-shot reference");
+
+  // Murder the worker. The pid file exists — the first response can only
+  // have come from a spawned worker.
+  long wpid = -1;
+  if (std::FILE* f = std::fopen(pid_file.c_str(), "r")) {
+    if (std::fscanf(f, "%ld", &wpid) != 1) wpid = -1;
+    std::fclose(f);
+  }
+  check(wpid > 0, "worker pid file missing after first response");
+  if (wpid > 0) ::kill(static_cast<pid_t>(wpid), SIGKILL);
+  std::printf("supervise: SIGKILLed worker pid %ld\n", wpid);
+
+  // The next job must be answered by a restarted worker — whether it was
+  // queued during the backoff window or replayed off the dead incarnation.
+  d.Send(SimulateRequest("post", app, opt.scale, kIter));
+  const Reply after = DecodeReply(d.ReadLine());
+  check(after.ok, "post-crash job failed: " + after.error);
+  check(!after.ok || after.cycles == want,
+        "post-crash cycles diverge (restart must not corrupt results)");
+
+  d.Send(R"({"op":"stats","id":"s"})");
+  const std::string stats_line = d.ReadLine();
+  std::uint64_t restarts = 0;
+  bool supervised = false;
+  try {
+    const JsonValue v = ParseJson(stats_line);
+    if (const JsonValue* s = v.Find("stats")) {
+      if (const JsonValue* f = s->Find("restarts")) restarts = f->AsUint();
+      if (const JsonValue* f = s->Find("supervised"))
+        supervised = f->AsBool();
+    }
+  } catch (const SimError&) {
+  }
+  check(supervised, "stats op does not report supervised=true");
+  check(restarts >= 1, "stats op reports restarts=" +
+                           std::to_string(restarts) + ", expected >= 1");
+
+  const int rc = d.Shutdown();
+  check(rc == 0, "supervisor exited " + std::to_string(rc) +
+                     " after shutdown, expected 0");
+
+  fs::remove_all(scratch);
+  if (!ok) {
+    std::printf("\nsupervise smoke: FAILURES detected\n");
+    return 1;
+  }
+  std::printf("supervise smoke: worker crash survived, %llu restart(s), "
+              "bit-identical service resumed, clean shutdown\n",
+              static_cast<unsigned long long>(restarts));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -238,10 +340,13 @@ int main(int argc, char** argv) {
 
   std::string daemon_path = "tools/swiftsimd";
   bool smoke = false;
+  bool supervise_smoke = false;
   unsigned repeats = 4;
   std::vector<BenchFlag> extra = {
       {"--daemon", true, [&](const std::string& v) { daemon_path = v; }},
       {"--smoke", false, [&](const std::string&) { smoke = true; }},
+      {"--supervise-smoke", false,
+       [&](const std::string&) { supervise_smoke = true; }},
       {"--repeats", true,
        [&](const std::string& v) { repeats = static_cast<unsigned>(std::stoul(v)); }},
   };
@@ -261,6 +366,7 @@ int main(int argc, char** argv) {
                  "(pass --daemon=<path to swiftsimd>)\n", daemon_path.c_str());
     return 1;
   }
+  if (supervise_smoke) return RunSuperviseSmoke(daemon_path, opt);
 
   PrintHeader("Persistent simulation service: cold vs warm requests", opt);
   std::printf("daemon: %s, %zu jobs x %u repeats, %u launches/job\n",

@@ -49,9 +49,12 @@ stage_asan() {
   echo "==> asan: ASan+UBSan build + chaos-labelled suites"
   configure build-asan -DSWIFTSIM_ASAN=ON
   cmake --build build-asan -j "$JOBS"
-  # The chaos label covers fault injection, the livelock/watchdog fixtures
-  # and the malformed-input tables — the inputs most likely to surface
-  # memory errors.
+  # The chaos label covers fault injection, the livelock/watchdog fixtures,
+  # the malformed-input tables, and the §16 crash-recovery gates
+  # (journal/torn-tail suites, the supervisor crash matrix, and the
+  # chaos_recovery_smoke / chaos_supervise_smoke SIGKILL-and-resume
+  # benches, which self-skip with exit 77 where fork/kill is unavailable)
+  # — the inputs most likely to surface memory errors.
   ctest --test-dir build-asan -L chaos --output-on-failure
 }
 

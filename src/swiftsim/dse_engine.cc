@@ -4,12 +4,18 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <map>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
 
+#include "common/journal.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "swiftsim/memo_cache.h"
 #include "swiftsim/simulator.h"
+#include "trace/fingerprint.h"
 
 namespace swiftsim::dse {
 
@@ -225,6 +231,150 @@ void PruneRung(const char* rung, double delta, std::size_t target,
   *alive = std::move(kept);
 }
 
+/// 128-bit identity of everything a resumed sweep must agree on: the
+/// applications, the point list (hashes, in order) and every option that
+/// feeds a rung or pruning decision. threads/mode are deliberately
+/// excluded — rung results are worker-count independent by construction,
+/// so a sweep may legally resume with a different parallel shape.
+std::string SweepIdentity(const std::vector<Application>& apps,
+                          const std::vector<SweepPoint>& points,
+                          const DseOptions& opt) {
+  FpHasher h;
+  h.MixString("dse-sweep-journal-v1");
+  h.Mix(apps.size());
+  for (const Application& app : apps) {
+    const Fingerprint fp = FingerprintApplication(app);
+    h.Mix(fp.hi);
+    h.Mix(fp.lo);
+  }
+  h.Mix(points.size());
+  for (const SweepPoint& p : points) h.Mix(p.cfg_hash);
+  const auto mix_double = [&h](double d) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof bits);
+    h.Mix(bits);
+  };
+  h.Mix(opt.early_stopping ? 1 : 0);
+  h.Mix(opt.refine_rung ? 1 : 0);
+  h.Mix(opt.dedup_screen ? 1 : 0);
+  mix_double(opt.keep_fraction);
+  h.Mix(opt.min_keep);
+  h.Mix(opt.max_promote);
+  mix_double(opt.screen_delta);
+  mix_double(opt.refine_delta);
+  h.Mix(static_cast<std::uint64_t>(opt.screen_level));
+  h.Mix(static_cast<std::uint64_t>(opt.refine_level));
+  h.Mix(static_cast<std::uint64_t>(opt.final_level));
+  return h.Digest().ToHex();
+}
+
+struct ReplayedRung {
+  Cycle cycles = 0;
+  double wall = 0;
+};
+
+/// Write-ahead journal of one sweep (DESIGN.md §16). Record payloads are
+/// single text lines:
+///   sweep <identity-hex>                 — head, pins the sweep identity
+///   rung <name> <index> <cycles> <wall>  — one point finished one rung
+///   prune <name> <n> <i0> ... <i(n-1)>   — alive set after one pruning
+/// Rung results are appended from worker lanes as points complete
+/// (Journal::Append is thread-safe); prune records only after the rung's
+/// barrier, so a journal always describes a prefix of the sweep's
+/// deterministic execution. On resume, rung records short-circuit the
+/// simulations and prune records are verified against the recomputed
+/// decisions — a mismatch means the journal belongs to a different
+/// execution and is a hard error, never a silent divergence.
+class SweepJournal {
+ public:
+  void Open(const std::string& path, bool resume,
+            const std::string& identity) {
+    JournalRecovery rec;
+    journal_.Open(path, /*truncate=*/!resume, Journal::Options{}, &rec);
+    bool have_head = false;
+    for (const std::string& r : rec.records) {
+      std::istringstream in(r);
+      std::string tag;
+      in >> tag;
+      if (tag == "sweep") {
+        std::string hex;
+        in >> hex;
+        SS_CHECK(!have_head, "journal '" + path + "' has two sweep heads");
+        SS_CHECK(hex == identity,
+                 "journal '" + path + "' belongs to a different sweep (head " +
+                     hex + ", this sweep " + identity +
+                     "): apps, points or decision options changed");
+        have_head = true;
+      } else if (tag == "rung") {
+        SS_CHECK(have_head, "journal '" + path + "' rung record before head");
+        std::string name;
+        std::size_t idx = 0;
+        ReplayedRung rr;
+        in >> name >> idx >> rr.cycles >> rr.wall;
+        SS_CHECK(!in.fail(), "journal '" + path + "' has a malformed rung "
+                             "record: '" + r + "'");
+        rungs_[name][idx] = rr;
+      } else if (tag == "prune") {
+        SS_CHECK(have_head, "journal '" + path + "' prune record before head");
+        std::string name;
+        std::size_t n = 0;
+        in >> name >> n;
+        std::vector<std::size_t> alive(n);
+        for (std::size_t k = 0; k < n; ++k) in >> alive[k];
+        SS_CHECK(!in.fail(), "journal '" + path + "' has a malformed prune "
+                             "record: '" + r + "'");
+        prunes_[name] = std::move(alive);
+      } else {
+        SS_CHECK(false, "journal '" + path + "' has an unknown record kind '" +
+                            tag + "' (newer format?)");
+      }
+    }
+    // Fresh segment, or a resume that found nothing (killed before the
+    // head landed): pin the identity now.
+    if (!have_head) journal_.Append("sweep " + identity);
+  }
+
+  const std::unordered_map<std::size_t, ReplayedRung>* Replay(
+      const char* rung) const {
+    const auto it = rungs_.find(rung);
+    return it == rungs_.end() ? nullptr : &it->second;
+  }
+
+  void AppendRung(const char* rung, std::size_t idx, Cycle cycles,
+                  double wall) {
+    char buf[128];
+    // %.17g round-trips the double exactly, so replayed walls equal the
+    // originals bit for bit.
+    std::snprintf(buf, sizeof buf, "rung %s %zu %llu %.17g", rung, idx,
+                  static_cast<unsigned long long>(cycles), wall);
+    journal_.Append(buf);
+  }
+
+  /// Journals the post-prune alive set — or, when the journal already
+  /// holds this rung's decision, verifies the recomputed one against it.
+  void CommitPrune(const char* rung, const std::vector<std::size_t>& alive) {
+    const auto it = prunes_.find(rung);
+    if (it != prunes_.end()) {
+      SS_CHECK(it->second == alive,
+               std::string("resumed ") + rung + " pruning decision diverges "
+               "from the journaled one — journal does not match this sweep");
+      return;
+    }
+    std::ostringstream out;
+    out << "prune " << rung << ' ' << alive.size();
+    for (const std::size_t i : alive) out << ' ' << i;
+    journal_.Append(out.str());
+  }
+
+  std::uint64_t appended() const { return journal_.appended(); }
+  std::uint64_t bytes() const { return journal_.bytes(); }
+
+ private:
+  Journal journal_;
+  std::map<std::string, std::unordered_map<std::size_t, ReplayedRung>> rungs_;
+  std::map<std::string, std::vector<std::size_t>> prunes_;
+};
+
 }  // namespace
 
 SweepReport RunSweep(const std::vector<Application>& apps,
@@ -251,25 +401,57 @@ SweepReport RunSweep(const std::vector<Application>& apps,
     po.area = AreaProxy(points[i].cfg);
   }
 
+  // Crash consistency (§16): open/recover the write-ahead journal before
+  // any simulation, so even the first point's completion is durable.
+  std::unique_ptr<SweepJournal> journal;
+  if (!opt.journal_path.empty()) {
+    journal = std::make_unique<SweepJournal>();
+    journal->Open(opt.journal_path, opt.resume,
+                  SweepIdentity(apps, points, opt));
+  }
+
   ThreadPool& pool = ThreadPool::Shared();
-  const auto run_rung = [&](const std::vector<std::size_t>& idxs,
+  const auto run_rung = [&](const char* rung,
+                            const std::vector<std::size_t>& idxs,
                             SimLevel level, Cycle PointOutcome::* cyc,
                             double PointOutcome::* wall) -> unsigned {
+    // Resume replay: points the journal already holds at this rung take
+    // their journaled cycles/wall (memo counters stay 0 — nothing was
+    // simulated) and drop out of the batch.
+    std::vector<std::size_t> todo;
+    todo.reserve(idxs.size());
+    const auto* replay = journal ? journal->Replay(rung) : nullptr;
+    for (const std::size_t i : idxs) {
+      if (replay != nullptr) {
+        const auto it = replay->find(i);
+        if (it != replay->end()) {
+          PointOutcome& po = report.points[i];
+          po.*cyc = it->second.cycles;
+          po.*wall = it->second.wall;
+          po.level_reached = level;
+          ++report.points_resumed;
+          continue;
+        }
+      }
+      todo.push_back(i);
+    }
+    if (todo.empty()) return 1;
     // Points are independent app-lanes; the batch policy resolves the
     // lane count (analytical flag false: each point runs serially inside
     // its lane, which keeps rung results worker-count independent by
     // construction).
     const BatchPlan plan = PlanParallelBatch(
-        idxs.size(), opt.threads, /*cycle_accurate_mem=*/false, opt.mode);
-    pool.ParallelFor(idxs.size(), plan.app_lanes, [&](std::size_t k) {
-      PointOutcome& po = report.points[idxs[k]];
-      const RungStats s = RunPoint(apps, points[idxs[k]].cfg, level);
+        todo.size(), opt.threads, /*cycle_accurate_mem=*/false, opt.mode);
+    pool.ParallelFor(todo.size(), plan.app_lanes, [&](std::size_t k) {
+      PointOutcome& po = report.points[todo[k]];
+      const RungStats s = RunPoint(apps, points[todo[k]].cfg, level);
       po.*cyc = s.cycles;
       po.*wall = s.wall;
       po.memo_hits += s.memo_hits;
       po.memo_misses += s.memo_misses;
       po.memo_cycles_avoided += s.memo_cycles_avoided;
       po.level_reached = level;
+      if (journal) journal->AppendRung(rung, todo[k], s.cycles, s.wall);
     });
     return plan.app_lanes;
   };
@@ -300,8 +482,8 @@ SweepReport RunSweep(const std::vector<Application>& apps,
       reps.push_back(members.front());
     }
     report.screen_lanes =
-        run_rung(reps, opt.screen_level, &PointOutcome::screen_cycles,
-                 &PointOutcome::screen_wall);
+        run_rung("screen", reps, opt.screen_level,
+                 &PointOutcome::screen_cycles, &PointOutcome::screen_wall);
     for (const auto& [sig, members] : groups) {
       const PointOutcome& rep = report.points[members.front()];
       for (std::size_t k = 1; k < members.size(); ++k) {
@@ -314,8 +496,8 @@ SweepReport RunSweep(const std::vector<Application>& apps,
     report.screen_sims = reps.size();
   } else {
     report.screen_lanes =
-        run_rung(alive, opt.screen_level, &PointOutcome::screen_cycles,
-                 &PointOutcome::screen_wall);
+        run_rung("screen", alive, opt.screen_level,
+                 &PointOutcome::screen_cycles, &PointOutcome::screen_wall);
     report.screen_sims = alive.size();
   }
 
@@ -340,20 +522,22 @@ SweepReport RunSweep(const std::vector<Application>& apps,
     PruneRung("screen", opt.screen_delta, t1,
               /*hard_cap=*/will_refine ? 0 : opt.max_promote,
               &PointOutcome::screen_cycles, &alive, &report.points);
+    if (journal) journal->CommitPrune("screen", alive);
     if (will_refine && alive.size() > 1) {
       report.refined = alive.size();
-      run_rung(alive, opt.refine_level, &PointOutcome::refine_cycles,
-               &PointOutcome::refine_wall);
+      run_rung("refine", alive, opt.refine_level,
+               &PointOutcome::refine_cycles, &PointOutcome::refine_wall);
       PruneRung("refine", opt.refine_delta,
                 target_for(alive.size(), /*apply_cap=*/true),
                 /*hard_cap=*/opt.max_promote, &PointOutcome::refine_cycles,
                 &alive, &report.points);
+      if (journal) journal->CommitPrune("refine", alive);
     }
   }
 
   // Final rung — promote the survivors to the cycle-accurate level.
   report.final_lanes =
-      run_rung(alive, opt.final_level, &PointOutcome::final_cycles,
+      run_rung("final", alive, opt.final_level, &PointOutcome::final_cycles,
                &PointOutcome::final_wall);
   double final_wall_sum = 0;
   std::vector<Objective> objs;
@@ -377,6 +561,10 @@ SweepReport RunSweep(const std::vector<Application>& apps,
   }
   report.prepass_shared = ProfileCache::Global().hits() - pc_hits0;
   report.prepass_built = ProfileCache::Global().misses() - pc_miss0;
+  if (journal) {
+    report.journal_appends = journal->appended();
+    report.journal_bytes = journal->bytes();
+  }
 
   const auto t1 = std::chrono::steady_clock::now();
   report.wall_seconds = std::chrono::duration<double>(t1 - t0).count();

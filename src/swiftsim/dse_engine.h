@@ -85,6 +85,19 @@ struct DseOptions {
   SimLevel screen_level = SimLevel::kSwiftSimMemory;
   SimLevel refine_level = SimLevel::kSwiftSimBasic;
   SimLevel final_level = SimLevel::kDetailed;
+  /// Crash consistency (DESIGN.md §16). When set, every rung result and
+  /// pruning decision is appended to a write-ahead journal at this path
+  /// before the sweep moves on, so a SIGKILLed sweep loses at most the
+  /// simulations in flight. With `resume` the journal is recovered first:
+  /// journaled rung results are replayed instead of re-simulated and each
+  /// recomputed pruning decision is checked against its journaled record —
+  /// rung decisions are pure functions of deterministic per-point results,
+  /// so the resumed sweep is bit-identical (cycles, promote/retire sets,
+  /// Pareto frontier) to an uninterrupted one. The journal head pins a
+  /// sweep identity (apps, points, decision-affecting options); resuming
+  /// against a different sweep raises SimError.
+  std::string journal_path;
+  bool resume = false;
 };
 
 struct PointOutcome {
@@ -130,6 +143,13 @@ struct SweepReport {
   std::uint64_t screen_deduped = 0;
   unsigned screen_lanes = 1;  // resolved batch shape per rung
   unsigned final_lanes = 1;
+  /// Crash-consistency telemetry (zero unless journal_path was set):
+  /// records appended + on-disk segment size this run, and rung
+  /// simulations skipped because a resumed journal already held their
+  /// results.
+  std::uint64_t journal_appends = 0;
+  std::uint64_t journal_bytes = 0;
+  std::uint64_t points_resumed = 0;
 };
 
 /// Runs the sweep: every point evaluates `apps` (cycles are summed across

@@ -11,6 +11,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/journal.h"
 #include "common/json.h"
 #include "common/status.h"
 #include "common/stats.h"
@@ -76,6 +77,8 @@ const char* ToString(ErrorCode code) {
       return "timeout";
     case ErrorCode::kSimFailed:
       return "sim_failed";
+    case ErrorCode::kWorkerCrashed:
+      return "worker_crashed";
   }
   return "?";
 }
@@ -275,7 +278,15 @@ SimulationService::SimulationService(ServiceOptions opt) : opt_(std::move(opt)) 
   }
   if (!opt_.memo_file.empty()) {
     std::ifstream probe(opt_.memo_file);
-    if (probe.good()) MemoCache::Global().LoadFromFile(opt_.memo_file);
+    if (probe.good()) {
+      try {
+        MemoCache::Global().LoadFromFile(opt_.memo_file);
+      } catch (const SimError& e) {
+        // A corrupt advisory cache is a cold start, not a startup failure:
+        // quarantine it and serve from an empty cache (§16).
+        QuarantineCorruptFile(opt_.memo_file, e.what());
+      }
+    }
   }
 
   // Lanes are dedicated threads that only wait and drive; the worker
@@ -611,6 +622,13 @@ std::string SimulationService::StatsJson() const {
   w.Key("memo_hits").Uint(s.memo_hits);
   w.Key("memo_misses").Uint(s.memo_misses);
   w.Key("memo_cycles_avoided").Uint(s.memo_cycles_avoided);
+  // Supervision counters (§16): snapshots injected at worker spawn; all
+  // zero when the daemon runs unsupervised.
+  w.Key("supervised").Bool(opt_.supervised);
+  w.Key("restarts").Uint(opt_.sup_restarts);
+  w.Key("jobs_replayed").Uint(opt_.sup_jobs_replayed);
+  w.Key("retries").Uint(opt_.sup_retries);
+  w.Key("journal_bytes").Uint(opt_.sup_journal_bytes);
   w.Key("app_lanes").Uint(plan_.app_lanes);
   w.Key("threads_per_app").Uint(plan_.threads_per_app);
   w.Key("mode").String(swiftsim::ToString(plan_.chosen));

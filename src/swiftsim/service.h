@@ -67,6 +67,8 @@ enum class ErrorCode {
   kShuttingDown,     // submitted after shutdown began
   kSimTimeout,       // watchdog tripped (wall clock or stall window)
   kSimFailed,        // simulation raised after exhausting retries
+  kWorkerCrashed,    // supervised worker died with the job in flight and
+                     // the per-job crash-retry budget is exhausted (§16)
 };
 
 const char* ToString(ErrorCode code);
@@ -153,6 +155,16 @@ struct ServiceOptions {
   bool degrade_on_hang = false;    // analytical fallback via RunResilient
   std::uint64_t memo_max_entries = 0;  // global cache caps; 0 = unbounded
   std::uint64_t memo_max_bytes = 0;
+  /// Supervision telemetry snapshot (DESIGN.md §16): filled in by the
+  /// supervisor when it spawns this worker so the `stats` op can report
+  /// restart/replay/journal counters. Snapshots are as of worker start —
+  /// the worker cannot observe the live supervisor across the process
+  /// boundary.
+  bool supervised = false;
+  std::uint64_t sup_restarts = 0;
+  std::uint64_t sup_jobs_replayed = 0;
+  std::uint64_t sup_retries = 0;
+  std::uint64_t sup_journal_bytes = 0;
 };
 
 /// Monotonic service counters (a snapshot; `stats` op serializes these

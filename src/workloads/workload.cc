@@ -5,6 +5,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "common/journal.h"
 #include "common/status.h"
 #include "trace/trace_io.h"
 #include "workloads/workload_suites.h"
@@ -118,8 +119,11 @@ Application BuildWorkloadCached(const std::string& name,
       Application app = ReadCompactApplication(path.string(), key);
       if (hit_out != nullptr) *hit_out = true;
       return app;
-    } catch (const TraceCacheError&) {
-      // Stale or torn entry: fall through and regenerate over it.
+    } catch (const TraceCacheError& e) {
+      // Corrupt or torn entry (§16): quarantine it with a structured log
+      // line and regenerate — a cache problem is a cold miss, never an
+      // error surfaced to the caller.
+      QuarantineCorruptFile(path.string(), e.what());
     }
   }
   Application app = BuildWorkload(name, s);

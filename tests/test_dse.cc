@@ -7,10 +7,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/journal.h"
 #include "common/status.h"
 #include "config/ini.h"
 #include "config/presets.h"
@@ -341,6 +343,164 @@ TEST(DseEngine, PromotedPointsMatchNoEarlyStoppingReference) {
     EXPECT_EQ(po.final_cycles, ref_cycles.at(po.cfg_hash)) << po.label;
     EXPECT_EQ(po.level_reached, SimLevel::kDetailed);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-consistency gates (DESIGN.md §16): the sweep journal must make a
+// killed-and-resumed sweep bit-identical to an uninterrupted one, and must
+// refuse journals that do not describe this exact sweep.
+
+/// Truncates `path` to its first `keep` journal records (head included),
+/// emulating the prefix a crash at that append boundary leaves behind.
+void RewriteJournalPrefix(const std::string& path, std::size_t keep) {
+  const JournalRecovery rec = ReadJournal(path);
+  SS_CHECK(keep <= rec.records.size(), "prefix longer than journal");
+  Journal j;
+  j.Open(path, /*truncate=*/true, {});
+  for (std::size_t i = 0; i < keep; ++i) j.Append(rec.records[i]);
+  j.Close();
+}
+
+TEST(DseEngine, FullyJournaledSweepResumesWithoutRecomputing) {
+  const auto exp = SmallSweep();
+  const std::vector<Application> apps = {SmallApp("SM")};
+  const std::string path = testing::TempDir() + "/dse_resume_full.journal";
+  std::remove(path.c_str());
+
+  ClearGlobalCaches();
+  dse::DseOptions opt = FastOptions();
+  opt.journal_path = path;
+  const auto cold = dse::RunSweep(apps, exp.points, opt);
+  EXPECT_GT(cold.journal_appends, 0u);
+  EXPECT_GT(cold.journal_bytes, 0u);
+  EXPECT_EQ(cold.points_resumed, 0u);
+
+  // A complete journal replays every rung result: no new simulations, no
+  // new appends, identical decisions.
+  ClearGlobalCaches();
+  opt.resume = true;
+  const auto resumed = dse::RunSweep(apps, exp.points, opt);
+  EXPECT_GT(resumed.points_resumed, 0u);
+  EXPECT_EQ(resumed.journal_appends, 0u);
+  EXPECT_EQ(resumed.memo_misses, 0u);
+  EXPECT_EQ(DecisionMap(resumed), DecisionMap(cold));
+  std::remove(path.c_str());
+}
+
+TEST(DseEngine, ResumeFromEveryCrashPrefixIsBitIdentical) {
+  const auto exp = SmallSweep();
+  const std::vector<Application> apps = {SmallApp("SM")};
+  const std::string path = testing::TempDir() + "/dse_resume_prefix.journal";
+  std::remove(path.c_str());
+
+  ClearGlobalCaches();
+  dse::DseOptions opt = FastOptions();
+  opt.journal_path = path;
+  const auto reference = dse::RunSweep(apps, exp.points, opt);
+  const std::size_t records = ReadJournal(path).records.size();
+  ASSERT_GT(records, 2u);
+  const std::string full = testing::TempDir() + "/dse_resume_prefix.ref";
+  std::filesystem::copy_file(path, full,
+                             std::filesystem::copy_options::overwrite_existing);
+
+  // Appends are fsync'd in order, so a SIGKILL leaves some record-boundary
+  // prefix (plus a torn tail recovery drops). Resume from every one of
+  // them — including the empty file a kill-before-head leaves — must
+  // reproduce the uninterrupted decisions bit-for-bit.
+  dse::DseOptions ropt = opt;
+  ropt.resume = true;
+  for (std::size_t keep = 0; keep <= records; ++keep) {
+    std::filesystem::copy_file(
+        full, path, std::filesystem::copy_options::overwrite_existing);
+    RewriteJournalPrefix(path, keep);
+    ClearGlobalCaches();
+    const auto resumed = dse::RunSweep(apps, exp.points, ropt);
+    EXPECT_EQ(DecisionMap(resumed), DecisionMap(reference))
+        << "resume from " << keep << "/" << records << " records diverged";
+  }
+  std::remove(path.c_str());
+  std::remove(full.c_str());
+}
+
+TEST(DseEngine, ResumeRejectsJournalOfADifferentSweep) {
+  const auto exp = SmallSweep();
+  const std::vector<Application> apps = {SmallApp("SM")};
+  const std::string path = testing::TempDir() + "/dse_resume_foreign.journal";
+  std::remove(path.c_str());
+
+  ClearGlobalCaches();
+  dse::DseOptions opt = FastOptions();
+  opt.journal_path = path;
+  dse::RunSweep(apps, exp.points, opt);
+
+  // Same journal, different sweep shape: a pruning knob moved. The head
+  // identity pins every decision input, so resume must refuse instead of
+  // splicing foreign results into this sweep.
+  dse::DseOptions other = opt;
+  other.resume = true;
+  other.keep_fraction = 0.5;
+  ClearGlobalCaches();
+  EXPECT_THROW(dse::RunSweep(apps, exp.points, other), SimError);
+
+  // Dropping a point changes the identity too.
+  std::vector<SweepPoint> fewer(exp.points.begin(), exp.points.end() - 1);
+  dse::DseOptions ropt = opt;
+  ropt.resume = true;
+  ClearGlobalCaches();
+  EXPECT_THROW(dse::RunSweep(apps, fewer, ropt), SimError);
+  std::remove(path.c_str());
+}
+
+TEST(DseEngine, ResumeRejectsTamperedPruneAndUnknownRecords) {
+  const auto exp = SmallSweep();
+  const std::vector<Application> apps = {SmallApp("SM")};
+  const std::string path = testing::TempDir() + "/dse_resume_tamper.journal";
+  std::remove(path.c_str());
+
+  ClearGlobalCaches();
+  dse::DseOptions opt = FastOptions();
+  opt.journal_path = path;
+  dse::RunSweep(apps, exp.points, opt);
+  const JournalRecovery rec = ReadJournal(path);
+
+  // Flip the screen prune decision: drop its last survivor. Replay
+  // recomputes the decision from the journaled rung results, so the
+  // mismatch is detected, not silently adopted.
+  {
+    Journal j;
+    j.Open(path, /*truncate=*/true, {});
+    for (const std::string& r : rec.records) {
+      if (r.rfind("prune screen ", 0) == 0) {
+        const std::size_t cut = r.find_last_of(' ');
+        std::string bent = r.substr(0, cut);
+        // Decrement the survivor count to keep the record well-formed.
+        const std::size_t n_at = std::string("prune screen ").size();
+        const std::size_t n_end = bent.find(' ', n_at);
+        const unsigned long n = std::stoul(bent.substr(n_at, n_end - n_at));
+        SS_CHECK(n >= 2, "test sweep pruned to fewer than two survivors");
+        bent = "prune screen " + std::to_string(n - 1) +
+               bent.substr(n_end);
+        j.Append(bent);
+      } else {
+        j.Append(r);
+      }
+    }
+  }
+  dse::DseOptions ropt = opt;
+  ropt.resume = true;
+  ClearGlobalCaches();
+  EXPECT_THROW(dse::RunSweep(apps, exp.points, ropt), SimError);
+
+  // An unknown record kind is a version/corruption problem, never skipped.
+  {
+    Journal j;
+    j.Open(path, /*truncate=*/true, {});
+    for (const std::string& r : rec.records) j.Append(r);
+    j.Append("checkpoint 42");
+  }
+  ClearGlobalCaches();
+  EXPECT_THROW(dse::RunSweep(apps, exp.points, ropt), SimError);
+  std::remove(path.c_str());
 }
 
 TEST(DseEngine, PruningIsNeverSilent) {

@@ -10,8 +10,11 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -19,10 +22,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/journal.h"
 #include "common/json.h"
 #include "common/status.h"
 #include "swiftsim/memo_cache.h"
 #include "swiftsim/service.h"
+#include "swiftsim/supervisor.h"
 #include "swiftsim/simulator.h"
 #include "workloads/workload.h"
 
@@ -476,6 +481,252 @@ TEST_F(ServiceTest, BuiltTraceCacheSharedAcrossRacingLanes) {
   EXPECT_EQ(s.app_cache_hits + s.app_cache_misses + svc.stats().coalesced,
             8u);
   EXPECT_GE(s.app_cache_misses, 3u);  // three fingerprints, each built
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor crash matrix (DESIGN.md §16). The fake workers below run in
+// a real forked child, exactly like the production WorkerMain — a "crash"
+// is a genuine process death the supervisor has to reap and recover from.
+
+bool ChildReadLine(int fd, std::string* out) {
+  out->clear();
+  char c;
+  for (;;) {
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n == 0) return !out->empty();
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (c == '\n') return true;
+    out->push_back(c);
+  }
+}
+
+void ChildWriteLine(int fd, const std::string& s) {
+  const std::string line = s + "\n";
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Answers every request line with {"id":...,"ok":true} until client EOF.
+int EchoWorker(int in_fd, int out_fd) {
+  std::string line;
+  while (ChildReadLine(in_fd, &line)) {
+    ChildWriteLine(out_fd,
+                   "{\"id\":\"" + service::RequestLineId(line, Limits{}) +
+                       "\",\"ok\":true}");
+  }
+  return 0;
+}
+
+struct SessionResult {
+  int exit_code = -1;
+  std::vector<std::string> replies;
+  service::SupervisorStats stats;
+};
+
+/// Feeds `lines` through Serve's client transport and collects the
+/// responses. The reader thread inside Serve pulls them one by one, so
+/// this exercises the real journaling/forwarding path.
+SessionResult RunSession(service::SupervisorOptions opt,
+                         service::Supervisor::WorkerMain worker,
+                         const std::vector<std::string>& lines) {
+  opt.backoff_initial_ms = 1;  // keep crash loops fast under test
+  opt.backoff_max_ms = 5;
+  service::Supervisor sup(std::move(opt), std::move(worker));
+  std::mutex mu;
+  SessionResult r;
+  std::size_t next = 0;
+  r.exit_code = sup.Serve(
+      [&](std::string* out) {
+        if (next >= lines.size()) return false;
+        *out = lines[next++];
+        return true;
+      },
+      [&](const std::string& line) {
+        std::lock_guard<std::mutex> lock(mu);
+        r.replies.push_back(line);
+      });
+  r.stats = sup.stats();
+  return r;
+}
+
+bool ReplyOk(const std::string& line) {
+  const JsonValue v = ParseJson(line);
+  const JsonValue* ok = v.Find("ok");
+  return ok != nullptr && ok->AsBool();
+}
+
+std::string ReplyError(const std::string& line) {
+  const JsonValue v = ParseJson(line);
+  const JsonValue* err = v.Find("error");
+  return err != nullptr && err->is_string() ? err->AsString() : "";
+}
+
+TEST(Supervisor, RequestLineIdCorrelatesLikeTheService) {
+  EXPECT_EQ(service::RequestLineId(R"({"op":"ping","id":"p1"})", Limits{}),
+            "p1");
+  EXPECT_EQ(service::RequestLineId(
+                R"({"op":"simulate","id":"j9","workload":"BFS"})", Limits{}),
+            "j9");
+  // Malformed beyond an id: correlate by nothing, like the worker would.
+  EXPECT_EQ(service::RequestLineId("not json at all", Limits{}), "");
+  // Malformed but carrying an id: the worker echoes it, so must we.
+  EXPECT_EQ(service::RequestLineId(R"({"op":"simulate","id":"bad"})",
+                                   Limits{}),
+            "bad");
+}
+
+TEST(Supervisor, CleanSessionServesAndExitsZero) {
+  service::SupervisorOptions opt;
+  const auto r = RunSession(
+      opt, [](int in, int out, const ServiceOptions&) {
+        return EchoWorker(in, out);
+      },
+      {R"({"op":"ping","id":"a"})", R"({"op":"ping","id":"b"})",
+       R"({"op":"ping","id":"c"})"});
+  EXPECT_EQ(r.exit_code, 0);
+  ASSERT_EQ(r.replies.size(), 3u);
+  for (const std::string& line : r.replies) EXPECT_TRUE(ReplyOk(line));
+  EXPECT_EQ(r.stats.restarts, 0u);
+  EXPECT_EQ(r.stats.crashed_jobs, 0u);
+}
+
+TEST(Supervisor, CrashMidJobRestartsReplaysAndAnswers) {
+  // First incarnation reads one request and dies by signal; the snapshot
+  // sup_restarts field tells the replacement to behave.
+  service::SupervisorOptions opt;
+  opt.max_restarts = 3;
+  opt.max_job_retries = 1;
+  const auto r = RunSession(
+      opt,
+      [](int in, int out, const ServiceOptions& sopt) {
+        // gtest macros don't report across fork — fail by exit code.
+        if (!sopt.supervised) ::_Exit(42);
+        if (sopt.sup_restarts == 0) {
+          std::string line;
+          ChildReadLine(in, &line);
+          ::raise(SIGKILL);
+        }
+        return EchoWorker(in, out);
+      },
+      {R"({"op":"ping","id":"k1"})", R"({"op":"ping","id":"k2"})"});
+  EXPECT_EQ(r.exit_code, 0);
+  ASSERT_EQ(r.replies.size(), 2u);
+  for (const std::string& line : r.replies) EXPECT_TRUE(ReplyOk(line));
+  EXPECT_EQ(r.stats.restarts, 1u);
+  EXPECT_GE(r.stats.jobs_replayed, 1u);
+  EXPECT_GE(r.stats.retries, 1u);
+  EXPECT_EQ(r.stats.crashed_jobs, 0u);
+}
+
+TEST(Supervisor, JobThatKeepsKillingWorkersGetsWorkerCrashed) {
+  // Every incarnation dies on the poison job. After max_job_retries the
+  // client gets the typed worker_crashed answer instead of another replay,
+  // and the session still ends cleanly.
+  service::SupervisorOptions opt;
+  opt.max_restarts = 10;
+  opt.max_job_retries = 1;
+  const auto r = RunSession(
+      opt,
+      [](int in, int out, const ServiceOptions&) {
+        std::string line;
+        if (ChildReadLine(in, &line)) ::raise(SIGKILL);
+        return EchoWorker(in, out);
+      },
+      {R"({"op":"ping","id":"poison"})"});
+  EXPECT_EQ(r.exit_code, 0);
+  ASSERT_EQ(r.replies.size(), 1u);
+  EXPECT_FALSE(ReplyOk(r.replies[0]));
+  EXPECT_EQ(ReplyError(r.replies[0]), "worker_crashed");
+  EXPECT_EQ(r.stats.crashed_jobs, 1u);
+  EXPECT_EQ(r.stats.restarts, 2u);  // crash, retry-crash, then give up
+}
+
+TEST(Supervisor, RestartBudgetExhaustionFailsPendingAndExitsNonZero) {
+  // The worker accepts the job then dies every time; with a huge per-job
+  // budget it is the restart budget that runs out.
+  service::SupervisorOptions opt;
+  opt.max_restarts = 1;
+  opt.max_job_retries = 100;
+  const auto r = RunSession(
+      opt,
+      [](int in, int, const ServiceOptions&) {
+        std::string line;
+        ChildReadLine(in, &line);
+        ::_Exit(7);
+        return 7;
+      },
+      {R"({"op":"ping","id":"doomed"})"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.stats.restarts, 2u);  // the 2nd crash breached the budget
+  ASSERT_EQ(r.replies.size(), 1u);
+  EXPECT_EQ(ReplyError(r.replies[0]), "worker_crashed");
+}
+
+TEST(Supervisor, JournalOrphansAreCountedAndRotatedAway) {
+  const std::string path =
+      ::testing::TempDir() + "/supervisor_orphans.journal";
+  std::filesystem::remove(path);
+  {
+    // A dead supervisor's journal: job 1 answered, jobs 2 and 3 in flight.
+    Journal j;
+    j.Open(path, /*truncate=*/true, {});
+    j.Append(R"(A 1 {"op":"ping","id":"old1"})");
+    j.Append("D 1");
+    j.Append(R"(A 2 {"op":"ping","id":"old2"})");
+    j.Append(R"(A 3 {"op":"ping","id":"old3"})");
+  }
+  service::SupervisorOptions opt;
+  opt.job_journal = path;
+  const auto r = RunSession(
+      opt, [](int in, int out, const ServiceOptions&) {
+        return EchoWorker(in, out);
+      },
+      {R"({"op":"ping","id":"fresh"})"});
+  EXPECT_EQ(r.exit_code, 0);
+  // Orphans are never replayed — their clients died with the previous
+  // supervisor. Only the fresh request is answered.
+  ASSERT_EQ(r.replies.size(), 1u);
+  EXPECT_TRUE(ReplyOk(r.replies[0]));
+  EXPECT_EQ(r.stats.orphaned, 2u);
+  // The rotated journal no longer carries the orphan entries.
+  const JournalRecovery rec = ReadJournal(path);
+  for (const std::string& record : rec.records) {
+    EXPECT_EQ(record.find("old"), std::string::npos) << record;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Supervisor, CorruptJobJournalIsQuarantinedNotFatal) {
+  const std::string path =
+      ::testing::TempDir() + "/supervisor_corrupt.journal";
+  std::filesystem::remove(path + ".corrupt");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "this was never a journal";
+  }
+  service::SupervisorOptions opt;
+  opt.job_journal = path;
+  const auto r = RunSession(
+      opt, [](int in, int out, const ServiceOptions&) {
+        return EchoWorker(in, out);
+      },
+      {R"({"op":"ping","id":"q"})"});
+  EXPECT_EQ(r.exit_code, 0);
+  ASSERT_EQ(r.replies.size(), 1u);
+  EXPECT_TRUE(ReplyOk(r.replies[0]));
+  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".corrupt");
 }
 
 }  // namespace

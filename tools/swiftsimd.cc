@@ -35,6 +35,7 @@
 
 #include "common/status.h"
 #include "swiftsim/service.h"
+#include "swiftsim/supervisor.h"
 
 namespace {
 
@@ -46,6 +47,8 @@ using swiftsim::service::ServeResult;
 using swiftsim::service::ServeTransport;
 using swiftsim::service::ServiceOptions;
 using swiftsim::service::SimulationService;
+using swiftsim::service::Supervisor;
+using swiftsim::service::SupervisorOptions;
 
 void PrintUsage() {
   std::fprintf(stderr, R"(usage: swiftsimd [options]
@@ -67,12 +70,28 @@ per line on stdin (default) or a unix socket, one JSON response per line.
   --max-iterations N    reject jobs with iterations > N (default 1024)
   --memo-max-entries N  cap the global memo/profile caches (0 = unbounded)
   --memo-max-bytes N    cap the memo cache footprint (0 = unbounded)
+
+Crash recovery (DESIGN.md §16; stdin/stdout transport only):
+  --supervise           run the service in a forked worker, restart it on
+                        crash with jittered exponential backoff, replay
+                        in-flight jobs; jobs whose worker died past the
+                        retry budget get a typed worker_crashed error
+  --max-restarts N      worker restart budget (default 5)
+  --job-retries N       crash-retry budget per in-flight job (default 1)
+  --restart-backoff MS  initial backoff before a restart (default 50)
+  --job-journal PATH    write-ahead journal of in-flight jobs
+  --worker-pid-file P   current worker pid, rewritten on each spawn
   --help                this text
+
+SIGTERM/SIGINT drain the service (finish admitted jobs, persist the memo
+file) before exiting; under --supervise they are forwarded to the worker.
 )");
 }
 
 struct Flags {
   std::string socket_path;
+  bool supervise = false;
+  SupervisorOptions sup;
   ServiceOptions svc;
 };
 
@@ -150,6 +169,28 @@ bool ParseFlags(int argc, char** argv, Flags* out) {
         const char* v = take();
         if (v == nullptr) return false;
         out->svc.memo_max_bytes = std::stoull(v);
+      } else if (flag == "--supervise") {
+        out->supervise = true;
+      } else if (flag == "--max-restarts") {
+        const char* v = take();
+        if (v == nullptr) return false;
+        out->sup.max_restarts = static_cast<unsigned>(std::stoul(v));
+      } else if (flag == "--job-retries") {
+        const char* v = take();
+        if (v == nullptr) return false;
+        out->sup.max_job_retries = static_cast<unsigned>(std::stoul(v));
+      } else if (flag == "--restart-backoff") {
+        const char* v = take();
+        if (v == nullptr) return false;
+        out->sup.backoff_initial_ms = std::stod(v);
+      } else if (flag == "--job-journal") {
+        const char* v = take();
+        if (v == nullptr) return false;
+        out->sup.job_journal = v;
+      } else if (flag == "--worker-pid-file") {
+        const char* v = take();
+        if (v == nullptr) return false;
+        out->sup.worker_pid_file = v;
       } else {
         std::fprintf(stderr, "swiftsimd: unknown flag '%s'\n", flag.c_str());
         PrintUsage();
@@ -162,6 +203,46 @@ bool ParseFlags(int argc, char** argv, Flags* out) {
     }
   }
   return true;
+}
+
+// --- SIGTERM/SIGINT drain (DESIGN.md §16) -------------------------------
+//
+// A handler may only touch async-signal-safe state, so it writes one byte
+// to a self-pipe; a watcher thread runs the full Stop() — drain admitted
+// jobs, persist the memo file — off the handler and exits the process.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnShutdownSignal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+// Under --supervise the parent owns the signals and forwards them to the
+// current worker, whose own drain handler persists state and exits
+// cleanly; the supervisor then sees a clean exit and follows.
+void OnForwardSignal(int sig) {
+  const long pid = swiftsim::service::SupervisedWorkerPid();
+  if (pid > 0) ::kill(static_cast<pid_t>(pid), sig);
+}
+
+void InstallDrainHandlers(SimulationService* svc) {
+  if (::pipe(g_signal_pipe) != 0) {
+    std::perror("swiftsimd: signal pipe");
+    return;  // serve without signal draining rather than not at all
+  }
+  std::thread([svc] {
+    char byte = 0;
+    ssize_t n;
+    do {
+      n = ::read(g_signal_pipe[0], &byte, 1);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return;
+    std::fprintf(stderr, "swiftsimd: signal received, draining\n");
+    svc->Stop();  // finish admitted jobs + persist the memo file
+    ::_Exit(0);
+  }).detach();
+  std::signal(SIGTERM, OnShutdownSignal);
+  std::signal(SIGINT, OnShutdownSignal);
 }
 
 bool ReadLineFd(int fd, std::string* buffer, std::string* line) {
@@ -250,6 +331,31 @@ int ServeSocket(const std::string& path, SimulationService& svc) {
   return 0;
 }
 
+/// The supervised worker: builds the real service on the supervisor's
+/// pipe ends and serves until EOF/shutdown. Runs in the forked child.
+int WorkerMain(int in_fd, int out_fd, const ServiceOptions& opt) {
+  SimulationService svc(opt);
+  InstallDrainHandlers(&svc);  // supervisor forwards SIGTERM/SIGINT here
+  std::string buffer;
+  auto read_line = [in_fd, &buffer](std::string* line) {
+    return ReadLineFd(in_fd, &buffer, line);
+  };
+  auto write_line = [out_fd](const std::string& line) {
+    std::string framed = line + "\n";
+    const char* p = framed.data();
+    std::size_t left = framed.size();
+    while (left > 0) {
+      const ssize_t n = ::write(out_fd, p, left);
+      if (n <= 0) return;  // supervisor went away; nobody to answer
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+  };
+  const ServeResult res = ServeTransport(read_line, write_line, svc);
+  if (!res.shutdown) svc.Stop();  // EOF: drain and persist anyway
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -259,7 +365,31 @@ int main(int argc, char** argv) {
   if (!ParseFlags(argc, argv, &flags)) return 2;
 
   try {
+    if (flags.supervise) {
+      if (!flags.socket_path.empty()) {
+        std::fprintf(stderr,
+                     "swiftsimd: --supervise supports the stdin/stdout "
+                     "transport only\n");
+        return 2;
+      }
+      // The parent must stay free of simulation state (ThreadPool,
+      // SimulationService) so the worker can fork at any moment; it only
+      // pumps lines and forwards signals.
+      std::signal(SIGTERM, OnForwardSignal);
+      std::signal(SIGINT, OnForwardSignal);
+      flags.sup.worker = flags.svc;
+      Supervisor sup(flags.sup, WorkerMain);
+      auto read_line = [](std::string* line) {
+        return static_cast<bool>(std::getline(std::cin, *line));
+      };
+      auto write_line = [](const std::string& line) {
+        std::cout << line << '\n' << std::flush;
+      };
+      return sup.Serve(read_line, write_line);
+    }
+
     SimulationService svc(flags.svc);
+    InstallDrainHandlers(&svc);  // SIGTERM/SIGINT: drain + persist + exit
     if (!flags.socket_path.empty()) {
       return ServeSocket(flags.socket_path, svc);
     }
